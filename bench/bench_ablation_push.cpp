@@ -1,0 +1,139 @@
+// Ablation: poll-based vs push-based synchronization (§3.2.3).
+//
+// The paper chooses polling and mentions "multipart/x-mixed-replace" pushing
+// as the alternative that "increases the complexity of co-browsing
+// synchronization and decreases its reliability". This bench quantifies the
+// trade on the same workload:
+//   latency    — host change -> participant applied (push wins: no tick wait)
+//   overhead   — idle requests/bytes per minute (push wins: nothing polls)
+//   resilience — recovery after a dropped transport (poll wins: the next
+//                tick simply reconnects; the push stream stays dead)
+#include "bench/common.h"
+#include "src/sites/corpus.h"
+#include "src/util/rand.h"
+
+using namespace rcb;
+using namespace rcb::benchutil;
+
+namespace {
+
+struct ModeResult {
+  Duration mean_latency;
+  Duration worst_latency;
+  double idle_requests_per_minute = 0;
+  uint64_t idle_bytes_per_minute = 0;
+  bool recovered_after_drop = false;
+};
+
+ModeResult RunMode(SyncModel model) {
+  EventLoop loop;
+  Network network(&loop);
+  SessionOptions options;
+  options.profile = LanProfile();
+  options.sync_model = model;
+  options.poll_interval = Duration::Seconds(1.0);
+  const SiteSpec* spec = FindSite("google.com");
+  AddOriginServer(&network, options.profile, spec->host, spec->server_bps,
+                  spec->server_latency, options.host_machine,
+                  options.participant_machine_prefix + "-1");
+  auto server = InstallSite(&loop, &network, *spec);
+  CoBrowsingSession session(&loop, &network, options);
+  ModeResult result;
+  if (!session.Start().ok()) {
+    return result;
+  }
+  auto stats = session.CoNavigate(Url::Make("http", spec->host, 80, "/"));
+  if (!stats.ok()) {
+    return result;
+  }
+
+  // Latency over 24 mutations at random phases.
+  Rng rng(7);
+  int64_t total_us = 0;
+  Duration worst;
+  constexpr int kChanges = 24;
+  for (int i = 0; i < kChanges; ++i) {
+    loop.RunFor(Duration::Millis(static_cast<int64_t>(rng.NextBelow(3000)) + 200));
+    uint64_t before = session.snippet(0)->metrics().content_updates;
+    SimTime change_at = loop.now();
+    session.host_browser()->MutateDocument([i](Document* document) {
+      auto marker = MakeElement("div");
+      marker->SetAttribute("id", "m" + std::to_string(i));
+      document->body()->AppendChild(std::move(marker));
+    });
+    loop.RunUntilCondition([&] {
+      return session.snippet(0)->metrics().content_updates > before;
+    });
+    Duration latency = loop.now() - change_at;
+    total_us += latency.micros();
+    if (latency > worst) {
+      worst = latency;
+    }
+  }
+  result.mean_latency = Duration::Micros(total_us / kChanges);
+  result.worst_latency = worst;
+
+  // Idle minute.
+  uint64_t polls_before = session.agent()->metrics().polls_received;
+  uint64_t bytes_before = network.total_bytes_transferred();
+  loop.RunFor(Duration::Seconds(60.0));
+  result.idle_requests_per_minute = static_cast<double>(
+      session.agent()->metrics().polls_received - polls_before);
+  result.idle_bytes_per_minute = network.total_bytes_transferred() - bytes_before;
+
+  // Reliability probe: restart the agent (drops every connection), then
+  // change the page and see whether the participant ever hears about it.
+  session.agent()->Stop();
+  loop.RunFor(Duration::Seconds(1.0));
+  Status restarted = session.agent()->Start();
+  if (!restarted.ok()) {
+    return result;
+  }
+  uint64_t before = session.snippet(0)->metrics().content_updates;
+  session.host_browser()->MutateDocument([](Document* document) {
+    auto marker = MakeElement("div");
+    marker->SetAttribute("id", "after-restart");
+    document->body()->AppendChild(std::move(marker));
+  });
+  SimTime deadline = loop.now() + Duration::Seconds(10.0);
+  while (session.snippet(0)->metrics().content_updates == before &&
+         loop.now() < deadline && loop.pending_events() > 0) {
+    loop.RunFor(Duration::Millis(100));
+  }
+  result.recovered_after_drop =
+      session.snippet(0)->metrics().content_updates > before;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader(
+      "Ablation — poll vs push synchronization (§3.2.3)",
+      "LAN, google.com replica, 1 s poll interval; 24 mutations; 1 idle "
+      "minute; agent restart probe");
+
+  std::printf("%-22s %14s %14s\n", "", "poll", "push");
+  ModeResult poll = RunMode(SyncModel::kPoll);
+  ModeResult push = RunMode(SyncModel::kPush);
+  std::printf("%-22s %14s %14s\n", "mean change latency",
+              poll.mean_latency.ToString().c_str(),
+              push.mean_latency.ToString().c_str());
+  std::printf("%-22s %14s %14s\n", "worst change latency",
+              poll.worst_latency.ToString().c_str(),
+              push.worst_latency.ToString().c_str());
+  std::printf("%-22s %14.0f %14.0f\n", "idle requests/min",
+              poll.idle_requests_per_minute, push.idle_requests_per_minute);
+  std::printf("%-22s %14llu %14llu\n", "idle bytes/min",
+              static_cast<unsigned long long>(poll.idle_bytes_per_minute),
+              static_cast<unsigned long long>(push.idle_bytes_per_minute));
+  std::printf("%-22s %14s %14s\n", "recovers after drop",
+              poll.recovered_after_drop ? "yes" : "NO",
+              push.recovered_after_drop ? "yes" : "NO");
+  PrintRule();
+  std::printf("shape check (paper's reasoning): push removes the tick-wait "
+              "latency and the idle traffic, but a\ndropped transport kills "
+              "it silently — polling recovers by construction, which is why "
+              "the paper ships polling.\n");
+  return 0;
+}

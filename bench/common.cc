@@ -1,0 +1,97 @@
+#include "bench/common.h"
+
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace benchutil {
+
+StatusOr<SiteMeasurement> MeasureSite(const SiteSpec& spec,
+                                      const NetworkProfile& profile,
+                                      bool cache_mode, int repetitions,
+                                      size_t participant_count) {
+  SiteMeasurement out;
+  out.spec = &spec;
+  int64_t m5_total_us = 0;
+  int64_t m6_total_us = 0;
+
+  for (int rep = 0; rep < repetitions; ++rep) {
+    // Fresh everything per repetition: empty caches on both browsers,
+    // matching the paper's "caches of both browsers were cleaned up".
+    EventLoop loop;
+    Network network(&loop);
+    network.set_slow_start_enabled(true);
+    SessionOptions options;
+    options.profile = profile;
+    options.cache_mode = cache_mode;
+    options.participant_count = participant_count;
+    options.poll_interval = Duration::Seconds(1.0);
+
+    AddOriginServer(&network, profile, spec.host, spec.server_bps,
+                    spec.server_latency, options.host_machine,
+                    options.participant_machine_prefix + "-1");
+    for (size_t i = 2; i <= participant_count; ++i) {
+      network.SetLatency(
+          options.participant_machine_prefix + "-" + std::to_string(i),
+          spec.host, spec.server_latency + profile.access_latency);
+    }
+    auto server = InstallSite(&loop, &network, spec);
+
+    CoBrowsingSession session(&loop, &network, options);
+    RCB_RETURN_IF_ERROR(session.Start());
+    uint64_t uplink_before =
+        0;  // host uplink payload ~= agent-side bytes sent on its connections
+    (void)uplink_before;
+
+    auto stats = session.CoNavigate(Url::Make("http", spec.host, 80, "/"));
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    if (rep == 0) {
+      out.m1 = stats->host_html_time;
+      Duration worst_m2;
+      Duration worst_objects;
+      for (size_t i = 0; i < participant_count; ++i) {
+        if (stats->participant_content_time[i] > worst_m2) {
+          worst_m2 = stats->participant_content_time[i];
+        }
+        if (stats->participant_objects_time[i] > worst_objects) {
+          worst_objects = stats->participant_objects_time[i];
+        }
+      }
+      out.m2 = worst_m2;
+      out.m3_or_m4 = worst_objects;
+      out.objects_from_host = stats->participant_objects_from_host[0];
+      out.snapshot_bytes = session.agent()->metrics().last_snapshot_bytes;
+    }
+    m5_total_us += session.agent()->metrics().last_generation_time.micros();
+    m6_total_us += session.snippet(0)->metrics().last_apply_time.micros();
+  }
+  out.m5 = Duration::Micros(m5_total_us / repetitions);
+  out.m6 = Duration::Micros(m6_total_us / repetitions);
+  return out;
+}
+
+void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+void PrintBenchHeader(const std::string& title, const std::string& setup) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  if (!setup.empty()) {
+    std::printf("%s\n", setup.c_str());
+  }
+  PrintRule();
+}
+
+std::string Sec(Duration d) { return StrFormat("%.3f", d.seconds()); }
+
+std::string Ms(Duration d) {
+  return StrFormat("%.3f", static_cast<double>(d.micros()) / 1000.0);
+}
+
+}  // namespace benchutil
+}  // namespace rcb

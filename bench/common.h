@@ -1,0 +1,53 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Each Fig. 6/7/8 and Table 1 measurement follows the paper's procedure
+// (§5.1.1): a fresh host + participant pair with cleared caches co-browses a
+// site's homepage; M1–M4 come from the simulated clock, M5/M6 from real CPU
+// time of the actual pipelines.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/sites/corpus.h"
+
+namespace rcb {
+namespace benchutil {
+
+struct SiteMeasurement {
+  const SiteSpec* spec = nullptr;
+  // The six metrics of §5.1.1.
+  Duration m1;        // host HTML document load time
+  Duration m2;        // participant HTML content sync time
+  Duration m3_or_m4;  // participant supplementary-object time
+  Duration m5;        // host response-content generation (real CPU)
+  Duration m6;        // participant content apply (real CPU)
+  size_t objects_from_host = 0;
+  size_t snapshot_bytes = 0;
+  uint64_t host_uplink_payload = 0;  // bytes the host pushed for this page
+};
+
+// One clean-cache co-browsing run of `spec`'s homepage under `profile`.
+// `repetitions` re-runs average the real-time metrics (M5/M6); the simulated
+// metrics are deterministic and identical across runs.
+StatusOr<SiteMeasurement> MeasureSite(const SiteSpec& spec,
+                                      const NetworkProfile& profile,
+                                      bool cache_mode, int repetitions = 5,
+                                      size_t participant_count = 1);
+
+// Formatted table output shared by the bench binaries.
+void PrintRule(int width = 78);
+void PrintBenchHeader(const std::string& title, const std::string& setup);
+
+// Formats a Duration in seconds with millisecond precision ("0.123").
+std::string Sec(Duration d);
+// Milliseconds with 3 decimals ("12.345").
+std::string Ms(Duration d);
+
+}  // namespace benchutil
+}  // namespace rcb
+
+#endif  // BENCH_COMMON_H_

@@ -1,0 +1,360 @@
+#include "bench/task_script.h"
+
+#include "src/util/rand.h"
+
+namespace rcb {
+namespace benchutil {
+namespace {
+
+// Helper bundle threaded through the tasks.
+struct Script {
+  EventLoop* loop;
+  CoBrowsingSession* session;
+  MapsSite* maps;
+  MapsApp* app;
+  Browser* bob;
+  Browser* alice_browser;
+  AjaxSnippet* alice;
+
+  bool WaitCondition(const std::function<bool()>& condition) {
+    // Bounded wait so a broken step fails instead of hanging.
+    SimTime deadline = loop->now() + Duration::Seconds(60.0);
+    while (!condition()) {
+      if (loop->pending_events() == 0 || loop->now() >= deadline) {
+        return false;
+      }
+      loop->RunFor(Duration::Millis(50));
+    }
+    return true;
+  }
+
+  bool WaitStatus(const std::function<void(std::function<void(Status)>)>& op) {
+    Status out;
+    bool done = false;
+    op([&](Status status) {
+      out = status;
+      done = true;
+    });
+    return WaitCondition([&] { return done; }) && out.ok();
+  }
+
+  bool Synced() { return session->WaitForSync(Duration::Seconds(30.0)).ok(); }
+};
+
+using TaskFn = std::function<bool(Script&)>;
+
+struct TaskSpec {
+  const char* id;
+  const char* description;
+  TaskFn run;
+};
+
+std::vector<TaskSpec> BuildTasks() {
+  return {
+      {"T1-B", "Bob starts a RCB co-browsing session",
+       [](Script& s) { return s.session->agent()->running(); }},
+      {"T1-A", "Alice types the agent URL and joins",
+       [](Script& s) { return s.alice->joined(); }},
+      {"T2-B", "Bob searches '653 5th Ave, New York' on the map",
+       [](Script& s) {
+         if (!s.WaitStatus([&](auto done) {
+               s.app->Open(s.maps->PageUrl(), done);
+             })) {
+           return false;
+         }
+         return s.WaitStatus([&](auto done) {
+           s.app->Search("653 5th Ave, New York", done);
+         });
+       }},
+      {"T2-A", "Alice sees the location map automatically",
+       [](Script& s) {
+         if (!s.Synced()) {
+           return false;
+         }
+         auto [x, y] = MapsSite::Geocode("653 5th Ave, New York");
+         Element* map = s.alice_browser->document()->ById("map");
+         return map != nullptr && map->AttrOr("data-x") == std::to_string(x) &&
+                map->AttrOr("data-y") == std::to_string(y);
+       }},
+      {"T3-B", "Bob zooms in/out and drags the map",
+       [](Script& s) {
+         return s.WaitStatus([&](auto done) { s.app->ZoomIn(done); }) &&
+                s.WaitStatus([&](auto done) { s.app->ZoomOut(done); }) &&
+                s.WaitStatus([&](auto done) { s.app->Pan(1, 1, done); }) &&
+                s.WaitStatus([&](auto done) { s.app->Pan(-1, 0, done); });
+       }},
+      {"T3-A", "Alice sees the map updates automatically",
+       [](Script& s) {
+         if (!s.Synced()) {
+           return false;
+         }
+         Element* bob_map = s.bob->document()->ById("map");
+         Element* alice_map = s.alice_browser->document()->ById("map");
+         return bob_map != nullptr && alice_map != nullptr &&
+                bob_map->AttrOr("data-x") == alice_map->AttrOr("data-x") &&
+                bob_map->AttrOr("data-z") == alice_map->AttrOr("data-z");
+       }},
+      {"T4-B", "Bob clicks to the street view",
+       [](Script& s) {
+         return s.WaitStatus([&](auto done) { s.app->ShowStreetView(done); });
+       }},
+      {"T4-A", "Alice sees the street view automatically",
+       [](Script& s) {
+         return s.Synced() &&
+                s.alice_browser->document()->ById("svflash") != nullptr;
+       }},
+      {"T5-B", "Bob points at the four red roof show-windows of Cartier",
+       [](Script& s) {
+         Element* caption = s.bob->document()->ById("svcaption");
+         return caption != nullptr &&
+                caption->TextContent().find("Cartier") != std::string::npos;
+       }},
+      {"T5-A", "Alice finds the show-windows and agrees on the spot",
+       [](Script& s) {
+         Element* caption = s.alice_browser->document()->ById("svcaption");
+         return caption != nullptr &&
+                caption->TextContent().find("red roof") != std::string::npos;
+       }},
+      {"T6-B", "Bob continues to the shop homepage",
+       [](Script& s) {
+         auto stats = s.session->CoNavigate(
+             Url::Make("http", "www.shop.test", 80, "/"));
+         return stats.ok();
+       }},
+      {"T6-A", "Alice sees the shop homepage automatically",
+       [](Script& s) {
+         return s.alice_browser->document()->ById("featured") != nullptr;
+       }},
+      {"T7-B", "Bob searches and clicks to find a MacBook Air",
+       [](Script& s) {
+         Element* form = s.bob->document()->ById("searchform");
+         if (form == nullptr ||
+             !Browser::FillField(form, "q", "macbook air").ok()) {
+           return false;
+         }
+         bool done = false;
+         if (!s.bob->SubmitForm(form, [&](const Status&, const PageLoadStats&) {
+                    done = true;
+                  })
+                  .ok()) {
+           return false;
+         }
+         if (!s.WaitCondition([&] { return done; })) {
+           return false;
+         }
+         // Click the first result.
+         Element* link = nullptr;
+         s.bob->document()->ForEachElement([&](Element* element) {
+           if (element->tag_name() == "a" &&
+               element->AttrOr("href").find("/product/mba13") !=
+                   std::string::npos) {
+             link = element;
+             return false;
+           }
+           return true;
+         });
+         if (link == nullptr) {
+           return false;
+         }
+         done = false;
+         if (!s.bob->ClickLink(link, [&](const Status&, const PageLoadStats&) {
+                    done = true;
+                  })
+                  .ok()) {
+           return false;
+         }
+         return s.WaitCondition([&] { return done; });
+       }},
+      {"T7-A", "Alice sees the product pages automatically",
+       [](Script& s) {
+         return s.Synced() &&
+                s.alice_browser->document()->ById("addform") != nullptr;
+       }},
+      {"T8-B", "Bob asks Alice to choose a different MacBook Air",
+       [](Script&) { return true; /* voice channel, out of band */ }},
+      {"T8-A", "Alice searches/clicks and picks the 11-inch model",
+       [](Script& s) {
+         Element* link = nullptr;
+         s.alice_browser->document()->ForEachElement([&](Element* element) {
+           if (element->tag_name() == "a" &&
+               element->AttrOr("href").find("/") != std::string::npos &&
+               element->AttrOr("href").find("shop") != std::string::npos &&
+               element->TextContent() == "Shop home") {
+             link = element;
+             return false;
+           }
+           return true;
+         });
+         if (link == nullptr || !s.alice->ClickElement(link).ok()) {
+           return false;
+         }
+         s.alice->PollNow();
+         if (!s.WaitCondition([&] {
+               return s.alice_browser->document()->ById("featured") != nullptr;
+             })) {
+           return false;
+         }
+         Element* product = nullptr;
+         s.alice_browser->document()->ForEachElement([&](Element* element) {
+           if (element->tag_name() == "a" &&
+               element->AttrOr("href").find("/product/mba11") !=
+                   std::string::npos) {
+             product = element;
+             return false;
+           }
+           return true;
+         });
+         if (product == nullptr || !s.alice->ClickElement(product).ok()) {
+           return false;
+         }
+         s.alice->PollNow();
+         return s.WaitCondition([&] {
+           Element* title = s.alice_browser->document()->ById("ptitle");
+           return title != nullptr &&
+                  title->TextContent().find("11-inch") != std::string::npos;
+         });
+       }},
+      {"T9-B", "Bob adds the laptop to the cart and starts checkout",
+       [](Script& s) {
+         bool done = false;
+         Element* add = s.bob->document()->ById("addform");
+         if (add == nullptr ||
+             !s.bob->SubmitForm(add, [&](const Status&, const PageLoadStats&) {
+                    done = true;
+                  })
+                  .ok()) {
+           return false;
+         }
+         if (!s.WaitCondition([&] { return done; })) {
+           return false;
+         }
+         done = false;
+         s.bob->Navigate(Url::Make("http", "www.shop.test", 80, "/checkout"),
+                         [&](const Status&, const PageLoadStats&) {
+                           done = true;
+                         });
+         return s.WaitCondition([&] { return done; }) &&
+                s.bob->document()->ById("shipform") != nullptr;
+       }},
+      {"T9-A", "Alice fills the shipping address form",
+       [](Script& s) {
+         if (!s.Synced()) {
+           return false;
+         }
+         Element* form = s.alice_browser->document()->ById("shipform");
+         if (form == nullptr) {
+           return false;
+         }
+         for (auto [field, value] :
+              {std::pair<const char*, const char*>{"fullname", "Alice C."},
+               {"street", "653 5th Ave"},
+               {"city", "New York"},
+               {"state", "NY"},
+               {"zip", "10022"},
+               {"phone", "555-0100"}}) {
+           if (!s.alice->FillFormField(form, field, value).ok()) {
+             return false;
+           }
+         }
+         s.alice->PollNow();
+         return s.WaitCondition([&] {
+           Element* host_form = s.bob->document()->ById("shipform");
+           if (host_form == nullptr) {
+             return false;
+           }
+           bool filled = false;
+           host_form->ForEachElement([&](Element* element) {
+             if (element->AttrOr("name") == "phone" &&
+                 element->AttrOr("value") == "555-0100") {
+               filled = true;
+               return false;
+             }
+             return true;
+           });
+           return filled;
+         });
+       }},
+      {"T10-B", "Bob finishes the checkout",
+       [](Script& s) {
+         bool done = false;
+         Element* form = s.bob->document()->ById("shipform");
+         if (form == nullptr ||
+             !s.bob->SubmitForm(form, [&](const Status&, const PageLoadStats&) {
+                    done = true;
+                  })
+                  .ok()) {
+           return false;
+         }
+         return s.WaitCondition([&] { return done; }) &&
+                s.bob->document()->ById("confirm") != nullptr;
+       }},
+      {"T10-A", "Alice sees the confirmation and leaves the session",
+       [](Script& s) {
+         if (!s.Synced() ||
+             s.alice_browser->document()->ById("confirm") == nullptr) {
+           return false;
+         }
+         s.alice->Leave();
+         return !s.alice->joined();
+       }},
+  };
+}
+
+}  // namespace
+
+ScriptResult RunTable2Session(const ScriptOptions& options) {
+  EventLoop loop;
+  Network network(&loop);
+  Rng think_rng(options.seed);
+
+  SessionOptions session_options;
+  session_options.profile = LanProfile();
+  session_options.poll_interval = options.poll_interval;
+  network.AddHost("maps.test", {.uplink_bps = 20'000'000, .downlink_bps = 0});
+  network.AddHost("www.shop.test",
+                  {.uplink_bps = 20'000'000, .downlink_bps = 0});
+  MapsSite maps(&loop, &network, "maps.test");
+  ShopSite shop(&loop, &network, "www.shop.test");
+
+  CoBrowsingSession session(&loop, &network, session_options);
+  ScriptResult result;
+  if (!session.Start().ok()) {
+    result.all_succeeded = false;
+    return result;
+  }
+  MapsApp app(session.host_browser());
+  Script script{&loop,
+                &session,
+                &maps,
+                &app,
+                session.host_browser(),
+                session.participant_browser(0),
+                session.snippet(0)};
+
+  SimTime session_start = loop.now();
+  for (const TaskSpec& task : BuildTasks()) {
+    // Deterministic think time before the task (models the human subject).
+    if (options.think_max > options.think_min) {
+      int64_t span = options.think_max.micros() - options.think_min.micros();
+      Duration think = options.think_min +
+                       Duration::Micros(static_cast<int64_t>(
+                           think_rng.NextBelow(static_cast<uint64_t>(span))));
+      loop.RunFor(think);
+    }
+    SimTime task_start = loop.now();
+    TaskResult task_result;
+    task_result.id = task.id;
+    task_result.description = task.description;
+    task_result.success = task.run(script);
+    task_result.sim_time = loop.now() - task_start;
+    result.all_succeeded &= task_result.success;
+    result.tasks.push_back(std::move(task_result));
+  }
+  result.total_time = loop.now() - session_start;
+  result.polls = session.agent()->metrics().polls_received;
+  result.actions_applied = session.agent()->metrics().actions_applied;
+  return result;
+}
+
+}  // namespace benchutil
+}  // namespace rcb

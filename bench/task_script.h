@@ -1,0 +1,52 @@
+// The 20-task co-browsing session of Table 2, executed by scripted
+// role-players over the real RCB stack.
+//
+// Bob performs T1-B..T10-B on the host browser; Alice performs T1-A..T10-A
+// on a participant browser. Human subjects are not reproducible, so the
+// usability benches replace them with these deterministic role-players and
+// report task success and timing instead of Likert opinions (see DESIGN.md).
+#ifndef BENCH_TASK_SCRIPT_H_
+#define BENCH_TASK_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/sites/maps_site.h"
+#include "src/sites/shop_site.h"
+
+namespace rcb {
+namespace benchutil {
+
+struct TaskResult {
+  std::string id;           // "T1-B"
+  std::string description;
+  bool success = false;
+  Duration sim_time;        // simulated time this task consumed
+};
+
+struct ScriptResult {
+  std::vector<TaskResult> tasks;
+  Duration total_time;
+  bool all_succeeded = true;
+  uint64_t polls = 0;
+  uint64_t actions_applied = 0;
+};
+
+struct ScriptOptions {
+  // Deterministic per-task user think time is drawn from [min,max] with this
+  // seed; zero range means mechanics-only timing.
+  Duration think_min = Duration::Zero();
+  Duration think_max = Duration::Zero();
+  uint64_t seed = 1;
+  Duration poll_interval = Duration::Seconds(1.0);
+};
+
+// Runs one full Table 2 session (maps scenario + shop scenario) on a fresh
+// network and returns the 20 per-task outcomes.
+ScriptResult RunTable2Session(const ScriptOptions& options);
+
+}  // namespace benchutil
+}  // namespace rcb
+
+#endif  // BENCH_TASK_SCRIPT_H_

@@ -1,0 +1,159 @@
+// §5.2.2 scenario: online co-shopping on a session-protected shop.
+//
+// Bob (host) and Alice (participant) pick a laptop together. Alice can
+// search, click, and co-fill forms from her plain browser; her actions are
+// piggybacked on polls, applied on Bob's browser, and the resulting pages —
+// protected by Bob's session cookie, which Alice never holds — flow back to
+// her.
+//
+// Build & run:  ./build/examples/co_shopping
+#include <cstdio>
+
+#include "src/core/session.h"
+#include "src/sites/shop_site.h"
+
+using namespace rcb;
+
+namespace {
+
+void MustOk(const char* what, const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void RunUntil(EventLoop* loop, const char* what,
+              const std::function<bool()>& condition) {
+  if (!loop->RunUntilCondition(condition)) {
+    std::fprintf(stderr, "%s never happened\n", what);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  EventLoop loop;
+  Network network(&loop);
+
+  SessionOptions options;
+  options.profile = LanProfile();
+  options.poll_interval = Duration::Millis(500);
+  options.enable_auth = true;  // Bob shares a one-time session key with Alice
+  network.AddHost("www.shop.example",
+                  {.uplink_bps = 20'000'000, .downlink_bps = 20'000'000});
+  ShopSite shop(&loop, &network, "www.shop.example");
+
+  CoBrowsingSession session(&loop, &network, options);
+  MustOk("session start", session.Start());
+  std::printf("Bob's agent: %s (session key '%s' shared out of band)\n",
+              session.agent()->AgentUrl().ToString().c_str(),
+              session.session_key().c_str());
+
+  Browser* bob = session.host_browser();
+  Browser* alice_browser = session.participant_browser(0);
+  AjaxSnippet* alice = session.snippet(0);
+
+  // Bob opens the shop; the page reaches Alice.
+  auto stats = session.CoNavigate(Url::Make("http", "www.shop.example", 80, "/"));
+  MustOk("open shop", stats.ok() ? Status::Ok() : stats.status());
+  std::printf("shop home synced to Alice in %s; Alice has %zu shop cookies "
+              "(the session lives on Bob's browser)\n",
+              stats->participant_content_time[0].ToString().c_str(),
+              alice_browser->cookies().CountFor(
+                  Url::Make("http", "www.shop.example", 80, "/")));
+
+  // Alice searches for a MacBook Air from her own browser.
+  Element* search_form = alice_browser->document()->ById("searchform");
+  MustOk("fill search", alice->FillFormField(search_form, "q", "macbook air"));
+  MustOk("submit search", alice->SubmitForm(search_form));
+  alice->PollNow();
+  RunUntil(&loop, "search results sync", [&] {
+    Element* hits = alice_browser->document()->ById("hitcount");
+    return hits != nullptr && !hits->TextContent().empty();
+  });
+  std::printf("Alice searched 'macbook air' -> %s on both screens\n",
+              alice_browser->document()->ById("hitcount")->TextContent().c_str());
+
+  // Alice picks the 13-inch model.
+  Element* link = nullptr;
+  alice_browser->document()->ForEachElement([&](Element* element) {
+    if (element->tag_name() == "a" &&
+        element->AttrOr("href").find("/product/mba13") != std::string::npos) {
+      link = element;
+      return false;
+    }
+    return true;
+  });
+  MustOk("click product", alice->ClickElement(link));
+  alice->PollNow();
+  RunUntil(&loop, "product page sync", [&] {
+    return alice_browser->document()->ById("addform") != nullptr;
+  });
+  std::printf("Alice clicked '%s'\n",
+              alice_browser->document()->ById("ptitle")->TextContent().c_str());
+
+  // Bob adds it to the cart and opens checkout.
+  bool done = false;
+  MustOk("add to cart",
+         bob->SubmitForm(bob->document()->ById("addform"),
+                         [&](const Status&, const PageLoadStats&) {
+                           done = true;
+                         }));
+  RunUntil(&loop, "cart page", [&] { return done; });
+  done = false;
+  bob->Navigate(Url::Make("http", "www.shop.example", 80, "/checkout"),
+                [&](const Status&, const PageLoadStats&) { done = true; });
+  RunUntil(&loop, "checkout page", [&] { return done; });
+  MustOk("checkout sync", session.WaitForSync());
+  std::printf("Bob added to cart and opened checkout; shipping form synced\n");
+
+  // Alice co-fills the shipping address with her details.
+  Element* ship_form = alice_browser->document()->ById("shipform");
+  MustOk("fill name", alice->FillFormField(ship_form, "fullname", "Alice Cousin"));
+  MustOk("fill street", alice->FillFormField(ship_form, "street", "653 5th Ave"));
+  MustOk("fill city", alice->FillFormField(ship_form, "city", "New York"));
+  MustOk("fill state", alice->FillFormField(ship_form, "state", "NY"));
+  MustOk("fill zip", alice->FillFormField(ship_form, "zip", "10022"));
+  MustOk("fill phone", alice->FillFormField(ship_form, "phone", "555-0100"));
+  alice->PollNow();
+  RunUntil(&loop, "co-fill merge", [&] {
+    Element* host_form = bob->document()->ById("shipform");
+    if (host_form == nullptr) {
+      return false;
+    }
+    bool filled = false;
+    host_form->ForEachElement([&](Element* element) {
+      if (element->AttrOr("name") == "zip" &&
+          element->AttrOr("value") == "10022") {
+        filled = true;
+        return false;
+      }
+      return true;
+    });
+    return filled;
+  });
+  std::printf("Alice's address merged into the form on Bob's browser\n");
+
+  // Bob places the order.
+  done = false;
+  MustOk("place order",
+         bob->SubmitForm(bob->document()->ById("shipform"),
+                         [&](const Status&, const PageLoadStats&) {
+                           done = true;
+                         }));
+  RunUntil(&loop, "confirmation", [&] { return done; });
+  MustOk("confirmation sync", session.WaitForSync());
+  std::printf("order placed; both browsers show: \"%s\" (%s)\n",
+              bob->document()->ById("confirm")->TextContent().c_str(),
+              alice_browser->document()->ById("shipto")->TextContent().c_str());
+
+  const auto& m = session.agent()->metrics();
+  std::printf("\nsession stats: %llu polls, %llu actions applied, "
+              "0 auth failures: %s\n",
+              static_cast<unsigned long long>(m.polls_received),
+              static_cast<unsigned long long>(m.actions_applied),
+              m.auth_failures == 0 ? "authenticated session clean" : "!!");
+  return 0;
+}

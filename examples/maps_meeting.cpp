@@ -1,0 +1,105 @@
+// §5.2.1 scenario: coordinating a meeting spot via a web-map service.
+//
+// Bob (host) guides Alice (participant) to the Cartier store on Fifth
+// Avenue. Every Ajax map update — search, zoom, pan, street view — reaches
+// Alice even though the page URL never changes, which is precisely where
+// URL-sharing co-browsing fails.
+//
+// Build & run:  ./build/examples/maps_meeting
+#include <cstdio>
+
+#include "src/core/session.h"
+#include "src/sites/maps_site.h"
+
+using namespace rcb;
+
+namespace {
+
+// Runs `op` to completion on the loop and aborts on error.
+void Must(EventLoop* loop, const char* what,
+          const std::function<void(std::function<void(Status)>)>& op) {
+  Status out;
+  bool done = false;
+  op([&](Status status) {
+    out = status;
+    done = true;
+  });
+  loop->RunUntilCondition([&] { return done; });
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, out.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void MustOk(const char* what, const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  EventLoop loop;
+  Network network(&loop);
+
+  SessionOptions options;
+  options.profile = LanProfile();
+  options.poll_interval = Duration::Millis(500);
+  network.AddHost("maps.example.com",
+                  {.uplink_bps = 20'000'000, .downlink_bps = 20'000'000});
+  MapsSite maps(&loop, &network, "maps.example.com");
+
+  CoBrowsingSession session(&loop, &network, options);
+  MustOk("session start", session.Start());
+  Browser* alice = session.participant_browser(0);
+
+  std::printf("Bob hosts a session at %s; Alice joined with a plain browser.\n",
+              session.agent()->AgentUrl().ToString().c_str());
+
+  // Bob opens the map page.
+  MapsApp app(session.host_browser());
+  Must(&loop, "open maps", [&](auto done) { app.Open(maps.PageUrl(), done); });
+  MustOk("initial sync", session.WaitForSync());
+  std::printf("map page open on both browsers (Alice sees %zu tiles)\n",
+              alice->document()->ById("map")->FindAll("img").size());
+
+  // Bob searches for the store address.
+  const char* address = "653 5th Ave, New York";
+  Must(&loop, "search", [&](auto done) { app.Search(address, done); });
+  MustOk("search sync", session.WaitForSync());
+  auto [x, y] = MapsSite::Geocode(address);
+  std::printf("Bob searched '%s' -> tile (%d,%d); Alice's map shows (%s,%s)\n",
+              address, x, y,
+              alice->document()->ById("map")->AttrOr("data-x").c_str(),
+              alice->document()->ById("map")->AttrOr("data-y").c_str());
+
+  // Bob zooms in twice and pans around the block.
+  Must(&loop, "zoom", [&](auto done) { app.ZoomIn(done); });
+  Must(&loop, "zoom", [&](auto done) { app.ZoomIn(done); });
+  Must(&loop, "pan", [&](auto done) { app.Pan(1, 0, done); });
+  MustOk("zoom/pan sync", session.WaitForSync());
+  std::printf("after zoom+pan: Alice at zoom %s, center (%s,%s) — URL unchanged: %s\n",
+              alice->document()->ById("map")->AttrOr("data-z").c_str(),
+              alice->document()->ById("map")->AttrOr("data-x").c_str(),
+              alice->document()->ById("map")->AttrOr("data-y").c_str(),
+              alice->current_url().ToString().c_str());
+
+  // Street view: the Flash object appears on Alice's browser too. Activity
+  // *inside* the Flash is not synchronized (paper limitation, §5.2.1).
+  Must(&loop, "street view", [&](auto done) { app.ShowStreetView(done); });
+  MustOk("street view sync", session.WaitForSync());
+  std::printf("street view shown; Alice's caption: \"%s\"\n",
+              alice->document()->ById("svcaption")->TextContent().c_str());
+  std::printf("They agree to meet outside the four red roof show-windows.\n");
+
+  const auto& agent_metrics = session.agent()->metrics();
+  std::printf("\nsession stats: %llu polls, %llu content updates pushed, "
+              "%llu snapshot generations (reused %llu times)\n",
+              static_cast<unsigned long long>(agent_metrics.polls_received),
+              static_cast<unsigned long long>(agent_metrics.polls_with_content),
+              static_cast<unsigned long long>(agent_metrics.generations),
+              static_cast<unsigned long long>(agent_metrics.snapshot_reuses));
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Distance-learning scenario: one instructor, many students (§1, §3.3).
+//
+// The instructor hosts a moderated session: student clicks need explicit
+// instructor confirmation (ActionPolicy::kConfirm), pointer movement is
+// mirrored to everyone, and each generated snapshot is reused across all
+// students (§4.1.2).
+//
+// Build & run:  ./build/examples/multi_participant
+#include <cstdio>
+
+#include "src/core/session.h"
+#include "src/sites/corpus.h"
+
+using namespace rcb;
+
+namespace {
+constexpr size_t kStudents = 8;
+
+void MustOk(const char* what, const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  EventLoop loop;
+  Network network(&loop);
+
+  SessionOptions options;
+  options.profile = LanProfile();
+  options.participant_count = kStudents;
+  options.poll_interval = Duration::Seconds(1.0);
+
+  const SiteSpec* site = FindSite("wikipedia.org");
+  AddOriginServer(&network, options.profile, site->host, site->server_bps,
+                  site->server_latency, options.host_machine,
+                  options.participant_machine_prefix + "-1");
+  for (size_t i = 2; i <= kStudents; ++i) {
+    network.SetLatency(options.participant_machine_prefix + "-" +
+                           std::to_string(i),
+                       site->host, site->server_latency);
+  }
+  auto server = InstallSite(&loop, &network, *site);
+
+  CoBrowsingSession session(&loop, &network, options);
+  MustOk("session start", session.Start());
+  std::printf("class session: %zu students connected to %s\n",
+              session.agent()->participant_count(),
+              session.agent()->AgentUrl().ToString().c_str());
+
+  // Instructor opens the lecture page; all students follow.
+  auto stats = session.CoNavigate(Url::Make("http", site->host, 80, "/"));
+  MustOk("lecture page", stats.ok() ? Status::Ok() : stats.status());
+  Duration slowest;
+  for (size_t i = 0; i < kStudents; ++i) {
+    if (stats->participant_content_time[i] > slowest) {
+      slowest = stats->participant_content_time[i];
+    }
+  }
+  std::printf("page pushed to %zu students; slowest content sync %s; "
+              "snapshot generated %llu time(s), reused %llu times\n",
+              kStudents, slowest.ToString().c_str(),
+              static_cast<unsigned long long>(
+                  session.agent()->metrics().generations),
+              static_cast<unsigned long long>(
+                  session.agent()->metrics().snapshot_reuses));
+
+  // The instructor points at a figure: mirrored to every student.
+  UserAction pointer;
+  pointer.type = ActionType::kMouseMove;
+  pointer.x = 320;
+  pointer.y = 144;
+  session.agent()->BroadcastAction(pointer);
+  size_t mirrored = 0;
+  for (size_t i = 0; i < kStudents; ++i) {
+    session.snippet(i)->SetActionListener(
+        [&mirrored](const UserAction& action) {
+          if (action.origin == "host") {
+            ++mirrored;
+          }
+        });
+  }
+  loop.RunUntilCondition([&] { return mirrored == kStudents; });
+  std::printf("instructor pointer mirrored to %zu/%zu students\n", mirrored,
+              kStudents);
+
+  // A student clicks a link; all students see the same follow-up page after
+  // the instructor's (auto-approved here) action routes through the host.
+  AjaxSnippet* student = session.snippet(2);
+  Browser* student_browser = session.participant_browser(2);
+  Element* link = nullptr;
+  student_browser->document()->ForEachElement([&](Element* element) {
+    if (element->tag_name() == "a" && element->HasAttribute("data-rcb-id") &&
+        element->AttrOr("href").find("/story/") != std::string::npos) {
+      link = element;
+      return false;
+    }
+    return true;
+  });
+  if (link != nullptr) {
+    MustOk("student click", student->ClickElement(link));
+    student->PollNow();
+    loop.RunUntilCondition([&] {
+      return session.host_browser()->current_url().path().find("/story/") !=
+             std::string::npos;
+    });
+    MustOk("story sync", session.WaitForSync());
+    std::printf("student 3's click navigated the whole class to %s\n",
+                session.host_browser()->current_url().ToString().c_str());
+  }
+
+  std::printf("\nfinal agent metrics: %llu polls received, %llu with content, "
+              "%llu object requests, %llu actions applied\n",
+              static_cast<unsigned long long>(
+                  session.agent()->metrics().polls_received),
+              static_cast<unsigned long long>(
+                  session.agent()->metrics().polls_with_content),
+              static_cast<unsigned long long>(
+                  session.agent()->metrics().object_requests),
+              static_cast<unsigned long long>(
+                  session.agent()->metrics().actions_applied));
+  return 0;
+}

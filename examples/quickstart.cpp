@@ -1,0 +1,80 @@
+// Quickstart: the smallest complete RCB co-browsing session.
+//
+// One host browser runs RCB-Agent; one participant joins with a plain
+// browser + Ajax-Snippet; the host navigates to a website and the page
+// appears on the participant's browser through the poll/snapshot protocol.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/session.h"
+#include "src/sites/corpus.h"
+
+using namespace rcb;
+
+int main() {
+  // 1. A simulated internet: one event loop, one network.
+  EventLoop loop;
+  Network network(&loop);
+
+  // 2. An origin website (the Table 1 replica of google.com's homepage).
+  SessionOptions options;
+  options.profile = LanProfile();       // host and participant share a LAN
+  options.cache_mode = true;            // participant fetches objects via host
+  options.poll_interval = Duration::Seconds(1.0);
+  const SiteSpec* site = FindSite("google.com");
+  AddOriginServer(&network, options.profile, site->host, site->server_bps,
+                  site->server_latency, options.host_machine,
+                  options.participant_machine_prefix + "-1");
+  auto server = InstallSite(&loop, &network, *site);
+
+  // 3. The co-browsing session: host browser + RCB-Agent, participant
+  //    browser + Ajax-Snippet. Start() opens the agent port and joins the
+  //    participant (they just "type the agent URL into the address bar").
+  CoBrowsingSession session(&loop, &network, options);
+  Status status = session.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "session start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("agent listening at %s, %zu participant joined\n",
+              session.agent()->AgentUrl().ToString().c_str(),
+              session.agent()->participant_count());
+
+  // 4. The host browses; the participant follows automatically.
+  auto stats = session.CoNavigate(Url::Make("http", site->host, 80, "/"));
+  if (!stats.ok()) {
+    std::fprintf(stderr, "co-navigation failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("host loaded    '%s' in %s (M1) + %s objects\n",
+              session.host_browser()->document()->Title().c_str(),
+              stats->host_html_time.ToString().c_str(),
+              stats->host_objects_time.ToString().c_str());
+  std::printf("participant got '%s' in %s (M2), objects in %s (M4, %zu from host cache)\n",
+              session.participant_browser(0)->document()->Title().c_str(),
+              stats->participant_content_time[0].ToString().c_str(),
+              stats->participant_objects_time[0].ToString().c_str(),
+              stats->participant_objects_from_host[0]);
+  std::printf("total sync time: %s\n", stats->total_sync_time.ToString().c_str());
+
+  // 5. A dynamic (Ajax-style) change on the host syncs too — no reload.
+  session.host_browser()->MutateDocument([](Document* document) {
+    Element* header = document->FindFirst("h1");
+    if (header != nullptr) {
+      header->RemoveAllChildren();
+      header->AppendChild(MakeText("updated live by the host"));
+    }
+  });
+  status = session.WaitForSync();
+  if (!status.ok()) {
+    std::fprintf(stderr, "sync failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("dynamic update mirrored: participant <h1> now reads '%s'\n",
+              session.participant_browser(0)->document()->FindFirst("h1")
+                  ->TextContent().c_str());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Proxy-based co-browsing baseline (§2, CWB/Cabri-style).
+//
+// A dedicated proxy host sits between the users and the Web. The session
+// leader asks the proxy to navigate; the proxy fetches the page from the
+// origin, stores an identical copy, and every member (leader included) polls
+// the proxy for the current copy. This reproduces the architecture RCB
+// argues against: it needs third-party infrastructure, adds an extra network
+// hop to every page, and funnels all traffic through a box every user must
+// trust. The class exposes sync-time and relayed-byte measurements so the
+// baseline bench can quantify those costs against RCB.
+#ifndef SRC_BASELINES_PROXY_COBROWSE_H_
+#define SRC_BASELINES_PROXY_COBROWSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/browser/browser.h"
+#include "src/sites/site_server.h"
+
+namespace rcb {
+
+// The proxy service process.
+class CoBrowseProxy {
+ public:
+  // `proxy_machine` must already be a network host.
+  CoBrowseProxy(EventLoop* loop, Network* network, std::string proxy_machine,
+                uint16_t port = 8080);
+
+  Url ProxyUrl() const;
+  uint64_t bytes_relayed() const { return bytes_relayed_; }
+  uint64_t origin_fetches() const { return origin_fetches_; }
+  int64_t version() const { return version_; }
+
+ private:
+  HttpResponse HandleNavigate(const HttpRequest& request);
+  HttpResponse HandlePage(const HttpRequest& request);
+
+  EventLoop* loop_;
+  std::string machine_;
+  uint16_t port_;
+  // The proxy fetches origin pages with its own browser stack.
+  std::unique_ptr<Browser> fetcher_;
+  std::unique_ptr<SiteServer> server_;
+
+  int64_t version_ = 0;
+  std::string current_html_;
+  std::string current_url_;
+  bool fetch_in_flight_ = false;
+  uint64_t bytes_relayed_ = 0;
+  uint64_t origin_fetches_ = 0;
+};
+
+// A session member's client: polls the proxy and loads page copies from it.
+class ProxyCoBrowseClient {
+ public:
+  ProxyCoBrowseClient(Browser* browser, Url proxy_url, Duration poll_interval);
+  ~ProxyCoBrowseClient();
+
+  void Start();
+  void Stop();
+
+  // Leader gesture: asks the proxy to navigate the session.
+  void Navigate(const Url& target, std::function<void(Status)> done);
+
+  int64_t version() const { return version_; }
+  // Simulated time from poll request to the new page copy fully applied.
+  Duration last_sync_time() const { return last_sync_time_; }
+  uint64_t updates_received() const { return updates_received_; }
+
+ private:
+  void PollOnce();
+  void SchedulePoll();
+
+  Browser* browser_;
+  Url proxy_url_;
+  Duration interval_;
+  bool running_ = false;
+  uint64_t epoch_ = 0;
+  uint64_t timer_ = 0;
+  int64_t version_ = -1;
+  Duration last_sync_time_;
+  uint64_t updates_received_ = 0;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_BASELINES_PROXY_COBROWSE_H_

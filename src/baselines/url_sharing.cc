@@ -1,0 +1,57 @@
+#include "src/baselines/url_sharing.h"
+
+#include "src/html/serializer.h"
+
+namespace rcb {
+namespace {
+
+// Serialized body with volatile attributes removed, for display-equivalence
+// comparison.
+std::string NormalizedBody(Browser* browser) {
+  Document* document = browser->document();
+  if (document == nullptr) {
+    return "";
+  }
+  Element* body = document->body();
+  if (body == nullptr) {
+    return "";
+  }
+  std::unique_ptr<Node> clone = body->Clone();
+  clone->AsElement()->RemoveAttribute("data-rcb-id");
+  clone->ForEachElement([](Element* element) {
+    element->RemoveAttribute("data-rcb-id");
+    element->RemoveAttribute("onclick");
+    element->RemoveAttribute("onsubmit");
+    element->RemoveAttribute("onchange");
+    return true;
+  });
+  return SerializeNode(*clone);
+}
+
+}  // namespace
+
+bool UrlSharingCoBrowse::ContentMatches() const {
+  return NormalizedBody(host_) == NormalizedBody(participant_);
+}
+
+UrlSharingCoBrowse::ShareResult UrlSharingCoBrowse::ShareCurrentUrl() {
+  ShareResult result;
+  if (!host_->has_page()) {
+    result.participant_status = FailedPreconditionError("host has no page");
+    return result;
+  }
+  Url shared = host_->current_url();
+  bool done = false;
+  SimTime start = loop_->now();
+  participant_->Navigate(shared, [&](const Status& status, const PageLoadStats&) {
+    result.participant_status = status;
+    result.participant_load_time = loop_->now() - start;
+    done = true;
+  });
+  loop_->RunUntilCondition([&] { return done; });
+  result.content_matches =
+      result.participant_status.ok() && ContentMatches();
+  return result;
+}
+
+}  // namespace rcb

@@ -1,0 +1,45 @@
+// URL-sharing co-browsing baseline (§1).
+//
+// The simplest "co-browsing": the host pastes the current URL into an IM and
+// the participant opens it with their own browser. The paper's two failure
+// arguments are (1) session-protected pages come out different because the
+// participant has different cookies, and (2) dynamically-updated pages
+// (Google-Maps-style Ajax) are not captured by the URL at all. This baseline
+// reproduces both failure modes and measures the participant's full page
+// load time for comparison against RCB's M2.
+#ifndef SRC_BASELINES_URL_SHARING_H_
+#define SRC_BASELINES_URL_SHARING_H_
+
+#include "src/browser/browser.h"
+#include "src/net/event_loop.h"
+
+namespace rcb {
+
+class UrlSharingCoBrowse {
+ public:
+  UrlSharingCoBrowse(EventLoop* loop, Browser* host, Browser* participant)
+      : loop_(loop), host_(host), participant_(participant) {}
+
+  struct ShareResult {
+    Status participant_status;    // participant's own load outcome
+    bool content_matches = false; // participant sees what the host sees
+    Duration participant_load_time;  // full load (HTML + objects)
+  };
+
+  // Shares the host's current URL; the participant loads it independently.
+  // Runs the loop until the participant load settles.
+  ShareResult ShareCurrentUrl();
+
+  // Whether the two browsers currently display equivalent documents
+  // (serialized body comparison, ignoring RCB bookkeeping attributes).
+  bool ContentMatches() const;
+
+ private:
+  EventLoop* loop_;
+  Browser* host_;
+  Browser* participant_;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_BASELINES_URL_SHARING_H_

@@ -1,0 +1,65 @@
+#include "src/browser/object_cache.h"
+
+#include "src/util/strings.h"
+
+namespace rcb {
+
+std::string ObjectCache::Put(const Url& url, std::string_view content_type,
+                             std::string_view body) {
+  std::string canonical = url.ToString();
+  auto it = by_url_.find(canonical);
+  if (it != by_url_.end()) {
+    total_bytes_ -= it->second.body.size();
+    it->second.content_type = std::string(content_type);
+    it->second.body = std::string(body);
+    total_bytes_ += body.size();
+    return it->second.cache_key;
+  }
+  CacheEntry entry;
+  entry.cache_key = StrFormat("ck-%llu", static_cast<unsigned long long>(next_key_++));
+  entry.url = canonical;
+  entry.content_type = std::string(content_type);
+  entry.body = std::string(body);
+  total_bytes_ += entry.body.size();
+  key_to_url_[entry.cache_key] = canonical;
+  auto [inserted, ok] = by_url_.emplace(canonical, std::move(entry));
+  (void)ok;
+  return inserted->second.cache_key;
+}
+
+const CacheEntry* ObjectCache::Lookup(const Url& url) {
+  auto it = by_url_.find(url.ToString());
+  if (it == by_url_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+const CacheEntry* ObjectCache::LookupByKey(std::string_view cache_key) {
+  auto it = key_to_url_.find(std::string(cache_key));
+  if (it == key_to_url_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  auto jt = by_url_.find(it->second);
+  if (jt == by_url_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &jt->second;
+}
+
+bool ObjectCache::Contains(const Url& url) const {
+  return by_url_.contains(url.ToString());
+}
+
+void ObjectCache::Clear() {
+  by_url_.clear();
+  key_to_url_.clear();
+  total_bytes_ = 0;
+}
+
+}  // namespace rcb

@@ -1,0 +1,61 @@
+// Browser object cache — the stand-in for Mozilla's cache service.
+//
+// RCB-Agent's cache mode (Fig. 2 "object request" path) keeps a mapping
+// table from request-URIs to cache keys and serves cached supplementary
+// objects (images, CSS, scripts) directly to participant browsers. This
+// cache exposes exactly that interface: entries are keyed by URL, carry an
+// opaque cache key, and can be looked up by either.
+#ifndef SRC_BROWSER_OBJECT_CACHE_H_
+#define SRC_BROWSER_OBJECT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/http/url.h"
+#include "src/util/status.h"
+
+namespace rcb {
+
+struct CacheEntry {
+  std::string cache_key;     // opaque key, stable for the entry's lifetime
+  std::string url;           // canonical absolute URL
+  std::string content_type;  // e.g. "image/png"
+  std::string body;
+};
+
+class ObjectCache {
+ public:
+  ObjectCache() = default;
+
+  // Inserts or replaces the entry for `url`; returns its cache key.
+  std::string Put(const Url& url, std::string_view content_type,
+                  std::string_view body);
+
+  // Lookup by canonical URL. nullptr on miss. Counts hit/miss stats.
+  const CacheEntry* Lookup(const Url& url);
+  // Lookup by cache key (the agent's mapping-table path).
+  const CacheEntry* LookupByKey(std::string_view cache_key);
+
+  bool Contains(const Url& url) const;
+
+  void Clear();
+  size_t size() const { return by_url_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::map<std::string, CacheEntry> by_url_;
+  std::map<std::string, std::string> key_to_url_;
+  uint64_t next_key_ = 1;
+  uint64_t total_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_BROWSER_OBJECT_CACHE_H_

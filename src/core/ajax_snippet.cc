@@ -1,0 +1,644 @@
+#include "src/core/ajax_snippet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "src/browser/resources.h"
+#include "src/crypto/hmac.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace {
+
+// Reads a <meta name=... content=...> value from the document head.
+std::string MetaContent(Document* document, std::string_view name) {
+  std::string out;
+  document->ForEachElement([&](Element* element) {
+    if (element->tag_name() == "meta" && element->AttrOr("name") == name) {
+      out = element->AttrOr("content");
+      return false;
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace
+
+AjaxSnippet::AjaxSnippet(Browser* participant_browser, SnippetConfig config)
+    : browser_(participant_browser), config_(std::move(config)) {}
+
+AjaxSnippet::~AjaxSnippet() { Leave(); }
+
+void AjaxSnippet::Join(const Url& agent_url, std::function<void(Status)> joined) {
+  agent_url_ = agent_url;
+  uint64_t epoch = ++epoch_;
+  browser_->Navigate(
+      agent_url,
+      [this, epoch, joined = std::move(joined)](const Status& status,
+                                                const PageLoadStats&) {
+        if (epoch != epoch_) {
+          return;
+        }
+        if (!status.ok()) {
+          joined(status);
+          return;
+        }
+        Document* document = browser_->document();
+        pid_ = MetaContent(document, "rcb-pid");
+        if (pid_.empty()) {
+          joined(InternalError("initial page carries no participant id"));
+          return;
+        }
+        std::string interval_ms = MetaContent(document, "rcb-poll-interval");
+        if (IsDigits(interval_ms)) {
+          interval_ = Duration::Millis(std::atoll(interval_ms.c_str()));
+        }
+        if (config_.poll_interval_override > Duration::Zero()) {
+          interval_ = config_.poll_interval_override;
+        }
+        sync_model_ = MetaContent(document, "rcb-sync-model") == "push"
+                          ? SyncModel::kPush
+                          : SyncModel::kPoll;
+        joined_ = true;
+        doc_time_ms_ = -1;
+        if (sync_model_ == SyncModel::kPush) {
+          // Push model: hold a multipart stream open instead of polling.
+          OpenStream();
+        } else {
+          // The first Ajax request goes out as soon as the initial page
+          // loads.
+          PollOnce();
+        }
+        joined(Status::Ok());
+      });
+}
+
+void AjaxSnippet::Leave() {
+  if (!joined_) {
+    return;
+  }
+  // Fire-and-forget goodbye so the agent can notify the others immediately
+  // instead of waiting for the liveness timeout.
+  PollRequest goodbye;
+  goodbye.participant_id = pid_;
+  goodbye.doc_time_ms = doc_time_ms_;
+  UserAction left;
+  left.type = ActionType::kPresence;
+  left.data = "left";
+  goodbye.actions.push_back(std::move(left));
+  SendPoll(std::move(goodbye), [](FetchResult) {});
+  AbortWithoutGoodbye();
+}
+
+void AjaxSnippet::AbortWithoutGoodbye() {
+  if (!joined_) {
+    return;
+  }
+  joined_ = false;
+  ++epoch_;
+  if (poll_timer_ != 0) {
+    browser_->loop()->Cancel(poll_timer_);
+    poll_timer_ = 0;
+  }
+  if (stream_ != nullptr) {
+    stream_->Close();
+    stream_ = nullptr;
+  }
+  stream_buffer_.clear();
+  stream_head_done_ = false;
+  peers_.clear();
+}
+
+void AjaxSnippet::SchedulePoll(Duration delay) {
+  if (!joined_) {
+    return;
+  }
+  uint64_t epoch = epoch_;
+  poll_timer_ = browser_->loop()->Schedule(delay, [this, epoch] {
+    if (epoch != epoch_) {
+      return;
+    }
+    poll_timer_ = 0;
+    PollOnce();
+  });
+}
+
+void AjaxSnippet::PollNow() {
+  if (!joined_) {
+    return;
+  }
+  if (sync_model_ == SyncModel::kPush) {
+    ScheduleActionFlush();
+    return;
+  }
+  if (poll_in_flight_) {
+    return;
+  }
+  if (poll_timer_ != 0) {
+    browser_->loop()->Cancel(poll_timer_);
+    poll_timer_ = 0;
+  }
+  PollOnce();
+}
+
+void AjaxSnippet::OpenStream() {
+  std::string query = "pid=" + pid_;
+  if (!config_.session_key.empty()) {
+    std::string message = "GET /stream?" + query + "\n";
+    query += "&hmac=" + HmacSha256Hex(config_.session_key, message);
+  }
+  auto endpoint_or = browser_->network()->Connect(
+      browser_->machine(), agent_url_.host(), agent_url_.port());
+  if (!endpoint_or.ok()) {
+    RCB_LOG(kWarning) << "ajax-snippet: stream connect failed: "
+                      << endpoint_or.status();
+    return;
+  }
+  stream_ = *endpoint_or;
+  stream_buffer_.clear();
+  stream_head_done_ = false;
+  uint64_t epoch = epoch_;
+  stream_->SetDataHandler([this, epoch](std::string_view data) {
+    if (epoch == epoch_) {
+      OnStreamData(data);
+    }
+  });
+  stream_->SetCloseHandler([this, epoch] {
+    if (epoch != epoch_) {
+      return;
+    }
+    ++metrics_.stream_drops;
+    stream_ = nullptr;
+    RCB_LOG(kWarning) << "ajax-snippet: push stream closed by peer";
+  });
+
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  request.target = "/stream?" + query;
+  request.headers.Set("Host", agent_url_.Authority());
+  stream_->Send(request.Serialize());
+  last_part_start_ = browser_->loop()->now();
+}
+
+void AjaxSnippet::OnStreamData(std::string_view data) {
+  stream_buffer_.append(data);
+  if (!stream_head_done_) {
+    size_t head_end = stream_buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      return;
+    }
+    std::string_view head = std::string_view(stream_buffer_).substr(0, head_end);
+    if (head.find(" 200 ") == std::string_view::npos) {
+      RCB_LOG(kWarning) << "ajax-snippet: stream request rejected";
+      ++metrics_.auth_rejections;
+      stream_->Close();
+      stream_ = nullptr;
+      return;
+    }
+    stream_buffer_.erase(0, head_end + 4);
+    stream_head_done_ = true;
+  }
+  // Consume complete multipart parts: boundary line, part headers, body.
+  while (true) {
+    // Skip any leading CRLFs between parts.
+    size_t offset = 0;
+    while (offset + 1 < stream_buffer_.size() && stream_buffer_[offset] == '\r' &&
+           stream_buffer_[offset + 1] == '\n') {
+      offset += 2;
+    }
+    if (offset > 0) {
+      stream_buffer_.erase(0, offset);
+    }
+    constexpr std::string_view kBoundary = "--rcbpart\r\n";
+    if (stream_buffer_.size() < kBoundary.size()) {
+      return;
+    }
+    if (std::string_view(stream_buffer_).substr(0, kBoundary.size()) != kBoundary) {
+      RCB_LOG(kWarning) << "ajax-snippet: desynchronized multipart stream";
+      stream_buffer_.clear();
+      return;
+    }
+    size_t headers_end = stream_buffer_.find("\r\n\r\n", kBoundary.size());
+    if (headers_end == std::string::npos) {
+      return;
+    }
+    std::string_view part_headers = std::string_view(stream_buffer_)
+                                        .substr(kBoundary.size(),
+                                                headers_end - kBoundary.size());
+    size_t length = 0;
+    for (const auto& line : StrSplit(part_headers, '\n')) {
+      std::string_view trimmed = StripWhitespace(line);
+      if (StartsWithIgnoreCase(trimmed, "content-length:")) {
+        uint64_t parsed = 0;
+        if (ParseUint64(StripWhitespace(trimmed.substr(15)), &parsed)) {
+          length = static_cast<size_t>(parsed);
+        }
+      }
+    }
+    size_t body_start = headers_end + 4;
+    if (stream_buffer_.size() < body_start + length) {
+      return;  // body incomplete
+    }
+    std::string xml = stream_buffer_.substr(body_start, length);
+    stream_buffer_.erase(0, body_start + length);
+    ++metrics_.stream_parts_received;
+    SimTime received = browser_->loop()->now();
+    auto snapshot_or = ParseSnapshotXml(xml);
+    if (!snapshot_or.ok()) {
+      RCB_LOG(kWarning) << "ajax-snippet: bad pushed snapshot: "
+                        << snapshot_or.status();
+      continue;
+    }
+    ProcessSnapshot(*snapshot_or, received - last_part_start_);
+    last_part_start_ = browser_->loop()->now();
+  }
+}
+
+void AjaxSnippet::ScheduleActionFlush() {
+  if (action_flush_scheduled_ || action_queue_.empty()) {
+    return;
+  }
+  action_flush_scheduled_ = true;
+  uint64_t epoch = epoch_;
+  // Zero-delay deferral coalesces a burst of gestures into one request.
+  browser_->loop()->Schedule(Duration::Zero(), [this, epoch] {
+    if (epoch != epoch_) {
+      return;
+    }
+    action_flush_scheduled_ = false;
+    if (action_queue_.empty()) {
+      return;
+    }
+    PollRequest flush;
+    flush.participant_id = pid_;
+    flush.doc_time_ms = doc_time_ms_;
+    flush.actions = std::move(action_queue_);
+    action_queue_.clear();
+    metrics_.actions_sent += flush.actions.size();
+    SendPoll(std::move(flush), [](FetchResult) {});
+  });
+}
+
+void AjaxSnippet::SendPoll(PollRequest poll, FetchCallback callback) {
+  std::string body = EncodePollRequest(poll);
+  // §3.4: the HMAC over the request rides as a request-URI parameter.
+  Url target = agent_url_;
+  if (!config_.session_key.empty()) {
+    std::string message = "POST " + agent_url_.path() + "\n" + body;
+    std::string mac = HmacSha256Hex(config_.session_key, message);
+    target = Url::Make(agent_url_.scheme(), agent_url_.host(), agent_url_.port(),
+                       agent_url_.path(), "hmac=" + mac);
+  }
+  ++metrics_.polls_sent;
+  browser_->Fetch(HttpMethod::kPost, target, std::move(body),
+                  "application/x-www-form-urlencoded", std::move(callback));
+}
+
+void AjaxSnippet::PollOnce() {
+  if (!joined_ || poll_in_flight_) {
+    return;
+  }
+  poll_in_flight_ = true;
+
+  PollRequest poll;
+  poll.participant_id = pid_;
+  poll.doc_time_ms = doc_time_ms_;
+  poll.actions = std::move(action_queue_);
+  action_queue_.clear();
+  in_flight_actions_ = poll.actions;
+  metrics_.actions_sent += poll.actions.size();
+
+  SimTime sent_at = browser_->loop()->now();
+  uint64_t epoch = epoch_;
+  SendPoll(std::move(poll), [this, epoch, sent_at](FetchResult result) {
+    if (epoch != epoch_) {
+      return;
+    }
+    poll_in_flight_ = false;
+    OnPollResponse(std::move(result), sent_at);
+  });
+}
+
+void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
+  if (!result.status.ok()) {
+    RCB_LOG(kWarning) << "ajax-snippet: poll transport failure: "
+                      << result.status;
+    // The piggybacked gestures never reached the agent — put them back at
+    // the front of the queue so the next successful poll retries them.
+    if (!in_flight_actions_.empty()) {
+      action_queue_.insert(action_queue_.begin(), in_flight_actions_.begin(),
+                           in_flight_actions_.end());
+      in_flight_actions_.clear();
+    }
+    SchedulePoll(interval_);
+    return;
+  }
+  in_flight_actions_.clear();
+  if (result.response.status_code == 403) {
+    ++metrics_.auth_rejections;
+    RCB_LOG(kWarning) << "ajax-snippet: agent rejected request authentication";
+    // Keep polling: the user may re-enter the session key out of band.
+    SchedulePoll(interval_);
+    return;
+  }
+  if (result.response.status_code != 200) {
+    RCB_LOG(kWarning) << "ajax-snippet: poll HTTP " << result.response.status_code;
+    SchedulePoll(interval_);
+    return;
+  }
+  if (result.response.body.empty()) {
+    // "No new content": schedule the next poll after the interval.
+    ++metrics_.empty_responses;
+    SchedulePoll(interval_);
+    return;
+  }
+  auto snapshot_or = ParseSnapshotXml(result.response.body);
+  if (!snapshot_or.ok()) {
+    RCB_LOG(kWarning) << "ajax-snippet: bad snapshot: " << snapshot_or.status();
+    SchedulePoll(interval_);
+    return;
+  }
+  ProcessSnapshot(*snapshot_or, browser_->loop()->now() - sent_at);
+  SchedulePoll(interval_);
+}
+
+void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
+                                  Duration transport_time) {
+  for (const UserAction& action : snapshot.user_actions) {
+    ++metrics_.broadcasts_received;
+    if (action.type == ActionType::kPresence && !action.origin.empty()) {
+      if (action.data == "joined") {
+        if (std::find(peers_.begin(), peers_.end(), action.origin) ==
+            peers_.end()) {
+          peers_.push_back(action.origin);
+        }
+      } else if (action.data == "left") {
+        std::erase(peers_, action.origin);
+      }
+    }
+    if (action_listener_) {
+      action_listener_(action);
+    }
+  }
+
+  if (snapshot.has_content && snapshot.doc_time_ms > doc_time_ms_) {
+    metrics_.last_content_download = transport_time;
+    auto start = std::chrono::steady_clock::now();
+    ApplySnapshot(snapshot);
+    auto end = std::chrono::steady_clock::now();
+    metrics_.last_apply_time = Duration::Micros(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count());
+    metrics_.total_apply_time += metrics_.last_apply_time;
+    doc_time_ms_ = snapshot.doc_time_ms;
+    ++metrics_.content_updates;
+    if (update_listener_) {
+      update_listener_(doc_time_ms_);
+    }
+    if (config_.fetch_objects) {
+      FetchSupplementaryObjects();
+    }
+  }
+}
+
+void AjaxSnippet::ApplySnapshot(const Snapshot& snapshot) {
+  Document* document = browser_->document();
+  Element* root = document->document_element();
+  if (root == nullptr) {
+    return;
+  }
+  Element* head = root->ChildByTag("head");
+  if (head == nullptr) {
+    head = root->InsertBefore(MakeElement("head"), root->first_child())->AsElement();
+  }
+
+  // Step 1: clean the head element but always keep the snippet itself.
+  std::vector<Node*> head_children;
+  for (const auto& child : head->children()) {
+    Element* element = child->AsElement();
+    bool is_snippet = element != nullptr && element->tag_name() == "script" &&
+                      element->id() == "rcb-snippet";
+    if (!is_snippet) {
+      head_children.push_back(child.get());
+    }
+  }
+  for (Node* node : head_children) {
+    head->RemoveChild(node);
+  }
+  if (head->ChildByTag("script") == nullptr) {
+    // Arriving via an agent page guarantees the snippet script exists, but
+    // re-create it defensively so the invariant holds for any document.
+    auto script = MakeElement("script");
+    script->SetAttribute("id", "rcb-snippet");
+    head->AppendChild(std::move(script));
+  }
+
+  // Step 2: append the new head children (attribute lists + innerHTML).
+  for (const ElementPayload& payload : snapshot.head_children) {
+    auto element = MakeElement(payload.tag);
+    for (const auto& [name, value] : payload.attributes) {
+      element->SetAttribute(name, value);
+    }
+    element->SetInnerHtml(payload.inner_html);
+    head->AppendChild(std::move(element));
+  }
+
+  // Step 3: clean up top-level elements not present in the new content.
+  auto wanted = [&](const std::string& tag) {
+    if (tag == "head") {
+      return true;
+    }
+    if (tag == "body") {
+      return snapshot.body.has_value();
+    }
+    if (tag == "frameset") {
+      return snapshot.frameset.has_value();
+    }
+    if (tag == "noframes") {
+      return snapshot.noframes.has_value();
+    }
+    return false;
+  };
+  std::vector<Node*> stale;
+  for (const auto& child : root->children()) {
+    Element* element = child->AsElement();
+    if (element == nullptr || !wanted(element->tag_name())) {
+      stale.push_back(child.get());
+    }
+  }
+  for (Node* node : stale) {
+    root->RemoveChild(node);
+  }
+
+  // Step 4: set the remaining top-level elements from the new content.
+  auto apply_top = [&](const ElementPayload& payload) {
+    Element* element = root->ChildByTag(payload.tag);
+    if (element == nullptr) {
+      element = root->AppendChild(MakeElement(payload.tag))->AsElement();
+    }
+    std::vector<std::pair<std::string, std::string>> old_attributes =
+        element->attributes();
+    for (const auto& attribute : old_attributes) {
+      element->RemoveAttribute(attribute.first);
+    }
+    for (const auto& [name, value] : payload.attributes) {
+      element->SetAttribute(name, value);
+    }
+    element->SetInnerHtml(payload.inner_html);
+  };
+  if (snapshot.body.has_value()) {
+    apply_top(*snapshot.body);
+  }
+  if (snapshot.frameset.has_value()) {
+    apply_top(*snapshot.frameset);
+  }
+  if (snapshot.noframes.has_value()) {
+    apply_top(*snapshot.noframes);
+  }
+}
+
+void AjaxSnippet::FetchSupplementaryObjects() {
+  std::vector<ResourceRef> resources =
+      CollectResources(browser_->document(), browser_->current_url());
+  metrics_.last_object_count = resources.size();
+  metrics_.last_objects_from_host = 0;
+  if (resources.empty()) {
+    metrics_.last_object_time = Duration::Zero();
+    if (objects_listener_) {
+      objects_listener_(Duration::Zero());
+    }
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(resources.size());
+  SimTime start = browser_->loop()->now();
+  uint64_t epoch = epoch_;
+  for (const ResourceRef& resource : resources) {
+    if (resource.url.host() == agent_url_.host() &&
+        resource.url.port() == agent_url_.port()) {
+      ++metrics_.last_objects_from_host;
+    }
+    browser_->FetchCached(resource.url,
+                          [this, epoch, remaining, start](FetchResult result) {
+                            if (epoch != epoch_) {
+                              return;
+                            }
+                            if (!result.status.ok() ||
+                                result.response.status_code != 200) {
+                              ++metrics_.object_fetch_failures;
+                            }
+                            if (--*remaining == 0) {
+                              metrics_.last_object_time =
+                                  browser_->loop()->now() - start;
+                              if (objects_listener_) {
+                                objects_listener_(metrics_.last_object_time);
+                              }
+                            }
+                          });
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> AjaxSnippet::FormFields(
+    Element* form) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  form->ForEachElement([&](Element* element) {
+    const std::string& tag = element->tag_name();
+    std::string name = element->AttrOr("name");
+    if (name.empty()) {
+      return true;
+    }
+    if (tag == "input") {
+      std::string type = AsciiToLower(element->AttrOr("type", "text"));
+      if (type == "submit" || type == "button" || type == "image") {
+        return true;
+      }
+      fields.emplace_back(name, element->AttrOr("value"));
+    } else if (tag == "textarea") {
+      fields.emplace_back(name, element->TextContent());
+    }
+    return true;
+  });
+  return fields;
+}
+
+namespace {
+
+StatusOr<int> RcbIdOf(Element* element) {
+  if (element == nullptr) {
+    return InvalidArgumentError("null element");
+  }
+  std::string id = element->AttrOr("data-rcb-id");
+  if (!IsDigits(id)) {
+    return FailedPreconditionError(
+        "element carries no data-rcb-id (not part of a synchronized page?)");
+  }
+  return std::atoi(id.c_str());
+}
+
+}  // namespace
+
+Status AjaxSnippet::ClickElement(Element* element) {
+  RCB_ASSIGN_OR_RETURN(int target, RcbIdOf(element));
+  UserAction action;
+  action.type = ActionType::kClick;
+  action.target = target;
+  action_queue_.push_back(std::move(action));
+  if (sync_model_ == SyncModel::kPush) {
+    ScheduleActionFlush();
+  }
+  return Status::Ok();
+}
+
+Status AjaxSnippet::FillFormField(Element* form, std::string_view name,
+                                  std::string_view value) {
+  RCB_ASSIGN_OR_RETURN(int target, RcbIdOf(form));
+  // Update the local DOM so the participant sees their own input.
+  RCB_RETURN_IF_ERROR(Browser::FillField(form, name, value));
+  UserAction action;
+  action.type = ActionType::kFormFill;
+  action.target = target;
+  action.fields.emplace_back(std::string(name), std::string(value));
+  action_queue_.push_back(std::move(action));
+  if (sync_model_ == SyncModel::kPush) {
+    ScheduleActionFlush();
+  }
+  return Status::Ok();
+}
+
+Status AjaxSnippet::SubmitForm(Element* form) {
+  RCB_ASSIGN_OR_RETURN(int target, RcbIdOf(form));
+  UserAction action;
+  action.type = ActionType::kFormSubmit;
+  action.target = target;
+  action.fields = FormFields(form);
+  action_queue_.push_back(std::move(action));
+  if (sync_model_ == SyncModel::kPush) {
+    ScheduleActionFlush();
+  }
+  return Status::Ok();
+}
+
+void AjaxSnippet::SendMouseMove(int x, int y) {
+  UserAction action;
+  action.type = ActionType::kMouseMove;
+  action.x = x;
+  action.y = y;
+  action_queue_.push_back(std::move(action));
+  if (sync_model_ == SyncModel::kPush) {
+    ScheduleActionFlush();
+  }
+}
+
+void AjaxSnippet::RequestNavigate(const std::string& url) {
+  UserAction action;
+  action.type = ActionType::kNavigate;
+  action.data = url;
+  action_queue_.push_back(std::move(action));
+  if (sync_model_ == SyncModel::kPush) {
+    ScheduleActionFlush();
+  }
+}
+
+}  // namespace rcb

@@ -1,0 +1,173 @@
+// Ajax-Snippet: the participant-side half of RCB.
+//
+// The snippet arrives embedded in the agent's initial HTML page and then
+// (1) polls RCB-Agent with XMLHttpRequest POSTs on a fixed interval,
+//     piggybacking queued user actions (§4.2.1),
+// (2) applies received newContent snapshots to the live document via the
+//     Fig. 5 four-step procedure — clean the head but keep itself, set the
+//     new head children, drop stale top-level elements, set body/frameset
+//     content via innerHTML — and
+// (3) triggers the download of the page's supplementary objects, which go to
+//     the origin servers (non-cache mode) or to RCB-Agent (cache mode).
+//
+// This class implements that behaviour natively against a simulated Browser;
+// the equivalent JavaScript source ships in the initial page for fidelity.
+#ifndef SRC_CORE_AJAX_SNIPPET_H_
+#define SRC_CORE_AJAX_SNIPPET_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/browser/browser.h"
+#include "src/core/protocol.h"
+
+namespace rcb {
+
+struct SnippetConfig {
+  // Shared one-time session secret (§3.4); empty disables request signing.
+  std::string session_key;
+  // Overrides the poll interval advertised by the initial page when > 0.
+  Duration poll_interval_override = Duration::Zero();
+  // Download supplementary objects after each applied update.
+  bool fetch_objects = true;
+};
+
+struct SnippetMetrics {
+  uint64_t polls_sent = 0;
+  uint64_t content_updates = 0;     // snapshots with document content applied
+  uint64_t empty_responses = 0;
+  uint64_t actions_sent = 0;
+  uint64_t broadcasts_received = 0;
+  uint64_t auth_rejections = 0;
+  uint64_t stream_parts_received = 0;  // push mode
+  uint64_t stream_drops = 0;           // push stream closed under us
+  // M2: poll request -> content response fully received (content polls only).
+  Duration last_content_download;
+  // M6: real CPU time spent applying the snapshot to the document.
+  Duration last_apply_time;
+  Duration total_apply_time;
+  // M3/M4: simulated time to download the supplementary objects of the last
+  // applied page.
+  Duration last_object_time;
+  size_t last_object_count = 0;
+  size_t last_objects_from_host = 0;  // served by RCB-Agent (cache mode)
+  uint64_t object_fetch_failures = 0;
+};
+
+class AjaxSnippet {
+ public:
+  AjaxSnippet(Browser* participant_browser, SnippetConfig config);
+  ~AjaxSnippet();
+  AjaxSnippet(const AjaxSnippet&) = delete;
+  AjaxSnippet& operator=(const AjaxSnippet&) = delete;
+
+  // §3.1 step 2: types the agent URL into the address bar. On success the
+  // initial page is loaded, the participant id and poll interval are read
+  // from it, and the poll loop starts.
+  void Join(const Url& agent_url, std::function<void(Status)> joined);
+  void Leave();
+  // Tears down without the goodbye poll — simulates a participant crash or
+  // abrupt network loss; the agent notices via its liveness timeout.
+  void AbortWithoutGoodbye();
+  bool joined() const { return joined_; }
+
+  const std::string& participant_id() const { return pid_; }
+  int64_t doc_time_ms() const { return doc_time_ms_; }
+  // Peer participants currently known to this snippet, built from the
+  // agent's presence broadcasts (excludes self; empty until peers join or
+  // leave after this snippet joined).
+  const std::vector<std::string>& known_peers() const { return peers_; }
+  const SnippetMetrics& metrics() const { return metrics_; }
+  Duration poll_interval() const { return interval_; }
+  // Synchronization model in effect (advertised by the agent's initial page).
+  SyncModel sync_model() const { return sync_model_; }
+  bool stream_open() const { return stream_ != nullptr; }
+
+  // Fired after each applied content update (argument: new doc time).
+  void SetUpdateListener(std::function<void(int64_t)> listener) {
+    update_listener_ = std::move(listener);
+  }
+  // Fired when the supplementary objects of an update finished downloading.
+  void SetObjectsLoadedListener(std::function<void(Duration)> listener) {
+    objects_listener_ = std::move(listener);
+  }
+  // Fired for each broadcast action received (other users' pointer moves...).
+  void SetActionListener(std::function<void(const UserAction&)> listener) {
+    action_listener_ = std::move(listener);
+  }
+
+  // ---- Participant gestures (queued, piggybacked on the next poll) --------
+  // Click an element of the synchronized page (anchor/button rewritten by the
+  // agent; identified by its data-rcb-id attribute).
+  Status ClickElement(Element* element);
+  // Type into the named field of `form`: updates the local DOM and queues a
+  // co-fill action.
+  Status FillFormField(Element* form, std::string_view name,
+                       std::string_view value);
+  // Submit `form` with its currently-filled fields.
+  Status SubmitForm(Element* form);
+  // Pointer mirroring.
+  void SendMouseMove(int x, int y);
+  // Ask the host to navigate to a URL (participant typed a destination).
+  void RequestNavigate(const std::string& url);
+
+  // Sends a poll immediately instead of waiting for the timer.
+  void PollNow();
+
+ private:
+  void SchedulePoll(Duration delay);
+  void PollOnce();
+  // Builds and sends one signed poll; used by the regular loop and by the
+  // fire-and-forget goodbye in Leave().
+  void SendPoll(PollRequest poll, FetchCallback callback);
+  // Applies a received newContent document (shared by poll and push paths).
+  // `transport_time` is recorded as last_content_download when content was
+  // applied.
+  void ProcessSnapshot(const Snapshot& snapshot, Duration transport_time);
+  // Push mode: opens the multipart stream and consumes its parts.
+  void OpenStream();
+  void OnStreamData(std::string_view data);
+  // Push mode: POSTs queued actions immediately (coalesced per event-loop
+  // turn) instead of waiting for a poll tick.
+  void ScheduleActionFlush();
+  void OnPollResponse(FetchResult result, SimTime sent_at);
+  void ApplySnapshot(const Snapshot& snapshot);
+  void FetchSupplementaryObjects();
+  // Collects a form's current field values from the participant DOM.
+  static std::vector<std::pair<std::string, std::string>> FormFields(
+      Element* form);
+
+  Browser* browser_;
+  SnippetConfig config_;
+  Url agent_url_;
+  std::string pid_;
+  Duration interval_ = Duration::Seconds(1.0);
+  int64_t doc_time_ms_ = -1;
+
+  std::vector<UserAction> action_queue_;
+  // Actions riding the in-flight poll; re-queued if the transport fails so
+  // gestures survive agent restarts.
+  std::vector<UserAction> in_flight_actions_;
+  std::vector<std::string> peers_;
+  bool joined_ = false;
+  bool poll_in_flight_ = false;
+  uint64_t poll_timer_ = 0;
+  uint64_t epoch_ = 0;  // invalidates callbacks after Leave()
+
+  SyncModel sync_model_ = SyncModel::kPoll;
+  NetEndpoint* stream_ = nullptr;
+  std::string stream_buffer_;
+  bool stream_head_done_ = false;
+  bool action_flush_scheduled_ = false;
+  SimTime last_part_start_;
+
+  SnippetMetrics metrics_;
+  std::function<void(int64_t)> update_listener_;
+  std::function<void(Duration)> objects_listener_;
+  std::function<void(const UserAction&)> action_listener_;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_CORE_AJAX_SNIPPET_H_

@@ -1,0 +1,70 @@
+// Response content generation — the Fig. 3 pipeline.
+//
+// When the host document changes, RCB-Agent:
+//   1. clones the documentElement of the current document (all later steps
+//      touch only the clone, never the live page),
+//   2. converts relative URLs to absolute origin-server URLs,
+//   3. in cache mode, rewrites the absolute URL of every supplementary object
+//      present in the browser cache to an RCB-Agent URL (/obj/<cache-key>),
+//   4. rewrites event attributes (onclick/onsubmit/onchange) so participant
+//      interactions are routed back through Ajax-Snippet, tagging each
+//      interactive element with its pre-order index ("data-rcb-id"),
+//   5. extracts the attribute lists and innerHTML of the head children and of
+//      the body (or frameset/noframes) into a Snapshot (Fig. 4).
+#ifndef SRC_CORE_CONTENT_GENERATOR_H_
+#define SRC_CORE_CONTENT_GENERATOR_H_
+
+#include <vector>
+
+#include "src/browser/browser.h"
+#include "src/core/protocol.h"
+#include "src/util/sim_time.h"
+
+namespace rcb {
+
+struct ContentGenOptions {
+  bool cache_mode = true;
+  Url agent_url;  // base for rewritten object URLs, e.g. http://host-pc:3000/
+  // §4.1.2: the agent may "allow different objects on the same webpage to
+  // use different modes". When set (and cache_mode is on), only objects this
+  // predicate accepts are rewritten to agent URLs; the rest stay pointed at
+  // their origins. `kind` is "image" | "stylesheet" | "script" | "frame".
+  std::function<bool(const Url& url, const std::string& kind)>
+      cache_object_filter;
+};
+
+struct GenerationResult {
+  Snapshot snapshot;
+  size_t interactive_elements = 0;
+  size_t urls_absolutized = 0;
+  size_t urls_cache_rewritten = 0;
+  // Real (not simulated) CPU time of the pipeline — the paper's M5.
+  Duration wall_time;
+};
+
+class ContentGenerator {
+ public:
+  explicit ContentGenerator(Browser* host_browser) : browser_(host_browser) {}
+
+  // Runs the five-step pipeline against the host browser's current document.
+  // `doc_time_ms` stamps the snapshot (§4.1.1 timestamp mechanism).
+  GenerationResult Generate(int64_t doc_time_ms,
+                            const ContentGenOptions& options) const;
+
+  // True for elements whose events RCB rewrites (anchors with href, forms,
+  // form fields, buttons).
+  static bool IsInteractive(const Element& element);
+
+  // Pre-order enumeration of interactive elements. Index i in this vector is
+  // the element that carries data-rcb-id="i" in generated snapshots; the
+  // agent re-runs this on the live host document to resolve participant
+  // action targets.
+  static std::vector<Element*> InteractiveElements(Node* root);
+
+ private:
+  Browser* browser_;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_CORE_CONTENT_GENERATOR_H_

@@ -1,0 +1,264 @@
+#include "src/core/protocol.h"
+
+#include "src/http/form.h"
+#include "src/util/escape.h"
+#include "src/util/strings.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+namespace rcb {
+namespace {
+
+constexpr char kUnitSep = '\x1f';
+
+}  // namespace
+
+std::string EncodeElementPayload(const ElementPayload& payload) {
+  std::string out = payload.tag;
+  out += kUnitSep;
+  out += EncodeFormUrlEncoded(payload.attributes);
+  out += kUnitSep;
+  out += payload.inner_html;
+  return out;
+}
+
+StatusOr<ElementPayload> DecodeElementPayload(std::string_view encoded) {
+  size_t first = encoded.find(kUnitSep);
+  if (first == std::string_view::npos) {
+    return InvalidArgumentError("element payload missing separators");
+  }
+  size_t second = encoded.find(kUnitSep, first + 1);
+  if (second == std::string_view::npos) {
+    return InvalidArgumentError("element payload missing innerHTML separator");
+  }
+  ElementPayload payload;
+  payload.tag = std::string(encoded.substr(0, first));
+  if (payload.tag.empty()) {
+    return InvalidArgumentError("element payload has empty tag");
+  }
+  payload.attributes =
+      ParseFormUrlEncodedOrdered(encoded.substr(first + 1, second - first - 1));
+  payload.inner_html = std::string(encoded.substr(second + 1));
+  return payload;
+}
+
+std::string_view ActionTypeName(ActionType type) {
+  switch (type) {
+    case ActionType::kClick:
+      return "click";
+    case ActionType::kFormFill:
+      return "fill";
+    case ActionType::kFormSubmit:
+      return "submit";
+    case ActionType::kMouseMove:
+      return "mouse";
+    case ActionType::kNavigate:
+      return "navigate";
+    case ActionType::kPresence:
+      return "presence";
+  }
+  return "click";
+}
+
+StatusOr<ActionType> ParseActionType(std::string_view name) {
+  if (name == "click") {
+    return ActionType::kClick;
+  }
+  if (name == "fill") {
+    return ActionType::kFormFill;
+  }
+  if (name == "submit") {
+    return ActionType::kFormSubmit;
+  }
+  if (name == "mouse") {
+    return ActionType::kMouseMove;
+  }
+  if (name == "navigate") {
+    return ActionType::kNavigate;
+  }
+  if (name == "presence") {
+    return ActionType::kPresence;
+  }
+  return InvalidArgumentError("unknown action type: " + std::string(name));
+}
+
+std::string EncodeActions(const std::vector<UserAction>& actions) {
+  std::vector<std::string> lines;
+  lines.reserve(actions.size());
+  for (const UserAction& action : actions) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.emplace_back("type", std::string(ActionTypeName(action.type)));
+    if (action.target >= 0) {
+      fields.emplace_back("target", StrFormat("%d", action.target));
+    }
+    if (action.type == ActionType::kMouseMove) {
+      fields.emplace_back("x", StrFormat("%d", action.x));
+      fields.emplace_back("y", StrFormat("%d", action.y));
+    }
+    if (!action.data.empty()) {
+      fields.emplace_back("data", action.data);
+    }
+    if (!action.origin.empty()) {
+      fields.emplace_back("origin", action.origin);
+    }
+    for (const auto& [name, value] : action.fields) {
+      fields.emplace_back("f." + name, value);
+    }
+    lines.push_back(EncodeFormUrlEncoded(fields));
+  }
+  return StrJoin(lines, "\n");
+}
+
+StatusOr<std::vector<UserAction>> DecodeActions(std::string_view encoded) {
+  std::vector<UserAction> actions;
+  if (StripWhitespace(encoded).empty()) {
+    return actions;
+  }
+  for (const auto& line : StrSplit(encoded, '\n')) {
+    if (line.empty()) {
+      continue;
+    }
+    UserAction action;
+    bool have_type = false;
+    for (const auto& [name, value] : ParseFormUrlEncodedOrdered(line)) {
+      if (name == "type") {
+        RCB_ASSIGN_OR_RETURN(action.type, ParseActionType(value));
+        have_type = true;
+      } else if (name == "target") {
+        uint64_t target = 0;
+        if (!ParseUint64(value, &target)) {
+          return InvalidArgumentError("bad action target: " + value);
+        }
+        action.target = static_cast<int>(target);
+      } else if (name == "x") {
+        action.x = std::atoi(value.c_str());
+      } else if (name == "y") {
+        action.y = std::atoi(value.c_str());
+      } else if (name == "data") {
+        action.data = value;
+      } else if (name == "origin") {
+        action.origin = value;
+      } else if (StartsWith(name, "f.")) {
+        action.fields.emplace_back(name.substr(2), value);
+      }
+    }
+    if (!have_type) {
+      return InvalidArgumentError("action line missing type: " + line);
+    }
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
+
+std::string SerializeSnapshotXml(const Snapshot& snapshot) {
+  XmlWriter writer;
+  writer.WriteDeclaration();
+  writer.StartElement("newContent");
+  writer.WriteTextElement("docTime", StrFormat("%lld", static_cast<long long>(
+                                                            snapshot.doc_time_ms)));
+  if (snapshot.has_content) {
+    writer.StartElement("docContent");
+    writer.StartElement("docHead");
+    int child_index = 1;
+    for (const ElementPayload& child : snapshot.head_children) {
+      writer.WriteCdataElement(StrFormat("hChild%d", child_index++),
+                               JsEscape(EncodeElementPayload(child)));
+    }
+    writer.EndElement();  // docHead
+    if (snapshot.body.has_value()) {
+      writer.WriteCdataElement("docBody",
+                               JsEscape(EncodeElementPayload(*snapshot.body)));
+    }
+    if (snapshot.frameset.has_value()) {
+      writer.WriteCdataElement("docFrameSet",
+                               JsEscape(EncodeElementPayload(*snapshot.frameset)));
+    }
+    if (snapshot.noframes.has_value()) {
+      writer.WriteCdataElement("docNoFrames",
+                               JsEscape(EncodeElementPayload(*snapshot.noframes)));
+    }
+    writer.EndElement();  // docContent
+  }
+  if (!snapshot.user_actions.empty()) {
+    writer.WriteCdataElement("userActions",
+                             JsEscape(EncodeActions(snapshot.user_actions)));
+  }
+  writer.EndElement();  // newContent
+  return writer.TakeString();
+}
+
+StatusOr<Snapshot> ParseSnapshotXml(std::string_view xml) {
+  RCB_ASSIGN_OR_RETURN(auto root, ParseXml(xml));
+  if (root->name != "newContent") {
+    return InvalidArgumentError("expected newContent root, got " + root->name);
+  }
+  Snapshot snapshot;
+  const XmlNode* doc_time = root->FindChild("docTime");
+  if (doc_time == nullptr) {
+    return InvalidArgumentError("snapshot missing docTime");
+  }
+  snapshot.doc_time_ms = std::atoll(doc_time->text.c_str());
+
+  if (const XmlNode* content = root->FindChild("docContent")) {
+    snapshot.has_content = true;
+    if (const XmlNode* head = content->FindChild("docHead")) {
+      for (const auto& child : head->children) {
+        RCB_ASSIGN_OR_RETURN(ElementPayload payload,
+                             DecodeElementPayload(JsUnescape(child->text)));
+        snapshot.head_children.push_back(std::move(payload));
+      }
+    }
+    if (const XmlNode* body = content->FindChild("docBody")) {
+      RCB_ASSIGN_OR_RETURN(ElementPayload payload,
+                           DecodeElementPayload(JsUnescape(body->text)));
+      snapshot.body = std::move(payload);
+    }
+    if (const XmlNode* frameset = content->FindChild("docFrameSet")) {
+      RCB_ASSIGN_OR_RETURN(ElementPayload payload,
+                           DecodeElementPayload(JsUnescape(frameset->text)));
+      snapshot.frameset = std::move(payload);
+    }
+    if (const XmlNode* noframes = content->FindChild("docNoFrames")) {
+      RCB_ASSIGN_OR_RETURN(ElementPayload payload,
+                           DecodeElementPayload(JsUnescape(noframes->text)));
+      snapshot.noframes = std::move(payload);
+    }
+  }
+  if (const XmlNode* actions = root->FindChild("userActions")) {
+    RCB_ASSIGN_OR_RETURN(snapshot.user_actions,
+                         DecodeActions(JsUnescape(actions->text)));
+  }
+  return snapshot;
+}
+
+std::string EncodePollRequest(const PollRequest& request) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.emplace_back("pid", request.participant_id);
+  fields.emplace_back("ts", StrFormat("%lld",
+                                      static_cast<long long>(request.doc_time_ms)));
+  fields.emplace_back("actions", EncodeActions(request.actions));
+  return EncodeFormUrlEncoded(fields);
+}
+
+StatusOr<PollRequest> DecodePollRequest(std::string_view body) {
+  PollRequest request;
+  bool have_pid = false;
+  bool have_ts = false;
+  for (const auto& [name, value] : ParseFormUrlEncodedOrdered(body)) {
+    if (name == "pid") {
+      request.participant_id = value;
+      have_pid = true;
+    } else if (name == "ts") {
+      request.doc_time_ms = std::atoll(value.c_str());
+      have_ts = true;
+    } else if (name == "actions") {
+      RCB_ASSIGN_OR_RETURN(request.actions, DecodeActions(value));
+    }
+  }
+  if (!have_pid || !have_ts) {
+    return InvalidArgumentError("poll request missing pid/ts");
+  }
+  return request;
+}
+
+}  // namespace rcb

@@ -1,0 +1,119 @@
+// The RCB wire protocol: user actions and the Fig. 4 XML snapshot format.
+//
+// An Ajax polling request piggybacks the participant's pending actions in its
+// POST body; the agent's response carries a `newContent` XML document with
+// the document timestamp, the extracted head/body (or frameset) payloads —
+// each JS-escape()d inside a CDATA section — and any broadcast user actions.
+#ifndef SRC_CORE_PROTOCOL_H_
+#define SRC_CORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rcb {
+
+// How content reaches participants (§3.2.3). The paper chooses poll-based
+// synchronization; the push alternative it discusses — a held connection
+// carrying "multipart/x-mixed-replace" parts — is implemented for the
+// corresponding ablation.
+enum class SyncModel { kPoll, kPush };
+
+// ---------------------------------------------------------------------------
+// Element payloads (the escape(data) inside each CDATA section of Fig. 4).
+// ---------------------------------------------------------------------------
+
+// One extracted element: its tag, attribute name-value list, and innerHTML.
+struct ElementPayload {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string inner_html;
+
+  bool operator==(const ElementPayload&) const = default;
+};
+
+// Flat encoding carried inside CDATA. Fields are separated by the ASCII unit
+// separator; attributes are form-urlencoded (binary-safe after JsEscape).
+std::string EncodeElementPayload(const ElementPayload& payload);
+StatusOr<ElementPayload> DecodeElementPayload(std::string_view encoded);
+
+// ---------------------------------------------------------------------------
+// User actions (piggybacked on polls; optionally broadcast to participants).
+// ---------------------------------------------------------------------------
+
+enum class ActionType {
+  kClick,      // activate a link or button; target = rcb element index
+  kFormFill,   // co-fill fields of a form without submitting
+  kFormSubmit, // submit a form (fields carry the participant's inputs)
+  kMouseMove,  // pointer position, for pointer mirroring
+  kNavigate,   // participant asks host to navigate (typed URL / search)
+  kPresence,   // join/leave notification; data = "joined" | "left"
+};
+
+std::string_view ActionTypeName(ActionType type);
+StatusOr<ActionType> ParseActionType(std::string_view name);
+
+struct UserAction {
+  ActionType type = ActionType::kClick;
+  // Interactive-element index in the pre-order enumeration RCB assigns
+  // during content generation ("data-rcb-id"). -1 when not applicable.
+  int target = -1;
+  // Form-fill / form-submit field data.
+  std::vector<std::pair<std::string, std::string>> fields;
+  // Pointer coordinates for kMouseMove.
+  int x = 0;
+  int y = 0;
+  // Free-form payload: URL for kNavigate.
+  std::string data;
+  // Originator tag filled in by the agent when broadcasting ("host", "p3").
+  std::string origin;
+
+  bool operator==(const UserAction&) const = default;
+};
+
+// Newline-separated, form-urlencoded per action.
+std::string EncodeActions(const std::vector<UserAction>& actions);
+StatusOr<std::vector<UserAction>> DecodeActions(std::string_view encoded);
+
+// ---------------------------------------------------------------------------
+// Snapshot: the newContent document of Fig. 4.
+// ---------------------------------------------------------------------------
+
+struct Snapshot {
+  int64_t doc_time_ms = 0;
+  // Document content; absent for an actions-only snapshot.
+  bool has_content = false;
+  std::vector<ElementPayload> head_children;
+  std::optional<ElementPayload> body;       // pages using a body element
+  std::optional<ElementPayload> frameset;   // pages using frames
+  std::optional<ElementPayload> noframes;
+  std::vector<UserAction> user_actions;
+
+  bool empty() const {
+    return !has_content && user_actions.empty();
+  }
+};
+
+// Serializes per Fig. 4 (with the <?xml?> declaration).
+std::string SerializeSnapshotXml(const Snapshot& snapshot);
+StatusOr<Snapshot> ParseSnapshotXml(std::string_view xml);
+
+// ---------------------------------------------------------------------------
+// Poll request body (what Ajax-Snippet POSTs).
+// ---------------------------------------------------------------------------
+
+struct PollRequest {
+  std::string participant_id;
+  int64_t doc_time_ms = 0;  // timestamp of the participant's current content
+  std::vector<UserAction> actions;
+};
+
+std::string EncodePollRequest(const PollRequest& request);
+StatusOr<PollRequest> DecodePollRequest(std::string_view body);
+
+}  // namespace rcb
+
+#endif  // SRC_CORE_PROTOCOL_H_

@@ -1,0 +1,716 @@
+#include "src/core/rcb_agent.h"
+
+#include "src/crypto/hmac.h"
+#include "src/http/form.h"
+#include "src/util/escape.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace {
+
+// Representative Ajax-Snippet source embedded in the initial page's head.
+// The behaviour it describes is implemented natively by the AjaxSnippet class
+// (src/core/ajax_snippet.h); shipping the source keeps the initial page
+// faithful to the paper's architecture (Fig. 1).
+constexpr char kSnippetSource[] = R"JS(
+var rcb = {ts: -1, pid: null, key: null, interval: 1000};
+function rcbConfig() {
+  var metas = document.getElementsByTagName('meta');
+  for (var i = 0; i < metas.length; i++) {
+    if (metas[i].name == 'rcb-pid') rcb.pid = metas[i].content;
+    if (metas[i].name == 'rcb-poll-interval') rcb.interval = +metas[i].content;
+  }
+}
+function rcbPoll() {
+  var xhr = new XMLHttpRequest();
+  var body = 'pid=' + rcb.pid + '&ts=' + rcb.ts + '&actions=' + rcbActions();
+  var uri = '/' + (rcb.key ? '?hmac=' + rcbHmac('POST /\n' + body) : '');
+  xhr.open('POST', uri, true);
+  xhr.onreadystatechange = function() {
+    if (xhr.readyState == 4 && xhr.status == 200) {
+      if (xhr.responseXML) rcbApply(xhr.responseXML);
+      setTimeout(rcbPoll, rcb.interval);
+    }
+  };
+  xhr.setRequestHeader('Content-Type', 'application/x-www-form-urlencoded');
+  xhr.send(body);
+}
+function rcbApply(doc) { /* Fig. 5: clean head (keep this script), set head
+  children, drop stale top elements, set body/frameset via innerHTML */ }
+function rcbClick(el) { rcbQueue('click', el); return false; }
+function rcbSubmit(el) { rcbQueue('submit', el); return false; }
+function rcbFill(el) { rcbQueue('fill', el); }
+)JS";
+
+std::string_view StripPrefixView(std::string_view s, size_t n) {
+  return s.substr(n);
+}
+
+}  // namespace
+
+RcbAgent::RcbAgent(Browser* host_browser, AgentConfig config)
+    : browser_(host_browser), config_(std::move(config)), generator_(host_browser) {}
+
+RcbAgent::~RcbAgent() { Stop(); }
+
+Status RcbAgent::Start() {
+  if (running_) {
+    return FailedPreconditionError("agent already running");
+  }
+  RCB_RETURN_IF_ERROR(browser_->network()->Listen(
+      browser_->machine(), config_.port,
+      [this](NetEndpoint* endpoint) { OnAccept(endpoint); }));
+  browser_->SetDocumentChangeListener([this] { OnDocumentChange(); });
+  running_ = true;
+  if (browser_->has_page()) {
+    OnDocumentChange();
+  }
+  return Status::Ok();
+}
+
+void RcbAgent::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  browser_->network()->StopListening(browser_->machine(), config_.port);
+  browser_->SetDocumentChangeListener(nullptr);
+  for (auto& conn : connections_) {
+    if (conn->endpoint != nullptr) {
+      conn->endpoint->Close();
+    }
+  }
+  connections_.clear();
+  streams_.clear();
+}
+
+Url RcbAgent::AgentUrl() const {
+  return Url::Make("http", browser_->machine(), config_.port, "/");
+}
+
+void RcbAgent::OnAccept(NetEndpoint* endpoint) {
+  auto conn = std::make_unique<AgentConn>();
+  conn->endpoint = endpoint;
+  AgentConn* raw = conn.get();
+  endpoint->SetDataHandler(
+      [this, raw](std::string_view data) { OnConnData(raw, data); });
+  connections_.push_back(std::move(conn));
+}
+
+void RcbAgent::OnConnData(AgentConn* conn, std::string_view data) {
+  std::string_view remaining = data;
+  while (true) {
+    auto result = conn->parser.Feed(remaining);
+    remaining = {};
+    if (!result.ok()) {
+      RCB_LOG(kWarning) << "rcb-agent: malformed request: " << result.status();
+      conn->endpoint->Close();
+      return;
+    }
+    if (!result->has_value()) {
+      return;
+    }
+    const HttpRequest& request = **result;
+    if (request.method == HttpMethod::kGet && request.Path() == "/stream") {
+      HandleStreamRequest(conn, request);
+      return;  // connection is now a held stream, no further requests on it
+    }
+    HttpResponse response = HandleRequest(request);
+    conn->endpoint->Send(response.Serialize());
+  }
+}
+
+void RcbAgent::OnDocumentChange() {
+  int64_t now_ms = browser_->loop()->now().millis();
+  current_doc_time_ms_ =
+      now_ms > current_doc_time_ms_ ? now_ms : current_doc_time_ms_ + 1;
+  snapshot_dirty_ = true;
+  has_version_ = true;
+  if (config_.sync_model == SyncModel::kPush && !streams_.empty()) {
+    PushToStreams();
+  }
+}
+
+std::string RcbAgent::MultipartPart(const std::string& xml) {
+  std::string part = "--rcbpart\r\nContent-Type: application/xml\r\n";
+  part += StrFormat("Content-Length: %zu\r\n\r\n", xml.size());
+  part += xml;
+  part += "\r\n";
+  return part;
+}
+
+void RcbAgent::HandleStreamRequest(AgentConn* conn, const HttpRequest& request) {
+  if (config_.sync_model != SyncModel::kPush) {
+    conn->endpoint->Send(
+        HttpResponse::BadRequest("agent runs in poll mode").Serialize());
+    return;
+  }
+  if (!VerifyRequestAuth(request)) {
+    ++metrics_.auth_failures;
+    conn->endpoint->Send(
+        HttpResponse::Forbidden("request authentication failed").Serialize());
+    return;
+  }
+  auto params = request.QueryParams();
+  auto pid_it = params.find("pid");
+  if (pid_it == params.end() || pid_it->second.empty()) {
+    conn->endpoint->Send(HttpResponse::BadRequest("missing pid").Serialize());
+    return;
+  }
+  std::string pid = pid_it->second;
+  participants_[pid].last_poll = browser_->loop()->now();
+  NetEndpoint* endpoint = conn->endpoint;
+  streams_[pid] = endpoint;
+  endpoint->SetCloseHandler([this, pid] {
+    streams_.erase(pid);
+    RemoveParticipant(pid);
+  });
+  // Multipart head; parts follow on every change — no Content-Length, the
+  // connection stays open ("multipart/x-mixed-replace", §3.2.3).
+  endpoint->Send(
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: multipart/x-mixed-replace; boundary=rcbpart\r\n\r\n");
+  // If content already exists, deliver it right away; likewise anything that
+  // was broadcast into this participant's outbox before the stream opened.
+  if (has_version_) {
+    SnapshotSlot& slot = RefreshSlot(CacheModeFor(pid), /*count_reuse=*/true);
+    participants_[pid].doc_time_ms = current_doc_time_ms_;
+    ++metrics_.polls_with_content;
+    endpoint->Send(MultipartPart(slot.xml));
+  }
+  PushOutbox(pid);
+}
+
+void RcbAgent::PushToStreams() {
+  for (auto& [pid, endpoint] : streams_) {
+    auto participant_it = participants_.find(pid);
+    if (participant_it == participants_.end()) {
+      continue;
+    }
+    ParticipantState& participant = participant_it->second;
+    if (participant.doc_time_ms >= current_doc_time_ms_) {
+      continue;
+    }
+    SnapshotSlot& slot = RefreshSlot(CacheModeFor(pid), /*count_reuse=*/true);
+    participant.doc_time_ms = current_doc_time_ms_;
+    participant.last_poll = browser_->loop()->now();
+    if (participant.outbox.empty()) {
+      endpoint->Send(MultipartPart(slot.xml));
+    } else {
+      Snapshot with_actions = slot.snapshot;
+      with_actions.user_actions = std::move(participant.outbox);
+      participant.outbox.clear();
+      endpoint->Send(MultipartPart(SerializeSnapshotXml(with_actions)));
+    }
+    ++metrics_.polls_with_content;
+  }
+}
+
+void RcbAgent::PushOutbox(const std::string& pid) {
+  auto stream_it = streams_.find(pid);
+  auto participant_it = participants_.find(pid);
+  if (stream_it == streams_.end() || participant_it == participants_.end() ||
+      participant_it->second.outbox.empty()) {
+    return;
+  }
+  Snapshot actions_only;
+  actions_only.doc_time_ms = participant_it->second.doc_time_ms;
+  actions_only.has_content = false;
+  actions_only.user_actions = std::move(participant_it->second.outbox);
+  participant_it->second.outbox.clear();
+  stream_it->second->Send(MultipartPart(SerializeSnapshotXml(actions_only)));
+}
+
+bool RcbAgent::CacheModeFor(const std::string& pid) const {
+  if (config_.participant_cache_mode) {
+    return config_.participant_cache_mode(pid);
+  }
+  return config_.cache_mode;
+}
+
+RcbAgent::SnapshotSlot& RcbAgent::RefreshSlot(bool cache_mode, bool count_reuse) {
+  if (snapshot_dirty_) {
+    slots_[0].valid = false;
+    slots_[1].valid = false;
+    snapshot_dirty_ = false;
+  }
+  SnapshotSlot& slot = slots_[cache_mode ? 1 : 0];
+  if (slot.valid) {
+    if (count_reuse) {
+      ++metrics_.snapshot_reuses;
+    }
+    return slot;
+  }
+  ContentGenOptions options;
+  options.cache_mode = cache_mode;
+  options.agent_url = AgentUrl();
+  options.cache_object_filter = config_.cache_object_filter;
+  GenerationResult result = generator_.Generate(current_doc_time_ms_, options);
+  slot.snapshot = std::move(result.snapshot);
+  slot.xml = SerializeSnapshotXml(slot.snapshot);
+  slot.valid = true;
+  ++metrics_.generations;
+  metrics_.last_generation_time = result.wall_time;
+  metrics_.total_generation_time += result.wall_time;
+  metrics_.last_snapshot_bytes = slot.xml.size();
+  return slot;
+}
+
+void RcbAgent::RefreshSnapshotIfNeeded() { RefreshSnapshot(/*count_reuse=*/true); }
+
+void RcbAgent::RefreshSnapshot(bool count_reuse) {
+  RefreshSlot(config_.cache_mode, count_reuse);
+}
+
+const Snapshot& RcbAgent::CurrentSnapshotForTest() {
+  // Introspection must not skew the reuse metric benchmarks report.
+  return RefreshSlot(config_.cache_mode, /*count_reuse=*/false).snapshot;
+}
+
+HttpResponse RcbAgent::HandleRequest(const HttpRequest& request) {
+  // Fig. 2: classify by method token and request-URI token.
+  if (request.method == HttpMethod::kPost) {
+    return HandlePoll(request);
+  }
+  if (request.method == HttpMethod::kGet) {
+    std::string path = request.Path();
+    if (path == "/") {
+      return HandleNewConnection(request);
+    }
+    if (StartsWith(path, "/obj/")) {
+      return HandleObjectRequest(request);
+    }
+    if (path == "/status") {
+      return HandleStatusPage();
+    }
+    return HttpResponse::NotFound(path);
+  }
+  return HttpResponse::BadRequest("unsupported method");
+}
+
+std::string RcbAgent::BuildInitialPage(const std::string& pid) const {
+  std::string head;
+  head += "<title>RCB co-browsing session</title>";
+  head += "<script id=\"rcb-snippet\">";
+  head += kSnippetSource;
+  head += "</script>";
+  head += StrFormat("<meta name=\"rcb-pid\" content=\"%s\">", pid.c_str());
+  head += StrFormat("<meta name=\"rcb-poll-interval\" content=\"%lld\">",
+                    static_cast<long long>(config_.poll_interval.millis()));
+  head += StrFormat("<meta name=\"rcb-cache-mode\" content=\"%s\">",
+                    config_.cache_mode ? "1" : "0");
+  head += StrFormat("<meta name=\"rcb-sync-model\" content=\"%s\">",
+                    config_.sync_model == SyncModel::kPush ? "push" : "poll");
+  std::string body;
+  body += "<h1>RCB co-browsing</h1>";
+  body += "<form id=\"rcb-join\" onsubmit=\"return rcbJoin(this)\">";
+  body += "<input type=\"password\" name=\"key\" value=\"\"> session key ";
+  body += "<input type=\"submit\" name=\"join\" value=\"Join\"></form>";
+  body += "<div id=\"rcb-status\">connected; waiting for host content</div>";
+  return "<!DOCTYPE html><html><head>" + head + "</head><body onload=\"rcbConfig();rcbPoll()\">" +
+         body + "</body></html>";
+}
+
+HttpResponse RcbAgent::HandleNewConnection(const HttpRequest&) {
+  std::string pid = StrFormat("p%llu", static_cast<unsigned long long>(next_pid_++));
+  // Announce the newcomer to everyone already in the session (§5.2.3: users
+  // asked for indicators of the other person's connection and status).
+  UserAction joined;
+  joined.type = ActionType::kPresence;
+  joined.data = "joined";
+  joined.origin = pid;
+  for (auto& [other_pid, state] : participants_) {
+    state.outbox.push_back(joined);
+  }
+  if (config_.sync_model == SyncModel::kPush) {
+    for (const auto& [other_pid, state] : participants_) {
+      PushOutbox(other_pid);
+    }
+  }
+  ParticipantState& participant = participants_[pid];
+  participant.last_poll = browser_->loop()->now();
+  ++metrics_.new_connections;
+  return HttpResponse::Ok("text/html", BuildInitialPage(pid));
+}
+
+void RcbAgent::RemoveParticipant(const std::string& pid) {
+  auto it = participants_.find(pid);
+  if (it == participants_.end()) {
+    return;
+  }
+  participants_.erase(it);
+  auto stream_it = streams_.find(pid);
+  if (stream_it != streams_.end()) {
+    NetEndpoint* endpoint = stream_it->second;
+    streams_.erase(stream_it);
+    endpoint->Close();
+  }
+  UserAction left;
+  left.type = ActionType::kPresence;
+  left.data = "left";
+  left.origin = pid;
+  for (auto& [other_pid, state] : participants_) {
+    state.outbox.push_back(left);
+  }
+  if (config_.sync_model == SyncModel::kPush) {
+    for (const auto& [other_pid, state] : participants_) {
+      PushOutbox(other_pid);
+    }
+  }
+}
+
+void RcbAgent::ReapStaleParticipants() {
+  SimTime now = browser_->loop()->now();
+  Duration liveness = config_.poll_interval * 5;
+  std::vector<std::string> stale;
+  for (const auto& [pid, state] : participants_) {
+    // A held push stream signals liveness by itself (its close handler does
+    // the removal when it drops).
+    if (!streams_.contains(pid) && state.polls > 0 &&
+        now - state.last_poll > liveness) {
+      stale.push_back(pid);
+    }
+  }
+  for (const std::string& pid : stale) {
+    RemoveParticipant(pid);
+  }
+}
+
+HttpResponse RcbAgent::HandleObjectRequest(const HttpRequest& request) {
+  ++metrics_.object_requests;
+  if (!config_.cache_mode && !config_.participant_cache_mode) {
+    return HttpResponse::NotFound("cache mode disabled");
+  }
+  std::string key(StripPrefixView(request.Path(), std::string("/obj/").size()));
+  const CacheEntry* entry = browser_->cache().LookupByKey(key);
+  if (entry == nullptr) {
+    return HttpResponse::NotFound("no cached object for key " + key);
+  }
+  metrics_.object_bytes_served += entry->body.size();
+  // Stream the cached object straight out (the paper writes the cache input
+  // stream into the socket output stream; our value copy is the analogue).
+  return HttpResponse::Ok(entry->content_type, entry->body);
+}
+
+HttpResponse RcbAgent::HandleStatusPage() const {
+  // The host-side session indicator the usability subjects asked for
+  // (§5.2.3): who is connected, how fresh they are, what the agent has done.
+  std::string body = "<h1>RCB session status</h1>";
+  body += StrFormat("<p id=\"mode\">mode: %s / %s</p>",
+                    config_.cache_mode ? "cache" : "non-cache",
+                    config_.sync_model == SyncModel::kPush ? "push" : "poll");
+  body += "<table id=\"participants\"><tr><th>participant</th><th>doc version"
+          "</th><th>polls</th><th>last seen</th></tr>";
+  SimTime now = browser_->loop()->now();
+  for (const auto& [pid, state] : participants_) {
+    body += StrFormat(
+        "<tr><td>%s</td><td>%lld</td><td>%llu</td><td>%.1fs ago</td></tr>",
+        pid.c_str(), static_cast<long long>(state.doc_time_ms),
+        static_cast<unsigned long long>(state.polls),
+        (now - state.last_poll).seconds());
+  }
+  body += "</table>";
+  body += StrFormat(
+      "<p id=\"metrics\">polls %llu (content %llu, empty %llu) | "
+      "generations %llu (reused %llu) | objects served %llu (%llu bytes) | "
+      "actions applied %llu, held %llu, denied %llu | auth failures %llu</p>",
+      static_cast<unsigned long long>(metrics_.polls_received),
+      static_cast<unsigned long long>(metrics_.polls_with_content),
+      static_cast<unsigned long long>(metrics_.polls_empty),
+      static_cast<unsigned long long>(metrics_.generations),
+      static_cast<unsigned long long>(metrics_.snapshot_reuses),
+      static_cast<unsigned long long>(metrics_.object_requests),
+      static_cast<unsigned long long>(metrics_.object_bytes_served),
+      static_cast<unsigned long long>(metrics_.actions_applied),
+      static_cast<unsigned long long>(metrics_.actions_held),
+      static_cast<unsigned long long>(metrics_.actions_denied),
+      static_cast<unsigned long long>(metrics_.auth_failures));
+  return HttpResponse::Ok(
+      "text/html", "<!DOCTYPE html><html><head><title>RCB status</title>"
+                   "</head><body>" +
+                       body + "</body></html>");
+}
+
+bool RcbAgent::VerifyRequestAuth(const HttpRequest& request) const {
+  if (config_.session_key.empty()) {
+    return true;
+  }
+  // The hmac parameter is carried in the request-URI; the MAC covers the
+  // method, the URI without that parameter, and the body.
+  auto params = ParseFormUrlEncodedOrdered(request.QueryString());
+  std::string provided;
+  std::vector<std::pair<std::string, std::string>> rest;
+  for (auto& [name, value] : params) {
+    if (name == "hmac") {
+      provided = value;
+    } else {
+      rest.emplace_back(name, value);
+    }
+  }
+  if (provided.empty()) {
+    return false;
+  }
+  std::string canonical_target = request.Path();
+  std::string rest_query = EncodeFormUrlEncoded(rest);
+  if (!rest_query.empty()) {
+    canonical_target += "?" + rest_query;
+  }
+  std::string message = std::string(HttpMethodName(request.method)) + " " +
+                        canonical_target + "\n" + request.body;
+  std::string expected = HmacSha256Hex(config_.session_key, message);
+  return ConstantTimeEquals(expected, provided);
+}
+
+HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
+  ++metrics_.polls_received;
+  if (!VerifyRequestAuth(request)) {
+    ++metrics_.auth_failures;
+    return HttpResponse::Forbidden("request authentication failed");
+  }
+  auto poll_or = DecodePollRequest(request.body);
+  if (!poll_or.ok()) {
+    return HttpResponse::BadRequest(poll_or.status().message());
+  }
+  PollRequest poll = std::move(*poll_or);
+
+  // Presence housekeeping: drop participants that stopped polling, and
+  // handle an explicit goodbye before anything else.
+  ReapStaleParticipants();
+  for (const UserAction& action : poll.actions) {
+    if (action.type == ActionType::kPresence && action.data == "left") {
+      RemoveParticipant(poll.participant_id);
+      return HttpResponse::Ok("application/xml", "");
+    }
+  }
+
+  ParticipantState& participant = participants_[poll.participant_id];
+  participant.last_poll = browser_->loop()->now();
+  ++participant.polls;
+
+  // Step 1 (Fig. 2 poll path): data merging.
+  for (const UserAction& action : poll.actions) {
+    ApplyAction(poll.participant_id, action);
+  }
+
+  // Step 2: timestamp inspection. Content exists only once a completed page
+  // load (or scripted mutation) has stamped a version — a page whose
+  // supplementary objects are still downloading is not served yet (the paper
+  // generates content "when the webpage is loaded").
+  bool needs_content = has_version_ && poll.doc_time_ms < current_doc_time_ms_;
+
+  // Step 3: response sending.
+  std::vector<UserAction> outbox = std::move(participant.outbox);
+  participant.outbox.clear();
+
+  if (needs_content) {
+    SnapshotSlot& slot =
+        RefreshSlot(CacheModeFor(poll.participant_id), /*count_reuse=*/true);
+    ++metrics_.polls_with_content;
+    participant.doc_time_ms = current_doc_time_ms_;
+    if (outbox.empty()) {
+      // Fast path: the serialized snapshot is shared across participants
+      // co-browsing in the same mode.
+      return HttpResponse::Ok("application/xml", slot.xml);
+    }
+    Snapshot with_actions = slot.snapshot;
+    with_actions.user_actions = std::move(outbox);
+    return HttpResponse::Ok("application/xml", SerializeSnapshotXml(with_actions));
+  }
+
+  participant.doc_time_ms = poll.doc_time_ms;
+  if (!outbox.empty()) {
+    Snapshot actions_only;
+    actions_only.doc_time_ms = poll.doc_time_ms;
+    actions_only.has_content = false;
+    actions_only.user_actions = std::move(outbox);
+    ++metrics_.polls_with_content;
+    return HttpResponse::Ok("application/xml", SerializeSnapshotXml(actions_only));
+  }
+  // "No new content": an empty response avoids hanging the request.
+  ++metrics_.polls_empty;
+  return HttpResponse::Ok("application/xml", "");
+}
+
+void RcbAgent::ApplyAction(const std::string& pid, const UserAction& action) {
+  if (action.type == ActionType::kPresence) {
+    return;  // handled by the poll pipeline
+  }
+  if (config_.policies.participant_filter &&
+      !config_.policies.participant_filter(pid, action)) {
+    ++metrics_.actions_denied;
+    return;
+  }
+  if (action.type == ActionType::kMouseMove) {
+    if (config_.policies.broadcast_mouse) {
+      UserAction broadcast = action;
+      broadcast.origin = pid;
+      for (auto& [other_pid, state] : participants_) {
+        if (other_pid != pid) {
+          state.outbox.push_back(broadcast);
+          if (config_.sync_model == SyncModel::kPush) {
+            PushOutbox(other_pid);
+          }
+        }
+      }
+      ++metrics_.actions_applied;
+    }
+    return;
+  }
+  ActionPolicy policy = ActionPolicy::kAutoApply;
+  switch (action.type) {
+    case ActionType::kClick:
+      policy = config_.policies.click;
+      break;
+    case ActionType::kFormSubmit:
+      policy = config_.policies.form_submit;
+      break;
+    case ActionType::kFormFill:
+      policy = config_.policies.form_fill;
+      break;
+    case ActionType::kNavigate:
+      policy = config_.policies.navigate;
+      break;
+    case ActionType::kMouseMove:
+    case ActionType::kPresence:
+      break;
+  }
+  switch (policy) {
+    case ActionPolicy::kAutoApply:
+      PerformAction(pid, action);
+      ++metrics_.actions_applied;
+      break;
+    case ActionPolicy::kConfirm:
+      pending_actions_.push_back(PendingAction{pid, action});
+      ++metrics_.actions_held;
+      break;
+    case ActionPolicy::kDeny:
+      ++metrics_.actions_denied;
+      break;
+  }
+}
+
+void RcbAgent::PerformAction(const std::string& pid, const UserAction& action) {
+  auto log_nav = [pid](const Status& status, const PageLoadStats&) {
+    if (!status.ok()) {
+      RCB_LOG(kWarning) << "rcb-agent: action navigation for " << pid
+                        << " failed: " << status;
+    }
+  };
+
+  if (action.type == ActionType::kNavigate) {
+    auto url = Url::Parse(action.data);
+    if (!url.ok()) {
+      RCB_LOG(kWarning) << "rcb-agent: bad navigate URL from " << pid;
+      return;
+    }
+    browser_->Navigate(*url, log_nav);
+    return;
+  }
+
+  if (action.target < 0 || browser_->document() == nullptr) {
+    return;
+  }
+  std::vector<Element*> interactive =
+      ContentGenerator::InteractiveElements(browser_->document());
+  if (static_cast<size_t>(action.target) >= interactive.size()) {
+    RCB_LOG(kWarning) << "rcb-agent: stale action target " << action.target
+                      << " from " << pid;
+    return;
+  }
+  Element* element = interactive[static_cast<size_t>(action.target)];
+
+  switch (action.type) {
+    case ActionType::kClick: {
+      if (element->tag_name() == "a") {
+        Status status = browser_->ClickLink(element, log_nav);
+        if (!status.ok()) {
+          RCB_LOG(kWarning) << "rcb-agent: click failed: " << status;
+        }
+      }
+      break;
+    }
+    case ActionType::kFormFill: {
+      Element* form = element->tag_name() == "form" ? element : nullptr;
+      if (form == nullptr) {
+        return;
+      }
+      for (const auto& [name, value] : action.fields) {
+        Status status = Browser::FillField(form, name, value);
+        if (!status.ok()) {
+          RCB_LOG(kWarning) << "rcb-agent: co-fill failed: " << status;
+        }
+      }
+      // The fill mutates the live document, so participants re-sync it.
+      browser_->MutateDocument([](Document*) {});
+      break;
+    }
+    case ActionType::kFormSubmit: {
+      Element* form = element->tag_name() == "form" ? element : nullptr;
+      if (form == nullptr) {
+        return;
+      }
+      for (const auto& [name, value] : action.fields) {
+        Status status = Browser::FillField(form, name, value);
+        if (!status.ok()) {
+          RCB_LOG(kWarning) << "rcb-agent: co-fill failed: " << status;
+        }
+      }
+      Status status = browser_->SubmitForm(form, log_nav);
+      if (!status.ok()) {
+        RCB_LOG(kWarning) << "rcb-agent: submit failed: " << status;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RcbAgent::BroadcastAction(UserAction action) {
+  action.origin = "host";
+  for (auto& [pid, state] : participants_) {
+    state.outbox.push_back(action);
+  }
+  if (config_.sync_model == SyncModel::kPush) {
+    for (const auto& [pid, state] : participants_) {
+      PushOutbox(pid);
+    }
+  }
+}
+
+std::vector<std::string> RcbAgent::ConnectedParticipants() const {
+  std::vector<std::string> out;
+  SimTime now = browser_->loop()->now();
+  Duration liveness = config_.poll_interval * 5;
+  for (const auto& [pid, state] : participants_) {
+    // A held push stream counts as live regardless of poll counters.
+    if (streams_.contains(pid) ||
+        (state.polls > 0 && now - state.last_poll <= liveness)) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+Status RcbAgent::ApprovePending(size_t index) {
+  if (index >= pending_actions_.size()) {
+    return OutOfRangeError("no pending action at index");
+  }
+  PendingAction pending = pending_actions_[index];
+  pending_actions_.erase(pending_actions_.begin() + static_cast<ptrdiff_t>(index));
+  PerformAction(pending.participant_id, pending.action);
+  ++metrics_.actions_applied;
+  return Status::Ok();
+}
+
+Status RcbAgent::RejectPending(size_t index) {
+  if (index >= pending_actions_.size()) {
+    return OutOfRangeError("no pending action at index");
+  }
+  pending_actions_.erase(pending_actions_.begin() + static_cast<ptrdiff_t>(index));
+  ++metrics_.actions_denied;
+  return Status::Ok();
+}
+
+}  // namespace rcb

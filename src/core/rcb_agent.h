@@ -1,0 +1,225 @@
+// RCB-Agent: the in-browser HTTP server that hosts a co-browsing session.
+//
+// The agent listens on an open TCP port of the host browser's machine and
+// processes three request types (Fig. 2):
+//   * new connection requests (GET /)            -> initial HTML page with
+//                                                   Ajax-Snippet embedded,
+//   * object requests (GET /obj/<cache-key>)     -> cached supplementary
+//                                                   objects, cache mode only,
+//   * Ajax polling requests (POST /)             -> data merge, timestamp
+//                                                   inspection, response
+//                                                   sending (§4.1.1).
+// Content generation (Fig. 3) runs once per document change and the result
+// is reused for every participant (§4.1.2). Requests from Ajax-Snippet are
+// authenticated with an HMAC over the request when a session key is set
+// (§3.4). Action coordination policies (§3.3) decide whether participant
+// clicks/submits are applied immediately, held for host confirmation, or
+// denied.
+#ifndef SRC_CORE_RCB_AGENT_H_
+#define SRC_CORE_RCB_AGENT_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/browser/browser.h"
+#include "src/core/content_generator.h"
+#include "src/core/protocol.h"
+#include "src/http/http_parser.h"
+#include "src/net/network.h"
+
+namespace rcb {
+
+// What the agent does with a participant-initiated action class (§3.3).
+enum class ActionPolicy { kAutoApply, kConfirm, kDeny };
+
+struct AgentPolicies {
+  ActionPolicy click = ActionPolicy::kAutoApply;
+  ActionPolicy form_submit = ActionPolicy::kAutoApply;
+  ActionPolicy form_fill = ActionPolicy::kAutoApply;
+  ActionPolicy navigate = ActionPolicy::kAutoApply;
+  // Mirror pointer movement to the other participants.
+  bool broadcast_mouse = true;
+  // §3.3: "it is up to the high-level policy enforced on RCB-Agent to decide
+  // whom are allowed to perform certain interactions". When set, actions from
+  // participants this predicate rejects are denied before the per-type
+  // policies run. nullptr allows everyone.
+  std::function<bool(const std::string& pid, const UserAction& action)>
+      participant_filter;
+};
+
+struct AgentConfig {
+  uint16_t port = 3000;
+  bool cache_mode = true;
+  // Non-empty key enables HMAC request authentication for Ajax polls.
+  std::string session_key;
+  // Poll interval advertised to participants in the initial page.
+  Duration poll_interval = Duration::Seconds(1.0);
+  SyncModel sync_model = SyncModel::kPoll;
+  // Optional per-object cache-mode selection (§4.1.2); see
+  // ContentGenOptions::cache_object_filter.
+  std::function<bool(const Url& url, const std::string& kind)>
+      cache_object_filter;
+  // Optional per-participant cache-mode selection (§4.1.2: "allow different
+  // participant browsers to use different modes"). Overrides `cache_mode`
+  // for the given pid; the agent keeps one generated snapshot per mode, so
+  // reuse still holds within each mode.
+  std::function<bool(const std::string& pid)> participant_cache_mode;
+  AgentPolicies policies;
+};
+
+struct AgentMetrics {
+  uint64_t polls_received = 0;
+  uint64_t polls_with_content = 0;
+  uint64_t polls_empty = 0;
+  uint64_t object_requests = 0;
+  uint64_t object_bytes_served = 0;
+  uint64_t new_connections = 0;
+  uint64_t auth_failures = 0;
+  uint64_t generations = 0;            // Fig. 3 pipeline executions
+  uint64_t snapshot_reuses = 0;        // content served without regeneration
+  uint64_t actions_applied = 0;
+  uint64_t actions_held = 0;
+  uint64_t actions_denied = 0;
+  Duration last_generation_time;       // M5, real CPU time
+  Duration total_generation_time;
+  size_t last_snapshot_bytes = 0;
+};
+
+// An action waiting for host confirmation under ActionPolicy::kConfirm.
+struct PendingAction {
+  std::string participant_id;
+  UserAction action;
+};
+
+class RcbAgent {
+ public:
+  // The agent runs inside `host_browser` (shares its event loop, network,
+  // document, and cache).
+  RcbAgent(Browser* host_browser, AgentConfig config);
+  ~RcbAgent();
+  RcbAgent(const RcbAgent&) = delete;
+  RcbAgent& operator=(const RcbAgent&) = delete;
+
+  // Opens the listening port (§3.1 step 1) and hooks document changes.
+  Status Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  // The URL participants type into their address bars (§3.1 step 2).
+  Url AgentUrl() const;
+
+  const AgentConfig& config() const { return config_; }
+  const AgentMetrics& metrics() const { return metrics_; }
+
+  // Connected participants (have completed a poll recently enough to be
+  // considered live); the agent "knows exactly which participants are
+  // connected" (§3.3).
+  std::vector<std::string> ConnectedParticipants() const;
+  size_t participant_count() const { return participants_.size(); }
+  // Held push streams (push sync model).
+  size_t stream_count() const { return streams_.size(); }
+
+  // Host-originated action broadcast (e.g. host mouse mirroring).
+  void BroadcastAction(UserAction action);
+
+  // Confirmation queue (ActionPolicy::kConfirm).
+  const std::vector<PendingAction>& pending_actions() const {
+    return pending_actions_;
+  }
+  // Applies / discards pending_actions()[index].
+  Status ApprovePending(size_t index);
+  Status RejectPending(size_t index);
+
+  // Switches cache mode at runtime (the paper allows per-page / per-object
+  // flexibility; we expose the session-level switch).
+  void set_cache_mode(bool cache_mode) { config_.cache_mode = cache_mode; }
+
+  // Exposed for tests: the current snapshot the agent would serve.
+  const Snapshot& CurrentSnapshotForTest();
+
+ private:
+  struct ParticipantState {
+    int64_t doc_time_ms = -1;      // content version the participant holds
+    SimTime last_poll;
+    uint64_t polls = 0;
+    std::vector<UserAction> outbox;  // broadcast actions awaiting delivery
+  };
+  struct AgentConn {
+    NetEndpoint* endpoint = nullptr;
+    HttpRequestParser parser;
+  };
+
+  void OnAccept(NetEndpoint* endpoint);
+  void OnConnData(AgentConn* conn, std::string_view data);
+  void OnDocumentChange();
+
+  HttpResponse HandleRequest(const HttpRequest& request);
+  HttpResponse HandleNewConnection(const HttpRequest& request);
+  HttpResponse HandleObjectRequest(const HttpRequest& request);
+  HttpResponse HandlePoll(const HttpRequest& request);
+  // GET /status: the host-side session dashboard (roster, freshness,
+  // counters) — the connection/status indicator suggested in §5.2.3.
+  HttpResponse HandleStatusPage() const;
+
+  // Push model: a GET /stream request upgrades the connection into a held
+  // multipart/x-mixed-replace stream; parts are written on every change.
+  void HandleStreamRequest(AgentConn* conn, const HttpRequest& request);
+  void PushToStreams();
+  void PushOutbox(const std::string& pid);
+  static std::string MultipartPart(const std::string& xml);
+
+  // §3.4: verifies the hmac request-URI parameter over the canonical request.
+  bool VerifyRequestAuth(const HttpRequest& request) const;
+
+  // Data merging: routes one participant action through the policies.
+  void ApplyAction(const std::string& pid, const UserAction& action);
+  void PerformAction(const std::string& pid, const UserAction& action);
+
+  // Presence bookkeeping: removes `pid` and notifies the other participants;
+  // ReapStaleParticipants does the same for silent ones (run on each poll).
+  void RemoveParticipant(const std::string& pid);
+  void ReapStaleParticipants();
+
+  // Cache-mode flavour of the generated snapshot. One entry per mode in use;
+  // both flavours share the document version and are invalidated together.
+  struct SnapshotSlot {
+    bool valid = false;
+    Snapshot snapshot;
+    std::string xml;
+  };
+
+  // True if participant `pid` co-browses in cache mode.
+  bool CacheModeFor(const std::string& pid) const;
+  // Ensures the slot for `cache_mode` matches the current document version
+  // and returns it.
+  SnapshotSlot& RefreshSlot(bool cache_mode, bool count_reuse);
+  // Back-compat helpers for the default mode.
+  void RefreshSnapshotIfNeeded();
+  void RefreshSnapshot(bool count_reuse);
+
+  std::string BuildInitialPage(const std::string& pid) const;
+
+  Browser* browser_;
+  AgentConfig config_;
+  ContentGenerator generator_;
+  bool running_ = false;
+
+  int64_t current_doc_time_ms_ = 0;
+  bool has_version_ = false;  // set once the first completed load is observed
+  bool snapshot_dirty_ = true;
+  SnapshotSlot slots_[2];  // [0] non-cache mode, [1] cache mode
+
+  std::map<std::string, ParticipantState> participants_;
+  std::map<std::string, NetEndpoint*> streams_;  // pid -> held push connection
+  std::vector<PendingAction> pending_actions_;
+  std::vector<std::unique_ptr<AgentConn>> connections_;
+  AgentMetrics metrics_;
+  uint64_t next_pid_ = 1;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_CORE_RCB_AGENT_H_

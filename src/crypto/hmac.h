@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104) and constant-time comparison.
+//
+// RCB-Agent authenticates every Ajax request by recomputing the HMAC over the
+// request (minus the hmac parameter itself) with the shared session key and
+// comparing it against the HMAC embedded in the request-URI (§3.4).
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include <string>
+#include <string_view>
+
+namespace rcb {
+
+// Raw 32-byte MAC.
+std::string HmacSha256(std::string_view key, std::string_view message);
+
+// Lowercase-hex MAC, the form carried in request-URIs.
+std::string HmacSha256Hex(std::string_view key, std::string_view message);
+
+// Timing-safe equality: always touches every byte of both inputs.
+bool ConstantTimeEquals(std::string_view a, std::string_view b);
+
+}  // namespace rcb
+
+#endif  // SRC_CRYPTO_HMAC_H_

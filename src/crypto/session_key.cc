@@ -1,0 +1,7 @@
+#include "src/crypto/session_key.h"
+
+namespace rcb {
+
+std::string SessionKeyGenerator::Generate() { return rng_.NextToken(20); }
+
+}  // namespace rcb

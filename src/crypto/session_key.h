@@ -1,0 +1,32 @@
+// Session-key generation for co-browsing sessions.
+//
+// The paper (§3.4) generates a session-specific one-time secret on the host
+// browser and shares it out of band (phone, IM). We model the key as a short
+// human-typable token: enough entropy for a one-time session secret while
+// staying realistic for the "type it into a password field" flow.
+#ifndef SRC_CRYPTO_SESSION_KEY_H_
+#define SRC_CRYPTO_SESSION_KEY_H_
+
+#include <string>
+
+#include "src/util/rand.h"
+
+namespace rcb {
+
+class SessionKeyGenerator {
+ public:
+  explicit SessionKeyGenerator(uint64_t seed) : rng_(seed) {}
+
+  // A 20-char alphanumeric one-time key (~103 bits of entropy).
+  std::string Generate();
+
+  // Keys shorter than this are rejected by RcbAgent configuration.
+  static constexpr size_t kMinKeyLength = 8;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_CRYPTO_SESSION_KEY_H_

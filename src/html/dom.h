@@ -1,0 +1,211 @@
+// DOM tree: Document, Element, Text, Comment nodes.
+//
+// This is the in-browser document model both RCB pipelines operate on:
+// RCB-Agent clones the documentElement and rewrites the clone (Fig. 3);
+// Ajax-Snippet applies received content to the live document via innerHTML
+// and DOM mutation (Fig. 5). Attribute order is preserved so serialization
+// round-trips byte-stably.
+#ifndef SRC_HTML_DOM_H_
+#define SRC_HTML_DOM_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcb {
+
+enum class NodeType { kDocument, kElement, kText, kComment, kDoctype };
+
+class Element;
+class Document;
+
+class Node {
+ public:
+  explicit Node(NodeType type) : type_(type) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeType type() const { return type_; }
+  Node* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<Node>>& children() const { return children_; }
+  size_t child_count() const { return children_.size(); }
+  Node* child_at(size_t i) const { return children_[i].get(); }
+  Node* first_child() const {
+    return children_.empty() ? nullptr : children_.front().get();
+  }
+  Node* last_child() const {
+    return children_.empty() ? nullptr : children_.back().get();
+  }
+
+  // Tree mutation. AppendChild/InsertBefore take ownership and return the raw
+  // pointer for chaining; RemoveChild releases ownership back to the caller.
+  Node* AppendChild(std::unique_ptr<Node> child);
+  Node* InsertBefore(std::unique_ptr<Node> child, Node* reference);
+  std::unique_ptr<Node> RemoveChild(Node* child);
+  void RemoveAllChildren();
+  // Detaches this node from its parent (no-op when already detached).
+  std::unique_ptr<Node> Detach();
+
+  // Deep copy; the clone has no parent. Mirrors cloneNode(true), which is the
+  // first step of the agent's content generation.
+  std::unique_ptr<Node> Clone() const;
+
+  // Concatenated text of all descendant Text nodes.
+  std::string TextContent() const;
+
+  // Type-checked downcasts; return nullptr on mismatch.
+  Element* AsElement();
+  const Element* AsElement() const;
+  Document* AsDocument();
+  const Document* AsDocument() const;
+
+  // Pre-order walk over descendant elements (not including this node when it
+  // is an element). Return false from the visitor to stop early.
+  void ForEachElement(const std::function<bool(Element*)>& visitor);
+  void ForEachElement(const std::function<bool(const Element*)>& visitor) const;
+
+ protected:
+  virtual std::unique_ptr<Node> CloneSelf() const = 0;
+
+ private:
+  NodeType type_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+class Text : public Node {
+ public:
+  explicit Text(std::string data) : Node(NodeType::kText), data_(std::move(data)) {}
+
+  const std::string& data() const { return data_; }
+  void set_data(std::string data) { data_ = std::move(data); }
+
+ protected:
+  std::unique_ptr<Node> CloneSelf() const override {
+    return std::make_unique<Text>(data_);
+  }
+
+ private:
+  std::string data_;
+};
+
+class Comment : public Node {
+ public:
+  explicit Comment(std::string data)
+      : Node(NodeType::kComment), data_(std::move(data)) {}
+
+  const std::string& data() const { return data_; }
+
+ protected:
+  std::unique_ptr<Node> CloneSelf() const override {
+    return std::make_unique<Comment>(data_);
+  }
+
+ private:
+  std::string data_;
+};
+
+class Doctype : public Node {
+ public:
+  explicit Doctype(std::string data)
+      : Node(NodeType::kDoctype), data_(std::move(data)) {}
+
+  const std::string& data() const { return data_; }
+
+ protected:
+  std::unique_ptr<Node> CloneSelf() const override {
+    return std::make_unique<Doctype>(data_);
+  }
+
+ private:
+  std::string data_;
+};
+
+class Element : public Node {
+ public:
+  explicit Element(std::string tag_name);
+
+  // Lowercase tag name.
+  const std::string& tag_name() const { return tag_name_; }
+
+  // Attributes (ordered, case-normalized names).
+  std::optional<std::string> GetAttribute(std::string_view name) const;
+  // Missing attribute reads as "".
+  std::string AttrOr(std::string_view name, std::string_view fallback = "") const;
+  void SetAttribute(std::string_view name, std::string_view value);
+  void RemoveAttribute(std::string_view name);
+  bool HasAttribute(std::string_view name) const;
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  std::string id() const { return AttrOr("id"); }
+
+  // innerHTML: serialization of children / replace children by parsing the
+  // fragment. Setter is defined in parser.cc (needs the parser).
+  std::string InnerHtml() const;
+  void SetInnerHtml(std::string_view html);
+  // outerHTML: serialization including this element.
+  std::string OuterHtml() const;
+
+  // Descendant searches (pre-order).
+  Element* FindFirst(std::string_view tag);
+  const Element* FindFirst(std::string_view tag) const;
+  std::vector<Element*> FindAll(std::string_view tag);
+  Element* ById(std::string_view id_value);
+
+  // First direct child element with the given tag, or nullptr.
+  Element* ChildByTag(std::string_view tag);
+  const Element* ChildByTag(std::string_view tag) const;
+  // All direct child elements.
+  std::vector<Element*> ChildElements();
+
+ protected:
+  std::unique_ptr<Node> CloneSelf() const override;
+
+ private:
+  std::string tag_name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+};
+
+class Document : public Node {
+ public:
+  Document() : Node(NodeType::kDocument) {}
+
+  // The <html> root element (nullptr on an empty document).
+  Element* document_element();
+  const Element* document_element() const;
+
+  Element* head();
+  Element* body();
+  Element* frameset();  // top-level frameset for frame documents
+  Element* noframes();
+
+  // <title> text, or "".
+  std::string Title() const;
+
+  Element* ById(std::string_view id_value);
+  std::vector<Element*> FindAll(std::string_view tag);
+  Element* FindFirst(std::string_view tag);
+
+  // Creates a deep copy of the whole document.
+  std::unique_ptr<Document> CloneDocument() const;
+
+ protected:
+  std::unique_ptr<Node> CloneSelf() const override {
+    return std::make_unique<Document>();
+  }
+};
+
+// Factory helpers.
+std::unique_ptr<Element> MakeElement(std::string tag_name);
+std::unique_ptr<Text> MakeText(std::string data);
+
+}  // namespace rcb
+
+#endif  // SRC_HTML_DOM_H_

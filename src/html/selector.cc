@@ -1,0 +1,292 @@
+#include "src/html/selector.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+// Splits a class attribute value into tokens.
+bool HasClass(const Element& element, const std::string& wanted) {
+  std::string classes = element.AttrOr("class");
+  for (const auto& token : StrSplitSkipEmpty(classes, ' ')) {
+    if (token == wanted) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<Selector> Selector::Parse(std::string_view text) {
+  Selector selector;
+  selector.text_ = std::string(text);
+
+  for (const auto& group : StrSplitSkipEmpty(text, ',')) {
+    // Tokenize the chain outer-to-inner, then reverse so the subject
+    // compound comes first.
+    struct RawPart {
+      std::string compound;
+      Combinator combinator_to_parent = Combinator::kDescendant;
+    };
+    std::vector<RawPart> parts;
+    std::string_view rest = StripWhitespace(group);
+    if (rest.empty()) {
+      return InvalidArgumentError("empty selector group");
+    }
+    Combinator pending = Combinator::kDescendant;
+    bool expect_compound = true;
+    size_t i = 0;
+    std::string current;
+    auto flush = [&]() -> Status {
+      if (current.empty()) {
+        return InvalidArgumentError("dangling combinator in selector: " +
+                                    std::string(group));
+      }
+      parts.push_back(RawPart{current, pending});
+      current.clear();
+      pending = Combinator::kDescendant;
+      expect_compound = false;
+      return Status::Ok();
+    };
+    while (i < rest.size()) {
+      char c = rest[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        // Whitespace: maybe a descendant combinator, unless a '>' follows.
+        size_t j = i;
+        while (j < rest.size() &&
+               std::isspace(static_cast<unsigned char>(rest[j]))) {
+          ++j;
+        }
+        if (j < rest.size() && rest[j] == '>') {
+          i = j;  // let '>' handling take over
+          continue;
+        }
+        RCB_RETURN_IF_ERROR(flush());
+        pending = Combinator::kDescendant;
+        expect_compound = true;
+        i = j;
+        continue;
+      }
+      if (c == '>') {
+        RCB_RETURN_IF_ERROR(flush());
+        pending = Combinator::kChild;
+        expect_compound = true;
+        ++i;
+        while (i < rest.size() &&
+               std::isspace(static_cast<unsigned char>(rest[i]))) {
+          ++i;
+        }
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+    }
+    if (expect_compound && current.empty()) {
+      return InvalidArgumentError("selector ends with a combinator: " +
+                                  std::string(group));
+    }
+    RCB_RETURN_IF_ERROR(flush());
+
+    // parts[0] is outermost; the subject is the last one. Reverse while
+    // parsing each compound.
+    Chain chain;
+    for (size_t p = parts.size(); p-- > 0;) {
+      const std::string& token = parts[p].compound;
+      Compound compound;
+      size_t k = 0;
+      // Leading tag or universal.
+      if (k < token.size() &&
+          (std::isalpha(static_cast<unsigned char>(token[k])) ||
+           token[k] == '*')) {
+        if (token[k] == '*') {
+          compound.tag = "*";
+          ++k;
+        } else {
+          size_t start = k;
+          while (k < token.size() && IsIdentChar(token[k])) {
+            ++k;
+          }
+          compound.tag = AsciiToLower(token.substr(start, k - start));
+        }
+      }
+      while (k < token.size()) {
+        char c = token[k];
+        if (c == '#' || c == '.') {
+          size_t start = ++k;
+          while (k < token.size() && IsIdentChar(token[k])) {
+            ++k;
+          }
+          if (k == start) {
+            return InvalidArgumentError("empty #/. name in selector: " + token);
+          }
+          std::string name = token.substr(start, k - start);
+          if (c == '#') {
+            compound.id = name;
+          } else {
+            compound.classes.push_back(name);
+          }
+        } else if (c == '[') {
+          size_t close = token.find(']', k);
+          if (close == std::string::npos) {
+            return InvalidArgumentError("unterminated [attr] in selector: " +
+                                        token);
+          }
+          std::string inner = token.substr(k + 1, close - k - 1);
+          AttributeTest test;
+          size_t eq = inner.find('=');
+          if (eq == std::string::npos) {
+            test.name = AsciiToLower(inner);
+          } else {
+            test.name = AsciiToLower(inner.substr(0, eq));
+            test.has_value = true;
+            std::string value = inner.substr(eq + 1);
+            if (value.size() >= 2 &&
+                ((value.front() == '"' && value.back() == '"') ||
+                 (value.front() == '\'' && value.back() == '\''))) {
+              value = value.substr(1, value.size() - 2);
+            }
+            test.value = value;
+          }
+          if (test.name.empty()) {
+            return InvalidArgumentError("empty attribute name in selector: " +
+                                        token);
+          }
+          compound.attributes.push_back(std::move(test));
+          k = close + 1;
+        } else {
+          return InvalidArgumentError(
+              StrFormat("unexpected '%c' in selector: %s", c, token.c_str()));
+        }
+      }
+      if (compound.tag.empty() && compound.id.empty() &&
+          compound.classes.empty() && compound.attributes.empty()) {
+        return InvalidArgumentError("empty compound in selector: " + token);
+      }
+      chain.compounds.push_back(std::move(compound));
+      if (p > 0) {
+        // The combinator between this compound and its parent compound is
+        // recorded on THIS part (combinator_to_parent).
+        chain.combinators.push_back(parts[p].combinator_to_parent);
+      }
+    }
+    selector.chains_.push_back(std::move(chain));
+  }
+  if (selector.chains_.empty()) {
+    return InvalidArgumentError("empty selector");
+  }
+  return selector;
+}
+
+bool Selector::MatchCompound(const Compound& compound, const Element& element) {
+  if (!compound.tag.empty() && compound.tag != "*" &&
+      element.tag_name() != compound.tag) {
+    return false;
+  }
+  if (!compound.id.empty() && element.id() != compound.id) {
+    return false;
+  }
+  for (const auto& cls : compound.classes) {
+    if (!HasClass(element, cls)) {
+      return false;
+    }
+  }
+  for (const auto& test : compound.attributes) {
+    auto value = element.GetAttribute(test.name);
+    if (!value.has_value()) {
+      return false;
+    }
+    if (test.has_value && *value != test.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Backtracking ancestor match: compounds[index..] must be satisfiable along
+// `context`'s ancestor chain. Greedy nearest-match is incomplete once child
+// combinators mix with descendant ones, so each candidate ancestor is tried.
+bool Selector::MatchChainFrom(const Chain& chain, size_t index,
+                              const Element* context) {
+  if (index >= chain.compounds.size()) {
+    return true;
+  }
+  Combinator combinator = chain.combinators[index - 1];
+  const Node* ancestor = context->parent();
+  while (ancestor != nullptr) {
+    const Element* ancestor_element = ancestor->AsElement();
+    if (ancestor_element != nullptr &&
+        MatchCompound(chain.compounds[index], *ancestor_element) &&
+        MatchChainFrom(chain, index + 1, ancestor_element)) {
+      return true;
+    }
+    if (combinator == Combinator::kChild) {
+      return false;  // only the immediate parent may satisfy '>'
+    }
+    ancestor = ancestor->parent();
+  }
+  return false;
+}
+
+bool Selector::MatchChain(const Chain& chain, const Element& element) {
+  if (!MatchCompound(chain.compounds[0], element)) {
+    return false;
+  }
+  return MatchChainFrom(chain, 1, &element);
+}
+
+bool Selector::Matches(const Element& element) const {
+  for (const Chain& chain : chains_) {
+    if (MatchChain(chain, element)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Element*> Selector::SelectAll(Node* root) const {
+  std::vector<Element*> out;
+  root->ForEachElement([&](Element* element) {
+    if (Matches(*element)) {
+      out.push_back(element);
+    }
+    return true;
+  });
+  return out;
+}
+
+Element* Selector::SelectFirst(Node* root) const {
+  Element* found = nullptr;
+  root->ForEachElement([&](Element* element) {
+    if (Matches(*element)) {
+      found = element;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::vector<Element*> QuerySelectorAll(Node* root, std::string_view selector) {
+  auto parsed = Selector::Parse(selector);
+  if (!parsed.ok()) {
+    return {};
+  }
+  return parsed->SelectAll(root);
+}
+
+Element* QuerySelector(Node* root, std::string_view selector) {
+  auto parsed = Selector::Parse(selector);
+  if (!parsed.ok()) {
+    return nullptr;
+  }
+  return parsed->SelectFirst(root);
+}
+
+}  // namespace rcb

@@ -1,0 +1,82 @@
+// CSS-selector-lite querying over the DOM.
+//
+// Supports the selector subset practical co-browsing tooling needs:
+//   tag            div
+//   id             #cart
+//   class          .price
+//   universal      *
+//   attribute      [name], [name=value]
+//   compound       form.checkout#main[method=post]
+//   descendant     form input        (whitespace combinator)
+//   child          ul > li
+//   grouping       h1, h2, h3
+// Matching is case-sensitive for values, case-insensitive for tag names
+// (tags are stored lowercase).
+#ifndef SRC_HTML_SELECTOR_H_
+#define SRC_HTML_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/html/dom.h"
+#include "src/util/status.h"
+
+namespace rcb {
+
+// A parsed selector, reusable across queries.
+class Selector {
+ public:
+  // Parses a selector string; kInvalidArgument on empty/garbled input.
+  static StatusOr<Selector> Parse(std::string_view text);
+
+  // True if `element` itself matches (ancestors are consulted for
+  // combinators).
+  bool Matches(const Element& element) const;
+
+  // All matching descendants of `root` in pre-order.
+  std::vector<Element*> SelectAll(Node* root) const;
+  // First match or nullptr.
+  Element* SelectFirst(Node* root) const;
+
+  const std::string& text() const { return text_; }
+
+ private:
+  struct AttributeTest {
+    std::string name;
+    bool has_value = false;
+    std::string value;
+  };
+  // One compound selector: every listed constraint must hold.
+  struct Compound {
+    std::string tag;  // empty or "*" = any
+    std::string id;
+    std::vector<std::string> classes;
+    std::vector<AttributeTest> attributes;
+  };
+  enum class Combinator { kDescendant, kChild };
+  // A chain like "ul > li a": compounds[0] matches the element, each further
+  // compound must match an ancestor per its combinator.
+  struct Chain {
+    // Stored innermost-first: compounds[0] is the subject.
+    std::vector<Compound> compounds;
+    std::vector<Combinator> combinators;  // combinators[i] links i to i+1
+  };
+
+  static bool MatchCompound(const Compound& compound, const Element& element);
+  static bool MatchChain(const Chain& chain, const Element& element);
+  static bool MatchChainFrom(const Chain& chain, size_t index,
+                             const Element* context);
+
+  std::string text_;
+  std::vector<Chain> chains_;  // grouping: any chain may match
+};
+
+// One-shot conveniences.
+std::vector<Element*> QuerySelectorAll(Node* root, std::string_view selector);
+Element* QuerySelector(Node* root, std::string_view selector);
+
+}  // namespace rcb
+
+#endif  // SRC_HTML_SELECTOR_H_

@@ -1,0 +1,65 @@
+// Cookie jar with the attribute subset that mattered in 2009: Path scoping,
+// Max-Age / immediate-deletion, and Secure.
+//
+// Session-protected co-browsing (§5.2.2) works in RCB because the *host*
+// browser owns the session cookies and participants never talk to the origin
+// for HTML. The shop site in src/sites depends on this jar for its login and
+// cart sessions; the paper notes RCB-Agent deliberately does NOT replicate
+// cookies to participants (§4.1.2), which we reproduce.
+#ifndef SRC_HTTP_COOKIE_H_
+#define SRC_HTTP_COOKIE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/http/url.h"
+#include "src/util/sim_time.h"
+
+namespace rcb {
+
+class CookieJar {
+ public:
+  // Applies one Set-Cookie header value ("name=value[; attrs...]").
+  // Supported attributes: Path (default "/"), Max-Age (seconds on the
+  // simulated clock; <= 0 deletes the cookie), Secure. Unknown attributes
+  // are ignored. Cookies are scoped per host + path.
+  void ApplySetCookie(const Url& origin, std::string_view set_cookie_value,
+                      SimTime now = SimTime());
+
+  // Builds the Cookie header value for a request to `url` at `now`:
+  // path-matching, unexpired cookies; Secure cookies only over https.
+  // Longer (more specific) paths are listed first, per RFC 6265.
+  std::string CookieHeaderFor(const Url& url, SimTime now = SimTime()) const;
+
+  // Direct lookup by name against the origin's root path.
+  std::string Get(const Url& origin, std::string_view name,
+                  SimTime now = SimTime()) const;
+
+  void Clear() { cookies_.clear(); }
+  // Number of unexpired cookies stored for the host (any path).
+  size_t CountFor(const Url& origin, SimTime now = SimTime()) const;
+
+ private:
+  struct Cookie {
+    std::string name;
+    std::string value;
+    std::string path = "/";
+    bool secure = false;
+    bool has_expiry = false;
+    SimTime expires_at;
+  };
+
+  static bool PathMatches(const std::string& cookie_path,
+                          const std::string& request_path);
+  bool Usable(const Cookie& cookie, SimTime now) const {
+    return !cookie.has_expiry || now < cookie.expires_at;
+  }
+
+  std::map<std::string, std::vector<Cookie>> cookies_;  // host -> cookies
+};
+
+}  // namespace rcb
+
+#endif  // SRC_HTTP_COOKIE_H_

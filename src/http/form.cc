@@ -1,0 +1,57 @@
+#include "src/http/form.h"
+
+#include "src/util/escape.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+
+std::string EncodeFormUrlEncoded(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    if (!out.empty()) {
+      out += '&';
+    }
+    out += PercentEncode(key);
+    out += '=';
+    out += PercentEncode(value);
+  }
+  return out;
+}
+
+std::string EncodeFormUrlEncoded(const std::map<std::string, std::string>& fields) {
+  std::vector<std::pair<std::string, std::string>> ordered(fields.begin(),
+                                                           fields.end());
+  return EncodeFormUrlEncoded(ordered);
+}
+
+std::vector<std::pair<std::string, std::string>> ParseFormUrlEncodedOrdered(
+    std::string_view body) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (body.empty()) {
+    return out;
+  }
+  for (const auto& piece : StrSplit(body, '&')) {
+    if (piece.empty()) {
+      continue;
+    }
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      out.emplace_back(PercentDecode(piece, /*plus_as_space=*/true), "");
+    } else {
+      out.emplace_back(PercentDecode(piece.substr(0, eq), /*plus_as_space=*/true),
+                       PercentDecode(piece.substr(eq + 1), /*plus_as_space=*/true));
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ParseFormUrlEncoded(std::string_view body) {
+  std::map<std::string, std::string> out;
+  for (auto& [key, value] : ParseFormUrlEncodedOrdered(body)) {
+    out[key] = value;
+  }
+  return out;
+}
+
+}  // namespace rcb

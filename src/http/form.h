@@ -1,0 +1,31 @@
+// application/x-www-form-urlencoded codec.
+//
+// Both the co-filled form payloads piggybacked on Ajax polling requests and
+// the shop site's checkout forms travel in this encoding.
+#ifndef SRC_HTTP_FORM_H_
+#define SRC_HTTP_FORM_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcb {
+
+// Ordered form encoding (preserves insertion order like a real form submit).
+std::string EncodeFormUrlEncoded(
+    const std::vector<std::pair<std::string, std::string>>& fields);
+
+// Map convenience overload (alphabetical key order).
+std::string EncodeFormUrlEncoded(const std::map<std::string, std::string>& fields);
+
+// Decodes into a last-wins map. Keys without '=' map to "".
+std::map<std::string, std::string> ParseFormUrlEncoded(std::string_view body);
+
+// Decodes preserving order and duplicates.
+std::vector<std::pair<std::string, std::string>> ParseFormUrlEncodedOrdered(
+    std::string_view body);
+
+}  // namespace rcb
+
+#endif  // SRC_HTTP_FORM_H_

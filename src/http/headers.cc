@@ -1,0 +1,54 @@
+#include "src/http/headers.h"
+
+#include "src/util/strings.h"
+
+namespace rcb {
+
+void Headers::Set(std::string_view name, std::string_view value) {
+  Remove(name);
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+void Headers::Add(std::string_view name, std::string_view value) {
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+std::optional<std::string> Headers::Get(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (EqualsIgnoreCase(key, name)) {
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Headers::GetAll(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : entries_) {
+    if (EqualsIgnoreCase(key, name)) {
+      out.push_back(value);
+    }
+  }
+  return out;
+}
+
+bool Headers::Has(std::string_view name) const { return Get(name).has_value(); }
+
+void Headers::Remove(std::string_view name) {
+  std::erase_if(entries_, [name](const auto& entry) {
+    return EqualsIgnoreCase(entry.first, name);
+  });
+}
+
+std::string Headers::Serialize() const {
+  std::string out;
+  for (const auto& [key, value] : entries_) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  return out;
+}
+
+}  // namespace rcb

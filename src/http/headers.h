@@ -1,0 +1,39 @@
+// Ordered, case-insensitive HTTP header map.
+#ifndef SRC_HTTP_HEADERS_H_
+#define SRC_HTTP_HEADERS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcb {
+
+class Headers {
+ public:
+  // Replaces all existing values of `name`.
+  void Set(std::string_view name, std::string_view value);
+  // Appends a value (Set-Cookie style repeated headers).
+  void Add(std::string_view name, std::string_view value);
+  // First value for `name`, if any. Lookup is case-insensitive.
+  std::optional<std::string> Get(std::string_view name) const;
+  // All values for `name`.
+  std::vector<std::string> GetAll(std::string_view name) const;
+  bool Has(std::string_view name) const;
+  void Remove(std::string_view name);
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  // Serializes as "Name: value\r\n" lines (no trailing blank line).
+  std::string Serialize() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_HTTP_HEADERS_H_

@@ -1,0 +1,75 @@
+// Incremental HTTP/1.1 message parsers.
+//
+// RCB-Agent receives request bytes asynchronously (the paper's
+// nsIStreamListener); these parsers accept arbitrary byte chunks and emit
+// complete messages once the head and Content-Length-delimited body have
+// arrived. Pipelined messages on one connection are handled: each Feed may
+// complete at most one message, and leftover bytes stay buffered.
+#ifndef SRC_HTTP_HTTP_PARSER_H_
+#define SRC_HTTP_HTTP_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/http/message.h"
+#include "src/util/status.h"
+
+namespace rcb {
+
+namespace http_internal {
+
+// Shared head-then-body state machine.
+class MessageAssembler {
+ public:
+  // Appends bytes; returns true once head+body of the current message are
+  // complete. Call Reset() after consuming a message to continue with any
+  // pipelined leftover.
+  void Append(std::string_view data) { buffer_.append(data); }
+
+  // Looks for the end-of-head marker; returns the head (without the blank
+  // line) once present.
+  std::optional<std::string> TakeHeadIfComplete();
+
+  // After the head is consumed, extracts `length` body bytes when available.
+  std::optional<std::string> TakeBodyIfComplete(size_t length);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace http_internal
+
+class HttpRequestParser {
+ public:
+  // Feeds bytes from the connection. Returns:
+  //  - a complete HttpRequest once one is fully buffered,
+  //  - std::nullopt if more bytes are needed,
+  //  - an error Status on malformed input (connection should be dropped).
+  StatusOr<std::optional<HttpRequest>> Feed(std::string_view data);
+
+ private:
+  http_internal::MessageAssembler assembler_;
+  std::optional<HttpRequest> pending_;  // head parsed, waiting for body
+  size_t pending_body_length_ = 0;
+};
+
+class HttpResponseParser {
+ public:
+  StatusOr<std::optional<HttpResponse>> Feed(std::string_view data);
+
+ private:
+  http_internal::MessageAssembler assembler_;
+  std::optional<HttpResponse> pending_;
+  size_t pending_body_length_ = 0;
+};
+
+// One-shot conveniences for tests.
+StatusOr<HttpRequest> ParseHttpRequest(std::string_view wire);
+StatusOr<HttpResponse> ParseHttpResponse(std::string_view wire);
+
+}  // namespace rcb
+
+#endif  // SRC_HTTP_HTTP_PARSER_H_

@@ -1,0 +1,139 @@
+#include "src/http/message.h"
+
+#include "src/http/form.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+
+std::string_view HttpMethodName(HttpMethod method) {
+  switch (method) {
+    case HttpMethod::kGet:
+      return "GET";
+    case HttpMethod::kPost:
+      return "POST";
+    case HttpMethod::kHead:
+      return "HEAD";
+  }
+  return "GET";
+}
+
+StatusOr<HttpMethod> ParseHttpMethod(std::string_view token) {
+  if (token == "GET") {
+    return HttpMethod::kGet;
+  }
+  if (token == "POST") {
+    return HttpMethod::kPost;
+  }
+  if (token == "HEAD") {
+    return HttpMethod::kHead;
+  }
+  return InvalidArgumentError("unsupported HTTP method: " + std::string(token));
+}
+
+std::string HttpRequest::Path() const {
+  size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::QueryString() const {
+  size_t q = target.find('?');
+  return q == std::string::npos ? std::string() : target.substr(q + 1);
+}
+
+std::map<std::string, std::string> HttpRequest::QueryParams() const {
+  return ParseFormUrlEncoded(QueryString());
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string out;
+  out += HttpMethodName(method);
+  out += ' ';
+  out += target;
+  out += " HTTP/1.1\r\n";
+  Headers hdrs = headers;
+  if (!body.empty() || method == HttpMethod::kPost) {
+    hdrs.Set("Content-Length", StrFormat("%zu", body.size()));
+  }
+  out += hdrs.Serialize();
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", status_code, reason.c_str());
+  Headers hdrs = headers;
+  hdrs.Set("Content-Length", StrFormat("%zu", body.size()));
+  out += hdrs.Serialize();
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::Ok(std::string content_type, std::string body) {
+  HttpResponse resp;
+  resp.status_code = 200;
+  resp.reason = "OK";
+  resp.headers.Set("Content-Type", content_type);
+  resp.body = std::move(body);
+  return resp;
+}
+
+namespace {
+HttpResponse ErrorResponse(int code, std::string_view detail) {
+  HttpResponse resp;
+  resp.status_code = code;
+  resp.reason = std::string(ReasonPhraseFor(code));
+  resp.headers.Set("Content-Type", "text/plain");
+  resp.body = resp.reason;
+  if (!detail.empty()) {
+    resp.body += ": ";
+    resp.body += detail;
+  }
+  return resp;
+}
+}  // namespace
+
+HttpResponse HttpResponse::NotFound(std::string_view detail) {
+  return ErrorResponse(404, detail);
+}
+HttpResponse HttpResponse::BadRequest(std::string_view detail) {
+  return ErrorResponse(400, detail);
+}
+HttpResponse HttpResponse::Forbidden(std::string_view detail) {
+  return ErrorResponse(403, detail);
+}
+HttpResponse HttpResponse::InternalError(std::string_view detail) {
+  return ErrorResponse(500, detail);
+}
+
+std::string_view ReasonPhraseFor(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 301:
+      return "Moved Permanently";
+    case 302:
+      return "Found";
+    case 304:
+      return "Not Modified";
+    case 400:
+      return "Bad Request";
+    case 401:
+      return "Unauthorized";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace rcb

@@ -1,0 +1,60 @@
+// HTTP/1.1 request and response value types.
+//
+// RCB-Agent distinguishes three request types by method token and request-URI
+// (Fig. 2): new-connection GET /, object GET /rcb-object/..., and Ajax POST.
+// These types model exactly the HTTP/1.1 subset that flow needs.
+#ifndef SRC_HTTP_MESSAGE_H_
+#define SRC_HTTP_MESSAGE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/http/headers.h"
+#include "src/util/status.h"
+
+namespace rcb {
+
+enum class HttpMethod { kGet, kPost, kHead };
+
+std::string_view HttpMethodName(HttpMethod method);
+StatusOr<HttpMethod> ParseHttpMethod(std::string_view token);
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  std::string target = "/";  // origin-form request-URI: /path?query
+  Headers headers;
+  std::string body;
+
+  // Path portion of the target (before '?').
+  std::string Path() const;
+  // Raw query string (after '?', empty if none).
+  std::string QueryString() const;
+  // Decoded query parameters, last-wins per key.
+  std::map<std::string, std::string> QueryParams() const;
+
+  // Serializes to wire format; sets Content-Length iff body is non-empty or
+  // method is POST.
+  std::string Serialize() const;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  std::string Serialize() const;
+
+  static HttpResponse Ok(std::string content_type, std::string body);
+  static HttpResponse NotFound(std::string_view detail = "");
+  static HttpResponse BadRequest(std::string_view detail = "");
+  static HttpResponse Forbidden(std::string_view detail = "");
+  static HttpResponse InternalError(std::string_view detail = "");
+};
+
+std::string_view ReasonPhraseFor(int status_code);
+
+}  // namespace rcb
+
+#endif  // SRC_HTTP_MESSAGE_H_

@@ -1,0 +1,245 @@
+#include "src/http/url.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace {
+
+bool IsSchemeChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '+' || c == '-' ||
+         c == '.';
+}
+
+// Splits "host[:port]"; returns false on a bad port.
+bool SplitAuthority(std::string_view authority, std::string* host, uint16_t* port,
+                    uint16_t default_port) {
+  size_t colon = authority.rfind(':');
+  if (colon == std::string_view::npos) {
+    *host = std::string(authority);
+    *port = default_port;
+    return !host->empty();
+  }
+  std::string_view port_part = authority.substr(colon + 1);
+  uint64_t parsed = 0;
+  if (!ParseUint64(port_part, &parsed) || parsed == 0 || parsed > 65535) {
+    return false;
+  }
+  *host = std::string(authority.substr(0, colon));
+  *port = static_cast<uint16_t>(parsed);
+  return !host->empty();
+}
+
+void SplitPathQueryFragment(std::string_view rest, std::string* path,
+                            std::string* query, std::string* fragment) {
+  size_t frag = rest.find('#');
+  if (frag != std::string_view::npos) {
+    *fragment = std::string(rest.substr(frag + 1));
+    rest = rest.substr(0, frag);
+  }
+  size_t q = rest.find('?');
+  if (q != std::string_view::npos) {
+    *query = std::string(rest.substr(q + 1));
+    rest = rest.substr(0, q);
+  }
+  *path = std::string(rest);
+}
+
+}  // namespace
+
+bool IsAbsoluteUrl(std::string_view reference) {
+  size_t colon = reference.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return false;
+  }
+  if (!std::isalpha(static_cast<unsigned char>(reference[0]))) {
+    return false;
+  }
+  for (size_t i = 1; i < colon; ++i) {
+    if (!IsSchemeChar(reference[i])) {
+      return false;
+    }
+  }
+  // A colon inside a path segment ("/a:b") is not a scheme; schemes are
+  // followed by "//" for the URL forms we accept.
+  return reference.substr(colon + 1, 2) == "//";
+}
+
+std::string RemoveDotSegments(std::string_view path) {
+  std::vector<std::string> stack;
+  bool last_was_dot = false;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;  // collapses duplicate slashes
+    }
+    if (i >= path.size()) {
+      break;
+    }
+    size_t j = path.find('/', i);
+    std::string_view segment =
+        (j == std::string_view::npos) ? path.substr(i) : path.substr(i, j - i);
+    i = (j == std::string_view::npos) ? path.size() : j;
+    if (segment == ".") {
+      last_was_dot = true;
+    } else if (segment == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      last_was_dot = true;
+    } else {
+      stack.emplace_back(segment);
+      last_was_dot = false;
+    }
+  }
+  if (stack.empty()) {
+    return "/";
+  }
+  bool trailing_slash = last_was_dot || (!path.empty() && path.back() == '/');
+  std::string result;
+  for (const auto& segment : stack) {
+    result += '/';
+    result += segment;
+  }
+  if (trailing_slash) {
+    result += '/';
+  }
+  return result;
+}
+
+StatusOr<Url> Url::Parse(std::string_view input) {
+  size_t scheme_end = input.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return InvalidArgumentError("not an absolute URL: " + std::string(input));
+  }
+  Url url;
+  url.scheme_ = AsciiToLower(input.substr(0, scheme_end));
+  if (url.scheme_ != "http" && url.scheme_ != "https") {
+    return InvalidArgumentError("unsupported scheme: " + url.scheme_);
+  }
+  uint16_t default_port = url.scheme_ == "https" ? 443 : 80;
+
+  std::string_view rest = input.substr(scheme_end + 3);
+  size_t path_start = rest.find_first_of("/?#");
+  std::string_view authority =
+      (path_start == std::string_view::npos) ? rest : rest.substr(0, path_start);
+  if (!SplitAuthority(authority, &url.host_, &url.port_, default_port)) {
+    return InvalidArgumentError("bad authority in URL: " + std::string(input));
+  }
+  url.host_ = AsciiToLower(url.host_);
+
+  if (path_start == std::string_view::npos) {
+    url.path_ = "/";
+    return url;
+  }
+  std::string_view tail = rest.substr(path_start);
+  std::string path;
+  SplitPathQueryFragment(tail, &path, &url.query_, &url.fragment_);
+  url.path_ = path.empty() || path[0] != '/' ? "/" + path : path;
+  return url;
+}
+
+Url Url::Make(std::string_view scheme, std::string_view host, uint16_t port,
+              std::string_view path, std::string_view query) {
+  Url url;
+  url.scheme_ = AsciiToLower(scheme);
+  url.host_ = AsciiToLower(host);
+  url.port_ = port;
+  url.path_ = path.empty() ? "/" : std::string(path);
+  if (url.path_[0] != '/') {
+    url.path_.insert(url.path_.begin(), '/');
+  }
+  url.query_ = std::string(query);
+  return url;
+}
+
+StatusOr<Url> Url::Resolve(std::string_view reference) const {
+  if (reference.empty()) {
+    return *this;
+  }
+  if (IsAbsoluteUrl(reference)) {
+    return Parse(reference);
+  }
+  Url result = *this;
+  result.fragment_.clear();
+
+  if (StartsWith(reference, "//")) {
+    // Network-path reference: keep scheme, replace authority onward.
+    return Parse(scheme_ + ":" + std::string(reference));
+  }
+  if (reference[0] == '#') {
+    result.fragment_ = std::string(reference.substr(1));
+    return result;
+  }
+  if (reference[0] == '?') {
+    std::string query;
+    std::string fragment;
+    size_t frag = reference.find('#');
+    if (frag != std::string_view::npos) {
+      fragment = std::string(reference.substr(frag + 1));
+      query = std::string(reference.substr(1, frag - 1));
+    } else {
+      query = std::string(reference.substr(1));
+    }
+    result.query_ = query;
+    result.fragment_ = fragment;
+    return result;
+  }
+
+  std::string ref_path;
+  std::string ref_query;
+  std::string ref_fragment;
+  SplitPathQueryFragment(reference, &ref_path, &ref_query, &ref_fragment);
+  result.query_ = ref_query;
+  result.fragment_ = ref_fragment;
+
+  if (!ref_path.empty() && ref_path[0] == '/') {
+    result.path_ = RemoveDotSegments(ref_path);
+  } else {
+    // Merge with the base path: drop the last segment of the base.
+    size_t last_slash = path_.rfind('/');
+    std::string merged =
+        (last_slash == std::string::npos ? "/" : path_.substr(0, last_slash + 1)) +
+        ref_path;
+    result.path_ = RemoveDotSegments(merged);
+  }
+  return result;
+}
+
+std::string Url::Authority() const {
+  if (IsDefaultPort()) {
+    return host_;
+  }
+  return StrFormat("%s:%u", host_.c_str(), port_);
+}
+
+std::string Url::PathAndQuery() const {
+  if (query_.empty()) {
+    return path_;
+  }
+  return path_ + "?" + query_;
+}
+
+std::string Url::ToString() const {
+  return scheme_ + "://" + Authority() + PathAndQuery();
+}
+
+std::string Url::ToStringWithFragment() const {
+  std::string out = ToString();
+  if (!fragment_.empty()) {
+    out += "#" + fragment_;
+  }
+  return out;
+}
+
+bool Url::SameOrigin(const Url& other) const {
+  return scheme_ == other.scheme_ && host_ == other.host_ && port_ == other.port_;
+}
+
+bool Url::operator==(const Url& other) const {
+  return SameOrigin(other) && path_ == other.path_ && query_ == other.query_ &&
+         fragment_ == other.fragment_;
+}
+
+}  // namespace rcb

@@ -1,0 +1,78 @@
+// URL model with RFC 3986 relative-reference resolution.
+//
+// RCB-Agent's content-generation pipeline (Fig. 3, step 2) converts every
+// relative URL in the cloned document to an absolute URL of the origin
+// server; in cache mode (step 3) absolute URLs are rewritten again to
+// RCB-Agent URLs. Both rewrites go through this type.
+#ifndef SRC_HTTP_URL_H_
+#define SRC_HTTP_URL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace rcb {
+
+class Url {
+ public:
+  Url() = default;
+
+  // Parses an absolute URL ("http://host[:port]/path[?query][#fragment]").
+  // Only http/https schemes are accepted; others are kInvalidArgument.
+  static StatusOr<Url> Parse(std::string_view input);
+
+  // Builds from parts; `path` must start with '/' (or be empty -> "/").
+  static Url Make(std::string_view scheme, std::string_view host, uint16_t port,
+                  std::string_view path, std::string_view query = "");
+
+  // Resolves `reference` (relative or absolute) against this base URL per
+  // RFC 3986 §5. Handles "//authority", absolute-path, relative-path, "."
+  // and ".." segments, query-only, and fragment-only references.
+  StatusOr<Url> Resolve(std::string_view reference) const;
+
+  const std::string& scheme() const { return scheme_; }
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  const std::string& path() const { return path_; }
+  const std::string& query() const { return query_; }
+  const std::string& fragment() const { return fragment_; }
+
+  bool is_https() const { return scheme_ == "https"; }
+  bool IsDefaultPort() const {
+    return (scheme_ == "http" && port_ == 80) || (scheme_ == "https" && port_ == 443);
+  }
+
+  // "host" or "host:port" (port omitted when default for the scheme).
+  std::string Authority() const;
+  // "/path?query" — what goes into an HTTP request-line.
+  std::string PathAndQuery() const;
+  // Full serialization (without fragment, which is client-side only).
+  std::string ToString() const;
+  // Full serialization including fragment.
+  std::string ToStringWithFragment() const;
+
+  // Origin equality: scheme + host + port.
+  bool SameOrigin(const Url& other) const;
+
+  bool operator==(const Url& other) const;
+
+ private:
+  std::string scheme_ = "http";
+  std::string host_;
+  uint16_t port_ = 80;
+  std::string path_ = "/";
+  std::string query_;
+  std::string fragment_;
+};
+
+// True for references that already carry a scheme ("http://...").
+bool IsAbsoluteUrl(std::string_view reference);
+
+// Collapses "." and ".." segments of an absolute path (RFC 3986 §5.2.4).
+std::string RemoveDotSegments(std::string_view path);
+
+}  // namespace rcb
+
+#endif  // SRC_HTTP_URL_H_

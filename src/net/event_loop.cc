@@ -1,0 +1,79 @@
+#include "src/net/event_loop.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rcb {
+
+uint64_t EventLoop::Schedule(Duration delay, Callback fn) {
+  if (delay < Duration::Zero()) {
+    delay = Duration::Zero();
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+uint64_t EventLoop::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void EventLoop::Cancel(uint64_t id) { cancelled_.push_back(id); }
+
+bool EventLoop::PopAndRunNext() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(event.when >= now_);
+    now_ = event.when;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t EventLoop::Run() {
+  size_t count = 0;
+  while (PopAndRunNext()) {
+    ++count;
+  }
+  return count;
+}
+
+size_t EventLoop::RunUntil(SimTime deadline) {
+  size_t count = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) {
+      break;
+    }
+    if (PopAndRunNext()) {
+      ++count;
+    }
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+bool EventLoop::RunUntilCondition(const std::function<bool()>& predicate) {
+  if (predicate()) {
+    return true;
+  }
+  while (PopAndRunNext()) {
+    if (predicate()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rcb

@@ -1,0 +1,60 @@
+#include "src/net/profiles.h"
+
+namespace rcb {
+
+NetworkProfile LanProfile() {
+  NetworkProfile profile;
+  profile.name = "LAN";
+  profile.host_interface = {.uplink_bps = 100'000'000, .downlink_bps = 100'000'000};
+  profile.participant_interface = profile.host_interface;
+  profile.host_participant_latency = Duration::Micros(250);
+  profile.access_latency = Duration::Zero();
+  return profile;
+}
+
+NetworkProfile WanProfile() {
+  NetworkProfile profile;
+  profile.name = "WAN";
+  profile.host_interface = {.uplink_bps = 384'000, .downlink_bps = 1'500'000};
+  profile.participant_interface = profile.host_interface;
+  profile.host_participant_latency = Duration::Millis(40);
+  profile.access_latency = Duration::Millis(8);
+  return profile;
+}
+
+NetworkProfile MobileProfile() {
+  NetworkProfile profile;
+  profile.name = "MOBILE";
+  // The paper's mobile host is a Nokia N810 — a Wi-Fi internet tablet. Model
+  // 802.11g with real-world throughput around 12 Mbps and a few ms of radio
+  // latency; the participant sits on the same access network (the paper's
+  // preliminary experiments were local).
+  profile.host_interface = {.uplink_bps = 12'000'000, .downlink_bps = 12'000'000};
+  profile.participant_interface = {.uplink_bps = 54'000'000,
+                                   .downlink_bps = 54'000'000};
+  profile.host_participant_latency = Duration::Millis(4);
+  profile.access_latency = Duration::Millis(6);
+  return profile;
+}
+
+void ApplyProfile(Network* network, const NetworkProfile& profile,
+                  const std::string& host_name,
+                  const std::string& participant_name) {
+  network->AddHost(host_name, profile.host_interface);
+  network->AddHost(participant_name, profile.participant_interface);
+  network->SetLatency(host_name, participant_name,
+                      profile.host_participant_latency);
+}
+
+void AddOriginServer(Network* network, const NetworkProfile& profile,
+                     const std::string& server_name, int64_t server_bps,
+                     Duration server_latency, const std::string& host_name,
+                     const std::string& participant_name) {
+  network->AddHost(server_name,
+                   {.uplink_bps = server_bps, .downlink_bps = server_bps});
+  Duration total = server_latency + profile.access_latency;
+  network->SetLatency(host_name, server_name, total);
+  network->SetLatency(participant_name, server_name, total);
+}
+
+}  // namespace rcb

@@ -1,0 +1,53 @@
+// Network environment profiles matching the paper's two testbeds (§5.1.2):
+//  - LAN: host and participant PCs on a 100 Mbps campus Ethernet.
+//  - WAN: two homes with 1.5 Mbps download / 384 Kbps upload links.
+// Origin Web servers sit across the Internet with per-site latency and
+// serving bandwidth (configured by the site corpus).
+#ifndef SRC_NET_PROFILES_H_
+#define SRC_NET_PROFILES_H_
+
+#include <string>
+
+#include "src/net/network.h"
+
+namespace rcb {
+
+struct NetworkProfile {
+  std::string name;
+  HostInterface host_interface;
+  HostInterface participant_interface;
+  // One-way propagation latency between host and participant machines.
+  Duration host_participant_latency = Duration::Millis(1);
+  // One-way latency added between a user machine and any Internet server, on
+  // top of the per-site latency (models the access-network hop).
+  Duration access_latency = Duration::Zero();
+};
+
+// 100 Mbps switched Ethernet, sub-millisecond latency.
+NetworkProfile LanProfile();
+
+// Residential ADSL on both sides: 1.5 Mbps down / 384 Kbps up, ~40 ms between
+// the two homes.
+NetworkProfile WanProfile();
+
+// Mobile co-browsing (§6 future work: RCB-Agent ported to Fennec on a Nokia
+// N810 Wi-Fi tablet): the host is a handheld on 802.11g, the participant a
+// laptop on the same access network.
+NetworkProfile MobileProfile();
+
+// Registers `host_name` and `participant_name` with the profile's interfaces
+// and sets their pairwise latency.
+void ApplyProfile(Network* network, const NetworkProfile& profile,
+                  const std::string& host_name,
+                  const std::string& participant_name);
+
+// Registers an origin Web server with a serving bandwidth and sets its
+// latency to every already-registered user machine.
+void AddOriginServer(Network* network, const NetworkProfile& profile,
+                     const std::string& server_name, int64_t server_bps,
+                     Duration server_latency, const std::string& host_name,
+                     const std::string& participant_name);
+
+}  // namespace rcb
+
+#endif  // SRC_NET_PROFILES_H_

@@ -1,0 +1,69 @@
+// The 20-site evaluation corpus (Table 1 of the paper).
+//
+// The paper co-browses the homepages of 20 Alexa-top-50 websites; Table 1
+// records each homepage's HTML size. Live 2009 pages are unavailable, so we
+// regenerate each homepage synthetically: the HTML document is built to the
+// exact Table 1 byte size with a realistic element mix (head children,
+// styles, scripts, images, links, a form), and each site gets supplementary
+// objects, a server latency reflecting rough geography (e.g. yahoo.co.jp,
+// mail.ru, and free.fr are far), and a serving bandwidth. Content is
+// deterministic per site seed.
+#ifndef SRC_SITES_CORPUS_H_
+#define SRC_SITES_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sites/site_server.h"
+#include "src/util/sim_time.h"
+
+namespace rcb {
+
+struct SiteSpec {
+  int index;               // 1-based position in Table 1
+  std::string name;        // "yahoo.com" — as printed in the table
+  std::string host;        // network host, "www.yahoo.com"
+  double page_kb;          // homepage HTML size from Table 1
+  int object_count;        // supplementary objects on the homepage
+  double object_total_kb;  // combined size of those objects
+  Duration server_latency; // one-way user<->server propagation delay
+  int64_t server_bps;      // origin serving bandwidth
+  // 2009-calibrated origin behaviour: time the origin spends generating the
+  // homepage HTML (dynamic front pages were slow) and per-object time to
+  // first byte for static assets. Calibrated so the WAN environment
+  // reproduces the M1/M2 relationship of Fig. 7 (see DESIGN.md).
+  Duration page_delay;
+  Duration object_delay;
+};
+
+// The Table 1 corpus, in table order.
+const std::vector<SiteSpec>& Table1Sites();
+
+// Looks up a site by its printed name; nullptr if unknown.
+const SiteSpec* FindSite(const std::string& name);
+
+// A fully generated homepage.
+struct GeneratedObject {
+  std::string path;          // "/static/img3.png"
+  std::string content_type;
+  std::string body;
+};
+struct GeneratedSite {
+  std::string html;
+  std::vector<GeneratedObject> objects;
+};
+
+// Deterministically generates the homepage + objects for `spec`. The HTML is
+// padded to within a few bytes of spec.page_kb.
+GeneratedSite GenerateHomepage(const SiteSpec& spec);
+
+// Registers spec.host in the network is the caller's job (see
+// net/profiles.h); this creates the server and installs the generated
+// homepage and objects on it.
+std::unique_ptr<SiteServer> InstallSite(EventLoop* loop, Network* network,
+                                        const SiteSpec& spec);
+
+}  // namespace rcb
+
+#endif  // SRC_SITES_CORPUS_H_

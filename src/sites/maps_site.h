@@ -1,0 +1,88 @@
+// Ajax web-map service — the Google Maps stand-in (§5.2.1).
+//
+// The map page loads a 3x3 grid of 256x256 tiles and updates them with
+// XMLHttpRequest + DOM mutation when the user searches, pans, or zooms: the
+// URL in the address bar never changes, which is exactly why URL-sharing
+// co-browsing fails on it and RCB's DOM-level sync succeeds.
+//
+// MapsApp plays the role of the page's JavaScript: it runs against a host
+// Browser, fetching tiles over the network and mutating the live document.
+#ifndef SRC_SITES_MAPS_SITE_H_
+#define SRC_SITES_MAPS_SITE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/browser/browser.h"
+#include "src/sites/site_server.h"
+
+namespace rcb {
+
+class MapsSite {
+ public:
+  MapsSite(EventLoop* loop, Network* network, std::string host);
+
+  SiteServer* server() { return server_.get(); }
+  const std::string& host() const { return host_; }
+
+  // The map page URL.
+  Url PageUrl() const;
+
+  // Deterministic geocoding used by both server and tests: query -> (x, y).
+  static std::pair<int, int> Geocode(const std::string& query);
+
+  static constexpr int kGridSize = 3;        // 3x3 visible tiles
+  static constexpr int kDefaultZoom = 12;
+  static constexpr size_t kTileBytes = 8 * 1024;
+
+ private:
+  HttpResponse MapPage(const HttpRequest& request);
+  HttpResponse Tile(const HttpRequest& request);
+  HttpResponse GeocodeHandler(const HttpRequest& request);
+
+  std::string host_;
+  std::unique_ptr<SiteServer> server_;
+};
+
+// Client-side map application logic (the page's "JavaScript").
+class MapsApp {
+ public:
+  explicit MapsApp(Browser* browser) : browser_(browser) {}
+
+  // Loads the map page, then reports readiness.
+  void Open(const Url& page_url, std::function<void(Status)> done);
+
+  // Geocodes `query` via Ajax, then loads the tile grid for the hit and
+  // mutates the document. The page URL does not change.
+  void Search(const std::string& query, std::function<void(Status)> done);
+
+  void ZoomIn(std::function<void(Status)> done);
+  void ZoomOut(std::function<void(Status)> done);
+  // Pans by whole tiles.
+  void Pan(int dx, int dy, std::function<void(Status)> done);
+
+  // Swaps the map for the street-view Flash object (embed element). RCB
+  // synchronizes the DOM change but, like the paper, not activity *inside*
+  // the Flash.
+  void ShowStreetView(std::function<void(Status)> done);
+
+  int center_x() const { return center_x_; }
+  int center_y() const { return center_y_; }
+  int zoom() const { return zoom_; }
+
+ private:
+  // Fetches the 3x3 tile set for the current view, then rewrites the
+  // #map grid in the document.
+  void ReloadTiles(std::function<void(Status)> done);
+
+  Browser* browser_;
+  Url page_url_;
+  int center_x_ = 1000;
+  int center_y_ = 1000;
+  int zoom_ = MapsSite::kDefaultZoom;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_SITES_MAPS_SITE_H_

@@ -1,0 +1,273 @@
+#include "src/sites/shop_site.h"
+
+#include "src/http/form.h"
+#include "src/util/escape.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace {
+
+constexpr char kSessionCookie[] = "shopsession";
+
+std::string CookieValueFrom(const HttpRequest& request, std::string_view name) {
+  auto header = request.headers.Get("Cookie");
+  if (!header.has_value()) {
+    return "";
+  }
+  for (const auto& piece : StrSplitSkipEmpty(*header, ';')) {
+    size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    if (StripWhitespace(std::string_view(piece).substr(0, eq)) == name) {
+      return std::string(StripWhitespace(std::string_view(piece).substr(eq + 1)));
+    }
+  }
+  return "";
+}
+
+std::string Price(int cents) {
+  return StrFormat("$%d.%02d", cents / 100, cents % 100);
+}
+
+}  // namespace
+
+ShopSite::ShopSite(EventLoop* loop, Network* network, std::string host)
+    : loop_(loop), host_(std::move(host)), rng_(0xC0FFEE) {
+  products_ = {
+      {"mba13", "MacBook Air 13-inch (newly released)", "macbook air laptop apple", 179900},
+      {"mba11", "MacBook Air 11-inch", "macbook air laptop apple", 149900},
+      {"mbp15", "MacBook Pro 15-inch", "macbook pro laptop apple", 199900},
+      {"think", "ThinkPad X200 ultraportable", "thinkpad laptop lenovo", 119900},
+      {"eee",   "Eee PC 1000HE netbook", "eee netbook asus laptop", 39900},
+      {"ipod",  "iPod touch 32GB", "ipod touch music apple", 29900},
+      {"kindl", "Kindle 2 e-reader", "kindle reader books", 35900},
+      {"watch", "Cartier Tank watch", "cartier watch jewelry", 249900},
+  };
+  server_ = std::make_unique<SiteServer>(loop_, network, host_);
+  server_->Route("/", [this](const HttpRequest& r) { return Home(r); });
+  server_->Route("/search", [this](const HttpRequest& r) { return Search(r); });
+  server_->RoutePrefix("/product/", [this](const HttpRequest& r) { return Product(r); });
+  server_->Route("/cart/add", [this](const HttpRequest& r) { return CartAdd(r); });
+  server_->Route("/cart", [this](const HttpRequest& r) { return CartView(r); });
+  server_->Route("/checkout", [this](const HttpRequest& r) { return Checkout(r); });
+  server_->Route("/checkout/submit",
+                 [this](const HttpRequest& r) { return CheckoutSubmit(r); });
+  server_->ServeStatic("/static/shop.css", "text/css",
+                       ".p{border:1px solid #ccc;padding:8px}"
+                       ".price{color:#900;font-weight:bold}");
+  server_->ServeStatic("/static/logo.png", "image/png",
+                       std::string(2048, 'L'));
+}
+
+const ShopSite::SessionState* ShopSite::FindSession(
+    const std::string& session_id) const {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+ShopSite::SessionState* ShopSite::SessionFor(const HttpRequest& request,
+                                             std::string* out_set_cookie) {
+  std::string session_id = CookieValueFrom(request, kSessionCookie);
+  if (!session_id.empty()) {
+    auto it = sessions_.find(session_id);
+    if (it != sessions_.end()) {
+      return &it->second;
+    }
+  }
+  session_id = rng_.NextToken(16);
+  *out_set_cookie = StrFormat("%s=%s; Path=/", kSessionCookie, session_id.c_str());
+  return &sessions_[session_id];
+}
+
+std::string ShopSite::PageShell(const std::string& title,
+                                const std::string& body_html, bool with_nav) const {
+  std::string nav;
+  if (with_nav) {
+    nav = "<div id=\"nav\"><a href=\"/\">Shop home</a> | "
+          "<a href=\"/cart\">Cart</a> | <a href=\"/checkout\">Checkout</a></div>"
+          "<form id=\"searchform\" action=\"/search\" method=\"get\">"
+          "<input type=\"text\" name=\"q\" value=\"\">"
+          "<input type=\"submit\" name=\"go\" value=\"Go\"></form>";
+  }
+  return StrFormat(
+      "<!DOCTYPE html><html><head><title>%s</title>"
+      "<link rel=\"stylesheet\" href=\"/static/shop.css\"></head>"
+      "<body><img src=\"/static/logo.png\" alt=\"logo\" id=\"logo\">%s%s"
+      "</body></html>",
+      HtmlEscape(title).c_str(), nav.c_str(), body_html.c_str());
+}
+
+HttpResponse ShopSite::Home(const HttpRequest& request) {
+  std::string set_cookie;
+  SessionFor(request, &set_cookie);
+  std::string body = "<h1>All-Mart online shop</h1><div id=\"featured\">";
+  for (const auto& product : products_) {
+    body += StrFormat(
+        "<div class=\"p\"><a href=\"/product/%s\">%s</a> "
+        "<span class=\"price\">%s</span></div>",
+        product.id.c_str(), HtmlEscape(product.title).c_str(),
+        Price(product.price_cents).c_str());
+  }
+  body += "</div>";
+  HttpResponse response = HttpResponse::Ok("text/html", PageShell("Shop", body));
+  if (!set_cookie.empty()) {
+    response.headers.Add("Set-Cookie", set_cookie);
+  }
+  return response;
+}
+
+HttpResponse ShopSite::Search(const HttpRequest& request) {
+  std::string set_cookie;
+  SessionFor(request, &set_cookie);
+  auto params = request.QueryParams();
+  std::string query = AsciiToLower(params.count("q") ? params.at("q") : "");
+  std::string body = StrFormat("<h1>Results for \"%s\"</h1><div id=\"results\">",
+                               HtmlEscape(query).c_str());
+  int hits = 0;
+  for (const auto& product : products_) {
+    // Every query word must match the keywords or the title.
+    bool match = true;
+    for (const auto& word : StrSplitSkipEmpty(query, ' ')) {
+      if (product.keywords.find(word) == std::string::npos &&
+          AsciiToLower(product.title).find(word) == std::string::npos) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      ++hits;
+      body += StrFormat(
+          "<div class=\"p\" id=\"hit%d\"><a href=\"/product/%s\">%s</a> "
+          "<span class=\"price\">%s</span></div>",
+          hits, product.id.c_str(), HtmlEscape(product.title).c_str(),
+          Price(product.price_cents).c_str());
+    }
+  }
+  body += StrFormat("</div><p id=\"hitcount\">%d results</p>", hits);
+  HttpResponse response =
+      HttpResponse::Ok("text/html", PageShell("Search results", body));
+  if (!set_cookie.empty()) {
+    response.headers.Add("Set-Cookie", set_cookie);
+  }
+  return response;
+}
+
+HttpResponse ShopSite::Product(const HttpRequest& request) {
+  std::string id = request.Path().substr(std::string("/product/").size());
+  for (const auto& product : products_) {
+    if (product.id == id) {
+      std::string body = StrFormat(
+          "<h1 id=\"ptitle\">%s</h1><p class=\"price\">%s</p>"
+          "<form id=\"addform\" action=\"/cart/add\" method=\"post\">"
+          "<input type=\"hidden\" name=\"id\" value=\"%s\">"
+          "<input type=\"submit\" name=\"add\" value=\"Add to cart\"></form>",
+          HtmlEscape(product.title).c_str(), Price(product.price_cents).c_str(),
+          product.id.c_str());
+      return HttpResponse::Ok("text/html", PageShell(product.title, body));
+    }
+  }
+  return HttpResponse::NotFound("no such product: " + id);
+}
+
+HttpResponse ShopSite::CartAdd(const HttpRequest& request) {
+  std::string set_cookie;
+  SessionState* session = SessionFor(request, &set_cookie);
+  auto fields = ParseFormUrlEncoded(request.body);
+  auto it = fields.find("id");
+  if (it == fields.end()) {
+    return HttpResponse::BadRequest("missing product id");
+  }
+  session->cart.push_back(it->second);
+  HttpResponse response;
+  response.status_code = 302;
+  response.reason = "Found";
+  response.headers.Set("Location", "/cart");
+  if (!set_cookie.empty()) {
+    response.headers.Add("Set-Cookie", set_cookie);
+  }
+  return response;
+}
+
+HttpResponse ShopSite::CartView(const HttpRequest& request) {
+  std::string session_id = CookieValueFrom(request, kSessionCookie);
+  auto it = sessions_.find(session_id);
+  if (session_id.empty() || it == sessions_.end()) {
+    // Session-protected page: a shared URL opens an empty/sign-in view.
+    return HttpResponse::Ok(
+        "text/html",
+        PageShell("Sign in", "<h1 id=\"signin\">Please sign in</h1>"
+                             "<p>Your session was not found.</p>"));
+  }
+  const SessionState& session = it->second;
+  std::string body = "<h1>Your cart</h1><ul id=\"cartlist\">";
+  int total = 0;
+  for (const auto& id : session.cart) {
+    for (const auto& product : products_) {
+      if (product.id == id) {
+        body += StrFormat("<li>%s — %s</li>", HtmlEscape(product.title).c_str(),
+                          Price(product.price_cents).c_str());
+        total += product.price_cents;
+      }
+    }
+  }
+  body += StrFormat("</ul><p id=\"carttotal\">Total: %s</p>"
+                    "<p><a href=\"/checkout\" id=\"gocheckout\">Proceed to checkout</a></p>",
+                    Price(total).c_str());
+  return HttpResponse::Ok("text/html", PageShell("Cart", body));
+}
+
+HttpResponse ShopSite::Checkout(const HttpRequest& request) {
+  std::string session_id = CookieValueFrom(request, kSessionCookie);
+  auto it = sessions_.find(session_id);
+  if (session_id.empty() || it == sessions_.end() || it->second.cart.empty()) {
+    return HttpResponse::Ok(
+        "text/html", PageShell("Checkout", "<h1 id=\"emptycart\">Your cart is empty"
+                                           "</h1><p><a href=\"/\">Shop</a></p>"));
+  }
+  std::string body =
+      "<h1>Checkout: shipping address</h1>"
+      "<form id=\"shipform\" action=\"/checkout/submit\" method=\"post\">"
+      "<input type=\"text\" name=\"fullname\" value=\"\"> Full name<br>"
+      "<input type=\"text\" name=\"street\" value=\"\"> Street<br>"
+      "<input type=\"text\" name=\"city\" value=\"\"> City<br>"
+      "<input type=\"text\" name=\"state\" value=\"\"> State<br>"
+      "<input type=\"text\" name=\"zip\" value=\"\"> ZIP<br>"
+      "<input type=\"text\" name=\"phone\" value=\"\"> Phone<br>"
+      "<input type=\"submit\" name=\"place\" value=\"Place order\">"
+      "</form>";
+  return HttpResponse::Ok("text/html", PageShell("Checkout", body));
+}
+
+HttpResponse ShopSite::CheckoutSubmit(const HttpRequest& request) {
+  std::string session_id = CookieValueFrom(request, kSessionCookie);
+  auto it = sessions_.find(session_id);
+  if (session_id.empty() || it == sessions_.end()) {
+    return HttpResponse::Forbidden("no session");
+  }
+  SessionState& session = it->second;
+  auto fields = ParseFormUrlEncoded(request.body);
+  for (const char* field : {"fullname", "street", "city", "state", "zip", "phone"}) {
+    auto field_it = fields.find(field);
+    if (field_it == fields.end() || field_it->second.empty()) {
+      return HttpResponse::Ok(
+          "text/html",
+          PageShell("Checkout",
+                    StrFormat("<h1 id=\"formerror\">Missing field: %s</h1>"
+                              "<p><a href=\"/checkout\">back</a></p>",
+                              field)));
+    }
+    session.shipping[field] = field_it->second;
+  }
+  session.checked_out = true;
+  std::string body = StrFormat(
+      "<h1 id=\"confirm\">Order placed</h1><p>%zu item(s) will ship to "
+      "<span id=\"shipto\">%s, %s, %s %s</span>.</p>",
+      session.cart.size(), HtmlEscape(session.shipping["street"]).c_str(),
+      HtmlEscape(session.shipping["city"]).c_str(),
+      HtmlEscape(session.shipping["state"]).c_str(),
+      HtmlEscape(session.shipping["zip"]).c_str());
+  return HttpResponse::Ok("text/html", PageShell("Order placed", body));
+}
+
+}  // namespace rcb

@@ -1,0 +1,73 @@
+// Session-protected online shop — the Amazon.com stand-in (§5.2.2).
+//
+// Exercises the co-browsing behaviours the paper verifies with the real
+// Amazon: session cookies (pages differ per session, so URL sharing fails),
+// search and product navigation, a cart, and a multi-field checkout form
+// suitable for co-filling.
+#ifndef SRC_SITES_SHOP_SITE_H_
+#define SRC_SITES_SHOP_SITE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sites/site_server.h"
+#include "src/util/rand.h"
+
+namespace rcb {
+
+struct ShopProduct {
+  std::string id;
+  std::string title;
+  std::string keywords;  // matched by search
+  int price_cents;
+};
+
+class ShopSite {
+ public:
+  // Registers routes on a new server for `host` (must exist in network).
+  ShopSite(EventLoop* loop, Network* network, std::string host);
+
+  SiteServer* server() { return server_.get(); }
+  const std::string& host() const { return host_; }
+
+  // Catalog access for tests/examples.
+  const std::vector<ShopProduct>& products() const { return products_; }
+
+  struct SessionState {
+    std::vector<std::string> cart;  // product ids
+    std::map<std::string, std::string> shipping;
+    bool checked_out = false;
+  };
+  // Session lookup by cookie value; nullptr if unknown.
+  const SessionState* FindSession(const std::string& session_id) const;
+  size_t session_count() const { return sessions_.size(); }
+
+ private:
+  HttpResponse Home(const HttpRequest& request);
+  HttpResponse Search(const HttpRequest& request);
+  HttpResponse Product(const HttpRequest& request);
+  HttpResponse CartAdd(const HttpRequest& request);
+  HttpResponse CartView(const HttpRequest& request);
+  HttpResponse Checkout(const HttpRequest& request);
+  HttpResponse CheckoutSubmit(const HttpRequest& request);
+
+  // Returns the session for the request, creating one (and arranging the
+  // Set-Cookie) if absent. `out_set_cookie` receives a cookie to set, if any.
+  SessionState* SessionFor(const HttpRequest& request, std::string* out_set_cookie);
+
+  std::string PageShell(const std::string& title, const std::string& body_html,
+                        bool with_nav = true) const;
+
+  EventLoop* loop_;
+  std::string host_;
+  std::unique_ptr<SiteServer> server_;
+  std::vector<ShopProduct> products_;
+  std::map<std::string, SessionState> sessions_;
+  Rng rng_;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_SITES_SHOP_SITE_H_

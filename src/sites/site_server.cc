@@ -1,0 +1,105 @@
+#include "src/sites/site_server.h"
+
+#include <cassert>
+
+#include "src/util/logging.h"
+
+namespace rcb {
+
+SiteServer::SiteServer(EventLoop* loop, Network* network, std::string host,
+                       uint16_t port)
+    : loop_(loop), network_(network), host_(std::move(host)), port_(port) {
+  assert(network_->HasHost(host_) && "site host must be registered first");
+  Status status = network_->Listen(
+      host_, port_, [this](NetEndpoint* endpoint) { OnAccept(endpoint); });
+  assert(status.ok());
+  (void)status;
+}
+
+SiteServer::~SiteServer() {
+  network_->StopListening(host_, port_);
+  for (auto& conn : connections_) {
+    if (conn->endpoint != nullptr) {
+      conn->endpoint->Close();
+    }
+  }
+}
+
+void SiteServer::Route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+void SiteServer::RoutePrefix(const std::string& prefix, Handler handler) {
+  prefix_routes_[prefix] = std::move(handler);
+}
+
+void SiteServer::ServeStatic(const std::string& path, std::string content_type,
+                             std::string body) {
+  Route(path, [content_type = std::move(content_type),
+               body = std::move(body)](const HttpRequest&) {
+    return HttpResponse::Ok(content_type, body);
+  });
+}
+
+void SiteServer::OnAccept(NetEndpoint* endpoint) {
+  auto conn = std::make_unique<ClientConn>();
+  conn->endpoint = endpoint;
+  ClientConn* raw = conn.get();
+  endpoint->SetDataHandler(
+      [this, raw](std::string_view data) { OnData(raw, data); });
+  connections_.push_back(std::move(conn));
+}
+
+void SiteServer::OnData(ClientConn* conn, std::string_view data) {
+  std::string_view remaining = data;
+  while (true) {
+    auto result = conn->parser.Feed(remaining);
+    remaining = {};
+    if (!result.ok()) {
+      RCB_LOG(kWarning) << host_ << ": dropping connection, bad request: "
+                        << result.status();
+      conn->endpoint->Close();
+      return;
+    }
+    if (!result->has_value()) {
+      return;
+    }
+    HttpRequest request = std::move(**result);
+    std::string path = request.Path();
+    HttpResponse response = Dispatch(request);
+    ++requests_served_;
+    NetEndpoint* endpoint = conn->endpoint;
+    std::string wire = response.Serialize();
+    Duration delay = processing_delay_;
+    auto delay_it = path_delays_.find(path);
+    if (delay_it != path_delays_.end()) {
+      delay = delay_it->second;
+    }
+    if (delay > Duration::Zero()) {
+      loop_->Schedule(delay, [endpoint, wire = std::move(wire)] {
+        endpoint->Send(wire);
+      });
+    } else {
+      endpoint->Send(std::move(wire));
+    }
+  }
+}
+
+HttpResponse SiteServer::Dispatch(const HttpRequest& request) {
+  std::string path = request.Path();
+  auto it = routes_.find(path);
+  if (it != routes_.end()) {
+    return it->second(request);
+  }
+  for (const auto& [prefix, handler] : prefix_routes_) {
+    if (path.size() >= prefix.size() && path.compare(0, prefix.size(), prefix) == 0) {
+      return handler(request);
+    }
+  }
+  if (default_handler_) {
+    return default_handler_(request);
+  }
+  return HttpResponse::NotFound(path);
+}
+
+}  // namespace rcb

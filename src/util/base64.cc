@@ -1,0 +1,142 @@
+#include "src/util/base64.h"
+
+namespace rcb {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int DecodeChar(char c) {
+  if (c >= 'A' && c <= 'Z') {
+    return c - 'A';
+  }
+  if (c >= 'a' && c <= 'z') {
+    return c - 'a' + 26;
+  }
+  if (c >= '0' && c <= '9') {
+    return c - '0' + 52;
+  }
+  if (c == '+') {
+    return 62;
+  }
+  if (c == '/') {
+    return 63;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::string_view input) {
+  std::string out;
+  out.reserve((input.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= input.size()) {
+    uint32_t n = (static_cast<unsigned char>(input[i]) << 16) |
+                 (static_cast<unsigned char>(input[i + 1]) << 8) |
+                 static_cast<unsigned char>(input[i + 2]);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+    i += 3;
+  }
+  size_t rem = input.size() - i;
+  if (rem == 1) {
+    uint32_t n = static_cast<unsigned char>(input[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    uint32_t n = (static_cast<unsigned char>(input[i]) << 16) |
+                 (static_cast<unsigned char>(input[i + 1]) << 8);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+StatusOr<std::string> Base64Decode(std::string_view input) {
+  if (input.size() % 4 != 0) {
+    return InvalidArgumentError("base64 length not a multiple of 4");
+  }
+  std::string out;
+  out.reserve(input.size() / 4 * 3);
+  for (size_t i = 0; i < input.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int k = 0; k < 4; ++k) {
+      char c = input[i + k];
+      if (c == '=') {
+        // Padding only allowed in the last two positions of the final group.
+        if (i + 4 != input.size() || k < 2) {
+          return InvalidArgumentError("unexpected base64 padding");
+        }
+        vals[k] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) {
+          return InvalidArgumentError("data after base64 padding");
+        }
+        vals[k] = DecodeChar(c);
+        if (vals[k] < 0) {
+          return InvalidArgumentError("invalid base64 character");
+        }
+      }
+    }
+    uint32_t n = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6) | vals[3];
+    out.push_back(static_cast<char>((n >> 16) & 0xFF));
+    if (pad < 2) {
+      out.push_back(static_cast<char>((n >> 8) & 0xFF));
+    }
+    if (pad < 1) {
+      out.push_back(static_cast<char>(n & 0xFF));
+    }
+  }
+  return out;
+}
+
+std::string HexEncode(std::string_view input) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(input.size() * 2);
+  for (char ch : input) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+StatusOr<std::string> HexDecode(std::string_view input) {
+  if (input.size() % 2 != 0) {
+    return InvalidArgumentError("odd-length hex string");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    if (c >= 'A' && c <= 'F') {
+      return c - 'A' + 10;
+    }
+    return -1;
+  };
+  std::string out;
+  out.reserve(input.size() / 2);
+  for (size_t i = 0; i < input.size(); i += 2) {
+    int hi = nibble(input[i]);
+    int lo = nibble(input[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return InvalidArgumentError("invalid hex character");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace rcb

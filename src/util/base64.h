@@ -1,0 +1,26 @@
+// Standard base64 (RFC 4648) encode/decode, used for session keys and for
+// binary supplementary-object payloads carried through text channels.
+#ifndef SRC_UTIL_BASE64_H_
+#define SRC_UTIL_BASE64_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rcb {
+
+std::string Base64Encode(std::string_view input);
+
+// Rejects inputs with invalid characters or bad padding.
+StatusOr<std::string> Base64Decode(std::string_view input);
+
+// Lowercase hex of arbitrary bytes.
+std::string HexEncode(std::string_view input);
+StatusOr<std::string> HexDecode(std::string_view input);
+
+}  // namespace rcb
+
+#endif  // SRC_UTIL_BASE64_H_

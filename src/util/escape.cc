@@ -1,0 +1,295 @@
+#include "src/util/escape.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789ABCDEF";
+
+bool IsJsSafe(unsigned char c) {
+  if (std::isalnum(c)) {
+    return true;
+  }
+  switch (c) {
+    case '@':
+    case '*':
+    case '_':
+    case '+':
+    case '-':
+    case '.':
+    case '/':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsUnreserved(unsigned char c) {
+  return std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~';
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string JsEscape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char ch : input) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (IsJsSafe(c)) {
+      out.push_back(ch);
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[c >> 4]);
+      out.push_back(kHexDigits[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string JsUnescape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (size_t i = 0; i < input.size();) {
+    if (input[i] == '%' && i + 5 < input.size() &&
+        (input[i + 1] == 'u' || input[i + 1] == 'U')) {
+      int h1 = HexValue(input[i + 2]);
+      int h2 = HexValue(input[i + 3]);
+      int h3 = HexValue(input[i + 4]);
+      int h4 = HexValue(input[i + 5]);
+      if (h1 >= 0 && h2 >= 0 && h3 >= 0 && h4 >= 0) {
+        int cp = (h1 << 12) | (h2 << 8) | (h3 << 4) | h4;
+        if (cp <= 0xFF) {
+          out.push_back(static_cast<char>(cp));
+        } else {
+          // Encode as UTF-8 for code points above Latin-1; our DOM stores
+          // bytes, so this is the round-trippable representation.
+          out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+        i += 6;
+        continue;
+      }
+    }
+    if (input[i] == '%' && i + 2 < input.size()) {
+      int hi = HexValue(input[i + 1]);
+      int lo = HexValue(input[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 3;
+        continue;
+      }
+    }
+    out.push_back(input[i]);
+    ++i;
+  }
+  return out;
+}
+
+std::string PercentEncode(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char ch : input) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (IsUnreserved(c)) {
+      out.push_back(ch);
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[c >> 4]);
+      out.push_back(kHexDigits[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string PercentDecode(std::string_view input, bool plus_as_space) {
+  std::string out;
+  out.reserve(input.size());
+  for (size_t i = 0; i < input.size();) {
+    if (input[i] == '%' && i + 2 < input.size()) {
+      int hi = HexValue(input[i + 1]);
+      int lo = HexValue(input[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 3;
+        continue;
+      }
+    }
+    if (plus_as_space && input[i] == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(input[i]);
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::string HtmlEscape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char c : input) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      case '\'':
+        out.append("&#39;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Common named character references of 2009-era HTML (HTML 4.01 subset).
+// Code points map to Latin-1 bytes when <= 0xFF, UTF-8 otherwise, matching
+// the numeric-reference behaviour below.
+struct NamedEntity {
+  std::string_view name;
+  uint32_t code_point;
+};
+constexpr NamedEntity kNamedEntities[] = {
+    {"nbsp", 0xA0},    {"iexcl", 0xA1},  {"cent", 0xA2},   {"pound", 0xA3},
+    {"curren", 0xA4},  {"yen", 0xA5},    {"brvbar", 0xA6}, {"sect", 0xA7},
+    {"uml", 0xA8},     {"copy", 0xA9},   {"ordf", 0xAA},   {"laquo", 0xAB},
+    {"not", 0xAC},     {"shy", 0xAD},    {"reg", 0xAE},    {"macr", 0xAF},
+    {"deg", 0xB0},     {"plusmn", 0xB1}, {"sup2", 0xB2},   {"sup3", 0xB3},
+    {"acute", 0xB4},   {"micro", 0xB5},  {"para", 0xB6},   {"middot", 0xB7},
+    {"cedil", 0xB8},   {"sup1", 0xB9},   {"ordm", 0xBA},   {"raquo", 0xBB},
+    {"frac14", 0xBC},  {"frac12", 0xBD}, {"frac34", 0xBE}, {"iquest", 0xBF},
+    {"Agrave", 0xC0},  {"Aacute", 0xC1}, {"Auml", 0xC4},   {"Aring", 0xC5},
+    {"AElig", 0xC6},   {"Ccedil", 0xC7}, {"Egrave", 0xC8}, {"Eacute", 0xC9},
+    {"Ntilde", 0xD1},  {"Ouml", 0xD6},   {"times", 0xD7},  {"Oslash", 0xD8},
+    {"Uuml", 0xDC},    {"szlig", 0xDF},  {"agrave", 0xE0}, {"aacute", 0xE1},
+    {"auml", 0xE4},    {"aring", 0xE5},  {"aelig", 0xE6},  {"ccedil", 0xE7},
+    {"egrave", 0xE8},  {"eacute", 0xE9}, {"iuml", 0xEF},   {"ntilde", 0xF1},
+    {"ouml", 0xF6},    {"divide", 0xF7}, {"oslash", 0xF8}, {"uuml", 0xFC},
+    {"euro", 0x20AC},  {"ndash", 0x2013},{"mdash", 0x2014},{"lsquo", 0x2018},
+    {"rsquo", 0x2019}, {"ldquo", 0x201C},{"rdquo", 0x201D},{"bull", 0x2022},
+    {"hellip", 0x2026},{"dagger", 0x2020},{"permil", 0x2030},{"trade", 0x2122},
+    {"larr", 0x2190},  {"uarr", 0x2191}, {"rarr", 0x2192}, {"darr", 0x2193},
+};
+
+// Emits a code point: a raw byte for the Latin-1 range (our DOM stores
+// bytes), UTF-8 for anything above it.
+void AppendCodePoint(uint32_t cp, std::string* out) {
+  if (cp <= 0xFF) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7FF) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0xFFFF) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+std::string HtmlUnescape(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (size_t i = 0; i < input.size();) {
+    if (input[i] != '&') {
+      out.push_back(input[i]);
+      ++i;
+      continue;
+    }
+    size_t semi = input.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(input[i]);
+      ++i;
+      continue;
+    }
+    std::string_view entity = input.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (const NamedEntity* named = [&]() -> const NamedEntity* {
+                 for (const NamedEntity& candidate : kNamedEntities) {
+                   if (candidate.name == entity) {
+                     return &candidate;
+                   }
+                 }
+                 return nullptr;
+               }()) {
+      AppendCodePoint(named->code_point, &out);
+    } else if (!entity.empty() && entity[0] == '#') {
+      int cp = 0;
+      bool valid = false;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        for (size_t k = 2; k < entity.size(); ++k) {
+          int v = HexValue(entity[k]);
+          if (v < 0) {
+            cp = -1;
+            break;
+          }
+          cp = cp * 16 + v;
+        }
+        valid = entity.size() > 2 && cp >= 0;
+      } else {
+        valid = entity.size() > 1;
+        for (size_t k = 1; k < entity.size(); ++k) {
+          if (entity[k] < '0' || entity[k] > '9') {
+            valid = false;
+            break;
+          }
+          cp = cp * 10 + (entity[k] - '0');
+        }
+      }
+      if (valid && cp >= 0 && cp <= 0x10FFFF) {
+        AppendCodePoint(static_cast<uint32_t>(cp), &out);
+      } else {
+        out.append(input.substr(i, semi - i + 1));
+      }
+    } else {
+      out.append(input.substr(i, semi - i + 1));
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace rcb

@@ -1,0 +1,41 @@
+// Encoding helpers used by the RCB wire formats.
+//
+// JsEscape/JsUnescape mirror the semantics of the legacy JavaScript
+// escape()/unescape() functions that the paper's Ajax-Snippet relies on to
+// carry innerHTML payloads inside CDATA sections (Fig. 4). PercentEncode
+// implements RFC 3986 component encoding for request-URIs; HtmlEscape covers
+// attribute/text emission in the HTML serializer.
+#ifndef SRC_UTIL_ESCAPE_H_
+#define SRC_UTIL_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace rcb {
+
+// JavaScript escape(): alphanumerics and @*_+-./ pass through; other bytes
+// become %XX; code points above 0xFF become %uXXXX. Our transport is byte
+// oriented, so input is treated as Latin-1 bytes (matching how the original
+// snippet saw single-byte document encodings).
+std::string JsEscape(std::string_view input);
+
+// Inverse of JsEscape. Malformed %-sequences are passed through verbatim,
+// matching browser behaviour.
+std::string JsUnescape(std::string_view input);
+
+// RFC 3986 percent-encoding of a URI component (keeps unreserved chars).
+std::string PercentEncode(std::string_view input);
+
+// Percent-decoding; '+' optionally decodes to space (form-urlencoded mode).
+std::string PercentDecode(std::string_view input, bool plus_as_space = false);
+
+// Escapes &<>"' for HTML text/attribute contexts.
+std::string HtmlEscape(std::string_view input);
+
+// Decodes the five named entities produced by HtmlEscape plus decimal/hex
+// numeric character references for the Latin-1 range.
+std::string HtmlUnescape(std::string_view input);
+
+}  // namespace rcb
+
+#endif  // SRC_UTIL_ESCAPE_H_

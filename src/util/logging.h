@@ -1,0 +1,45 @@
+// Minimal leveled logging. Off by default in tests/benches; examples enable
+// kInfo to narrate sessions.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rcb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define RCB_LOG(level)                                                 \
+  if (::rcb::LogLevel::level < ::rcb::GetLogLevel()) {                 \
+  } else                                                               \
+    ::rcb::log_internal::LogMessage(::rcb::LogLevel::level, __FILE__,  \
+                                    __LINE__)                          \
+        .stream()
+
+}  // namespace rcb
+
+#endif  // SRC_UTIL_LOGGING_H_

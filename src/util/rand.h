@@ -1,0 +1,41 @@
+// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed:
+// corpus generation, session keys, jittered latencies. Seeded explicitly so
+// every simulation run and test is reproducible.
+#ifndef SRC_UTIL_RAND_H_
+#define SRC_UTIL_RAND_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rcb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform over [0, bound); bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // `n` random bytes.
+  std::string NextBytes(size_t n);
+
+  // Lowercase alphanumeric token of length `n` (session keys, cache keys).
+  std::string NextToken(size_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace rcb
+
+#endif  // SRC_UTIL_RAND_H_

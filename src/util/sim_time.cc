@@ -1,0 +1,29 @@
+#include "src/util/sim_time.h"
+
+#include "src/util/strings.h"
+
+namespace rcb {
+
+std::string Duration::ToString() const {
+  if (micros_ % 1000000 == 0) {
+    return StrFormat("%llds", static_cast<long long>(micros_ / 1000000));
+  }
+  if (micros_ % 1000 == 0) {
+    return StrFormat("%lldms", static_cast<long long>(micros_ / 1000));
+  }
+  return StrFormat("%.3fms", static_cast<double>(micros_) / 1000.0);
+}
+
+std::string SimTime::ToString() const {
+  return StrFormat("t=%.6fs", seconds());
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.ToString();
+}
+
+}  // namespace rcb

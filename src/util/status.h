@@ -1,0 +1,146 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// The RCB stack never throws across module boundaries: fallible operations
+// return Status (or StatusOr<T> when they produce a value). This mirrors the
+// error discipline of the os-systems codebases this project follows.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace rcb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   // HMAC failures, policy denials
+  kUnauthenticated,    // missing/garbled credentials
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,        // peer not reachable / connection refused
+  kDeadlineExceeded,
+  kAborted,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+// Human-readable name of a status code ("kOk" -> "OK", etc.).
+std::string_view StatusCodeName(StatusCode code);
+
+// A Status is a cheap (code, message) value. The OK status carries no message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, one per non-OK code.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status UnauthenticatedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status AbortedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// StatusOr<T> holds either a T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}          // NOLINT(google-explicit-constructor)
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define RCB_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::rcb::Status rcb_status__ = (expr);   \
+    if (!rcb_status__.ok()) {              \
+      return rcb_status__;                 \
+    }                                      \
+  } while (0)
+
+// Assigns the value of a StatusOr expression or propagates its error.
+#define RCB_ASSIGN_OR_RETURN(lhs, expr)      \
+  RCB_ASSIGN_OR_RETURN_IMPL_(                \
+      RCB_STATUS_CONCAT_(or__, __LINE__), lhs, expr)
+
+#define RCB_STATUS_CONCAT_INNER_(a, b) a##b
+#define RCB_STATUS_CONCAT_(a, b) RCB_STATUS_CONCAT_INNER_(a, b)
+#define RCB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+}  // namespace rcb
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,96 @@
+#include "src/xml/xml_writer.h"
+
+#include <cassert>
+
+#include "src/util/escape.h"
+
+namespace rcb {
+
+XmlWriter::XmlWriter() { out_.reserve(1024); }
+
+void XmlWriter::WriteDeclaration() {
+  assert(out_.empty());
+  out_.append("<?xml version='1.0' encoding='utf-8'?>");
+}
+
+void XmlWriter::CloseStartTagIfOpen() {
+  if (start_tag_open_) {
+    out_.push_back('>');
+    start_tag_open_ = false;
+  }
+}
+
+void XmlWriter::StartElement(std::string_view name) {
+  CloseStartTagIfOpen();
+  out_.push_back('<');
+  out_.append(name);
+  open_.emplace_back(name);
+  start_tag_open_ = true;
+}
+
+void XmlWriter::WriteAttribute(std::string_view name, std::string_view value) {
+  assert(start_tag_open_ && "attributes must precede element content");
+  out_.push_back(' ');
+  out_.append(name);
+  out_.append("=\"");
+  out_.append(HtmlEscape(value));
+  out_.push_back('"');
+}
+
+void XmlWriter::WriteText(std::string_view text) {
+  CloseStartTagIfOpen();
+  out_.append(HtmlEscape(text));
+}
+
+void XmlWriter::WriteCdata(std::string_view data) {
+  CloseStartTagIfOpen();
+  out_.append("<![CDATA[");
+  // A literal "]]>" inside CDATA must be split across two sections.
+  size_t start = 0;
+  while (true) {
+    size_t pos = data.find("]]>", start);
+    if (pos == std::string_view::npos) {
+      out_.append(data.substr(start));
+      break;
+    }
+    out_.append(data.substr(start, pos - start));
+    out_.append("]]");
+    out_.append("]]><![CDATA[");
+    out_.push_back('>');
+    start = pos + 3;
+  }
+  out_.append("]]>");
+}
+
+void XmlWriter::EndElement() {
+  assert(!open_.empty());
+  std::string name = std::move(open_.back());
+  open_.pop_back();
+  if (start_tag_open_) {
+    out_.append("/>");
+    start_tag_open_ = false;
+  } else {
+    out_.append("</");
+    out_.append(name);
+    out_.push_back('>');
+  }
+}
+
+void XmlWriter::WriteTextElement(std::string_view name, std::string_view text) {
+  StartElement(name);
+  WriteText(text);
+  EndElement();
+}
+
+void XmlWriter::WriteCdataElement(std::string_view name, std::string_view data) {
+  StartElement(name);
+  WriteCdata(data);
+  EndElement();
+}
+
+std::string XmlWriter::TakeString() {
+  assert(open_.empty() && "unclosed XML elements");
+  return std::move(out_);
+}
+
+}  // namespace rcb

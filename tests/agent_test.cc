@@ -1,0 +1,622 @@
+// Tests for RCB-Agent request processing (Fig. 2), the timestamp mechanism,
+// cached-object serving, HMAC authentication, and action policies — driven
+// over the simulated network with raw HTTP requests.
+#include <gtest/gtest.h>
+
+#include "src/core/rcb_agent.h"
+#include "src/crypto/hmac.h"
+#include "src/sites/site_server.h"
+
+namespace rcb {
+namespace {
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest() : network_(&loop_) {
+    network_.AddHost("host-pc", {});
+    network_.AddHost("participant-pc", {});
+    network_.AddHost("www.origin.test", {});
+    origin_ = std::make_unique<SiteServer>(&loop_, &network_, "www.origin.test");
+    origin_->ServeStatic("/", "text/html",
+                         "<html><head><title>Origin</title></head>"
+                         "<body><img src=\"/a.png\"><p id=\"p\">v1</p>"
+                         "<form id=\"f\" action=\"/submit\" method=\"post\">"
+                         "<input name=\"q\" value=\"\"></form>"
+                         "<a id=\"l\" href=\"/next\">next</a></body></html>");
+    origin_->ServeStatic("/a.png", "image/png", "PNGDATA");
+    origin_->ServeStatic("/next", "text/html",
+                         "<html><head><title>Next</title></head>"
+                         "<body><p>page2</p></body></html>");
+    origin_->Route("/submit", [this](const HttpRequest& request) {
+      last_submit_body_ = request.body;
+      return HttpResponse::Ok("text/html",
+                              "<html><head><title>Submitted</title></head>"
+                              "<body><p>thanks</p></body></html>");
+    });
+    host_browser_ = std::make_unique<Browser>(&loop_, &network_, "host-pc");
+    participant_ = std::make_unique<Browser>(&loop_, &network_, "participant-pc");
+  }
+
+  void StartAgent(AgentConfig config = {}) {
+    agent_ = std::make_unique<RcbAgent>(host_browser_.get(), config);
+    ASSERT_TRUE(agent_->Start().ok());
+  }
+
+  void HostNavigate(const std::string& path = "/") {
+    bool done = false;
+    Status status;
+    host_browser_->Navigate(Url::Make("http", "www.origin.test", 80, path),
+                            [&](const Status& s, const PageLoadStats&) {
+                              status = s;
+                              done = true;
+                            });
+    loop_.RunUntilCondition([&] { return done; });
+    ASSERT_TRUE(status.ok()) << status;
+  }
+
+  // Raw fetch from the participant machine.
+  FetchResult Fetch(HttpMethod method, const Url& url, std::string body = "",
+                    std::string content_type = "") {
+    FetchResult out;
+    bool done = false;
+    participant_->Fetch(method, url, std::move(body), std::move(content_type),
+                        [&](FetchResult result) {
+                          out = std::move(result);
+                          done = true;
+                        });
+    loop_.RunUntilCondition([&] { return done; });
+    return out;
+  }
+
+  // Sends a poll request, optionally signing it with `key`.
+  FetchResult Poll(const PollRequest& poll, const std::string& key = "") {
+    std::string body = EncodePollRequest(poll);
+    Url url = agent_->AgentUrl();
+    if (!key.empty()) {
+      std::string mac = HmacSha256Hex(key, "POST /\n" + body);
+      url = Url::Make("http", "host-pc", agent_->config().port, "/",
+                      "hmac=" + mac);
+    }
+    return Fetch(HttpMethod::kPost, url, body,
+                 "application/x-www-form-urlencoded");
+  }
+
+  EventLoop loop_;
+  Network network_;
+  std::unique_ptr<SiteServer> origin_;
+  std::unique_ptr<Browser> host_browser_;
+  std::unique_ptr<Browser> participant_;
+  std::unique_ptr<RcbAgent> agent_;
+  std::string last_submit_body_;
+};
+
+TEST_F(AgentTest, StartStopLifecycle) {
+  StartAgent();
+  EXPECT_TRUE(agent_->running());
+  EXPECT_FALSE(agent_->Start().ok());  // double start rejected
+  agent_->Stop();
+  EXPECT_FALSE(agent_->running());
+  // Port is released: a new agent can bind it.
+  RcbAgent again(host_browser_.get(), {});
+  EXPECT_TRUE(again.Start().ok());
+}
+
+TEST_F(AgentTest, AgentUrlShape) {
+  AgentConfig config;
+  config.port = 3000;
+  StartAgent(config);
+  EXPECT_EQ(agent_->AgentUrl().ToString(), "http://host-pc:3000/");
+}
+
+TEST_F(AgentTest, NewConnectionReturnsInitialPage) {
+  StartAgent();
+  FetchResult result = Fetch(HttpMethod::kGet, agent_->AgentUrl());
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.response.status_code, 200);
+  EXPECT_EQ(result.response.headers.Get("Content-Type").value(), "text/html");
+  auto page = ParseDocument(result.response.body);
+  // The page embeds Ajax-Snippet and the participant configuration.
+  Element* script = page->FindFirst("script");
+  ASSERT_NE(script, nullptr);
+  EXPECT_EQ(script->id(), "rcb-snippet");
+  EXPECT_NE(script->TextContent().find("rcbPoll"), std::string::npos);
+  bool has_pid = false;
+  for (Element* meta : page->FindAll("meta")) {
+    if (meta->AttrOr("name") == "rcb-pid") {
+      has_pid = true;
+      EXPECT_FALSE(meta->AttrOr("content").empty());
+    }
+  }
+  EXPECT_TRUE(has_pid);
+  EXPECT_EQ(agent_->metrics().new_connections, 1u);
+}
+
+TEST_F(AgentTest, DistinctPidsPerConnection) {
+  StartAgent();
+  FetchResult a = Fetch(HttpMethod::kGet, agent_->AgentUrl());
+  FetchResult b = Fetch(HttpMethod::kGet, agent_->AgentUrl());
+  EXPECT_NE(a.response.body, b.response.body);
+}
+
+TEST_F(AgentTest, UnknownPathIs404) {
+  StartAgent();
+  FetchResult result =
+      Fetch(HttpMethod::kGet, Url::Make("http", "host-pc", 3000, "/bogus"));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.response.status_code, 404);
+}
+
+TEST_F(AgentTest, PollBeforeHostHasPageIsEmpty) {
+  StartAgent();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  FetchResult result = Poll(poll);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.response.status_code, 200);
+  EXPECT_TRUE(result.response.body.empty());
+  EXPECT_EQ(agent_->metrics().polls_empty, 1u);
+}
+
+TEST_F(AgentTest, PollAfterNavigationCarriesContent) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  FetchResult result = Poll(poll);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.response.headers.Get("Content-Type").value(),
+            "application/xml");
+  auto snapshot = ParseSnapshotXml(result.response.body);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_TRUE(snapshot->has_content);
+  ASSERT_TRUE(snapshot->body.has_value());
+  EXPECT_NE(snapshot->body->inner_html.find("v1"), std::string::npos);
+  EXPECT_EQ(agent_->metrics().polls_with_content, 1u);
+}
+
+TEST_F(AgentTest, TimestampSuppressesUnchangedContent) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  FetchResult first = Poll(poll);
+  auto snapshot = ParseSnapshotXml(first.response.body);
+  ASSERT_TRUE(snapshot.ok());
+  // Second poll carries the received timestamp -> no content resent.
+  poll.doc_time_ms = snapshot->doc_time_ms;
+  FetchResult second = Poll(poll);
+  EXPECT_TRUE(second.response.body.empty());
+}
+
+TEST_F(AgentTest, DocumentChangeBumpsTimestamp) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  auto first = ParseSnapshotXml(Poll(poll).response.body);
+  ASSERT_TRUE(first.ok());
+
+  host_browser_->MutateDocument([](Document* document) {
+    Element* p = document->ById("p");
+    p->RemoveAllChildren();
+    p->AppendChild(MakeText("v2"));
+  });
+
+  poll.doc_time_ms = first->doc_time_ms;
+  auto second = ParseSnapshotXml(Poll(poll).response.body);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->doc_time_ms, first->doc_time_ms);
+  EXPECT_NE(second->body->inner_html.find("v2"), std::string::npos);
+}
+
+TEST_F(AgentTest, SnapshotGeneratedOnceAndReused) {
+  StartAgent();
+  HostNavigate();
+  for (int i = 0; i < 5; ++i) {
+    PollRequest poll;
+    poll.participant_id = "p" + std::to_string(i);
+    poll.doc_time_ms = -1;
+    Poll(poll);
+  }
+  // One generation serves all five participants (§4.1.2).
+  EXPECT_EQ(agent_->metrics().generations, 1u);
+  EXPECT_EQ(agent_->metrics().snapshot_reuses, 4u);
+}
+
+TEST_F(AgentTest, ObjectRequestServedFromCache) {
+  AgentConfig config;
+  config.cache_mode = true;
+  StartAgent(config);
+  HostNavigate();  // host cached /a.png during the load
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  auto snapshot = ParseSnapshotXml(Poll(poll).response.body);
+  ASSERT_TRUE(snapshot.ok());
+  const std::string& body = snapshot->body->inner_html;
+  size_t pos = body.find("/obj/");
+  ASSERT_NE(pos, std::string::npos) << body;
+  size_t end = body.find('"', pos);
+  std::string path = body.substr(pos, end - pos);
+
+  FetchResult object =
+      Fetch(HttpMethod::kGet, Url::Make("http", "host-pc", 3000, path));
+  ASSERT_TRUE(object.status.ok());
+  EXPECT_EQ(object.response.status_code, 200);
+  EXPECT_EQ(object.response.body, "PNGDATA");
+  EXPECT_EQ(object.response.headers.Get("Content-Type").value(), "image/png");
+  EXPECT_EQ(agent_->metrics().object_requests, 1u);
+  EXPECT_EQ(agent_->metrics().object_bytes_served, 7u);
+}
+
+TEST_F(AgentTest, ObjectRequestUnknownKey404) {
+  StartAgent();
+  FetchResult result =
+      Fetch(HttpMethod::kGet, Url::Make("http", "host-pc", 3000, "/obj/ck-404"));
+  EXPECT_EQ(result.response.status_code, 404);
+}
+
+TEST_F(AgentTest, ObjectRequestRejectedWhenCacheModeOff) {
+  AgentConfig config;
+  config.cache_mode = false;
+  StartAgent(config);
+  HostNavigate();
+  FetchResult result =
+      Fetch(HttpMethod::kGet, Url::Make("http", "host-pc", 3000, "/obj/ck-1"));
+  EXPECT_EQ(result.response.status_code, 404);
+}
+
+TEST_F(AgentTest, AuthRejectsUnsignedAndWrongKey) {
+  AgentConfig config;
+  config.session_key = "topsecretkey";
+  StartAgent(config);
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  // Unsigned.
+  EXPECT_EQ(Poll(poll).response.status_code, 403);
+  // Wrong key.
+  EXPECT_EQ(Poll(poll, "wrongkey").response.status_code, 403);
+  EXPECT_EQ(agent_->metrics().auth_failures, 2u);
+  // Correct key.
+  FetchResult good = Poll(poll, "topsecretkey");
+  EXPECT_EQ(good.response.status_code, 200);
+  EXPECT_FALSE(good.response.body.empty());
+}
+
+TEST_F(AgentTest, AuthCoversBodyTampering) {
+  AgentConfig config;
+  config.session_key = "topsecretkey";
+  StartAgent(config);
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  std::string body = EncodePollRequest(poll);
+  std::string mac = HmacSha256Hex("topsecretkey", "POST /\n" + body);
+  // Tamper with the body after signing.
+  std::string tampered = body + "&actions=type%3Dclick%26target%3D0";
+  FetchResult result =
+      Fetch(HttpMethod::kPost,
+            Url::Make("http", "host-pc", 3000, "/", "hmac=" + mac), tampered,
+            "application/x-www-form-urlencoded");
+  EXPECT_EQ(result.response.status_code, 403);
+}
+
+TEST_F(AgentTest, MalformedPollIs400) {
+  StartAgent();
+  FetchResult result = Fetch(HttpMethod::kPost, agent_->AgentUrl(),
+                             "garbage-without-pid", "text/plain");
+  EXPECT_EQ(result.response.status_code, 400);
+}
+
+TEST_F(AgentTest, ParticipantClickNavigatesHost) {
+  StartAgent();
+  HostNavigate();
+  // Find the anchor's rcb id on the live document enumeration.
+  auto interactive = ContentGenerator::InteractiveElements(host_browser_->document());
+  int anchor_index = -1;
+  for (size_t i = 0; i < interactive.size(); ++i) {
+    if (interactive[i]->tag_name() == "a") {
+      anchor_index = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(anchor_index, 0);
+
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = 0;
+  UserAction click;
+  click.type = ActionType::kClick;
+  click.target = anchor_index;
+  poll.actions.push_back(click);
+  Poll(poll);
+  loop_.Run();  // let the host navigation finish
+  EXPECT_EQ(host_browser_->document()->Title(), "Next");
+  EXPECT_EQ(agent_->metrics().actions_applied, 1u);
+}
+
+TEST_F(AgentTest, ParticipantFormFillMergedIntoHostForm) {
+  StartAgent();
+  HostNavigate();
+  auto interactive = ContentGenerator::InteractiveElements(host_browser_->document());
+  int form_index = -1;
+  for (size_t i = 0; i < interactive.size(); ++i) {
+    if (interactive[i]->tag_name() == "form") {
+      form_index = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(form_index, 0);
+
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = 0;
+  UserAction fill;
+  fill.type = ActionType::kFormFill;
+  fill.target = form_index;
+  fill.fields = {{"q", "co-filled value"}};
+  poll.actions.push_back(fill);
+  Poll(poll);
+
+  Element* input = host_browser_->document()->ById("f")->FindFirst("input");
+  EXPECT_EQ(input->AttrOr("value"), "co-filled value");
+}
+
+TEST_F(AgentTest, ParticipantFormSubmitReachesOrigin) {
+  StartAgent();
+  HostNavigate();
+  auto interactive = ContentGenerator::InteractiveElements(host_browser_->document());
+  int form_index = -1;
+  for (size_t i = 0; i < interactive.size(); ++i) {
+    if (interactive[i]->tag_name() == "form") {
+      form_index = static_cast<int>(i);
+    }
+  }
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = 0;
+  UserAction submit;
+  submit.type = ActionType::kFormSubmit;
+  submit.target = form_index;
+  submit.fields = {{"q", "from participant"}};
+  poll.actions.push_back(submit);
+  Poll(poll);
+  loop_.Run();
+  EXPECT_EQ(last_submit_body_, "q=from%20participant");
+  EXPECT_EQ(host_browser_->document()->Title(), "Submitted");
+}
+
+TEST_F(AgentTest, ConfirmPolicyHoldsActions) {
+  AgentConfig config;
+  config.policies.click = ActionPolicy::kConfirm;
+  StartAgent(config);
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = 0;
+  auto interactive = ContentGenerator::InteractiveElements(host_browser_->document());
+  int anchor_index = -1;
+  for (size_t i = 0; i < interactive.size(); ++i) {
+    if (interactive[i]->tag_name() == "a") {
+      anchor_index = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(anchor_index, 0);
+  UserAction click;
+  click.type = ActionType::kClick;
+  click.target = anchor_index;
+  poll.actions.push_back(click);
+  Poll(poll);
+  // Held, not applied.
+  EXPECT_EQ(host_browser_->document()->Title(), "Origin");
+  ASSERT_EQ(agent_->pending_actions().size(), 1u);
+  EXPECT_EQ(agent_->metrics().actions_held, 1u);
+  // Host approves.
+  ASSERT_TRUE(agent_->ApprovePending(0).ok());
+  loop_.Run();
+  EXPECT_EQ(host_browser_->document()->Title(), "Next");
+  EXPECT_TRUE(agent_->pending_actions().empty());
+  EXPECT_FALSE(agent_->ApprovePending(0).ok());
+}
+
+TEST_F(AgentTest, DenyPolicyDropsActions) {
+  AgentConfig config;
+  config.policies.form_submit = ActionPolicy::kDeny;
+  StartAgent(config);
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = 0;
+  UserAction submit;
+  submit.type = ActionType::kFormSubmit;
+  submit.target = 0;
+  poll.actions.push_back(submit);
+  Poll(poll);
+  loop_.Run();
+  EXPECT_EQ(host_browser_->document()->Title(), "Origin");
+  EXPECT_EQ(agent_->metrics().actions_denied, 1u);
+}
+
+TEST_F(AgentTest, RejectPendingDiscards) {
+  AgentConfig config;
+  config.policies.navigate = ActionPolicy::kConfirm;
+  StartAgent(config);
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = 0;
+  UserAction navigate;
+  navigate.type = ActionType::kNavigate;
+  navigate.data = "http://www.origin.test/next";
+  poll.actions.push_back(navigate);
+  Poll(poll);
+  ASSERT_EQ(agent_->pending_actions().size(), 1u);
+  ASSERT_TRUE(agent_->RejectPending(0).ok());
+  loop_.Run();
+  EXPECT_EQ(host_browser_->document()->Title(), "Origin");
+  EXPECT_EQ(agent_->metrics().actions_denied, 1u);
+}
+
+TEST_F(AgentTest, MouseMovesBroadcastToOtherParticipants) {
+  StartAgent();
+  HostNavigate();
+  // p1 and p2 poll once to register.
+  for (const char* pid : {"p1", "p2"}) {
+    PollRequest poll;
+    poll.participant_id = pid;
+    poll.doc_time_ms = -1;
+    Poll(poll);
+  }
+  // p1 moves the mouse.
+  PollRequest move_poll;
+  move_poll.participant_id = "p1";
+  move_poll.doc_time_ms = 1'000'000'000;  // up to date
+  UserAction mouse;
+  mouse.type = ActionType::kMouseMove;
+  mouse.x = 10;
+  mouse.y = 20;
+  move_poll.actions.push_back(mouse);
+  Poll(move_poll);
+
+  // p2's next poll carries the broadcast; p1's does not.
+  PollRequest p2_poll;
+  p2_poll.participant_id = "p2";
+  p2_poll.doc_time_ms = 1'000'000'000;
+  auto p2_snapshot = ParseSnapshotXml(Poll(p2_poll).response.body);
+  ASSERT_TRUE(p2_snapshot.ok());
+  ASSERT_EQ(p2_snapshot->user_actions.size(), 1u);
+  EXPECT_EQ(p2_snapshot->user_actions[0].type, ActionType::kMouseMove);
+  EXPECT_EQ(p2_snapshot->user_actions[0].origin, "p1");
+  EXPECT_EQ(p2_snapshot->user_actions[0].x, 10);
+
+  PollRequest p1_poll;
+  p1_poll.participant_id = "p1";
+  p1_poll.doc_time_ms = 1'000'000'000;
+  EXPECT_TRUE(Poll(p1_poll).response.body.empty());
+}
+
+TEST_F(AgentTest, HostBroadcastReachesAllParticipants) {
+  StartAgent();
+  HostNavigate();
+  for (const char* pid : {"p1", "p2"}) {
+    PollRequest poll;
+    poll.participant_id = pid;
+    poll.doc_time_ms = -1;
+    Poll(poll);
+  }
+  UserAction mouse;
+  mouse.type = ActionType::kMouseMove;
+  mouse.x = 5;
+  mouse.y = 6;
+  agent_->BroadcastAction(mouse);
+  for (const char* pid : {"p1", "p2"}) {
+    PollRequest poll;
+    poll.participant_id = pid;
+    poll.doc_time_ms = 1'000'000'000;
+    auto snapshot = ParseSnapshotXml(Poll(poll).response.body);
+    ASSERT_TRUE(snapshot.ok());
+    ASSERT_EQ(snapshot->user_actions.size(), 1u);
+    EXPECT_EQ(snapshot->user_actions[0].origin, "host");
+  }
+}
+
+TEST_F(AgentTest, ConnectedParticipantsTracksLiveness) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  Poll(poll);
+  EXPECT_EQ(agent_->ConnectedParticipants(), std::vector<std::string>{"p1"});
+  // After a long silence the participant is no longer "connected".
+  loop_.RunFor(Duration::Seconds(30.0));
+  EXPECT_TRUE(agent_->ConnectedParticipants().empty());
+}
+
+TEST_F(AgentTest, StatusPageShowsRosterAndMetrics) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p7";
+  poll.doc_time_ms = -1;
+  Poll(poll);
+
+  FetchResult result =
+      Fetch(HttpMethod::kGet, Url::Make("http", "host-pc", 3000, "/status"));
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.response.status_code, 200);
+  auto page = ParseDocument(result.response.body);
+  EXPECT_EQ(page->Title(), "RCB status");
+  Element* table = page->ById("participants");
+  ASSERT_NE(table, nullptr);
+  EXPECT_NE(table->OuterHtml().find("p7"), std::string::npos);
+  Element* metrics = page->ById("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->TextContent().find("generations 1"), std::string::npos);
+  EXPECT_NE(page->ById("mode")->TextContent().find("cache / poll"),
+            std::string::npos);
+}
+
+TEST_F(AgentTest, PerParticipantCacheModes) {
+  // §4.1.2: "allow different participant browsers to use different modes".
+  AgentConfig config;
+  config.participant_cache_mode = [](const std::string& pid) {
+    return pid == "cached-one";
+  };
+  StartAgent(config);
+  HostNavigate();
+
+  PollRequest poll;
+  poll.doc_time_ms = -1;
+  poll.participant_id = "cached-one";
+  auto cached_snapshot = ParseSnapshotXml(Poll(poll).response.body);
+  ASSERT_TRUE(cached_snapshot.ok());
+  EXPECT_NE(cached_snapshot->body->inner_html.find("/obj/"), std::string::npos);
+
+  poll.participant_id = "origin-one";
+  auto origin_snapshot = ParseSnapshotXml(Poll(poll).response.body);
+  ASSERT_TRUE(origin_snapshot.ok());
+  EXPECT_EQ(origin_snapshot->body->inner_html.find("/obj/"), std::string::npos);
+  EXPECT_NE(origin_snapshot->body->inner_html.find("http://www.origin.test/"),
+            std::string::npos);
+
+  // One generation per mode; further pollers of either mode reuse.
+  EXPECT_EQ(agent_->metrics().generations, 2u);
+  poll.participant_id = "cached-two";
+  Poll(poll);
+  EXPECT_EQ(agent_->metrics().generations, 2u);
+  EXPECT_GE(agent_->metrics().snapshot_reuses, 1u);
+
+  // Object requests are served because at least one participant is in cache
+  // mode.
+  const std::string& body = cached_snapshot->body->inner_html;
+  size_t pos = body.find("/obj/");
+  size_t end = body.find('"', pos);
+  FetchResult object = Fetch(
+      HttpMethod::kGet,
+      Url::Make("http", "host-pc", 3000, body.substr(pos, end - pos)));
+  EXPECT_EQ(object.response.status_code, 200);
+}
+
+TEST_F(AgentTest, StaleActionTargetIgnored) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = 0;
+  UserAction click;
+  click.type = ActionType::kClick;
+  click.target = 9999;
+  poll.actions.push_back(click);
+  FetchResult result = Poll(poll);
+  EXPECT_EQ(result.response.status_code, 200);  // poll succeeds, action dropped
+  EXPECT_EQ(host_browser_->document()->Title(), "Origin");
+}
+
+}  // namespace
+}  // namespace rcb

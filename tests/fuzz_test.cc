@@ -1,0 +1,274 @@
+// Fuzz/property suites: every parser in the stack must reject or tolerate
+// arbitrary and mutated input without crashing, and the structured codecs
+// must be closed under round trips.
+#include <gtest/gtest.h>
+
+#include "src/core/protocol.h"
+#include "src/html/parser.h"
+#include "src/html/serializer.h"
+#include "src/http/http_parser.h"
+#include "src/http/url.h"
+#include "src/util/rand.h"
+#include "src/xml/xml_parser.h"
+
+namespace rcb {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  return rng->NextBytes(rng->NextBelow(max_len) + 1);
+}
+
+// Mutates a valid input: flip bytes, truncate, duplicate a slice.
+std::string Mutate(Rng* rng, std::string input) {
+  if (input.empty()) {
+    return input;
+  }
+  switch (rng->NextBelow(4)) {
+    case 0: {  // flip random bytes
+      for (int i = 0; i < 4; ++i) {
+        input[rng->NextBelow(input.size())] =
+            static_cast<char>(rng->NextBelow(256));
+      }
+      break;
+    }
+    case 1:  // truncate
+      input.resize(rng->NextBelow(input.size()));
+      break;
+    case 2: {  // duplicate a slice into the middle
+      size_t from = rng->NextBelow(input.size());
+      size_t len = rng->NextBelow(input.size() - from) + 1;
+      input.insert(rng->NextBelow(input.size()), input.substr(from, len));
+      break;
+    }
+    case 3:  // append garbage
+      input += RandomBytes(rng, 32);
+      break;
+  }
+  return input;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, HttpRequestParserToleratesGarbage) {
+  Rng rng(GetParam());
+  HttpRequestParser parser;
+  for (int i = 0; i < 20; ++i) {
+    auto result = parser.Feed(RandomBytes(&rng, 256));
+    if (!result.ok()) {
+      return;  // rejected cleanly — rebuild would be required, as in prod
+    }
+  }
+}
+
+TEST_P(FuzzTest, HttpRequestParserToleratesMutatedRequests) {
+  Rng rng(GetParam() ^ 0xA5A5);
+  HttpRequest valid;
+  valid.method = HttpMethod::kPost;
+  valid.target = "/?hmac=abc";
+  valid.headers.Set("Host", "h");
+  valid.body = "pid=p1&ts=5&actions=";
+  for (int i = 0; i < 20; ++i) {
+    HttpRequestParser parser;
+    auto result = parser.Feed(Mutate(&rng, valid.Serialize()));
+    (void)result;  // any Status/optional outcome is fine; crashing is not
+  }
+}
+
+TEST_P(FuzzTest, HttpResponseParserToleratesGarbage) {
+  Rng rng(GetParam() ^ 0x1111);
+  HttpResponseParser parser;
+  for (int i = 0; i < 20; ++i) {
+    auto result = parser.Feed(RandomBytes(&rng, 256));
+    if (!result.ok()) {
+      return;
+    }
+  }
+}
+
+TEST_P(FuzzTest, XmlParserToleratesGarbage) {
+  Rng rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 50; ++i) {
+    auto result = ParseXml(RandomBytes(&rng, 512));
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, XmlParserToleratesMutatedSnapshots) {
+  Rng rng(GetParam() ^ 0x3333);
+  Snapshot snapshot;
+  snapshot.doc_time_ms = 42;
+  snapshot.has_content = true;
+  ElementPayload body;
+  body.tag = "body";
+  body.inner_html = "<div id=\"x\"><p>text</p></div>";
+  snapshot.body = body;
+  std::string valid = SerializeSnapshotXml(snapshot);
+  for (int i = 0; i < 50; ++i) {
+    auto result = ParseSnapshotXml(Mutate(&rng, valid));
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, HtmlParserNeverFails) {
+  // Browsers never reject HTML; neither do we. Any byte soup must yield a
+  // scaffolded document.
+  Rng rng(GetParam() ^ 0x4444);
+  for (int i = 0; i < 30; ++i) {
+    auto document = ParseDocument(RandomBytes(&rng, 1024));
+    ASSERT_NE(document, nullptr);
+    ASSERT_NE(document->document_element(), nullptr);
+    // And the result serializes without crashing.
+    std::string out = SerializeNode(*document);
+    (void)out;
+  }
+}
+
+TEST_P(FuzzTest, HtmlParserToleratesMutatedMarkup) {
+  Rng rng(GetParam() ^ 0x5555);
+  std::string valid =
+      "<!DOCTYPE html><html><head><title>T</title><script>if(a<b){}</script>"
+      "</head><body onload=\"x()\"><div id=\"d\" class=\"c\">"
+      "<img src=\"/i.png\"><a href=\"/x?a=1&amp;b=2\">link</a>"
+      "<form action=\"/f\"><input name=\"q\" value=\"v\"></form>"
+      "</div></body></html>";
+  for (int i = 0; i < 30; ++i) {
+    auto document = ParseDocument(Mutate(&rng, valid));
+    ASSERT_NE(document->document_element(), nullptr);
+  }
+}
+
+TEST_P(FuzzTest, HtmlParseSerializeIsIdempotentOnGarbage) {
+  // parse(serialize(parse(x))) == parse(serialize(...)) — normalization
+  // reaches a fixed point even for byte soup, which is what guarantees
+  // innerHTML round trips stabilize on the participant browser.
+  Rng rng(GetParam() ^ 0x6666);
+  std::string soup = RandomBytes(&rng, 512);
+  auto first = ParseDocument(soup);
+  std::string one = SerializeNode(*first);
+  auto second = ParseDocument(one);
+  std::string two = SerializeNode(*second);
+  EXPECT_EQ(one, two);
+}
+
+TEST_P(FuzzTest, UrlParserToleratesGarbage) {
+  Rng rng(GetParam() ^ 0x7777);
+  for (int i = 0; i < 50; ++i) {
+    auto url = Url::Parse(RandomBytes(&rng, 128));
+    if (url.ok()) {
+      // Whatever parsed must re-serialize to something parseable.
+      auto again = Url::Parse(url->ToString());
+      EXPECT_TRUE(again.ok());
+    }
+  }
+}
+
+TEST_P(FuzzTest, UrlResolveToleratesGarbageReferences) {
+  Rng rng(GetParam() ^ 0x8888);
+  auto base = Url::Parse("http://host/a/b/c?q=1");
+  ASSERT_TRUE(base.ok());
+  for (int i = 0; i < 50; ++i) {
+    auto resolved = base->Resolve(RandomBytes(&rng, 64));
+    if (resolved.ok()) {
+      EXPECT_FALSE(resolved->host().empty());
+      EXPECT_TRUE(resolved->path().empty() || resolved->path()[0] == '/');
+    }
+  }
+}
+
+TEST_P(FuzzTest, ActionDecoderToleratesGarbage) {
+  Rng rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 50; ++i) {
+    auto actions = DecodeActions(RandomBytes(&rng, 256));
+    (void)actions;
+  }
+}
+
+TEST_P(FuzzTest, PollRequestDecoderToleratesGarbage) {
+  Rng rng(GetParam() ^ 0xAAAA);
+  for (int i = 0; i < 50; ++i) {
+    auto poll = DecodePollRequest(RandomBytes(&rng, 256));
+    (void)poll;
+  }
+}
+
+TEST_P(FuzzTest, ElementPayloadDecoderToleratesGarbage) {
+  Rng rng(GetParam() ^ 0xBBBB);
+  for (int i = 0; i < 50; ++i) {
+    auto payload = DecodeElementPayload(RandomBytes(&rng, 256));
+    (void)payload;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(1, 13));
+
+// --------------------------------------------------------- DOM properties --
+
+class DomPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // Builds a random but WELL-FORMED tree of depth <= 4. Tags are chosen from
+  // the set with no implied-end-tag interactions, so any nesting the DOM can
+  // express survives a serialize/parse round trip (p/ul/li combinations can
+  // legitimately re-parse differently, as in real browsers).
+  std::unique_ptr<Element> RandomTree(Rng* rng, int depth = 0) {
+    static const char* kTags[] = {"div", "span", "section", "em", "i", "b"};
+    auto element = MakeElement(kTags[rng->NextBelow(std::size(kTags))]);
+    size_t attrs = rng->NextBelow(3);
+    for (size_t i = 0; i < attrs; ++i) {
+      element->SetAttribute(std::string("a") + std::to_string(i),
+                            rng->NextToken(rng->NextBelow(8) + 1));
+    }
+    if (depth < 4) {
+      size_t children = rng->NextBelow(4);
+      for (size_t i = 0; i < children; ++i) {
+        if (rng->NextBelow(3) == 0) {
+          element->AppendChild(MakeText(rng->NextToken(rng->NextBelow(12) + 1)));
+        } else {
+          element->AppendChild(RandomTree(rng, depth + 1));
+        }
+      }
+    }
+    return element;
+  }
+};
+
+TEST_P(DomPropertyTest, CloneSerializesIdentically) {
+  Rng rng(GetParam());
+  auto tree = RandomTree(&rng);
+  auto clone = tree->Clone();
+  EXPECT_EQ(SerializeNode(*tree), SerializeNode(*clone));
+}
+
+TEST_P(DomPropertyTest, SerializeParseRoundTrip) {
+  Rng rng(GetParam() ^ 0xC0DE);
+  auto tree = RandomTree(&rng);
+  std::string html = SerializeNode(*tree);
+  auto nodes = ParseFragment(html);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(SerializeNode(*nodes[0]), html);
+}
+
+TEST_P(DomPropertyTest, InnerHtmlSetGetRoundTrip) {
+  Rng rng(GetParam() ^ 0xFACE);
+  auto tree = RandomTree(&rng);
+  std::string inner = SerializeChildren(*tree);
+  auto target = MakeElement("div");
+  target->SetInnerHtml(inner);
+  EXPECT_EQ(target->InnerHtml(), inner);
+}
+
+TEST_P(DomPropertyTest, DetachedCloneSharesNoState) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  auto tree = RandomTree(&rng);
+  std::string before = SerializeNode(*tree);
+  auto clone = tree->Clone();
+  // Scorch the clone.
+  clone->AsElement()->SetAttribute("mutated", "yes");
+  clone->RemoveAllChildren();
+  EXPECT_EQ(SerializeNode(*tree), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,403 @@
+// Unit tests for the HTML substrate: tokenizer, parser, DOM, serializer.
+#include <gtest/gtest.h>
+
+#include "src/html/dom.h"
+#include "src/html/parser.h"
+#include "src/html/serializer.h"
+#include "src/html/tokenizer.h"
+
+namespace rcb {
+namespace {
+
+// -------------------------------------------------------------- Tokenizer --
+
+TEST(TokenizerTest, SimpleTags) {
+  HtmlTokenizer tokenizer("<p>hi</p>");
+  HtmlToken open = tokenizer.Next();
+  EXPECT_EQ(open.type, HtmlToken::Type::kStartTag);
+  EXPECT_EQ(open.tag_name, "p");
+  HtmlToken text = tokenizer.Next();
+  EXPECT_EQ(text.type, HtmlToken::Type::kText);
+  EXPECT_EQ(text.data, "hi");
+  HtmlToken close = tokenizer.Next();
+  EXPECT_EQ(close.type, HtmlToken::Type::kEndTag);
+  EXPECT_EQ(close.tag_name, "p");
+  EXPECT_EQ(tokenizer.Next().type, HtmlToken::Type::kEndOfFile);
+}
+
+TEST(TokenizerTest, AttributesQuotedAndUnquoted) {
+  HtmlTokenizer tokenizer(
+      "<img src=\"a.png\" alt='pic' width=10 ismap>");
+  HtmlToken token = tokenizer.Next();
+  ASSERT_EQ(token.attributes.size(), 4u);
+  EXPECT_EQ(token.attributes[0], (std::pair<std::string, std::string>{"src", "a.png"}));
+  EXPECT_EQ(token.attributes[1], (std::pair<std::string, std::string>{"alt", "pic"}));
+  EXPECT_EQ(token.attributes[2], (std::pair<std::string, std::string>{"width", "10"}));
+  EXPECT_EQ(token.attributes[3], (std::pair<std::string, std::string>{"ismap", ""}));
+}
+
+TEST(TokenizerTest, TagNamesLowercased) {
+  HtmlTokenizer tokenizer("<DIV CLASS=\"X\"></DIV>");
+  HtmlToken token = tokenizer.Next();
+  EXPECT_EQ(token.tag_name, "div");
+  EXPECT_EQ(token.attributes[0].first, "class");
+  EXPECT_EQ(token.attributes[0].second, "X");  // value case preserved
+}
+
+TEST(TokenizerTest, SelfClosing) {
+  HtmlTokenizer tokenizer("<br/>");
+  HtmlToken token = tokenizer.Next();
+  EXPECT_TRUE(token.self_closing);
+}
+
+TEST(TokenizerTest, Comment) {
+  HtmlTokenizer tokenizer("<!-- a < b -->x");
+  HtmlToken comment = tokenizer.Next();
+  EXPECT_EQ(comment.type, HtmlToken::Type::kComment);
+  EXPECT_EQ(comment.data, " a < b ");
+  EXPECT_EQ(tokenizer.Next().data, "x");
+}
+
+TEST(TokenizerTest, Doctype) {
+  HtmlTokenizer tokenizer("<!DOCTYPE html><html></html>");
+  HtmlToken doctype = tokenizer.Next();
+  EXPECT_EQ(doctype.type, HtmlToken::Type::kDoctype);
+  EXPECT_EQ(doctype.data, "DOCTYPE html");
+}
+
+TEST(TokenizerTest, ScriptContentIsRawText) {
+  HtmlTokenizer tokenizer("<script>if (a<b && c>d) {}</script>");
+  EXPECT_EQ(tokenizer.Next().type, HtmlToken::Type::kStartTag);
+  HtmlToken content = tokenizer.Next();
+  EXPECT_EQ(content.type, HtmlToken::Type::kText);
+  EXPECT_EQ(content.data, "if (a<b && c>d) {}");
+  EXPECT_EQ(tokenizer.Next().type, HtmlToken::Type::kEndTag);
+}
+
+TEST(TokenizerTest, RawTextCaseInsensitiveClose) {
+  HtmlTokenizer tokenizer("<style>a{}</STYLE>");
+  tokenizer.Next();
+  EXPECT_EQ(tokenizer.Next().data, "a{}");
+  EXPECT_EQ(tokenizer.Next().type, HtmlToken::Type::kEndTag);
+}
+
+TEST(TokenizerTest, EntitiesDecodedInText) {
+  HtmlTokenizer tokenizer("<p>a &amp; b &lt;c&gt;</p>");
+  tokenizer.Next();
+  EXPECT_EQ(tokenizer.Next().data, "a & b <c>");
+}
+
+TEST(TokenizerTest, StrayLessThanIsText) {
+  HtmlTokenizer tokenizer("a < b");
+  HtmlToken token = tokenizer.Next();
+  EXPECT_EQ(token.type, HtmlToken::Type::kText);
+  EXPECT_EQ(token.data, "a < b");
+}
+
+TEST(TokenizerTest, UnterminatedTagAtEof) {
+  HtmlTokenizer tokenizer("<div class=\"x");
+  HtmlToken token = tokenizer.Next();
+  EXPECT_EQ(token.type, HtmlToken::Type::kStartTag);
+  EXPECT_EQ(tokenizer.Next().type, HtmlToken::Type::kEndOfFile);
+}
+
+// ------------------------------------------------------------------- DOM --
+
+TEST(DomTest, AppendRemoveChildren) {
+  auto parent = MakeElement("div");
+  Node* a = parent->AppendChild(MakeElement("a"));
+  Node* b = parent->AppendChild(MakeElement("b"));
+  EXPECT_EQ(parent->child_count(), 2u);
+  EXPECT_EQ(a->parent(), parent.get());
+  auto removed = parent->RemoveChild(a);
+  EXPECT_EQ(removed->parent(), nullptr);
+  EXPECT_EQ(parent->child_count(), 1u);
+  EXPECT_EQ(parent->first_child(), b);
+}
+
+TEST(DomTest, InsertBefore) {
+  auto parent = MakeElement("div");
+  Node* b = parent->AppendChild(MakeElement("b"));
+  parent->InsertBefore(MakeElement("a"), b);
+  EXPECT_EQ(parent->child_at(0)->AsElement()->tag_name(), "a");
+  EXPECT_EQ(parent->child_at(1)->AsElement()->tag_name(), "b");
+  // nullptr reference appends.
+  parent->InsertBefore(MakeElement("c"), nullptr);
+  EXPECT_EQ(parent->child_at(2)->AsElement()->tag_name(), "c");
+}
+
+TEST(DomTest, AttributesOrderedAndCaseInsensitive) {
+  Element element("div");
+  element.SetAttribute("B", "2");
+  element.SetAttribute("a", "1");
+  EXPECT_EQ(element.GetAttribute("b").value(), "2");
+  EXPECT_EQ(element.attributes()[0].first, "b");
+  element.SetAttribute("b", "3");  // replace keeps position
+  EXPECT_EQ(element.attributes()[0].second, "3");
+  element.RemoveAttribute("B");
+  EXPECT_FALSE(element.HasAttribute("b"));
+  EXPECT_EQ(element.AttrOr("missing", "dflt"), "dflt");
+}
+
+TEST(DomTest, CloneIsDeepAndDetached) {
+  auto tree = MakeElement("div");
+  tree->SetAttribute("id", "root");
+  Node* child = tree->AppendChild(MakeElement("span"));
+  child->AppendChild(MakeText("hello"));
+  auto clone = tree->Clone();
+  Element* clone_element = clone->AsElement();
+  EXPECT_EQ(clone_element->id(), "root");
+  EXPECT_EQ(clone->child_count(), 1u);
+  EXPECT_EQ(clone->TextContent(), "hello");
+  EXPECT_EQ(clone->parent(), nullptr);
+  // Mutating the clone leaves the original untouched.
+  clone_element->SetAttribute("id", "changed");
+  clone->RemoveAllChildren();
+  EXPECT_EQ(tree->id(), "root");
+  EXPECT_EQ(tree->child_count(), 1u);
+}
+
+TEST(DomTest, TextContentConcatenatesDescendants) {
+  auto div = MakeElement("div");
+  div->AppendChild(MakeText("a"));
+  Node* span = div->AppendChild(MakeElement("span"));
+  span->AppendChild(MakeText("b"));
+  div->AppendChild(MakeText("c"));
+  EXPECT_EQ(div->TextContent(), "abc");
+}
+
+TEST(DomTest, FindHelpers) {
+  auto doc = ParseDocument(
+      "<html><body><div id=\"x\"><p>1</p></div><p>2</p></body></html>");
+  EXPECT_NE(doc->ById("x"), nullptr);
+  EXPECT_EQ(doc->ById("nope"), nullptr);
+  EXPECT_EQ(doc->FindAll("p").size(), 2u);
+  EXPECT_EQ(doc->FindFirst("p")->TextContent(), "1");
+}
+
+TEST(DomTest, ForEachElementEarlyStop) {
+  auto doc = ParseDocument("<html><body><a></a><b></b><c></c></body></html>");
+  int visited = 0;
+  doc->ForEachElement([&](Element* element) {
+    ++visited;
+    return element->tag_name() != "b";
+  });
+  // html, head, body, a, b -> stop.
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(DomTest, DetachFromParent) {
+  auto parent = MakeElement("div");
+  Node* child = parent->AppendChild(MakeElement("span"));
+  auto owned = child->Detach();
+  EXPECT_EQ(owned.get(), child);
+  EXPECT_EQ(parent->child_count(), 0u);
+  // Detaching an orphan is a no-op.
+  EXPECT_EQ(owned->Detach(), nullptr);
+}
+
+// ---------------------------------------------------------------- Parser --
+
+TEST(ParserTest, FullDocumentScaffold) {
+  auto doc = ParseDocument(
+      "<!DOCTYPE html><html><head><title>T</title></head>"
+      "<body><p>x</p></body></html>");
+  ASSERT_NE(doc->document_element(), nullptr);
+  ASSERT_NE(doc->head(), nullptr);
+  ASSERT_NE(doc->body(), nullptr);
+  EXPECT_EQ(doc->Title(), "T");
+}
+
+TEST(ParserTest, MissingScaffoldCreated) {
+  auto doc = ParseDocument("<p>bare content</p>");
+  ASSERT_NE(doc->document_element(), nullptr);
+  ASSERT_NE(doc->head(), nullptr);
+  ASSERT_NE(doc->body(), nullptr);
+  EXPECT_EQ(doc->body()->FindFirst("p")->TextContent(), "bare content");
+}
+
+TEST(ParserTest, HeadContentRelocated) {
+  auto doc = ParseDocument("<html><title>T</title><p>b</p></html>");
+  EXPECT_EQ(doc->Title(), "T");
+  ASSERT_NE(doc->head(), nullptr);
+  EXPECT_NE(doc->head()->FindFirst("title"), nullptr);
+  EXPECT_NE(doc->body()->FindFirst("p"), nullptr);
+}
+
+TEST(ParserTest, FramesetDocument) {
+  auto doc = ParseDocument(
+      "<html><head><title>F</title></head>"
+      "<frameset cols=\"50%,50%\"><frame src=\"a.html\">"
+      "<frame src=\"b.html\"></frameset>"
+      "<noframes><p>no frames</p></noframes></html>");
+  EXPECT_NE(doc->frameset(), nullptr);
+  EXPECT_EQ(doc->body(), nullptr);  // no body synthesized for frame pages
+  EXPECT_NE(doc->noframes(), nullptr);
+  EXPECT_EQ(doc->frameset()->FindAll("frame").size(), 2u);
+}
+
+TEST(ParserTest, VoidElementsDontNest) {
+  auto doc = ParseDocument("<html><body><img src=\"a\"><p>after</p></body></html>");
+  Element* img = doc->FindFirst("img");
+  ASSERT_NE(img, nullptr);
+  EXPECT_EQ(img->child_count(), 0u);
+  // <p> is a sibling of <img>, not its child.
+  EXPECT_EQ(img->parent(), doc->body());
+  EXPECT_EQ(doc->FindFirst("p")->parent(), doc->body());
+}
+
+TEST(ParserTest, MismatchedEndTagsRecovered) {
+  auto doc = ParseDocument("<html><body><div><span>x</div></body></html>");
+  // </div> closes both span and div (pop-to-match).
+  Element* div = doc->FindFirst("div");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->TextContent(), "x");
+}
+
+TEST(ParserTest, StrayEndTagIgnored) {
+  auto doc = ParseDocument("<html><body></table><p>ok</p></body></html>");
+  EXPECT_EQ(doc->FindFirst("p")->TextContent(), "ok");
+}
+
+TEST(ParserTest, UnclosedListItemsBecomeSiblings) {
+  auto doc = ParseDocument(
+      "<html><body><ul><li>one<li>two<li>three</ul></body></html>");
+  Element* ul = doc->FindFirst("ul");
+  ASSERT_NE(ul, nullptr);
+  auto items = ul->ChildElements();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0]->TextContent(), "one");
+  EXPECT_EQ(items[2]->TextContent(), "three");
+  // No nesting: each li has no li descendants.
+  EXPECT_EQ(items[0]->FindAll("li").size(), 0u);
+}
+
+TEST(ParserTest, UnclosedParagraphs) {
+  auto doc = ParseDocument("<html><body><p>a<p>b<div>c</div></body></html>");
+  auto paragraphs = doc->FindAll("p");
+  ASSERT_EQ(paragraphs.size(), 2u);
+  EXPECT_EQ(paragraphs[0]->TextContent(), "a");
+  EXPECT_EQ(paragraphs[1]->TextContent(), "b");
+  // The div is a sibling, not a child of <p>b.
+  EXPECT_EQ(doc->FindFirst("div")->parent(), doc->body());
+}
+
+TEST(ParserTest, UnclosedTableCells) {
+  auto doc = ParseDocument(
+      "<html><body><table><tr><td>a<td>b<tr><td>c</table></body></html>");
+  auto rows = doc->FindAll("tr");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->FindAll("td").size(), 2u);
+  EXPECT_EQ(rows[1]->FindAll("td").size(), 1u);
+}
+
+TEST(ParserTest, UnclosedOptionsAndDefinitions) {
+  auto doc = ParseDocument(
+      "<html><body><select><option>x<option>y</select>"
+      "<dl><dt>term<dd>def<dt>term2</dl></body></html>");
+  EXPECT_EQ(doc->FindFirst("select")->ChildElements().size(), 2u);
+  Element* dl = doc->FindFirst("dl");
+  ASSERT_NE(dl, nullptr);
+  EXPECT_EQ(dl->ChildElements().size(), 3u);
+}
+
+TEST(ParserTest, NestedListsStillNest) {
+  // An explicit nested list must not be flattened by the li rule: the inner
+  // <ul> is INSIDE the first li, so the second li of the inner list closes
+  // only the inner li.
+  auto doc = ParseDocument(
+      "<html><body><ul><li>outer<ul><li>inner1</li><li>inner2</li></ul></li>"
+      "</ul></body></html>");
+  Element* outer_ul = doc->FindFirst("ul");
+  auto outer_items = outer_ul->ChildElements();
+  ASSERT_EQ(outer_items.size(), 1u);
+  EXPECT_EQ(outer_items[0]->FindAll("li").size(), 2u);
+}
+
+TEST(ParserTest, FragmentParsing) {
+  auto nodes = ParseFragment("<b>bold</b> and <i>italic</i>");
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0]->AsElement()->tag_name(), "b");
+  EXPECT_EQ(nodes[1]->TextContent(), " and ");
+  EXPECT_EQ(nodes[2]->AsElement()->tag_name(), "i");
+}
+
+TEST(ParserTest, InnerHtmlRoundTrip) {
+  auto div = MakeElement("div");
+  div->SetInnerHtml("<p class=\"c\">one</p><p>two</p>");
+  EXPECT_EQ(div->child_count(), 2u);
+  EXPECT_EQ(div->InnerHtml(), "<p class=\"c\">one</p><p>two</p>");
+}
+
+TEST(ParserTest, SetInnerHtmlReplacesChildren) {
+  auto div = MakeElement("div");
+  div->SetInnerHtml("<a></a><b></b>");
+  div->SetInnerHtml("<c></c>");
+  EXPECT_EQ(div->child_count(), 1u);
+  EXPECT_EQ(div->first_child()->AsElement()->tag_name(), "c");
+}
+
+TEST(ParserTest, EmptyDocument) {
+  auto doc = ParseDocument("");
+  ASSERT_NE(doc->document_element(), nullptr);
+  EXPECT_NE(doc->head(), nullptr);
+  EXPECT_NE(doc->body(), nullptr);
+}
+
+// -------------------------------------------------------------- Serializer --
+
+TEST(SerializerTest, EscapesTextAndAttributes) {
+  auto div = MakeElement("div");
+  div->SetAttribute("title", "a\"b<c>");
+  div->AppendChild(MakeText("x < y & z"));
+  EXPECT_EQ(SerializeNode(*div),
+            "<div title=\"a&quot;b&lt;c&gt;\">x &lt; y &amp; z</div>");
+}
+
+TEST(SerializerTest, ScriptContentNotEscaped) {
+  auto doc = ParseDocument(
+      "<html><head><script>var x = 1 < 2 && 3 > 2;</script></head></html>");
+  Element* script = doc->FindFirst("script");
+  ASSERT_NE(script, nullptr);
+  std::string out = SerializeNode(*script);
+  EXPECT_EQ(out, "<script>var x = 1 < 2 && 3 > 2;</script>");
+}
+
+TEST(SerializerTest, VoidElementsNoCloseTag) {
+  auto doc = ParseDocument("<html><body><br><img src=\"x\"></body></html>");
+  std::string out = SerializeNode(*doc->body());
+  EXPECT_EQ(out, "<body><br><img src=\"x\"></body>");
+}
+
+TEST(SerializerTest, CommentsAndDoctypePreserved) {
+  auto doc = ParseDocument("<!DOCTYPE html><!-- note --><html></html>");
+  std::string out = SerializeNode(*doc);
+  EXPECT_NE(out.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(out.find("<!-- note -->"), std::string::npos);
+}
+
+TEST(SerializerTest, ParseSerializeStable) {
+  // Serializing a parsed document and reparsing yields the same serialization
+  // (idempotent normalization) — the property RCB relies on for innerHTML
+  // round trips.
+  std::string html =
+      "<!DOCTYPE html><html><head><title>T&amp;T</title>"
+      "<style>.a{color:red}</style></head>"
+      "<body class=\"main\"><div id=\"d\"><p>para 1</p>"
+      "<img src=\"/i.png\" alt=\"x&lt;y\"><a href=\"/go?a=1&amp;b=2\">link</a>"
+      "</div><script>if(a&&b){go();}</script></body></html>";
+  auto doc1 = ParseDocument(html);
+  std::string out1 = SerializeNode(*doc1);
+  auto doc2 = ParseDocument(out1);
+  std::string out2 = SerializeNode(*doc2);
+  EXPECT_EQ(out1, out2);
+}
+
+TEST(SerializerTest, InnerHtmlOfRawTextElement) {
+  auto doc = ParseDocument("<html><head><style>a>b{}</style></head></html>");
+  Element* style = doc->FindFirst("style");
+  EXPECT_EQ(style->InnerHtml(), "a>b{}");
+}
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,113 @@
+// Parameterized environment-matrix sweep: every combination of network
+// profile (LAN / WAN / mobile), cache mode, sync model, and participant
+// count must produce a correct synchronized session on a corpus site.
+#include <gtest/gtest.h>
+
+#include "src/core/session.h"
+#include "src/sites/corpus.h"
+
+namespace rcb {
+namespace {
+
+struct MatrixCase {
+  const char* profile;  // "lan" | "wan" | "mobile"
+  bool cache_mode;
+  SyncModel sync_model;
+  size_t participants;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  const MatrixCase& c = info.param;
+  std::string name = c.profile;
+  name += c.cache_mode ? "_cache" : "_origin";
+  name += c.sync_model == SyncModel::kPush ? "_push" : "_poll";
+  name += "_p" + std::to_string(c.participants);
+  return name;
+}
+
+NetworkProfile ProfileByName(const std::string& name) {
+  if (name == "wan") {
+    return WanProfile();
+  }
+  if (name == "mobile") {
+    return MobileProfile();
+  }
+  return LanProfile();
+}
+
+class EnvironmentMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(EnvironmentMatrixTest, CoNavigationSynchronizesEveryone) {
+  const MatrixCase& param = GetParam();
+  EventLoop loop;
+  Network network(&loop);
+  SessionOptions options;
+  options.profile = ProfileByName(param.profile);
+  options.cache_mode = param.cache_mode;
+  options.sync_model = param.sync_model;
+  options.participant_count = param.participants;
+  options.poll_interval = Duration::Millis(500);
+
+  const SiteSpec* spec = FindSite("facebook.com");
+  AddOriginServer(&network, options.profile, spec->host, spec->server_bps,
+                  spec->server_latency, options.host_machine,
+                  options.participant_machine_prefix + "-1");
+  for (size_t i = 2; i <= param.participants; ++i) {
+    network.SetLatency(
+        options.participant_machine_prefix + "-" + std::to_string(i),
+        spec->host, spec->server_latency + options.profile.access_latency);
+  }
+  auto server = InstallSite(&loop, &network, *spec);
+
+  CoBrowsingSession session(&loop, &network, options);
+  ASSERT_TRUE(session.Start().ok());
+  auto stats = session.CoNavigate(Url::Make("http", spec->host, 80, "/"),
+                                  Duration::Seconds(300.0));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  for (size_t i = 0; i < param.participants; ++i) {
+    Document* doc = session.participant_browser(i)->document();
+    EXPECT_EQ(doc->Title(), "facebook.com - homepage") << "participant " << i;
+    EXPECT_EQ(session.snippet(i)->metrics().object_fetch_failures, 0u);
+    if (param.cache_mode) {
+      EXPECT_GT(stats->participant_objects_from_host[i], 0u);
+    } else {
+      EXPECT_EQ(stats->participant_objects_from_host[i], 0u);
+    }
+  }
+  // Snapshot generated once, reused for everyone (one mode in play).
+  EXPECT_EQ(session.agent()->metrics().generations, 1u);
+
+  // A scripted mutation also reaches everyone in every configuration.
+  session.host_browser()->MutateDocument([](Document* document) {
+    auto marker = MakeElement("div");
+    marker->SetAttribute("id", "matrix-marker");
+    document->body()->AppendChild(std::move(marker));
+  });
+  ASSERT_TRUE(session.WaitForSync(Duration::Seconds(120.0)).ok());
+  for (size_t i = 0; i < param.participants; ++i) {
+    EXPECT_NE(session.participant_browser(i)->document()->ById("matrix-marker"),
+              nullptr)
+        << "participant " << i;
+  }
+}
+
+std::vector<MatrixCase> AllCases() {
+  std::vector<MatrixCase> cases;
+  for (const char* profile : {"lan", "wan", "mobile"}) {
+    for (bool cache : {true, false}) {
+      for (SyncModel model : {SyncModel::kPoll, SyncModel::kPush}) {
+        for (size_t participants : {1u, 3u}) {
+          cases.push_back(MatrixCase{profile, cache, model, participants});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvironments, EnvironmentMatrixTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace rcb

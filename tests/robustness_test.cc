@@ -1,0 +1,256 @@
+// Failure-injection tests: agent restarts, origin outages, participant
+// crashes, hostile traffic — the session must degrade predictably and the
+// poll model must recover by construction (§3.2.3).
+#include <gtest/gtest.h>
+
+#include "src/core/session.h"
+#include "src/util/escape.h"
+#include "src/sites/corpus.h"
+#include "src/sites/site_server.h"
+
+namespace rcb {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest() : network_(&loop_) {
+    network_.AddHost("www.site.test", {});
+    site_ = std::make_unique<SiteServer>(&loop_, &network_, "www.site.test");
+    site_->ServeStatic("/", "text/html",
+                       "<html><head><title>A</title></head>"
+                       "<body><p id=\"p\">one</p></body></html>");
+    site_->ServeStatic("/two", "text/html",
+                       "<html><head><title>B</title></head>"
+                       "<body><p id=\"p\">two</p></body></html>");
+  }
+
+  void StartSession(SessionOptions options = {}) {
+    options.poll_interval = Duration::Millis(500);
+    session_ = std::make_unique<CoBrowsingSession>(&loop_, &network_, options);
+    ASSERT_TRUE(session_->Start().ok());
+  }
+
+  void HostNavigate(const std::string& path) {
+    bool done = false;
+    session_->host_browser()->Navigate(
+        Url::Make("http", "www.site.test", 80, path),
+        [&](const Status& status, const PageLoadStats&) {
+          ASSERT_TRUE(status.ok()) << status;
+          done = true;
+        });
+    loop_.RunUntilCondition([&] { return done; });
+  }
+
+  EventLoop loop_;
+  Network network_;
+  std::unique_ptr<SiteServer> site_;
+  std::unique_ptr<CoBrowsingSession> session_;
+};
+
+TEST_F(RobustnessTest, PollingRecoversAfterAgentRestart) {
+  StartSession();
+  HostNavigate("/");
+  ASSERT_TRUE(session_->WaitForSync().ok());
+
+  // The agent process "crashes" and comes back.
+  session_->agent()->Stop();
+  loop_.RunFor(Duration::Seconds(3.0));  // polls fail silently meanwhile
+  ASSERT_TRUE(session_->agent()->Start().ok());
+
+  // The next host change reaches the participant without any participant-
+  // side intervention: the poll loop reconnects by construction.
+  HostNavigate("/two");
+  loop_.RunUntilCondition([&] {
+    return session_->participant_browser(0)->document()->Title() == "B";
+  });
+  SUCCEED();
+}
+
+TEST_F(RobustnessTest, OriginOutageFailsHostNavigationButKeepsSession) {
+  StartSession();
+  HostNavigate("/");
+  ASSERT_TRUE(session_->WaitForSync().ok());
+
+  // Origin dies.
+  site_.reset();
+  bool done = false;
+  Status nav_status;
+  session_->host_browser()->Navigate(
+      Url::Make("http", "www.site.test", 80, "/two"),
+      [&](const Status& status, const PageLoadStats&) {
+        nav_status = status;
+        done = true;
+      });
+  loop_.RunUntilCondition([&] { return done; });
+  EXPECT_FALSE(nav_status.ok());
+
+  // The co-browsing session itself is intact: the participant still shows
+  // the last synchronized page and keeps polling.
+  uint64_t polls = session_->agent()->metrics().polls_received;
+  loop_.RunFor(Duration::Seconds(2.0));
+  EXPECT_GT(session_->agent()->metrics().polls_received, polls);
+  EXPECT_EQ(session_->participant_browser(0)->document()->Title(), "A");
+}
+
+TEST_F(RobustnessTest, ParticipantCrashDoesNotDisturbOthers) {
+  SessionOptions options;
+  options.participant_count = 2;
+  StartSession(options);
+  HostNavigate("/");
+  ASSERT_TRUE(session_->WaitForSync().ok());
+
+  session_->snippet(1)->AbortWithoutGoodbye();
+  HostNavigate("/two");
+  loop_.RunUntilCondition([&] {
+    return session_->participant_browser(0)->document()->Title() == "B";
+  });
+  // The crashed participant eventually drops out of the roster.
+  loop_.RunFor(Duration::Seconds(12.0));
+  auto connected = session_->agent()->ConnectedParticipants();
+  EXPECT_EQ(connected.size(), 1u);
+}
+
+TEST_F(RobustnessTest, ParticipantRejoinsAfterCrash) {
+  StartSession();
+  HostNavigate("/");
+  ASSERT_TRUE(session_->WaitForSync().ok());
+  session_->snippet(0)->AbortWithoutGoodbye();
+  loop_.RunFor(Duration::Seconds(1.0));
+
+  // Rejoin with the same browser: a fresh initial page, fresh pid, and the
+  // current content arrives on the first poll.
+  bool rejoined = false;
+  session_->snippet(0)->Join(session_->agent()->AgentUrl(), [&](Status status) {
+    ASSERT_TRUE(status.ok());
+    rejoined = true;
+  });
+  loop_.RunUntilCondition([&] { return rejoined; });
+  loop_.RunUntilCondition([&] {
+    return session_->participant_browser(0)->document()->Title() == "A";
+  });
+  SUCCEED();
+}
+
+TEST_F(RobustnessTest, GarbageBytesOnAgentPortAreDropped) {
+  StartSession();
+  network_.AddHost("attacker", {});
+  auto endpoint = network_.Connect("attacker", "host-pc", 3000);
+  ASSERT_TRUE(endpoint.ok());
+  (*endpoint)->Send(std::string("\x00\xff garbage not-http\r\n\r\n trash", 34));
+  loop_.RunFor(Duration::Seconds(1.0));
+  // Agent survives and keeps serving the legitimate participant.
+  HostNavigate("/");
+  ASSERT_TRUE(session_->WaitForSync().ok());
+  EXPECT_EQ(session_->participant_browser(0)->document()->Title(), "A");
+}
+
+TEST_F(RobustnessTest, OversizedPollBodyRejected) {
+  StartSession();
+  network_.AddHost("attacker", {});
+  // Content-Length above the parser's 64 MiB cap: connection dropped, agent
+  // unharmed.
+  auto endpoint = network_.Connect("attacker", "host-pc", 3000);
+  ASSERT_TRUE(endpoint.ok());
+  (*endpoint)->Send(
+      "POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\nxxxx");
+  loop_.RunFor(Duration::Seconds(1.0));
+  HostNavigate("/");
+  ASSERT_TRUE(session_->WaitForSync().ok());
+}
+
+TEST_F(RobustnessTest, MalformedActionPayloadIgnored) {
+  StartSession();
+  network_.AddHost("attacker", {});
+  Browser attacker(&loop_, &network_, "attacker");
+  bool done = false;
+  int code = 0;
+  attacker.Fetch(HttpMethod::kPost, Url::Make("http", "host-pc", 3000, "/"),
+                 "pid=px&ts=0&actions=" + PercentEncode("type=warpdrive"),
+                 "application/x-www-form-urlencoded", [&](FetchResult result) {
+                   code = result.response.status_code;
+                   done = true;
+                 });
+  loop_.RunUntilCondition([&] { return done; });
+  EXPECT_EQ(code, 400);
+  // Host unaffected.
+  HostNavigate("/");
+  EXPECT_EQ(session_->host_browser()->document()->Title(), "A");
+}
+
+TEST_F(RobustnessTest, ActionTargetingRemovedElementIsIgnored) {
+  StartSession();
+  site_->ServeStatic("/links", "text/html",
+                     "<html><body><a href=\"/\" id=\"a1\">1</a>"
+                     "<a href=\"/two\" id=\"a2\">2</a></body></html>");
+  HostNavigate("/links");
+  ASSERT_TRUE(session_->WaitForSync().ok());
+  // Participant captures a link, then the host navigates away (indices now
+  // refer to a different page) — the stale click must not crash the agent.
+  Element* link = session_->participant_browser(0)->document()->ById("a2");
+  ASSERT_NE(link, nullptr);
+  ASSERT_TRUE(session_->snippet(0)->ClickElement(link).ok());
+  HostNavigate("/");  // page with zero anchors
+  session_->snippet(0)->PollNow();
+  loop_.RunFor(Duration::Seconds(2.0));
+  EXPECT_EQ(session_->host_browser()->document()->Title(), "A");
+}
+
+TEST_F(RobustnessTest, RapidNavigationSettlesOnLastPage) {
+  StartSession();
+  // Host fires two navigations back to back; everyone converges on the last.
+  bool done = false;
+  session_->host_browser()->Navigate(
+      Url::Make("http", "www.site.test", 80, "/"),
+      [](const Status&, const PageLoadStats&) {});
+  session_->host_browser()->Navigate(
+      Url::Make("http", "www.site.test", 80, "/two"),
+      [&](const Status&, const PageLoadStats&) {
+        done = true;
+      });
+  loop_.RunUntilCondition([&] { return done; });
+  loop_.RunUntilCondition([&] {
+    return session_->participant_browser(0)->document()->Title() == "B";
+  });
+  SUCCEED();
+}
+
+TEST_F(RobustnessTest, ModeratedSessionFiltersParticipants) {
+  // §3.3 per-participant permission: only the privileged participant may
+  // navigate; everyone may still move the pointer.
+  SessionOptions options;
+  options.participant_count = 2;
+  StartSession(options);
+  HostNavigate("/");
+  ASSERT_TRUE(session_->WaitForSync().ok());
+
+  // Rebuild the agent with a filter privileging participant p1.
+  session_->agent()->Stop();
+  AgentConfig config;
+  config.poll_interval = Duration::Millis(500);
+  std::string privileged = session_->snippet(0)->participant_id();
+  config.policies.participant_filter =
+      [privileged](const std::string& pid, const UserAction& action) {
+        if (action.type == ActionType::kMouseMove) {
+          return true;
+        }
+        return pid == privileged;
+      };
+  RcbAgent moderated(session_->host_browser(), config);
+  ASSERT_TRUE(moderated.Start().ok());
+
+  session_->snippet(1)->RequestNavigate("http://www.site.test/two");
+  session_->snippet(1)->PollNow();
+  loop_.RunFor(Duration::Seconds(2.0));
+  EXPECT_EQ(session_->host_browser()->document()->Title(), "A");  // denied
+  EXPECT_GT(moderated.metrics().actions_denied, 0u);
+
+  session_->snippet(0)->RequestNavigate("http://www.site.test/two");
+  session_->snippet(0)->PollNow();
+  loop_.RunUntilCondition([&] {
+    return session_->host_browser()->document()->Title() == "B";  // allowed
+  });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,159 @@
+// Tests for the CSS-selector-lite query engine.
+#include <gtest/gtest.h>
+
+#include "src/html/parser.h"
+#include "src/html/selector.h"
+
+namespace rcb {
+namespace {
+
+class SelectorTest : public ::testing::Test {
+ protected:
+  SelectorTest() {
+    doc_ = ParseDocument(
+        "<html><body>"
+        "<div id=\"main\" class=\"page wide\">"
+        "  <form id=\"f\" class=\"checkout\" method=\"post\" action=\"/go\">"
+        "    <input name=\"q\" type=\"text\" value=\"v\">"
+        "    <input name=\"s\" type=\"submit\">"
+        "  </form>"
+        "  <ul class=\"nav\">"
+        "    <li class=\"item first\"><a href=\"/1\">one</a></li>"
+        "    <li class=\"item\"><a href=\"/2\">two</a></li>"
+        "  </ul>"
+        "  <div class=\"inner\"><span id=\"deep\">deep</span></div>"
+        "</div>"
+        "<p class=\"page\">outside</p>"
+        "</body></html>");
+  }
+  std::unique_ptr<Document> doc_;
+};
+
+TEST_F(SelectorTest, TagSelector) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "li").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "input").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "table").size(), 0u);
+}
+
+TEST_F(SelectorTest, TagCaseInsensitive) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "LI").size(), 2u);
+}
+
+TEST_F(SelectorTest, IdSelector) {
+  Element* main = QuerySelector(doc_.get(), "#main");
+  ASSERT_NE(main, nullptr);
+  EXPECT_EQ(main->tag_name(), "div");
+  EXPECT_EQ(QuerySelector(doc_.get(), "#nonexistent"), nullptr);
+}
+
+TEST_F(SelectorTest, ClassSelector) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), ".item").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), ".first").size(), 1u);
+  // Multi-valued class attributes match each token.
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), ".page").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), ".wide").size(), 1u);
+}
+
+TEST_F(SelectorTest, UniversalSelector) {
+  // Everything, including html/head/body.
+  EXPECT_GT(QuerySelectorAll(doc_.get(), "*").size(), 10u);
+}
+
+TEST_F(SelectorTest, AttributePresence) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "[href]").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "[method]").size(), 1u);
+}
+
+TEST_F(SelectorTest, AttributeValue) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "[type=submit]").size(), 1u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "[type=\"text\"]").size(), 1u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "[type='text']").size(), 1u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "[type=radio]").size(), 0u);
+}
+
+TEST_F(SelectorTest, CompoundSelector) {
+  EXPECT_NE(QuerySelector(doc_.get(), "form.checkout#f[method=post]"), nullptr);
+  EXPECT_EQ(QuerySelector(doc_.get(), "form.checkout[method=get]"), nullptr);
+  EXPECT_EQ(QuerySelector(doc_.get(), "span.checkout"), nullptr);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "li.item.first").size(), 1u);
+}
+
+TEST_F(SelectorTest, DescendantCombinator) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "ul a").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "#main a").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "form a").size(), 0u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "div div span").size(), 1u);
+}
+
+TEST_F(SelectorTest, ChildCombinator) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "ul > li").size(), 2u);
+  // <a> is a grandchild of <ul>, not a child.
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "ul > a").size(), 0u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "li > a").size(), 2u);
+}
+
+TEST_F(SelectorTest, MixedCombinators) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "#main ul > li a").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "body > div span").size(), 1u);
+}
+
+TEST_F(SelectorTest, ChildCombinatorNeedsBacktracking) {
+  // div.outer > div span: the span's NEAREST div ancestor (.inner) is not a
+  // child of .outer's parent chain in the right way — the matcher must try
+  // the farther candidate.
+  auto doc = ParseDocument(
+      "<html><body><section id=\"s\">"
+      "<div class=\"a\"><div class=\"b\"><span id=\"x\">x</span></div></div>"
+      "</section></body></html>");
+  // section > div span: nearest div of span is .b whose parent is .a (a div,
+  // not section); the .a candidate's parent IS section. Greedy fails; the
+  // backtracking matcher succeeds.
+  EXPECT_NE(QuerySelector(doc.get(), "section > div span"), nullptr);
+}
+
+TEST_F(SelectorTest, Grouping) {
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "ul, form").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(doc_.get(), "#deep, .first, bogus").size(), 2u);
+}
+
+TEST_F(SelectorTest, MatchesSingleElement) {
+  auto selector = Selector::Parse("li.item");
+  ASSERT_TRUE(selector.ok());
+  Element* li = QuerySelector(doc_.get(), ".first");
+  ASSERT_NE(li, nullptr);
+  EXPECT_TRUE(selector->Matches(*li));
+  EXPECT_FALSE(selector->Matches(*QuerySelector(doc_.get(), "#main")));
+}
+
+TEST_F(SelectorTest, ParseErrors) {
+  EXPECT_FALSE(Selector::Parse("").ok());
+  EXPECT_FALSE(Selector::Parse("   ").ok());
+  EXPECT_FALSE(Selector::Parse("div >").ok());
+  EXPECT_FALSE(Selector::Parse("> div").ok());
+  EXPECT_FALSE(Selector::Parse("div[unterminated").ok());
+  EXPECT_FALSE(Selector::Parse("div..x").ok());
+  EXPECT_FALSE(Selector::Parse("#").ok());
+  EXPECT_FALSE(Selector::Parse("div[]").ok());
+  EXPECT_FALSE(Selector::Parse("div{}").ok());
+}
+
+TEST_F(SelectorTest, OneShotHelpersSwallowParseErrors) {
+  EXPECT_TRUE(QuerySelectorAll(doc_.get(), ">>bad<<").empty());
+  EXPECT_EQ(QuerySelector(doc_.get(), ">>bad<<"), nullptr);
+}
+
+TEST_F(SelectorTest, WorksOnSubtrees) {
+  Element* form = QuerySelector(doc_.get(), "#f");
+  ASSERT_NE(form, nullptr);
+  EXPECT_EQ(QuerySelectorAll(form, "input").size(), 2u);
+  EXPECT_EQ(QuerySelectorAll(form, "li").size(), 0u);
+}
+
+TEST_F(SelectorTest, SelectorTextPreserved) {
+  auto selector = Selector::Parse("ul > li.item");
+  ASSERT_TRUE(selector.ok());
+  EXPECT_EQ(selector->text(), "ul > li.item");
+}
+
+}  // namespace
+}  // namespace rcb

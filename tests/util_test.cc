@@ -1,0 +1,398 @@
+// Unit tests for src/util: status, strings, escape, base64, rand, sim_time.
+#include <gtest/gtest.h>
+
+#include "src/util/base64.h"
+#include "src/util/escape.h"
+#include "src/util/rand.h"
+#include "src/util/sim_time.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsMapToTheirCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(PermissionDeniedError("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(UnauthenticatedError("").code(), StatusCode::kUnauthenticated);
+  EXPECT_EQ(FailedPreconditionError("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnavailableError("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DeadlineExceededError("").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(AbortedError("").code(), StatusCode::kAborted);
+  EXPECT_EQ(ResourceExhaustedError("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  EXPECT_EQ(value.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> value = InvalidArgumentError("nope");
+  EXPECT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(value.value_or(7), 7);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int input, int* out) {
+  RCB_ASSIGN_OR_RETURN(int half, Half(input));
+  *out = half;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseAssignOrReturn(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, StrSplitBasics) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, StrSplitSkipEmptyTrims) {
+  EXPECT_EQ(StrSplitSkipEmpty(" a ; ;b;", ';'),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, CaseMapping) {
+  EXPECT_EQ(AsciiToLower("MiXeD123"), "mixed123");
+  EXPECT_EQ(AsciiToUpper("MiXeD123"), "MIXED123");
+  EXPECT_TRUE(EqualsIgnoreCase("Content-Type", "content-type"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/obj/key", "/obj/"));
+  EXPECT_FALSE(StartsWith("/o", "/obj/"));
+  EXPECT_TRUE(EndsWith("file.png", ".png"));
+  EXPECT_FALSE(EndsWith("png", "file.png"));
+  EXPECT_TRUE(StartsWithIgnoreCase("HTTP/1.1", "http/"));
+}
+
+TEST(StringsTest, StrReplaceAll) {
+  EXPECT_EQ(StrReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(StrReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(StrReplaceAll("abc", "", "x"), "abc");
+  EXPECT_EQ(StrReplaceAll("", "a", "x"), "");
+}
+
+TEST(StringsTest, ParseUint64) {
+  uint64_t value = 0;
+  EXPECT_TRUE(ParseUint64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &value));
+  EXPECT_EQ(value, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &value));  // overflow
+  EXPECT_FALSE(ParseUint64("", &value));
+  EXPECT_FALSE(ParseUint64("-1", &value));
+  EXPECT_FALSE(ParseUint64("12a", &value));
+  EXPECT_FALSE(ParseUint64(" 1", &value));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%05.1f", 2.25), "002.2");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, IsDigits) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12x"));
+}
+
+// ---------------------------------------------------------------- Escape --
+
+TEST(EscapeTest, JsEscapeKeepsSafeChars) {
+  EXPECT_EQ(JsEscape("abcXYZ019@*_+-./"), "abcXYZ019@*_+-./");
+}
+
+TEST(EscapeTest, JsEscapeEncodesUnsafeBytes) {
+  EXPECT_EQ(JsEscape(" "), "%20");
+  EXPECT_EQ(JsEscape("<a href=\"x\">"), "%3Ca%20href%3D%22x%22%3E");
+  EXPECT_EQ(JsEscape("\n"), "%0A");
+  EXPECT_EQ(JsEscape(std::string(1, '\0')), "%00");
+}
+
+TEST(EscapeTest, JsUnescapeInverse) {
+  EXPECT_EQ(JsUnescape("%3Ca%20b%3E"), "<a b>");
+  EXPECT_EQ(JsUnescape("plain"), "plain");
+}
+
+TEST(EscapeTest, JsUnescapeHandlesUnicodeForm) {
+  EXPECT_EQ(JsUnescape("%u0041"), "A");
+  // Malformed sequences pass through.
+  EXPECT_EQ(JsUnescape("%zz"), "%zz");
+  EXPECT_EQ(JsUnescape("%"), "%");
+  EXPECT_EQ(JsUnescape("%u00"), "%u00");
+}
+
+TEST(EscapeTest, JsRoundTripAllBytes) {
+  std::string all;
+  for (int i = 0; i < 256; ++i) {
+    all.push_back(static_cast<char>(i));
+  }
+  EXPECT_EQ(JsUnescape(JsEscape(all)), all);
+}
+
+TEST(EscapeTest, PercentEncodeDecode) {
+  EXPECT_EQ(PercentEncode("a b&c=d"), "a%20b%26c%3Dd");
+  EXPECT_EQ(PercentDecode("a%20b%26c%3Dd"), "a b&c=d");
+  EXPECT_EQ(PercentDecode("a+b", /*plus_as_space=*/true), "a b");
+  EXPECT_EQ(PercentDecode("a+b", /*plus_as_space=*/false), "a+b");
+  EXPECT_EQ(PercentDecode("%GG"), "%GG");  // malformed passes through
+}
+
+TEST(EscapeTest, HtmlEscapeUnescape) {
+  EXPECT_EQ(HtmlEscape("<b>&\"'"), "&lt;b&gt;&amp;&quot;&#39;");
+  EXPECT_EQ(HtmlUnescape("&lt;b&gt;&amp;&quot;&apos;"), "<b>&\"'");
+  EXPECT_EQ(HtmlUnescape("&#65;&#x42;"), "AB");
+  EXPECT_EQ(HtmlUnescape("&bogus;"), "&bogus;");
+  EXPECT_EQ(HtmlUnescape("&#xZZ;"), "&#xZZ;");
+  EXPECT_EQ(HtmlUnescape("no entities"), "no entities");
+}
+
+TEST(EscapeTest, NamedEntities) {
+  EXPECT_EQ(HtmlUnescape("a&nbsp;b"), "a\xA0"
+                                      "b");
+  EXPECT_EQ(HtmlUnescape("&copy;&reg;&deg;"), "\xA9\xAE\xB0");
+  EXPECT_EQ(HtmlUnescape("caf&eacute;"), "caf\xE9");
+  // Above Latin-1: UTF-8 bytes.
+  EXPECT_EQ(HtmlUnescape("&euro;"), "\xE2\x82\xAC");
+  EXPECT_EQ(HtmlUnescape("&mdash;"), "\xE2\x80\x94");
+  EXPECT_EQ(HtmlUnescape("&hellip;"), "\xE2\x80\xA6");
+  // Case-sensitive, like the spec: &COPY; is not defined here.
+  EXPECT_EQ(HtmlUnescape("&COPY;"), "&COPY;");
+}
+
+TEST(EscapeTest, NumericEntitiesAboveLatin1) {
+  EXPECT_EQ(HtmlUnescape("&#8364;"), "\xE2\x82\xAC");   // euro
+  EXPECT_EQ(HtmlUnescape("&#x20AC;"), "\xE2\x82\xAC");
+  EXPECT_EQ(HtmlUnescape("&#128578;"), "\xF0\x9F\x99\x82");  // emoji, 4-byte
+}
+
+TEST(EscapeTest, HtmlRoundTrip) {
+  std::string text = "if (a < b && c > d) { print(\"x'\"); }";
+  EXPECT_EQ(HtmlUnescape(HtmlEscape(text)), text);
+}
+
+// Property sweep: JsEscape/JsUnescape round-trips random binary blobs.
+class EscapeRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EscapeRoundTripTest, JsEscapeRoundTripsRandomBytes) {
+  Rng rng(GetParam());
+  std::string blob = rng.NextBytes(rng.NextBelow(2048) + 1);
+  EXPECT_EQ(JsUnescape(JsEscape(blob)), blob);
+}
+
+TEST_P(EscapeRoundTripTest, PercentRoundTripsRandomBytes) {
+  Rng rng(GetParam() ^ 0xDEADBEEF);
+  std::string blob = rng.NextBytes(rng.NextBelow(512) + 1);
+  EXPECT_EQ(PercentDecode(PercentEncode(blob)), blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EscapeRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// ---------------------------------------------------------------- Base64 --
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeVectors) {
+  EXPECT_EQ(Base64Decode("Zm9vYmFy").value(), "foobar");
+  EXPECT_EQ(Base64Decode("Zg==").value(), "f");
+  EXPECT_EQ(Base64Decode("").value(), "");
+}
+
+TEST(Base64Test, DecodeRejectsBadInput) {
+  EXPECT_FALSE(Base64Decode("abc").ok());       // bad length
+  EXPECT_FALSE(Base64Decode("ab!d").ok());      // bad char
+  EXPECT_FALSE(Base64Decode("=abc").ok());      // padding in front
+  EXPECT_FALSE(Base64Decode("a=bc").ok());      // data after padding
+}
+
+TEST(Base64Test, HexRoundTrip) {
+  EXPECT_EQ(HexEncode("\x01\xab\xff"), "01abff");
+  EXPECT_EQ(HexDecode("01abff").value(), "\x01\xab\xff");
+  EXPECT_EQ(HexDecode("01ABFF").value(), "\x01\xab\xff");
+  EXPECT_FALSE(HexDecode("abc").ok());
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+class Base64RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Base64RoundTripTest, RandomBlobs) {
+  Rng rng(GetParam());
+  std::string blob = rng.NextBytes(rng.NextBelow(1024));
+  auto decoded = Base64Decode(Base64Encode(blob));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Base64RoundTripTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, Deterministic) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t value = rng.NextInRange(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    saw_lo |= value == -3;
+    saw_hi |= value == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, NextBytesLength) {
+  Rng rng(3);
+  EXPECT_EQ(rng.NextBytes(0).size(), 0u);
+  EXPECT_EQ(rng.NextBytes(7).size(), 7u);
+  EXPECT_EQ(rng.NextBytes(64).size(), 64u);
+}
+
+TEST(RngTest, NextTokenAlphanumeric) {
+  Rng rng(5);
+  std::string token = rng.NextToken(32);
+  EXPECT_EQ(token.size(), 32u);
+  for (char c : token) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+// -------------------------------------------------------------- SimTime --
+
+TEST(SimTimeTest, DurationConversions) {
+  EXPECT_EQ(Duration::Millis(3).micros(), 3000);
+  EXPECT_EQ(Duration::Seconds(1.5).millis(), 1500);
+  EXPECT_DOUBLE_EQ(Duration::Micros(250).seconds(), 0.00025);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  Duration a = Duration::Millis(10);
+  Duration b = Duration::Millis(4);
+  EXPECT_EQ((a + b).millis(), 14);
+  EXPECT_EQ((a - b).millis(), 6);
+  EXPECT_EQ((a * 3).millis(), 30);
+  a += b;
+  EXPECT_EQ(a.millis(), 14);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_EQ(Duration::Millis(1000), Duration::Seconds(1.0));
+  SimTime t0;
+  SimTime t1 = t0 + Duration::Millis(5);
+  EXPECT_GT(t1, t0);
+  EXPECT_EQ((t1 - t0).millis(), 5);
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(Duration::Seconds(2.0).ToString(), "2s");
+  EXPECT_EQ(Duration::Millis(12).ToString(), "12ms");
+  EXPECT_EQ(Duration::Micros(1500).ToString(), "1.500ms");
+}
+
+}  // namespace
+}  // namespace rcb

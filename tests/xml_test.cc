@@ -1,0 +1,170 @@
+// Unit tests for the XML writer/parser pair that carries Fig. 4 payloads.
+#include <gtest/gtest.h>
+
+#include "src/util/rand.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+namespace rcb {
+namespace {
+
+TEST(XmlWriterTest, SimpleDocument) {
+  XmlWriter writer;
+  writer.WriteDeclaration();
+  writer.StartElement("root");
+  writer.WriteTextElement("a", "hello");
+  writer.EndElement();
+  EXPECT_EQ(writer.TakeString(),
+            "<?xml version='1.0' encoding='utf-8'?><root><a>hello</a></root>");
+}
+
+TEST(XmlWriterTest, Attributes) {
+  XmlWriter writer;
+  writer.StartElement("e");
+  writer.WriteAttribute("k", "v<&\">");
+  writer.EndElement();
+  EXPECT_EQ(writer.TakeString(), "<e k=\"v&lt;&amp;&quot;&gt;\"/>");
+}
+
+TEST(XmlWriterTest, EmptyElementSelfCloses) {
+  XmlWriter writer;
+  writer.StartElement("empty");
+  writer.EndElement();
+  EXPECT_EQ(writer.TakeString(), "<empty/>");
+}
+
+TEST(XmlWriterTest, TextIsEscaped) {
+  XmlWriter writer;
+  writer.StartElement("t");
+  writer.WriteText("a<b>&c");
+  writer.EndElement();
+  EXPECT_EQ(writer.TakeString(), "<t>a&lt;b&gt;&amp;c</t>");
+}
+
+TEST(XmlWriterTest, CdataPassthrough) {
+  XmlWriter writer;
+  writer.StartElement("c");
+  writer.WriteCdata("<raw>&stuff");
+  writer.EndElement();
+  EXPECT_EQ(writer.TakeString(), "<c><![CDATA[<raw>&stuff]]></c>");
+}
+
+TEST(XmlWriterTest, CdataSplitsTerminator) {
+  XmlWriter writer;
+  writer.StartElement("c");
+  writer.WriteCdata("a]]>b");
+  writer.EndElement();
+  std::string out = writer.TakeString();
+  // Whatever the exact split, parsing must recover the original content.
+  auto parsed = ParseXml(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->text, "a]]>b");
+}
+
+TEST(XmlWriterTest, NestedElements) {
+  XmlWriter writer;
+  writer.StartElement("a");
+  writer.StartElement("b");
+  writer.StartElement("c");
+  writer.WriteText("x");
+  writer.EndElement();
+  writer.EndElement();
+  writer.EndElement();
+  EXPECT_EQ(writer.TakeString(), "<a><b><c>x</c></b></a>");
+}
+
+TEST(XmlParserTest, ParsesDeclarationAndRoot) {
+  auto root = ParseXml("<?xml version='1.0'?><root/>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->name, "root");
+}
+
+TEST(XmlParserTest, ParsesAttributes) {
+  auto root = ParseXml("<e a=\"1\" b='two' c=\"x&amp;y\"/>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->Attr("a"), "1");
+  EXPECT_EQ((*root)->Attr("b"), "two");
+  EXPECT_EQ((*root)->Attr("c"), "x&y");
+  EXPECT_EQ((*root)->Attr("missing"), "");
+}
+
+TEST(XmlParserTest, ParsesChildrenInOrder) {
+  auto root = ParseXml("<r><a/><b/><a/></r>");
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ((*root)->children.size(), 3u);
+  EXPECT_EQ((*root)->children[0]->name, "a");
+  EXPECT_EQ((*root)->children[1]->name, "b");
+  EXPECT_EQ((*root)->FindChildren("a").size(), 2u);
+  EXPECT_EQ((*root)->FindChild("b")->name, "b");
+  EXPECT_EQ((*root)->FindChild("zzz"), nullptr);
+}
+
+TEST(XmlParserTest, TextAndCdataConcatenate) {
+  auto root = ParseXml("<t>one <![CDATA[<two>]]> three</t>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text, "one <two> three");
+}
+
+TEST(XmlParserTest, CommentsIgnored) {
+  auto root = ParseXml("<!-- head --><r><!-- inner -->x</r>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text, "x");
+}
+
+TEST(XmlParserTest, EntityDecodingInText) {
+  auto root = ParseXml("<t>&lt;a&gt;&amp;</t>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text, "<a>&");
+}
+
+TEST(XmlParserTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());                 // unterminated
+  EXPECT_FALSE(ParseXml("<a></b>").ok());             // mismatched close
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());      // interleaved
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());            // two roots
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());            // unquoted attribute
+  EXPECT_FALSE(ParseXml("<a x=\"1/>").ok());          // unterminated value
+  EXPECT_FALSE(ParseXml("<a><![CDATA[zzz</a>").ok()); // unterminated CDATA
+  EXPECT_FALSE(ParseXml("text only").ok());
+}
+
+TEST(XmlParserTest, WhitespaceAroundRootTolerated) {
+  auto root = ParseXml("  \n<r/>\n  ");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->name, "r");
+}
+
+// Round-trip property: writer output always parses back to the same tree.
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRoundTripTest, RandomTreeRoundTrips) {
+  Rng rng(GetParam());
+  XmlWriter writer;
+  writer.WriteDeclaration();
+  writer.StartElement("root");
+  size_t children = rng.NextBelow(6) + 1;
+  std::vector<std::string> payloads;
+  for (size_t i = 0; i < children; ++i) {
+    std::string payload = rng.NextBytes(rng.NextBelow(200));
+    payloads.push_back(payload);
+    writer.StartElement("child");
+    writer.WriteAttribute("i", std::to_string(i));
+    writer.WriteCdata(payload);
+    writer.EndElement();
+  }
+  writer.EndElement();
+  auto parsed = ParseXml(writer.TakeString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ((*parsed)->children.size(), children);
+  for (size_t i = 0; i < children; ++i) {
+    EXPECT_EQ((*parsed)->children[i]->text, payloads[i]);
+    EXPECT_EQ((*parsed)->children[i]->Attr("i"), std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace rcb
