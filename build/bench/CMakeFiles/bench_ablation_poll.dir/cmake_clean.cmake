@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_poll.dir/bench_ablation_poll.cpp.o"
+  "CMakeFiles/bench_ablation_poll.dir/bench_ablation_poll.cpp.o.d"
+  "bench_ablation_poll"
+  "bench_ablation_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

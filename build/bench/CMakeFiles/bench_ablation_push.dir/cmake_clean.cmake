@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_push.dir/bench_ablation_push.cpp.o"
+  "CMakeFiles/bench_ablation_push.dir/bench_ablation_push.cpp.o.d"
+  "bench_ablation_push"
+  "bench_ablation_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

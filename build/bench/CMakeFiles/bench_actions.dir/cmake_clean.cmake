@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_actions.dir/bench_actions.cpp.o"
+  "CMakeFiles/bench_actions.dir/bench_actions.cpp.o.d"
+  "bench_actions"
+  "bench_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_processing.dir/bench_table1_processing.cpp.o"
+  "CMakeFiles/bench_table1_processing.dir/bench_table1_processing.cpp.o.d"
+  "bench_table1_processing"
+  "bench_table1_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

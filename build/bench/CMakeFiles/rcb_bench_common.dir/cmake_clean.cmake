@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/librcb_bench_common.a"
+  "../lib/librcb_bench_common.pdb"
+  "CMakeFiles/rcb_bench_common.dir/common.cc.o"
+  "CMakeFiles/rcb_bench_common.dir/common.cc.o.d"
+  "CMakeFiles/rcb_bench_common.dir/task_script.cc.o"
+  "CMakeFiles/rcb_bench_common.dir/task_script.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

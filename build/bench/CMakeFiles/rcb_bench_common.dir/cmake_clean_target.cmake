@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/librcb_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/co_shopping.dir/co_shopping.cpp.o"
+  "CMakeFiles/co_shopping.dir/co_shopping.cpp.o.d"
+  "co_shopping"
+  "co_shopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/co_shopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

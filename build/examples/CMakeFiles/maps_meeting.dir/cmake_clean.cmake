@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maps_meeting.dir/maps_meeting.cpp.o"
+  "CMakeFiles/maps_meeting.dir/maps_meeting.cpp.o.d"
+  "maps_meeting"
+  "maps_meeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maps_meeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_participant.dir/multi_participant.cpp.o"
+  "CMakeFiles/multi_participant.dir/multi_participant.cpp.o.d"
+  "multi_participant"
+  "multi_participant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_participant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_baselines.dir/proxy_cobrowse.cc.o"
+  "CMakeFiles/rcb_baselines.dir/proxy_cobrowse.cc.o.d"
+  "CMakeFiles/rcb_baselines.dir/url_sharing.cc.o"
+  "CMakeFiles/rcb_baselines.dir/url_sharing.cc.o.d"
+  "librcb_baselines.a"
+  "librcb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/browser.cc" "src/browser/CMakeFiles/rcb_browser.dir/browser.cc.o" "gcc" "src/browser/CMakeFiles/rcb_browser.dir/browser.cc.o.d"
+  "/root/repo/src/browser/object_cache.cc" "src/browser/CMakeFiles/rcb_browser.dir/object_cache.cc.o" "gcc" "src/browser/CMakeFiles/rcb_browser.dir/object_cache.cc.o.d"
+  "/root/repo/src/browser/resources.cc" "src/browser/CMakeFiles/rcb_browser.dir/resources.cc.o" "gcc" "src/browser/CMakeFiles/rcb_browser.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/rcb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/rcb_html.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_browser.dir/browser.cc.o"
+  "CMakeFiles/rcb_browser.dir/browser.cc.o.d"
+  "CMakeFiles/rcb_browser.dir/object_cache.cc.o"
+  "CMakeFiles/rcb_browser.dir/object_cache.cc.o.d"
+  "CMakeFiles/rcb_browser.dir/resources.cc.o"
+  "CMakeFiles/rcb_browser.dir/resources.cc.o.d"
+  "librcb_browser.a"
+  "librcb_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ajax_snippet.cc" "src/core/CMakeFiles/rcb_core.dir/ajax_snippet.cc.o" "gcc" "src/core/CMakeFiles/rcb_core.dir/ajax_snippet.cc.o.d"
+  "/root/repo/src/core/content_generator.cc" "src/core/CMakeFiles/rcb_core.dir/content_generator.cc.o" "gcc" "src/core/CMakeFiles/rcb_core.dir/content_generator.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/rcb_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/rcb_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/rcb_agent.cc" "src/core/CMakeFiles/rcb_core.dir/rcb_agent.cc.o" "gcc" "src/core/CMakeFiles/rcb_core.dir/rcb_agent.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/rcb_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/rcb_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rcb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/rcb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/rcb_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/rcb_browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

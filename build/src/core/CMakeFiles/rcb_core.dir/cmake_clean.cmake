@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_core.dir/ajax_snippet.cc.o"
+  "CMakeFiles/rcb_core.dir/ajax_snippet.cc.o.d"
+  "CMakeFiles/rcb_core.dir/content_generator.cc.o"
+  "CMakeFiles/rcb_core.dir/content_generator.cc.o.d"
+  "CMakeFiles/rcb_core.dir/protocol.cc.o"
+  "CMakeFiles/rcb_core.dir/protocol.cc.o.d"
+  "CMakeFiles/rcb_core.dir/rcb_agent.cc.o"
+  "CMakeFiles/rcb_core.dir/rcb_agent.cc.o.d"
+  "CMakeFiles/rcb_core.dir/session.cc.o"
+  "CMakeFiles/rcb_core.dir/session.cc.o.d"
+  "librcb_core.a"
+  "librcb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

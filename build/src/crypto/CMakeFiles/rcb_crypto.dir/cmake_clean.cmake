@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_crypto.dir/hmac.cc.o"
+  "CMakeFiles/rcb_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/rcb_crypto.dir/session_key.cc.o"
+  "CMakeFiles/rcb_crypto.dir/session_key.cc.o.d"
+  "CMakeFiles/rcb_crypto.dir/sha256.cc.o"
+  "CMakeFiles/rcb_crypto.dir/sha256.cc.o.d"
+  "librcb_crypto.a"
+  "librcb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/dom.cc" "src/html/CMakeFiles/rcb_html.dir/dom.cc.o" "gcc" "src/html/CMakeFiles/rcb_html.dir/dom.cc.o.d"
+  "/root/repo/src/html/parser.cc" "src/html/CMakeFiles/rcb_html.dir/parser.cc.o" "gcc" "src/html/CMakeFiles/rcb_html.dir/parser.cc.o.d"
+  "/root/repo/src/html/selector.cc" "src/html/CMakeFiles/rcb_html.dir/selector.cc.o" "gcc" "src/html/CMakeFiles/rcb_html.dir/selector.cc.o.d"
+  "/root/repo/src/html/serializer.cc" "src/html/CMakeFiles/rcb_html.dir/serializer.cc.o" "gcc" "src/html/CMakeFiles/rcb_html.dir/serializer.cc.o.d"
+  "/root/repo/src/html/tokenizer.cc" "src/html/CMakeFiles/rcb_html.dir/tokenizer.cc.o" "gcc" "src/html/CMakeFiles/rcb_html.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

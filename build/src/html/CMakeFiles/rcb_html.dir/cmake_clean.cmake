@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_html.dir/dom.cc.o"
+  "CMakeFiles/rcb_html.dir/dom.cc.o.d"
+  "CMakeFiles/rcb_html.dir/parser.cc.o"
+  "CMakeFiles/rcb_html.dir/parser.cc.o.d"
+  "CMakeFiles/rcb_html.dir/selector.cc.o"
+  "CMakeFiles/rcb_html.dir/selector.cc.o.d"
+  "CMakeFiles/rcb_html.dir/serializer.cc.o"
+  "CMakeFiles/rcb_html.dir/serializer.cc.o.d"
+  "CMakeFiles/rcb_html.dir/tokenizer.cc.o"
+  "CMakeFiles/rcb_html.dir/tokenizer.cc.o.d"
+  "librcb_html.a"
+  "librcb_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

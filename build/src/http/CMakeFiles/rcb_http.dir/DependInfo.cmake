@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/cookie.cc" "src/http/CMakeFiles/rcb_http.dir/cookie.cc.o" "gcc" "src/http/CMakeFiles/rcb_http.dir/cookie.cc.o.d"
+  "/root/repo/src/http/form.cc" "src/http/CMakeFiles/rcb_http.dir/form.cc.o" "gcc" "src/http/CMakeFiles/rcb_http.dir/form.cc.o.d"
+  "/root/repo/src/http/headers.cc" "src/http/CMakeFiles/rcb_http.dir/headers.cc.o" "gcc" "src/http/CMakeFiles/rcb_http.dir/headers.cc.o.d"
+  "/root/repo/src/http/http_parser.cc" "src/http/CMakeFiles/rcb_http.dir/http_parser.cc.o" "gcc" "src/http/CMakeFiles/rcb_http.dir/http_parser.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/http/CMakeFiles/rcb_http.dir/message.cc.o" "gcc" "src/http/CMakeFiles/rcb_http.dir/message.cc.o.d"
+  "/root/repo/src/http/url.cc" "src/http/CMakeFiles/rcb_http.dir/url.cc.o" "gcc" "src/http/CMakeFiles/rcb_http.dir/url.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

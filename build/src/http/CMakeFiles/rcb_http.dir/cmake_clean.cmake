@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_http.dir/cookie.cc.o"
+  "CMakeFiles/rcb_http.dir/cookie.cc.o.d"
+  "CMakeFiles/rcb_http.dir/form.cc.o"
+  "CMakeFiles/rcb_http.dir/form.cc.o.d"
+  "CMakeFiles/rcb_http.dir/headers.cc.o"
+  "CMakeFiles/rcb_http.dir/headers.cc.o.d"
+  "CMakeFiles/rcb_http.dir/http_parser.cc.o"
+  "CMakeFiles/rcb_http.dir/http_parser.cc.o.d"
+  "CMakeFiles/rcb_http.dir/message.cc.o"
+  "CMakeFiles/rcb_http.dir/message.cc.o.d"
+  "CMakeFiles/rcb_http.dir/url.cc.o"
+  "CMakeFiles/rcb_http.dir/url.cc.o.d"
+  "librcb_http.a"
+  "librcb_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_loop.cc" "src/net/CMakeFiles/rcb_net.dir/event_loop.cc.o" "gcc" "src/net/CMakeFiles/rcb_net.dir/event_loop.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/rcb_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/rcb_net.dir/network.cc.o.d"
+  "/root/repo/src/net/profiles.cc" "src/net/CMakeFiles/rcb_net.dir/profiles.cc.o" "gcc" "src/net/CMakeFiles/rcb_net.dir/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/rcb_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

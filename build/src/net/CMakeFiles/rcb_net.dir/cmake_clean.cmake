@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_net.dir/event_loop.cc.o"
+  "CMakeFiles/rcb_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/rcb_net.dir/network.cc.o"
+  "CMakeFiles/rcb_net.dir/network.cc.o.d"
+  "CMakeFiles/rcb_net.dir/profiles.cc.o"
+  "CMakeFiles/rcb_net.dir/profiles.cc.o.d"
+  "librcb_net.a"
+  "librcb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

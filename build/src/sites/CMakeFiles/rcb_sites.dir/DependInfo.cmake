@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sites/corpus.cc" "src/sites/CMakeFiles/rcb_sites.dir/corpus.cc.o" "gcc" "src/sites/CMakeFiles/rcb_sites.dir/corpus.cc.o.d"
+  "/root/repo/src/sites/maps_site.cc" "src/sites/CMakeFiles/rcb_sites.dir/maps_site.cc.o" "gcc" "src/sites/CMakeFiles/rcb_sites.dir/maps_site.cc.o.d"
+  "/root/repo/src/sites/shop_site.cc" "src/sites/CMakeFiles/rcb_sites.dir/shop_site.cc.o" "gcc" "src/sites/CMakeFiles/rcb_sites.dir/shop_site.cc.o.d"
+  "/root/repo/src/sites/site_server.cc" "src/sites/CMakeFiles/rcb_sites.dir/site_server.cc.o" "gcc" "src/sites/CMakeFiles/rcb_sites.dir/site_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rcb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/rcb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/rcb_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/rcb_browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_sites.dir/corpus.cc.o"
+  "CMakeFiles/rcb_sites.dir/corpus.cc.o.d"
+  "CMakeFiles/rcb_sites.dir/maps_site.cc.o"
+  "CMakeFiles/rcb_sites.dir/maps_site.cc.o.d"
+  "CMakeFiles/rcb_sites.dir/shop_site.cc.o"
+  "CMakeFiles/rcb_sites.dir/shop_site.cc.o.d"
+  "CMakeFiles/rcb_sites.dir/site_server.cc.o"
+  "CMakeFiles/rcb_sites.dir/site_server.cc.o.d"
+  "librcb_sites.a"
+  "librcb_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

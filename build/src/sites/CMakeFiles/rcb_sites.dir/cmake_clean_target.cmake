@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcb_sites.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/base64.cc" "src/util/CMakeFiles/rcb_util.dir/base64.cc.o" "gcc" "src/util/CMakeFiles/rcb_util.dir/base64.cc.o.d"
+  "/root/repo/src/util/escape.cc" "src/util/CMakeFiles/rcb_util.dir/escape.cc.o" "gcc" "src/util/CMakeFiles/rcb_util.dir/escape.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/rcb_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/rcb_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/rand.cc" "src/util/CMakeFiles/rcb_util.dir/rand.cc.o" "gcc" "src/util/CMakeFiles/rcb_util.dir/rand.cc.o.d"
+  "/root/repo/src/util/sim_time.cc" "src/util/CMakeFiles/rcb_util.dir/sim_time.cc.o" "gcc" "src/util/CMakeFiles/rcb_util.dir/sim_time.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/rcb_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/rcb_util.dir/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/rcb_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/rcb_util.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

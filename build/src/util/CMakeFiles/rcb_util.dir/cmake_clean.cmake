@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_util.dir/base64.cc.o"
+  "CMakeFiles/rcb_util.dir/base64.cc.o.d"
+  "CMakeFiles/rcb_util.dir/escape.cc.o"
+  "CMakeFiles/rcb_util.dir/escape.cc.o.d"
+  "CMakeFiles/rcb_util.dir/logging.cc.o"
+  "CMakeFiles/rcb_util.dir/logging.cc.o.d"
+  "CMakeFiles/rcb_util.dir/rand.cc.o"
+  "CMakeFiles/rcb_util.dir/rand.cc.o.d"
+  "CMakeFiles/rcb_util.dir/sim_time.cc.o"
+  "CMakeFiles/rcb_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/rcb_util.dir/status.cc.o"
+  "CMakeFiles/rcb_util.dir/status.cc.o.d"
+  "CMakeFiles/rcb_util.dir/strings.cc.o"
+  "CMakeFiles/rcb_util.dir/strings.cc.o.d"
+  "librcb_util.a"
+  "librcb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

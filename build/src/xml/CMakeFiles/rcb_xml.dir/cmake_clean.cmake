@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/rcb_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/rcb_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/rcb_xml.dir/xml_writer.cc.o.d"
+  "librcb_xml.a"
+  "librcb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

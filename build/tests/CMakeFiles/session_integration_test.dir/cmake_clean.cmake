@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_integration_test.dir/session_integration_test.cc.o"
+  "CMakeFiles/session_integration_test.dir/session_integration_test.cc.o.d"
+  "session_integration_test"
+  "session_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

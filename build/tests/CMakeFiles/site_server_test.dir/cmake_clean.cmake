@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_server_test.dir/site_server_test.cc.o"
+  "CMakeFiles/site_server_test.dir/site_server_test.cc.o.d"
+  "site_server_test"
+  "site_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

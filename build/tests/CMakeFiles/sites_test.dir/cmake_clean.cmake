@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sites_test.dir/sites_test.cc.o"
+  "CMakeFiles/sites_test.dir/sites_test.cc.o.d"
+  "sites_test"
+  "sites_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sites_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
