@@ -117,7 +117,12 @@ examples/CMakeFiles/moderated_classroom.dir/moderated_classroom.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/net/network.h \
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /root/repo/src/net/fault_injector.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/net/network.h \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
@@ -128,11 +133,7 @@ examples/CMakeFiles/moderated_classroom.dir/moderated_classroom.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -220,11 +221,11 @@ examples/CMakeFiles/moderated_classroom.dir/moderated_classroom.cpp.o: \
  /root/repo/src/util/status.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sites/site_server.h /root/repo/src/http/http_parser.h \
- /root/repo/src/http/message.h /root/repo/src/http/headers.h \
- /root/repo/src/core/rcb_agent.h /root/repo/src/browser/browser.h \
- /root/repo/src/browser/object_cache.h /root/repo/src/http/url.h \
- /root/repo/src/browser/resources.h /root/repo/src/html/dom.h \
- /root/repo/src/html/parser.h /root/repo/src/http/cookie.h \
- /root/repo/src/core/content_generator.h /root/repo/src/core/protocol.h \
- /root/repo/src/core/ajax_snippet.h
+ /root/repo/src/util/rand.h /root/repo/src/sites/site_server.h \
+ /root/repo/src/http/http_parser.h /root/repo/src/http/message.h \
+ /root/repo/src/http/headers.h /root/repo/src/core/rcb_agent.h \
+ /root/repo/src/browser/browser.h /root/repo/src/browser/object_cache.h \
+ /root/repo/src/http/url.h /root/repo/src/browser/resources.h \
+ /root/repo/src/html/dom.h /root/repo/src/html/parser.h \
+ /root/repo/src/http/cookie.h /root/repo/src/core/content_generator.h \
+ /root/repo/src/core/protocol.h /root/repo/src/core/ajax_snippet.h

@@ -226,6 +226,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/net/event_loop.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/core/protocol.h /root/repo/src/core/rcb_agent.h \
- /root/repo/src/core/content_generator.h /root/repo/src/net/profiles.h \
+ /root/repo/src/core/protocol.h /root/repo/src/util/rand.h \
+ /root/repo/src/core/rcb_agent.h /root/repo/src/core/content_generator.h \
+ /root/repo/src/net/profiles.h /root/repo/src/net/fault_injector.h \
  /root/repo/src/sites/corpus.h /root/repo/src/sites/site_server.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/event_loop.cc" "src/net/CMakeFiles/rcb_net.dir/event_loop.cc.o" "gcc" "src/net/CMakeFiles/rcb_net.dir/event_loop.cc.o.d"
+  "/root/repo/src/net/fault_injector.cc" "src/net/CMakeFiles/rcb_net.dir/fault_injector.cc.o" "gcc" "src/net/CMakeFiles/rcb_net.dir/fault_injector.cc.o.d"
   "/root/repo/src/net/network.cc" "src/net/CMakeFiles/rcb_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/rcb_net.dir/network.cc.o.d"
   "/root/repo/src/net/profiles.cc" "src/net/CMakeFiles/rcb_net.dir/profiles.cc.o" "gcc" "src/net/CMakeFiles/rcb_net.dir/profiles.cc.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/rcb_net.dir/event_loop.cc.o"
   "CMakeFiles/rcb_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/rcb_net.dir/fault_injector.cc.o"
+  "CMakeFiles/rcb_net.dir/fault_injector.cc.o.d"
   "CMakeFiles/rcb_net.dir/network.cc.o"
   "CMakeFiles/rcb_net.dir/network.cc.o.d"
   "CMakeFiles/rcb_net.dir/profiles.cc.o"

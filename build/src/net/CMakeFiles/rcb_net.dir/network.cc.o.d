@@ -240,4 +240,6 @@ src/net/CMakeFiles/rcb_net.dir/network.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/strings.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/net/fault_injector.h /root/repo/src/util/rand.h \
+ /root/repo/src/util/strings.h

@@ -306,7 +306,7 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o: \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sites/site_server.h \
  /root/repo/src/baselines/url_sharing.h /root/repo/src/core/session.h \
  /root/repo/src/core/ajax_snippet.h /root/repo/src/core/protocol.h \
- /root/repo/src/core/rcb_agent.h /root/repo/src/core/content_generator.h \
- /root/repo/src/net/profiles.h /root/repo/src/sites/corpus.h \
- /root/repo/src/sites/maps_site.h /root/repo/src/sites/shop_site.h \
- /root/repo/src/util/rand.h
+ /root/repo/src/util/rand.h /root/repo/src/core/rcb_agent.h \
+ /root/repo/src/core/content_generator.h /root/repo/src/net/profiles.h \
+ /root/repo/src/net/fault_injector.h /root/repo/src/sites/corpus.h \
+ /root/repo/src/sites/maps_site.h /root/repo/src/sites/shop_site.h

@@ -304,6 +304,7 @@ tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o: \
  /root/repo/src/http/headers.h /root/repo/src/net/network.h \
  /root/repo/src/net/event_loop.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/core/protocol.h \
- /root/repo/src/core/rcb_agent.h /root/repo/src/core/content_generator.h \
- /root/repo/src/net/profiles.h /root/repo/src/sites/shop_site.h \
- /root/repo/src/sites/site_server.h /root/repo/src/util/rand.h
+ /root/repo/src/util/rand.h /root/repo/src/core/rcb_agent.h \
+ /root/repo/src/core/content_generator.h /root/repo/src/net/profiles.h \
+ /root/repo/src/net/fault_injector.h /root/repo/src/sites/shop_site.h \
+ /root/repo/src/sites/site_server.h

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_injector_test.cc" "tests/CMakeFiles/fault_injector_test.dir/fault_injector_test.cc.o" "gcc" "tests/CMakeFiles/fault_injector_test.dir/fault_injector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rcb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sites/CMakeFiles/rcb_sites.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rcb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/rcb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/rcb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/rcb_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rcb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/rcb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/rcb_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -297,4 +297,5 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/sim_time.h /root/repo/src/net/network.h \
- /root/repo/src/util/status.h /root/repo/src/net/profiles.h
+ /root/repo/src/util/status.h /root/repo/src/net/profiles.h \
+ /root/repo/src/net/fault_injector.h /root/repo/src/util/rand.h

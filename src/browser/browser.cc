@@ -154,6 +154,42 @@ void Browser::OnConnectionClosed(const std::string& origin, Connection* conn) {
   DispatchQueued(origin);
 }
 
+void Browser::AbortOriginConnections(const Url& url) {
+  std::string origin = url.scheme() + "://" + url.Authority();
+  auto it = pools_.find(origin);
+  if (it == pools_.end()) {
+    return;
+  }
+  // Detach the pool first: closing endpoints must not re-enter
+  // OnConnectionClosed and the failed callbacks may immediately Fetch again,
+  // which deserves a fresh pool.
+  OriginPool pool = std::move(it->second);
+  pools_.erase(it);
+  std::vector<PendingFetch> failed;
+  for (auto& conn : pool.connections) {
+    if (conn->in_flight.has_value()) {
+      failed.push_back(std::move(*conn->in_flight));
+      conn->in_flight.reset();
+    }
+    if (conn->endpoint != nullptr) {
+      conn->endpoint->SetDataHandler(nullptr);
+      conn->endpoint->SetCloseHandler(nullptr);
+      conn->endpoint->Close();
+    }
+  }
+  for (auto& pending : pool.queue) {
+    failed.push_back(std::move(pending));
+  }
+  pool.queue.clear();
+  for (auto& pending : failed) {
+    FetchResult result;
+    result.status = AbortedError("connection to " + origin + " aborted");
+    result.final_url = pending.url;
+    result.elapsed = loop_->now() - pending.start;
+    pending.callback(std::move(result));
+  }
+}
+
 void Browser::Fetch(HttpMethod method, const Url& url, std::string body,
                     std::string content_type, FetchCallback callback) {
   HttpRequest request;

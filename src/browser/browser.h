@@ -79,6 +79,11 @@ class Browser {
   // GET that consults the object cache first; on miss, fetches and caches.
   void FetchCached(const Url& url, FetchCallback callback);
 
+  // Tears down every connection to `url`'s origin and fails its in-flight
+  // and queued fetches with kAborted. Used by recovery paths that must stop
+  // waiting on a wedged link before re-handshaking.
+  void AbortOriginConnections(const Url& url);
+
   // -- Current page --------------------------------------------------------
   Document* document() { return document_.get(); }
   const Url& current_url() const { return current_url_; }

@@ -28,7 +28,9 @@ std::string MetaContent(Document* document, std::string_view name) {
 }  // namespace
 
 AjaxSnippet::AjaxSnippet(Browser* participant_browser, SnippetConfig config)
-    : browser_(participant_browser), config_(std::move(config)) {}
+    : browser_(participant_browser),
+      config_(std::move(config)),
+      backoff_rng_(config_.backoff_seed) {}
 
 AjaxSnippet::~AjaxSnippet() { Leave(); }
 
@@ -103,13 +105,22 @@ void AjaxSnippet::AbortWithoutGoodbye() {
     browser_->loop()->Cancel(poll_timer_);
     poll_timer_ = 0;
   }
+  if (timeout_timer_ != 0) {
+    browser_->loop()->Cancel(timeout_timer_);
+    timeout_timer_ = 0;
+  }
   if (stream_ != nullptr) {
     stream_->Close();
     stream_ = nullptr;
   }
   stream_buffer_.clear();
   stream_head_done_ = false;
+  stream_was_open_ = false;
   peers_.clear();
+  poll_in_flight_ = false;
+  reconnect_in_flight_ = false;
+  consecutive_failures_ = 0;
+  need_resync_ = false;
 }
 
 void AjaxSnippet::SchedulePoll(Duration delay) {
@@ -155,11 +166,17 @@ void AjaxSnippet::OpenStream() {
   if (!endpoint_or.ok()) {
     RCB_LOG(kWarning) << "ajax-snippet: stream connect failed: "
                       << endpoint_or.status();
+    ScheduleStreamReopen();
     return;
   }
   stream_ = *endpoint_or;
   stream_buffer_.clear();
   stream_head_done_ = false;
+  consecutive_failures_ = 0;
+  if (stream_was_open_) {
+    ++metrics_.stream_reopens;
+  }
+  stream_was_open_ = true;
   uint64_t epoch = epoch_;
   stream_->SetDataHandler([this, epoch](std::string_view data) {
     if (epoch == epoch_) {
@@ -173,6 +190,7 @@ void AjaxSnippet::OpenStream() {
     ++metrics_.stream_drops;
     stream_ = nullptr;
     RCB_LOG(kWarning) << "ajax-snippet: push stream closed by peer";
+    ScheduleStreamReopen();
   });
 
   HttpRequest request;
@@ -298,10 +316,11 @@ void AjaxSnippet::SendPoll(PollRequest poll, FetchCallback callback) {
 }
 
 void AjaxSnippet::PollOnce() {
-  if (!joined_ || poll_in_flight_) {
+  if (!joined_ || poll_in_flight_ || reconnect_in_flight_) {
     return;
   }
   poll_in_flight_ = true;
+  uint64_t seq = ++poll_seq_;
 
   PollRequest poll;
   poll.participant_id = pid_;
@@ -310,15 +329,174 @@ void AjaxSnippet::PollOnce() {
   action_queue_.clear();
   in_flight_actions_ = poll.actions;
   metrics_.actions_sent += poll.actions.size();
+  if (recovery_enabled()) {
+    poll.seq = seq;
+    poll.timeouts = metrics_.poll_timeouts;
+    poll.resync = need_resync_;
+  }
 
   SimTime sent_at = browser_->loop()->now();
   uint64_t epoch = epoch_;
-  SendPoll(std::move(poll), [this, epoch, sent_at](FetchResult result) {
+  SendPoll(std::move(poll), [this, epoch, seq, sent_at](FetchResult result) {
     if (epoch != epoch_) {
       return;
     }
+    if (recovery_enabled() && (!poll_in_flight_ || seq != poll_seq_)) {
+      return;  // abandoned on timeout; a newer poll owns the loop now
+    }
     poll_in_flight_ = false;
+    if (timeout_timer_ != 0) {
+      browser_->loop()->Cancel(timeout_timer_);
+      timeout_timer_ = 0;
+    }
     OnPollResponse(std::move(result), sent_at);
+  });
+  // A refused connection fails the fetch synchronously, so the poll may
+  // already be resolved here — only arm the timeout for one still in flight.
+  if (recovery_enabled() && poll_in_flight_ && seq == poll_seq_) {
+    uint64_t timer_epoch = epoch_;
+    timeout_timer_ =
+        browser_->loop()->Schedule(config_.poll_timeout, [this, timer_epoch, seq] {
+          if (timer_epoch != epoch_) {
+            return;
+          }
+          timeout_timer_ = 0;
+          OnPollTimeout(seq);
+        });
+  }
+}
+
+void AjaxSnippet::OnPollTimeout(uint64_t seq) {
+  if (!joined_ || !poll_in_flight_ || seq != poll_seq_) {
+    return;
+  }
+  // Abandon the outstanding request: responses for this seq are discarded if
+  // they ever arrive, and the piggybacked gestures ride the next poll.
+  poll_in_flight_ = false;
+  ++metrics_.poll_timeouts;
+  if (!in_flight_actions_.empty()) {
+    action_queue_.insert(action_queue_.begin(), in_flight_actions_.begin(),
+                         in_flight_actions_.end());
+    in_flight_actions_.clear();
+  }
+  RCB_LOG(kWarning) << "ajax-snippet: poll " << seq << " timed out after "
+                    << config_.poll_timeout;
+  OnPollFailure();
+}
+
+void AjaxSnippet::OnPollFailure() {
+  ++consecutive_failures_;
+  if (config_.reconnect_after > 0 &&
+      consecutive_failures_ >= config_.reconnect_after) {
+    Reconnect();
+    return;
+  }
+  SchedulePoll(BackoffDelay());
+}
+
+Duration AjaxSnippet::BackoffDelay() {
+  uint32_t exponent = consecutive_failures_ > 0 ? consecutive_failures_ - 1 : 0;
+  if (exponent > 16) {
+    exponent = 16;  // the cap below has long since kicked in
+  }
+  Duration delay = config_.backoff_base * (int64_t{1} << exponent);
+  if (delay > config_.backoff_max) {
+    delay = config_.backoff_max;
+  }
+  if (config_.backoff_jitter > Duration::Zero()) {
+    delay += Duration::Micros(static_cast<int64_t>(
+        backoff_rng_.NextBelow(config_.backoff_jitter.micros() + 1)));
+  }
+  return delay;
+}
+
+void AjaxSnippet::Reconnect() {
+  if (!joined_ || reconnect_in_flight_) {
+    return;
+  }
+  reconnect_in_flight_ = true;
+  if (poll_timer_ != 0) {
+    browser_->loop()->Cancel(poll_timer_);
+    poll_timer_ = 0;
+  }
+  if (timeout_timer_ != 0) {
+    browser_->loop()->Cancel(timeout_timer_);
+    timeout_timer_ = 0;
+  }
+  poll_in_flight_ = false;
+  if (!in_flight_actions_.empty()) {
+    action_queue_.insert(action_queue_.begin(), in_flight_actions_.begin(),
+                         in_flight_actions_.end());
+    in_flight_actions_.clear();
+  }
+  if (stream_ != nullptr) {
+    stream_->Close();
+    stream_ = nullptr;
+  }
+  // Connections wedged on the dead link would swallow the re-handshake.
+  browser_->AbortOriginConnections(agent_url_);
+
+  // §3.2.3 + §3.4: resume under the old pid; with a session key the resume
+  // request is signed like any other, so a reconnecting participant
+  // re-authenticates.
+  std::string query = "resume=" + pid_;
+  if (!config_.session_key.empty()) {
+    std::string message = "GET " + agent_url_.path() + "?" + query + "\n";
+    query += "&hmac=" + HmacSha256Hex(config_.session_key, message);
+  }
+  Url target = Url::Make(agent_url_.scheme(), agent_url_.host(),
+                         agent_url_.port(), agent_url_.path(), query);
+  uint64_t epoch = epoch_;
+  browser_->Navigate(target, [this, epoch](const Status& status,
+                                           const PageLoadStats&) {
+    if (epoch != epoch_) {
+      return;
+    }
+    reconnect_in_flight_ = false;
+    if (!status.ok()) {
+      ++metrics_.reconnect_failures;
+      ++consecutive_failures_;
+      RCB_LOG(kWarning) << "ajax-snippet: reconnect failed: " << status;
+      uint64_t retry_epoch = epoch_;
+      poll_timer_ = browser_->loop()->Schedule(BackoffDelay(),
+                                               [this, retry_epoch] {
+                                                 if (retry_epoch != epoch_) {
+                                                   return;
+                                                 }
+                                                 poll_timer_ = 0;
+                                                 Reconnect();
+                                               });
+      return;
+    }
+    std::string pid = MetaContent(browser_->document(), "rcb-pid");
+    if (!pid.empty()) {
+      pid_ = pid;
+    }
+    ++metrics_.reconnects;
+    consecutive_failures_ = 0;
+    // The gap may have eaten updates; force a full snapshot regardless of
+    // what our DOM claims to hold.
+    need_resync_ = true;
+    doc_time_ms_ = -1;
+    if (sync_model_ == SyncModel::kPush) {
+      OpenStream();
+    } else {
+      PollOnce();
+    }
+  });
+}
+
+void AjaxSnippet::ScheduleStreamReopen() {
+  if (!config_.stream_reconnect || !joined_) {
+    return;
+  }
+  ++consecutive_failures_;
+  uint64_t epoch = epoch_;
+  browser_->loop()->Schedule(BackoffDelay(), [this, epoch] {
+    if (epoch != epoch_ || stream_ != nullptr || !joined_) {
+      return;
+    }
+    OpenStream();
   });
 }
 
@@ -333,10 +511,16 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
                            in_flight_actions_.end());
       in_flight_actions_.clear();
     }
-    SchedulePoll(interval_);
+    if (recovery_enabled()) {
+      ++metrics_.transport_failures;
+      OnPollFailure();
+    } else {
+      SchedulePoll(interval_);
+    }
     return;
   }
   in_flight_actions_.clear();
+  consecutive_failures_ = 0;  // the transport works; any HTTP status proves it
   if (result.response.status_code == 403) {
     ++metrics_.auth_rejections;
     RCB_LOG(kWarning) << "ajax-snippet: agent rejected request authentication";
@@ -395,6 +579,11 @@ void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
     metrics_.total_apply_time += metrics_.last_apply_time;
     doc_time_ms_ = snapshot.doc_time_ms;
     ++metrics_.content_updates;
+    if (need_resync_) {
+      // The full snapshot that re-converges us after a reconnect.
+      ++metrics_.resyncs;
+      need_resync_ = false;
+    }
     if (update_listener_) {
       update_listener_(doc_time_ms_);
     }

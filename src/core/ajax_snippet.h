@@ -21,6 +21,7 @@
 
 #include "src/browser/browser.h"
 #include "src/core/protocol.h"
+#include "src/util/rand.h"
 
 namespace rcb {
 
@@ -31,6 +32,25 @@ struct SnippetConfig {
   Duration poll_interval_override = Duration::Zero();
   // Download supplementary objects after each applied update.
   bool fetch_objects = true;
+
+  // --- Recovery (§3.2.3). Zero poll_timeout disables all of it, keeping the
+  // seed behavior: a poll waits forever and transport failures retry on the
+  // plain interval. ---
+  // Abandon a poll that has not answered within this budget.
+  Duration poll_timeout = Duration::Zero();
+  // Exponential backoff after consecutive failures: base * 2^(n-1), capped
+  // at backoff_max, plus a deterministic seeded draw in [0, backoff_jitter].
+  Duration backoff_base = Duration::Millis(500);
+  Duration backoff_max = Duration::Seconds(8.0);
+  Duration backoff_jitter = Duration::Zero();
+  uint64_t backoff_seed = 0x5EED;
+  // After this many consecutive failures, re-handshake with the agent
+  // (GET /?resume=<pid>, HMAC-signed when a key is set). 0 disables.
+  uint32_t reconnect_after = 0;
+  // Push model: reopen a dropped stream after a backoff delay. Off by
+  // default — a dropped stream is detected but not recovered, like the
+  // original snippet.
+  bool stream_reconnect = false;
 };
 
 struct SnippetMetrics {
@@ -42,6 +62,13 @@ struct SnippetMetrics {
   uint64_t auth_rejections = 0;
   uint64_t stream_parts_received = 0;  // push mode
   uint64_t stream_drops = 0;           // push stream closed under us
+  // --- Recovery counters (§3.2.3) ---
+  uint64_t poll_timeouts = 0;          // polls abandoned after poll_timeout
+  uint64_t transport_failures = 0;     // polls whose transport failed outright
+  uint64_t reconnects = 0;             // successful resume re-handshakes
+  uint64_t reconnect_failures = 0;     // resume attempts that failed
+  uint64_t resyncs = 0;                // full snapshots applied after recovery
+  uint64_t stream_reopens = 0;         // push streams reopened (opt-in)
   // M2: poll request -> content response fully received (content polls only).
   Duration last_content_download;
   // M6: real CPU time spent applying the snapshot to the document.
@@ -132,6 +159,21 @@ class AjaxSnippet {
   // turn) instead of waiting for a poll tick.
   void ScheduleActionFlush();
   void OnPollResponse(FetchResult result, SimTime sent_at);
+  // --- Recovery (§3.2.3) ---
+  bool recovery_enabled() const {
+    return config_.poll_timeout > Duration::Zero();
+  }
+  // base * 2^(failures-1) capped at backoff_max, plus seeded jitter.
+  Duration BackoffDelay();
+  // Shared failure path for timeouts and transport errors: backs off, and
+  // after reconnect_after consecutive failures re-handshakes instead.
+  void OnPollFailure();
+  void OnPollTimeout(uint64_t seq);
+  // Re-handshake: abort wedged connections, GET /?resume=<pid> (signed),
+  // then resume the sync loop with a forced full-snapshot resync.
+  void Reconnect();
+  // Push model opt-in: retry OpenStream after a backoff delay.
+  void ScheduleStreamReopen();
   void ApplySnapshot(const Snapshot& snapshot);
   void FetchSupplementaryObjects();
   // Collects a form's current field values from the participant DOM.
@@ -154,6 +196,16 @@ class AjaxSnippet {
   bool poll_in_flight_ = false;
   uint64_t poll_timer_ = 0;
   uint64_t epoch_ = 0;  // invalidates callbacks after Leave()
+
+  // Recovery state. poll_seq_ numbers every poll; a response or timeout for
+  // an older seq than the current one is ignored (the poll was abandoned).
+  uint64_t poll_seq_ = 0;
+  uint64_t timeout_timer_ = 0;
+  uint32_t consecutive_failures_ = 0;
+  bool need_resync_ = false;
+  bool reconnect_in_flight_ = false;
+  bool stream_was_open_ = false;  // distinguishes reopens from the first open
+  Rng backoff_rng_;
 
   SyncModel sync_model_ = SyncModel::kPoll;
   NetEndpoint* stream_ = nullptr;

@@ -237,6 +237,17 @@ std::string EncodePollRequest(const PollRequest& request) {
   fields.emplace_back("ts", StrFormat("%lld",
                                       static_cast<long long>(request.doc_time_ms)));
   fields.emplace_back("actions", EncodeActions(request.actions));
+  if (request.seq != 0) {
+    fields.emplace_back("seq",
+                        StrFormat("%llu", static_cast<unsigned long long>(request.seq)));
+  }
+  if (request.timeouts != 0) {
+    fields.emplace_back(
+        "timeouts", StrFormat("%llu", static_cast<unsigned long long>(request.timeouts)));
+  }
+  if (request.resync) {
+    fields.emplace_back("resync", "1");
+  }
   return EncodeFormUrlEncoded(fields);
 }
 
@@ -253,6 +264,13 @@ StatusOr<PollRequest> DecodePollRequest(std::string_view body) {
       have_ts = true;
     } else if (name == "actions") {
       RCB_ASSIGN_OR_RETURN(request.actions, DecodeActions(value));
+    } else if (name == "seq") {
+      request.seq = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (name == "timeouts") {
+      request.timeouts =
+          static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (name == "resync") {
+      request.resync = value == "1";
     }
   }
   if (!have_pid || !have_ts) {

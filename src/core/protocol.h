@@ -109,6 +109,17 @@ struct PollRequest {
   std::string participant_id;
   int64_t doc_time_ms = 0;  // timestamp of the participant's current content
   std::vector<UserAction> actions;
+  // --- Recovery fields (§3.2.3); zero-valued fields are omitted on the wire
+  // so pre-recovery agents and captures stay byte-compatible. ---
+  // Monotonically increasing per participant when set (>= 1). The agent
+  // rejects a signed poll whose seq is not newer than the last one seen,
+  // which makes replayed polls detectable.
+  uint64_t seq = 0;
+  // Cumulative count of polls the snippet abandoned on timeout.
+  uint64_t timeouts = 0;
+  // Participant is recovering and wants a full snapshot regardless of
+  // timestamp deltas.
+  bool resync = false;
 };
 
 std::string EncodePollRequest(const PollRequest& request);

@@ -312,7 +312,44 @@ std::string RcbAgent::BuildInitialPage(const std::string& pid) const {
          body + "</body></html>";
 }
 
-HttpResponse RcbAgent::HandleNewConnection(const HttpRequest&) {
+HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
+  // §3.2.3 recovery: a returning participant re-handshakes with
+  // GET /?resume=<pid> and keeps its identity. Unlike a fresh join (where the
+  // key is entered into the join form afterwards), the participant already
+  // holds the session key, so the resume request must carry a valid HMAC.
+  auto params = request.QueryParams();
+  auto resume_it = params.find("resume");
+  if (resume_it != params.end() && !resume_it->second.empty()) {
+    if (!VerifyRequestAuth(request)) {
+      ++metrics_.auth_failures;
+      return HttpResponse::Forbidden("resume authentication failed");
+    }
+    const std::string& pid = resume_it->second;
+    bool known = participants_.contains(pid);
+    if (!known) {
+      // Reaped while away: treat as a (re)join and announce it.
+      UserAction joined;
+      joined.type = ActionType::kPresence;
+      joined.data = "joined";
+      joined.origin = pid;
+      for (auto& [other_pid, state] : participants_) {
+        state.outbox.push_back(joined);
+      }
+      if (config_.sync_model == SyncModel::kPush) {
+        for (const auto& [other_pid, state] : participants_) {
+          PushOutbox(other_pid);
+        }
+      }
+    }
+    ParticipantState& participant = participants_[pid];
+    participant.last_poll = browser_->loop()->now();
+    // Force a full snapshot on the next poll regardless of what the
+    // participant claims to hold — its DOM state is untrusted after a gap.
+    participant.doc_time_ms = -1;
+    ++metrics_.reconnects;
+    return HttpResponse::Ok("text/html", BuildInitialPage(pid));
+  }
+
   std::string pid = StrFormat("p%llu", static_cast<unsigned long long>(next_pid_++));
   // Announce the newcomer to everyone already in the session (§5.2.3: users
   // asked for indicators of the other person's connection and status).
@@ -374,6 +411,7 @@ void RcbAgent::ReapStaleParticipants() {
   }
   for (const std::string& pid : stale) {
     RemoveParticipant(pid);
+    ++metrics_.participants_reaped;
   }
 }
 
@@ -414,7 +452,8 @@ HttpResponse RcbAgent::HandleStatusPage() const {
   body += StrFormat(
       "<p id=\"metrics\">polls %llu (content %llu, empty %llu) | "
       "generations %llu (reused %llu) | objects served %llu (%llu bytes) | "
-      "actions applied %llu, held %llu, denied %llu | auth failures %llu</p>",
+      "actions applied %llu, held %llu, denied %llu | auth failures %llu | "
+      "timeouts %llu, reconnects %llu, resyncs %llu, reaped %llu</p>",
       static_cast<unsigned long long>(metrics_.polls_received),
       static_cast<unsigned long long>(metrics_.polls_with_content),
       static_cast<unsigned long long>(metrics_.polls_empty),
@@ -425,7 +464,11 @@ HttpResponse RcbAgent::HandleStatusPage() const {
       static_cast<unsigned long long>(metrics_.actions_applied),
       static_cast<unsigned long long>(metrics_.actions_held),
       static_cast<unsigned long long>(metrics_.actions_denied),
-      static_cast<unsigned long long>(metrics_.auth_failures));
+      static_cast<unsigned long long>(metrics_.auth_failures),
+      static_cast<unsigned long long>(metrics_.poll_timeouts),
+      static_cast<unsigned long long>(metrics_.reconnects),
+      static_cast<unsigned long long>(metrics_.resyncs),
+      static_cast<unsigned long long>(metrics_.participants_reaped));
   return HttpResponse::Ok(
       "text/html", "<!DOCTYPE html><html><head><title>RCB status</title>"
                    "</head><body>" +
@@ -474,6 +517,17 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
   }
   PollRequest poll = std::move(*poll_or);
 
+  // Anti-replay (§3.4): signed polls carry a monotonically increasing seq;
+  // an equal-or-older value is a replayed (or abandoned and re-delivered)
+  // request and must not be re-applied.
+  if (!config_.session_key.empty() && poll.seq != 0) {
+    auto it = participants_.find(poll.participant_id);
+    if (it != participants_.end() && poll.seq <= it->second.last_seq) {
+      ++metrics_.auth_failures;
+      return HttpResponse::Forbidden("stale poll seq (replay?)");
+    }
+  }
+
   // Presence housekeeping: drop participants that stopped polling, and
   // handle an explicit goodbye before anything else.
   ReapStaleParticipants();
@@ -487,6 +541,15 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
   ParticipantState& participant = participants_[poll.participant_id];
   participant.last_poll = browser_->loop()->now();
   ++participant.polls;
+  if (poll.seq != 0) {
+    participant.last_seq = poll.seq;
+  }
+  // The snippet reports its cumulative timeout count; fold the delta into
+  // the session-wide counter (idempotent across repeated reports).
+  if (poll.timeouts > participant.timeouts_reported) {
+    metrics_.poll_timeouts += poll.timeouts - participant.timeouts_reported;
+    participant.timeouts_reported = poll.timeouts;
+  }
 
   // Step 1 (Fig. 2 poll path): data merging.
   for (const UserAction& action : poll.actions) {
@@ -507,6 +570,9 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     SnapshotSlot& slot =
         RefreshSlot(CacheModeFor(poll.participant_id), /*count_reuse=*/true);
     ++metrics_.polls_with_content;
+    if (poll.resync) {
+      ++metrics_.resyncs;  // full snapshot served to a recovering participant
+    }
     participant.doc_time_ms = current_doc_time_ms_;
     if (outbox.empty()) {
       // Fast path: the serialized snapshot is shared across participants

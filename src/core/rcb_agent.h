@@ -83,6 +83,11 @@ struct AgentMetrics {
   uint64_t actions_applied = 0;
   uint64_t actions_held = 0;
   uint64_t actions_denied = 0;
+  // --- Recovery counters (§3.2.3) ---
+  uint64_t poll_timeouts = 0;          // abandoned polls reported by snippets
+  uint64_t reconnects = 0;             // resume re-handshakes served
+  uint64_t resyncs = 0;                // full snapshots served to resync polls
+  uint64_t participants_reaped = 0;    // silent participants removed
   Duration last_generation_time;       // M5, real CPU time
   Duration total_generation_time;
   size_t last_snapshot_bytes = 0;
@@ -146,6 +151,10 @@ class RcbAgent {
     SimTime last_poll;
     uint64_t polls = 0;
     std::vector<UserAction> outbox;  // broadcast actions awaiting delivery
+    // Recovery bookkeeping (§3.2.3): highest poll seq seen (anti-replay) and
+    // the high-water mark of the snippet's cumulative timeout counter.
+    uint64_t last_seq = 0;
+    uint64_t timeouts_reported = 0;
   };
   struct AgentConn {
     NetEndpoint* endpoint = nullptr;

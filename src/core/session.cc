@@ -36,10 +36,18 @@ CoBrowsingSession::CoBrowsingSession(EventLoop* loop, Network* network,
   agent_config.sync_model = options_.sync_model;
   agent_ = std::make_unique<RcbAgent>(host_browser_.get(), agent_config);
 
+  uint64_t participant_index = 0;
   for (auto& participant : participants_) {
     SnippetConfig snippet_config;
     snippet_config.session_key = session_key_;
     snippet_config.poll_interval_override = options_.poll_interval;
+    snippet_config.poll_timeout = options_.poll_timeout;
+    snippet_config.reconnect_after = options_.reconnect_after;
+    snippet_config.backoff_base = options_.backoff_base;
+    snippet_config.backoff_max = options_.backoff_max;
+    snippet_config.backoff_jitter = options_.backoff_jitter;
+    snippet_config.backoff_seed = options_.backoff_seed + participant_index++;
+    snippet_config.stream_reconnect = options_.stream_reconnect;
     participant->snippet = std::make_unique<AjaxSnippet>(
         participant->browser.get(), snippet_config);
   }

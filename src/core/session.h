@@ -35,6 +35,18 @@ struct SessionOptions {
   uint16_t agent_port = 3000;
   std::string host_machine = "host-pc";
   std::string participant_machine_prefix = "participant-pc";
+
+  // --- Recovery knobs forwarded to every participant's SnippetConfig
+  // (§3.2.3). Defaults keep recovery off, matching the original snippet. ---
+  Duration poll_timeout = Duration::Zero();
+  uint32_t reconnect_after = 0;
+  Duration backoff_base = Duration::Millis(500);
+  Duration backoff_max = Duration::Seconds(8.0);
+  Duration backoff_jitter = Duration::Zero();
+  // Per-participant streams are derived from this (seed + index) so backoff
+  // jitter never synchronizes participants into a retry stampede.
+  uint64_t backoff_seed = 0xC0FFEE;
+  bool stream_reconnect = false;
 };
 
 class CoBrowsingSession {

@@ -1,0 +1,173 @@
+#include "src/net/fault_injector.h"
+
+#include <utility>
+
+namespace rcb {
+
+FaultInjector::FaultInjector(Network* network, uint64_t seed)
+    : network_(network), seed_(seed) {
+  network_->SetFaultInjector(this);
+}
+
+FaultInjector::~FaultInjector() { network_->SetFaultInjector(nullptr); }
+
+bool FaultInjector::Matches(const FaultPlan& plan, const std::string& from,
+                            const std::string& to) {
+  if (plan.b.empty()) {
+    return plan.a == from || plan.a == to;
+  }
+  return (plan.a == from && plan.b == to) || (plan.a == to && plan.b == from);
+}
+
+void FaultInjector::Install(FaultPlan plan) {
+  InstalledPlan installed;
+  installed.plan = std::move(plan);
+  uint64_t plan_index = plans_.size();
+  for (size_t i = 0; i < installed.plan.events.size(); ++i) {
+    const FaultEvent& event = installed.plan.events[i];
+    // Distinct deterministic stream per (plan, event) so adding a plan never
+    // perturbs the draws of the plans installed before it.
+    installed.state.push_back(
+        EventState{0, Rng(seed_ ^ (plan_index * 1009 + i + 1))});
+    switch (event.kind) {
+      case FaultEvent::Kind::kReset: {
+        std::string a = installed.plan.a;
+        std::string b = installed.plan.b;
+        network_->loop()->ScheduleAt(event.start, [this, a, b] {
+          metrics_.connections_reset += network_->ResetConnections(a, b);
+        });
+        break;
+      }
+      case FaultEvent::Kind::kBandwidthFlap: {
+        std::string host = installed.plan.a;
+        HostInterface degraded = event.degraded;
+        network_->loop()->ScheduleAt(event.start, [this, host, degraded,
+                                                   end = event.end()] {
+          HostInterface original = network_->HostInterfaceOf(host);
+          network_->SetHostInterface(host, degraded);
+          network_->loop()->ScheduleAt(end, [this, host, original] {
+            network_->SetHostInterface(host, original);
+          });
+        });
+        break;
+      }
+      default:
+        break;  // consulted lazily via the Network hooks
+    }
+  }
+  plans_.push_back(std::move(installed));
+}
+
+void FaultInjector::InjectJitter(const std::string& a, const std::string& b,
+                                 SimTime start, Duration duration,
+                                 Duration max_jitter) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kJitter;
+  event.start = start;
+  event.duration = duration;
+  event.max_jitter = max_jitter;
+  Install(FaultPlan{a, b, {event}});
+}
+
+void FaultInjector::InjectLoss(const std::string& a, const std::string& b,
+                               SimTime start, Duration duration,
+                               uint32_t loss_period,
+                               Duration retransmit_delay) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kLoss;
+  event.start = start;
+  event.duration = duration;
+  event.loss_period = loss_period;
+  event.retransmit_delay = retransmit_delay;
+  Install(FaultPlan{a, b, {event}});
+}
+
+void FaultInjector::InjectBandwidthFlap(const std::string& host, SimTime start,
+                                        Duration duration,
+                                        HostInterface degraded) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kBandwidthFlap;
+  event.start = start;
+  event.duration = duration;
+  event.degraded = degraded;
+  Install(FaultPlan{host, "", {event}});
+}
+
+void FaultInjector::InjectReset(const std::string& a, const std::string& b,
+                                SimTime at) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kReset;
+  event.start = at;
+  Install(FaultPlan{a, b, {event}});
+}
+
+void FaultInjector::InjectPartition(const std::string& host, SimTime start,
+                                    Duration duration,
+                                    Duration retransmit_delay) {
+  FaultEvent event;
+  event.kind = FaultEvent::Kind::kPartition;
+  event.start = start;
+  event.duration = duration;
+  event.retransmit_delay = retransmit_delay;
+  Install(FaultPlan{host, "", {event}});
+}
+
+bool FaultInjector::ConnectBlocked(const std::string& from,
+                                   const std::string& to, SimTime now) {
+  for (const InstalledPlan& installed : plans_) {
+    if (!Matches(installed.plan, from, to)) {
+      continue;
+    }
+    for (const FaultEvent& event : installed.plan.events) {
+      if (event.kind == FaultEvent::Kind::kPartition && InWindow(event, now)) {
+        ++metrics_.connects_refused;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Duration FaultInjector::TransferPenalty(const std::string& from,
+                                        const std::string& to, SimTime now) {
+  Duration penalty = Duration::Zero();
+  for (InstalledPlan& installed : plans_) {
+    if (!Matches(installed.plan, from, to)) {
+      continue;
+    }
+    for (size_t i = 0; i < installed.plan.events.size(); ++i) {
+      const FaultEvent& event = installed.plan.events[i];
+      if (!InWindow(event, now)) {
+        continue;
+      }
+      EventState& state = installed.state[i];
+      switch (event.kind) {
+        case FaultEvent::Kind::kJitter:
+          if (event.max_jitter > Duration::Zero()) {
+            penalty += Duration::Micros(static_cast<int64_t>(
+                state.rng.NextBelow(event.max_jitter.micros() + 1)));
+            ++metrics_.messages_jittered;
+          }
+          break;
+        case FaultEvent::Kind::kLoss:
+          ++state.messages;
+          if (event.loss_period > 0 && state.messages % event.loss_period == 0) {
+            penalty += event.retransmit_delay;
+            ++metrics_.messages_lost;
+          }
+          break;
+        case FaultEvent::Kind::kPartition:
+          // Held until the blackout heals, then retransmitted once.
+          penalty += (event.end() - now) + event.retransmit_delay;
+          ++metrics_.messages_held;
+          break;
+        case FaultEvent::Kind::kBandwidthFlap:
+        case FaultEvent::Kind::kReset:
+          break;  // handled by scheduled events, not per-message
+      }
+    }
+  }
+  return penalty;
+}
+
+}  // namespace rcb

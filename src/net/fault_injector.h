@@ -1,0 +1,146 @@
+// Deterministic network fault injection.
+//
+// A FaultPlan schedules faults on one link (host pair) or on every link of a
+// single host. All faults are driven off the EventLoop and any randomness is
+// drawn from a seeded Rng, so two runs with the same plans and the same seed
+// produce bit-identical event sequences. Loss is modeled as a deterministic
+// retransmit delay (the reliable-transport view of a dropped segment: the
+// payload still arrives, one RTO later) — this keeps delivery order and
+// timing reproducible where probabilistic drops would not be.
+//
+// This is the adversarial half of the §5.1 testbed: the recovery machinery in
+// the Ajax-Snippet and the agent (§3.2.3) is exercised against it.
+#ifndef SRC_NET_FAULT_INJECTOR_H_
+#define SRC_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/util/rand.h"
+#include "src/util/sim_time.h"
+
+namespace rcb {
+
+// One scheduled fault. Which fields apply depends on `kind`.
+struct FaultEvent {
+  enum class Kind {
+    // Every message crossing the link during [start, start+duration) is
+    // delayed by an extra seeded-uniform draw in [0, max_jitter].
+    kJitter,
+    // Every loss_period-th message in the window is "dropped": it arrives
+    // retransmit_delay late, modeling one RTO-triggered retransmission.
+    kLoss,
+    // The target host's interface is swapped to `degraded` for the window,
+    // then restored to what it was when the flap began.
+    kBandwidthFlap,
+    // All established connections between the two ends are torn down at
+    // `start`; close handlers fire at exactly that event time.
+    kReset,
+    // Blackout: Connect() on the link is refused during the window, and
+    // messages already in flight on established connections are held and
+    // delivered at window end + retransmit_delay. Connections survive, so
+    // outstanding requests hang — this is what poll timeouts are for.
+    kPartition,
+  };
+
+  Kind kind = Kind::kJitter;
+  SimTime start;
+  Duration duration;  // ignored for kReset
+  // kJitter: inclusive upper bound of the per-message extra delay.
+  Duration max_jitter;
+  // kLoss: every loss_period-th message is delayed (2 = every other one).
+  uint32_t loss_period = 2;
+  // kLoss / kPartition: the simulated retransmission timeout.
+  Duration retransmit_delay = Duration::Millis(200);
+  // kBandwidthFlap: interface speeds during the window.
+  HostInterface degraded;
+
+  SimTime end() const { return start + duration; }
+};
+
+// Faults for one link. `b` empty means "every link touching host `a`"
+// (host-scoped blackout / flap).
+struct FaultPlan {
+  std::string a;
+  std::string b;
+  std::vector<FaultEvent> events;
+};
+
+// Counters for assertions; all deterministic.
+struct FaultInjectorMetrics {
+  uint64_t messages_jittered = 0;
+  uint64_t messages_lost = 0;      // delivered late as retransmissions
+  uint64_t messages_held = 0;      // sent into an active partition
+  uint64_t connections_reset = 0;  // endpoints closed by kReset events
+  uint64_t connects_refused = 0;   // Connect() calls refused by partitions
+
+  bool operator==(const FaultInjectorMetrics&) const = default;
+};
+
+class FaultInjector {
+ public:
+  // Registers itself with `network`; unregisters on destruction. `seed`
+  // drives all jitter draws.
+  FaultInjector(Network* network, uint64_t seed);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs a plan: reset and bandwidth-flap events are scheduled on the
+  // EventLoop now; jitter/loss/partition windows are consulted lazily as
+  // traffic crosses the link. Events whose window is already past are inert.
+  void Install(FaultPlan plan);
+
+  // Convenience wrappers for single-event plans.
+  void InjectJitter(const std::string& a, const std::string& b, SimTime start,
+                    Duration duration, Duration max_jitter);
+  void InjectLoss(const std::string& a, const std::string& b, SimTime start,
+                  Duration duration, uint32_t loss_period,
+                  Duration retransmit_delay);
+  void InjectBandwidthFlap(const std::string& host, SimTime start,
+                           Duration duration, HostInterface degraded);
+  void InjectReset(const std::string& a, const std::string& b, SimTime at);
+  // Blackout of every link touching `host` (pass `b` empty via plan for a
+  // single link).
+  void InjectPartition(const std::string& host, SimTime start,
+                       Duration duration, Duration retransmit_delay);
+
+  // --- Hooks called by Network ---------------------------------------------
+  // True if a partition is active on (from, to) at `now`; counts a refusal.
+  bool ConnectBlocked(const std::string& from, const std::string& to,
+                      SimTime now);
+  // Extra delivery delay for one message crossing (from, to) at `now`:
+  // jitter draw + loss retransmit + partition hold, summed over active
+  // windows.
+  Duration TransferPenalty(const std::string& from, const std::string& to,
+                           SimTime now);
+
+  const FaultInjectorMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct EventState {
+    uint64_t messages = 0;  // kLoss: messages seen inside the window
+    Rng rng;                // kJitter: per-event stream, seed-derived
+  };
+  struct InstalledPlan {
+    FaultPlan plan;
+    std::vector<EventState> state;
+  };
+
+  static bool Matches(const FaultPlan& plan, const std::string& from,
+                      const std::string& to);
+  static bool InWindow(const FaultEvent& event, SimTime now) {
+    return now >= event.start && now < event.end();
+  }
+
+  Network* network_;
+  uint64_t seed_;
+  std::vector<InstalledPlan> plans_;
+  FaultInjectorMetrics metrics_;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_NET_FAULT_INJECTOR_H_

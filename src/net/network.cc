@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/net/fault_injector.h"
 #include "src/util/strings.h"
 
 namespace rcb {
@@ -138,6 +139,11 @@ StatusOr<NetEndpoint*> Network::Connect(const std::string& client_host,
       blocked_routes_.contains({client_host, server_host_in})) {
     return UnavailableError("route blocked: " + client_host + " -> " + server_host);
   }
+  if (fault_injector_ != nullptr &&
+      fault_injector_->ConnectBlocked(client_host, server_host, loop_->now())) {
+    return UnavailableError("link partitioned: " + client_host + " -> " +
+                            server_host);
+  }
   auto listener_it = server_it->second.listeners.find(port);
   if (listener_it == server_it->second.listeners.end()) {
     return UnavailableError(
@@ -194,6 +200,46 @@ StatusOr<NetEndpoint*> Network::Connect(const std::string& client_host,
   endpoints_.push_back(std::move(client_end));
   endpoints_.push_back(std::move(server_end));
   return client;
+}
+
+size_t Network::ResetConnections(const std::string& a, const std::string& b) {
+  // Two passes: close handlers may Connect() and grow endpoints_, which would
+  // invalidate iterators, so collect the victims before firing anything.
+  std::vector<NetEndpoint*> victims;
+  for (const auto& endpoint : endpoints_) {
+    if (endpoint->closed_) {
+      continue;
+    }
+    const std::string& local = endpoint->local_host_;
+    const std::string& peer = endpoint->peer_host_;
+    bool match = b.empty() ? (local == a || peer == a)
+                           : ((local == a && peer == b) ||
+                              (local == b && peer == a));
+    if (match) {
+      endpoint->closed_ = true;
+      victims.push_back(endpoint.get());
+    }
+  }
+  for (NetEndpoint* endpoint : victims) {
+    if (endpoint->close_handler_) {
+      endpoint->close_handler_();
+    }
+  }
+  // Both sides of a matching connection match, so victims come in pairs.
+  return victims.size() / 2;
+}
+
+HostInterface Network::HostInterfaceOf(const std::string& host) const {
+  auto it = hosts_.find(host);
+  return it != hosts_.end() ? it->second.interface : HostInterface{};
+}
+
+void Network::SetHostInterface(const std::string& host,
+                               HostInterface interface) {
+  auto it = hosts_.find(host);
+  if (it != hosts_.end()) {
+    it->second.interface = interface;
+  }
 }
 
 void Network::BlockRoute(const std::string& from, const std::string& to) {
@@ -272,6 +318,11 @@ void Network::DeliverData(NetEndpoint* from, std::string data) {
   assert(to != nullptr);
   SimTime deliver_at = ScheduleTransfer(from->local_host_, from->peer_host_,
                                         data.size(), from->established_at_);
+  if (fault_injector_ != nullptr) {
+    deliver_at = deliver_at + fault_injector_->TransferPenalty(
+                                  from->local_host_, from->peer_host_,
+                                  loop_->now());
+  }
   loop_->ScheduleAt(deliver_at,
                     [to, payload = std::move(data)] {
                       if (!to->closed_ && to->data_handler_) {

@@ -33,6 +33,7 @@ struct HostInterface {
 };
 
 class Network;
+class FaultInjector;
 
 // One side of an established connection. Owned by the Network; users keep
 // non-owning pointers that remain valid until the Network is destroyed.
@@ -141,6 +142,23 @@ class Network {
   uint64_t total_bytes_transferred() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
 
+  // --- Fault injection (fault_injector.h) ----------------------------------
+  // At most one injector; it is consulted on every Connect (partitions) and
+  // every message delivery (jitter / loss / hold penalties). Pass nullptr to
+  // detach.
+  void SetFaultInjector(FaultInjector* injector) { fault_injector_ = injector; }
+
+  // Tears down every established connection between hosts `a` and `b`
+  // (`b` empty = every connection touching `a`). Close handlers on both ends
+  // fire synchronously, at the current event time. Returns the number of
+  // connections reset.
+  size_t ResetConnections(const std::string& a, const std::string& b);
+
+  // Live interface speeds (for bandwidth flaps that must restore the
+  // original values).
+  HostInterface HostInterfaceOf(const std::string& host) const;
+  void SetHostInterface(const std::string& host, HostInterface interface);
+
  private:
   friend class NetEndpoint;
 
@@ -171,6 +189,7 @@ class Network {
   Duration default_latency_ = Duration::Millis(1);
   std::map<std::pair<std::string, std::string>, Duration> directed_latency_;
   std::vector<std::unique_ptr<NetEndpoint>> endpoints_;
+  FaultInjector* fault_injector_ = nullptr;
   bool slow_start_enabled_ = false;
   uint64_t total_bytes_ = 0;
   uint64_t total_messages_ = 0;

@@ -57,4 +57,38 @@ void AddOriginServer(Network* network, const NetworkProfile& profile,
   network->SetLatency(participant_name, server_name, total);
 }
 
+FaultEvent ChaosEvent(const NetworkProfile& profile, FaultEvent::Kind kind,
+                      SimTime start, Duration duration) {
+  Duration latency = profile.host_participant_latency;
+  // RTO floor of 200 ms mirrors the common TCP minimum; faster links still
+  // pay a visible, deterministic penalty per "lost" segment.
+  Duration rto = latency * 4 > Duration::Millis(200) ? latency * 4
+                                                     : Duration::Millis(200);
+  FaultEvent event;
+  event.kind = kind;
+  event.start = start;
+  event.duration = duration;
+  switch (kind) {
+    case FaultEvent::Kind::kJitter:
+      event.max_jitter = latency * 8;
+      break;
+    case FaultEvent::Kind::kLoss:
+      event.loss_period = 2;
+      event.retransmit_delay = rto;
+      break;
+    case FaultEvent::Kind::kPartition:
+      event.retransmit_delay = rto;
+      break;
+    case FaultEvent::Kind::kBandwidthFlap:
+      // A tenth of the profile's participant bandwidth.
+      event.degraded = {
+          .uplink_bps = profile.participant_interface.uplink_bps / 10,
+          .downlink_bps = profile.participant_interface.downlink_bps / 10};
+      break;
+    case FaultEvent::Kind::kReset:
+      break;
+  }
+  return event;
+}
+
 }  // namespace rcb

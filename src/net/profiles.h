@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "src/net/fault_injector.h"
 #include "src/net/network.h"
 
 namespace rcb {
@@ -47,6 +48,13 @@ void AddOriginServer(Network* network, const NetworkProfile& profile,
                      const std::string& server_name, int64_t server_bps,
                      Duration server_latency, const std::string& host_name,
                      const std::string& participant_name);
+
+// A fault preset scaled to the profile: jitter bounds and retransmission
+// timeouts are proportional to the link latency, so the chaos matrix
+// stresses the same recovery paths on a 250 µs LAN and a 40 ms WAN. The
+// returned event covers [start, start + duration) (kReset fires at `start`).
+FaultEvent ChaosEvent(const NetworkProfile& profile, FaultEvent::Kind kind,
+                      SimTime start, Duration duration);
 
 }  // namespace rcb
 

@@ -603,6 +603,96 @@ TEST_F(AgentTest, PerParticipantCacheModes) {
   EXPECT_EQ(object.response.status_code, 200);
 }
 
+TEST_F(AgentTest, SignedResumeReauthenticatesAndForcesResync) {
+  AgentConfig config;
+  config.session_key = "topsecretkey";
+  StartAgent(config);
+  HostNavigate();
+  // p1 joins and catches up.
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  auto snapshot = ParseSnapshotXml(Poll(poll, "topsecretkey").response.body);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+
+  // Mid-session reconnect: the snippet re-handshakes with a signed
+  // GET /?resume=p1 (the MAC covers method + URI minus the hmac parameter).
+  std::string mac = HmacSha256Hex("topsecretkey", "GET /?resume=p1\n");
+  FetchResult resumed =
+      Fetch(HttpMethod::kGet,
+            Url::Make("http", "host-pc", 3000, "/", "resume=p1&hmac=" + mac));
+  ASSERT_TRUE(resumed.status.ok());
+  EXPECT_EQ(resumed.response.status_code, 200);
+  EXPECT_EQ(agent_->metrics().reconnects, 1u);
+  EXPECT_EQ(agent_->metrics().auth_failures, 0u);
+  // The initial page keeps the same participant identity.
+  auto page = ParseDocument(resumed.response.body);
+  bool same_pid = false;
+  for (Element* meta : page->FindAll("meta")) {
+    if (meta->AttrOr("name") == "rcb-pid") {
+      same_pid = meta->AttrOr("content") == "p1";
+    }
+  }
+  EXPECT_TRUE(same_pid);
+
+  // After the gap the participant's DOM is untrusted: its first poll claims
+  // nothing (-1, resync) and is served the full snapshot again.
+  poll.doc_time_ms = -1;
+  poll.resync = true;
+  poll.seq = 1;
+  auto full = ParseSnapshotXml(Poll(poll, "topsecretkey").response.body);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_TRUE(full->has_content);
+  EXPECT_EQ(agent_->metrics().resyncs, 1u);
+}
+
+TEST_F(AgentTest, UnsignedOrForgedResumeRejected) {
+  AgentConfig config;
+  config.session_key = "topsecretkey";
+  StartAgent(config);
+  // Unsigned resume.
+  FetchResult unsigned_resume = Fetch(
+      HttpMethod::kGet, Url::Make("http", "host-pc", 3000, "/", "resume=p1"));
+  EXPECT_EQ(unsigned_resume.response.status_code, 403);
+  // Forged MAC.
+  std::string forged = HmacSha256Hex("wrongkey", "GET /?resume=p1\n");
+  FetchResult forged_resume =
+      Fetch(HttpMethod::kGet,
+            Url::Make("http", "host-pc", 3000, "/", "resume=p1&hmac=" + forged));
+  EXPECT_EQ(forged_resume.response.status_code, 403);
+  EXPECT_EQ(agent_->metrics().auth_failures, 2u);
+  EXPECT_EQ(agent_->metrics().reconnects, 0u);
+}
+
+TEST_F(AgentTest, ReplayedStalePollSeqRejected) {
+  AgentConfig config;
+  config.session_key = "topsecretkey";
+  StartAgent(config);
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  poll.seq = 1;
+  EXPECT_EQ(Poll(poll, "topsecretkey").response.status_code, 200);
+  poll.seq = 2;
+  poll.doc_time_ms = 0;
+  EXPECT_EQ(Poll(poll, "topsecretkey").response.status_code, 200);
+  EXPECT_EQ(agent_->metrics().auth_failures, 0u);
+
+  // A replay of the seq=2 poll — valid signature, stale sequence — must be
+  // rejected without being applied.
+  FetchResult replayed = Poll(poll, "topsecretkey");
+  EXPECT_EQ(replayed.response.status_code, 403);
+  // And an older seq likewise.
+  poll.seq = 1;
+  EXPECT_EQ(Poll(poll, "topsecretkey").response.status_code, 403);
+  EXPECT_EQ(agent_->metrics().auth_failures, 2u);
+
+  // The next genuine poll proceeds.
+  poll.seq = 3;
+  EXPECT_EQ(Poll(poll, "topsecretkey").response.status_code, 200);
+}
+
 TEST_F(AgentTest, StaleActionTargetIgnored) {
   StartAgent();
   HostNavigate();

@@ -1,0 +1,267 @@
+// Unit tests for deterministic fault injection: each primitive is checked
+// against exact EventLoop timings, and whole scenarios must replay
+// bit-identically across runs.
+#include <gtest/gtest.h>
+
+#include "src/net/event_loop.h"
+#include "src/net/fault_injector.h"
+#include "src/net/network.h"
+#include "src/net/profiles.h"
+
+namespace rcb {
+namespace {
+
+// Hosts "a" and "b", 10 ms apart, unconstrained interfaces: handshake
+// completes at 20 ms and each message takes exactly 10 ms of propagation.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  FaultInjectorTest() : network_(&loop_) {
+    network_.AddHost("a", {});
+    network_.AddHost("b", {});
+    network_.SetLatency("a", "b", Duration::Millis(10));
+  }
+
+  // Listens on b:port and connects from a; records arrivals and close times.
+  NetEndpoint* Open(uint16_t port) {
+    EXPECT_TRUE(network_
+                    .Listen("b", port,
+                            [this](NetEndpoint* endpoint) {
+                              server_ = endpoint;
+                              endpoint->SetDataHandler([this](std::string_view) {
+                                arrivals_.push_back(loop_.now());
+                              });
+                              endpoint->SetCloseHandler([this] {
+                                server_closed_at_ = loop_.now();
+                                ++server_closes_;
+                              });
+                            })
+                    .ok());
+    auto client = network_.Connect("a", "b", port);
+    EXPECT_TRUE(client.ok());
+    (*client)->SetCloseHandler([this] {
+      client_closed_at_ = loop_.now();
+      ++client_closes_;
+    });
+    return *client;
+  }
+
+  EventLoop loop_;
+  Network network_;
+  NetEndpoint* server_ = nullptr;
+  std::vector<SimTime> arrivals_;
+  SimTime server_closed_at_;
+  SimTime client_closed_at_;
+  int server_closes_ = 0;
+  int client_closes_ = 0;
+};
+
+TEST_F(FaultInjectorTest, JitterDelaysWithinBoundAndReplaysIdentically) {
+  auto run = [](uint64_t seed) {
+    EventLoop loop;
+    Network network(&loop);
+    network.AddHost("a", {});
+    network.AddHost("b", {});
+    network.SetLatency("a", "b", Duration::Millis(10));
+    FaultInjector injector(&network, seed);
+    injector.InjectJitter("a", "b", SimTime::FromMicros(0),
+                          Duration::Seconds(60.0), Duration::Millis(50));
+    std::vector<int64_t> arrivals;
+    EXPECT_TRUE(network
+                    .Listen("b", 80,
+                            [&](NetEndpoint* endpoint) {
+                              endpoint->SetDataHandler([&](std::string_view) {
+                                arrivals.push_back(loop.now().micros());
+                              });
+                            })
+                    .ok());
+    auto client = network.Connect("a", "b", 80);
+    EXPECT_TRUE(client.ok());
+    for (int i = 0; i < 8; ++i) {
+      loop.Schedule(Duration::Millis(100 * (i + 1)),
+                    [endpoint = *client] { endpoint->Send("x"); });
+    }
+    loop.Run();
+    return arrivals;
+  };
+
+  std::vector<int64_t> first = run(7);
+  ASSERT_EQ(first.size(), 8u);
+  for (size_t i = 0; i < first.size(); ++i) {
+    // Nominal arrival: sent at 100(i+1) ms, +10 ms propagation; jitter adds
+    // at most 50 ms on top.
+    int64_t nominal = (100 * (static_cast<int64_t>(i) + 1) + 10) * 1000;
+    EXPECT_GE(first[i], nominal);
+    EXPECT_LE(first[i], nominal + 50'000);
+  }
+  // Same seed -> bit-identical timeline; different seed -> different draws.
+  EXPECT_EQ(run(7), first);
+  EXPECT_NE(run(8), first);
+}
+
+TEST_F(FaultInjectorTest, LossDelaysEveryNthMessageByRetransmitDelay) {
+  FaultInjector injector(&network_, 1);
+  injector.InjectLoss("a", "b", SimTime::FromMicros(0), Duration::Seconds(60.0),
+                      /*loss_period=*/2, Duration::Millis(200));
+  NetEndpoint* client = Open(80);
+  for (int i = 0; i < 4; ++i) {
+    loop_.Schedule(Duration::Millis(100 * (i + 1)),
+                   [client] { client->Send("x"); });
+  }
+  loop_.Run();
+  ASSERT_EQ(arrivals_.size(), 4u);
+  // Arrivals record delivery order: the delayed 2nd message (sent 200 ms,
+  // +200 ms RTO) lands after the clean 3rd one.
+  EXPECT_EQ(arrivals_[0].millis(), 110);        // msg 1, clean
+  EXPECT_EQ(arrivals_[1].millis(), 310);        // msg 3, clean
+  EXPECT_EQ(arrivals_[2].millis(), 210 + 200);  // msg 2, "lost", one RTO late
+  EXPECT_EQ(arrivals_[3].millis(), 410 + 200);  // msg 4, "lost"
+  EXPECT_EQ(injector.metrics().messages_lost, 2u);
+}
+
+TEST_F(FaultInjectorTest, ResetClosesBothEndsAtExactEventTime) {
+  FaultInjector injector(&network_, 1);
+  NetEndpoint* client = Open(80);
+  injector.InjectReset("a", "b", SimTime::FromMicros(100'000));
+  loop_.Run();
+  EXPECT_TRUE(client->closed());
+  ASSERT_NE(server_, nullptr);
+  EXPECT_TRUE(server_->closed());
+  EXPECT_EQ(client_closes_, 1);
+  EXPECT_EQ(server_closes_, 1);
+  EXPECT_EQ(client_closed_at_.millis(), 100);
+  EXPECT_EQ(server_closed_at_.millis(), 100);
+  EXPECT_EQ(injector.metrics().connections_reset, 1u);
+}
+
+TEST_F(FaultInjectorTest, PartitionRefusesConnectsOnlyDuringWindow) {
+  FaultInjector injector(&network_, 1);
+  injector.InjectPartition("b", SimTime::FromMicros(1'000'000),
+                           Duration::Seconds(2.0), Duration::Millis(200));
+  ASSERT_TRUE(network_.Listen("b", 80, [](NetEndpoint*) {}).ok());
+  EXPECT_TRUE(network_.Connect("a", "b", 80).ok());  // before the window
+  bool refused_inside = false;
+  loop_.Schedule(Duration::Seconds(2.0), [&] {
+    auto attempt = network_.Connect("a", "b", 80);
+    refused_inside = !attempt.ok() &&
+                     attempt.status().code() == StatusCode::kUnavailable;
+  });
+  bool ok_after = false;
+  loop_.Schedule(Duration::Seconds(4.0),
+                 [&] { ok_after = network_.Connect("a", "b", 80).ok(); });
+  loop_.Run();
+  EXPECT_TRUE(refused_inside);
+  EXPECT_TRUE(ok_after);
+  EXPECT_EQ(injector.metrics().connects_refused, 1u);
+}
+
+TEST_F(FaultInjectorTest, PartitionHoldsInFlightMessagesUntilHealPlusRto) {
+  FaultInjector injector(&network_, 1);
+  // Blackout from 1 s to 5 s; surviving connections hold their traffic.
+  injector.InjectPartition("b", SimTime::FromMicros(1'000'000),
+                           Duration::Seconds(4.0), Duration::Millis(200));
+  NetEndpoint* client = Open(80);
+  loop_.Schedule(Duration::Seconds(2.0), [client] { client->Send("x"); });
+  loop_.Run();
+  ASSERT_EQ(arrivals_.size(), 1u);
+  // Sent at 2 s: nominal delivery 2 s + 10 ms, held for the remaining 3 s of
+  // the blackout, then one RTO of retransmission delay.
+  EXPECT_EQ(arrivals_[0].millis(), 2000 + 10 + 3000 + 200);
+  EXPECT_EQ(injector.metrics().messages_held, 1u);
+  EXPECT_FALSE(client->closed());  // partitions hold, they do not reset
+}
+
+TEST_F(FaultInjectorTest, BandwidthFlapDegradesThenRestores) {
+  network_.SetHostInterface("a", {.uplink_bps = 1'000'000, .downlink_bps = 0});
+  FaultInjector injector(&network_, 1);
+  // 1 Mbps -> 100 Kbps between 1 s and 10 s.
+  FaultEvent flap;
+  flap.kind = FaultEvent::Kind::kBandwidthFlap;
+  flap.start = SimTime::FromMicros(1'000'000);
+  flap.duration = Duration::Seconds(9.0);
+  flap.degraded = {.uplink_bps = 100'000, .downlink_bps = 0};
+  injector.Install(FaultPlan{"a", "", {flap}});
+
+  NetEndpoint* client = Open(80);
+  // 12500 bytes = 0.1 s at 1 Mbps, 1 s at 100 Kbps.
+  loop_.Schedule(Duration::Seconds(2.0),
+                 [client] { client->Send(std::string(12'500, 'x')); });
+  loop_.Schedule(Duration::Seconds(11.0),
+                 [client] { client->Send(std::string(12'500, 'y')); });
+  loop_.Run();
+  ASSERT_EQ(arrivals_.size(), 2u);
+  EXPECT_EQ(arrivals_[0].millis(), 2000 + 1000 + 10);  // degraded: 1 s of tx
+  EXPECT_EQ(arrivals_[1].millis(), 11000 + 100 + 10);  // restored: 0.1 s
+}
+
+TEST_F(FaultInjectorTest, HostScopedPlanMatchesEveryLinkOfTheHost) {
+  network_.AddHost("c", {});
+  network_.SetLatency("c", "b", Duration::Millis(10));
+  FaultInjector injector(&network_, 1);
+  injector.InjectPartition("b", SimTime::FromMicros(0), Duration::Seconds(1.0),
+                           Duration::Millis(200));
+  ASSERT_TRUE(network_.Listen("b", 80, [](NetEndpoint*) {}).ok());
+  EXPECT_FALSE(network_.Connect("a", "b", 80).ok());
+  EXPECT_FALSE(network_.Connect("c", "b", 80).ok());
+  // A link not touching "b" is unaffected.
+  ASSERT_TRUE(network_.Listen("c", 81, [](NetEndpoint*) {}).ok());
+  EXPECT_TRUE(network_.Connect("a", "c", 81).ok());
+}
+
+TEST_F(FaultInjectorTest, ChaosEventScalesWithProfile) {
+  FaultEvent lan = ChaosEvent(LanProfile(), FaultEvent::Kind::kLoss,
+                              SimTime::FromMicros(0), Duration::Seconds(1.0));
+  FaultEvent wan = ChaosEvent(WanProfile(), FaultEvent::Kind::kLoss,
+                              SimTime::FromMicros(0), Duration::Seconds(1.0));
+  EXPECT_EQ(lan.retransmit_delay, Duration::Millis(200));  // RTO floor
+  EXPECT_EQ(wan.retransmit_delay, Duration::Millis(200));  // 4*40 ms under floor
+  FaultEvent lan_jitter = ChaosEvent(LanProfile(), FaultEvent::Kind::kJitter,
+                                     SimTime::FromMicros(0), Duration::Seconds(1.0));
+  FaultEvent wan_jitter = ChaosEvent(WanProfile(), FaultEvent::Kind::kJitter,
+                                     SimTime::FromMicros(0), Duration::Seconds(1.0));
+  EXPECT_EQ(lan_jitter.max_jitter, Duration::Micros(2000));   // 8 * 250 us
+  EXPECT_EQ(wan_jitter.max_jitter, Duration::Millis(320));    // 8 * 40 ms
+}
+
+TEST_F(FaultInjectorTest, WholeScenarioIsDeterministicAcrossRuns) {
+  auto run = [] {
+    EventLoop loop;
+    Network network(&loop);
+    network.AddHost("a", {});
+    network.AddHost("b", {});
+    network.SetLatency("a", "b", Duration::Millis(10));
+    FaultInjector injector(&network, 99);
+    injector.InjectJitter("a", "b", SimTime::FromMicros(0),
+                          Duration::Seconds(30.0), Duration::Millis(30));
+    injector.InjectLoss("a", "b", SimTime::FromMicros(0),
+                        Duration::Seconds(30.0), 3, Duration::Millis(150));
+    injector.InjectPartition("b", SimTime::FromMicros(5'000'000),
+                             Duration::Seconds(2.0), Duration::Millis(150));
+    std::vector<int64_t> arrivals;
+    EXPECT_TRUE(network
+                    .Listen("b", 80,
+                            [&](NetEndpoint* endpoint) {
+                              endpoint->SetDataHandler([&](std::string_view) {
+                                arrivals.push_back(loop.now().micros());
+                              });
+                            })
+                    .ok());
+    auto client = network.Connect("a", "b", 80);
+    EXPECT_TRUE(client.ok());
+    for (int i = 0; i < 20; ++i) {
+      loop.Schedule(Duration::Millis(400 * (i + 1)),
+                    [endpoint = *client] { endpoint->Send("tick"); });
+    }
+    loop.Run();
+    return std::make_pair(arrivals, injector.metrics());
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_TRUE(first.second == second.second);
+  EXPECT_GT(first.second.messages_jittered, 0u);
+  EXPECT_GT(first.second.messages_lost, 0u);
+  EXPECT_GT(first.second.messages_held, 0u);
+}
+
+}  // namespace
+}  // namespace rcb

@@ -74,6 +74,63 @@ TEST_P(FuzzTest, HttpRequestParserToleratesMutatedRequests) {
   }
 }
 
+TEST_P(FuzzTest, HttpRequestParserToleratesTruncatedThenFreshRequest) {
+  // A mid-transfer connection reset (FaultInjector kReset) truncates a
+  // request at an arbitrary byte. A parser that saw the fragment must either
+  // reject the follow-up bytes cleanly or keep producing well-formed
+  // requests — never crash, never hang.
+  Rng rng(GetParam() ^ 0xDDDD);
+  HttpRequest valid;
+  valid.method = HttpMethod::kPost;
+  valid.target = "/?hmac=abc";
+  valid.headers.Set("Host", "h");
+  valid.body = "pid=p1&ts=5&seq=9&timeouts=2&resync=1&actions=";
+  std::string wire = valid.Serialize();
+  for (int i = 0; i < 20; ++i) {
+    HttpRequestParser parser;
+    size_t cut = rng.NextBelow(wire.size() + 1);
+    auto first = parser.Feed(wire.substr(0, cut));
+    if (!first.ok()) {
+      continue;  // fragment already rejected; prod would rebuild the parser
+    }
+    auto second = parser.Feed(wire);
+    (void)second;  // any Status outcome is fine; crashing is not
+  }
+}
+
+TEST_P(FuzzTest, HttpRequestParserToleratesInterleavedFragments) {
+  // Two requests chopped into random fragments and interleaved on one
+  // connection — the byte soup a reset mid-pipeline can leave behind.
+  Rng rng(GetParam() ^ 0xEEEE);
+  HttpRequest a;
+  a.method = HttpMethod::kPost;
+  a.target = "/";
+  a.headers.Set("Host", "h");
+  a.body = "pid=p1&ts=5&actions=";
+  HttpRequest b;
+  b.method = HttpMethod::kGet;
+  b.target = "/?resume=p1&hmac=feed";
+  b.headers.Set("Host", "h");
+  std::string wires[2] = {a.Serialize(), b.Serialize()};
+  for (int i = 0; i < 20; ++i) {
+    size_t offsets[2] = {0, 0};
+    HttpRequestParser parser;
+    bool dead = false;
+    while (!dead && (offsets[0] < wires[0].size() ||
+                     offsets[1] < wires[1].size())) {
+      size_t which = rng.NextBelow(2);
+      if (offsets[which] >= wires[which].size()) {
+        which = 1 - which;
+      }
+      size_t remaining = wires[which].size() - offsets[which];
+      size_t len = rng.NextBelow(remaining) + 1;
+      auto result = parser.Feed(wires[which].substr(offsets[which], len));
+      offsets[which] += len;
+      dead = !result.ok();  // clean rejection ends the connection, as in prod
+    }
+  }
+}
+
 TEST_P(FuzzTest, HttpResponseParserToleratesGarbage) {
   Rng rng(GetParam() ^ 0x1111);
   HttpResponseParser parser;
@@ -188,6 +245,27 @@ TEST_P(FuzzTest, PollRequestDecoderToleratesGarbage) {
   for (int i = 0; i < 50; ++i) {
     auto poll = DecodePollRequest(RandomBytes(&rng, 256));
     (void)poll;
+  }
+}
+
+TEST_P(FuzzTest, PollRequestRecoveryFieldsRoundTrip) {
+  // seq/timeouts/resync are zero-omitted on the wire; any combination must
+  // survive an encode/decode round trip.
+  Rng rng(GetParam() ^ 0xCCCC);
+  for (int i = 0; i < 20; ++i) {
+    PollRequest poll;
+    poll.participant_id = "p" + std::to_string(rng.NextBelow(100));
+    poll.doc_time_ms = static_cast<int64_t>(rng.NextBelow(1000)) - 1;
+    poll.seq = rng.NextBelow(1 << 20);
+    poll.timeouts = rng.NextBelow(64);
+    poll.resync = rng.NextBelow(2) == 1;
+    auto decoded = DecodePollRequest(EncodePollRequest(poll));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->participant_id, poll.participant_id);
+    EXPECT_EQ(decoded->doc_time_ms, poll.doc_time_ms);
+    EXPECT_EQ(decoded->seq, poll.seq);
+    EXPECT_EQ(decoded->timeouts, poll.timeouts);
+    EXPECT_EQ(decoded->resync, poll.resync);
   }
 }
 

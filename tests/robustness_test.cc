@@ -1,9 +1,12 @@
 // Failure-injection tests: agent restarts, origin outages, participant
-// crashes, hostile traffic — the session must degrade predictably and the
-// poll model must recover by construction (§3.2.3).
+// crashes, hostile traffic, and a deterministic chaos matrix of injected
+// network faults — the session must degrade predictably and the poll model
+// must recover by construction (§3.2.3).
 #include <gtest/gtest.h>
 
 #include "src/core/session.h"
+#include "src/net/fault_injector.h"
+#include "src/net/profiles.h"
 #include "src/util/escape.h"
 #include "src/sites/corpus.h"
 #include "src/sites/site_server.h"
@@ -136,7 +139,7 @@ TEST_F(RobustnessTest, GarbageBytesOnAgentPortAreDropped) {
   network_.AddHost("attacker", {});
   auto endpoint = network_.Connect("attacker", "host-pc", 3000);
   ASSERT_TRUE(endpoint.ok());
-  (*endpoint)->Send(std::string("\x00\xff garbage not-http\r\n\r\n trash", 34));
+  (*endpoint)->Send(std::string("\x00\xff garbage not-http\r\n\r\n trash", 29));
   loop_.RunFor(Duration::Seconds(1.0));
   // Agent survives and keeps serving the legitimate participant.
   HostNavigate("/");
@@ -250,6 +253,268 @@ TEST_F(RobustnessTest, ModeratedSessionFiltersParticipants) {
     return session_->host_browser()->document()->Title() == "B";  // allowed
   });
   SUCCEED();
+}
+
+// ------------------------------------------------------------ chaos matrix --
+//
+// {LAN, WAN} x {loss, jitter, reset, partition} x {poll, push}: a fault hits
+// the host<->participant link mid-session while the host navigates; the
+// participant must re-converge to the host snapshot within a bounded number
+// of polls (bounded simulated time for the push model).
+
+struct ChaosCase {
+  const char* profile_name;
+  FaultEvent::Kind kind;
+  SyncModel sync;
+};
+
+std::string ChaosCaseName(const ::testing::TestParamInfo<ChaosCase>& info) {
+  std::string name = info.param.profile_name;
+  switch (info.param.kind) {
+    case FaultEvent::Kind::kJitter:
+      name += "Jitter";
+      break;
+    case FaultEvent::Kind::kLoss:
+      name += "Loss";
+      break;
+    case FaultEvent::Kind::kReset:
+      name += "Reset";
+      break;
+    case FaultEvent::Kind::kPartition:
+      name += "Partition";
+      break;
+    case FaultEvent::Kind::kBandwidthFlap:
+      name += "Flap";
+      break;
+  }
+  name += info.param.sync == SyncModel::kPush ? "Push" : "Poll";
+  return name;
+}
+
+class ChaosMatrixTest : public ::testing::TestWithParam<ChaosCase> {
+ protected:
+  ChaosMatrixTest() : network_(&loop_) {
+    network_.AddHost("www.site.test", {});
+    site_ = std::make_unique<SiteServer>(&loop_, &network_, "www.site.test");
+    site_->ServeStatic("/", "text/html",
+                       "<html><head><title>A</title></head>"
+                       "<body><p id=\"p\">one</p></body></html>");
+    site_->ServeStatic("/two", "text/html",
+                       "<html><head><title>B</title></head>"
+                       "<body><p id=\"p\">two</p></body></html>");
+  }
+
+  EventLoop loop_;
+  Network network_;
+  std::unique_ptr<SiteServer> site_;
+};
+
+TEST_P(ChaosMatrixTest, ReconvergesToHostSnapshotUnderFault) {
+  const ChaosCase& chaos = GetParam();
+  NetworkProfile profile = std::string(chaos.profile_name) == "Wan"
+                               ? WanProfile()
+                               : LanProfile();
+
+  SessionOptions options;
+  options.profile = profile;
+  options.enable_auth = true;
+  options.sync_model = chaos.sync;
+  options.poll_interval = Duration::Millis(250);
+  options.poll_timeout = Duration::Seconds(1.0);
+  options.reconnect_after = 2;
+  options.backoff_base = Duration::Millis(250);
+  options.backoff_max = Duration::Seconds(2.0);
+  options.backoff_jitter = Duration::Millis(100);
+  options.stream_reconnect = true;
+  CoBrowsingSession session(&loop_, &network_, options);
+  ASSERT_TRUE(session.Start().ok());
+
+  bool loaded = false;
+  session.host_browser()->Navigate(
+      Url::Make("http", "www.site.test", 80, "/"),
+      [&](const Status& status, const PageLoadStats&) {
+        ASSERT_TRUE(status.ok()) << status;
+        loaded = true;
+      });
+  loop_.RunUntilCondition([&] { return loaded; });
+  ASSERT_TRUE(session.WaitForSync().ok());
+
+  // Install the fault on the host<->participant link, scaled to the profile,
+  // then navigate the host mid-fault.
+  FaultInjector injector(&network_, /*seed=*/2024);
+  FaultEvent event = ChaosEvent(profile, chaos.kind,
+                                loop_.now() + Duration::Millis(100),
+                                chaos.kind == FaultEvent::Kind::kPartition
+                                    ? Duration::Seconds(5.0)
+                                    : Duration::Seconds(15.0));
+  injector.Install(FaultPlan{"host-pc", "participant-pc-1", {event}});
+
+  uint64_t polls_before = session.snippet(0)->metrics().polls_sent;
+  loop_.Schedule(Duration::Millis(500), [&] {
+    session.host_browser()->Navigate(
+        Url::Make("http", "www.site.test", 80, "/two"),
+        [](const Status&, const PageLoadStats&) {});
+  });
+
+  SimTime deadline = loop_.now() + Duration::Seconds(40.0);
+  while (loop_.now() < deadline &&
+         session.participant_browser(0)->document()->Title() != "B") {
+    loop_.RunFor(Duration::Millis(100));
+  }
+  EXPECT_EQ(session.participant_browser(0)->document()->Title(), "B")
+      << "participant did not re-converge under the injected fault";
+  if (chaos.sync == SyncModel::kPoll) {
+    // Bounded number of polls, not just bounded time: backoff keeps the
+    // retry count low even across a 5 s blackout.
+    EXPECT_LE(session.snippet(0)->metrics().polls_sent - polls_before, 80u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chaos, ChaosMatrixTest,
+    ::testing::Values(
+        ChaosCase{"Lan", FaultEvent::Kind::kLoss, SyncModel::kPoll},
+        ChaosCase{"Lan", FaultEvent::Kind::kJitter, SyncModel::kPoll},
+        ChaosCase{"Lan", FaultEvent::Kind::kReset, SyncModel::kPoll},
+        ChaosCase{"Lan", FaultEvent::Kind::kPartition, SyncModel::kPoll},
+        ChaosCase{"Lan", FaultEvent::Kind::kLoss, SyncModel::kPush},
+        ChaosCase{"Lan", FaultEvent::Kind::kJitter, SyncModel::kPush},
+        ChaosCase{"Lan", FaultEvent::Kind::kReset, SyncModel::kPush},
+        ChaosCase{"Lan", FaultEvent::Kind::kPartition, SyncModel::kPush},
+        ChaosCase{"Wan", FaultEvent::Kind::kLoss, SyncModel::kPoll},
+        ChaosCase{"Wan", FaultEvent::Kind::kJitter, SyncModel::kPoll},
+        ChaosCase{"Wan", FaultEvent::Kind::kReset, SyncModel::kPoll},
+        ChaosCase{"Wan", FaultEvent::Kind::kPartition, SyncModel::kPoll},
+        ChaosCase{"Wan", FaultEvent::Kind::kLoss, SyncModel::kPush},
+        ChaosCase{"Wan", FaultEvent::Kind::kJitter, SyncModel::kPush},
+        ChaosCase{"Wan", FaultEvent::Kind::kReset, SyncModel::kPush},
+        ChaosCase{"Wan", FaultEvent::Kind::kPartition, SyncModel::kPush}),
+    ChaosCaseName);
+
+// ------------------------------------------- deterministic WAN recovery ----
+//
+// The acceptance scenario: a WAN session loses the participant link for 5 s
+// mid-session while the host navigates. The participant must time out its
+// poll, reconnect with a signed resume re-handshake, and re-converge via a
+// full-snapshot resync — and two identical runs must produce bit-identical
+// deterministic counters.
+
+// The deterministic subset of AgentMetrics / SnippetMetrics (the timing
+// fields measure real CPU and differ across runs by construction).
+struct RecoveryCounters {
+  uint64_t agent_polls_received = 0;
+  uint64_t agent_polls_with_content = 0;
+  uint64_t agent_auth_failures = 0;
+  uint64_t agent_new_connections = 0;
+  uint64_t agent_poll_timeouts = 0;
+  uint64_t agent_reconnects = 0;
+  uint64_t agent_resyncs = 0;
+  uint64_t agent_participants_reaped = 0;
+  uint64_t snippet_polls_sent = 0;
+  uint64_t snippet_poll_timeouts = 0;
+  uint64_t snippet_transport_failures = 0;
+  uint64_t snippet_reconnects = 0;
+  uint64_t snippet_reconnect_failures = 0;
+  uint64_t snippet_resyncs = 0;
+  uint64_t injector_connects_refused = 0;
+  uint64_t injector_messages_held = 0;
+  std::string title;
+  int64_t end_micros = 0;
+
+  bool operator==(const RecoveryCounters&) const = default;
+};
+
+RecoveryCounters RunWanPartitionRecovery() {
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("www.site.test", {});
+  SiteServer site(&loop, &network, "www.site.test");
+  site.ServeStatic("/", "text/html",
+                   "<html><head><title>A</title></head>"
+                   "<body><p id=\"p\">one</p></body></html>");
+  site.ServeStatic("/two", "text/html",
+                   "<html><head><title>B</title></head>"
+                   "<body><p id=\"p\">two</p></body></html>");
+
+  SessionOptions options;
+  options.profile = WanProfile();
+  options.enable_auth = true;
+  options.poll_interval = Duration::Millis(250);
+  options.poll_timeout = Duration::Seconds(1.0);
+  options.reconnect_after = 2;
+  options.backoff_base = Duration::Millis(250);
+  options.backoff_max = Duration::Seconds(2.0);
+  options.backoff_jitter = Duration::Millis(100);
+  CoBrowsingSession session(&loop, &network, options);
+  EXPECT_TRUE(session.Start().ok());
+
+  bool loaded = false;
+  session.host_browser()->Navigate(
+      Url::Make("http", "www.site.test", 80, "/"),
+      [&](const Status& status, const PageLoadStats&) {
+        EXPECT_TRUE(status.ok()) << status;
+        loaded = true;
+      });
+  loop.RunUntilCondition([&] { return loaded; });
+  EXPECT_TRUE(session.WaitForSync().ok());
+
+  // Drop the participant's link entirely for 5 s, starting 100 ms from now;
+  // the host navigates 400 ms into the blackout.
+  FaultInjector injector(&network, /*seed=*/1234);
+  injector.InjectPartition("participant-pc-1",
+                           loop.now() + Duration::Millis(100),
+                           Duration::Seconds(5.0), Duration::Millis(200));
+  loop.Schedule(Duration::Millis(500), [&] {
+    session.host_browser()->Navigate(
+        Url::Make("http", "www.site.test", 80, "/two"),
+        [](const Status&, const PageLoadStats&) {});
+  });
+
+  // Fixed simulated horizon (not run-to-convergence) so both runs execute
+  // the identical event schedule.
+  loop.RunFor(Duration::Seconds(20.0));
+
+  RecoveryCounters counters;
+  const AgentMetrics& agent = session.agent()->metrics();
+  counters.agent_polls_received = agent.polls_received;
+  counters.agent_polls_with_content = agent.polls_with_content;
+  counters.agent_auth_failures = agent.auth_failures;
+  counters.agent_new_connections = agent.new_connections;
+  counters.agent_poll_timeouts = agent.poll_timeouts;
+  counters.agent_reconnects = agent.reconnects;
+  counters.agent_resyncs = agent.resyncs;
+  counters.agent_participants_reaped = agent.participants_reaped;
+  const SnippetMetrics& snippet = session.snippet(0)->metrics();
+  counters.snippet_polls_sent = snippet.polls_sent;
+  counters.snippet_poll_timeouts = snippet.poll_timeouts;
+  counters.snippet_transport_failures = snippet.transport_failures;
+  counters.snippet_reconnects = snippet.reconnects;
+  counters.snippet_reconnect_failures = snippet.reconnect_failures;
+  counters.snippet_resyncs = snippet.resyncs;
+  counters.injector_connects_refused = injector.metrics().connects_refused;
+  counters.injector_messages_held = injector.metrics().messages_held;
+  counters.title = session.participant_browser(0)->document()->Title();
+  counters.end_micros = loop.now().micros();
+  return counters;
+}
+
+TEST(WanPartitionRecoveryTest, DeterministicAcrossRuns) {
+  RecoveryCounters first = RunWanPartitionRecovery();
+  RecoveryCounters second = RunWanPartitionRecovery();
+  EXPECT_TRUE(first == second) << "recovery counters diverged between runs";
+
+  // Re-convergence via full-snapshot resync, asserted exactly.
+  EXPECT_EQ(first.title, "B");
+  EXPECT_EQ(first.snippet_poll_timeouts, 1u);
+  EXPECT_EQ(first.snippet_reconnects, 1u);
+  EXPECT_EQ(first.snippet_resyncs, 1u);
+  EXPECT_EQ(first.agent_poll_timeouts, 1u);
+  EXPECT_EQ(first.agent_reconnects, 1u);
+  EXPECT_EQ(first.agent_resyncs, 1u);
+  EXPECT_GT(first.snippet_transport_failures, 0u);
+  EXPECT_GT(first.injector_connects_refused, 0u);
+  EXPECT_GT(first.injector_messages_held, 0u);
+  EXPECT_EQ(first.agent_participants_reaped, 0u);
 }
 
 }  // namespace
