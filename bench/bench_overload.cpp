@@ -1,0 +1,291 @@
+// Overload protection: participant count x request rate vs agent latency.
+//
+// The RCB-Agent lives inside one host browser on a consumer uplink, so a
+// handful of misbehaving (or merely numerous) participants can saturate it
+// long before the network fails. This bench drives the agent with open-loop
+// pollers that all request full content (ts=-1) far faster than the advertised
+// interval, and compares an unprotected agent (all AgentLimits disabled)
+// against a protected one (participant cap + per-participant poll token
+// bucket). The protected agent sheds excess polls with tiny 429/503 responses
+// that bypass the uplink serialization queue, so its poll latency stays
+// bounded where the unprotected configuration collapses.
+//
+// All numbers come from the simulated clock and are bit-identical across
+// runs; the protected configuration is run twice at the heaviest load to
+// prove it.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/protocol.h"
+#include "src/util/strings.h"
+#include "src/core/rcb_agent.h"
+#include "src/sites/site_server.h"
+
+using namespace rcb;
+using namespace rcb::benchutil;
+
+namespace {
+
+// Host interface: ~1 Mbps uplink (consumer ADSL-class, §5.1.2's WAN spirit).
+constexpr int64_t kHostUplinkBps = 1'000'000;
+constexpr int64_t kHostDownlinkBps = 8'000'000;
+constexpr int kPollsPerSec = 10;            // open-loop offered rate per poller
+constexpr double kRunSeconds = 20.0;        // load phase
+constexpr double kDrainSeconds = 30.0;      // let queued responses finish
+
+struct LoadResult {
+  size_t pollers = 0;
+  uint64_t issued = 0;
+  uint64_t answered = 0;
+  uint64_t ok200 = 0;
+  uint64_t shed = 0;  // 429 + 503 responses observed by pollers
+  int64_t p50_ms = -1;
+  int64_t p99_ms = -1;
+  int64_t max_ms = -1;
+  // Agent-side shed counters.
+  uint64_t polls_rate_limited = 0;
+  uint64_t participants_rejected = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t generations = 0;
+
+  // Everything that must be bit-identical across two runs of the same seed.
+  std::string Fingerprint() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu/%llu/%llu/%llu/%llu/%lld/%lld/%lld/%llu/%llu/%llu/%llu",
+                  pollers, static_cast<unsigned long long>(issued),
+                  static_cast<unsigned long long>(answered),
+                  static_cast<unsigned long long>(ok200),
+                  static_cast<unsigned long long>(shed),
+                  static_cast<long long>(p50_ms), static_cast<long long>(p99_ms),
+                  static_cast<long long>(max_ms),
+                  static_cast<unsigned long long>(polls_rate_limited),
+                  static_cast<unsigned long long>(participants_rejected),
+                  static_cast<unsigned long long>(connections_rejected),
+                  static_cast<unsigned long long>(generations));
+    return buf;
+  }
+};
+
+int64_t PercentileMs(std::vector<int64_t>& micros, double p) {
+  if (micros.empty()) {
+    return -1;
+  }
+  std::sort(micros.begin(), micros.end());
+  size_t rank = static_cast<size_t>(p * static_cast<double>(micros.size()));
+  if (rank >= micros.size()) {
+    rank = micros.size() - 1;
+  }
+  return micros[rank] / 1000;
+}
+
+LoadResult RunLoad(size_t pollers, bool protect) {
+  EventLoop loop;
+  Network network(&loop);
+  network.SetDefaultLatency(Duration::Millis(20));
+  network.AddHost("host-pc", {kHostUplinkBps, kHostDownlinkBps});
+  network.AddHost("www.site.test", {});
+  for (size_t i = 0; i < pollers; ++i) {
+    network.AddHost(StrFormat("load-pc-%zu", i), {});
+  }
+
+  // A page whose snapshot (~4 KB) far exceeds the small-message cutoff, so
+  // content responses serialize on the host uplink while 429/503s interleave.
+  SiteServer site(&loop, &network, "www.site.test");
+  std::string paragraphs;
+  for (int i = 0; i < 20; ++i) {
+    paragraphs += "<p>A co-browsed page with enough prose that every full "
+                  "snapshot costs real uplink serialization time.</p>";
+  }
+  site.ServeStatic("/", "text/html",
+                   "<html><head><title>Load</title></head><body>" + paragraphs +
+                       "</body></html>");
+
+  Browser host(&loop, &network, "host-pc");
+  AgentConfig config;
+  config.cache_mode = false;
+  config.poll_interval = Duration::Seconds(1.0);
+  if (protect) {
+    config.limits.max_participants = 12;   // roster cap: excess pollers get 503
+    config.limits.poll_rate_per_sec = 0.5; // admitted pollers: 1 content per 2s
+    config.limits.poll_burst = 2.0;
+  } else {
+    config.limits = AgentLimits{};
+    config.limits.max_connections = 0;
+    config.limits.max_participants = 0;
+    config.limits.max_request_head_bytes = 0;
+    config.limits.max_request_body_bytes = 0;
+  }
+  RcbAgent agent(&host, config);
+  if (!agent.Start().ok()) {
+    return {};
+  }
+
+  bool loaded = false;
+  host.Navigate(Url::Make("http", "www.site.test", 80, "/"),
+                [&](const Status& status, const PageLoadStats&) {
+                  loaded = status.ok();
+                });
+  loop.RunUntilCondition([&] { return loaded; });
+  if (!loaded) {
+    return {};
+  }
+
+  // The host keeps mutating the page so versions advance during the run.
+  SimTime load_end = loop.now() + Duration::Seconds(kRunSeconds);
+  std::function<void()> mutate = [&] {
+    if (loop.now() >= load_end) {
+      return;
+    }
+    host.MutateDocument([](Document*) {});
+    loop.Schedule(Duration::Millis(500), mutate);
+  };
+  loop.Schedule(Duration::Millis(500), mutate);
+
+  LoadResult result;
+  result.pollers = pollers;
+  std::vector<int64_t> latencies_us;
+  std::vector<std::unique_ptr<Browser>> clients;
+  Url agent_url = agent.AgentUrl();
+  for (size_t i = 0; i < pollers; ++i) {
+    clients.push_back(std::make_unique<Browser>(&loop, &network,
+                                                StrFormat("load-pc-%zu", i)));
+  }
+  // Open-loop pollers: every 100 ms each fires a full-content poll (ts=-1)
+  // regardless of whether earlier polls were answered — the misbehaving (or
+  // merely numerous) participant the overload layer exists for.
+  std::vector<std::function<void()>> tick(pollers);
+  for (size_t i = 0; i < pollers; ++i) {
+    Browser* client = clients[i].get();
+    std::string pid = StrFormat("load-%zu", i);
+    tick[i] = [&, client, pid, i] {
+      if (loop.now() >= load_end) {
+        return;
+      }
+      PollRequest poll;
+      poll.participant_id = pid;
+      poll.doc_time_ms = -1;
+      ++result.issued;
+      client->Fetch(HttpMethod::kPost, agent_url, EncodePollRequest(poll),
+                    "application/x-www-form-urlencoded", [&](FetchResult r) {
+                      if (!r.status.ok()) {
+                        return;
+                      }
+                      ++result.answered;
+                      latencies_us.push_back(r.elapsed.micros());
+                      if (r.response.status_code == 200) {
+                        ++result.ok200;
+                      } else if (r.response.status_code == 429 ||
+                                 r.response.status_code == 503) {
+                        ++result.shed;
+                      }
+                    });
+      loop.Schedule(Duration::Millis(1000 / kPollsPerSec), tick[i]);
+    };
+    // Staggered start so pollers (and hence token-bucket refills) are not
+    // phase-locked — lockstep refills would burst content responses onto the
+    // uplink together and inflate the protected tail artificially.
+    loop.Schedule(Duration::Millis(100 + 17 * static_cast<int64_t>(i)),
+                  tick[i]);
+  }
+
+  loop.RunUntil(load_end + Duration::Seconds(kDrainSeconds));
+
+  result.p50_ms = PercentileMs(latencies_us, 0.50);
+  result.p99_ms = PercentileMs(latencies_us, 0.99);
+  result.max_ms = latencies_us.empty() ? -1 : latencies_us.back() / 1000;
+  const AgentMetrics& metrics = agent.metrics();
+  result.polls_rate_limited = metrics.polls_rate_limited;
+  result.participants_rejected = metrics.participants_rejected;
+  result.connections_rejected = metrics.connections_rejected;
+  result.generations = metrics.generations;
+  agent.Stop();
+  return result;
+}
+
+void PrintRow(const char* mode, const LoadResult& r) {
+  std::printf("%-11s %4zu %7llu %8llu %7llu %7llu %8lld %8lld %9lld %7llu %7llu\n",
+              mode, r.pollers, static_cast<unsigned long long>(r.issued),
+              static_cast<unsigned long long>(r.answered),
+              static_cast<unsigned long long>(r.ok200),
+              static_cast<unsigned long long>(r.shed),
+              static_cast<long long>(r.p50_ms), static_cast<long long>(r.p99_ms),
+              static_cast<long long>(r.max_ms),
+              static_cast<unsigned long long>(r.polls_rate_limited),
+              static_cast<unsigned long long>(r.participants_rejected));
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader(
+      "Overload protection — open-loop poll flood vs agent latency",
+      StrFormat("host uplink %lld kbps; %d polls/s per poller, ts=-1 (full "
+                "content each poll), %.0fs load phase; protected = "
+                "12-participant cap + 0.5/s poll bucket (burst 2)",
+                static_cast<long long>(kHostUplinkBps / 1000), kPollsPerSec,
+                kRunSeconds));
+
+  std::printf("%-11s %4s %7s %8s %7s %7s %8s %8s %9s %7s %7s\n", "config",
+              "N", "issued", "answered", "200s", "shed", "p50(ms)", "p99(ms)",
+              "max(ms)", "429cnt", "503cnt");
+  PrintRule(96);
+
+  const size_t kSweep[] = {2, 4, 8, 16, 32};
+  std::vector<LoadResult> unprotected, protected_;
+  for (size_t n : kSweep) {
+    unprotected.push_back(RunLoad(n, /*protect=*/false));
+    PrintRow("unprotected", unprotected.back());
+  }
+  PrintRule(96);
+  for (size_t n : kSweep) {
+    protected_.push_back(RunLoad(n, /*protect=*/true));
+    PrintRow("protected", protected_.back());
+  }
+  PrintRule(96);
+
+  // Determinism probe: the heaviest protected run, repeated, must be
+  // bit-identical (all shed decisions flow from the sim clock).
+  LoadResult repeat = RunLoad(kSweep[4], /*protect=*/true);
+  bool deterministic =
+      repeat.Fingerprint() == protected_[4].Fingerprint();
+
+  // Shape check: the protected agent holds bounded p99 at 4x the load where
+  // the unprotected one stalls (p99 above 1s), with real shedding going on.
+  constexpr int64_t kStallMs = 1000;
+  int stall_index = -1;
+  for (size_t i = 0; i < protected_.size(); ++i) {
+    if (unprotected[i].p99_ms > kStallMs) {
+      stall_index = static_cast<int>(i);
+      break;
+    }
+  }
+  bool shape_ok = deterministic && stall_index >= 0;
+  if (shape_ok) {
+    size_t stall_n = kSweep[stall_index];
+    // 4x the stall load is two sweep steps up (each step doubles N).
+    size_t idx4 = static_cast<size_t>(stall_index) + 2;
+    if (idx4 >= protected_.size()) {
+      idx4 = protected_.size() - 1;
+    }
+    const LoadResult& at4x = protected_[idx4];
+    bool bounded = at4x.p99_ms >= 0 && at4x.p99_ms <= kStallMs;
+    bool shedding = at4x.polls_rate_limited > 0 && at4x.participants_rejected > 0;
+    shape_ok = bounded && shedding && kSweep[idx4] >= 4 * stall_n;
+    std::printf("\nshape check: %s (unprotected stalls at N=%zu "
+                "[p99 %lld ms]; protected at N=%zu holds p99 %lld ms with "
+                "%llu polls 429'd, %llu participants 503'd; deterministic: %s)\n",
+                shape_ok ? "OK" : "FAIL", stall_n,
+                static_cast<long long>(unprotected[stall_index].p99_ms),
+                kSweep[idx4], static_cast<long long>(at4x.p99_ms),
+                static_cast<unsigned long long>(at4x.polls_rate_limited),
+                static_cast<unsigned long long>(at4x.participants_rejected),
+                deterministic ? "yes" : "NO");
+  } else {
+    std::printf("\nshape check: FAIL (stall_index=%d deterministic=%s)\n",
+                stall_index, deterministic ? "yes" : "NO");
+  }
+  return shape_ok ? 0 : 1;
+}

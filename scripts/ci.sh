@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build and run the full test suite twice —
+# once with the default toolchain flags, once under ASan + UBSan
+# (-DRCB_SANITIZE=ON). Both must pass for a change to merge.
+#
+# Usage: scripts/ci.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "=== ${build_dir}: configure ($*) ==="
+  # No -G: reuse whatever generator an existing build dir was made with.
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== ${build_dir}: build ==="
+  cmake --build "${build_dir}" -j
+  echo "=== ${build_dir}: ctest ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+run_suite build "$@"
+run_suite build-asan -DRCB_SANITIZE=ON "$@"
+
+echo "=== ci: both suites green ==="

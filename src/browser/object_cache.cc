@@ -4,27 +4,57 @@
 
 namespace rcb {
 
+void ObjectCache::Touch(Slot& slot) {
+  lru_.splice(lru_.begin(), lru_, slot.lru_pos);
+}
+
+void ObjectCache::EnforceBudget(const std::string& keep) {
+  if (byte_budget_ == 0) {
+    return;
+  }
+  while (total_bytes_ > byte_budget_ && !lru_.empty()) {
+    const std::string& victim_url = lru_.back();
+    if (victim_url == keep) {
+      // The protected entry reached the tail; nothing older left to evict.
+      break;
+    }
+    auto it = by_url_.find(victim_url);
+    total_bytes_ -= it->second.entry.body.size();
+    evicted_bytes_ += it->second.entry.body.size();
+    ++evictions_;
+    key_to_url_.erase(it->second.entry.cache_key);
+    by_url_.erase(it);
+    lru_.pop_back();
+  }
+}
+
 std::string ObjectCache::Put(const Url& url, std::string_view content_type,
                              std::string_view body) {
   std::string canonical = url.ToString();
   auto it = by_url_.find(canonical);
   if (it != by_url_.end()) {
-    total_bytes_ -= it->second.body.size();
-    it->second.content_type = std::string(content_type);
-    it->second.body = std::string(body);
+    total_bytes_ -= it->second.entry.body.size();
+    it->second.entry.content_type = std::string(content_type);
+    it->second.entry.body = std::string(body);
     total_bytes_ += body.size();
-    return it->second.cache_key;
+    Touch(it->second);
+    EnforceBudget(canonical);
+    return it->second.entry.cache_key;
   }
-  CacheEntry entry;
-  entry.cache_key = StrFormat("ck-%llu", static_cast<unsigned long long>(next_key_++));
-  entry.url = canonical;
-  entry.content_type = std::string(content_type);
-  entry.body = std::string(body);
-  total_bytes_ += entry.body.size();
-  key_to_url_[entry.cache_key] = canonical;
-  auto [inserted, ok] = by_url_.emplace(canonical, std::move(entry));
+  Slot slot;
+  slot.entry.cache_key =
+      StrFormat("ck-%llu", static_cast<unsigned long long>(next_key_++));
+  slot.entry.url = canonical;
+  slot.entry.content_type = std::string(content_type);
+  slot.entry.body = std::string(body);
+  total_bytes_ += slot.entry.body.size();
+  key_to_url_[slot.entry.cache_key] = canonical;
+  lru_.push_front(canonical);
+  slot.lru_pos = lru_.begin();
+  auto [inserted, ok] = by_url_.emplace(canonical, std::move(slot));
   (void)ok;
-  return inserted->second.cache_key;
+  EnforceBudget(canonical);
+  return inserted->second.entry.cache_key;
 }
 
 const CacheEntry* ObjectCache::Lookup(const Url& url) {
@@ -34,7 +64,8 @@ const CacheEntry* ObjectCache::Lookup(const Url& url) {
     return nullptr;
   }
   ++hits_;
-  return &it->second;
+  Touch(it->second);
+  return &it->second.entry;
 }
 
 const CacheEntry* ObjectCache::LookupByKey(std::string_view cache_key) {
@@ -49,16 +80,23 @@ const CacheEntry* ObjectCache::LookupByKey(std::string_view cache_key) {
     return nullptr;
   }
   ++hits_;
-  return &jt->second;
+  Touch(jt->second);
+  return &jt->second.entry;
 }
 
 bool ObjectCache::Contains(const Url& url) const {
   return by_url_.contains(url.ToString());
 }
 
+void ObjectCache::set_byte_budget(uint64_t budget) {
+  byte_budget_ = budget;
+  EnforceBudget(std::string());
+}
+
 void ObjectCache::Clear() {
   by_url_.clear();
   key_to_url_.clear();
+  lru_.clear();
   total_bytes_ = 0;
 }
 

@@ -519,8 +519,29 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
     }
     return;
   }
-  in_flight_actions_.clear();
   consecutive_failures_ = 0;  // the transport works; any HTTP status proves it
+  if (result.response.status_code == 429 || result.response.status_code == 503) {
+    // The agent shed this poll (rate limit or admission control). That is
+    // graceful degradation, not a failure: no backoff escalation and no
+    // reconnect — just slow the poll loop down by the agent's Retry-After
+    // hint. The piggybacked gestures were not applied, so requeue them.
+    if (!in_flight_actions_.empty()) {
+      action_queue_.insert(action_queue_.begin(), in_flight_actions_.begin(),
+                           in_flight_actions_.end());
+      in_flight_actions_.clear();
+    }
+    ++metrics_.overload_deferrals;
+    Duration delay = interval_;
+    if (auto hint = result.response.RetryAfter(); hint.has_value()) {
+      metrics_.last_retry_after = *hint;
+      if (*hint > delay) {
+        delay = *hint;
+      }
+    }
+    SchedulePoll(delay);
+    return;
+  }
+  in_flight_actions_.clear();
   if (result.response.status_code == 403) {
     ++metrics_.auth_rejections;
     RCB_LOG(kWarning) << "ajax-snippet: agent rejected request authentication";

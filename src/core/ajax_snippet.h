@@ -69,6 +69,11 @@ struct SnippetMetrics {
   uint64_t reconnect_failures = 0;     // resume attempts that failed
   uint64_t resyncs = 0;                // full snapshots applied after recovery
   uint64_t stream_reopens = 0;         // push streams reopened (opt-in)
+  // --- Overload degradation ---
+  // 429/503 answers honored: the poll loop slowed down instead of treating
+  // the response as a failure (no backoff escalation, no reconnect).
+  uint64_t overload_deferrals = 0;
+  Duration last_retry_after;           // most recent Retry-After hint honored
   // M2: poll request -> content response fully received (content polls only).
   Duration last_content_download;
   // M6: real CPU time spent applying the snapshot to the document.

@@ -62,6 +62,9 @@ Status RcbAgent::Start() {
       browser_->machine(), config_.port,
       [this](NetEndpoint* endpoint) { OnAccept(endpoint); }));
   browser_->SetDocumentChangeListener([this] { OnDocumentChange(); });
+  if (config_.limits.cache_byte_budget > 0) {
+    browser_->cache().set_byte_budget(config_.limits.cache_byte_budget);
+  }
   running_ = true;
   if (browser_->has_page()) {
     OnDocumentChange();
@@ -77,11 +80,17 @@ void RcbAgent::Stop() {
   browser_->network()->StopListening(browser_->machine(), config_.port);
   browser_->SetDocumentChangeListener(nullptr);
   for (auto& conn : connections_) {
+    DisarmReadDeadline(conn.get());
     if (conn->endpoint != nullptr) {
       conn->endpoint->Close();
     }
   }
   connections_.clear();
+  // Stream endpoints are detached from connections_ on upgrade; closing our
+  // own side does not re-enter their close handlers.
+  for (auto& [pid, endpoint] : streams_) {
+    endpoint->Close();
+  }
   streams_.clear();
 }
 
@@ -90,12 +99,44 @@ Url RcbAgent::AgentUrl() const {
 }
 
 void RcbAgent::OnAccept(NetEndpoint* endpoint) {
+  // Admission control: past the connection cap, answer a tiny 503 and close
+  // instead of dedicating parser/timer state to the socket.
+  if (config_.limits.max_connections > 0 &&
+      connections_.size() + streams_.size() >= config_.limits.max_connections) {
+    ++metrics_.connections_rejected;
+    endpoint->Send(
+        HttpResponse::ServiceUnavailable(config_.poll_interval,
+                                         "connection limit reached")
+            .Serialize());
+    endpoint->Close();
+    return;
+  }
   auto conn = std::make_unique<AgentConn>();
   conn->endpoint = endpoint;
+  conn->parser.set_limits({config_.limits.max_request_head_bytes,
+                           config_.limits.max_request_body_bytes});
   AgentConn* raw = conn.get();
   endpoint->SetDataHandler(
       [this, raw](std::string_view data) { OnConnData(raw, data); });
+  endpoint->SetCloseHandler([this, raw] { RemoveConnection(raw); });
   connections_.push_back(std::move(conn));
+}
+
+void RcbAgent::RemoveConnection(AgentConn* conn) {
+  DisarmReadDeadline(conn);
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    if (it->get() == conn) {
+      connections_.erase(it);
+      return;
+    }
+  }
+}
+
+void RcbAgent::DisarmReadDeadline(AgentConn* conn) {
+  if (conn->read_deadline_armed) {
+    browser_->loop()->Cancel(conn->read_deadline_id);
+    conn->read_deadline_armed = false;
+  }
 }
 
 void RcbAgent::OnConnData(AgentConn* conn, std::string_view data) {
@@ -104,17 +145,43 @@ void RcbAgent::OnConnData(AgentConn* conn, std::string_view data) {
     auto result = conn->parser.Feed(remaining);
     remaining = {};
     if (!result.ok()) {
-      RCB_LOG(kWarning) << "rcb-agent: malformed request: " << result.status();
-      conn->endpoint->Close();
+      NetEndpoint* endpoint = conn->endpoint;
+      if (result.status().code() == StatusCode::kResourceExhausted) {
+        // Oversized head or declared body: reject cleanly with 413 instead of
+        // buffering toward it.
+        ++metrics_.oversized_rejected;
+        endpoint->Send(HttpResponse::PayloadTooLarge(result.status().message())
+                           .Serialize());
+      } else {
+        RCB_LOG(kWarning) << "rcb-agent: malformed request: " << result.status();
+      }
+      RemoveConnection(conn);  // `conn` is destroyed here
+      endpoint->Close();
       return;
     }
     if (!result->has_value()) {
+      // A partial request is buffered: ensure a read deadline covers it. The
+      // deadline is armed once per request and deliberately NOT re-armed by
+      // later fragments, so a slow-loris drip cannot keep the socket alive.
+      if (config_.limits.idle_read_timeout > Duration::Zero() &&
+          conn->parser.mid_message() && !conn->read_deadline_armed) {
+        conn->read_deadline_armed = true;
+        conn->read_deadline_id = browser_->loop()->Schedule(
+            config_.limits.idle_read_timeout, [this, conn] {
+              conn->read_deadline_armed = false;
+              ++metrics_.idle_read_timeouts;
+              NetEndpoint* endpoint = conn->endpoint;
+              RemoveConnection(conn);
+              endpoint->Close();
+            });
+      }
       return;
     }
+    DisarmReadDeadline(conn);
     const HttpRequest& request = **result;
     if (request.method == HttpMethod::kGet && request.Path() == "/stream") {
       HandleStreamRequest(conn, request);
-      return;  // connection is now a held stream, no further requests on it
+      return;  // connection is now a held stream (or closed), never reused
     }
     HttpResponse response = HandleRequest(request);
     conn->endpoint->Send(response.Serialize());
@@ -128,8 +195,24 @@ void RcbAgent::OnDocumentChange() {
   snapshot_dirty_ = true;
   has_version_ = true;
   if (config_.sync_model == SyncModel::kPush && !streams_.empty()) {
-    PushToStreams();
+    SchedulePushFlush();
   }
+}
+
+void RcbAgent::SchedulePushFlush() {
+  if (push_flush_pending_) {
+    // Drop-oldest: the version that was pending is superseded before it was
+    // ever serialized; only the newest one will go out.
+    ++metrics_.snapshots_shed;
+    return;
+  }
+  push_flush_pending_ = true;
+  browser_->loop()->Schedule(Duration::Zero(), [this] {
+    push_flush_pending_ = false;
+    if (running_) {
+      PushToStreams();
+    }
+  });
 }
 
 std::string RcbAgent::MultipartPart(const std::string& xml) {
@@ -159,9 +242,21 @@ void RcbAgent::HandleStreamRequest(AgentConn* conn, const HttpRequest& request) 
     return;
   }
   std::string pid = pid_it->second;
-  participants_[pid].last_poll = browser_->loop()->now();
+  if (!ParticipantAdmissible(pid)) {
+    ++metrics_.participants_rejected;
+    conn->endpoint->Send(
+        HttpResponse::ServiceUnavailable(config_.poll_interval,
+                                         "participant limit reached")
+            .Serialize());
+    return;
+  }
+  EnsureParticipant(pid).last_poll = browser_->loop()->now();
   NetEndpoint* endpoint = conn->endpoint;
   streams_[pid] = endpoint;
+  // The socket stops being a request connection: detach its parser record so
+  // the connection cap and read deadline no longer apply to it.
+  endpoint->SetDataHandler(nullptr);
+  RemoveConnection(conn);
   endpoint->SetCloseHandler([this, pid] {
     streams_.erase(pid);
     RemoveParticipant(pid);
@@ -327,13 +422,18 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
     const std::string& pid = resume_it->second;
     bool known = participants_.contains(pid);
     if (!known) {
+      if (!ParticipantAdmissible(pid)) {
+        ++metrics_.participants_rejected;
+        return HttpResponse::ServiceUnavailable(config_.poll_interval,
+                                                "participant limit reached");
+      }
       // Reaped while away: treat as a (re)join and announce it.
       UserAction joined;
       joined.type = ActionType::kPresence;
       joined.data = "joined";
       joined.origin = pid;
       for (auto& [other_pid, state] : participants_) {
-        state.outbox.push_back(joined);
+        EnqueueOutbox(state, joined);
       }
       if (config_.sync_model == SyncModel::kPush) {
         for (const auto& [other_pid, state] : participants_) {
@@ -341,7 +441,7 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
         }
       }
     }
-    ParticipantState& participant = participants_[pid];
+    ParticipantState& participant = EnsureParticipant(pid);
     participant.last_poll = browser_->loop()->now();
     // Force a full snapshot on the next poll regardless of what the
     // participant claims to hold — its DOM state is untrusted after a gap.
@@ -350,6 +450,12 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
     return HttpResponse::Ok("text/html", BuildInitialPage(pid));
   }
 
+  if (config_.limits.max_participants > 0 &&
+      participants_.size() >= config_.limits.max_participants) {
+    ++metrics_.participants_rejected;
+    return HttpResponse::ServiceUnavailable(config_.poll_interval,
+                                            "participant limit reached");
+  }
   std::string pid = StrFormat("p%llu", static_cast<unsigned long long>(next_pid_++));
   // Announce the newcomer to everyone already in the session (§5.2.3: users
   // asked for indicators of the other person's connection and status).
@@ -358,14 +464,14 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
   joined.data = "joined";
   joined.origin = pid;
   for (auto& [other_pid, state] : participants_) {
-    state.outbox.push_back(joined);
+    EnqueueOutbox(state, joined);
   }
   if (config_.sync_model == SyncModel::kPush) {
     for (const auto& [other_pid, state] : participants_) {
       PushOutbox(other_pid);
     }
   }
-  ParticipantState& participant = participants_[pid];
+  ParticipantState& participant = EnsureParticipant(pid);
   participant.last_poll = browser_->loop()->now();
   ++metrics_.new_connections;
   return HttpResponse::Ok("text/html", BuildInitialPage(pid));
@@ -388,13 +494,41 @@ void RcbAgent::RemoveParticipant(const std::string& pid) {
   left.data = "left";
   left.origin = pid;
   for (auto& [other_pid, state] : participants_) {
-    state.outbox.push_back(left);
+    EnqueueOutbox(state, left);
   }
   if (config_.sync_model == SyncModel::kPush) {
     for (const auto& [other_pid, state] : participants_) {
       PushOutbox(other_pid);
     }
   }
+}
+
+RcbAgent::ParticipantState& RcbAgent::EnsureParticipant(const std::string& pid) {
+  auto [it, inserted] = participants_.try_emplace(pid);
+  if (inserted) {
+    it->second.poll_bucket = TokenBucket(config_.limits.poll_rate_per_sec,
+                                         config_.limits.poll_burst);
+    it->second.action_bucket = TokenBucket(config_.limits.action_rate_per_sec,
+                                           config_.limits.action_burst);
+  }
+  return it->second;
+}
+
+bool RcbAgent::ParticipantAdmissible(const std::string& pid) const {
+  if (participants_.contains(pid)) {
+    return true;
+  }
+  return config_.limits.max_participants == 0 ||
+         participants_.size() < config_.limits.max_participants;
+}
+
+void RcbAgent::EnqueueOutbox(ParticipantState& state, const UserAction& action) {
+  if (config_.limits.max_outbox_actions > 0 &&
+      state.outbox.size() >= config_.limits.max_outbox_actions) {
+    ++metrics_.actions_shed;  // reject-newest: keep what is already queued
+    return;
+  }
+  state.outbox.push_back(action);
 }
 
 void RcbAgent::ReapStaleParticipants() {
@@ -453,7 +587,9 @@ HttpResponse RcbAgent::HandleStatusPage() const {
       "<p id=\"metrics\">polls %llu (content %llu, empty %llu) | "
       "generations %llu (reused %llu) | objects served %llu (%llu bytes) | "
       "actions applied %llu, held %llu, denied %llu | auth failures %llu | "
-      "timeouts %llu, reconnects %llu, resyncs %llu, reaped %llu</p>",
+      "timeouts %llu, reconnects %llu, resyncs %llu, reaped %llu | "
+      "shed: conns %llu, participants %llu, polls %llu, action-rate %llu, "
+      "action-queue %llu, snapshots %llu, idle-closed %llu, oversized %llu</p>",
       static_cast<unsigned long long>(metrics_.polls_received),
       static_cast<unsigned long long>(metrics_.polls_with_content),
       static_cast<unsigned long long>(metrics_.polls_empty),
@@ -468,7 +604,15 @@ HttpResponse RcbAgent::HandleStatusPage() const {
       static_cast<unsigned long long>(metrics_.poll_timeouts),
       static_cast<unsigned long long>(metrics_.reconnects),
       static_cast<unsigned long long>(metrics_.resyncs),
-      static_cast<unsigned long long>(metrics_.participants_reaped));
+      static_cast<unsigned long long>(metrics_.participants_reaped),
+      static_cast<unsigned long long>(metrics_.connections_rejected),
+      static_cast<unsigned long long>(metrics_.participants_rejected),
+      static_cast<unsigned long long>(metrics_.polls_rate_limited),
+      static_cast<unsigned long long>(metrics_.actions_rate_limited),
+      static_cast<unsigned long long>(metrics_.actions_shed),
+      static_cast<unsigned long long>(metrics_.snapshots_shed),
+      static_cast<unsigned long long>(metrics_.idle_read_timeouts),
+      static_cast<unsigned long long>(metrics_.oversized_rejected));
   return HttpResponse::Ok(
       "text/html", "<!DOCTYPE html><html><head><title>RCB status</title>"
                    "</head><body>" +
@@ -528,6 +672,14 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     }
   }
 
+  // Overload protection: a roster past the participant cap sheds unknown
+  // pollers with 503 before any per-poll work.
+  if (!ParticipantAdmissible(poll.participant_id)) {
+    ++metrics_.participants_rejected;
+    return HttpResponse::ServiceUnavailable(config_.poll_interval,
+                                            "participant limit reached");
+  }
+
   // Presence housekeeping: drop participants that stopped polling, and
   // handle an explicit goodbye before anything else.
   ReapStaleParticipants();
@@ -538,8 +690,17 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     }
   }
 
-  ParticipantState& participant = participants_[poll.participant_id];
+  ParticipantState& participant = EnsureParticipant(poll.participant_id);
+  // A rate-limited poll still counts as a liveness signal (otherwise a
+  // throttled participant would eventually be reaped), but does no work:
+  // 429 + Retry-After, and the snippet slows down instead of backing off.
   participant.last_poll = browser_->loop()->now();
+  if (!participant.poll_bucket.TryTake(browser_->loop()->now())) {
+    ++metrics_.polls_rate_limited;
+    return HttpResponse::TooManyRequests(
+        participant.poll_bucket.TimeUntilAvailable(browser_->loop()->now()),
+        "poll rate limit");
+  }
   ++participant.polls;
   if (poll.seq != 0) {
     participant.last_seq = poll.seq;
@@ -602,6 +763,14 @@ void RcbAgent::ApplyAction(const std::string& pid, const UserAction& action) {
   if (action.type == ActionType::kPresence) {
     return;  // handled by the poll pipeline
   }
+  // Piggybacked-action rate limiting: drained deterministically from the
+  // participant's bucket; excess actions are dropped, not queued.
+  if (auto self = participants_.find(pid);
+      self != participants_.end() &&
+      !self->second.action_bucket.TryTake(browser_->loop()->now())) {
+    ++metrics_.actions_rate_limited;
+    return;
+  }
   if (config_.policies.participant_filter &&
       !config_.policies.participant_filter(pid, action)) {
     ++metrics_.actions_denied;
@@ -613,7 +782,7 @@ void RcbAgent::ApplyAction(const std::string& pid, const UserAction& action) {
       broadcast.origin = pid;
       for (auto& [other_pid, state] : participants_) {
         if (other_pid != pid) {
-          state.outbox.push_back(broadcast);
+          EnqueueOutbox(state, broadcast);
           if (config_.sync_model == SyncModel::kPush) {
             PushOutbox(other_pid);
           }
@@ -647,6 +816,11 @@ void RcbAgent::ApplyAction(const std::string& pid, const UserAction& action) {
       ++metrics_.actions_applied;
       break;
     case ActionPolicy::kConfirm:
+      if (config_.limits.max_pending_actions > 0 &&
+          pending_actions_.size() >= config_.limits.max_pending_actions) {
+        ++metrics_.actions_shed;  // reject-newest at a full confirm queue
+        break;
+      }
       pending_actions_.push_back(PendingAction{pid, action});
       ++metrics_.actions_held;
       break;
@@ -736,7 +910,7 @@ void RcbAgent::PerformAction(const std::string& pid, const UserAction& action) {
 void RcbAgent::BroadcastAction(UserAction action) {
   action.origin = "host";
   for (auto& [pid, state] : participants_) {
-    state.outbox.push_back(action);
+    EnqueueOutbox(state, action);
   }
   if (config_.sync_model == SyncModel::kPush) {
     for (const auto& [pid, state] : participants_) {

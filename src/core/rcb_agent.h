@@ -29,6 +29,7 @@
 #include "src/core/protocol.h"
 #include "src/http/http_parser.h"
 #include "src/net/network.h"
+#include "src/util/token_bucket.h"
 
 namespace rcb {
 
@@ -50,6 +51,38 @@ struct AgentPolicies {
       participant_filter;
 };
 
+// Overload-protection knobs. The agent is an HTTP server inside one host
+// browser, so a handful of misbehaving or merely numerous participants can
+// exhaust it long before the network fails; these limits make it shed load
+// deterministically instead of stalling the event loop. Defaults are generous
+// enough that a well-behaved session never hits them; 0 (or Zero()) disables
+// an individual limit.
+struct AgentLimits {
+  // Admission control.
+  size_t max_connections = 256;   // concurrent sockets, held push streams incl.
+  size_t max_participants = 64;   // roster size; excess joins/polls get 503
+  size_t max_request_head_bytes = 64 * 1024;   // request-line + headers
+  size_t max_request_body_bytes = 1 << 20;     // declared Content-Length
+  // Slow-loris defense: read deadline for one request's bytes, armed when the
+  // first byte arrives and NOT extended by further drip-fed bytes; the
+  // connection is closed unless the request completes in time.
+  Duration idle_read_timeout = Duration::Zero();
+  // Per-participant token buckets, refilled deterministically from sim time.
+  // rate <= 0 disables the bucket. Rejected polls get 429 + Retry-After;
+  // rejected piggybacked actions are dropped (and counted).
+  double poll_rate_per_sec = 0.0;
+  double poll_burst = 8.0;
+  double action_rate_per_sec = 0.0;
+  double action_burst = 32.0;
+  // Bounded queues, reject-newest: once full, new entries are shed and the
+  // queued ones kept (the oldest actions are closest to delivery).
+  size_t max_outbox_actions = 1024;   // per-participant broadcast outbox
+  size_t max_pending_actions = 256;   // host confirmation queue (kConfirm)
+  // Byte budget applied to the host browser's ObjectCache on Start();
+  // exceeding it evicts least-recently-used objects. 0 = unbounded.
+  uint64_t cache_byte_budget = 0;
+};
+
 struct AgentConfig {
   uint16_t port = 3000;
   bool cache_mode = true;
@@ -68,6 +101,7 @@ struct AgentConfig {
   // reuse still holds within each mode.
   std::function<bool(const std::string& pid)> participant_cache_mode;
   AgentPolicies policies;
+  AgentLimits limits;
 };
 
 struct AgentMetrics {
@@ -88,6 +122,15 @@ struct AgentMetrics {
   uint64_t reconnects = 0;             // resume re-handshakes served
   uint64_t resyncs = 0;                // full snapshots served to resync polls
   uint64_t participants_reaped = 0;    // silent participants removed
+  // --- Overload counters (AgentLimits) ---
+  uint64_t connections_rejected = 0;   // 503s at accept (connection cap)
+  uint64_t participants_rejected = 0;  // 503s at join/poll (roster cap)
+  uint64_t polls_rate_limited = 0;     // 429s from the poll token bucket
+  uint64_t actions_rate_limited = 0;   // piggybacked actions dropped by bucket
+  uint64_t actions_shed = 0;           // reject-newest drops at a full queue
+  uint64_t snapshots_shed = 0;         // push versions superseded before send
+  uint64_t idle_read_timeouts = 0;     // slow-loris connections closed
+  uint64_t oversized_rejected = 0;     // 413s for head/body over the caps
   Duration last_generation_time;       // M5, real CPU time
   Duration total_generation_time;
   size_t last_snapshot_bytes = 0;
@@ -155,15 +198,25 @@ class RcbAgent {
     // the high-water mark of the snippet's cumulative timeout counter.
     uint64_t last_seq = 0;
     uint64_t timeouts_reported = 0;
+    // Overload protection: per-participant admission buckets (AgentLimits).
+    TokenBucket poll_bucket;
+    TokenBucket action_bucket;
   };
   struct AgentConn {
     NetEndpoint* endpoint = nullptr;
     HttpRequestParser parser;
+    // Slow-loris read deadline (AgentLimits::idle_read_timeout).
+    uint64_t read_deadline_id = 0;
+    bool read_deadline_armed = false;
   };
 
   void OnAccept(NetEndpoint* endpoint);
   void OnConnData(AgentConn* conn, std::string_view data);
   void OnDocumentChange();
+  // Destroys the AgentConn record (cancelling its read deadline). Does not
+  // touch the endpoint — callers close it separately when needed.
+  void RemoveConnection(AgentConn* conn);
+  void DisarmReadDeadline(AgentConn* conn);
 
   HttpResponse HandleRequest(const HttpRequest& request);
   HttpResponse HandleNewConnection(const HttpRequest& request);
@@ -177,6 +230,10 @@ class RcbAgent {
   // multipart/x-mixed-replace stream; parts are written on every change.
   void HandleStreamRequest(AgentConn* conn, const HttpRequest& request);
   void PushToStreams();
+  // Defers PushToStreams by one zero-delay event so every document change in
+  // the same event-loop turn collapses into one part (drop-oldest shedding:
+  // a superseded version is never serialized, and counts as shed).
+  void SchedulePushFlush();
   void PushOutbox(const std::string& pid);
   static std::string MultipartPart(const std::string& xml);
 
@@ -191,6 +248,15 @@ class RcbAgent {
   // ReapStaleParticipants does the same for silent ones (run on each poll).
   void RemoveParticipant(const std::string& pid);
   void ReapStaleParticipants();
+
+  // Creates the participant on first use with token buckets initialized from
+  // the configured limits.
+  ParticipantState& EnsureParticipant(const std::string& pid);
+  // True when an unknown `pid` may still join (roster below the cap).
+  bool ParticipantAdmissible(const std::string& pid) const;
+  // Appends to a broadcast outbox, shedding the newest action (and counting
+  // it) when the queue is at max_outbox_actions.
+  void EnqueueOutbox(ParticipantState& state, const UserAction& action);
 
   // Cache-mode flavour of the generated snapshot. One entry per mode in use;
   // both flavours share the document version and are invalidated together.
@@ -227,6 +293,7 @@ class RcbAgent {
   std::vector<std::unique_ptr<AgentConn>> connections_;
   AgentMetrics metrics_;
   uint64_t next_pid_ = 1;
+  bool push_flush_pending_ = false;
 };
 
 }  // namespace rcb

@@ -34,6 +34,7 @@ CoBrowsingSession::CoBrowsingSession(EventLoop* loop, Network* network,
   agent_config.session_key = session_key_;
   agent_config.poll_interval = options_.poll_interval;
   agent_config.sync_model = options_.sync_model;
+  agent_config.limits = options_.agent_limits;
   agent_ = std::make_unique<RcbAgent>(host_browser_.get(), agent_config);
 
   uint64_t participant_index = 0;

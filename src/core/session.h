@@ -47,6 +47,10 @@ struct SessionOptions {
   // jitter never synchronizes participants into a retry stampede.
   uint64_t backoff_seed = 0xC0FFEE;
   bool stream_reconnect = false;
+
+  // Overload-protection knobs forwarded to AgentConfig::limits. Defaults are
+  // generous enough that a well-behaved session never hits them.
+  AgentLimits agent_limits;
 };
 
 class CoBrowsingSession {

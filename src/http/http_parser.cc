@@ -58,7 +58,7 @@ StatusOr<size_t> BodyLengthFrom(const Headers& headers) {
     return InvalidArgumentError("bad Content-Length: " + *cl);
   }
   if (length > (64ull << 20)) {
-    return InvalidArgumentError("Content-Length exceeds 64MiB limit");
+    return ResourceExhaustedError("Content-Length exceeds 64MiB limit");
   }
   return static_cast<size_t>(length);
 }
@@ -70,7 +70,18 @@ StatusOr<std::optional<HttpRequest>> HttpRequestParser::Feed(std::string_view da
   if (!pending_.has_value()) {
     auto head = assembler_.TakeHeadIfComplete();
     if (!head.has_value()) {
+      // Cap what an unterminated head may buffer: without this a client can
+      // drip header bytes forever and grow the buffer unboundedly.
+      if (limits_.max_head_bytes > 0 &&
+          assembler_.buffered_bytes() > limits_.max_head_bytes) {
+        return ResourceExhaustedError(
+            StrFormat("request head exceeds %zu bytes", limits_.max_head_bytes));
+      }
       return std::optional<HttpRequest>{};
+    }
+    if (limits_.max_head_bytes > 0 && head->size() > limits_.max_head_bytes) {
+      return ResourceExhaustedError(
+          StrFormat("request head exceeds %zu bytes", limits_.max_head_bytes));
     }
     std::vector<std::string> lines = StrSplit(*head, '\n');
     for (auto& line : lines) {
@@ -98,6 +109,14 @@ StatusOr<std::optional<HttpRequest>> HttpRequestParser::Feed(std::string_view da
     }
     RCB_RETURN_IF_ERROR(ParseHeaderLines(lines, 1, &request.headers));
     RCB_ASSIGN_OR_RETURN(pending_body_length_, BodyLengthFrom(request.headers));
+    // Reject an oversized declared body before buffering a single byte of it;
+    // the caller answers 413 instead of waiting for data it will discard.
+    if (limits_.max_body_bytes > 0 &&
+        pending_body_length_ > limits_.max_body_bytes) {
+      return ResourceExhaustedError(
+          StrFormat("Content-Length %zu exceeds body limit of %zu bytes",
+                    pending_body_length_, limits_.max_body_bytes));
+    }
     pending_ = std::move(request);
   }
   auto body = assembler_.TakeBodyIfComplete(pending_body_length_);

@@ -42,16 +42,37 @@ class MessageAssembler {
 
 }  // namespace http_internal
 
+// Size caps enforced while a request is assembled. 0 disables a cap (the
+// absolute 64MiB Content-Length ceiling always applies). Violations surface
+// as kResourceExhausted so the server can answer 413 instead of buffering
+// unboundedly.
+struct HttpParserLimits {
+  size_t max_head_bytes = 0;
+  size_t max_body_bytes = 0;
+};
+
 class HttpRequestParser {
  public:
   // Feeds bytes from the connection. Returns:
   //  - a complete HttpRequest once one is fully buffered,
   //  - std::nullopt if more bytes are needed,
-  //  - an error Status on malformed input (connection should be dropped).
+  //  - an error Status on malformed input (connection should be dropped);
+  //    kResourceExhausted specifically means a configured size cap was hit.
   StatusOr<std::optional<HttpRequest>> Feed(std::string_view data);
+
+  void set_limits(HttpParserLimits limits) { limits_ = limits; }
+
+  // Bytes buffered for the in-progress message (0 when idle between
+  // pipelined requests). Lets the server arm a read deadline only while a
+  // partial request is pending.
+  size_t buffered_bytes() const { return assembler_.buffered_bytes(); }
+  bool mid_message() const {
+    return pending_.has_value() || assembler_.buffered_bytes() > 0;
+  }
 
  private:
   http_internal::MessageAssembler assembler_;
+  HttpParserLimits limits_;
   std::optional<HttpRequest> pending_;  // head parsed, waiting for body
   size_t pending_body_length_ = 0;
 };

@@ -106,6 +106,55 @@ HttpResponse HttpResponse::Forbidden(std::string_view detail) {
 HttpResponse HttpResponse::InternalError(std::string_view detail) {
   return ErrorResponse(500, detail);
 }
+HttpResponse HttpResponse::PayloadTooLarge(std::string_view detail) {
+  return ErrorResponse(413, detail);
+}
+
+namespace {
+// Retry-After is whole seconds on the wire; round up so a hint of 250ms does
+// not collapse to "retry immediately", and never advertise less than 1s.
+int64_t RetryAfterSeconds(Duration retry_after) {
+  int64_t secs = (retry_after.micros() + 999999) / 1000000;
+  return secs < 1 ? 1 : secs;
+}
+}  // namespace
+
+HttpResponse HttpResponse::TooManyRequests(Duration retry_after,
+                                           std::string_view detail) {
+  HttpResponse resp = ErrorResponse(429, detail);
+  resp.headers.Set("Retry-After",
+                   StrFormat("%lld", static_cast<long long>(
+                                         RetryAfterSeconds(retry_after))));
+  return resp;
+}
+
+HttpResponse HttpResponse::ServiceUnavailable(Duration retry_after,
+                                              std::string_view detail) {
+  HttpResponse resp = ErrorResponse(503, detail);
+  resp.headers.Set("Retry-After",
+                   StrFormat("%lld", static_cast<long long>(
+                                         RetryAfterSeconds(retry_after))));
+  return resp;
+}
+
+std::optional<Duration> HttpResponse::RetryAfter() const {
+  std::optional<std::string> value = headers.Get("Retry-After");
+  if (!value.has_value() || value->empty()) {
+    return std::nullopt;
+  }
+  int64_t secs = 0;
+  for (char c : *value) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    secs = secs * 10 + (c - '0');
+    if (secs > 86400) {  // clamp absurd hints to a day
+      secs = 86400;
+      break;
+    }
+  }
+  return Duration::Seconds(static_cast<double>(secs));
+}
 
 std::string_view ReasonPhraseFor(int status_code) {
   switch (status_code) {
@@ -127,6 +176,12 @@ std::string_view ReasonPhraseFor(int status_code) {
       return "Forbidden";
     case 404:
       return "Not Found";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
     case 500:
       return "Internal Server Error";
     case 503:

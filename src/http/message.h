@@ -7,10 +7,12 @@
 #define SRC_HTTP_MESSAGE_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "src/http/headers.h"
+#include "src/util/sim_time.h"
 #include "src/util/status.h"
 
 namespace rcb {
@@ -51,6 +53,16 @@ struct HttpResponse {
   static HttpResponse BadRequest(std::string_view detail = "");
   static HttpResponse Forbidden(std::string_view detail = "");
   static HttpResponse InternalError(std::string_view detail = "");
+  static HttpResponse PayloadTooLarge(std::string_view detail = "");
+  // Overload responses carry a Retry-After hint (whole seconds, rounded up,
+  // minimum 1) that AjaxSnippet folds into its poll scheduling.
+  static HttpResponse TooManyRequests(Duration retry_after,
+                                      std::string_view detail = "");
+  static HttpResponse ServiceUnavailable(Duration retry_after,
+                                         std::string_view detail = "");
+
+  // Parsed Retry-After header in whole seconds, if present and numeric.
+  std::optional<Duration> RetryAfter() const;
 };
 
 std::string_view ReasonPhraseFor(int status_code);

@@ -3,6 +3,7 @@
 // over the simulated network with raw HTTP requests.
 #include <gtest/gtest.h>
 
+#include "src/browser/object_cache.h"
 #include "src/core/rcb_agent.h"
 #include "src/crypto/hmac.h"
 #include "src/sites/site_server.h"
@@ -691,6 +692,187 @@ TEST_F(AgentTest, ReplayedStalePollSeqRejected) {
   // The next genuine poll proceeds.
   poll.seq = 3;
   EXPECT_EQ(Poll(poll, "topsecretkey").response.status_code, 200);
+}
+
+// ------------------------------------------------- overload protection ----
+
+TEST_F(AgentTest, ConnectionCapRejectsExcessWith503) {
+  AgentConfig config;
+  config.limits.max_connections = 1;
+  StartAgent(config);
+  // First participant occupies the single connection slot (kept alive by the
+  // browser's persistent-connection pool).
+  FetchResult first = Fetch(HttpMethod::kGet, agent_->AgentUrl());
+  EXPECT_EQ(first.response.status_code, 200);
+
+  network_.AddHost("second-pc", {});
+  Browser second(&loop_, &network_, "second-pc");
+  FetchResult rejected;
+  bool done = false;
+  second.Fetch(HttpMethod::kGet, agent_->AgentUrl(), "", "",
+               [&](FetchResult result) {
+                 rejected = std::move(result);
+                 done = true;
+               });
+  loop_.RunUntilCondition([&] { return done; });
+  ASSERT_TRUE(rejected.status.ok());
+  EXPECT_EQ(rejected.response.status_code, 503);
+  EXPECT_TRUE(rejected.response.headers.Get("Retry-After").has_value());
+  EXPECT_EQ(agent_->metrics().connections_rejected, 1u);
+
+  // The admitted participant is unaffected: its persistent connection keeps
+  // serving polls.
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  EXPECT_EQ(Poll(poll).response.status_code, 200);
+}
+
+TEST_F(AgentTest, PollTokenBucketRefillsOverTime) {
+  AgentConfig config;
+  config.limits.poll_rate_per_sec = 1.0;
+  config.limits.poll_burst = 1.0;
+  StartAgent(config);
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  // The bucket starts full (burst 1): the first poll drains it.
+  EXPECT_EQ(Poll(poll).response.status_code, 200);
+  // An immediate second poll is over rate: 429 with a whole-second hint.
+  FetchResult limited = Poll(poll);
+  EXPECT_EQ(limited.response.status_code, 429);
+  ASSERT_TRUE(limited.response.headers.Get("Retry-After").has_value());
+  EXPECT_EQ(limited.response.headers.Get("Retry-After").value(), "1");
+  EXPECT_EQ(agent_->metrics().polls_rate_limited, 1u);
+  // After a full refill period the bucket holds a token again.
+  loop_.RunFor(Duration::Seconds(1.1));
+  EXPECT_EQ(Poll(poll).response.status_code, 200);
+  EXPECT_EQ(agent_->metrics().polls_rate_limited, 1u);
+}
+
+TEST_F(AgentTest, PushModeCoalescesBurstsDropOldest) {
+  AgentConfig config;
+  config.sync_model = SyncModel::kPush;
+  StartAgent(config);
+  HostNavigate();
+  // Hold a raw push stream so document changes schedule push flushes.
+  auto stream = network_.Connect("participant-pc", "host-pc", 3000);
+  ASSERT_TRUE(stream.ok());
+  (*stream)->Send("GET /stream?pid=p1 HTTP/1.1\r\n\r\n");
+  loop_.RunUntilCondition([&] { return agent_->stream_count() == 1; });
+  loop_.RunFor(Duration::Millis(10));  // flush the navigation's push
+  uint64_t shed_before = agent_->metrics().snapshots_shed;
+  // Two document changes in the same event-loop turn: one flush is scheduled,
+  // the superseded intermediate snapshot is shed (drop-oldest).
+  host_browser_->MutateDocument([](Document*) {});
+  host_browser_->MutateDocument([](Document*) {});
+  EXPECT_EQ(agent_->metrics().snapshots_shed, shed_before + 1);
+  loop_.RunFor(Duration::Millis(10));
+  // Once the pending flush ran, new changes schedule fresh flushes again.
+  host_browser_->MutateDocument([](Document*) {});
+  EXPECT_EQ(agent_->metrics().snapshots_shed, shed_before + 1);
+}
+
+TEST_F(AgentTest, FullOutboxRejectsNewestBroadcasts) {
+  AgentConfig config;
+  config.limits.max_outbox_actions = 2;
+  StartAgent(config);
+  HostNavigate();
+  // p2 joins first so it has an outbox to receive p1's broadcasts.
+  PollRequest join2;
+  join2.participant_id = "p2";
+  join2.doc_time_ms = -1;
+  auto snapshot = ParseSnapshotXml(Poll(join2).response.body);
+  ASSERT_TRUE(snapshot.ok());
+
+  // p1 sends four pointer moves; only the first two fit p2's outbox.
+  PollRequest poll1;
+  poll1.participant_id = "p1";
+  poll1.doc_time_ms = snapshot->doc_time_ms;
+  for (int i = 0; i < 4; ++i) {
+    UserAction move;
+    move.type = ActionType::kMouseMove;
+    move.x = 10 * (i + 1);
+    move.y = 20;
+    poll1.actions.push_back(move);
+  }
+  EXPECT_EQ(Poll(poll1).response.status_code, 200);
+  EXPECT_EQ(agent_->metrics().actions_shed, 2u);
+
+  PollRequest poll2;
+  poll2.participant_id = "p2";
+  poll2.doc_time_ms = snapshot->doc_time_ms;
+  auto delivered = ParseSnapshotXml(Poll(poll2).response.body);
+  ASSERT_TRUE(delivered.ok());
+  ASSERT_EQ(delivered->user_actions.size(), 2u);
+  // Reject-newest: the oldest gestures survived, in order.
+  EXPECT_EQ(delivered->user_actions[0].x, 10);
+  EXPECT_EQ(delivered->user_actions[1].x, 20);
+}
+
+TEST_F(AgentTest, OversizedPollBodyGets413) {
+  AgentConfig config;
+  config.limits.max_request_body_bytes = 32;
+  StartAgent(config);
+  PollRequest poll;
+  poll.participant_id = std::string(64, 'p');  // body well over the cap
+  poll.doc_time_ms = -1;
+  FetchResult result = Poll(poll);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.response.status_code, 413);
+  EXPECT_EQ(agent_->metrics().oversized_rejected, 1u);
+}
+
+TEST_F(AgentTest, SlowLorisConnectionReapedByReadDeadline) {
+  AgentConfig config;
+  config.limits.idle_read_timeout = Duration::Seconds(2.0);
+  StartAgent(config);
+  network_.AddHost("attacker", {});
+  auto endpoint = network_.Connect("attacker", "host-pc", 3000);
+  ASSERT_TRUE(endpoint.ok());
+  // A request head that never completes: the read deadline closes it.
+  (*endpoint)->Send("POST / HTTP/1.1\r\nContent-Le");
+  loop_.RunFor(Duration::Seconds(3.0));
+  EXPECT_EQ(agent_->metrics().idle_read_timeouts, 1u);
+  // The agent still serves well-behaved clients afterwards.
+  FetchResult ok = Fetch(HttpMethod::kGet, agent_->AgentUrl());
+  EXPECT_EQ(ok.response.status_code, 200);
+}
+
+TEST(ObjectCacheLruTest, EvictsLeastRecentlyUsedWithinBudget) {
+  ObjectCache cache;
+  cache.set_byte_budget(30);
+  Url a = Url::Make("http", "x.test", 80, "/a");
+  Url b = Url::Make("http", "x.test", 80, "/b");
+  Url c = Url::Make("http", "x.test", 80, "/c");
+  Url d = Url::Make("http", "x.test", 80, "/d");
+  cache.Put(a, "text/plain", std::string(10, 'a'));
+  cache.Put(b, "text/plain", std::string(10, 'b'));
+  cache.Put(c, "text/plain", std::string(10, 'c'));
+  EXPECT_EQ(cache.total_bytes(), 30u);
+  // Touch `a`: it becomes most-recently-used, so `b` is now the LRU entry.
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  cache.Put(d, "text/plain", std::string(10, 'd'));
+  EXPECT_TRUE(cache.Contains(a));
+  EXPECT_FALSE(cache.Contains(b));
+  EXPECT_TRUE(cache.Contains(c));
+  EXPECT_TRUE(cache.Contains(d));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.evicted_bytes(), 10u);
+  EXPECT_EQ(cache.total_bytes(), 30u);
+}
+
+TEST(ObjectCacheLruTest, NewestEntrySurvivesEvenAloneOverBudget) {
+  ObjectCache cache;
+  cache.set_byte_budget(8);
+  Url a = Url::Make("http", "x.test", 80, "/a");
+  Url big = Url::Make("http", "x.test", 80, "/big");
+  cache.Put(a, "text/plain", "aaaa");
+  cache.Put(big, "text/plain", std::string(64, 'B'));
+  EXPECT_FALSE(cache.Contains(a));
+  EXPECT_TRUE(cache.Contains(big));  // never evict the entry just inserted
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST_F(AgentTest, StaleActionTargetIgnored) {

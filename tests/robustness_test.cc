@@ -517,5 +517,143 @@ TEST(WanPartitionRecoveryTest, DeterministicAcrossRuns) {
   EXPECT_EQ(first.agent_participants_reaped, 0u);
 }
 
+// ------------------------------------- chaos + overload determinism -------
+//
+// The WAN partition-recovery scenario again, but with the overload knobs
+// engaged: the agent's poll token bucket is set below the snippet's poll
+// rate, so steady-state polls are shed with 429 + Retry-After and the
+// snippet folds the hint into its schedule instead of escalating backoff.
+// The session must still re-converge after the partition, and every shed
+// decision must be bit-reproducible across two runs.
+
+struct OverloadChaosCounters {
+  uint64_t agent_polls_received = 0;
+  uint64_t agent_polls_with_content = 0;
+  uint64_t agent_polls_rate_limited = 0;
+  uint64_t agent_participants_rejected = 0;
+  uint64_t agent_connections_rejected = 0;
+  uint64_t agent_actions_shed = 0;
+  uint64_t agent_snapshots_shed = 0;
+  uint64_t agent_idle_read_timeouts = 0;
+  uint64_t agent_oversized_rejected = 0;
+  uint64_t agent_reconnects = 0;
+  uint64_t agent_resyncs = 0;
+  uint64_t snippet_polls_sent = 0;
+  uint64_t snippet_overload_deferrals = 0;
+  int64_t snippet_last_retry_after_us = 0;
+  uint64_t snippet_poll_timeouts = 0;
+  uint64_t snippet_transport_failures = 0;
+  uint64_t snippet_reconnects = 0;
+  uint64_t snippet_resyncs = 0;
+  std::string title;
+  int64_t end_micros = 0;
+
+  bool operator==(const OverloadChaosCounters&) const = default;
+};
+
+OverloadChaosCounters RunOverloadChaos() {
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("www.site.test", {});
+  SiteServer site(&loop, &network, "www.site.test");
+  site.ServeStatic("/", "text/html",
+                   "<html><head><title>A</title></head>"
+                   "<body><p id=\"p\">one</p></body></html>");
+  site.ServeStatic("/two", "text/html",
+                   "<html><head><title>B</title></head>"
+                   "<body><p id=\"p\">two</p></body></html>");
+
+  SessionOptions options;
+  options.profile = WanProfile();
+  options.enable_auth = true;
+  options.poll_interval = Duration::Millis(250);
+  options.poll_timeout = Duration::Seconds(1.0);
+  options.reconnect_after = 2;
+  options.backoff_base = Duration::Millis(250);
+  options.backoff_max = Duration::Seconds(2.0);
+  options.backoff_jitter = Duration::Millis(100);
+  // Overload layer on: the bucket refills slower than the 250 ms poll loop,
+  // so the agent sheds polls and the snippet has to honor Retry-After.
+  options.agent_limits.max_participants = 4;
+  options.agent_limits.max_connections = 32;
+  options.agent_limits.poll_rate_per_sec = 2.0;
+  options.agent_limits.poll_burst = 1.0;
+  options.agent_limits.action_rate_per_sec = 50.0;
+  options.agent_limits.max_outbox_actions = 64;
+  options.agent_limits.max_request_head_bytes = 64 * 1024;
+  options.agent_limits.max_request_body_bytes = 1 << 20;
+  options.agent_limits.idle_read_timeout = Duration::Seconds(5.0);
+  CoBrowsingSession session(&loop, &network, options);
+  EXPECT_TRUE(session.Start().ok());
+
+  bool loaded = false;
+  session.host_browser()->Navigate(
+      Url::Make("http", "www.site.test", 80, "/"),
+      [&](const Status& status, const PageLoadStats&) {
+        EXPECT_TRUE(status.ok()) << status;
+        loaded = true;
+      });
+  loop.RunUntilCondition([&] { return loaded; });
+  EXPECT_TRUE(session.WaitForSync().ok());
+
+  FaultInjector injector(&network, /*seed=*/1234);
+  injector.InjectPartition("participant-pc-1",
+                           loop.now() + Duration::Millis(100),
+                           Duration::Seconds(5.0), Duration::Millis(200));
+  loop.Schedule(Duration::Millis(500), [&] {
+    session.host_browser()->Navigate(
+        Url::Make("http", "www.site.test", 80, "/two"),
+        [](const Status&, const PageLoadStats&) {});
+  });
+
+  // Fixed simulated horizon so both runs execute the identical schedule.
+  loop.RunFor(Duration::Seconds(20.0));
+
+  OverloadChaosCounters counters;
+  const AgentMetrics& agent = session.agent()->metrics();
+  counters.agent_polls_received = agent.polls_received;
+  counters.agent_polls_with_content = agent.polls_with_content;
+  counters.agent_polls_rate_limited = agent.polls_rate_limited;
+  counters.agent_participants_rejected = agent.participants_rejected;
+  counters.agent_connections_rejected = agent.connections_rejected;
+  counters.agent_actions_shed = agent.actions_shed;
+  counters.agent_snapshots_shed = agent.snapshots_shed;
+  counters.agent_idle_read_timeouts = agent.idle_read_timeouts;
+  counters.agent_oversized_rejected = agent.oversized_rejected;
+  counters.agent_reconnects = agent.reconnects;
+  counters.agent_resyncs = agent.resyncs;
+  const SnippetMetrics& snippet = session.snippet(0)->metrics();
+  counters.snippet_polls_sent = snippet.polls_sent;
+  counters.snippet_overload_deferrals = snippet.overload_deferrals;
+  counters.snippet_last_retry_after_us = snippet.last_retry_after.micros();
+  counters.snippet_poll_timeouts = snippet.poll_timeouts;
+  counters.snippet_transport_failures = snippet.transport_failures;
+  counters.snippet_reconnects = snippet.reconnects;
+  counters.snippet_resyncs = snippet.resyncs;
+  counters.title = session.participant_browser(0)->document()->Title();
+  counters.end_micros = loop.now().micros();
+  return counters;
+}
+
+TEST(OverloadChaosTest, DeterministicAcrossRuns) {
+  OverloadChaosCounters first = RunOverloadChaos();
+  OverloadChaosCounters second = RunOverloadChaos();
+  EXPECT_TRUE(first == second) << "overload counters diverged between runs";
+
+  // The overload layer actually engaged...
+  EXPECT_GT(first.agent_polls_rate_limited, 0u);
+  EXPECT_GT(first.snippet_overload_deferrals, 0u);
+  EXPECT_GE(first.snippet_last_retry_after_us,
+            Duration::Seconds(1.0).micros());
+  // ...without tripping limits the session never approached...
+  EXPECT_EQ(first.agent_participants_rejected, 0u);
+  EXPECT_EQ(first.agent_connections_rejected, 0u);
+  EXPECT_EQ(first.agent_oversized_rejected, 0u);
+  EXPECT_EQ(first.agent_idle_read_timeouts, 0u);
+  // ...and the session still rode out the partition and re-converged.
+  EXPECT_EQ(first.title, "B");
+  EXPECT_GT(first.snippet_transport_failures, 0u);
+}
+
 }  // namespace
 }  // namespace rcb
