@@ -7,6 +7,7 @@
 // WAN (where the host's 384 Kbps uplink serializes the copies).
 #include "bench/common.h"
 #include "src/sites/corpus.h"
+#include "src/util/strings.h"
 
 using namespace rcb;
 using namespace rcb::benchutil;
@@ -65,6 +66,9 @@ int main() {
       "Ablation — participant fan-out and snapshot reuse (§4.1.2)",
       "facebook.com replica (23.2 KB HTML); one host navigation, N pollers");
 
+  obs::BenchReport report = MakeReport("ablation_fanout", "lan+wan",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  report.SetConfig("site", "facebook.com");
   for (const char* env : {"LAN", "WAN"}) {
     NetworkProfile profile = env[0] == 'L' ? LanProfile() : WanProfile();
     std::printf("\n[%s]\n", env);
@@ -81,8 +85,18 @@ int main() {
                   static_cast<unsigned long long>(point->generations),
                   static_cast<unsigned long long>(point->content_polls),
                   static_cast<unsigned long long>(point->host_tx_bytes));
+      std::string prefix = StrFormat("%s_n%zu_", env[0] == 'L' ? "lan" : "wan", n);
+      report.AddValue(prefix + "slowest_m2_us", "us", obs::Provenance::kSim,
+                      static_cast<double>(point->slowest_m2.micros()));
+      report.AddValue(prefix + "generations", "runs", obs::Provenance::kSim,
+                      static_cast<double>(point->generations));
+      report.AddValue(prefix + "content_polls", "polls", obs::Provenance::kSim,
+                      static_cast<double>(point->content_polls));
+      report.AddValue(prefix + "net_bytes", "bytes", obs::Provenance::kSim,
+                      static_cast<double>(point->host_tx_bytes));
     }
   }
+  WriteReport(report);
   PrintRule();
   std::printf("shape check: generations stay at 1 regardless of N (content "
               "generated once, reused);\n");

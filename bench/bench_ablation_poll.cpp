@@ -8,6 +8,7 @@
 #include "bench/common.h"
 #include "src/sites/corpus.h"
 #include "src/util/rand.h"
+#include "src/util/strings.h"
 
 using namespace rcb;
 using namespace rcb::benchutil;
@@ -92,6 +93,10 @@ int main() {
 
   std::printf("%-10s %12s %12s %12s %16s\n", "interval", "mean lat.",
               "worst lat.", "polls/min", "idle bytes/min");
+  obs::BenchReport report = MakeReport("ablation_poll", "lan",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  report.SetConfig("site", "google.com");
+  report.SetConfig("mutations", "24");
   for (int64_t ms : {100, 250, 500, 1000, 2000, 5000}) {
     SweepPoint point = RunSweep(Duration::Millis(ms));
     std::printf("%-10s %12s %12s %12.0f %16llu\n",
@@ -99,7 +104,18 @@ int main() {
                 point.mean_latency.ToString().c_str(),
                 point.worst_latency.ToString().c_str(), point.polls_per_minute,
                 static_cast<unsigned long long>(point.idle_bytes_per_minute));
+    std::string prefix = StrFormat("interval_%lldms_", static_cast<long long>(ms));
+    report.AddValue(prefix + "mean_latency_us", "us", obs::Provenance::kSim,
+                    static_cast<double>(point.mean_latency.micros()));
+    report.AddValue(prefix + "worst_latency_us", "us", obs::Provenance::kSim,
+                    static_cast<double>(point.worst_latency.micros()));
+    report.AddValue(prefix + "polls_per_minute", "polls", obs::Provenance::kSim,
+                    point.polls_per_minute);
+    report.AddValue(prefix + "idle_bytes_per_minute", "bytes",
+                    obs::Provenance::kSim,
+                    static_cast<double>(point.idle_bytes_per_minute));
   }
+  WriteReport(report);
   PrintRule();
   std::printf("shape check: mean latency ~ interval/2 + transfer; request "
               "volume ~ 1/interval.\n");

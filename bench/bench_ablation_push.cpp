@@ -130,6 +130,29 @@ int main() {
   std::printf("%-22s %14s %14s\n", "recovers after drop",
               poll.recovered_after_drop ? "yes" : "NO",
               push.recovered_after_drop ? "yes" : "NO");
+
+  obs::BenchReport report = MakeReport("ablation_push", "lan",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  report.SetConfig("site", "google.com");
+  report.SetConfig("mutations", "24");
+  struct { const char* prefix; const ModeResult* mode; } rows[] = {
+      {"poll_", &poll}, {"push_", &push}};
+  for (const auto& row : rows) {
+    std::string prefix = row.prefix;
+    report.AddValue(prefix + "mean_latency_us", "us", obs::Provenance::kSim,
+                    static_cast<double>(row.mode->mean_latency.micros()));
+    report.AddValue(prefix + "worst_latency_us", "us", obs::Provenance::kSim,
+                    static_cast<double>(row.mode->worst_latency.micros()));
+    report.AddValue(prefix + "idle_requests_per_minute", "requests",
+                    obs::Provenance::kSim, row.mode->idle_requests_per_minute);
+    report.AddValue(prefix + "idle_bytes_per_minute", "bytes",
+                    obs::Provenance::kSim,
+                    static_cast<double>(row.mode->idle_bytes_per_minute));
+    report.AddValue(prefix + "recovered_after_drop", "bool",
+                    obs::Provenance::kSim,
+                    row.mode->recovered_after_drop ? 1 : 0);
+  }
+  WriteReport(report);
   PrintRule();
   std::printf("shape check (paper's reasoning): push removes the tick-wait "
               "latency and the idle traffic, but a\ndropped transport kills "

@@ -113,5 +113,23 @@ int main() {
               wan_rtt.ToString().c_str());
   std::printf("shape check: both far below the 1 s poll interval, i.e. "
               "actions ride the next poll essentially free\n");
+
+  obs::BenchReport report = MakeReport("actions", "lan+wan",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  report.AddValue("empty_poll_bytes", "bytes", obs::Provenance::kSim,
+                  static_cast<double>(poll_size({})));
+  report.AddValue("click_poll_bytes", "bytes", obs::Provenance::kSim,
+                  static_cast<double>(poll_size({click})));
+  report.AddValue("cofill_poll_bytes", "bytes", obs::Provenance::kSim,
+                  static_cast<double>(poll_size({fill})));
+  report.AddValue("mousemove_poll_bytes", "bytes", obs::Provenance::kSim,
+                  static_cast<double>(poll_size({mouse})));
+  report.AddValue("empty_response_bytes", "bytes", obs::Provenance::kSim,
+                  static_cast<double>(empty_response.Serialize().size()));
+  report.AddValue("cofill_rtt_lan_us", "us", obs::Provenance::kSim,
+                  static_cast<double>(lan_rtt.micros()));
+  report.AddValue("cofill_rtt_wan_us", "us", obs::Provenance::kSim,
+                  static_cast<double>(wan_rtt.micros()));
+  WriteReport(report);
   return 0;
 }

@@ -182,6 +182,9 @@ int main() {
               "proxy-based", "RCB");
   std::printf("%-10s | %-7s %-10s | %-7s %-9s %-8s | %-7s %-10s\n", "",
               "match", "time", "match", "time", "bytes", "match", "time");
+  obs::BenchReport report = MakeReport("baselines", "lan",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  report.SetConfig("page_classes", "static,session,ajax");
   for (const char* page : {"static", "session", "ajax"}) {
     Row row = RunPageClass(page);
     std::printf("%-10s | %-7s %-10s | %-7s %-9s %-8llu | %-7s %-10s\n",
@@ -190,7 +193,23 @@ int main() {
                 row.proxy_match ? "yes" : "NO", row.proxy_time.ToString().c_str(),
                 static_cast<unsigned long long>(row.proxy_bytes),
                 row.rcb_match ? "yes" : "NO", row.rcb_time.ToString().c_str());
+    std::string prefix = std::string(page) + "_";
+    report.AddValue(prefix + "url_share_match", "bool", obs::Provenance::kSim,
+                    row.url_share_match ? 1 : 0);
+    report.AddValue(prefix + "url_share_time_us", "us", obs::Provenance::kSim,
+                    static_cast<double>(row.url_share_time.micros()));
+    report.AddValue(prefix + "proxy_match", "bool", obs::Provenance::kSim,
+                    row.proxy_match ? 1 : 0);
+    report.AddValue(prefix + "proxy_time_us", "us", obs::Provenance::kSim,
+                    static_cast<double>(row.proxy_time.micros()));
+    report.AddValue(prefix + "proxy_bytes", "bytes", obs::Provenance::kSim,
+                    static_cast<double>(row.proxy_bytes));
+    report.AddValue(prefix + "rcb_match", "bool", obs::Provenance::kSim,
+                    row.rcb_match ? 1 : 0);
+    report.AddValue(prefix + "rcb_time_us", "us", obs::Provenance::kSim,
+                    static_cast<double>(row.rcb_time.micros()));
   }
+  WriteReport(report);
   PrintRule();
   std::printf(
       "shape check (paper §1/§2): URL sharing matches only the static page; "

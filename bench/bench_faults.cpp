@@ -127,6 +127,9 @@ int main() {
       FaultEvent::Kind::kJitter, FaultEvent::Kind::kLoss,
       FaultEvent::Kind::kBandwidthFlap, FaultEvent::Kind::kReset,
       FaultEvent::Kind::kPartition};
+  obs::BenchReport report = MakeReport("faults", "lan+wan",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  report.SetConfig("fault_seed", "97");
   for (const Profile& profile : kProfiles) {
     for (FaultEvent::Kind kind : kKinds) {
       Duration fault_duration = kind == FaultEvent::Kind::kPartition
@@ -141,8 +144,23 @@ int main() {
                   static_cast<unsigned long long>(run.poll_timeouts),
                   static_cast<unsigned long long>(run.reconnects),
                   static_cast<unsigned long long>(run.resyncs));
+      std::string prefix = std::string(profile.name[0] == 'L' ? "lan_"
+                                                             : "wan_") +
+                           KindName(kind) + "_";
+      report.AddValue(prefix + "converged", "bool", obs::Provenance::kSim,
+                      run.converged ? 1 : 0);
+      report.AddValue(prefix + "recovery_us", "us", obs::Provenance::kSim,
+                      static_cast<double>(run.recovery.micros()));
+      report.AddValue(prefix + "polls_used", "polls", obs::Provenance::kSim,
+                      static_cast<double>(run.polls_used));
+      report.AddValue(prefix + "reconnects", "reconnects",
+                      obs::Provenance::kSim,
+                      static_cast<double>(run.reconnects));
+      report.AddValue(prefix + "resyncs", "resyncs", obs::Provenance::kSim,
+                      static_cast<double>(run.resyncs));
     }
   }
+  WriteReport(report);
   PrintRule();
   std::printf("recovery after a partition ~ blackout remainder + backoff + "
               "one resync poll;\nloss/jitter only stretch in-flight polls, so "

@@ -20,6 +20,7 @@ int main() {
               "M2<M1");
   int m2_smaller = 0;
   int m2_under_400ms = 0;
+  std::vector<SiteMeasurement> measurements;
   NetworkProfile lan = LanProfile();
   for (const SiteSpec& spec : Table1Sites()) {
     auto m = MeasureSite(spec, lan, /*cache_mode=*/true);
@@ -33,10 +34,20 @@ int main() {
     m2_under_400ms += (m->m2 < Duration::Millis(400)) ? 1 : 0;
     std::printf("%-3d %-15s %10s %10s %8s\n", spec.index, spec.name.c_str(),
                 Sec(m->m1).c_str(), Sec(m->m2).c_str(), smaller ? "yes" : "NO");
+    measurements.push_back(*m);
   }
   PrintRule();
   std::printf("shape check: M2 < M1 on %d/20 sites (paper: 20/20)\n", m2_smaller);
   std::printf("shape check: M2 < 0.4 s on %d/20 sites (paper: 20/20)\n",
               m2_under_400ms);
+
+  obs::BenchReport report = MakeReport("fig6_lan", "lan", /*cache_mode=*/true,
+                                       /*repetitions=*/5);
+  AddMeasurementDistributions(&report, measurements);
+  report.AddValue("m2_smaller_than_m1_sites", "sites", obs::Provenance::kSim,
+                  m2_smaller);
+  report.AddValue("m2_under_400ms_sites", "sites", obs::Provenance::kSim,
+                  m2_under_400ms);
+  WriteReport(report);
   return 0;
 }

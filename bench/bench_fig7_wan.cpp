@@ -18,6 +18,7 @@ int main() {
   std::printf("%-3s %-15s %10s %10s %8s\n", "#", "site", "M1 (s)", "M2 (s)",
               "M2<M1");
   int m2_smaller = 0;
+  std::vector<SiteMeasurement> measurements;
   NetworkProfile wan = WanProfile();
   for (const SiteSpec& spec : Table1Sites()) {
     auto m = MeasureSite(spec, wan, /*cache_mode=*/true);
@@ -30,8 +31,16 @@ int main() {
     m2_smaller += smaller ? 1 : 0;
     std::printf("%-3d %-15s %10s %10s %8s\n", spec.index, spec.name.c_str(),
                 Sec(m->m1).c_str(), Sec(m->m2).c_str(), smaller ? "yes" : "NO");
+    measurements.push_back(*m);
   }
   PrintRule();
   std::printf("shape check: M2 < M1 on %d/20 sites (paper: 17/20)\n", m2_smaller);
+
+  obs::BenchReport report = MakeReport("fig7_wan", "wan", /*cache_mode=*/true,
+                                       /*repetitions=*/5);
+  AddMeasurementDistributions(&report, measurements);
+  report.AddValue("m2_smaller_than_m1_sites", "sites", obs::Provenance::kSim,
+                  m2_smaller);
+  WriteReport(report);
   return 0;
 }

@@ -4,8 +4,11 @@
 // innerHTML set, and HMAC request authentication.
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+
 #include "src/core/content_generator.h"
 #include "src/core/protocol.h"
+#include "src/obs/bench_report.h"
 #include "src/crypto/hmac.h"
 #include "src/html/parser.h"
 #include "src/html/serializer.h"
@@ -127,7 +130,77 @@ void BM_JsEscapeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_JsEscapeRoundTrip);
 
+// Console output stays google-benchmark's; this reporter additionally captures
+// every per-iteration run so main() can emit the BENCH_micro.json artifact.
+class ArtifactReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double real_ns = 0;
+    int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      Captured captured;
+      captured.name = run.benchmark_name();
+      captured.real_ns = run.GetAdjustedRealTime();
+      captured.iterations = run.iterations;
+      captured_.push_back(std::move(captured));
+    }
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
+// "BM_HtmlParse/12" -> "BM_HtmlParse_12": metric names share the Prometheus
+// character set, so everything outside [A-Za-z0-9_] folds to '_'.
+std::string MetricName(const std::string& benchmark_name) {
+  std::string out = benchmark_name;
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace rcb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  rcb::ArtifactReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  rcb::obs::BenchReport report("micro");
+  report.SetConfig("profile", "none");
+  report.SetConfig("cache_mode", "1");
+  report.SetConfig("repetitions", "1");
+  report.SetConfig("sites", "corpus-subset");
+  for (const auto& captured : reporter.captured()) {
+    std::string name = rcb::MetricName(captured.name);
+    report.AddValue(name + "_real_ns", "ns", rcb::obs::Provenance::kWall,
+                    captured.real_ns);
+    report.AddValue(name + "_iterations", "iterations",
+                    rcb::obs::Provenance::kWall,
+                    static_cast<double>(captured.iterations));
+  }
+  rcb::Status written = report.WriteFile();
+  if (!written.ok()) {
+    std::fprintf(stderr, "warning: bench artifact not written: %s\n",
+                 written.ToString().c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,7 @@ int main() {
   NetworkProfile mobile = MobileProfile();
   int syncs_faster = 0;
   int measured = 0;
+  std::vector<SiteMeasurement> measurements;
   for (const char* name :
        {"google.com", "facebook.com", "wikipedia.org", "cnn.com", "amazon.com"}) {
     const SiteSpec* spec = FindSite(name);
@@ -31,6 +32,7 @@ int main() {
       continue;
     }
     ++measured;
+    measurements.push_back(*m);
     bool faster = m->m2 < m->m1;
     syncs_faster += faster ? 1 : 0;
     std::printf("%-3d %-15s %10s %10s %10s %8s\n", spec->index, name,
@@ -42,5 +44,14 @@ int main() {
               "%d/%d sites (paper: 'RCB-Agent can also\nefficiently support "
               "co-browsing using mobile devices').\n",
               syncs_faster, measured);
+
+  obs::BenchReport report = MakeReport("mobile", "mobile",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  report.SetConfig("sites", std::to_string(measured));
+  AddMeasurementDistributions(&report, measurements);
+  report.AddValue("m2_smaller_than_m1_sites", "sites", obs::Provenance::kSim,
+                  syncs_faster);
+  report.AddValue("sites_measured", "sites", obs::Provenance::kSim, measured);
+  WriteReport(report);
   return 0;
 }

@@ -262,6 +262,27 @@ int main() {
       break;
     }
   }
+  obs::BenchReport report = MakeReport("overload", "uplink1mbps",
+                                       /*cache_mode=*/false, /*repetitions=*/1);
+  report.SetConfig("polls_per_sec", StrFormat("%d", kPollsPerSec));
+  for (size_t i = 0; i < protected_.size(); ++i) {
+    struct { const char* mode; const LoadResult* r; } rows[] = {
+        {"unprotected", &unprotected[i]}, {"protected", &protected_[i]}};
+    for (const auto& row : rows) {
+      std::string prefix = StrFormat("%s_n%zu_", row.mode, kSweep[i]);
+      report.AddValue(prefix + "issued", "polls", obs::Provenance::kSim,
+                      static_cast<double>(row.r->issued));
+      report.AddValue(prefix + "answered", "polls", obs::Provenance::kSim,
+                      static_cast<double>(row.r->answered));
+      report.AddValue(prefix + "shed", "polls", obs::Provenance::kSim,
+                      static_cast<double>(row.r->shed));
+      report.AddValue(prefix + "p50_ms", "ms", obs::Provenance::kSim,
+                      static_cast<double>(row.r->p50_ms));
+      report.AddValue(prefix + "p99_ms", "ms", obs::Provenance::kSim,
+                      static_cast<double>(row.r->p99_ms));
+    }
+  }
+
   bool shape_ok = deterministic && stall_index >= 0;
   if (shape_ok) {
     size_t stall_n = kSweep[stall_index];
@@ -287,5 +308,9 @@ int main() {
     std::printf("\nshape check: FAIL (stall_index=%d deterministic=%s)\n",
                 stall_index, deterministic ? "yes" : "NO");
   }
+  report.AddValue("deterministic", "bool", obs::Provenance::kSim,
+                  deterministic ? 1 : 0);
+  report.AddValue("shape_ok", "bool", obs::Provenance::kSim, shape_ok ? 1 : 0);
+  WriteReport(report);
   return shape_ok ? 0 : 1;
 }

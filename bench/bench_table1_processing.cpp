@@ -23,6 +23,7 @@ int main() {
   NetworkProfile lan = LanProfile();
   int cache_slower = 0;
   std::vector<std::pair<double, double>> size_vs_m5;
+  std::vector<double> m5_noncache_us, m5_cache_us, m6_us, inflation;
   for (const SiteSpec& spec : Table1Sites()) {
     auto non_cache = MeasureSite(spec, lan, /*cache_mode=*/false,
                                  /*repetitions=*/10);
@@ -35,6 +36,10 @@ int main() {
     size_vs_m5.emplace_back(spec.page_kb,
                             static_cast<double>(non_cache->m5.micros()));
     double snap_kb = static_cast<double>(non_cache->snapshot_bytes) / 1024.0;
+    m5_noncache_us.push_back(static_cast<double>(non_cache->m5.micros()));
+    m5_cache_us.push_back(static_cast<double>(cache->m5.micros()));
+    m6_us.push_back(static_cast<double>(non_cache->m6.micros()));
+    inflation.push_back(snap_kb / spec.page_kb);
     std::printf("%-3d %-15s %9.1f %14s %11s %9s %9.1f %5.2fx\n", spec.index,
                 spec.name.c_str(), spec.page_kb, Ms(non_cache->m5).c_str(),
                 Ms(cache->m5).c_str(), Ms(non_cache->m6).c_str(), snap_kb,
@@ -64,5 +69,21 @@ int main() {
               cache_slower);
   std::printf("the snap(KB)/infl columns quantify the Fig. 4 escape()+XML "
               "overhead the WAN M2 pays (EXPERIMENTS.md)\n");
+
+  obs::BenchReport report = MakeReport("table1_processing", "lan",
+                                       /*cache_mode=*/true, /*repetitions=*/10);
+  report.AddDistribution("m5_noncache_us", "us", obs::Provenance::kWall,
+                         m5_noncache_us);
+  report.AddDistribution("m5_cache_us", "us", obs::Provenance::kWall,
+                         m5_cache_us);
+  report.AddDistribution("m6_apply_us", "us", obs::Provenance::kWall, m6_us);
+  report.AddDistribution("snapshot_inflation", "ratio", obs::Provenance::kSim,
+                         inflation);
+  report.AddValue("size_m5_rank_concordance_pct", "percent",
+                  obs::Provenance::kWall,
+                  pairs > 0 ? 100.0 * concordant / pairs : 0.0);
+  report.AddValue("m5_cache_slower_sites", "sites", obs::Provenance::kWall,
+                  cache_slower);
+  WriteReport(report);
   return 0;
 }

@@ -33,5 +33,26 @@ int main() {
               static_cast<unsigned long long>(result.actions_applied));
   std::printf("shape check vs paper: 100%% task completion (paper: 10/10 "
               "pairs completed all sessions)\n");
+
+  obs::BenchReport report = MakeReport("table2_tasks", "lan",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  std::vector<double> task_times_us;
+  double succeeded = 0;
+  for (const TaskResult& task : result.tasks) {
+    task_times_us.push_back(static_cast<double>(task.sim_time.micros()));
+    succeeded += task.success ? 1 : 0;
+  }
+  report.AddDistribution("task_time_us", "us", obs::Provenance::kSim,
+                         task_times_us);
+  report.AddValue("tasks_succeeded", "tasks", obs::Provenance::kSim, succeeded);
+  report.AddValue("tasks_total", "tasks", obs::Provenance::kSim,
+                  static_cast<double>(result.tasks.size()));
+  report.AddValue("session_time_us", "us", obs::Provenance::kSim,
+                  static_cast<double>(result.total_time.micros()));
+  report.AddValue("polls", "polls", obs::Provenance::kSim,
+                  static_cast<double>(result.polls));
+  report.AddValue("actions_applied", "actions", obs::Provenance::kSim,
+                  static_cast<double>(result.actions_applied));
+  WriteReport(report);
   return result.all_succeeded ? 0 : 1;
 }

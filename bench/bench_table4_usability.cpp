@@ -76,5 +76,22 @@ int main() {
               "examples/ run unmodified\n");
   std::printf("paper medians (for reference, not reproduced): Agree on all "
               "16 questions\n");
+
+  obs::BenchReport report = MakeReport("table4_usability", "lan",
+                                       /*cache_mode=*/true, /*repetitions=*/1);
+  report.SetConfig("pairs", "10");
+  report.SetConfig("sessions_per_pair", "2");
+  report.AddValue("sessions_succeeded", "sessions", obs::Provenance::kSim,
+                  sessions_succeeded);
+  report.AddValue("sessions_total", "sessions", obs::Provenance::kSim,
+                  sessions_total);
+  report.AddValue("tasks_succeeded", "tasks", obs::Provenance::kSim,
+                  tasks_succeeded);
+  report.AddValue("tasks_total", "tasks", obs::Provenance::kSim, tasks_total);
+  report.AddValue("avg_session_minutes", "minutes", obs::Provenance::kSim,
+                  total_minutes / sessions_total);
+  report.AddValue("worst_session_us", "us", obs::Provenance::kSim,
+                  static_cast<double>(worst_session.micros()));
+  WriteReport(report);
   return sessions_succeeded == sessions_total ? 0 : 1;
 }

@@ -93,5 +93,48 @@ std::string Ms(Duration d) {
   return StrFormat("%.3f", static_cast<double>(d.micros()) / 1000.0);
 }
 
+obs::BenchReport MakeReport(const std::string& name, const std::string& profile,
+                            bool cache_mode, int repetitions) {
+  obs::BenchReport report(name);
+  report.SetConfig("profile", profile);
+  report.SetConfig("cache_mode", cache_mode ? "1" : "0");
+  report.SetConfig("repetitions", StrFormat("%d", repetitions));
+  report.SetConfig("sites", StrFormat("%zu", Table1Sites().size()));
+  return report;
+}
+
+void AddMeasurementDistributions(
+    obs::BenchReport* report,
+    const std::vector<SiteMeasurement>& measurements) {
+  std::vector<double> m1, m2, m3_or_m4, m5, m6, snapshot_bytes, from_host;
+  for (const SiteMeasurement& m : measurements) {
+    m1.push_back(static_cast<double>(m.m1.micros()));
+    m2.push_back(static_cast<double>(m.m2.micros()));
+    m3_or_m4.push_back(static_cast<double>(m.m3_or_m4.micros()));
+    m5.push_back(static_cast<double>(m.m5.micros()));
+    m6.push_back(static_cast<double>(m.m6.micros()));
+    snapshot_bytes.push_back(static_cast<double>(m.snapshot_bytes));
+    from_host.push_back(static_cast<double>(m.objects_from_host));
+  }
+  report->AddDistribution("m1_host_html_us", "us", obs::Provenance::kSim, m1);
+  report->AddDistribution("m2_participant_sync_us", "us", obs::Provenance::kSim,
+                          m2);
+  report->AddDistribution("m3_or_m4_objects_us", "us", obs::Provenance::kSim,
+                          m3_or_m4);
+  report->AddDistribution("m5_generation_us", "us", obs::Provenance::kWall, m5);
+  report->AddDistribution("m6_apply_us", "us", obs::Provenance::kWall, m6);
+  report->AddDistribution("snapshot_bytes", "bytes", obs::Provenance::kSim,
+                          snapshot_bytes);
+  report->AddDistribution("objects_from_host", "objects", obs::Provenance::kSim,
+                          from_host);
+}
+
+void WriteReport(const obs::BenchReport& report) {
+  Status status = report.WriteFile();
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+}
+
 }  // namespace benchutil
 }  // namespace rcb

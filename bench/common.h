@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/core/session.h"
+#include "src/obs/bench_report.h"
 #include "src/sites/corpus.h"
 
 namespace rcb {
@@ -46,6 +47,29 @@ void PrintBenchHeader(const std::string& title, const std::string& setup);
 std::string Sec(Duration d);
 // Milliseconds with 3 decimals ("12.345").
 std::string Ms(Duration d);
+
+// ---------------------------------------------------------------------------
+// Machine-readable artifacts. Every bench binary writes BENCH_<name>.json
+// (schema: src/obs/bench_report.h, documented in EXPERIMENTS.md) next to its
+// human-readable table; scripts/bench_all.sh collects them and scripts/ci.sh
+// validates them.
+// ---------------------------------------------------------------------------
+
+// Creates a report pre-populated with the config keys shared by every bench
+// (schema version is implicit; benches add their own keys with SetConfig).
+obs::BenchReport MakeReport(const std::string& name,
+                            const std::string& profile,
+                            bool cache_mode, int repetitions);
+
+// Adds the §5.1.1 per-site metric distributions over `measurements`:
+// m1/m2/m3_or_m4 + snapshot_bytes/objects_from_host as sim distributions,
+// m5/m6 as wall distributions.
+void AddMeasurementDistributions(
+    obs::BenchReport* report,
+    const std::vector<SiteMeasurement>& measurements);
+
+// Writes the artifact; a failure warns on stderr but never fails the bench.
+void WriteReport(const obs::BenchReport& report);
 
 }  // namespace benchutil
 }  // namespace rcb

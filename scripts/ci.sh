@@ -1,11 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: build and run the full test suite twice —
 # once with the default toolchain flags, once under ASan + UBSan
-# (-DRCB_SANITIZE=ON). Both must pass for a change to merge.
+# (-DRCB_SANITIZE=ON). Both must pass for a change to merge. Each pass also
+# runs one fast bench in JSON-artifact mode and validates the emitted
+# BENCH_*.json against the schema (C++ validator, plus jq if present).
 #
 # Usage: scripts/ci.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+check_bench_json() {
+  local build_dir="$1"
+  local artifact_dir="${build_dir}/ci-bench-json"
+  echo "=== ${build_dir}: bench JSON gate ==="
+  rm -rf "${artifact_dir}"
+  mkdir -p "${artifact_dir}"
+  RCB_BENCH_JSON_DIR="${artifact_dir}" "${build_dir}/bench/bench_actions" \
+      > /dev/null
+  local artifacts=("${artifact_dir}"/BENCH_*.json)
+  "${build_dir}/tools/validate_bench_json" "${artifacts[@]}"
+  if command -v jq >/dev/null; then
+    for artifact in "${artifacts[@]}"; do
+      jq -e '.schema_version == 1 and (.bench | length > 0)
+             and (.config_fingerprint | test("^[0-9a-f]{64}$"))
+             and (.metrics | length > 0)' "${artifact}" > /dev/null
+    done
+  fi
+}
 
 run_suite() {
   local build_dir="$1"
@@ -17,6 +38,7 @@ run_suite() {
   cmake --build "${build_dir}" -j
   echo "=== ${build_dir}: ctest ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+  check_bench_json "${build_dir}"
 }
 
 run_suite build "$@"

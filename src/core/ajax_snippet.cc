@@ -30,7 +30,73 @@ std::string MetaContent(Document* document, std::string_view name) {
 AjaxSnippet::AjaxSnippet(Browser* participant_browser, SnippetConfig config)
     : browser_(participant_browser),
       config_(std::move(config)),
-      backoff_rng_(config_.backoff_seed) {}
+      backoff_rng_(config_.backoff_seed) {
+  RegisterMetrics();
+}
+
+void AjaxSnippet::RegisterMetrics() {
+  // Callback counters over SnippetMetrics: the struct stays the source of
+  // truth (same migration pattern as RcbAgent's AgentMetrics).
+  auto field = [this](std::string_view name, std::string_view help,
+                      const uint64_t& source) {
+    registry_.AddCallbackCounter(name, help, obs::Provenance::kSim,
+                                 [&source] { return source; });
+  };
+  field("rcb_snippet_polls_sent", "Ajax polls sent", metrics_.polls_sent);
+  field("rcb_snippet_content_updates", "Snapshots with content applied",
+        metrics_.content_updates);
+  field("rcb_snippet_empty_responses", "Polls answered with no new content",
+        metrics_.empty_responses);
+  field("rcb_snippet_actions_sent", "User actions piggybacked on polls",
+        metrics_.actions_sent);
+  field("rcb_snippet_broadcasts_received", "Broadcast actions received",
+        metrics_.broadcasts_received);
+  field("rcb_snippet_auth_rejections", "Polls rejected by the agent (403)",
+        metrics_.auth_rejections);
+  field("rcb_snippet_stream_parts_received", "Push-mode parts received",
+        metrics_.stream_parts_received);
+  field("rcb_snippet_stream_drops", "Push streams closed under us",
+        metrics_.stream_drops);
+  field("rcb_snippet_poll_timeouts", "Polls abandoned after poll_timeout",
+        metrics_.poll_timeouts);
+  field("rcb_snippet_transport_failures", "Polls whose transport failed",
+        metrics_.transport_failures);
+  field("rcb_snippet_reconnects", "Successful resume re-handshakes",
+        metrics_.reconnects);
+  field("rcb_snippet_reconnect_failures", "Resume attempts that failed",
+        metrics_.reconnect_failures);
+  field("rcb_snippet_resyncs", "Full snapshots applied after recovery",
+        metrics_.resyncs);
+  field("rcb_snippet_stream_reopens", "Push streams reopened",
+        metrics_.stream_reopens);
+  field("rcb_snippet_overload_deferrals", "429/503 Retry-After hints honored",
+        metrics_.overload_deferrals);
+  field("rcb_snippet_object_fetch_failures", "Supplementary fetches that failed",
+        metrics_.object_fetch_failures);
+
+  static constexpr const char* kApplyStageLabels[4] = {
+      "stage=\"clean_head\"", "stage=\"set_head\"", "stage=\"drop_stale\"",
+      "stage=\"set_body\""};
+  for (size_t i = 0; i < 4; ++i) {
+    apply_stage_hist_[i] = registry_.AddHistogram(
+        "rcb_snippet_apply_stage_us",
+        "CPU microseconds per Fig. 5 snapshot-apply stage",
+        obs::Provenance::kWall, obs::LatencyBoundsUs(), kApplyStageLabels[i]);
+  }
+  apply_us_ = registry_.AddHistogram(
+      "rcb_snippet_apply_us",
+      "CPU microseconds per whole Fig. 5 snapshot apply (M6)",
+      obs::Provenance::kWall, obs::LatencyBoundsUs());
+  content_download_us_ = registry_.AddHistogram(
+      "rcb_snippet_content_download_us",
+      "Simulated microseconds from poll send to content received (M2)",
+      obs::Provenance::kSim, obs::LatencyBoundsUs());
+  object_fetch_us_ = registry_.AddHistogram(
+      "rcb_snippet_object_fetch_us",
+      "Simulated microseconds to download an update's supplementary objects "
+      "(M3/M4)",
+      obs::Provenance::kSim, obs::LatencyBoundsUs());
+}
 
 AjaxSnippet::~AjaxSnippet() { Leave(); }
 
@@ -590,9 +656,17 @@ void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
   }
 
   if (snapshot.has_content && snapshot.doc_time_ms > doc_time_ms_) {
+    int64_t sim_now_us = browser_->loop()->now().micros();
     metrics_.last_content_download = transport_time;
+    content_download_us_->Record(transport_time.micros());
+    trace_.Append("snippet.content_download", obs::Provenance::kSim,
+                  sim_now_us - transport_time.micros(),
+                  transport_time.micros());
     auto start = std::chrono::steady_clock::now();
-    ApplySnapshot(snapshot);
+    {
+      obs::WallSpan span(&trace_, "snippet.apply", sim_now_us, apply_us_);
+      ApplySnapshot(snapshot);
+    }
     auto end = std::chrono::steady_clock::now();
     metrics_.last_apply_time = Duration::Micros(
         std::chrono::duration_cast<std::chrono::microseconds>(end - start)
@@ -620,6 +694,20 @@ void AjaxSnippet::ApplySnapshot(const Snapshot& snapshot) {
   if (root == nullptr) {
     return;
   }
+  int64_t sim_now_us = browser_->loop()->now().micros();
+  auto stage_start = std::chrono::steady_clock::now();
+  size_t stage_index = 0;
+  // Closes the current Fig. 5 stage: records its CPU time into the matching
+  // stage histogram and the trace ring, then restarts the stopwatch.
+  auto end_stage = [&](const char* name) {
+    auto now = std::chrono::steady_clock::now();
+    int64_t elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - stage_start)
+            .count();
+    apply_stage_hist_[stage_index++]->Record(elapsed_us);
+    trace_.Append(name, obs::Provenance::kWall, sim_now_us, elapsed_us);
+    stage_start = now;
+  };
   Element* head = root->ChildByTag("head");
   if (head == nullptr) {
     head = root->InsertBefore(MakeElement("head"), root->first_child())->AsElement();
@@ -645,6 +733,7 @@ void AjaxSnippet::ApplySnapshot(const Snapshot& snapshot) {
     script->SetAttribute("id", "rcb-snippet");
     head->AppendChild(std::move(script));
   }
+  end_stage("snippet.apply.clean_head");
 
   // Step 2: append the new head children (attribute lists + innerHTML).
   for (const ElementPayload& payload : snapshot.head_children) {
@@ -655,6 +744,7 @@ void AjaxSnippet::ApplySnapshot(const Snapshot& snapshot) {
     element->SetInnerHtml(payload.inner_html);
     head->AppendChild(std::move(element));
   }
+  end_stage("snippet.apply.set_head");
 
   // Step 3: clean up top-level elements not present in the new content.
   auto wanted = [&](const std::string& tag) {
@@ -682,6 +772,7 @@ void AjaxSnippet::ApplySnapshot(const Snapshot& snapshot) {
   for (Node* node : stale) {
     root->RemoveChild(node);
   }
+  end_stage("snippet.apply.drop_stale");
 
   // Step 4: set the remaining top-level elements from the new content.
   auto apply_top = [&](const ElementPayload& payload) {
@@ -708,6 +799,7 @@ void AjaxSnippet::ApplySnapshot(const Snapshot& snapshot) {
   if (snapshot.noframes.has_value()) {
     apply_top(*snapshot.noframes);
   }
+  end_stage("snippet.apply.set_body");
 }
 
 void AjaxSnippet::FetchSupplementaryObjects() {
@@ -742,6 +834,12 @@ void AjaxSnippet::FetchSupplementaryObjects() {
                             if (--*remaining == 0) {
                               metrics_.last_object_time =
                                   browser_->loop()->now() - start;
+                              object_fetch_us_->Record(
+                                  metrics_.last_object_time.micros());
+                              trace_.Append("snippet.object_fetch",
+                                            obs::Provenance::kSim,
+                                            start.micros(),
+                                            metrics_.last_object_time.micros());
                               if (objects_listener_) {
                                 objects_listener_(metrics_.last_object_time);
                               }

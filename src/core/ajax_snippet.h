@@ -21,6 +21,8 @@
 
 #include "src/browser/browser.h"
 #include "src/core/protocol.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/rand.h"
 
 namespace rcb {
@@ -111,6 +113,12 @@ class AjaxSnippet {
   // leave after this snippet joined).
   const std::vector<std::string>& known_peers() const { return peers_; }
   const SnippetMetrics& metrics() const { return metrics_; }
+  // Observability (DESIGN.md §9): every SnippetMetrics counter
+  // (callback-backed), the Fig. 5 apply-stage histograms (wall), and the
+  // simulated content-download / object-fetch histograms (sim). The snippet
+  // has no HTTP server, so its registry is read in-process (benches, tests).
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  const obs::TraceLog& trace_log() const { return trace_; }
   Duration poll_interval() const { return interval_; }
   // Synchronization model in effect (advertised by the agent's initial page).
   SyncModel sync_model() const { return sync_model_; }
@@ -181,6 +189,8 @@ class AjaxSnippet {
   void ScheduleStreamReopen();
   void ApplySnapshot(const Snapshot& snapshot);
   void FetchSupplementaryObjects();
+  // Registers the snippet's metric families (constructor-time).
+  void RegisterMetrics();
   // Collects a form's current field values from the participant DOM.
   static std::vector<std::pair<std::string, std::string>> FormFields(
       Element* form);
@@ -220,6 +230,16 @@ class AjaxSnippet {
   SimTime last_part_start_;
 
   SnippetMetrics metrics_;
+
+  // --- Observability state (see metrics_registry()/trace_log()). ---
+  obs::MetricsRegistry registry_;
+  obs::TraceLog trace_;
+  // Fig. 5 apply stages, in order: clean_head, set_head, drop_stale, set_body.
+  obs::Histogram* apply_stage_hist_[4] = {};
+  obs::Histogram* apply_us_ = nullptr;             // whole apply, wall (M6)
+  obs::Histogram* content_download_us_ = nullptr;  // sim (M2)
+  obs::Histogram* object_fetch_us_ = nullptr;      // sim (M3/M4)
+
   std::function<void(int64_t)> update_listener_;
   std::function<void(Duration)> objects_listener_;
   std::function<void(const UserAction&)> action_listener_;

@@ -130,6 +130,15 @@ ElementPayload ExtractPayload(const Element& element) {
 GenerationResult ContentGenerator::Generate(int64_t doc_time_ms,
                                             const ContentGenOptions& options) const {
   auto start = std::chrono::steady_clock::now();
+  auto stage_start = start;
+  auto end_stage = [&stage_start]() {
+    auto now = std::chrono::steady_clock::now();
+    Duration elapsed = Duration::Micros(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - stage_start)
+            .count());
+    stage_start = now;
+    return elapsed;
+  };
   GenerationResult result;
   result.snapshot.doc_time_ms = doc_time_ms;
 
@@ -142,18 +151,22 @@ GenerationResult ContentGenerator::Generate(int64_t doc_time_ms,
   // Step 1: clone the documentElement; everything below mutates the clone.
   std::unique_ptr<Node> clone_owned = document->document_element()->Clone();
   Element* clone = clone_owned->AsElement();
+  result.stage_clone = end_stage();
 
   // Step 2: relative -> absolute URLs.
   result.urls_absolutized = AbsolutizeUrls(clone, browser_->current_url());
+  result.stage_absolutize = end_stage();
 
   // Step 3: cache mode only — absolute -> agent URLs for cached objects.
   if (options.cache_mode) {
     result.urls_cache_rewritten =
         RewriteCachedUrls(clone, &browser_->cache(), options);
   }
+  result.stage_cache_rewrite = end_stage();
 
   // Step 4: event-attribute rewriting.
   result.interactive_elements = RewriteEventAttributes(clone);
+  result.stage_event_rewrite = end_stage();
 
   // Step 5: extraction in DOM order.
   result.snapshot.has_content = true;
@@ -176,6 +189,8 @@ GenerationResult ContentGenerator::Generate(int64_t doc_time_ms,
       result.snapshot.noframes = ExtractPayload(*element);
     }
   }
+
+  result.stage_extract = end_stage();
 
   auto end = std::chrono::steady_clock::now();
   result.wall_time = Duration::Micros(

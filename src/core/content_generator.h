@@ -40,6 +40,14 @@ struct GenerationResult {
   size_t urls_cache_rewritten = 0;
   // Real (not simulated) CPU time of the pipeline — the paper's M5.
   Duration wall_time;
+  // Per-stage breakdown of wall_time, one field per Fig. 3 step. The
+  // generator stays observability-free; RcbAgent feeds these into its stage
+  // histograms (rcb_agent_gen_stage_us{stage=...}).
+  Duration stage_clone;
+  Duration stage_absolutize;
+  Duration stage_cache_rewrite;
+  Duration stage_event_rewrite;
+  Duration stage_extract;
 };
 
 class ContentGenerator {

@@ -151,37 +151,50 @@ StatusOr<std::vector<UserAction>> DecodeActions(std::string_view encoded) {
 }
 
 std::string SerializeSnapshotXml(const Snapshot& snapshot) {
+  return SerializeSnapshotXml(snapshot, nullptr);
+}
+
+std::string SerializeSnapshotXml(const Snapshot& snapshot,
+                                 SnapshotSerializeStats* stats) {
   XmlWriter writer;
   writer.WriteDeclaration();
   writer.StartElement("newContent");
   writer.WriteTextElement("docTime", StrFormat("%lld", static_cast<long long>(
                                                             snapshot.doc_time_ms)));
+  auto escape_counted = [stats](std::string raw) {
+    std::string escaped = JsEscape(raw);
+    if (stats != nullptr) {
+      stats->payload_raw_bytes += raw.size();
+      stats->payload_escaped_bytes += escaped.size();
+    }
+    return escaped;
+  };
   if (snapshot.has_content) {
     writer.StartElement("docContent");
     writer.StartElement("docHead");
     int child_index = 1;
     for (const ElementPayload& child : snapshot.head_children) {
       writer.WriteCdataElement(StrFormat("hChild%d", child_index++),
-                               JsEscape(EncodeElementPayload(child)));
+                               escape_counted(EncodeElementPayload(child)));
     }
     writer.EndElement();  // docHead
     if (snapshot.body.has_value()) {
-      writer.WriteCdataElement("docBody",
-                               JsEscape(EncodeElementPayload(*snapshot.body)));
+      writer.WriteCdataElement(
+          "docBody", escape_counted(EncodeElementPayload(*snapshot.body)));
     }
     if (snapshot.frameset.has_value()) {
-      writer.WriteCdataElement("docFrameSet",
-                               JsEscape(EncodeElementPayload(*snapshot.frameset)));
+      writer.WriteCdataElement(
+          "docFrameSet", escape_counted(EncodeElementPayload(*snapshot.frameset)));
     }
     if (snapshot.noframes.has_value()) {
-      writer.WriteCdataElement("docNoFrames",
-                               JsEscape(EncodeElementPayload(*snapshot.noframes)));
+      writer.WriteCdataElement(
+          "docNoFrames", escape_counted(EncodeElementPayload(*snapshot.noframes)));
     }
     writer.EndElement();  // docContent
   }
   if (!snapshot.user_actions.empty()) {
-    writer.WriteCdataElement("userActions",
-                             JsEscape(EncodeActions(snapshot.user_actions)));
+    writer.WriteCdataElement(
+        "userActions", escape_counted(EncodeActions(snapshot.user_actions)));
   }
   writer.EndElement();  // newContent
   return writer.TakeString();

@@ -97,8 +97,18 @@ struct Snapshot {
   }
 };
 
+// Byte accounting for one SerializeSnapshotXml call: the encoded payload
+// size before and after JsEscape. Their ratio is the escape() inflation the
+// paper's M2 numbers absorb (~1.4–1.8x on the reproduced sites).
+struct SnapshotSerializeStats {
+  size_t payload_raw_bytes = 0;
+  size_t payload_escaped_bytes = 0;
+};
+
 // Serializes per Fig. 4 (with the <?xml?> declaration).
 std::string SerializeSnapshotXml(const Snapshot& snapshot);
+std::string SerializeSnapshotXml(const Snapshot& snapshot,
+                                 SnapshotSerializeStats* stats);
 StatusOr<Snapshot> ParseSnapshotXml(std::string_view xml);
 
 // ---------------------------------------------------------------------------

@@ -50,7 +50,171 @@ std::string_view StripPrefixView(std::string_view s, size_t n) {
 }  // namespace
 
 RcbAgent::RcbAgent(Browser* host_browser, AgentConfig config)
-    : browser_(host_browser), config_(std::move(config)), generator_(host_browser) {}
+    : browser_(host_browser), config_(std::move(config)), generator_(host_browser) {
+  RegisterMetrics();
+}
+
+void RcbAgent::RegisterMetrics() {
+  // Counters: every AgentMetrics field, callback-backed so the struct stays
+  // the single source of truth (the /status page keeps reading it directly).
+  // All of them are sim-provenance: they count simulated protocol events.
+  auto field = [this](std::string_view name, std::string_view help,
+                      const uint64_t& source) {
+    registry_.AddCallbackCounter(name, help, obs::Provenance::kSim,
+                                 [&source] { return source; });
+  };
+  field("rcb_agent_polls_received", "Ajax polling requests received",
+        metrics_.polls_received);
+  field("rcb_agent_polls_with_content", "Poll responses carrying a snapshot",
+        metrics_.polls_with_content);
+  field("rcb_agent_polls_empty", "Poll responses with no new content",
+        metrics_.polls_empty);
+  field("rcb_agent_object_requests", "GET /obj/<key> requests served",
+        metrics_.object_requests);
+  field("rcb_agent_object_bytes_served", "Cached object bytes served",
+        metrics_.object_bytes_served);
+  field("rcb_agent_new_connections", "Initial pages served to new participants",
+        metrics_.new_connections);
+  field("rcb_agent_auth_failures", "Requests failing HMAC verification",
+        metrics_.auth_failures);
+  field("rcb_agent_generations", "Fig. 3 content-generation pipeline runs",
+        metrics_.generations);
+  field("rcb_agent_snapshot_reuses", "Snapshots served without regeneration",
+        metrics_.snapshot_reuses);
+  field("rcb_agent_actions_applied", "Participant actions applied on the host",
+        metrics_.actions_applied);
+  field("rcb_agent_actions_held", "Actions queued for host confirmation",
+        metrics_.actions_held);
+  field("rcb_agent_actions_denied", "Actions rejected by policy",
+        metrics_.actions_denied);
+  field("rcb_agent_poll_timeouts", "Abandoned polls reported by snippets",
+        metrics_.poll_timeouts);
+  field("rcb_agent_reconnects", "Resume re-handshakes served",
+        metrics_.reconnects);
+  field("rcb_agent_resyncs", "Full snapshots served to resync polls",
+        metrics_.resyncs);
+  field("rcb_agent_participants_reaped", "Silent participants removed",
+        metrics_.participants_reaped);
+  field("rcb_agent_connections_rejected", "503s at accept (connection cap)",
+        metrics_.connections_rejected);
+  field("rcb_agent_participants_rejected", "503s at join/poll (roster cap)",
+        metrics_.participants_rejected);
+  field("rcb_agent_polls_rate_limited", "429s from the poll token bucket",
+        metrics_.polls_rate_limited);
+  field("rcb_agent_actions_rate_limited",
+        "Piggybacked actions dropped by the action token bucket",
+        metrics_.actions_rate_limited);
+  field("rcb_agent_actions_shed", "Reject-newest drops at a full action queue",
+        metrics_.actions_shed);
+  field("rcb_agent_snapshots_shed", "Push versions superseded before send",
+        metrics_.snapshots_shed);
+  field("rcb_agent_idle_read_timeouts", "Slow-loris connections closed",
+        metrics_.idle_read_timeouts);
+  field("rcb_agent_oversized_rejected", "413s for head/body over the caps",
+        metrics_.oversized_rejected);
+  field("rcb_agent_snapshot_bytes_raw",
+        "CDATA payload bytes before JsEscape, across all generations",
+        metrics_.snapshot_bytes_raw);
+  field("rcb_agent_snapshot_bytes_escaped",
+        "CDATA payload bytes after JsEscape, across all generations",
+        metrics_.snapshot_bytes_escaped);
+
+  // ObjectCache counters/gauges (shared with the host browser).
+  ObjectCache* cache = &browser_->cache();
+  registry_.AddCallbackCounter("rcb_cache_hits", "Object cache lookup hits",
+                               obs::Provenance::kSim,
+                               [cache] { return cache->hits(); });
+  registry_.AddCallbackCounter("rcb_cache_misses", "Object cache lookup misses",
+                               obs::Provenance::kSim,
+                               [cache] { return cache->misses(); });
+  registry_.AddCallbackCounter("rcb_cache_evictions",
+                               "Objects evicted by the cache byte budget",
+                               obs::Provenance::kSim,
+                               [cache] { return cache->evictions(); });
+  registry_.AddCallbackCounter("rcb_cache_evicted_bytes",
+                               "Bytes evicted by the cache byte budget",
+                               obs::Provenance::kSim,
+                               [cache] { return cache->evicted_bytes(); });
+  registry_.AddCallbackGauge(
+      "rcb_cache_bytes", "Bytes currently held by the object cache",
+      obs::Provenance::kSim,
+      [cache] { return static_cast<double>(cache->total_bytes()); });
+  registry_.AddCallbackGauge(
+      "rcb_cache_objects", "Objects currently held by the object cache",
+      obs::Provenance::kSim,
+      [cache] { return static_cast<double>(cache->size()); });
+
+  // Session shape gauges.
+  registry_.AddCallbackGauge(
+      "rcb_agent_participants", "Participants on the roster",
+      obs::Provenance::kSim,
+      [this] { return static_cast<double>(participants_.size()); });
+  registry_.AddCallbackGauge(
+      "rcb_agent_streams", "Held push streams", obs::Provenance::kSim,
+      [this] { return static_cast<double>(streams_.size()); });
+  registry_.AddCallbackGauge(
+      "rcb_agent_pending_actions", "Actions awaiting host confirmation",
+      obs::Provenance::kSim,
+      [this] { return static_cast<double>(pending_actions_.size()); });
+  registry_.AddCallbackGauge(
+      "rcb_agent_last_snapshot_bytes", "Serialized size of the last snapshot",
+      obs::Provenance::kSim,
+      [this] { return static_cast<double>(metrics_.last_snapshot_bytes); });
+  registry_.AddCallbackGauge(
+      "rcb_agent_last_generation_us",
+      "CPU time of the last Fig. 3 pipeline run (M5)", obs::Provenance::kWall,
+      [this] { return static_cast<double>(metrics_.last_generation_time.micros()); });
+  registry_.AddCallbackGauge(
+      "rcb_agent_total_generation_us",
+      "Cumulative CPU time of all Fig. 3 pipeline runs",
+      obs::Provenance::kWall, [this] {
+        return static_cast<double>(metrics_.total_generation_time.micros());
+      });
+
+  // Trace-log health: span counts are a pure function of the simulated
+  // schedule even though span durations are wall time.
+  registry_.AddCallbackCounter("rcb_agent_trace_spans",
+                               "Spans appended to the trace ring",
+                               obs::Provenance::kSim,
+                               [this] { return trace_.total_appended(); });
+  registry_.AddCallbackCounter("rcb_agent_trace_dropped",
+                               "Spans evicted from the trace ring",
+                               obs::Provenance::kSim,
+                               [this] { return trace_.dropped(); });
+
+  // Histograms. Stage and request CPU times are wall provenance; the
+  // serialized snapshot size is sim provenance (deterministic bytes).
+  static constexpr const char* kStageLabels[6] = {
+      "stage=\"clone\"",         "stage=\"absolutize\"",
+      "stage=\"cache_rewrite\"", "stage=\"event_rewrite\"",
+      "stage=\"extract\"",       "stage=\"serialize\""};
+  for (size_t i = 0; i < 6; ++i) {
+    stage_hist_[i] = registry_.AddHistogram(
+        "rcb_agent_gen_stage_us",
+        "CPU microseconds per Fig. 3 snapshot-pipeline stage",
+        obs::Provenance::kWall, obs::LatencyBoundsUs(), kStageLabels[i]);
+  }
+  generation_us_ = registry_.AddHistogram(
+      "rcb_agent_generation_us",
+      "CPU microseconds per whole Fig. 3 pipeline run (M5)",
+      obs::Provenance::kWall, obs::LatencyBoundsUs());
+  snapshot_bytes_ = registry_.AddHistogram(
+      "rcb_agent_snapshot_bytes", "Serialized snapshot XML bytes (M2)",
+      obs::Provenance::kSim, obs::SizeBoundsBytes());
+  hmac_verify_us_ = registry_.AddHistogram(
+      "rcb_agent_hmac_verify_us",
+      "CPU microseconds per HMAC request verification (§3.4)",
+      obs::Provenance::kWall, obs::LatencyBoundsUs());
+  static constexpr const char* kRequestLabels[6] = {
+      "type=\"poll\"",   "type=\"new_connection\"", "type=\"object\"",
+      "type=\"status\"", "type=\"metrics\"",        "type=\"other\""};
+  for (size_t i = 0; i < 6; ++i) {
+    request_hist_[i] = registry_.AddHistogram(
+        "rcb_agent_request_us",
+        "CPU microseconds handling one request, by Fig. 2 class",
+        obs::Provenance::kWall, obs::LatencyBoundsUs(), kRequestLabels[i]);
+  }
+}
 
 RcbAgent::~RcbAgent() { Stop(); }
 
@@ -341,14 +505,37 @@ RcbAgent::SnapshotSlot& RcbAgent::RefreshSlot(bool cache_mode, bool count_reuse)
   options.cache_mode = cache_mode;
   options.agent_url = AgentUrl();
   options.cache_object_filter = config_.cache_object_filter;
+  int64_t sim_now_us = browser_->loop()->now().micros();
   GenerationResult result = generator_.Generate(current_doc_time_ms_, options);
   slot.snapshot = std::move(result.snapshot);
-  slot.xml = SerializeSnapshotXml(slot.snapshot);
+  SnapshotSerializeStats serialize_stats;
+  {
+    obs::WallSpan span(&trace_, "agent.generate.serialize", sim_now_us,
+                       stage_hist_[5]);
+    slot.xml = SerializeSnapshotXml(slot.snapshot, &serialize_stats);
+  }
   slot.valid = true;
   ++metrics_.generations;
   metrics_.last_generation_time = result.wall_time;
   metrics_.total_generation_time += result.wall_time;
   metrics_.last_snapshot_bytes = slot.xml.size();
+  metrics_.snapshot_bytes_raw += serialize_stats.payload_raw_bytes;
+  metrics_.snapshot_bytes_escaped += serialize_stats.payload_escaped_bytes;
+  // Feed the generator's per-stage breakdown into the stage histograms and
+  // the trace ring (the generator itself stays observability-free).
+  const std::pair<const char*, Duration> stages[5] = {
+      {"agent.generate.clone", result.stage_clone},
+      {"agent.generate.absolutize", result.stage_absolutize},
+      {"agent.generate.cache_rewrite", result.stage_cache_rewrite},
+      {"agent.generate.event_rewrite", result.stage_event_rewrite},
+      {"agent.generate.extract", result.stage_extract}};
+  for (size_t i = 0; i < 5; ++i) {
+    stage_hist_[i]->Record(stages[i].second.micros());
+    trace_.Append(stages[i].first, obs::Provenance::kWall, sim_now_us,
+                  stages[i].second.micros());
+  }
+  generation_us_->Record(result.wall_time.micros());
+  snapshot_bytes_->Record(static_cast<int64_t>(slot.xml.size()));
   return slot;
 }
 
@@ -364,24 +551,62 @@ const Snapshot& RcbAgent::CurrentSnapshotForTest() {
 }
 
 HttpResponse RcbAgent::HandleRequest(const HttpRequest& request) {
-  // Fig. 2: classify by method token and request-URI token.
+  int64_t sim_now_us = browser_->loop()->now().micros();
+  // Fig. 2: classify by method token and request-URI token. Each class gets
+  // a wall span over its handler (request handling consumes zero simulated
+  // time, so the sim timestamp only records *where* on the timeline it ran).
   if (request.method == HttpMethod::kPost) {
+    obs::WallSpan span(&trace_, "agent.request.poll", sim_now_us,
+                       request_hist_[0]);
     return HandlePoll(request);
   }
   if (request.method == HttpMethod::kGet) {
     std::string path = request.Path();
     if (path == "/") {
+      obs::WallSpan span(&trace_, "agent.request.new_connection", sim_now_us,
+                         request_hist_[1]);
       return HandleNewConnection(request);
     }
     if (StartsWith(path, "/obj/")) {
+      obs::WallSpan span(&trace_, "agent.request.object", sim_now_us,
+                         request_hist_[2]);
       return HandleObjectRequest(request);
     }
     if (path == "/status") {
+      obs::WallSpan span(&trace_, "agent.request.status", sim_now_us,
+                         request_hist_[3]);
       return HandleStatusPage();
     }
+    if (path == "/metrics") {
+      obs::WallSpan span(&trace_, "agent.request.metrics", sim_now_us,
+                         request_hist_[4]);
+      return HandleMetrics(request);
+    }
+    obs::WallSpan span(&trace_, "agent.request.other", sim_now_us,
+                       request_hist_[5]);
     return HttpResponse::NotFound(path);
   }
+  obs::WallSpan span(&trace_, "agent.request.other", sim_now_us,
+                     request_hist_[5]);
   return HttpResponse::BadRequest("unsupported method");
+}
+
+HttpResponse RcbAgent::HandleMetrics(const HttpRequest& request) {
+  // The exposition names participants and counts their behaviour, so it is
+  // authenticated exactly like polls (§3.4): anyone holding the session key
+  // may scrape it.
+  if (!VerifyRequestAuth(request)) {
+    ++metrics_.auth_failures;
+    return HttpResponse::Forbidden("request authentication failed");
+  }
+  obs::RenderOptions options;
+  auto params = request.QueryParams();
+  auto view = params.find("view");
+  if (view != params.end() && view->second == "sim") {
+    options.include_wall = false;  // deterministic subset only
+  }
+  return HttpResponse::Ok("text/plain; version=0.0.4; charset=utf-8",
+                          registry_.RenderPrometheus(options));
 }
 
 std::string RcbAgent::BuildInitialPage(const std::string& pid) const {
@@ -619,10 +844,12 @@ HttpResponse RcbAgent::HandleStatusPage() const {
                        body + "</body></html>");
 }
 
-bool RcbAgent::VerifyRequestAuth(const HttpRequest& request) const {
+bool RcbAgent::VerifyRequestAuth(const HttpRequest& request) {
   if (config_.session_key.empty()) {
     return true;
   }
+  obs::WallSpan span(&trace_, "agent.auth.hmac_verify",
+                     browser_->loop()->now().micros(), hmac_verify_us_);
   // The hmac parameter is carried in the request-URI; the MAC covers the
   // method, the URI without that parameter, and the body.
   auto params = ParseFormUrlEncodedOrdered(request.QueryString());

@@ -29,6 +29,8 @@
 #include "src/core/protocol.h"
 #include "src/http/http_parser.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/token_bucket.h"
 
 namespace rcb {
@@ -131,6 +133,11 @@ struct AgentMetrics {
   uint64_t snapshots_shed = 0;         // push versions superseded before send
   uint64_t idle_read_timeouts = 0;     // slow-loris connections closed
   uint64_t oversized_rejected = 0;     // 413s for head/body over the caps
+  // --- escape() accounting (M2): cumulative CDATA payload bytes before and
+  // after JsEscape across all generations. Their ratio is the inflation the
+  // paper's transmission sizes absorb. ---
+  uint64_t snapshot_bytes_raw = 0;
+  uint64_t snapshot_bytes_escaped = 0;
   Duration last_generation_time;       // M5, real CPU time
   Duration total_generation_time;
   size_t last_snapshot_bytes = 0;
@@ -161,6 +168,14 @@ class RcbAgent {
 
   const AgentConfig& config() const { return config_; }
   const AgentMetrics& metrics() const { return metrics_; }
+
+  // Observability (DESIGN.md §9). The registry carries every AgentMetrics
+  // counter (callback-backed, same names), the ObjectCache counters, and the
+  // stage/request histograms; /metrics renders it in the Prometheus text
+  // format. The trace log keeps the most recent spans (generation stages,
+  // request handling, HMAC checks).
+  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  const obs::TraceLog& trace_log() const { return trace_; }
 
   // Connected participants (have completed a poll recently enough to be
   // considered live); the agent "knows exactly which participants are
@@ -225,6 +240,10 @@ class RcbAgent {
   // GET /status: the host-side session dashboard (roster, freshness,
   // counters) — the connection/status indicator suggested in §5.2.3.
   HttpResponse HandleStatusPage() const;
+  // GET /metrics: Prometheus text exposition of the registry. Authenticated
+  // like polls; ?view=sim renders only the deterministic (sim-provenance)
+  // families, which are byte-identical across identical simulated runs.
+  HttpResponse HandleMetrics(const HttpRequest& request);
 
   // Push model: a GET /stream request upgrades the connection into a held
   // multipart/x-mixed-replace stream; parts are written on every change.
@@ -238,7 +257,8 @@ class RcbAgent {
   static std::string MultipartPart(const std::string& xml);
 
   // §3.4: verifies the hmac request-URI parameter over the canonical request.
-  bool VerifyRequestAuth(const HttpRequest& request) const;
+  // Non-const: records the verification's CPU time (rcb_agent_hmac_verify_us).
+  bool VerifyRequestAuth(const HttpRequest& request);
 
   // Data merging: routes one participant action through the policies.
   void ApplyAction(const std::string& pid, const UserAction& action);
@@ -277,6 +297,10 @@ class RcbAgent {
 
   std::string BuildInitialPage(const std::string& pid) const;
 
+  // Registers every family on registry_ (constructor-time; callback counters
+  // read metrics_ and the browser cache at render time).
+  void RegisterMetrics();
+
   Browser* browser_;
   AgentConfig config_;
   ContentGenerator generator_;
@@ -294,6 +318,19 @@ class RcbAgent {
   AgentMetrics metrics_;
   uint64_t next_pid_ = 1;
   bool push_flush_pending_ = false;
+
+  // --- Observability state (see metrics_registry()/trace_log()). ---
+  obs::MetricsRegistry registry_;
+  obs::TraceLog trace_;
+  // Fig. 3 stage histograms, one per gen_stage label, in pipeline order:
+  // clone, absolutize, cache_rewrite, event_rewrite, extract, serialize.
+  obs::Histogram* stage_hist_[6] = {};
+  obs::Histogram* generation_us_ = nullptr;   // whole pipeline, wall
+  obs::Histogram* snapshot_bytes_ = nullptr;  // serialized XML size, sim
+  obs::Histogram* hmac_verify_us_ = nullptr;  // wall
+  // Request handling CPU time by Fig. 2 class:
+  // poll, new_connection, object, status, metrics, other.
+  obs::Histogram* request_hist_[6] = {};
 };
 
 }  // namespace rcb

@@ -1,0 +1,265 @@
+#include "src/obs/bench_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/crypto/sha256.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace obs {
+namespace {
+
+// Shortest representation that round-trips typical values; integral values
+// print without a fraction so sim-provenance numbers diff cleanly.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  return StrFormat("%.9g", value);
+}
+
+// Exact nearest-rank percentile over a sorted sample vector.
+double NearestRank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  rank = std::clamp<size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::SetConfig(const std::string& key, const std::string& value) {
+  for (auto& [existing_key, existing_value] : config_) {
+    if (existing_key == key) {
+      existing_value = value;
+      return;
+    }
+  }
+  config_.emplace_back(key, value);
+}
+
+void BenchReport::AddValue(const std::string& name, const std::string& unit,
+                           Provenance provenance, double value) {
+  Metric metric;
+  metric.name = name;
+  metric.unit = unit;
+  metric.provenance = provenance;
+  metric.is_distribution = false;
+  metric.value = value;
+  metrics_.push_back(std::move(metric));
+}
+
+void BenchReport::AddDistribution(const std::string& name,
+                                  const std::string& unit,
+                                  Provenance provenance,
+                                  std::vector<double> samples) {
+  Metric metric;
+  metric.name = name;
+  metric.unit = unit;
+  metric.provenance = provenance;
+  metric.is_distribution = true;
+  metric.count = samples.size();
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    metric.min = samples.front();
+    metric.max = samples.back();
+    for (double sample : samples) {
+      metric.sum += sample;
+    }
+    metric.mean = metric.sum / static_cast<double>(samples.size());
+    metric.p50 = NearestRank(samples, 50.0);
+    metric.p95 = NearestRank(samples, 95.0);
+    metric.p99 = NearestRank(samples, 99.0);
+  }
+  metrics_.push_back(std::move(metric));
+}
+
+std::string BenchReport::ConfigFingerprint() const {
+  std::vector<std::string> lines;
+  lines.reserve(config_.size());
+  for (const auto& [key, value] : config_) {
+    lines.push_back(key + "=" + value);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string canonical = name_ + "\n";
+  for (const std::string& line : lines) {
+    canonical += line + "\n";
+  }
+  return Sha256::HexDigest(canonical);
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"schema_version\": %d,\n", kBenchReportSchemaVersion);
+  out += "  \"bench\": \"" + JsonEscape(name_) + "\",\n";
+  out += "  \"config\": {";
+  for (size_t i = 0; i < config_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(config_[i].first) + "\": \"" +
+           JsonEscape(config_[i].second) + "\"";
+  }
+  out += config_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"config_fingerprint\": \"" + ConfigFingerprint() + "\",\n";
+  out += "  \"metrics\": [";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& metric = metrics_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + JsonEscape(metric.name) + "\", \"unit\": \"" +
+           JsonEscape(metric.unit) + "\", \"provenance\": \"" +
+           std::string(ProvenanceName(metric.provenance)) + "\", ";
+    if (metric.is_distribution) {
+      out += "\"kind\": \"distribution\", ";
+      out += StrFormat("\"count\": %llu, ",
+                       static_cast<unsigned long long>(metric.count));
+      out += "\"min\": " + JsonNumber(metric.min) + ", ";
+      out += "\"p50\": " + JsonNumber(metric.p50) + ", ";
+      out += "\"p95\": " + JsonNumber(metric.p95) + ", ";
+      out += "\"p99\": " + JsonNumber(metric.p99) + ", ";
+      out += "\"max\": " + JsonNumber(metric.max) + ", ";
+      out += "\"mean\": " + JsonNumber(metric.mean) + ", ";
+      out += "\"sum\": " + JsonNumber(metric.sum) + "}";
+    } else {
+      out += "\"kind\": \"value\", \"value\": " + JsonNumber(metric.value) + "}";
+    }
+  }
+  out += metrics_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status BenchReport::WriteFile(std::string* path_out) const {
+  const char* dir = std::getenv("RCB_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                         : "BENCH_" + name_ + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return UnavailableError("cannot open " + path + " for writing");
+  }
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return UnavailableError("short write to " + path);
+  }
+  std::printf("bench artifact: %s\n", path.c_str());
+  if (path_out != nullptr) {
+    *path_out = path;
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+Status Violation(const std::string& message) {
+  return InvalidArgumentError("bench report schema: " + message);
+}
+
+Status RequireNumber(const JsonValue& metric, const char* key) {
+  const JsonValue* value = metric.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    return Violation(StrFormat("distribution metric missing numeric \"%s\"", key));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateBenchReportJson(const JsonValue& document) {
+  if (!document.is_object()) {
+    return Violation("document is not an object");
+  }
+  const JsonValue* version = document.Find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->number_value != kBenchReportSchemaVersion) {
+    return Violation(StrFormat("schema_version must be %d",
+                               kBenchReportSchemaVersion));
+  }
+  const JsonValue* bench = document.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string_value.empty()) {
+    return Violation("\"bench\" must be a non-empty string");
+  }
+  const JsonValue* config = document.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    return Violation("\"config\" must be an object");
+  }
+  for (const auto& [key, value] : config->members) {
+    if (!value.is_string()) {
+      return Violation("config value for \"" + key + "\" must be a string");
+    }
+  }
+  const JsonValue* fingerprint = document.Find("config_fingerprint");
+  if (fingerprint == nullptr || !fingerprint->is_string() ||
+      fingerprint->string_value.size() != 64 ||
+      fingerprint->string_value.find_first_not_of("0123456789abcdef") !=
+          std::string::npos) {
+    return Violation("\"config_fingerprint\" must be 64 lowercase hex chars");
+  }
+  const JsonValue* metrics = document.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    return Violation("\"metrics\" must be an array");
+  }
+  if (metrics->items.empty()) {
+    return Violation("\"metrics\" must not be empty");
+  }
+  for (const JsonValue& metric : metrics->items) {
+    if (!metric.is_object()) {
+      return Violation("metric entries must be objects");
+    }
+    const JsonValue* name = metric.Find("name");
+    if (name == nullptr || !name->is_string() || name->string_value.empty()) {
+      return Violation("metric \"name\" must be a non-empty string");
+    }
+    const JsonValue* unit = metric.Find("unit");
+    if (unit == nullptr || !unit->is_string()) {
+      return Violation("metric \"" + name->string_value + "\" missing \"unit\"");
+    }
+    const JsonValue* provenance = metric.Find("provenance");
+    if (provenance == nullptr || !provenance->is_string() ||
+        (provenance->string_value != "sim" &&
+         provenance->string_value != "wall")) {
+      return Violation("metric \"" + name->string_value +
+                       "\" provenance must be \"sim\" or \"wall\"");
+    }
+    const JsonValue* kind = metric.Find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      return Violation("metric \"" + name->string_value + "\" missing \"kind\"");
+    }
+    if (kind->string_value == "value") {
+      const JsonValue* value = metric.Find("value");
+      if (value == nullptr || !value->is_number()) {
+        return Violation("value metric \"" + name->string_value +
+                         "\" missing numeric \"value\"");
+      }
+    } else if (kind->string_value == "distribution") {
+      const JsonValue* count = metric.Find("count");
+      if (count == nullptr || !count->is_number() ||
+          count->number_value < 0 ||
+          count->number_value != std::floor(count->number_value)) {
+        return Violation("distribution metric \"" + name->string_value +
+                         "\" missing integral \"count\"");
+      }
+      for (const char* key : {"min", "p50", "p95", "p99", "max", "mean", "sum"}) {
+        RCB_RETURN_IF_ERROR(RequireNumber(metric, key));
+      }
+    } else {
+      return Violation("metric \"" + name->string_value +
+                       "\" kind must be \"value\" or \"distribution\"");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace rcb

@@ -1,0 +1,84 @@
+// Machine-readable bench artifacts: BENCH_<name>.json.
+//
+// Every bench binary prints its human-readable table AND writes one of these
+// so the perf trajectory can be populated and diffed mechanically. A report
+// carries:
+//   * a config map + a sha256 fingerprint over (bench name + sorted config),
+//     so two artifacts are comparable only when their fingerprints match,
+//   * value metrics (single numbers: counts, shape checks, byte totals),
+//   * distribution metrics (exact nearest-rank percentiles over the raw
+//     sample vector: min/p50/p95/p99/max/mean/sum/count).
+// Each metric is tagged with provenance: "sim" values are bit-reproducible
+// across runs (simulated clock / event counts), "wall" values are real CPU
+// time and vary by machine. The schema is documented in EXPERIMENTS.md and
+// enforced by ValidateBenchReportJson (scripts/ci.sh runs it on every
+// artifact the gate bench emits).
+#ifndef SRC_OBS_BENCH_REPORT_H_
+#define SRC_OBS_BENCH_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+namespace rcb {
+namespace obs {
+
+// The version ValidateBenchReportJson accepts; bump on breaking changes.
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+class BenchReport {
+ public:
+  // `name` becomes the artifact filename: BENCH_<name>.json.
+  explicit BenchReport(std::string name);
+
+  void SetConfig(const std::string& key, const std::string& value);
+
+  void AddValue(const std::string& name, const std::string& unit,
+                Provenance provenance, double value);
+  // Exact sample statistics; `samples` need not be sorted. Empty sample sets
+  // are recorded with count 0 and zeroed statistics.
+  void AddDistribution(const std::string& name, const std::string& unit,
+                       Provenance provenance, std::vector<double> samples);
+
+  const std::string& name() const { return name_; }
+  size_t metric_count() const { return metrics_.size(); }
+
+  // Canonical fingerprint input: "<name>\n" + sorted "key=value" lines.
+  std::string ConfigFingerprint() const;
+
+  std::string ToJson() const;
+
+  // Writes BENCH_<name>.json under $RCB_BENCH_JSON_DIR (default: the current
+  // directory) and reports the path on stdout so bench logs show where the
+  // artifact went.
+  Status WriteFile(std::string* path_out = nullptr) const;
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string unit;
+    Provenance provenance;
+    bool is_distribution = false;
+    double value = 0.0;  // kind == "value"
+    // kind == "distribution":
+    uint64_t count = 0;
+    double min = 0.0, max = 0.0, mean = 0.0, sum = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Metric> metrics_;
+};
+
+// Checks a parsed BENCH_*.json document against the schema documented in
+// EXPERIMENTS.md. Returns the first violation found.
+Status ValidateBenchReportJson(const JsonValue& document);
+
+}  // namespace obs
+}  // namespace rcb
+
+#endif  // SRC_OBS_BENCH_REPORT_H_

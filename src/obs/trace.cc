@@ -1,0 +1,37 @@
+#include "src/obs/trace.h"
+
+namespace rcb {
+namespace obs {
+
+TraceLog::TraceLog(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  events_.reserve(capacity_);
+}
+
+void TraceLog::Append(std::string name, Provenance provenance,
+                      int64_t sim_start_us, int64_t duration_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.provenance = provenance;
+  event.sim_start_us = sim_start_us;
+  event.duration_us = duration_us;
+  event.seq = next_seq_++;
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  events_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceLog::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rcb

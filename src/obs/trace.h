@@ -1,0 +1,98 @@
+// Lightweight span tracing over a bounded ring buffer.
+//
+// Request handling in the discrete-event simulation consumes zero simulated
+// time, so a span records *where on the simulated timeline* work happened
+// (sim_start_us, always deterministic) plus *how long it took*:
+//   * Provenance::kSim  — duration measured on the simulated clock (e.g. a
+//     poll round trip); bit-reproducible,
+//   * Provenance::kWall — duration measured on the CPU clock (Fig. 3 / Fig. 5
+//     pipeline stages, HMAC verification); machine-dependent.
+// The log keeps the most recent `capacity` events and counts what it
+// dropped, so tracing can stay always-on without unbounded growth.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace rcb {
+namespace obs {
+
+struct TraceEvent {
+  std::string name;       // dotted path, e.g. "agent.generate.clone"
+  Provenance provenance;  // what duration_us was measured with
+  int64_t sim_start_us;   // simulated instant the span began
+  int64_t duration_us;
+  uint64_t seq;           // global append order (monotone, never wraps)
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 1024);
+
+  void Append(std::string name, Provenance provenance, int64_t sim_start_us,
+              int64_t duration_us);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return events_.size(); }
+  uint64_t total_appended() const { return next_seq_; }
+  uint64_t dropped() const {
+    return next_seq_ - static_cast<uint64_t>(events_.size());
+  }
+
+  // Oldest-to-newest copy of the retained window.
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;  // ring; head_ is the oldest slot
+  size_t head_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+// RAII wall-clock span: measures CPU time from construction to destruction,
+// then appends a kWall trace event (when `log` is non-null) and records the
+// elapsed microseconds into `histogram` (when non-null).
+class WallSpan {
+ public:
+  WallSpan(TraceLog* log, const char* name, int64_t sim_now_us,
+           Histogram* histogram = nullptr)
+      : log_(log),
+        name_(name),
+        sim_now_us_(sim_now_us),
+        histogram_(histogram),
+        start_(std::chrono::steady_clock::now()) {}
+  ~WallSpan() {
+    int64_t elapsed = ElapsedUs();
+    if (histogram_ != nullptr) {
+      histogram_->Record(elapsed);
+    }
+    if (log_ != nullptr) {
+      log_->Append(name_, Provenance::kWall, sim_now_us_, elapsed);
+    }
+  }
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+  int64_t ElapsedUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  TraceLog* log_;
+  const char* name_;
+  int64_t sim_now_us_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace rcb
+
+#endif  // SRC_OBS_TRACE_H_

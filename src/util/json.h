@@ -1,0 +1,51 @@
+// Minimal JSON: a value model, a strict recursive-descent parser, and string
+// escaping for writers.
+//
+// Exists for the BENCH_*.json perf artifacts (src/obs/bench_report.h): the
+// bench binaries write them and scripts/ci.sh validates them with a plain
+// C++ checker, so the schema gate runs anywhere the toolchain does — no
+// external JSON dependency. Numbers are doubles (ints up to 2^53 round-trip
+// exactly); object member order is preserved.
+#ifndef SRC_UTIL_JSON_H_
+#define SRC_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rcb {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                                // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;      // kObject
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  // Object member lookup (first match); nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses exactly one JSON document (trailing non-whitespace is an error).
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+// Escapes `s` for inclusion inside a double-quoted JSON string literal.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace rcb
+
+#endif  // SRC_UTIL_JSON_H_

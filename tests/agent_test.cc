@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include "src/browser/object_cache.h"
+#include "src/core/content_generator.h"
 #include "src/core/rcb_agent.h"
 #include "src/crypto/hmac.h"
+#include "src/sites/corpus.h"
 #include "src/sites/site_server.h"
 
 namespace rcb {
@@ -873,6 +875,168 @@ TEST(ObjectCacheLruTest, NewestEntrySurvivesEvenAloneOverBudget) {
   EXPECT_FALSE(cache.Contains(a));
   EXPECT_TRUE(cache.Contains(big));  // never evict the entry just inserted
   EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(AgentTest, MetricsEndpointServesRegistry) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  Poll(poll);
+
+  FetchResult result =
+      Fetch(HttpMethod::kGet, Url::Make("http", "host-pc", 3000, "/metrics"));
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.response.status_code, 200);
+  EXPECT_EQ(result.response.headers.Get("Content-Type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  const std::string& body = result.response.body;
+  // Every pre-existing AgentMetrics counter is exported under rcb_agent_*.
+  for (const char* name :
+       {"rcb_agent_polls_received", "rcb_agent_polls_with_content",
+        "rcb_agent_polls_empty", "rcb_agent_object_requests",
+        "rcb_agent_object_bytes_served", "rcb_agent_new_connections",
+        "rcb_agent_auth_failures", "rcb_agent_generations",
+        "rcb_agent_snapshot_reuses", "rcb_agent_actions_applied",
+        "rcb_agent_actions_held", "rcb_agent_actions_denied",
+        "rcb_agent_poll_timeouts", "rcb_agent_reconnects",
+        "rcb_agent_resyncs", "rcb_agent_participants_reaped",
+        "rcb_agent_connections_rejected", "rcb_agent_participants_rejected",
+        "rcb_agent_polls_rate_limited", "rcb_agent_actions_rate_limited",
+        "rcb_agent_actions_shed", "rcb_agent_snapshots_shed",
+        "rcb_agent_idle_read_timeouts", "rcb_agent_oversized_rejected",
+        "rcb_agent_snapshot_bytes_raw", "rcb_agent_snapshot_bytes_escaped"}) {
+    EXPECT_NE(body.find(name), std::string::npos) << name;
+  }
+  // Live values: the poll above registered a participant and forced a
+  // generation.
+  EXPECT_NE(body.find("rcb_agent_polls_received 1\n"), std::string::npos);
+  EXPECT_NE(body.find("rcb_agent_generations 1\n"), std::string::npos);
+  // Cache and gauge families.
+  EXPECT_NE(body.find("rcb_cache_hits"), std::string::npos);
+  EXPECT_NE(body.find("rcb_cache_bytes"), std::string::npos);
+  EXPECT_NE(body.find("rcb_agent_participants 1\n"), std::string::npos);
+  // Fig. 3 stage histograms, one series per stage.
+  for (const char* stage : {"clone", "absolutize", "cache_rewrite",
+                            "event_rewrite", "extract", "serialize"}) {
+    std::string series =
+        std::string("rcb_agent_gen_stage_us_count{stage=\"") + stage + "\"} 1";
+    EXPECT_NE(body.find(series), std::string::npos) << series;
+  }
+}
+
+TEST_F(AgentTest, MetricsEndpointAuthenticatedLikePolls) {
+  AgentConfig config;
+  config.session_key = "topsecretkey";
+  StartAgent(config);
+  HostNavigate();
+
+  // Unsigned scrape: rejected, counted.
+  FetchResult unsigned_result =
+      Fetch(HttpMethod::kGet, Url::Make("http", "host-pc", 3000, "/metrics"));
+  EXPECT_EQ(unsigned_result.response.status_code, 403);
+  EXPECT_EQ(agent_->metrics().auth_failures, 1u);
+
+  // Signed scrape: the MAC covers "GET /metrics\n" (empty body).
+  std::string mac = HmacSha256Hex("topsecretkey", "GET /metrics\n");
+  FetchResult signed_result = Fetch(
+      HttpMethod::kGet,
+      Url::Make("http", "host-pc", 3000, "/metrics", "hmac=" + mac));
+  EXPECT_EQ(signed_result.response.status_code, 200);
+  EXPECT_NE(signed_result.response.body.find("rcb_agent_auth_failures 1\n"),
+            std::string::npos);
+}
+
+TEST_F(AgentTest, MetricsSimViewOmitsWallFamilies) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  Poll(poll);
+
+  FetchResult full =
+      Fetch(HttpMethod::kGet, Url::Make("http", "host-pc", 3000, "/metrics"));
+  FetchResult sim = Fetch(
+      HttpMethod::kGet,
+      Url::Make("http", "host-pc", 3000, "/metrics", "view=sim"));
+  ASSERT_EQ(full.response.status_code, 200);
+  ASSERT_EQ(sim.response.status_code, 200);
+  // Wall-provenance families (CPU timings) appear only in the full view.
+  EXPECT_NE(full.response.body.find("rcb_agent_gen_stage_us"),
+            std::string::npos);
+  EXPECT_NE(full.response.body.find("rcb_agent_hmac_verify_us"),
+            std::string::npos);
+  EXPECT_EQ(sim.response.body.find("rcb_agent_gen_stage_us"),
+            std::string::npos);
+  EXPECT_EQ(sim.response.body.find("rcb_agent_last_generation_us"),
+            std::string::npos);
+  // Sim families appear in both.
+  EXPECT_NE(sim.response.body.find("rcb_agent_polls_received"),
+            std::string::npos);
+  EXPECT_NE(sim.response.body.find("rcb_agent_snapshot_bytes_bucket"),
+            std::string::npos);
+}
+
+TEST_F(AgentTest, SnapshotEscapeBytePairTracked) {
+  StartAgent();
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  FetchResult result = Poll(poll);
+  ASSERT_EQ(result.response.status_code, 200);
+
+  const AgentMetrics& metrics = agent_->metrics();
+  EXPECT_GT(metrics.snapshot_bytes_raw, 0u);
+  // escape() only ever grows the payload.
+  EXPECT_GE(metrics.snapshot_bytes_escaped, metrics.snapshot_bytes_raw);
+  double ratio = static_cast<double>(metrics.snapshot_bytes_escaped) /
+                 static_cast<double>(metrics.snapshot_bytes_raw);
+  EXPECT_GE(ratio, 1.0);
+  EXPECT_LE(ratio, 2.5);
+}
+
+// The paper's transmission sizes absorb escape() inflation (§5.1.2 M2): on
+// Fig. 3 snapshots of the Table 1 corpus pages the CDATA payload grows by
+// roughly 1.4-1.8x.
+TEST(SnapshotEscapeInflationTest, CorpusPagesInflateAsExpected) {
+  for (const char* name : {"google.com", "facebook.com", "amazon.com"}) {
+    const SiteSpec* spec = FindSite(name);
+    ASSERT_NE(spec, nullptr);
+    EventLoop loop;
+    Network network(&loop);
+    network.AddHost(spec->host, {});
+    network.AddHost("host-pc", {});
+    auto server = InstallSite(&loop, &network, *spec);
+    Browser browser(&loop, &network, "host-pc");
+    bool done = false;
+    browser.Navigate(Url::Make("http", spec->host, 80, "/"),
+                     [&](const Status&, const PageLoadStats&) { done = true; });
+    loop.RunUntilCondition([&] { return done; });
+
+    ContentGenerator generator(&browser);
+    ContentGenOptions options;
+    options.cache_mode = true;
+    options.agent_url = Url::Make("http", "host-pc", 3000, "/");
+    GenerationResult result = generator.Generate(1, options);
+    SnapshotSerializeStats stats;
+    std::string xml = SerializeSnapshotXml(result.snapshot, &stats);
+    ASSERT_GT(stats.payload_raw_bytes, 0u);
+    // escape() alone grows the CDATA payload (quotes, newlines, slashes)...
+    double escape_ratio = static_cast<double>(stats.payload_escaped_bytes) /
+                          static_cast<double>(stats.payload_raw_bytes);
+    EXPECT_GE(escape_ratio, 1.15) << name << " escape ratio " << escape_ratio;
+    EXPECT_LE(escape_ratio, 1.85) << name << " escape ratio " << escape_ratio;
+    // ...and together with the XML envelope the snapshot lands at roughly
+    // 1.4-1.8x the original page (the inflation Fig. 4 transmissions absorb;
+    // bench_table1_processing reports the full-corpus distribution).
+    double snapshot_ratio =
+        static_cast<double>(xml.size()) / 1024.0 / spec->page_kb;
+    EXPECT_GE(snapshot_ratio, 1.35) << name << " snapshot " << snapshot_ratio;
+    EXPECT_LE(snapshot_ratio, 1.85) << name << " snapshot " << snapshot_ratio;
+  }
 }
 
 TEST_F(AgentTest, StaleActionTargetIgnored) {

@@ -1,0 +1,196 @@
+// Tests for the minimal JSON layer (src/util/json.h) and the BENCH_*.json
+// schema checker (src/obs/bench_report.h): parse round-trips, strictness on
+// malformed documents, report generation, and validator acceptance/rejection.
+#include <gtest/gtest.h>
+
+#include "src/obs/bench_report.h"
+#include "src/util/json.h"
+
+namespace rcb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value);
+  EXPECT_FALSE(ParseJson("false")->bool_value);
+  EXPECT_EQ(ParseJson("42")->number_value, 42.0);
+  EXPECT_EQ(ParseJson("-3.5e2")->number_value, -350.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value, "hi");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto value = ParseJson("\"a\\\"b\\\\c\\n\\t\\u0041\"");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->string_value, "a\"b\\c\n\tA");
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  auto value = ParseJson(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}, "e": -0.5})");
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(value->is_object());
+  const JsonValue* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_EQ(a->items[1].number_value, 2.0);
+  EXPECT_EQ(a->items[2].Find("b")->string_value, "x");
+  EXPECT_TRUE(value->Find("c")->Find("d")->is_null());
+  EXPECT_EQ(value->Find("e")->number_value, -0.5);
+  EXPECT_EQ(value->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, MemberOrderPreserved) {
+  auto value = ParseJson(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(value.ok());
+  ASSERT_EQ(value->members.size(), 3u);
+  EXPECT_EQ(value->members[0].first, "z");
+  EXPECT_EQ(value->members[1].first, "a");
+  EXPECT_EQ(value->members[2].first, "m");
+}
+
+TEST(JsonParseTest, MalformedDocumentsRejected) {
+  const char* bad[] = {
+      "",              // empty
+      "{",             // unterminated object
+      "[1, 2",         // unterminated array
+      "{\"a\" 1}",     // missing colon
+      "{\"a\": 1,}",   // trailing comma
+      "[1,, 2]",       // double comma
+      "\"unterminated",
+      "01",            // leading zero
+      "1.",            // bare decimal point
+      "nul",           // truncated keyword
+      "{'a': 1}",      // single quotes
+      "1 2",           // trailing garbage
+      "\"bad\\q\"",    // unknown escape
+      "\"\\u12g4\"",   // bad unicode escape
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonEscapeTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01", 2)), "a\\u0001");
+}
+
+TEST(JsonRoundTripTest, EscapedStringSurvives) {
+  std::string original = "quote\" slash\\ newline\n tab\t unicode\x02";
+  std::string doc = "\"" + JsonEscape(original) + "\"";
+  auto value = ParseJson(doc);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->string_value, original);
+}
+
+// ---------------------------------------------------------------------------
+// BenchReport + validator
+// ---------------------------------------------------------------------------
+
+obs::BenchReport SampleReport() {
+  obs::BenchReport report("unit");
+  report.SetConfig("profile", "lan");
+  report.SetConfig("repetitions", "3");
+  report.AddValue("answered", "polls", obs::Provenance::kSim, 12);
+  report.AddDistribution("latency_us", "us", obs::Provenance::kWall,
+                         {30.0, 10.0, 20.0, 40.0, 50.0});
+  return report;
+}
+
+TEST(BenchReportTest, GeneratedJsonValidates) {
+  std::string json = SampleReport().ToJson();
+  auto document = ParseJson(json);
+  ASSERT_TRUE(document.ok()) << json;
+  EXPECT_TRUE(obs::ValidateBenchReportJson(*document).ok());
+  EXPECT_EQ(document->Find("schema_version")->number_value,
+            obs::kBenchReportSchemaVersion);
+  EXPECT_EQ(document->Find("bench")->string_value, "unit");
+}
+
+TEST(BenchReportTest, DistributionStatsAreExactNearestRank) {
+  std::string json = SampleReport().ToJson();
+  auto document = ParseJson(json);
+  ASSERT_TRUE(document.ok());
+  const JsonValue* metrics = document->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* latency = nullptr;
+  for (const JsonValue& metric : metrics->items) {
+    if (metric.Find("name")->string_value == "latency_us") {
+      latency = &metric;
+    }
+  }
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->Find("kind")->string_value, "distribution");
+  EXPECT_EQ(latency->Find("provenance")->string_value, "wall");
+  EXPECT_EQ(latency->Find("count")->number_value, 5.0);
+  EXPECT_EQ(latency->Find("min")->number_value, 10.0);
+  EXPECT_EQ(latency->Find("max")->number_value, 50.0);
+  EXPECT_EQ(latency->Find("p50")->number_value, 30.0);
+  EXPECT_EQ(latency->Find("p95")->number_value, 50.0);
+  EXPECT_EQ(latency->Find("mean")->number_value, 30.0);
+  EXPECT_EQ(latency->Find("sum")->number_value, 150.0);
+}
+
+TEST(BenchReportTest, FingerprintTracksConfig) {
+  obs::BenchReport a("unit");
+  a.SetConfig("profile", "lan");
+  obs::BenchReport b("unit");
+  b.SetConfig("profile", "lan");
+  obs::BenchReport c("unit");
+  c.SetConfig("profile", "wan");
+  auto fingerprint = [](const obs::BenchReport& report) {
+    return ParseJson(report.ToJson())->Find("config_fingerprint")->string_value;
+  };
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+  EXPECT_EQ(fingerprint(a).size(), 64u);
+}
+
+TEST(BenchReportValidatorTest, RejectsSchemaViolations) {
+  // Start from a valid document and break one field at a time.
+  const std::string valid = SampleReport().ToJson();
+  struct Case {
+    const char* what;
+    std::string from;
+    std::string to;
+  };
+  const Case cases[] = {
+      {"wrong version", "\"schema_version\": 1", "\"schema_version\": 2"},
+      {"empty bench", "\"bench\": \"unit\"", "\"bench\": \"\""},
+      {"bad provenance", "\"provenance\": \"sim\"",
+       "\"provenance\": \"simulated\""},
+      {"bad kind", "\"kind\": \"value\"", "\"kind\": \"scalar\""},
+      {"non-numeric value", "\"value\": 12", "\"value\": \"12\""},
+  };
+  for (const Case& test_case : cases) {
+    std::string broken = valid;
+    size_t at = broken.find(test_case.from);
+    ASSERT_NE(at, std::string::npos) << test_case.what;
+    broken.replace(at, test_case.from.size(), test_case.to);
+    auto document = ParseJson(broken);
+    ASSERT_TRUE(document.ok()) << test_case.what;
+    EXPECT_FALSE(obs::ValidateBenchReportJson(*document).ok())
+        << test_case.what;
+  }
+  // Fingerprint must be 64 lowercase hex.
+  std::string bad_fingerprint = valid;
+  size_t at = bad_fingerprint.find("\"config_fingerprint\": \"");
+  ASSERT_NE(at, std::string::npos);
+  bad_fingerprint[at + 24] = 'X';
+  auto document = ParseJson(bad_fingerprint);
+  ASSERT_TRUE(document.ok());
+  EXPECT_FALSE(obs::ValidateBenchReportJson(*document).ok());
+
+  EXPECT_FALSE(obs::ValidateBenchReportJson(*ParseJson("{}")).ok());
+  EXPECT_FALSE(obs::ValidateBenchReportJson(*ParseJson("[]")).ok());
+}
+
+}  // namespace
+}  // namespace rcb

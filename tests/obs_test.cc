@@ -1,0 +1,285 @@
+// Tests for the observability subsystem (src/obs): histogram bucket math
+// and percentile estimation, registry collision rules, Prometheus rendering
+// (including the wall-provenance filter), the bounded trace ring, and the
+// determinism contract — two identical simulated sessions must render a
+// byte-identical sim-only /metrics body.
+#include <gtest/gtest.h>
+
+#include "src/core/session.h"
+#include "src/net/profiles.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sites/corpus.h"
+
+namespace rcb {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketsCountInclusiveUpperBounds) {
+  Histogram histogram({10, 100, 1000});
+  // One value per region: <=10, (10,100], (100,1000], overflow.
+  histogram.Record(10);    // boundary value lands in its bucket (inclusive)
+  histogram.Record(11);
+  histogram.Record(100);
+  histogram.Record(1000);
+  histogram.Record(1001);  // overflow
+  ASSERT_EQ(histogram.bucket_counts().size(), 4u);
+  EXPECT_EQ(histogram.bucket_counts()[0], 1u);
+  EXPECT_EQ(histogram.bucket_counts()[1], 2u);
+  EXPECT_EQ(histogram.bucket_counts()[2], 1u);
+  EXPECT_EQ(histogram.bucket_counts()[3], 1u);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.sum(), 10 + 11 + 100 + 1000 + 1001);
+  EXPECT_EQ(histogram.min(), 10);
+  EXPECT_EQ(histogram.max(), 1001);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram histogram({10, 100});
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.min(), 0);
+  EXPECT_EQ(histogram.max(), 0);
+  EXPECT_EQ(histogram.mean(), 0.0);
+  EXPECT_EQ(histogram.Percentile(50.0), 0.0);
+  EXPECT_EQ(histogram.p99(), 0.0);
+}
+
+TEST(HistogramTest, SingleValuePercentilesCollapseToIt) {
+  Histogram histogram(LatencyBoundsUs());
+  histogram.Record(777);
+  EXPECT_EQ(histogram.p50(), 777.0);
+  EXPECT_EQ(histogram.p95(), 777.0);
+  EXPECT_EQ(histogram.p99(), 777.0);
+}
+
+TEST(HistogramTest, PercentilesClampToObservedRange) {
+  Histogram histogram({1000, 2000, 4000});
+  for (int64_t v : {1500, 1600, 1700, 1800}) {
+    histogram.Record(v);
+  }
+  // All mass in the (1000, 2000] bucket: every percentile estimate must stay
+  // inside the observed [1500, 1800] window, and be monotone in p.
+  double p50 = histogram.p50();
+  double p99 = histogram.p99();
+  EXPECT_GE(p50, 1500.0);
+  EXPECT_LE(p99, 1800.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(HistogramTest, PercentileSpreadAcrossBuckets) {
+  Histogram histogram({100, 200, 300, 400});
+  // 100 values uniform in [1, 400]: p50 near 200, p99 near 400.
+  for (int64_t v = 1; v <= 400; v += 4) {
+    histogram.Record(v);
+  }
+  EXPECT_NEAR(histogram.p50(), 200.0, 60.0);
+  EXPECT_GT(histogram.p99(), 300.0);
+  EXPECT_LE(histogram.p99(), 400.0);
+}
+
+TEST(HistogramTest, ExponentialBoundsShape) {
+  std::vector<int64_t> bounds = Histogram::ExponentialBounds(10, 2.0, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds[0], 10);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+  EXPECT_EQ(bounds[4], 160);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, ValidAndInvalidNames) {
+  EXPECT_TRUE(MetricsRegistry::IsValidMetricName("rcb_agent_polls_total"));
+  EXPECT_TRUE(MetricsRegistry::IsValidMetricName("a:b_c9"));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName(""));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName("9starts_with_digit"));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName("has-dash"));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName("has space"));
+}
+
+TEST(MetricsRegistryTest, DuplicateRegistrationRejected) {
+  MetricsRegistry registry;
+  Counter* first = registry.AddCounter("dup", "help", Provenance::kSim);
+  ASSERT_NE(first, nullptr);
+  // Same (name, labels) again: rejected.
+  EXPECT_EQ(registry.AddCounter("dup", "help", Provenance::kSim), nullptr);
+  // Same name as another kind / provenance / help: rejected.
+  EXPECT_EQ(registry.AddGauge("dup", "help", Provenance::kSim), nullptr);
+  EXPECT_EQ(registry.AddCounter("dup", "help", Provenance::kWall), nullptr);
+  EXPECT_EQ(registry.AddCounter("dup", "other help", Provenance::kSim),
+            nullptr);
+  // Same family, new label set: fine.
+  EXPECT_NE(registry.AddCounter("dup", "help", Provenance::kSim,
+                                "stage=\"x\""),
+            nullptr);
+  EXPECT_EQ(registry.AddCounter("bad name", "help", Provenance::kSim),
+            nullptr);
+  EXPECT_EQ(registry.family_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, FindHonorsKindAndLabels) {
+  MetricsRegistry registry;
+  Counter* counter =
+      registry.AddCounter("c", "help", Provenance::kSim, "k=\"v\"");
+  counter->Add(3);
+  EXPECT_EQ(registry.FindCounter("c", "k=\"v\"")->value(), 3u);
+  EXPECT_EQ(registry.FindCounter("c"), nullptr);       // label mismatch
+  EXPECT_EQ(registry.FindGauge("c", "k=\"v\""), nullptr);  // kind mismatch
+}
+
+TEST(MetricsRegistryTest, CallbackInstrumentsReadSourceAtRenderTime) {
+  MetricsRegistry registry;
+  uint64_t source = 0;
+  registry.AddCallbackCounter("cb", "help", Provenance::kSim,
+                              [&source] { return source; });
+  EXPECT_NE(registry.RenderPrometheus().find("cb 0\n"), std::string::npos);
+  source = 42;
+  EXPECT_NE(registry.RenderPrometheus().find("cb 42\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusRenderFormat) {
+  MetricsRegistry registry;
+  registry.AddCounter("requests_total", "Requests.", Provenance::kSim)
+      ->Add(7);
+  registry.AddGauge("level", "Level.", Provenance::kSim)->Set(2.5);
+  Histogram* histogram = registry.AddHistogram(
+      "latency_us", "Latency.", Provenance::kSim, {10, 100}, "op=\"x\"");
+  histogram->Record(5);
+  histogram->Record(50);
+  histogram->Record(500);
+
+  std::string body = registry.RenderPrometheus();
+  EXPECT_NE(body.find("# HELP requests_total Requests.\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(body.find("requests_total 7\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE level gauge\n"), std::string::npos);
+  EXPECT_NE(body.find("level 2.5\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE latency_us histogram\n"), std::string::npos);
+  EXPECT_NE(body.find("latency_us_bucket{op=\"x\",le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("latency_us_bucket{op=\"x\",le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("latency_us_bucket{op=\"x\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("latency_us_sum{op=\"x\"} 555\n"), std::string::npos);
+  EXPECT_NE(body.find("latency_us_count{op=\"x\"} 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SimViewOmitsWallFamilies) {
+  MetricsRegistry registry;
+  registry.AddCounter("sim_metric", "Sim.", Provenance::kSim)->Add(1);
+  registry.AddCounter("wall_metric", "Wall.", Provenance::kWall)->Add(1);
+  std::string all = registry.RenderPrometheus();
+  EXPECT_NE(all.find("wall_metric"), std::string::npos);
+  std::string sim_only = registry.RenderPrometheus({.include_wall = false});
+  EXPECT_NE(sim_only.find("sim_metric"), std::string::npos);
+  EXPECT_EQ(sim_only.find("wall_metric"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------------
+
+TEST(TraceLogTest, RetainsNewestAndCountsDropped) {
+  TraceLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Append("span" + std::to_string(i), Provenance::kSim, i * 100, 1);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_appended(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest window over the last four appends, seq monotone.
+  EXPECT_EQ(events.front().name, "span6");
+  EXPECT_EQ(events.back().name, "span9");
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+  EXPECT_EQ(events.back().sim_start_us, 900);
+}
+
+TEST(TraceLogTest, UnderCapacityKeepsEverything) {
+  TraceLog log(8);
+  log.Append("a", Provenance::kWall, 0, 10);
+  log.Append("b", Provenance::kSim, 5, 20);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 0u);
+  std::vector<TraceEvent> events = log.Events();
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[0].provenance, Provenance::kWall);
+  EXPECT_EQ(events[1].duration_us, 20);
+}
+
+TEST(TraceLogTest, WallSpanRecordsIntoLogAndHistogram) {
+  TraceLog log(8);
+  Histogram histogram(LatencyBoundsUs());
+  {
+    WallSpan span(&log, "unit.work", /*sim_now_us=*/1234, &histogram);
+  }
+  ASSERT_EQ(log.size(), 1u);
+  std::vector<TraceEvent> events = log.Events();
+  EXPECT_EQ(events[0].name, "unit.work");
+  EXPECT_EQ(events[0].provenance, Provenance::kWall);
+  EXPECT_EQ(events[0].sim_start_us, 1234);
+  EXPECT_GE(events[0].duration_us, 0);
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the sim-only exposition of two identical simulated sessions
+// must be byte-identical (the contract /metrics?view=sim serves).
+// ---------------------------------------------------------------------------
+
+std::string RunSessionAndRenderSimMetrics(std::string* snippet_body) {
+  EventLoop loop;
+  Network network(&loop);
+  SessionOptions options;
+  options.profile = LanProfile();
+  const SiteSpec* spec = FindSite("google.com");
+  AddOriginServer(&network, options.profile, spec->host, spec->server_bps,
+                  spec->server_latency, options.host_machine,
+                  options.participant_machine_prefix + "-1");
+  auto server = InstallSite(&loop, &network, *spec);
+  CoBrowsingSession session(&loop, &network, options);
+  EXPECT_TRUE(session.Start().ok());
+  auto stats = session.CoNavigate(Url::Make("http", spec->host, 80, "/"));
+  EXPECT_TRUE(stats.ok());
+  // Let a few poll cycles pass so counters move beyond the initial sync.
+  loop.RunFor(Duration::Seconds(5.0));
+  session.host_browser()->MutateDocument([](Document* document) {
+    auto marker = MakeElement("div");
+    marker->SetAttribute("id", "probe");
+    document->body()->AppendChild(std::move(marker));
+  });
+  loop.RunFor(Duration::Seconds(3.0));
+  RenderOptions sim_only{.include_wall = false};
+  *snippet_body = session.snippet(0)->metrics_registry().RenderPrometheus(
+      sim_only);
+  return session.agent()->metrics_registry().RenderPrometheus(sim_only);
+}
+
+TEST(ObsDeterminismTest, TwoIdenticalSessionsRenderIdenticalSimMetrics) {
+  std::string snippet_first;
+  std::string snippet_second;
+  std::string agent_first = RunSessionAndRenderSimMetrics(&snippet_first);
+  std::string agent_second = RunSessionAndRenderSimMetrics(&snippet_second);
+  EXPECT_FALSE(agent_first.empty());
+  EXPECT_EQ(agent_first, agent_second);
+  EXPECT_EQ(snippet_first, snippet_second);
+  // The deterministic body must carry real activity, not just zeros.
+  EXPECT_NE(agent_first.find("rcb_agent_generations"), std::string::npos);
+  EXPECT_EQ(agent_first.find("rcb_agent_generations 0\n"), std::string::npos)
+      << agent_first;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rcb

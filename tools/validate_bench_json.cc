@@ -1,0 +1,47 @@
+// Validates BENCH_*.json artifacts against the schema in
+// src/obs/bench_report.h (schema_version 1). Exit 0 iff every file parses
+// and validates; one diagnostic line per file either way.
+//
+// Usage: validate_bench_json FILE...
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/bench_report.h"
+#include "src/util/json.h"
+#include "src/util/status.h"
+
+namespace {
+
+rcb::Status ValidateFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return rcb::UnavailableError("cannot open " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  RCB_ASSIGN_OR_RETURN(rcb::JsonValue document,
+                       rcb::ParseJson(contents.str()));
+  return rcb::obs::ValidateBenchReportJson(document);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_file.json...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    rcb::Status status = ValidateFile(argv[i]);
+    if (status.ok()) {
+      std::printf("ok      %s\n", argv[i]);
+    } else {
+      std::printf("INVALID %s: %s\n", argv[i], status.ToString().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
