@@ -1,0 +1,98 @@
+// Delta snapshots (src/delta): bytes-on-wire and latency per small update.
+//
+// RCB's Fig. 3/Fig. 5 pipelines ship a full XML snapshot on every content
+// change, so steady-state co-browsing cost scales with page size rather than
+// change size. The delta subsystem diffs the last-acked tree against the
+// current one and ships a digest-checked patch instead, falling back to the
+// full snapshot when the patch is not clearly smaller. This bench drives the
+// paper's motivating small mutations — a single-element text edit and a form
+// co-fill — across the 20-site corpus under the WAN profile and compares
+// both modes run-for-run.
+#include <algorithm>
+
+#include "bench/common.h"
+
+using namespace rcb;
+using namespace rcb::benchutil;
+
+namespace {
+
+double Median(std::vector<double> values) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader(
+      "Delta snapshots — bytes on wire and latency per small update, WAN",
+      "6 host-side updates per site (single-element text edit / form co-fill)\n"
+      "full = every update ships the snapshot; delta = src/delta patches\n"
+      "1 s poll interval; ADSL 1.5 Mbps down / 384 Kbps up");
+
+  std::printf("%-3s %-15s %11s %11s %7s %9s %9s\n", "#", "site", "full B/upd",
+              "delta B/upd", "ratio", "full ms", "delta ms");
+
+  std::vector<double> full_bytes, delta_bytes, ratios, full_lat, delta_lat;
+  uint64_t patches = 0;
+  uint64_t fallbacks = 0;
+  NetworkProfile wan = WanProfile();
+  for (const SiteSpec& spec : Table1Sites()) {
+    auto full = MeasureSmallUpdates(spec, wan, /*enable_delta=*/false);
+    auto delta = MeasureSmallUpdates(spec, wan, /*enable_delta=*/true);
+    if (!full.ok() || !delta.ok()) {
+      std::printf("%-3d %-15s measurement failed: %s\n", spec.index,
+                  spec.name.c_str(),
+                  (full.ok() ? delta.status() : full.status()).ToString().c_str());
+      continue;
+    }
+    double ratio = delta->bytes_per_update > 0
+                       ? full->bytes_per_update / delta->bytes_per_update
+                       : 0;
+    std::printf("%-3d %-15s %11.0f %11.0f %6.1fx %9.1f %9.1f\n", spec.index,
+                spec.name.c_str(), full->bytes_per_update,
+                delta->bytes_per_update, ratio, full->latency_us / 1000.0,
+                delta->latency_us / 1000.0);
+    full_bytes.push_back(full->bytes_per_update);
+    delta_bytes.push_back(delta->bytes_per_update);
+    ratios.push_back(ratio);
+    full_lat.push_back(full->latency_us);
+    delta_lat.push_back(delta->latency_us);
+    patches += delta->patches_served;
+    fallbacks += delta->patch_fallbacks;
+  }
+  PrintRule();
+  double median_ratio = Median(ratios);
+  std::printf("median bytes-on-wire per update: %.0f B full vs %.0f B delta "
+              "(%.1fx reduction; acceptance: >= 3x)\n",
+              Median(full_bytes), Median(delta_bytes), median_ratio);
+  std::printf("patches served %llu, full-snapshot fallbacks %llu\n",
+              static_cast<unsigned long long>(patches),
+              static_cast<unsigned long long>(fallbacks));
+
+  obs::BenchReport report = MakeReport("delta", "wan", /*cache_mode=*/true,
+                                       /*repetitions=*/1);
+  report.SetConfig("updates_per_site", "6");
+  report.AddDistribution("full_update_bytes", "bytes", obs::Provenance::kSim,
+                         full_bytes);
+  report.AddDistribution("delta_update_bytes", "bytes", obs::Provenance::kSim,
+                         delta_bytes);
+  report.AddDistribution("update_bytes_ratio", "ratio", obs::Provenance::kSim,
+                         ratios);
+  report.AddDistribution("full_update_latency_us", "us", obs::Provenance::kSim,
+                         full_lat);
+  report.AddDistribution("delta_update_latency_us", "us", obs::Provenance::kSim,
+                         delta_lat);
+  report.AddValue("median_update_bytes_ratio", "ratio", obs::Provenance::kSim,
+                  median_ratio);
+  report.AddValue("patches_served", "patches", obs::Provenance::kSim,
+                  static_cast<double>(patches));
+  report.AddValue("patch_fallbacks", "patches", obs::Provenance::kSim,
+                  static_cast<double>(fallbacks));
+  WriteReport(report);
+  return 0;
+}

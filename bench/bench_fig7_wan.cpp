@@ -36,11 +36,36 @@ int main() {
   PrintRule();
   std::printf("shape check: M2 < M1 on %d/20 sites (paper: 17/20)\n", m2_smaller);
 
+  // Steady-state follow-up: the same WAN link, but per-update cost after the
+  // initial load — full snapshots vs src/delta patches (bench_delta has the
+  // full per-site breakdown; this records the headline distributions next to
+  // the load-time numbers they contextualize).
+  std::vector<double> full_update_bytes, delta_update_bytes;
+  for (const SiteSpec& spec : Table1Sites()) {
+    auto full = MeasureSmallUpdates(spec, wan, /*enable_delta=*/false,
+                                    /*rounds=*/4);
+    auto delta = MeasureSmallUpdates(spec, wan, /*enable_delta=*/true,
+                                     /*rounds=*/4);
+    if (!full.ok() || !delta.ok()) {
+      continue;
+    }
+    full_update_bytes.push_back(full->bytes_per_update);
+    delta_update_bytes.push_back(delta->bytes_per_update);
+  }
+  PrintRule();
+  std::printf("steady state: a small update costs O(page) as a full snapshot "
+              "but O(change) as a patch\n(per-update byte distributions in "
+              "the artifact; see bench_delta for the full table)\n");
+
   obs::BenchReport report = MakeReport("fig7_wan", "wan", /*cache_mode=*/true,
                                        /*repetitions=*/5);
   AddMeasurementDistributions(&report, measurements);
   report.AddValue("m2_smaller_than_m1_sites", "sites", obs::Provenance::kSim,
                   m2_smaller);
+  report.AddDistribution("full_update_bytes", "bytes", obs::Provenance::kSim,
+                         full_update_bytes);
+  report.AddDistribution("delta_update_bytes", "bytes", obs::Provenance::kSim,
+                         delta_update_bytes);
   WriteReport(report);
   return 0;
 }

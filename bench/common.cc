@@ -71,6 +71,96 @@ StatusOr<SiteMeasurement> MeasureSite(const SiteSpec& spec,
   return out;
 }
 
+StatusOr<UpdateMeasurement> MeasureSmallUpdates(const SiteSpec& spec,
+                                                const NetworkProfile& profile,
+                                                bool enable_delta, int rounds) {
+  EventLoop loop;
+  Network network(&loop);
+  network.set_slow_start_enabled(true);
+  SessionOptions options;
+  options.profile = profile;
+  options.cache_mode = true;
+  options.poll_interval = Duration::Seconds(1.0);
+  options.enable_delta = enable_delta;
+  AddOriginServer(&network, profile, spec.host, spec.server_bps,
+                  spec.server_latency, options.host_machine,
+                  options.participant_machine_prefix + "-1");
+  auto server = InstallSite(&loop, &network, spec);
+
+  CoBrowsingSession session(&loop, &network, options);
+  RCB_RETURN_IF_ERROR(session.Start());
+  auto stats = session.CoNavigate(Url::Make("http", spec.host, 80, "/"));
+  RCB_RETURN_IF_ERROR(stats.status());
+
+  AjaxSnippet* snippet = session.snippet(0);
+  uint64_t applied = 0;
+  SimTime applied_at;
+  snippet->SetUpdateListener([&](int64_t) {
+    ++applied;
+    applied_at = loop.now();
+  });
+
+  auto mutate = [&](int round) {
+    session.host_browser()->MutateDocument([round](Document* document) {
+      if (round == 0) {
+        // Warm-up: insert the element the text edits below will target.
+        auto status = MakeElement("p");
+        status->SetAttribute("id", "rcb-bench-status");
+        status->AppendChild(MakeText("live"));
+        document->body()->AppendChild(std::move(status));
+      } else if (round % 2 == 1) {
+        Element* status = document->ById("rcb-bench-status");
+        status->RemoveAllChildren();
+        status->AppendChild(
+            MakeText("breaking item number " + std::to_string(round)));
+      } else {
+        // Host-side form co-fill; pages without a form fall back to a body
+        // data attribute (still a one-attribute change).
+        Element* input = document->FindFirst("input");
+        if (input != nullptr) {
+          input->SetAttribute("value", "query " + std::to_string(round));
+        } else {
+          document->body()->SetAttribute("data-fill",
+                                         std::to_string(round));
+        }
+      }
+    });
+  };
+
+  UpdateMeasurement out;
+  out.spec = &spec;
+  double bytes_total = 0;
+  double latency_total_us = 0;
+  for (int round = 0; round <= rounds; ++round) {
+    uint64_t applied_before = applied;
+    uint64_t bytes_before = session.agent()->metrics().content_bytes_sent;
+    SimTime start = loop.now();
+    mutate(round);
+    SimTime deadline = start + Duration::Seconds(10.0);
+    while (applied == applied_before && loop.now() < deadline &&
+           loop.pending_events() > 0) {
+      loop.RunFor(Duration::Millis(10));
+    }
+    if (applied == applied_before) {
+      return DeadlineExceededError("update " + std::to_string(round) +
+                                   " never reached the participant");
+    }
+    if (round == 0) {
+      continue;  // warm-up round establishes the target element
+    }
+    bytes_total += static_cast<double>(
+        session.agent()->metrics().content_bytes_sent - bytes_before);
+    latency_total_us += static_cast<double>((applied_at - start).micros());
+  }
+  snippet->SetUpdateListener(nullptr);
+  out.bytes_per_update = bytes_total / rounds;
+  out.latency_us = latency_total_us / rounds;
+  out.patches_served = session.agent()->metrics().patches_served;
+  out.patch_fallbacks = session.agent()->metrics().patch_fallback_no_base +
+                        session.agent()->metrics().patch_fallback_oversize;
+  return out;
+}
+
 void PrintRule(int width) {
   for (int i = 0; i < width; ++i) {
     std::putchar('-');

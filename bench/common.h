@@ -39,6 +39,27 @@ StatusOr<SiteMeasurement> MeasureSite(const SiteSpec& spec,
                                       bool cache_mode, int repetitions = 5,
                                       size_t participant_count = 1);
 
+// Steady-state update cost for the delta-snapshot comparison (src/delta).
+struct UpdateMeasurement {
+  const SiteSpec* spec = nullptr;
+  double bytes_per_update = 0;   // mean content-response bytes per update
+  double latency_us = 0;         // mean host-mutation -> participant-applied
+  uint64_t patches_served = 0;   // newPatch responses (0 in full mode)
+  uint64_t patch_fallbacks = 0;  // no-base + oversize full-snapshot fallbacks
+};
+
+// Co-browses `spec`'s homepage under `profile`, then drives `rounds` small
+// host-side updates — alternating a single-element text edit and a form
+// co-fill attribute write, the paper's motivating small mutations — and
+// measures per-update wire bytes and sim latency on the participant.
+// `enable_delta` toggles the src/delta patch path; off means every update
+// ships the full snapshot. A warm-up round (not measured) first inserts the
+// status element the text edits target.
+StatusOr<UpdateMeasurement> MeasureSmallUpdates(const SiteSpec& spec,
+                                                const NetworkProfile& profile,
+                                                bool enable_delta,
+                                                int rounds = 6);
+
 // Formatted table output shared by the bench binaries.
 void PrintRule(int width = 78);
 void PrintBenchHeader(const std::string& title, const std::string& setup);

@@ -38,6 +38,12 @@ run_suite() {
   cmake --build "${build_dir}" -j
   echo "=== ${build_dir}: ctest ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+  # Explicit delta gate: the diff/patch round-trip suite and the patch-codec
+  # fuzz cases must pass in this build (ctest already ran them; this re-runs
+  # them by name so a test-registration regression cannot silently drop them).
+  echo "=== ${build_dir}: delta + patch-codec fuzz gate ==="
+  "${build_dir}/tests/delta_test" --gtest_brief=1
+  "${build_dir}/tests/fuzz_test" --gtest_filter='*Patch*' --gtest_brief=1
   check_bench_json "${build_dir}"
 }
 

@@ -1,0 +1,54 @@
+// User actions: the participant gestures piggybacked on Ajax polls and
+// optionally broadcast back to the other participants (§3.3, §4.2.1).
+//
+// Split out of protocol.h so wire formats below the full Fig. 4 snapshot
+// (notably the delta-snapshot patch envelope in src/delta) can carry the
+// same action payloads without depending on the snapshot machinery.
+#ifndef SRC_CORE_ACTIONS_H_
+#define SRC_CORE_ACTIONS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rcb {
+
+enum class ActionType {
+  kClick,      // activate a link or button; target = rcb element index
+  kFormFill,   // co-fill fields of a form without submitting
+  kFormSubmit, // submit a form (fields carry the participant's inputs)
+  kMouseMove,  // pointer position, for pointer mirroring
+  kNavigate,   // participant asks host to navigate (typed URL / search)
+  kPresence,   // join/leave notification; data = "joined" | "left"
+};
+
+std::string_view ActionTypeName(ActionType type);
+StatusOr<ActionType> ParseActionType(std::string_view name);
+
+struct UserAction {
+  ActionType type = ActionType::kClick;
+  // Interactive-element index in the pre-order enumeration RCB assigns
+  // during content generation ("data-rcb-id"). -1 when not applicable.
+  int target = -1;
+  // Form-fill / form-submit field data.
+  std::vector<std::pair<std::string, std::string>> fields;
+  // Pointer coordinates for kMouseMove.
+  int x = 0;
+  int y = 0;
+  // Free-form payload: URL for kNavigate.
+  std::string data;
+  // Originator tag filled in by the agent when broadcasting ("host", "p3").
+  std::string origin;
+
+  bool operator==(const UserAction&) const = default;
+};
+
+// Newline-separated, form-urlencoded per action.
+std::string EncodeActions(const std::vector<UserAction>& actions);
+StatusOr<std::vector<UserAction>> DecodeActions(std::string_view encoded);
+
+}  // namespace rcb
+
+#endif  // SRC_CORE_ACTIONS_H_

@@ -6,6 +6,7 @@
 
 #include "src/browser/resources.h"
 #include "src/crypto/hmac.h"
+#include "src/delta/patch_applier.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -69,6 +70,20 @@ void AjaxSnippet::RegisterMetrics() {
         metrics_.resyncs);
   field("rcb_snippet_stream_reopens", "Push streams reopened",
         metrics_.stream_reopens);
+  field("rcb_snippet_patches_applied", "newPatch deltas committed",
+        metrics_.patches_applied);
+  field("rcb_snippet_patches_stale_ignored",
+        "newPatch deltas dropped as stale (target <= current doc time)",
+        metrics_.patches_stale_ignored);
+  field("rcb_snippet_patch_base_mismatches",
+        "newPatch deltas rejected on base doc-time mismatch",
+        metrics_.patch_base_mismatches);
+  field("rcb_snippet_patch_digest_mismatches",
+        "newPatch deltas rejected on base/target digest mismatch",
+        metrics_.patch_digest_mismatches);
+  field("rcb_snippet_patch_apply_errors",
+        "newPatch deltas that were malformed or failed to apply",
+        metrics_.patch_apply_errors);
   field("rcb_snippet_overload_deferrals", "429/503 Retry-After hints honored",
         metrics_.overload_deferrals);
   field("rcb_snippet_object_fetch_failures", "Supplementary fetches that failed",
@@ -398,8 +413,12 @@ void AjaxSnippet::PollOnce() {
   if (recovery_enabled()) {
     poll.seq = seq;
     poll.timeouts = metrics_.poll_timeouts;
-    poll.resync = need_resync_;
   }
+  // need_resync_ is only ever set by recovery or by a failed patch apply, so
+  // with both features off this stays false and the wire bytes are unchanged.
+  poll.resync = need_resync_;
+  // A resyncing participant must get the full snapshot, not a delta.
+  poll.patch = config_.enable_delta && !need_resync_;
 
   SimTime sent_at = browser_->loop()->now();
   uint64_t epoch = epoch_;
@@ -626,6 +645,19 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
     SchedulePoll(interval_);
     return;
   }
+  if (config_.enable_delta && delta::LooksLikePatchXml(result.response.body)) {
+    auto envelope_or = delta::ParsePatchXml(result.response.body);
+    if (!envelope_or.ok()) {
+      RCB_LOG(kWarning) << "ajax-snippet: bad patch: " << envelope_or.status();
+      ++metrics_.patch_apply_errors;
+      need_resync_ = true;  // next poll demands a full snapshot
+      SchedulePoll(interval_);
+      return;
+    }
+    ProcessPatch(*envelope_or, browser_->loop()->now() - sent_at);
+    SchedulePoll(interval_);
+    return;
+  }
   auto snapshot_or = ParseSnapshotXml(result.response.body);
   if (!snapshot_or.ok()) {
     RCB_LOG(kWarning) << "ajax-snippet: bad snapshot: " << snapshot_or.status();
@@ -636,9 +668,9 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
   SchedulePoll(interval_);
 }
 
-void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
-                                  Duration transport_time) {
-  for (const UserAction& action : snapshot.user_actions) {
+void AjaxSnippet::HandleBroadcastActions(
+    const std::vector<UserAction>& actions) {
+  for (const UserAction& action : actions) {
     ++metrics_.broadcasts_received;
     if (action.type == ActionType::kPresence && !action.origin.empty()) {
       if (action.data == "joined") {
@@ -654,6 +686,11 @@ void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
       action_listener_(action);
     }
   }
+}
+
+void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
+                                  Duration transport_time) {
+  HandleBroadcastActions(snapshot.user_actions);
 
   if (snapshot.has_content && snapshot.doc_time_ms > doc_time_ms_) {
     int64_t sim_now_us = browser_->loop()->now().micros();
@@ -685,6 +722,64 @@ void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
     if (config_.fetch_objects) {
       FetchSupplementaryObjects();
     }
+  }
+}
+
+void AjaxSnippet::ProcessPatch(const delta::PatchEnvelope& envelope,
+                               Duration transport_time) {
+  HandleBroadcastActions(envelope.user_actions);
+
+  int64_t sim_now_us = browser_->loop()->now().micros();
+  auto start = std::chrono::steady_clock::now();
+  delta::ApplyResult result;
+  {
+    obs::WallSpan span(&trace_, "snippet.apply_patch", sim_now_us, apply_us_);
+    result = delta::ApplyPatchToDocument(browser_->document(), doc_time_ms_,
+                                         envelope.patch);
+  }
+  auto end = std::chrono::steady_clock::now();
+  switch (result) {
+    case delta::ApplyResult::kApplied:
+      metrics_.last_content_download = transport_time;
+      content_download_us_->Record(transport_time.micros());
+      trace_.Append("snippet.content_download", obs::Provenance::kSim,
+                    sim_now_us - transport_time.micros(),
+                    transport_time.micros());
+      metrics_.last_apply_time = Duration::Micros(
+          std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+              .count());
+      metrics_.total_apply_time += metrics_.last_apply_time;
+      doc_time_ms_ = envelope.patch.target_doc_time_ms;
+      ++metrics_.content_updates;
+      ++metrics_.patches_applied;
+      if (update_listener_) {
+        update_listener_(doc_time_ms_);
+      }
+      if (config_.fetch_objects) {
+        FetchSupplementaryObjects();
+      }
+      break;
+    case delta::ApplyResult::kStaleIgnored:
+      // Out-of-order or duplicate delivery of a patch we already passed; the
+      // document is untouched and no resync is needed.
+      ++metrics_.patches_stale_ignored;
+      break;
+    case delta::ApplyResult::kBaseTimeMismatch:
+      ++metrics_.patch_base_mismatches;
+      break;
+    case delta::ApplyResult::kBaseDigestMismatch:
+    case delta::ApplyResult::kTargetDigestMismatch:
+      ++metrics_.patch_digest_mismatches;
+      break;
+    case delta::ApplyResult::kApplyError:
+      ++metrics_.patch_apply_errors;
+      break;
+  }
+  if (delta::NeedsResync(result)) {
+    RCB_LOG(kWarning) << "ajax-snippet: patch rejected ("
+                      << delta::ApplyResultName(result)
+                      << "), requesting full resync";
+    need_resync_ = true;
   }
 }
 

@@ -21,6 +21,7 @@
 
 #include "src/browser/browser.h"
 #include "src/core/protocol.h"
+#include "src/delta/patch_codec.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/rand.h"
@@ -53,6 +54,11 @@ struct SnippetConfig {
   // default — a dropped stream is detected but not recovered, like the
   // original snippet.
   bool stream_reconnect = false;
+
+  // Advertise the delta-snapshot capability (src/delta): polls carry patch=1
+  // and newPatch responses are applied with integrity checks. Off keeps the
+  // seed wire format byte-for-byte.
+  bool enable_delta = false;
 };
 
 struct SnippetMetrics {
@@ -71,6 +77,12 @@ struct SnippetMetrics {
   uint64_t reconnect_failures = 0;     // resume attempts that failed
   uint64_t resyncs = 0;                // full snapshots applied after recovery
   uint64_t stream_reopens = 0;         // push streams reopened (opt-in)
+  // --- Delta snapshots (src/delta) ---
+  uint64_t patches_applied = 0;         // newPatch responses committed
+  uint64_t patches_stale_ignored = 0;   // patch target <= current doc time
+  uint64_t patch_base_mismatches = 0;   // base doc time != ours -> resync
+  uint64_t patch_digest_mismatches = 0; // base/target digest check failed
+  uint64_t patch_apply_errors = 0;      // malformed patch or op failure
   // --- Overload degradation ---
   // 429/503 answers honored: the poll loop slowed down instead of treating
   // the response as a failure (no backoff escalation, no reconnect).
@@ -165,6 +177,13 @@ class AjaxSnippet {
   // `transport_time` is recorded as last_content_download when content was
   // applied.
   void ProcessSnapshot(const Snapshot& snapshot, Duration transport_time);
+  // Applies a received newPatch delta (src/delta) with integrity checks; any
+  // mismatch flags need_resync_ so the next poll requests a full snapshot.
+  void ProcessPatch(const delta::PatchEnvelope& envelope,
+                    Duration transport_time);
+  // Presence bookkeeping + action listener dispatch for broadcast actions
+  // (shared by the snapshot and patch paths).
+  void HandleBroadcastActions(const std::vector<UserAction>& actions);
   // Push mode: opens the multipart stream and consumes its parts.
   void OpenStream();
   void OnStreamData(std::string_view data);

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/browser/resources.h"
+#include "src/delta/tree_diff.h"
 #include "src/html/serializer.h"
 #include "src/util/strings.h"
 
@@ -196,6 +197,34 @@ GenerationResult ContentGenerator::Generate(int64_t doc_time_ms,
   result.wall_time = Duration::Micros(
       std::chrono::duration_cast<std::chrono::microseconds>(end - start).count());
   return result;
+}
+
+std::unique_ptr<Element> MaterializeSnapshotTree(const Snapshot& snapshot) {
+  auto materialize = [](const ElementPayload& payload) {
+    auto element = MakeElement(payload.tag);
+    for (const auto& [name, value] : payload.attributes) {
+      element->SetAttribute(name, value);
+    }
+    element->SetInnerHtml(payload.inner_html);
+    return element;
+  };
+  auto root = MakeElement("html");
+  auto head = MakeElement("head");
+  for (const ElementPayload& payload : snapshot.head_children) {
+    head->AppendChild(materialize(payload));
+  }
+  root->AppendChild(std::move(head));
+  if (snapshot.body.has_value()) {
+    root->AppendChild(materialize(*snapshot.body));
+  }
+  if (snapshot.frameset.has_value()) {
+    root->AppendChild(materialize(*snapshot.frameset));
+  }
+  if (snapshot.noframes.has_value()) {
+    root->AppendChild(materialize(*snapshot.noframes));
+  }
+  delta::NormalizeTextNodes(root.get());
+  return root;
 }
 
 }  // namespace rcb

@@ -73,6 +73,15 @@ class ContentGenerator {
   Browser* browser_;
 };
 
+// Materializes a snapshot into the canonical tree (src/delta/tree_diff.h) a
+// participant's live document reduces to after a full Fig. 5 apply: payload
+// elements are instantiated exactly as the snippet instantiates them
+// (attributes in payload order, children via SetInnerHtml), so the agent's
+// delta base trees and the participant's live tree digest-match by
+// construction — parser quirks cancel out because both sides run the same
+// parse. This is the "last-acked tree" the delta path diffs against.
+std::unique_ptr<Element> MaterializeSnapshotTree(const Snapshot& snapshot);
+
 }  // namespace rcb
 
 #endif  // SRC_CORE_CONTENT_GENERATOR_H_

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/actions.h"
 #include "src/util/status.h"
 
 namespace rcb {
@@ -40,43 +41,8 @@ struct ElementPayload {
 std::string EncodeElementPayload(const ElementPayload& payload);
 StatusOr<ElementPayload> DecodeElementPayload(std::string_view encoded);
 
-// ---------------------------------------------------------------------------
-// User actions (piggybacked on polls; optionally broadcast to participants).
-// ---------------------------------------------------------------------------
-
-enum class ActionType {
-  kClick,      // activate a link or button; target = rcb element index
-  kFormFill,   // co-fill fields of a form without submitting
-  kFormSubmit, // submit a form (fields carry the participant's inputs)
-  kMouseMove,  // pointer position, for pointer mirroring
-  kNavigate,   // participant asks host to navigate (typed URL / search)
-  kPresence,   // join/leave notification; data = "joined" | "left"
-};
-
-std::string_view ActionTypeName(ActionType type);
-StatusOr<ActionType> ParseActionType(std::string_view name);
-
-struct UserAction {
-  ActionType type = ActionType::kClick;
-  // Interactive-element index in the pre-order enumeration RCB assigns
-  // during content generation ("data-rcb-id"). -1 when not applicable.
-  int target = -1;
-  // Form-fill / form-submit field data.
-  std::vector<std::pair<std::string, std::string>> fields;
-  // Pointer coordinates for kMouseMove.
-  int x = 0;
-  int y = 0;
-  // Free-form payload: URL for kNavigate.
-  std::string data;
-  // Originator tag filled in by the agent when broadcasting ("host", "p3").
-  std::string origin;
-
-  bool operator==(const UserAction&) const = default;
-};
-
-// Newline-separated, form-urlencoded per action.
-std::string EncodeActions(const std::vector<UserAction>& actions);
-StatusOr<std::vector<UserAction>> DecodeActions(std::string_view encoded);
+// User actions (ActionType/UserAction and their codec) live in
+// src/core/actions.h, re-exported here for the protocol's historical users.
 
 // ---------------------------------------------------------------------------
 // Snapshot: the newContent document of Fig. 4.
@@ -130,6 +96,11 @@ struct PollRequest {
   // Participant is recovering and wants a full snapshot regardless of
   // timestamp deltas.
   bool resync = false;
+  // Capability advertisement: the participant can apply newPatch delta
+  // responses (src/delta). An agent that does not understand the field
+  // ignores it; an agent with delta disabled keeps answering with full
+  // snapshots, so the downgrade is automatic in both directions.
+  bool patch = false;
 };
 
 std::string EncodePollRequest(const PollRequest& request);

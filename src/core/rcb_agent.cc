@@ -112,6 +112,22 @@ void RcbAgent::RegisterMetrics() {
         metrics_.idle_read_timeouts);
   field("rcb_agent_oversized_rejected", "413s for head/body over the caps",
         metrics_.oversized_rejected);
+  field("rcb_agent_patches_served", "newPatch delta responses sent",
+        metrics_.patches_served);
+  field("rcb_agent_patch_fallback_no_base",
+        "Patch fallbacks because the acked base left the history window",
+        metrics_.patch_fallback_no_base);
+  field("rcb_agent_patch_fallback_oversize",
+        "Patch fallbacks because the patch exceeded the size cutoff",
+        metrics_.patch_fallback_oversize);
+  field("rcb_agent_patch_bytes_sent", "Cumulative patch response bytes",
+        metrics_.patch_bytes_sent);
+  field("rcb_agent_patch_snapshot_bytes",
+        "Snapshot bytes the served patches replaced",
+        metrics_.patch_snapshot_bytes);
+  field("rcb_agent_content_bytes_sent",
+        "Bytes of document-content-bearing response bodies (snapshot or patch)",
+        metrics_.content_bytes_sent);
   field("rcb_agent_snapshot_bytes_raw",
         "CDATA payload bytes before JsEscape, across all generations",
         metrics_.snapshot_bytes_raw);
@@ -205,6 +221,12 @@ void RcbAgent::RegisterMetrics() {
       "rcb_agent_hmac_verify_us",
       "CPU microseconds per HMAC request verification (§3.4)",
       obs::Provenance::kWall, obs::LatencyBoundsUs());
+  patch_ops_ = registry_.AddHistogram(
+      "rcb_agent_patch_ops", "Tree-diff ops per served patch",
+      obs::Provenance::kSim, obs::CountBounds());
+  patch_bytes_ = registry_.AddHistogram(
+      "rcb_agent_patch_bytes", "Serialized bytes per served patch response",
+      obs::Provenance::kSim, obs::SizeBoundsBytes());
   static constexpr const char* kRequestLabels[6] = {
       "type=\"poll\"",   "type=\"new_connection\"", "type=\"object\"",
       "type=\"status\"", "type=\"metrics\"",        "type=\"other\""};
@@ -436,6 +458,7 @@ void RcbAgent::HandleStreamRequest(AgentConn* conn, const HttpRequest& request) 
     SnapshotSlot& slot = RefreshSlot(CacheModeFor(pid), /*count_reuse=*/true);
     participants_[pid].doc_time_ms = current_doc_time_ms_;
     ++metrics_.polls_with_content;
+    metrics_.content_bytes_sent += slot.xml.size();
     endpoint->Send(MultipartPart(slot.xml));
   }
   PushOutbox(pid);
@@ -455,12 +478,15 @@ void RcbAgent::PushToStreams() {
     participant.doc_time_ms = current_doc_time_ms_;
     participant.last_poll = browser_->loop()->now();
     if (participant.outbox.empty()) {
+      metrics_.content_bytes_sent += slot.xml.size();
       endpoint->Send(MultipartPart(slot.xml));
     } else {
       Snapshot with_actions = slot.snapshot;
       with_actions.user_actions = std::move(participant.outbox);
       participant.outbox.clear();
-      endpoint->Send(MultipartPart(SerializeSnapshotXml(with_actions)));
+      std::string xml = SerializeSnapshotXml(with_actions);
+      metrics_.content_bytes_sent += xml.size();
+      endpoint->Send(MultipartPart(xml));
     }
     ++metrics_.polls_with_content;
   }
@@ -515,6 +541,23 @@ RcbAgent::SnapshotSlot& RcbAgent::RefreshSlot(bool cache_mode, bool count_reuse)
     slot.xml = SerializeSnapshotXml(slot.snapshot, &serialize_stats);
   }
   slot.valid = true;
+  if (config_.enable_delta) {
+    // Retire the previous materialized tree into the base history and
+    // materialize the new version the same way a participant's live document
+    // will look after applying it (so digests agree by construction).
+    BaseVersion previous = std::move(slot.current);
+    slot.current.doc_time_ms = current_doc_time_ms_;
+    slot.current.tree = MaterializeSnapshotTree(slot.snapshot);
+    slot.current.digest = delta::TreeDigest(*slot.current.tree);
+    slot.patch_cache.clear();
+    if (previous.tree != nullptr &&
+        previous.doc_time_ms != slot.current.doc_time_ms) {
+      slot.history.push_back(std::move(previous));
+      while (slot.history.size() > config_.delta_history) {
+        slot.history.pop_front();
+      }
+    }
+  }
   ++metrics_.generations;
   metrics_.last_generation_time = result.wall_time;
   metrics_.total_generation_time += result.wall_time;
@@ -537,6 +580,60 @@ RcbAgent::SnapshotSlot& RcbAgent::RefreshSlot(bool cache_mode, bool count_reuse)
   generation_us_->Record(result.wall_time.micros());
   snapshot_bytes_->Record(static_cast<int64_t>(slot.xml.size()));
   return slot;
+}
+
+std::optional<std::string> RcbAgent::MaybeBuildPatchResponse(
+    SnapshotSlot& slot, int64_t base_time, std::vector<UserAction>* outbox) {
+  if (slot.current.tree == nullptr || base_time >= slot.current.doc_time_ms) {
+    return std::nullopt;  // nothing newer than what the participant acks
+  }
+  auto cached_it = slot.patch_cache.find(base_time);
+  if (cached_it == slot.patch_cache.end()) {
+    CachedPatch cached;
+    const BaseVersion* base = nullptr;
+    for (const BaseVersion& version : slot.history) {
+      if (version.doc_time_ms == base_time) {
+        base = &version;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      // The acked version aged out of the history (or predates delta being
+      // enabled): only a full snapshot can resynchronize the participant.
+      ++metrics_.patch_fallback_no_base;
+      cached.fallback = true;
+    } else {
+      cached.envelope.patch.version = delta::kPatchFormatVersion;
+      cached.envelope.patch.base_doc_time_ms = base->doc_time_ms;
+      cached.envelope.patch.target_doc_time_ms = slot.current.doc_time_ms;
+      cached.envelope.patch.base_digest = base->digest;
+      cached.envelope.patch.target_digest = slot.current.digest;
+      cached.envelope.patch.ops =
+          delta::DiffTrees(*base->tree, *slot.current.tree);
+      cached.xml = delta::SerializePatchXml(cached.envelope);
+      if (cached.xml.size() >
+          config_.patch_size_cutoff * static_cast<double>(slot.xml.size())) {
+        // A patch near snapshot size buys nothing but apply-time risk.
+        ++metrics_.patch_fallback_oversize;
+        cached.fallback = true;
+      }
+    }
+    cached_it = slot.patch_cache.emplace(base_time, std::move(cached)).first;
+  }
+  const CachedPatch& cached = cached_it->second;
+  if (cached.fallback) {
+    return std::nullopt;
+  }
+  patch_ops_->Record(static_cast<int64_t>(cached.envelope.patch.ops.size()));
+  if (outbox == nullptr || outbox->empty()) {
+    return cached.xml;
+  }
+  // Pending broadcast actions ride along in the patch envelope, exactly as
+  // they would in the full snapshot's userActions element.
+  delta::PatchEnvelope with_actions = cached.envelope;
+  with_actions.user_actions = std::move(*outbox);
+  outbox->clear();
+  return delta::SerializePatchXml(with_actions);
 }
 
 void RcbAgent::RefreshSnapshotIfNeeded() { RefreshSnapshot(/*count_reuse=*/true); }
@@ -838,6 +935,16 @@ HttpResponse RcbAgent::HandleStatusPage() const {
       static_cast<unsigned long long>(metrics_.snapshots_shed),
       static_cast<unsigned long long>(metrics_.idle_read_timeouts),
       static_cast<unsigned long long>(metrics_.oversized_rejected));
+  if (config_.enable_delta) {
+    body += StrFormat(
+        "<p id=\"delta\">patches %llu (%llu bytes vs %llu snapshot bytes) | "
+        "fallbacks: no-base %llu, oversize %llu</p>",
+        static_cast<unsigned long long>(metrics_.patches_served),
+        static_cast<unsigned long long>(metrics_.patch_bytes_sent),
+        static_cast<unsigned long long>(metrics_.patch_snapshot_bytes),
+        static_cast<unsigned long long>(metrics_.patch_fallback_no_base),
+        static_cast<unsigned long long>(metrics_.patch_fallback_oversize));
+  }
   return HttpResponse::Ok(
       "text/html", "<!DOCTYPE html><html><head><title>RCB status</title>"
                    "</head><body>" +
@@ -962,14 +1069,33 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
       ++metrics_.resyncs;  // full snapshot served to a recovering participant
     }
     participant.doc_time_ms = current_doc_time_ms_;
+    // Delta path (§4.1.1 guarded): only for a capability-advertising poll
+    // that acks a concrete version and is not resyncing — and only when the
+    // patch is genuinely smaller than the snapshot (MaybeBuildPatchResponse
+    // returns nullopt otherwise, falling through to the full snapshot).
+    if (config_.enable_delta && poll.patch && !poll.resync &&
+        poll.doc_time_ms >= 0) {
+      if (std::optional<std::string> patch_xml =
+              MaybeBuildPatchResponse(slot, poll.doc_time_ms, &outbox)) {
+        ++metrics_.patches_served;
+        metrics_.patch_bytes_sent += patch_xml->size();
+        metrics_.patch_snapshot_bytes += slot.xml.size();
+        metrics_.content_bytes_sent += patch_xml->size();
+        patch_bytes_->Record(static_cast<int64_t>(patch_xml->size()));
+        return HttpResponse::Ok("application/xml", *patch_xml);
+      }
+    }
     if (outbox.empty()) {
       // Fast path: the serialized snapshot is shared across participants
       // co-browsing in the same mode.
+      metrics_.content_bytes_sent += slot.xml.size();
       return HttpResponse::Ok("application/xml", slot.xml);
     }
     Snapshot with_actions = slot.snapshot;
     with_actions.user_actions = std::move(outbox);
-    return HttpResponse::Ok("application/xml", SerializeSnapshotXml(with_actions));
+    std::string xml = SerializeSnapshotXml(with_actions);
+    metrics_.content_bytes_sent += xml.size();
+    return HttpResponse::Ok("application/xml", xml);
   }
 
   participant.doc_time_ms = poll.doc_time_ms;

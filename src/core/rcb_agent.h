@@ -21,12 +21,14 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/browser/browser.h"
 #include "src/core/content_generator.h"
 #include "src/core/protocol.h"
+#include "src/delta/patch_codec.h"
 #include "src/http/http_parser.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
@@ -104,6 +106,17 @@ struct AgentConfig {
   std::function<bool(const std::string& pid)> participant_cache_mode;
   AgentPolicies policies;
   AgentLimits limits;
+  // --- Delta snapshots (src/delta). Off by default: unless BOTH the agent
+  // enables delta and the participant advertises patch support on its polls,
+  // behavior (and wire bytes) stay identical to full snapshots. ---
+  bool enable_delta = false;
+  // Fall back to the full snapshot when the serialized patch exceeds this
+  // fraction of the snapshot XML (a patch barely smaller than the snapshot
+  // is not worth the apply risk).
+  double patch_size_cutoff = 0.6;
+  // Base versions retained per cache-mode slot for patch generation; polls
+  // acking an older version than the window holds get a full snapshot.
+  size_t delta_history = 8;
 };
 
 struct AgentMetrics {
@@ -133,6 +146,16 @@ struct AgentMetrics {
   uint64_t snapshots_shed = 0;         // push versions superseded before send
   uint64_t idle_read_timeouts = 0;     // slow-loris connections closed
   uint64_t oversized_rejected = 0;     // 413s for head/body over the caps
+  // --- Delta snapshots (src/delta) ---
+  uint64_t patches_served = 0;         // newPatch responses sent
+  uint64_t patch_fallback_no_base = 0; // base version outside the history
+  uint64_t patch_fallback_oversize = 0;// patch exceeded patch_size_cutoff
+  uint64_t patch_bytes_sent = 0;       // cumulative patch response bytes
+  uint64_t patch_snapshot_bytes = 0;   // snapshot bytes those patches replaced
+  // Cumulative bytes of document-content-bearing response bodies (full
+  // snapshots and patches, poll and push) — the bytes-on-wire-per-update
+  // numerator the delta benchmarks read.
+  uint64_t content_bytes_sent = 0;
   // --- escape() accounting (M2): cumulative CDATA payload bytes before and
   // after JsEscape across all generations. Their ratio is the inflation the
   // paper's transmission sizes absorb. ---
@@ -278,13 +301,39 @@ class RcbAgent {
   // it) when the queue is at max_outbox_actions.
   void EnqueueOutbox(ParticipantState& state, const UserAction& action);
 
+  // One materialized canonical tree (src/delta) with its version and digest;
+  // the delta path diffs a history of these against the current one.
+  struct BaseVersion {
+    int64_t doc_time_ms = -1;
+    std::unique_ptr<Element> tree;
+    std::string digest;
+  };
+  // A memoized diff against one base version, shared by every participant
+  // that acked that version (the §4.1.2 reuse argument, applied to patches).
+  struct CachedPatch {
+    bool fallback = false;  // patch not profitable; serve the full snapshot
+    delta::PatchEnvelope envelope;  // actions-free
+    std::string xml;                // serialized envelope without actions
+  };
+
   // Cache-mode flavour of the generated snapshot. One entry per mode in use;
   // both flavours share the document version and are invalidated together.
   struct SnapshotSlot {
     bool valid = false;
     Snapshot snapshot;
     std::string xml;
+    // --- Delta state (config.enable_delta only) ---
+    BaseVersion current;                      // materialization of `snapshot`
+    std::deque<BaseVersion> history;          // previously served versions
+    std::map<int64_t, CachedPatch> patch_cache;  // keyed by base doc time
   };
+
+  // Delta path of HandlePoll: returns the serialized newPatch response for a
+  // participant acking `base_time`, or nullopt when the full snapshot must be
+  // served (no delta state, base outside the history window, or patch over
+  // the size cutoff). Consumes `outbox` only when a patch is returned.
+  std::optional<std::string> MaybeBuildPatchResponse(
+      SnapshotSlot& slot, int64_t base_time, std::vector<UserAction>* outbox);
 
   // True if participant `pid` co-browses in cache mode.
   bool CacheModeFor(const std::string& pid) const;
@@ -328,6 +377,8 @@ class RcbAgent {
   obs::Histogram* generation_us_ = nullptr;   // whole pipeline, wall
   obs::Histogram* snapshot_bytes_ = nullptr;  // serialized XML size, sim
   obs::Histogram* hmac_verify_us_ = nullptr;  // wall
+  obs::Histogram* patch_ops_ = nullptr;       // ops per served patch, sim
+  obs::Histogram* patch_bytes_ = nullptr;     // bytes per served patch, sim
   // Request handling CPU time by Fig. 2 class:
   // poll, new_connection, object, status, metrics, other.
   obs::Histogram* request_hist_[6] = {};

@@ -35,6 +35,7 @@ CoBrowsingSession::CoBrowsingSession(EventLoop* loop, Network* network,
   agent_config.poll_interval = options_.poll_interval;
   agent_config.sync_model = options_.sync_model;
   agent_config.limits = options_.agent_limits;
+  agent_config.enable_delta = options_.enable_delta;
   agent_ = std::make_unique<RcbAgent>(host_browser_.get(), agent_config);
 
   uint64_t participant_index = 0;
@@ -49,6 +50,7 @@ CoBrowsingSession::CoBrowsingSession(EventLoop* loop, Network* network,
     snippet_config.backoff_jitter = options_.backoff_jitter;
     snippet_config.backoff_seed = options_.backoff_seed + participant_index++;
     snippet_config.stream_reconnect = options_.stream_reconnect;
+    snippet_config.enable_delta = options_.enable_delta;
     participant->snippet = std::make_unique<AjaxSnippet>(
         participant->browser.get(), snippet_config);
   }

@@ -51,6 +51,12 @@ struct SessionOptions {
   // Overload-protection knobs forwarded to AgentConfig::limits. Defaults are
   // generous enough that a well-behaved session never hits them.
   AgentLimits agent_limits;
+
+  // Delta snapshots (src/delta) on both sides: the agent keeps per-version
+  // base trees and answers capability-advertising polls with newPatch deltas;
+  // every snippet advertises and applies them. Off keeps the seed wire
+  // behavior byte-for-byte.
+  bool enable_delta = false;
 };
 
 class CoBrowsingSession {

@@ -94,6 +94,13 @@ const std::vector<int64_t>& SizeBoundsBytes() {
   return kBounds;
 }
 
+const std::vector<int64_t>& CountBounds() {
+  // 1 … 16384, powers of two.
+  static const std::vector<int64_t> kBounds =
+      Histogram::ExponentialBounds(1, 2.0, 15);
+  return kBounds;
+}
+
 bool MetricsRegistry::IsValidMetricName(std::string_view name) {
   if (name.empty()) {
     return false;

@@ -103,9 +103,10 @@ class Histogram {
 };
 
 // Preset bucket scales: 1µs…~100s for CPU/simulated durations, 64B…~64MB
-// for payload sizes.
+// for payload sizes, 1…~16k for small event counts (patch ops per patch).
 const std::vector<int64_t>& LatencyBoundsUs();
 const std::vector<int64_t>& SizeBoundsBytes();
+const std::vector<int64_t>& CountBounds();
 
 struct RenderOptions {
   // When false, families with Provenance::kWall are omitted — the remaining

@@ -7,6 +7,7 @@
 #include "src/core/content_generator.h"
 #include "src/core/rcb_agent.h"
 #include "src/crypto/hmac.h"
+#include "src/delta/patch_codec.h"
 #include "src/sites/corpus.h"
 #include "src/sites/site_server.h"
 
@@ -1052,6 +1053,160 @@ TEST_F(AgentTest, StaleActionTargetIgnored) {
   FetchResult result = Poll(poll);
   EXPECT_EQ(result.response.status_code, 200);  // poll succeeds, action dropped
   EXPECT_EQ(host_browser_->document()->Title(), "Origin");
+}
+
+// ---- Delta-snapshot capability negotiation (src/delta) -------------------
+
+// Replays a fixed scenario — initial poll, host mutation, follow-up poll —
+// on a fresh simulated stack and returns the two poll response bodies. The
+// simulation is deterministic, so two replays that should behave identically
+// must produce identical bytes.
+std::vector<std::string> ReplayPollScenario(bool agent_delta,
+                                            bool advertise_patch) {
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("host-pc", {});
+  network.AddHost("participant-pc", {});
+  network.AddHost("www.origin.test", {});
+  SiteServer origin(&loop, &network, "www.origin.test");
+  // The page carries enough filler that a one-op patch (whose fixed header
+  // includes two 64-hex digests) is comfortably under the snapshot-size
+  // cutoff and actually gets served as a patch.
+  std::string page =
+      "<html><head><title>Origin</title></head>"
+      "<body><p id=\"p\">v1</p>";
+  for (int i = 0; i < 20; ++i) {
+    page += "<p>filler paragraph number " + std::to_string(i) +
+            " keeps the document comfortably large</p>";
+  }
+  page += "</body></html>";
+  origin.ServeStatic("/", "text/html", page);
+  Browser host(&loop, &network, "host-pc");
+  Browser participant(&loop, &network, "participant-pc");
+  AgentConfig config;
+  config.enable_delta = agent_delta;
+  RcbAgent agent(&host, config);
+  EXPECT_TRUE(agent.Start().ok());
+
+  bool done = false;
+  host.Navigate(Url::Make("http", "www.origin.test", 80, "/"),
+                [&](const Status&, const PageLoadStats&) { done = true; });
+  loop.RunUntilCondition([&] { return done; });
+
+  auto poll_once = [&](int64_t doc_time) {
+    PollRequest poll;
+    poll.participant_id = "p1";
+    poll.doc_time_ms = doc_time;
+    poll.patch = advertise_patch;
+    FetchResult out;
+    bool fetched = false;
+    participant.Fetch(HttpMethod::kPost, agent.AgentUrl(),
+                      EncodePollRequest(poll),
+                      "application/x-www-form-urlencoded",
+                      [&](FetchResult result) {
+                        out = std::move(result);
+                        fetched = true;
+                      });
+    loop.RunUntilCondition([&] { return fetched; });
+    return out.response.body;
+  };
+
+  std::vector<std::string> bodies;
+  bodies.push_back(poll_once(-1));
+  auto first = ParseSnapshotXml(bodies[0]);
+  EXPECT_TRUE(first.ok());
+  host.MutateDocument([](Document* document) {
+    Element* p = document->ById("p");
+    p->RemoveAllChildren();
+    p->AppendChild(MakeText("v2"));
+  });
+  bodies.push_back(poll_once(first.ok() ? first->doc_time_ms : -1));
+  return bodies;
+}
+
+TEST_F(AgentTest, DeltaCapabilityDowngradeIsByteIdentical) {
+  // Baseline: delta off on both sides.
+  std::vector<std::string> baseline = ReplayPollScenario(false, false);
+  // A participant that does not advertise patch support against a
+  // delta-enabled agent gets the baseline bytes, exactly.
+  EXPECT_EQ(ReplayPollScenario(true, false), baseline);
+  // An advertising participant against a delta-disabled agent too: the agent
+  // ignores the capability field.
+  EXPECT_EQ(ReplayPollScenario(false, true), baseline);
+  // Only when both sides opt in does the second response become a patch.
+  std::vector<std::string> delta = ReplayPollScenario(true, true);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0], baseline[0]);  // no base yet: full snapshot either way
+  EXPECT_TRUE(delta::LooksLikePatchXml(delta[1]));
+  EXPECT_LT(delta[1].size(), baseline[1].size());
+}
+
+TEST_F(AgentTest, ResyncPollGetsFullSnapshotDespitePatchCapability) {
+  AgentConfig config;
+  config.enable_delta = true;
+  StartAgent(config);
+  HostNavigate();
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  poll.patch = true;
+  auto first = ParseSnapshotXml(Poll(poll).response.body);
+  ASSERT_TRUE(first.ok());
+
+  host_browser_->MutateDocument([](Document* document) {
+    document->body()->AppendChild(MakeText("more"));
+  });
+  // A recovering participant (resync=1) must receive the full snapshot even
+  // though it advertises patch support and the agent has the base cached.
+  poll.doc_time_ms = first->doc_time_ms;
+  poll.resync = true;
+  std::string body = Poll(poll).response.body;
+  EXPECT_FALSE(delta::LooksLikePatchXml(body));
+  EXPECT_TRUE(ParseSnapshotXml(body).ok());
+  EXPECT_EQ(agent_->metrics().patches_served, 0u);
+  EXPECT_EQ(agent_->metrics().resyncs, 1u);
+}
+
+TEST_F(AgentTest, PatchServedOnlyWhenBaseIsKnown) {
+  AgentConfig config;
+  config.enable_delta = true;
+  StartAgent(config);
+  HostNavigate();
+  // Advance sim time so document versions are well above zero — the test acks
+  // "base - 7" below, which must stay a plausible (non-negative) timestamp.
+  loop_.RunFor(Duration::Seconds(1.0));
+  // Grow the document so the one-op patch below beats the size cutoff.
+  host_browser_->MutateDocument([](Document* document) {
+    for (int i = 0; i < 20; ++i) {
+      std::unique_ptr<Element> p = MakeElement("p");
+      p->AppendChild(MakeText("filler paragraph " + std::to_string(i) +
+                              " keeps the snapshot comfortably large"));
+      document->body()->AppendChild(std::move(p));
+    }
+  });
+  PollRequest poll;
+  poll.participant_id = "p1";
+  poll.doc_time_ms = -1;
+  poll.patch = true;
+  auto first = ParseSnapshotXml(Poll(poll).response.body);
+  ASSERT_TRUE(first.ok());
+
+  host_browser_->MutateDocument([](Document* document) {
+    document->body()->AppendChild(MakeText("more"));
+  });
+  // Acking a version the agent never produced: no base tree, so the agent
+  // falls back to the full snapshot and counts the reason.
+  poll.doc_time_ms = first->doc_time_ms - 7;
+  std::string body = Poll(poll).response.body;
+  EXPECT_FALSE(delta::LooksLikePatchXml(body));
+  EXPECT_EQ(agent_->metrics().patches_served, 0u);
+  EXPECT_EQ(agent_->metrics().patch_fallback_no_base, 1u);
+
+  // Acking the real base: the same document change now travels as a patch.
+  poll.doc_time_ms = first->doc_time_ms;
+  body = Poll(poll).response.body;
+  EXPECT_TRUE(delta::LooksLikePatchXml(body));
+  EXPECT_EQ(agent_->metrics().patches_served, 1u);
 }
 
 }  // namespace

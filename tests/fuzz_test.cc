@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "src/core/protocol.h"
+#include "src/delta/patch_applier.h"
+#include "src/delta/patch_codec.h"
 #include "src/html/parser.h"
 #include "src/html/serializer.h"
 #include "src/http/http_parser.h"
@@ -366,6 +368,79 @@ TEST_P(FuzzTest, ElementPayloadDecoderToleratesGarbage) {
   for (int i = 0; i < 50; ++i) {
     auto payload = DecodeElementPayload(RandomBytes(&rng, 256));
     (void)payload;
+  }
+}
+
+TEST_P(FuzzTest, PatchOpDecoderToleratesGarbage) {
+  Rng rng(GetParam() ^ 0xD417A);
+  for (int i = 0; i < 50; ++i) {
+    auto ops = delta::DecodePatchOps(RandomBytes(&rng, 256));
+    (void)ops;
+  }
+}
+
+// A valid patch envelope, the fuzzing seed for the wire-format tests below.
+delta::PatchEnvelope ValidPatchEnvelope() {
+  delta::PatchEnvelope envelope;
+  envelope.patch.base_doc_time_ms = 1000;
+  envelope.patch.target_doc_time_ms = 2000;
+  envelope.patch.base_digest = std::string(64, 'a');
+  envelope.patch.target_digest = std::string(64, 'b');
+  delta::PatchOp op;
+  op.type = delta::PatchOpType::kSetAttr;
+  op.path = {1, 2};
+  op.name = "value";
+  op.value = "x&y=z";
+  envelope.patch.ops.push_back(op);
+  op = {};
+  op.type = delta::PatchOpType::kInsert;
+  op.path = {1};
+  op.index = 3;
+  op.html = "<p class=\"q\">text</p>";
+  envelope.patch.ops.push_back(op);
+  return envelope;
+}
+
+TEST_P(FuzzTest, PatchXmlParserToleratesMutatedPatches) {
+  // Truncations, bit flips, duplicated slices (which can duplicate whole op
+  // lines), and appended garbage must all parse cleanly or fail cleanly —
+  // and anything that parses must survive a re-serialize round trip.
+  Rng rng(GetParam() ^ 0xF00D);
+  std::string valid = delta::SerializePatchXml(ValidPatchEnvelope());
+  for (int i = 0; i < 40; ++i) {
+    auto parsed = delta::ParsePatchXml(Mutate(&rng, valid));
+    if (parsed.ok()) {
+      auto reparsed = delta::ParsePatchXml(delta::SerializePatchXml(*parsed));
+      ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+      EXPECT_EQ(*reparsed, *parsed);
+    }
+  }
+}
+
+TEST_P(FuzzTest, PatchXmlParserToleratesGarbage) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int i = 0; i < 50; ++i) {
+    std::string garbage = RandomBytes(&rng, 512);
+    auto parsed = delta::ParsePatchXml(garbage);
+    (void)parsed;
+    (void)delta::LooksLikePatchXml(garbage);
+  }
+}
+
+TEST_P(FuzzTest, MutatedPatchOpsNeverCorruptATreeSilently) {
+  // Ops that decode are applied to a scratch tree; any Status outcome is
+  // fine, crashing or corrupting memory is not (run under RCB_SANITIZE too).
+  Rng rng(GetParam() ^ 0x0905);
+  std::string valid = delta::EncodePatchOps(ValidPatchEnvelope().patch.ops);
+  for (int i = 0; i < 40; ++i) {
+    auto ops = delta::DecodePatchOps(Mutate(&rng, valid));
+    if (!ops.ok()) {
+      continue;
+    }
+    auto root = MakeElement("html");
+    root->SetInnerHtml("<head><title>t</title></head>"
+                       "<body><p>one</p><p>two</p></body>");
+    (void)delta::ApplyPatchOps(root.get(), *ops);
   }
 }
 
