@@ -62,6 +62,7 @@ FaultRun RunFault(const NetworkProfile& profile, FaultEvent::Kind kind,
   options.backoff_base = Duration::Millis(250);
   options.backoff_max = Duration::Seconds(2.0);
   options.backoff_jitter = Duration::Millis(100);
+  ApplyTraceEnv(&options);
   CoBrowsingSession session(&loop, &network, options);
 
   FaultRun run;
@@ -104,12 +105,14 @@ FaultRun RunFault(const NetworkProfile& profile, FaultEvent::Kind kind,
   run.poll_timeouts = snippet.poll_timeouts;
   run.reconnects = snippet.reconnects;
   run.resyncs = snippet.resyncs;
+  DumpSessionTraces(&session);
   return run;
 }
 
 }  // namespace
 
 int main() {
+  SetTraceBenchName("faults");
   PrintBenchHeader(
       "Fault recovery — injected faults vs re-convergence latency (§3.2.3)",
       "host navigates mid-fault; poll timeout 1 s, backoff 250 ms..2 s, "

@@ -10,6 +10,7 @@ using namespace rcb;
 using namespace rcb::benchutil;
 
 int main() {
+  SetTraceBenchName("fig7_wan");
   PrintBenchHeader(
       "Figure 7 — HTML document load time, WAN (ADSL 1.5 Mbps down / 384 Kbps up)",
       "M1 = host loads HTML from origin; M2 = participant syncs it from host\n"

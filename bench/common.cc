@@ -1,9 +1,72 @@
 #include "bench/common.h"
 
+#include <cstdlib>
+
+#include "src/obs/trace_export.h"
 #include "src/util/strings.h"
 
 namespace rcb {
 namespace benchutil {
+namespace {
+
+const char* TraceDir() {
+  const char* dir = std::getenv("RCB_TRACE_DIR");
+  return (dir != nullptr && dir[0] != '\0') ? dir : nullptr;
+}
+
+std::string& TraceBenchName() {
+  static std::string name = "bench";
+  return name;
+}
+
+}  // namespace
+
+bool TraceEnvEnabled() { return TraceDir() != nullptr; }
+
+void SetTraceBenchName(const std::string& name) { TraceBenchName() = name; }
+
+void ApplyTraceEnv(SessionOptions* options) {
+  if (TraceEnvEnabled()) {
+    options->enable_trace = true;
+  }
+}
+
+void DumpSessionTraces(CoBrowsingSession* session) {
+  const char* dir = TraceDir();
+  if (dir == nullptr || session == nullptr) {
+    return;
+  }
+  // Trace ids are <pid>-<poll_seq>, unique within one session but repeated
+  // across the fresh sessions each repetition spins up; an "s<n>:" ordinal
+  // prefix keeps ids unique across the whole appended file while preserving
+  // the agent<->snippet joins within each session. The ordinal only advances
+  // per dumped session, so repeated runs produce identical files.
+  static uint64_t session_ordinal = 0;
+  ++session_ordinal;
+  std::string prefix = StrFormat("s%llu:", (unsigned long long)session_ordinal);
+  auto export_log = [&prefix](const obs::TraceLog& log,
+                              const std::string& component) {
+    std::string out;
+    for (obs::TraceEvent event : log.Events()) {
+      if (!event.trace_id.empty()) {
+        event.trace_id = prefix + event.trace_id;
+      }
+      out += obs::TraceEventJsonLine(event, component);
+      out.push_back('\n');
+    }
+    return out;
+  };
+  std::string jsonl = export_log(session->agent()->trace_log(), "agent");
+  for (size_t i = 0; i < session->participant_count(); ++i) {
+    jsonl += export_log(session->snippet(i)->trace_log(),
+                        "snippet-" + session->snippet(i)->participant_id());
+  }
+  std::string path =
+      std::string(dir) + "/TRACE_" + TraceBenchName() + ".jsonl";
+  if (Status status = obs::AppendToFile(path, jsonl); !status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+}
 
 StatusOr<SiteMeasurement> MeasureSite(const SiteSpec& spec,
                                       const NetworkProfile& profile,
@@ -25,6 +88,7 @@ StatusOr<SiteMeasurement> MeasureSite(const SiteSpec& spec,
     options.cache_mode = cache_mode;
     options.participant_count = participant_count;
     options.poll_interval = Duration::Seconds(1.0);
+    ApplyTraceEnv(&options);
 
     AddOriginServer(&network, profile, spec.host, spec.server_bps,
                     spec.server_latency, options.host_machine,
@@ -65,6 +129,7 @@ StatusOr<SiteMeasurement> MeasureSite(const SiteSpec& spec,
     }
     m5_total_us += session.agent()->metrics().last_generation_time.micros();
     m6_total_us += session.snippet(0)->metrics().last_apply_time.micros();
+    DumpSessionTraces(&session);
   }
   out.m5 = Duration::Micros(m5_total_us / repetitions);
   out.m6 = Duration::Micros(m6_total_us / repetitions);
@@ -82,6 +147,7 @@ StatusOr<UpdateMeasurement> MeasureSmallUpdates(const SiteSpec& spec,
   options.cache_mode = true;
   options.poll_interval = Duration::Seconds(1.0);
   options.enable_delta = enable_delta;
+  ApplyTraceEnv(&options);
   AddOriginServer(&network, profile, spec.host, spec.server_bps,
                   spec.server_latency, options.host_machine,
                   options.participant_machine_prefix + "-1");
@@ -158,6 +224,7 @@ StatusOr<UpdateMeasurement> MeasureSmallUpdates(const SiteSpec& spec,
   out.patches_served = session.agent()->metrics().patches_served;
   out.patch_fallbacks = session.agent()->metrics().patch_fallback_no_base +
                         session.agent()->metrics().patch_fallback_oversize;
+  DumpSessionTraces(&session);
   return out;
 }
 
@@ -190,6 +257,11 @@ obs::BenchReport MakeReport(const std::string& name, const std::string& profile,
   report.SetConfig("cache_mode", cache_mode ? "1" : "0");
   report.SetConfig("repetitions", StrFormat("%d", repetitions));
   report.SetConfig("sites", StrFormat("%zu", Table1Sites().size()));
+  // Only stamped when capture is on, so default-run fingerprints are
+  // unchanged from the untraced harness.
+  if (TraceEnvEnabled()) {
+    report.SetConfig("trace", "1");
+  }
   return report;
 }
 

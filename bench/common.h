@@ -92,6 +92,28 @@ void AddMeasurementDistributions(
 // Writes the artifact; a failure warns on stderr but never fails the bench.
 void WriteReport(const obs::BenchReport& report);
 
+// ---------------------------------------------------------------------------
+// Optional trace capture (DESIGN.md §11). Setting RCB_TRACE_DIR turns on
+// causal tracing for every bench session and appends each session's spans to
+// $RCB_TRACE_DIR/TRACE_<bench>.jsonl, which tools/trace_report ingests. With
+// the variable unset, sessions run untraced and the wire format and report
+// fingerprints are unchanged.
+// ---------------------------------------------------------------------------
+
+// True when $RCB_TRACE_DIR is set (and non-empty).
+bool TraceEnvEnabled();
+
+// Names the TRACE_<name>.jsonl file the harness appends to; call once at the
+// top of main() before any measurement. Defaults to "bench".
+void SetTraceBenchName(const std::string& name);
+
+// Turns tracing on in `options` when the env var is set.
+void ApplyTraceEnv(SessionOptions* options);
+
+// Appends the agent's and every snippet's retained spans to the trace file.
+// No-op when the env var is unset or tracing was off for the session.
+void DumpSessionTraces(CoBrowsingSession* session);
+
 }  // namespace benchutil
 }  // namespace rcb
 

@@ -65,5 +65,14 @@ if command -v jq >/dev/null; then
 fi
 
 echo
+echo "=== refreshing canonical BENCH_*.json copies at the repo root ==="
+# The repo root holds the committed, canonical copy of each artifact (the
+# numbers cited by EXPERIMENTS.md); every run refreshes them in place.
+for artifact in "${artifacts[@]}"; do
+  cp -f "${artifact}" "./$(basename "${artifact}")"
+done
+echo "refreshed: ${#artifacts[@]} root copies"
+
+echo
 echo "benches run: ${ran}; artifacts: ${#artifacts[@]}; failures: ${failures}"
 [[ ${failures} -eq 0 ]]

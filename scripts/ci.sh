@@ -28,6 +28,42 @@ check_bench_json() {
   fi
 }
 
+check_trace() {
+  local build_dir="$1"
+  local trace_dir="${build_dir}/ci-trace"
+  echo "=== ${build_dir}: causal trace gate ==="
+  rm -rf "${trace_dir}"
+  mkdir -p "${trace_dir}"
+  # A short deterministic session with tracing + auth on: drives the full
+  # poll pipeline, then forges an unsigned poll so the agent's auth_failure
+  # flight recorder dumps an artifact.
+  "${build_dir}/tools/trace_session" "${trace_dir}" > /dev/null
+  local flights=("${trace_dir}"/FLIGHT_*.jsonl)
+  [[ -s "${flights[0]}" ]] || { echo "no flight dump written" >&2; return 1; }
+  local report="${trace_dir}/report.json"
+  "${build_dir}/tools/trace_report" --json --sim-only \
+      "${trace_dir}/TRACE_session.jsonl" > "${report}"
+  if command -v jq >/dev/null; then
+    # Report schema: every traced round trip must close, and every content
+    # response must be chased down to a participant-side apply.
+    jq -e '.schema_version == 1 and .traces >= 1
+           and .content_traces >= 1
+           and .content_completeness == 1
+           and (.segments | length > 0)
+           and (.sessions | length >= 1)' "${report}" > /dev/null
+    # Every flight-dump line is standalone JSON with a typed header.
+    for flight in "${flights[@]}"; do
+      jq -es 'length > 0 and .[0].type == "flight"
+              and all(.[1:][]; .type == "span" or .type == "metrics")' \
+          "${flight}" > /dev/null ||
+        { echo "flight artifact malformed: ${flight}" >&2; return 1; }
+    done
+    # The Chrome export is one valid JSON array.
+    jq -e 'type == "array" and length > 0' \
+        "${trace_dir}/TRACE_session_chrome.json" > /dev/null
+  fi
+}
+
 run_suite() {
   local build_dir="$1"
   shift
@@ -45,6 +81,7 @@ run_suite() {
   "${build_dir}/tests/delta_test" --gtest_brief=1
   "${build_dir}/tests/fuzz_test" --gtest_filter='*Patch*' --gtest_brief=1
   check_bench_json "${build_dir}"
+  check_trace "${build_dir}"
 }
 
 run_suite build "$@"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 
 #include "src/browser/resources.h"
@@ -26,13 +27,41 @@ std::string MetaContent(Document* document, std::string_view name) {
   return out;
 }
 
+obs::FlightRecorder::Options SnippetFlightOptions(const SnippetConfig& config) {
+  obs::FlightRecorder::Options options;
+  options.component = "snippet";
+  options.dir = config.flight_dir;
+  if (options.dir.empty()) {
+    if (const char* env = std::getenv("RCB_FLIGHT_DIR")) {
+      options.dir = env;
+    }
+  }
+  return options;
+}
+
 }  // namespace
 
 AjaxSnippet::AjaxSnippet(Browser* participant_browser, SnippetConfig config)
     : browser_(participant_browser),
       config_(std::move(config)),
-      backoff_rng_(config_.backoff_seed) {
+      backoff_rng_(config_.backoff_seed),
+      flight_(&trace_, &registry_, SnippetFlightOptions(config_)) {
   RegisterMetrics();
+}
+
+void AjaxSnippet::TraceMarker(const char* name, obs::TraceAttrs attrs) {
+  if (!poll_ctx_.active()) {
+    return;
+  }
+  trace_.Append(name, obs::Provenance::kSim, browser_->loop()->now().micros(),
+                0, poll_ctx_, std::move(attrs));
+}
+
+void AjaxSnippet::NoteActionQueued() {
+  if (!action_queue_waiting_) {
+    action_queue_waiting_ = true;
+    action_queue_since_ = browser_->loop()->now();
+  }
 }
 
 void AjaxSnippet::RegisterMetrics() {
@@ -88,6 +117,30 @@ void AjaxSnippet::RegisterMetrics() {
         metrics_.overload_deferrals);
   field("rcb_snippet_object_fetch_failures", "Supplementary fetches that failed",
         metrics_.object_fetch_failures);
+
+  // Trace-ring health + flight recorder, under the same canonical names the
+  // agent registry exposes (separate registries, so no collision).
+  registry_.AddCallbackCounter("rcb_trace_dropped_total",
+                               "Spans evicted from the trace ring",
+                               obs::Provenance::kSim,
+                               [this] { return trace_.dropped(); });
+  registry_.AddCallbackGauge(
+      "rcb_trace_retained", "Spans currently retained by the trace ring",
+      obs::Provenance::kSim,
+      [this] { return static_cast<double>(trace_.size()); });
+  static constexpr const char* kSnippetTriggers[3] = {"poll_timeout",
+                                                      "patch_resync", "overload"};
+  for (const char* trigger : kSnippetTriggers) {
+    registry_.AddCallbackCounter(
+        "rcb_flight_triggers_total", "Flight-recorder trigger firings",
+        obs::Provenance::kSim,
+        [this, trigger] { return flight_.triggers(trigger); },
+        StrFormat("trigger=\"%s\"", trigger));
+  }
+  registry_.AddCallbackCounter("rcb_flight_dumps_written",
+                               "Flight-recorder JSONL artifacts written",
+                               obs::Provenance::kSim,
+                               [this] { return flight_.dumps_written(); });
 
   static constexpr const char* kApplyStageLabels[4] = {
       "stage=\"clean_head\"", "stage=\"set_head\"", "stage=\"drop_stale\"",
@@ -147,6 +200,9 @@ void AjaxSnippet::Join(const Url& agent_url, std::function<void(Status)> joined)
                           : SyncModel::kPoll;
         joined_ = true;
         doc_time_ms_ = -1;
+        // Per-participant dump filenames, so snippets sharing a flight dir
+        // do not clobber each other's artifacts.
+        flight_.set_component("snippet-" + pid_);
         if (sync_model_ == SyncModel::kPush) {
           // Push model: hold a multipart stream open instead of polling.
           OpenStream();
@@ -202,6 +258,9 @@ void AjaxSnippet::AbortWithoutGoodbye() {
   reconnect_in_flight_ = false;
   consecutive_failures_ = 0;
   need_resync_ = false;
+  poll_ctx_ = obs::TraceContext{};
+  apply_ctx_ = obs::TraceContext{};
+  action_queue_waiting_ = false;
 }
 
 void AjaxSnippet::SchedulePoll(Duration delay) {
@@ -376,6 +435,7 @@ void AjaxSnippet::ScheduleActionFlush() {
     flush.doc_time_ms = doc_time_ms_;
     flush.actions = std::move(action_queue_);
     action_queue_.clear();
+    action_queue_waiting_ = false;
     metrics_.actions_sent += flush.actions.size();
     SendPoll(std::move(flush), [](FetchResult) {});
   });
@@ -419,6 +479,25 @@ void AjaxSnippet::PollOnce() {
   poll.resync = need_resync_;
   // A resyncing participant must get the full snapshot, not a delta.
   poll.patch = config_.enable_delta && !need_resync_;
+  if (config_.enable_trace) {
+    // poll_seq_ never resets, so trace ids stay unique across reconnects and
+    // resumes. The root span id is reserved now but appended only when the
+    // round trip resolves (response or timeout), so in-between children can
+    // already parent to it.
+    poll.trace = StrFormat("%s-%llu", pid_.c_str(),
+                           static_cast<unsigned long long>(seq));
+    poll_ctx_ = obs::TraceContext{poll.trace, trace_.ReserveSpanId()};
+    if (!poll.actions.empty() && action_queue_waiting_) {
+      SimTime now = browser_->loop()->now();
+      trace_.Append("snippet.action_queue", obs::Provenance::kSim,
+                    action_queue_since_.micros(),
+                    (now - action_queue_since_).micros(), poll_ctx_,
+                    {{"count", StrFormat("%zu", poll.actions.size())}});
+    }
+  } else {
+    poll_ctx_ = obs::TraceContext{};
+  }
+  action_queue_waiting_ = false;
 
   SimTime sent_at = browser_->loop()->now();
   uint64_t epoch = epoch_;
@@ -459,10 +538,22 @@ void AjaxSnippet::OnPollTimeout(uint64_t seq) {
   // they ever arrive, and the piggybacked gestures ride the next poll.
   poll_in_flight_ = false;
   ++metrics_.poll_timeouts;
+  if (poll_ctx_.active()) {
+    // The reserved root span id closes this trace as a deadline miss instead
+    // of a round trip.
+    SimTime now = browser_->loop()->now();
+    trace_.Append("snippet.poll_timeout", obs::Provenance::kSim,
+                  now.micros() - config_.poll_timeout.micros(),
+                  config_.poll_timeout.micros(),
+                  obs::TraceContext{poll_ctx_.trace_id, 0}, {},
+                  poll_ctx_.parent_span_id);
+  }
+  flight_.Trigger("poll_timeout", browser_->loop()->now().micros());
   if (!in_flight_actions_.empty()) {
     action_queue_.insert(action_queue_.begin(), in_flight_actions_.begin(),
                          in_flight_actions_.end());
     in_flight_actions_.clear();
+    NoteActionQueued();
   }
   RCB_LOG(kWarning) << "ajax-snippet: poll " << seq << " timed out after "
                     << config_.poll_timeout;
@@ -476,7 +567,13 @@ void AjaxSnippet::OnPollFailure() {
     Reconnect();
     return;
   }
-  SchedulePoll(BackoffDelay());
+  Duration delay = BackoffDelay();
+  if (poll_ctx_.active()) {
+    trace_.Append("snippet.backoff", obs::Provenance::kSim,
+                  browser_->loop()->now().micros(), delay.micros(), poll_ctx_,
+                  {{"failures", StrFormat("%u", consecutive_failures_)}});
+  }
+  SchedulePoll(delay);
 }
 
 Duration AjaxSnippet::BackoffDelay() {
@@ -513,6 +610,7 @@ void AjaxSnippet::Reconnect() {
     action_queue_.insert(action_queue_.begin(), in_flight_actions_.begin(),
                          in_flight_actions_.end());
     in_flight_actions_.clear();
+    NoteActionQueued();
   }
   if (stream_ != nullptr) {
     stream_->Close();
@@ -559,6 +657,9 @@ void AjaxSnippet::Reconnect() {
     }
     ++metrics_.reconnects;
     consecutive_failures_ = 0;
+    // Closes the failing trace: the next poll opens a fresh one whose id
+    // still embeds the (unchanged) pid and the ever-growing poll seq.
+    TraceMarker("snippet.reconnect", {{"pid", pid_}});
     // The gap may have eaten updates; force a full snapshot regardless of
     // what our DOM claims to hold.
     need_resync_ = true;
@@ -586,6 +687,19 @@ void AjaxSnippet::ScheduleStreamReopen() {
 }
 
 void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
+  if (poll_ctx_.active()) {
+    // The round-trip root span, appended under the id reserved when the poll
+    // left so the children recorded in between already point at it.
+    SimTime now = browser_->loop()->now();
+    int status = result.status.ok() ? result.response.status_code : 0;
+    size_t bytes = result.status.ok() ? result.response.body.size() : 0;
+    trace_.Append("snippet.poll_rtt", obs::Provenance::kSim, sent_at.micros(),
+                  (now - sent_at).micros(),
+                  obs::TraceContext{poll_ctx_.trace_id, 0},
+                  {{"status", StrFormat("%d", status)},
+                   {"bytes", StrFormat("%zu", bytes)}},
+                  poll_ctx_.parent_span_id);
+  }
   if (!result.status.ok()) {
     RCB_LOG(kWarning) << "ajax-snippet: poll transport failure: "
                       << result.status;
@@ -595,6 +709,7 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
       action_queue_.insert(action_queue_.begin(), in_flight_actions_.begin(),
                            in_flight_actions_.end());
       in_flight_actions_.clear();
+      NoteActionQueued();
     }
     if (recovery_enabled()) {
       ++metrics_.transport_failures;
@@ -614,6 +729,7 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
       action_queue_.insert(action_queue_.begin(), in_flight_actions_.begin(),
                            in_flight_actions_.end());
       in_flight_actions_.clear();
+      NoteActionQueued();
     }
     ++metrics_.overload_deferrals;
     Duration delay = interval_;
@@ -623,12 +739,18 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
         delay = *hint;
       }
     }
+    TraceMarker("snippet.overload_deferral",
+                {{"code", StrFormat("%d", result.response.status_code)},
+                 {"delay_ms", StrFormat("%lld", static_cast<long long>(
+                                                    delay.millis()))}});
+    flight_.Trigger("overload", browser_->loop()->now().micros());
     SchedulePoll(delay);
     return;
   }
   in_flight_actions_.clear();
   if (result.response.status_code == 403) {
     ++metrics_.auth_rejections;
+    TraceMarker("snippet.auth_rejected", {{"code", "403"}});
     RCB_LOG(kWarning) << "ajax-snippet: agent rejected request authentication";
     // Keep polling: the user may re-enter the session key out of band.
     SchedulePoll(interval_);
@@ -642,6 +764,7 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
   if (result.response.body.empty()) {
     // "No new content": schedule the next poll after the interval.
     ++metrics_.empty_responses;
+    TraceMarker("snippet.response.empty", {});
     SchedulePoll(interval_);
     return;
   }
@@ -694,15 +817,30 @@ void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
 
   if (snapshot.has_content && snapshot.doc_time_ms > doc_time_ms_) {
     int64_t sim_now_us = browser_->loop()->now().micros();
+    const bool traced = poll_ctx_.active();
     metrics_.last_content_download = transport_time;
     content_download_us_->Record(transport_time.micros());
-    trace_.Append("snippet.content_download", obs::Provenance::kSim,
-                  sim_now_us - transport_time.micros(),
-                  transport_time.micros());
+    if (traced) {
+      trace_.Append("snippet.content_download", obs::Provenance::kSim,
+                    sim_now_us - transport_time.micros(),
+                    transport_time.micros(), poll_ctx_);
+    } else {
+      trace_.Append("snippet.content_download", obs::Provenance::kSim,
+                    sim_now_us - transport_time.micros(),
+                    transport_time.micros());
+    }
     auto start = std::chrono::steady_clock::now();
     {
-      obs::WallSpan span(&trace_, "snippet.apply", sim_now_us, apply_us_);
+      obs::WallSpan span(&trace_, "snippet.apply", sim_now_us, apply_us_,
+                         traced ? &poll_ctx_ : nullptr,
+                         {{"ts", StrFormat("%lld", static_cast<long long>(
+                                                       snapshot.doc_time_ms))}});
+      // The four Fig. 5 stage events parent to the apply span, not the poll.
+      apply_ctx_ = traced
+                       ? obs::TraceContext{poll_ctx_.trace_id, span.span_id()}
+                       : obs::TraceContext{};
       ApplySnapshot(snapshot);
+      apply_ctx_ = obs::TraceContext{};
     }
     auto end = std::chrono::steady_clock::now();
     metrics_.last_apply_time = Duration::Micros(
@@ -715,6 +853,9 @@ void AjaxSnippet::ProcessSnapshot(const Snapshot& snapshot,
       // The full snapshot that re-converges us after a reconnect.
       ++metrics_.resyncs;
       need_resync_ = false;
+      TraceMarker("snippet.resync_applied",
+                  {{"ts", StrFormat("%lld", static_cast<long long>(
+                                                snapshot.doc_time_ms))}});
     }
     if (update_listener_) {
       update_listener_(doc_time_ms_);
@@ -730,10 +871,18 @@ void AjaxSnippet::ProcessPatch(const delta::PatchEnvelope& envelope,
   HandleBroadcastActions(envelope.user_actions);
 
   int64_t sim_now_us = browser_->loop()->now().micros();
+  const bool traced = poll_ctx_.active();
   auto start = std::chrono::steady_clock::now();
   delta::ApplyResult result;
   {
-    obs::WallSpan span(&trace_, "snippet.apply_patch", sim_now_us, apply_us_);
+    obs::WallSpan span(
+        &trace_, "snippet.apply_patch", sim_now_us, apply_us_,
+        traced ? &poll_ctx_ : nullptr,
+        {{"base_ts", StrFormat("%lld", static_cast<long long>(
+                                           envelope.patch.base_doc_time_ms))},
+         {"target_ts",
+          StrFormat("%lld",
+                    static_cast<long long>(envelope.patch.target_doc_time_ms))}});
     result = delta::ApplyPatchToDocument(browser_->document(), doc_time_ms_,
                                          envelope.patch);
   }
@@ -742,9 +891,15 @@ void AjaxSnippet::ProcessPatch(const delta::PatchEnvelope& envelope,
     case delta::ApplyResult::kApplied:
       metrics_.last_content_download = transport_time;
       content_download_us_->Record(transport_time.micros());
-      trace_.Append("snippet.content_download", obs::Provenance::kSim,
-                    sim_now_us - transport_time.micros(),
-                    transport_time.micros());
+      if (traced) {
+        trace_.Append("snippet.content_download", obs::Provenance::kSim,
+                      sim_now_us - transport_time.micros(),
+                      transport_time.micros(), poll_ctx_);
+      } else {
+        trace_.Append("snippet.content_download", obs::Provenance::kSim,
+                      sim_now_us - transport_time.micros(),
+                      transport_time.micros());
+      }
       metrics_.last_apply_time = Duration::Micros(
           std::chrono::duration_cast<std::chrono::microseconds>(end - start)
               .count());
@@ -780,6 +935,9 @@ void AjaxSnippet::ProcessPatch(const delta::PatchEnvelope& envelope,
                       << delta::ApplyResultName(result)
                       << "), requesting full resync";
     need_resync_ = true;
+    TraceMarker("snippet.patch_rejected",
+                {{"result", std::string(delta::ApplyResultName(result))}});
+    flight_.Trigger("patch_resync", browser_->loop()->now().micros());
   }
 }
 
@@ -800,7 +958,12 @@ void AjaxSnippet::ApplySnapshot(const Snapshot& snapshot) {
         std::chrono::duration_cast<std::chrono::microseconds>(now - stage_start)
             .count();
     apply_stage_hist_[stage_index++]->Record(elapsed_us);
-    trace_.Append(name, obs::Provenance::kWall, sim_now_us, elapsed_us);
+    if (apply_ctx_.active()) {
+      trace_.Append(name, obs::Provenance::kWall, sim_now_us, elapsed_us,
+                    apply_ctx_);
+    } else {
+      trace_.Append(name, obs::Provenance::kWall, sim_now_us, elapsed_us);
+    }
     stage_start = now;
   };
   Element* head = root->ChildByTag("head");
@@ -912,34 +1075,43 @@ void AjaxSnippet::FetchSupplementaryObjects() {
   auto remaining = std::make_shared<size_t>(resources.size());
   SimTime start = browser_->loop()->now();
   uint64_t epoch = epoch_;
+  // Captured by value: the fetches resolve after the poll that triggered
+  // them, by which time poll_ctx_ may already describe a newer poll.
+  obs::TraceContext fetch_ctx = poll_ctx_;
+  size_t object_count = resources.size();
   for (const ResourceRef& resource : resources) {
     if (resource.url.host() == agent_url_.host() &&
         resource.url.port() == agent_url_.port()) {
       ++metrics_.last_objects_from_host;
     }
-    browser_->FetchCached(resource.url,
-                          [this, epoch, remaining, start](FetchResult result) {
-                            if (epoch != epoch_) {
-                              return;
-                            }
-                            if (!result.status.ok() ||
-                                result.response.status_code != 200) {
-                              ++metrics_.object_fetch_failures;
-                            }
-                            if (--*remaining == 0) {
-                              metrics_.last_object_time =
-                                  browser_->loop()->now() - start;
-                              object_fetch_us_->Record(
-                                  metrics_.last_object_time.micros());
-                              trace_.Append("snippet.object_fetch",
-                                            obs::Provenance::kSim,
-                                            start.micros(),
-                                            metrics_.last_object_time.micros());
-                              if (objects_listener_) {
-                                objects_listener_(metrics_.last_object_time);
-                              }
-                            }
-                          });
+    browser_->FetchCached(
+        resource.url,
+        [this, epoch, remaining, start, fetch_ctx,
+         object_count](FetchResult result) {
+          if (epoch != epoch_) {
+            return;
+          }
+          if (!result.status.ok() || result.response.status_code != 200) {
+            ++metrics_.object_fetch_failures;
+          }
+          if (--*remaining == 0) {
+            metrics_.last_object_time = browser_->loop()->now() - start;
+            object_fetch_us_->Record(metrics_.last_object_time.micros());
+            if (fetch_ctx.active()) {
+              trace_.Append("snippet.object_fetch", obs::Provenance::kSim,
+                            start.micros(),
+                            metrics_.last_object_time.micros(), fetch_ctx,
+                            {{"count", StrFormat("%zu", object_count)}});
+            } else {
+              trace_.Append("snippet.object_fetch", obs::Provenance::kSim,
+                            start.micros(),
+                            metrics_.last_object_time.micros());
+            }
+            if (objects_listener_) {
+              objects_listener_(metrics_.last_object_time);
+            }
+          }
+        });
   }
 }
 
@@ -988,6 +1160,7 @@ Status AjaxSnippet::ClickElement(Element* element) {
   action.type = ActionType::kClick;
   action.target = target;
   action_queue_.push_back(std::move(action));
+  NoteActionQueued();
   if (sync_model_ == SyncModel::kPush) {
     ScheduleActionFlush();
   }
@@ -1004,6 +1177,7 @@ Status AjaxSnippet::FillFormField(Element* form, std::string_view name,
   action.target = target;
   action.fields.emplace_back(std::string(name), std::string(value));
   action_queue_.push_back(std::move(action));
+  NoteActionQueued();
   if (sync_model_ == SyncModel::kPush) {
     ScheduleActionFlush();
   }
@@ -1017,6 +1191,7 @@ Status AjaxSnippet::SubmitForm(Element* form) {
   action.target = target;
   action.fields = FormFields(form);
   action_queue_.push_back(std::move(action));
+  NoteActionQueued();
   if (sync_model_ == SyncModel::kPush) {
     ScheduleActionFlush();
   }
@@ -1029,6 +1204,7 @@ void AjaxSnippet::SendMouseMove(int x, int y) {
   action.x = x;
   action.y = y;
   action_queue_.push_back(std::move(action));
+  NoteActionQueued();
   if (sync_model_ == SyncModel::kPush) {
     ScheduleActionFlush();
   }
@@ -1039,6 +1215,7 @@ void AjaxSnippet::RequestNavigate(const std::string& url) {
   action.type = ActionType::kNavigate;
   action.data = url;
   action_queue_.push_back(std::move(action));
+  NoteActionQueued();
   if (sync_model_ == SyncModel::kPush) {
     ScheduleActionFlush();
   }

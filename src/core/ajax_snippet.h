@@ -22,6 +22,7 @@
 #include "src/browser/browser.h"
 #include "src/core/protocol.h"
 #include "src/delta/patch_codec.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/rand.h"
@@ -59,6 +60,16 @@ struct SnippetConfig {
   // and newPatch responses are applied with integrity checks. Off keeps the
   // seed wire format byte-for-byte.
   bool enable_delta = false;
+
+  // Causal tracing (DESIGN.md §11): every poll is stamped with a fresh
+  // trace=<pid>-<seq> wire field and the Fig. 5 apply pipeline parents its
+  // spans to that poll's round trip. Negotiated like patch=1: off keeps the
+  // wire byte-for-byte identical, and the agent ignores the field unless its
+  // own enable_trace is set.
+  bool enable_trace = false;
+  // Flight-recorder dump directory; empty falls back to $RCB_FLIGHT_DIR, and
+  // when both are unset triggers are counted but nothing is written.
+  std::string flight_dir;
 };
 
 struct SnippetMetrics {
@@ -131,6 +142,7 @@ class AjaxSnippet {
   // has no HTTP server, so its registry is read in-process (benches, tests).
   const obs::MetricsRegistry& metrics_registry() const { return registry_; }
   const obs::TraceLog& trace_log() const { return trace_; }
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
   Duration poll_interval() const { return interval_; }
   // Synchronization model in effect (advertised by the agent's initial page).
   SyncModel sync_model() const { return sync_model_; }
@@ -210,6 +222,12 @@ class AjaxSnippet {
   void FetchSupplementaryObjects();
   // Registers the snippet's metric families (constructor-time).
   void RegisterMetrics();
+  // Zero-duration sim event parented to the in-flight poll's root span;
+  // no-op when that poll was not traced.
+  void TraceMarker(const char* name, obs::TraceAttrs attrs);
+  // Starts the queue-latency stopwatch the first time an action is queued
+  // (or re-queued) while no poll is carrying it.
+  void NoteActionQueued();
   // Collects a form's current field values from the participant DOM.
   static std::vector<std::pair<std::string, std::string>> FormFields(
       Element* form);
@@ -253,6 +271,16 @@ class AjaxSnippet {
   // --- Observability state (see metrics_registry()/trace_log()). ---
   obs::MetricsRegistry registry_;
   obs::TraceLog trace_;
+  // Context of the traced poll currently in flight (trace id + reserved root
+  // span id); inactive when tracing is off or between polls in push mode.
+  obs::TraceContext poll_ctx_;
+  // Context of the apply span while ApplySnapshot runs, so the four Fig. 5
+  // stage events parent to it rather than to the poll root.
+  obs::TraceContext apply_ctx_;
+  // Queue-latency stopwatch: when the oldest still-unsent action was queued.
+  SimTime action_queue_since_;
+  bool action_queue_waiting_ = false;
+  obs::FlightRecorder flight_;
   // Fig. 5 apply stages, in order: clean_head, set_head, drop_stale, set_body.
   obs::Histogram* apply_stage_hist_[4] = {};
   obs::Histogram* apply_us_ = nullptr;             // whole apply, wall (M6)

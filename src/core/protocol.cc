@@ -156,6 +156,9 @@ std::string EncodePollRequest(const PollRequest& request) {
   if (request.patch) {
     fields.emplace_back("patch", "1");
   }
+  if (!request.trace.empty()) {
+    fields.emplace_back("trace", request.trace);
+  }
   return EncodeFormUrlEncoded(fields);
 }
 
@@ -181,6 +184,8 @@ StatusOr<PollRequest> DecodePollRequest(std::string_view body) {
       request.resync = value == "1";
     } else if (name == "patch") {
       request.patch = value == "1";
+    } else if (name == "trace") {
+      request.trace = value;
     }
   }
   if (!have_pid || !have_ts) {

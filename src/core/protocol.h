@@ -101,6 +101,12 @@ struct PollRequest {
   // ignores it; an agent with delta disabled keeps answering with full
   // snapshots, so the downgrade is automatic in both directions.
   bool patch = false;
+  // Causal trace id for this round trip (DESIGN.md §11), `<pid>-<poll-seq>`.
+  // Negotiated like patch=1: the field is absent when tracing is off on the
+  // snippet side (byte-identical wire) and an agent with tracing off ignores
+  // it, so the downgrade is automatic in both directions. Never affects the
+  // response bytes — it only correlates observability spans.
+  std::string trace;
 };
 
 std::string EncodePollRequest(const PollRequest& request);

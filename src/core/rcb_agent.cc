@@ -1,6 +1,10 @@
 #include "src/core/rcb_agent.h"
 
+#include <chrono>
+#include <cstdlib>
+
 #include "src/crypto/hmac.h"
+#include "src/delta/tree_diff.h"
 #include "src/http/form.h"
 #include "src/util/escape.h"
 #include "src/util/logging.h"
@@ -47,11 +51,46 @@ std::string_view StripPrefixView(std::string_view s, size_t n) {
   return s.substr(n);
 }
 
+// Extracts the trace= field from a poll body without decoding the rest
+// (classification happens before DecodePollRequest; a malformed body simply
+// yields no trace id and the request stays uncorrelated).
+std::string PeekTraceField(std::string_view body) {
+  for (const auto& [name, value] : ParseFormUrlEncodedOrdered(body)) {
+    if (name == "trace") {
+      return value;
+    }
+  }
+  return "";
+}
+
+obs::FlightRecorder::Options AgentFlightOptions(const AgentConfig& config) {
+  obs::FlightRecorder::Options options;
+  options.component = "agent";
+  options.dir = config.flight_dir;
+  if (options.dir.empty()) {
+    if (const char* env = std::getenv("RCB_FLIGHT_DIR"); env != nullptr) {
+      options.dir = env;
+    }
+  }
+  return options;
+}
+
 }  // namespace
 
 RcbAgent::RcbAgent(Browser* host_browser, AgentConfig config)
-    : browser_(host_browser), config_(std::move(config)), generator_(host_browser) {
+    : browser_(host_browser),
+      config_(std::move(config)),
+      generator_(host_browser),
+      flight_(&trace_, &registry_, AgentFlightOptions(config_)) {
   RegisterMetrics();
+}
+
+void RcbAgent::TraceMarker(const char* name, obs::TraceAttrs attrs) {
+  if (!trace_ctx_.active()) {
+    return;
+  }
+  trace_.Append(name, obs::Provenance::kSim, browser_->loop()->now().micros(),
+                0, trace_ctx_, std::move(attrs));
 }
 
 void RcbAgent::RegisterMetrics() {
@@ -197,6 +236,31 @@ void RcbAgent::RegisterMetrics() {
                                "Spans evicted from the trace ring",
                                obs::Provenance::kSim,
                                [this] { return trace_.dropped(); });
+  // Canonical ring-health names shared with the snippet registry (the
+  // rcb_agent_trace_* pair above predates them and is kept for dashboards).
+  registry_.AddCallbackCounter("rcb_trace_dropped_total",
+                               "Spans evicted from the trace ring",
+                               obs::Provenance::kSim,
+                               [this] { return trace_.dropped(); });
+  registry_.AddCallbackGauge(
+      "rcb_trace_retained", "Spans currently retained by the trace ring",
+      obs::Provenance::kSim,
+      [this] { return static_cast<double>(trace_.size()); });
+  // Flight recorder (DESIGN.md §11): per-trigger counts plus artifacts
+  // actually written (0 unless a dump directory is configured).
+  static constexpr const char* kAgentTriggers[3] = {"resync", "auth_failure",
+                                                    "overload"};
+  for (const char* trigger : kAgentTriggers) {
+    registry_.AddCallbackCounter(
+        "rcb_flight_triggers_total", "Flight-recorder trigger firings",
+        obs::Provenance::kSim,
+        [this, trigger] { return flight_.triggers(trigger); },
+        StrFormat("trigger=\"%s\"", trigger));
+  }
+  registry_.AddCallbackCounter("rcb_flight_dumps_written",
+                               "Flight-recorder JSONL artifacts written",
+                               obs::Provenance::kSim,
+                               [this] { return flight_.dumps_written(); });
 
   // Histograms. Stage and request CPU times are wall provenance; the
   // serialized snapshot size is sim provenance (deterministic bytes).
@@ -532,12 +596,18 @@ RcbAgent::SnapshotSlot& RcbAgent::RefreshSlot(bool cache_mode, bool count_reuse)
   options.agent_url = AgentUrl();
   options.cache_object_filter = config_.cache_object_filter;
   int64_t sim_now_us = browser_->loop()->now().micros();
+  // When the generation happens inside a traced poll, the five Fig. 3 stage
+  // events (plus serialize) parent to one "agent.generate" span whose id is
+  // reserved up front so children can reference it before it is appended.
+  const bool traced_gen = trace_ctx_.active();
+  const uint64_t gen_span_id = traced_gen ? trace_.ReserveSpanId() : 0;
+  const obs::TraceContext stage_ctx{trace_ctx_.trace_id, gen_span_id};
   GenerationResult result = generator_.Generate(current_doc_time_ms_, options);
   slot.snapshot = std::move(result.snapshot);
   SnapshotSerializeStats serialize_stats;
   {
     obs::WallSpan span(&trace_, "agent.generate.serialize", sim_now_us,
-                       stage_hist_[5]);
+                       stage_hist_[5], traced_gen ? &stage_ctx : nullptr);
     slot.xml = SerializeSnapshotXml(slot.snapshot, &serialize_stats);
   }
   slot.valid = true;
@@ -574,8 +644,22 @@ RcbAgent::SnapshotSlot& RcbAgent::RefreshSlot(bool cache_mode, bool count_reuse)
       {"agent.generate.extract", result.stage_extract}};
   for (size_t i = 0; i < 5; ++i) {
     stage_hist_[i]->Record(stages[i].second.micros());
-    trace_.Append(stages[i].first, obs::Provenance::kWall, sim_now_us,
-                  stages[i].second.micros());
+    if (traced_gen) {
+      trace_.Append(stages[i].first, obs::Provenance::kWall, sim_now_us,
+                    stages[i].second.micros(), stage_ctx);
+    } else {
+      trace_.Append(stages[i].first, obs::Provenance::kWall, sim_now_us,
+                    stages[i].second.micros());
+    }
+  }
+  if (traced_gen) {
+    trace_.Append(
+        "agent.generate", obs::Provenance::kWall, sim_now_us,
+        result.wall_time.micros(), trace_ctx_,
+        {{"ts", StrFormat("%lld", static_cast<long long>(current_doc_time_ms_))},
+         {"cache_mode", cache_mode ? "1" : "0"},
+         {"bytes", StrFormat("%zu", slot.xml.size())}},
+        gen_span_id);
   }
   generation_us_->Record(result.wall_time.micros());
   snapshot_bytes_->Record(static_cast<int64_t>(slot.xml.size()));
@@ -608,9 +692,24 @@ std::optional<std::string> RcbAgent::MaybeBuildPatchResponse(
       cached.envelope.patch.target_doc_time_ms = slot.current.doc_time_ms;
       cached.envelope.patch.base_digest = base->digest;
       cached.envelope.patch.target_digest = slot.current.digest;
+      auto diff_start = std::chrono::steady_clock::now();
       cached.envelope.patch.ops =
           delta::DiffTrees(*base->tree, *slot.current.tree);
       cached.xml = delta::SerializePatchXml(cached.envelope);
+      if (trace_ctx_.active()) {
+        auto diff_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - diff_start)
+                           .count();
+        trace_.Append(
+            "agent.delta.diff", obs::Provenance::kWall,
+            browser_->loop()->now().micros(), diff_us, trace_ctx_,
+            {{"base_ts", StrFormat("%lld", static_cast<long long>(base_time))},
+             {"target_ts",
+              StrFormat("%lld",
+                        static_cast<long long>(slot.current.doc_time_ms))},
+             {"ops", delta::SummarizeOps(cached.envelope.patch.ops)},
+             {"bytes", StrFormat("%zu", cached.xml.size())}});
+      }
       if (cached.xml.size() >
           config_.patch_size_cutoff * static_cast<double>(slot.xml.size())) {
         // A patch near snapshot size buys nothing but apply-time risk.
@@ -653,9 +752,21 @@ HttpResponse RcbAgent::HandleRequest(const HttpRequest& request) {
   // a wall span over its handler (request handling consumes zero simulated
   // time, so the sim timestamp only records *where* on the timeline it ran).
   if (request.method == HttpMethod::kPost) {
+    // Causal root (DESIGN.md §11): with tracing enabled and a trace-stamped
+    // poll, the classification span becomes the root of the agent-side chain
+    // and everything below (HMAC verify, merge, generation, diff, response
+    // markers) parents to it. Otherwise root_ctx stays inactive and this is
+    // exactly the flat pre-causal span.
+    obs::TraceContext root_ctx;
+    if (config_.enable_trace) {
+      root_ctx.trace_id = PeekTraceField(request.body);
+    }
     obs::WallSpan span(&trace_, "agent.request.poll", sim_now_us,
-                       request_hist_[0]);
-    return HandlePoll(request);
+                       request_hist_[0], &root_ctx);
+    trace_ctx_ = obs::TraceContext{root_ctx.trace_id, span.span_id()};
+    HttpResponse response = HandlePoll(request);
+    trace_ctx_ = obs::TraceContext{};
+    return response;
   }
   if (request.method == HttpMethod::kGet) {
     std::string path = request.Path();
@@ -694,6 +805,7 @@ HttpResponse RcbAgent::HandleMetrics(const HttpRequest& request) {
   // may scrape it.
   if (!VerifyRequestAuth(request)) {
     ++metrics_.auth_failures;
+    flight_.Trigger("auth_failure", browser_->loop()->now().micros());
     return HttpResponse::Forbidden("request authentication failed");
   }
   obs::RenderOptions options;
@@ -739,6 +851,7 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
   if (resume_it != params.end() && !resume_it->second.empty()) {
     if (!VerifyRequestAuth(request)) {
       ++metrics_.auth_failures;
+      flight_.Trigger("auth_failure", browser_->loop()->now().micros());
       return HttpResponse::Forbidden("resume authentication failed");
     }
     const std::string& pid = resume_it->second;
@@ -945,6 +1058,14 @@ HttpResponse RcbAgent::HandleStatusPage() const {
         static_cast<unsigned long long>(metrics_.patch_fallback_no_base),
         static_cast<unsigned long long>(metrics_.patch_fallback_oversize));
   }
+  body += StrFormat(
+      "<p id=\"trace\">trace: %s | spans retained %zu, dropped %llu | "
+      "flight triggers %llu (dumps %llu%s)</p>",
+      config_.enable_trace ? "on" : "off", trace_.size(),
+      static_cast<unsigned long long>(trace_.dropped()),
+      static_cast<unsigned long long>(flight_.total_triggers()),
+      static_cast<unsigned long long>(flight_.dumps_written()),
+      flight_.dumping_enabled() ? "" : "; dump dir unset");
   return HttpResponse::Ok(
       "text/html", "<!DOCTYPE html><html><head><title>RCB status</title>"
                    "</head><body>" +
@@ -956,7 +1077,8 @@ bool RcbAgent::VerifyRequestAuth(const HttpRequest& request) {
     return true;
   }
   obs::WallSpan span(&trace_, "agent.auth.hmac_verify",
-                     browser_->loop()->now().micros(), hmac_verify_us_);
+                     browser_->loop()->now().micros(), hmac_verify_us_,
+                     &trace_ctx_);
   // The hmac parameter is carried in the request-URI; the MAC covers the
   // method, the URI without that parameter, and the body.
   auto params = ParseFormUrlEncodedOrdered(request.QueryString());
@@ -987,6 +1109,8 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
   ++metrics_.polls_received;
   if (!VerifyRequestAuth(request)) {
     ++metrics_.auth_failures;
+    flight_.Trigger("auth_failure", browser_->loop()->now().micros());
+    TraceMarker("agent.response.rejected", {{"code", "403"}});
     return HttpResponse::Forbidden("request authentication failed");
   }
   auto poll_or = DecodePollRequest(request.body);
@@ -994,6 +1118,12 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     return HttpResponse::BadRequest(poll_or.status().message());
   }
   PollRequest poll = std::move(*poll_or);
+  TraceMarker("agent.poll.request",
+              {{"pid", poll.participant_id},
+               {"ts", StrFormat("%lld", static_cast<long long>(poll.doc_time_ms))},
+               {"actions", StrFormat("%zu", poll.actions.size())},
+               {"resync", poll.resync ? "1" : "0"},
+               {"patch", poll.patch ? "1" : "0"}});
 
   // Anti-replay (§3.4): signed polls carry a monotonically increasing seq;
   // an equal-or-older value is a replayed (or abandoned and re-delivered)
@@ -1002,6 +1132,9 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     auto it = participants_.find(poll.participant_id);
     if (it != participants_.end() && poll.seq <= it->second.last_seq) {
       ++metrics_.auth_failures;
+      flight_.Trigger("auth_failure", browser_->loop()->now().micros());
+      TraceMarker("agent.response.rejected",
+                  {{"code", "403"}, {"reason", "stale_seq"}});
       return HttpResponse::Forbidden("stale poll seq (replay?)");
     }
   }
@@ -1010,6 +1143,8 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
   // pollers with 503 before any per-poll work.
   if (!ParticipantAdmissible(poll.participant_id)) {
     ++metrics_.participants_rejected;
+    flight_.Trigger("overload", browser_->loop()->now().micros());
+    TraceMarker("agent.response.rejected", {{"code", "503"}});
     return HttpResponse::ServiceUnavailable(config_.poll_interval,
                                             "participant limit reached");
   }
@@ -1031,6 +1166,8 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
   participant.last_poll = browser_->loop()->now();
   if (!participant.poll_bucket.TryTake(browser_->loop()->now())) {
     ++metrics_.polls_rate_limited;
+    flight_.Trigger("overload", browser_->loop()->now().micros());
+    TraceMarker("agent.response.rejected", {{"code", "429"}});
     return HttpResponse::TooManyRequests(
         participant.poll_bucket.TimeUntilAvailable(browser_->loop()->now()),
         "poll rate limit");
@@ -1047,8 +1184,18 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
   }
 
   // Step 1 (Fig. 2 poll path): data merging.
-  for (const UserAction& action : poll.actions) {
-    ApplyAction(poll.participant_id, action);
+  {
+    // The merge span exists only on traced polls that actually carried
+    // actions; an idle traced poll (and every untraced one) appends nothing.
+    const bool traced_merge = trace_ctx_.active() && !poll.actions.empty();
+    obs::WallSpan merge_span(
+        traced_merge ? &trace_ : nullptr, "agent.merge.actions",
+        browser_->loop()->now().micros(), nullptr,
+        traced_merge ? &trace_ctx_ : nullptr,
+        {{"count", StrFormat("%zu", poll.actions.size())}});
+    for (const UserAction& action : poll.actions) {
+      ApplyAction(poll.participant_id, action);
+    }
   }
 
   // Step 2: timestamp inspection. Content exists only once a completed page
@@ -1067,6 +1214,7 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     ++metrics_.polls_with_content;
     if (poll.resync) {
       ++metrics_.resyncs;  // full snapshot served to a recovering participant
+      flight_.Trigger("resync", browser_->loop()->now().micros());
     }
     participant.doc_time_ms = current_doc_time_ms_;
     // Delta path (§4.1.1 guarded): only for a capability-advertising poll
@@ -1082,6 +1230,13 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
         metrics_.patch_snapshot_bytes += slot.xml.size();
         metrics_.content_bytes_sent += patch_xml->size();
         patch_bytes_->Record(static_cast<int64_t>(patch_xml->size()));
+        TraceMarker(
+            "agent.response.patch",
+            {{"bytes", StrFormat("%zu", patch_xml->size())},
+             {"base_ts",
+              StrFormat("%lld", static_cast<long long>(poll.doc_time_ms))},
+             {"target_ts", StrFormat("%lld", static_cast<long long>(
+                                                 current_doc_time_ms_))}});
         return HttpResponse::Ok("application/xml", *patch_xml);
       }
     }
@@ -1089,12 +1244,20 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
       // Fast path: the serialized snapshot is shared across participants
       // co-browsing in the same mode.
       metrics_.content_bytes_sent += slot.xml.size();
+      TraceMarker("agent.response.snapshot",
+                  {{"bytes", StrFormat("%zu", slot.xml.size())},
+                   {"ts", StrFormat("%lld", static_cast<long long>(
+                                                current_doc_time_ms_))}});
       return HttpResponse::Ok("application/xml", slot.xml);
     }
     Snapshot with_actions = slot.snapshot;
     with_actions.user_actions = std::move(outbox);
     std::string xml = SerializeSnapshotXml(with_actions);
     metrics_.content_bytes_sent += xml.size();
+    TraceMarker("agent.response.snapshot",
+                {{"bytes", StrFormat("%zu", xml.size())},
+                 {"ts", StrFormat("%lld", static_cast<long long>(
+                                              current_doc_time_ms_))}});
     return HttpResponse::Ok("application/xml", xml);
   }
 
@@ -1103,12 +1266,15 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     Snapshot actions_only;
     actions_only.doc_time_ms = poll.doc_time_ms;
     actions_only.has_content = false;
+    TraceMarker("agent.response.actions",
+                {{"count", StrFormat("%zu", outbox.size())}});
     actions_only.user_actions = std::move(outbox);
     ++metrics_.polls_with_content;
     return HttpResponse::Ok("application/xml", SerializeSnapshotXml(actions_only));
   }
   // "No new content": an empty response avoids hanging the request.
   ++metrics_.polls_empty;
+  TraceMarker("agent.response.empty", {});
   return HttpResponse::Ok("application/xml", "");
 }
 

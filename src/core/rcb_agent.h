@@ -31,6 +31,7 @@
 #include "src/delta/patch_codec.h"
 #include "src/http/http_parser.h"
 #include "src/net/network.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/token_bucket.h"
@@ -117,6 +118,13 @@ struct AgentConfig {
   // Base versions retained per cache-mode slot for patch generation; polls
   // acking an older version than the window holds get a full snapshot.
   size_t delta_history = 8;
+  // --- Causal tracing (DESIGN.md §11). Off by default: the agent ignores
+  // the optional trace= poll field and appends exactly the pre-causal flat
+  // spans, so responses, counters, and the trace ring stay unchanged. ---
+  bool enable_trace = false;
+  // Flight-recorder dump directory. Empty falls back to $RCB_FLIGHT_DIR;
+  // with neither set, triggers are counted but no artifact is written.
+  std::string flight_dir;
 };
 
 struct AgentMetrics {
@@ -199,6 +207,10 @@ class RcbAgent {
   // request handling, HMAC checks).
   const obs::MetricsRegistry& metrics_registry() const { return registry_; }
   const obs::TraceLog& trace_log() const { return trace_; }
+  // Anomaly flight recorder (DESIGN.md §11): triggers on resync, HMAC
+  // failure, and overload shedding; dumps the trace ring + a deterministic
+  // metrics snapshot when a dump directory is configured.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
 
   // Connected participants (have completed a poll recently enough to be
   // considered live); the agent "knows exactly which participants are
@@ -350,6 +362,10 @@ class RcbAgent {
   // read metrics_ and the browser cache at render time).
   void RegisterMetrics();
 
+  // Appends a zero-duration sim marker carrying `attrs` to the current
+  // request's causal chain; no-op when the request carried no trace id.
+  void TraceMarker(const char* name, obs::TraceAttrs attrs);
+
   Browser* browser_;
   AgentConfig config_;
   ContentGenerator generator_;
@@ -382,6 +398,11 @@ class RcbAgent {
   // Request handling CPU time by Fig. 2 class:
   // poll, new_connection, object, status, metrics, other.
   obs::Histogram* request_hist_[6] = {};
+  // Causal chain of the poll currently being handled (DESIGN.md §11):
+  // trace id from the poll's trace= field, parent = the request root span.
+  // Inactive outside HandlePoll or when tracing is off on either side.
+  obs::TraceContext trace_ctx_;
+  obs::FlightRecorder flight_;
 };
 
 }  // namespace rcb

@@ -36,6 +36,8 @@ CoBrowsingSession::CoBrowsingSession(EventLoop* loop, Network* network,
   agent_config.sync_model = options_.sync_model;
   agent_config.limits = options_.agent_limits;
   agent_config.enable_delta = options_.enable_delta;
+  agent_config.enable_trace = options_.enable_trace;
+  agent_config.flight_dir = options_.flight_dir;
   agent_ = std::make_unique<RcbAgent>(host_browser_.get(), agent_config);
 
   uint64_t participant_index = 0;
@@ -51,6 +53,8 @@ CoBrowsingSession::CoBrowsingSession(EventLoop* loop, Network* network,
     snippet_config.backoff_seed = options_.backoff_seed + participant_index++;
     snippet_config.stream_reconnect = options_.stream_reconnect;
     snippet_config.enable_delta = options_.enable_delta;
+    snippet_config.enable_trace = options_.enable_trace;
+    snippet_config.flight_dir = options_.flight_dir;
     participant->snippet = std::make_unique<AjaxSnippet>(
         participant->browser.get(), snippet_config);
   }

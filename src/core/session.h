@@ -57,6 +57,14 @@ struct SessionOptions {
   // every snippet advertises and applies them. Off keeps the seed wire
   // behavior byte-for-byte.
   bool enable_delta = false;
+
+  // Causal tracing (DESIGN.md §11) on both sides: snippets stamp each poll
+  // with trace=<pid>-<seq> and the agent threads that id through merge,
+  // generation, diff, and response spans. Off keeps the wire byte-for-byte.
+  bool enable_trace = false;
+  // Flight-recorder dump directory for the agent and every snippet; empty
+  // falls back to $RCB_FLIGHT_DIR (triggers are counted either way).
+  std::string flight_dir;
 };
 
 class CoBrowsingSession {

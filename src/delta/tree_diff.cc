@@ -362,4 +362,26 @@ std::vector<PatchOp> DiffTrees(const Element& base, const Element& target) {
   return ops;
 }
 
+std::string SummarizeOps(const std::vector<PatchOp>& ops) {
+  static constexpr const char* kKindNames[] = {
+      "ins", "rm", "mv", "repl", "attr", "rmattr", "text"};
+  size_t counts[7] = {};
+  for (const PatchOp& op : ops) {
+    ++counts[static_cast<size_t>(op.type)];
+  }
+  std::string out;
+  for (size_t i = 0; i < 7; ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += kKindNames[i];
+    out += '=';
+    out += std::to_string(counts[i]);
+  }
+  return out.empty() ? "none" : out;
+}
+
 }  // namespace rcb::delta

@@ -79,6 +79,11 @@ std::string TreeDigest(const Element& canonical_root);
 // that serializes identically to `target`.
 std::vector<PatchOp> DiffTrees(const Element& base, const Element& target);
 
+// Compact per-kind op tally, e.g. "ins=1,attr=2" (kinds in PatchOpType
+// order, zero counts omitted; empty ops -> "none"). The patch-shape summary
+// causal trace spans carry (DESIGN.md §11).
+std::string SummarizeOps(const std::vector<PatchOp>& ops);
+
 }  // namespace rcb::delta
 
 #endif  // SRC_DELTA_TREE_DIFF_H_

@@ -24,6 +24,34 @@ void TraceLog::Append(std::string name, Provenance provenance,
   head_ = (head_ + 1) % capacity_;
 }
 
+uint64_t TraceLog::Append(std::string name, Provenance provenance,
+                          int64_t sim_start_us, int64_t duration_us,
+                          const TraceContext& context, TraceAttrs attrs,
+                          uint64_t reserved_span_id) {
+  if (!context.active()) {
+    Append(std::move(name), provenance, sim_start_us, duration_us);
+    return 0;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.provenance = provenance;
+  event.sim_start_us = sim_start_us;
+  event.duration_us = duration_us;
+  event.seq = next_seq_++;
+  event.trace_id = context.trace_id;
+  event.span_id = reserved_span_id != 0 ? reserved_span_id : ReserveSpanId();
+  event.parent_span_id = context.parent_span_id;
+  event.attrs = std::move(attrs);
+  uint64_t span_id = event.span_id;
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+  } else {
+    events_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+  return span_id;
+}
+
 std::vector<TraceEvent> TraceLog::Events() const {
   std::vector<TraceEvent> out;
   out.reserve(events_.size());

@@ -1,0 +1,159 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+#include <map>
+
+#include "src/util/json.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace obs {
+namespace {
+
+void AppendAttrsJson(std::string* out, const TraceAttrs& attrs) {
+  out->append("{");
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) {
+      out->append(",");
+    }
+    out->append("\"");
+    out->append(JsonEscape(attrs[i].first));
+    out->append("\":\"");
+    out->append(JsonEscape(attrs[i].second));
+    out->append("\"");
+  }
+  out->append("}");
+}
+
+}  // namespace
+
+std::string TraceEventJsonLine(const TraceEvent& event,
+                               std::string_view component) {
+  std::string out;
+  out.reserve(160);
+  out.append("{\"type\":\"span\",\"component\":\"");
+  out.append(JsonEscape(component));
+  out.append("\",\"name\":\"");
+  out.append(JsonEscape(event.name));
+  out.append(StrFormat(
+      "\",\"prov\":\"%s\",\"sim_start_us\":%lld,\"duration_us\":%lld,"
+      "\"seq\":%llu",
+      std::string(ProvenanceName(event.provenance)).c_str(),
+      static_cast<long long>(event.sim_start_us),
+      static_cast<long long>(event.duration_us),
+      static_cast<unsigned long long>(event.seq)));
+  if (!event.trace_id.empty()) {
+    out.append(",\"trace\":\"");
+    out.append(JsonEscape(event.trace_id));
+    out.append(StrFormat(
+        "\",\"span\":%llu,\"parent\":%llu",
+        static_cast<unsigned long long>(event.span_id),
+        static_cast<unsigned long long>(event.parent_span_id)));
+    if (!event.attrs.empty()) {
+      out.append(",\"attrs\":");
+      AppendAttrsJson(&out, event.attrs);
+    }
+  }
+  out.append("}");
+  return out;
+}
+
+std::string ExportTraceJsonl(const TraceLog& log, std::string_view component) {
+  std::string out;
+  for (const TraceEvent& event : log.Events()) {
+    out.append(TraceEventJsonLine(event, component));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string ExportChromeTrace(
+    const std::vector<std::pair<std::string, std::vector<TraceEvent>>>&
+        components) {
+  std::string out = "[";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& entry) {
+    if (!first) {
+      out.append(",\n");
+    } else {
+      out.append("\n");
+      first = false;
+    }
+    out.append(entry);
+  };
+  int next_pid = 1;
+  for (const auto& [component, events] : components) {
+    int pid = next_pid++;
+    emit(StrFormat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                   "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                   pid, JsonEscape(component).c_str()));
+    // tid per trace id, first-seen order; context-free spans share tid 0.
+    std::map<std::string, int> tids;
+    int next_tid = 1;
+    for (const TraceEvent& event : events) {
+      int tid = 0;
+      if (!event.trace_id.empty()) {
+        auto [it, inserted] = tids.emplace(event.trace_id, next_tid);
+        if (inserted) {
+          ++next_tid;
+          emit(StrFormat(
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+              "\"tid\":%d,\"args\":{\"name\":\"trace %s\"}}",
+              pid, it->second, JsonEscape(event.trace_id).c_str()));
+        }
+        tid = it->second;
+      }
+      std::string args = StrFormat(
+          "{\"prov\":\"%s\",\"seq\":%llu",
+          std::string(ProvenanceName(event.provenance)).c_str(),
+          static_cast<unsigned long long>(event.seq));
+      if (!event.trace_id.empty()) {
+        args += StrFormat(",\"span\":%llu,\"parent\":%llu",
+                          static_cast<unsigned long long>(event.span_id),
+                          static_cast<unsigned long long>(event.parent_span_id));
+        for (const auto& [key, value] : event.attrs) {
+          args += StrFormat(",\"%s\":\"%s\"", JsonEscape(key).c_str(),
+                            JsonEscape(value).c_str());
+        }
+      }
+      args += "}";
+      emit(StrFormat("{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
+                     "\"dur\":%lld,\"pid\":%d,\"tid\":%d,\"args\":%s}",
+                     JsonEscape(event.name).c_str(),
+                     static_cast<long long>(event.sim_start_us),
+                     static_cast<long long>(event.duration_us), pid, tid,
+                     args.c_str()));
+    }
+  }
+  out.append("\n]\n");
+  return out;
+}
+
+namespace {
+
+Status WriteWithMode(const std::string& path, std::string_view content,
+                     const char* mode) {
+  std::FILE* file = std::fopen(path.c_str(), mode);
+  if (file == nullptr) {
+    return InternalError("cannot open " + path);
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  int close_rc = std::fclose(file);
+  if (written != content.size() || close_rc != 0) {
+    return InternalError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AppendToFile(const std::string& path, std::string_view content) {
+  return WriteWithMode(path, content, "a");
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  return WriteWithMode(path, content, "w");
+}
+
+}  // namespace obs
+}  // namespace rcb

@@ -1,0 +1,51 @@
+// Trace dump formats (DESIGN.md §11).
+//
+// Two exports over the same TraceEvent stream:
+//   * JSONL — one `{"type":"span",...}` object per line. This is the
+//     interchange format `tools/trace_report` ingests and what the flight
+//     recorder and the bench RCB_TRACE_DIR hook write. Sim-provenance lines
+//     are a pure function of the simulated schedule, so a dump filtered to
+//     them is bit-reproducible.
+//   * Chrome trace-event JSON — the `[{"ph":"X",...}]` complete-event array
+//     understood by chrome://tracing and Perfetto (ui.perfetto.dev). Each
+//     component becomes a process, each trace id a thread, so one poll round
+//     trip reads as one lane of nested slices.
+#ifndef SRC_OBS_TRACE_EXPORT_H_
+#define SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/util/status.h"
+
+namespace rcb {
+namespace obs {
+
+// One JSONL span line (no trailing newline). `component` names the emitting
+// side ("agent", "snippet-p1", ...).
+std::string TraceEventJsonLine(const TraceEvent& event,
+                               std::string_view component);
+
+// Newline-terminated JSONL body for every retained event of `log`.
+std::string ExportTraceJsonl(const TraceLog& log, std::string_view component);
+
+// Chrome trace-event / Perfetto JSON document. Components map to pids (in
+// first-seen order), trace ids to tids within their component's pid (the
+// empty trace id shares tid 0); process_name/thread_name metadata records
+// the mapping. Deterministic for a deterministic event sequence.
+std::string ExportChromeTrace(
+    const std::vector<std::pair<std::string, std::vector<TraceEvent>>>&
+        components);
+
+// Appends `content` to `path`, creating the file if needed.
+Status AppendToFile(const std::string& path, std::string_view content);
+
+// Truncate-writes `content` to `path`.
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace obs
+}  // namespace rcb
+
+#endif  // SRC_OBS_TRACE_EXPORT_H_

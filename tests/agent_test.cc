@@ -1141,6 +1141,90 @@ TEST_F(AgentTest, DeltaCapabilityDowngradeIsByteIdentical) {
   EXPECT_LT(delta[1].size(), baseline[1].size());
 }
 
+// Same deterministic replay, but toggling the trace capability: the agent
+// only ever *reads* trace=, so response bytes must stay byte-identical in
+// all four combinations, and causal span ids must appear in the agent's
+// trace ring exactly when both sides opt in.
+std::pair<std::vector<std::string>, bool> ReplayTraceScenario(
+    bool agent_trace, bool send_trace) {
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("host-pc", {});
+  network.AddHost("participant-pc", {});
+  network.AddHost("www.origin.test", {});
+  SiteServer origin(&loop, &network, "www.origin.test");
+  origin.ServeStatic("/", "text/html",
+                     "<html><head><title>Origin</title></head>"
+                     "<body><p id=\"p\">v1</p></body></html>");
+  Browser host(&loop, &network, "host-pc");
+  Browser participant(&loop, &network, "participant-pc");
+  AgentConfig config;
+  config.enable_trace = agent_trace;
+  RcbAgent agent(&host, config);
+  EXPECT_TRUE(agent.Start().ok());
+
+  bool done = false;
+  host.Navigate(Url::Make("http", "www.origin.test", 80, "/"),
+                [&](const Status&, const PageLoadStats&) { done = true; });
+  loop.RunUntilCondition([&] { return done; });
+
+  uint64_t seq = 0;
+  auto poll_once = [&](int64_t doc_time) {
+    PollRequest poll;
+    poll.participant_id = "p1";
+    poll.doc_time_ms = doc_time;
+    if (send_trace) {
+      poll.trace = "p1-" + std::to_string(++seq);
+    }
+    FetchResult out;
+    bool fetched = false;
+    participant.Fetch(HttpMethod::kPost, agent.AgentUrl(),
+                      EncodePollRequest(poll),
+                      "application/x-www-form-urlencoded",
+                      [&](FetchResult result) {
+                        out = std::move(result);
+                        fetched = true;
+                      });
+    loop.RunUntilCondition([&] { return fetched; });
+    return out.response.body;
+  };
+
+  std::vector<std::string> bodies;
+  bodies.push_back(poll_once(-1));
+  auto first = ParseSnapshotXml(bodies[0]);
+  EXPECT_TRUE(first.ok());
+  host.MutateDocument([](Document* document) {
+    Element* p = document->ById("p");
+    p->RemoveAllChildren();
+    p->AppendChild(MakeText("v2"));
+  });
+  bodies.push_back(poll_once(first.ok() ? first->doc_time_ms : -1));
+
+  bool saw_causal = false;
+  for (const obs::TraceEvent& event : agent.trace_log().Events()) {
+    if (!event.trace_id.empty()) {
+      saw_causal = true;
+    }
+  }
+  return {bodies, saw_causal};
+}
+
+TEST_F(AgentTest, TraceCapabilityDowngradeIsByteIdentical) {
+  auto [baseline, baseline_causal] = ReplayTraceScenario(false, false);
+  auto [agent_only, agent_only_causal] = ReplayTraceScenario(true, false);
+  auto [snippet_only, snippet_only_causal] = ReplayTraceScenario(false, true);
+  auto [both, both_causal] = ReplayTraceScenario(true, true);
+  // Tracing never changes a single response byte, whichever side has it on.
+  EXPECT_EQ(agent_only, baseline);
+  EXPECT_EQ(snippet_only, baseline);
+  EXPECT_EQ(both, baseline);
+  // Causal spans appear in the agent ring only when both sides opt in.
+  EXPECT_FALSE(baseline_causal);
+  EXPECT_FALSE(agent_only_causal);
+  EXPECT_FALSE(snippet_only_causal);
+  EXPECT_TRUE(both_causal);
+}
+
 TEST_F(AgentTest, ResyncPollGetsFullSnapshotDespitePatchCapability) {
   AgentConfig config;
   config.enable_delta = true;

@@ -5,11 +5,16 @@
 // byte-identical sim-only /metrics body.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "src/core/session.h"
 #include "src/net/profiles.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
 #include "src/sites/corpus.h"
+#include "src/util/json.h"
 
 namespace rcb {
 namespace obs {
@@ -231,6 +236,230 @@ TEST(TraceLogTest, WallSpanRecordsIntoLogAndHistogram) {
   EXPECT_EQ(events[0].sim_start_us, 1234);
   EXPECT_GE(events[0].duration_us, 0);
   EXPECT_EQ(histogram.count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Causal spans (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+TEST(TraceLogTest, CausalAppendParentsChildrenDeterministically) {
+  TraceLog log(8);
+  TraceContext root_ctx{"p1-7", 0};
+  uint64_t parent = log.ReserveSpanId();
+  EXPECT_EQ(parent, 1u);
+  TraceContext child_ctx{"p1-7", parent};
+  uint64_t child =
+      log.Append("agent.generate.clone", Provenance::kWall, 100, 5, child_ctx,
+                 {{"ts", "3"}});
+  EXPECT_EQ(child, 2u);
+  uint64_t root = log.Append("agent.generate", Provenance::kWall, 100, 9,
+                             root_ctx, {}, parent);
+  EXPECT_EQ(root, parent);
+
+  std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, "p1-7");
+  EXPECT_EQ(events[0].span_id, 2u);
+  EXPECT_EQ(events[0].parent_span_id, parent);
+  ASSERT_EQ(events[0].attrs.size(), 1u);
+  EXPECT_EQ(events[0].attrs[0].first, "ts");
+  EXPECT_EQ(events[1].span_id, parent);
+  EXPECT_EQ(events[1].parent_span_id, 0u);
+}
+
+TEST(TraceLogTest, InactiveContextDegradesToFlatSpan) {
+  TraceLog log(8);
+  TraceContext inactive;  // empty trace id
+  EXPECT_EQ(log.Append("x", Provenance::kSim, 0, 1, inactive, {{"k", "v"}}),
+            0u);
+  std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].trace_id.empty());
+  EXPECT_EQ(events[0].span_id, 0u);
+  EXPECT_TRUE(events[0].attrs.empty());
+}
+
+TEST(TraceLogTest, WraparoundKeepsCausalFieldsAndMonotoneIds) {
+  TraceLog log(4);
+  TraceContext ctx{"p1-1", 0};
+  for (int i = 0; i < 10; ++i) {
+    log.Append("span" + std::to_string(i), Provenance::kSim, i * 100, 1, ctx);
+  }
+  EXPECT_EQ(log.dropped(), 6u);
+  std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].trace_id, "p1-1");
+    // Span ids are 1-based and monotone with the appends: the retained
+    // window holds appends 6..9, i.e. span ids 7..10.
+    EXPECT_EQ(events[i].span_id, 7 + i);
+    if (i > 0) {
+      EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    }
+  }
+}
+
+TEST(TraceLogTest, WallSpanWithContextDoubleSinksAndParents) {
+  TraceLog log(8);
+  Histogram histogram(LatencyBoundsUs());
+  TraceContext ctx{"p2-3", 0};
+  {
+    WallSpan span(&log, "snippet.apply", /*sim_now_us=*/500, &histogram, &ctx,
+                  {{"ts", "4"}});
+    EXPECT_EQ(span.span_id(), 1u);
+    // A child created while the parent is open parents to the reserved id.
+    TraceContext stage_ctx{"p2-3", span.span_id()};
+    log.Append("snippet.apply.parse", Provenance::kWall, 500, 2, stage_ctx);
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "snippet.apply.parse");
+  EXPECT_EQ(events[0].parent_span_id, 1u);
+  EXPECT_EQ(events[1].name, "snippet.apply");
+  EXPECT_EQ(events[1].span_id, 1u);
+  ASSERT_EQ(events[1].attrs.size(), 1u);
+}
+
+TEST(TraceLogTest, WallSpanWithoutContextStaysFlat) {
+  TraceLog log(8);
+  TraceContext inactive;
+  {
+    WallSpan span(&log, "unit.work", 0, nullptr, &inactive);
+    EXPECT_EQ(span.span_id(), 0u);
+  }
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log.Events()[0].trace_id.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(TraceExportTest, JsonLineRoundTripsThroughParser) {
+  TraceLog log(8);
+  TraceContext ctx{"p1-2", 0};
+  uint64_t id = log.Append("snippet.poll_rtt", Provenance::kSim, 1000, 250,
+                           ctx, {{"status", "200"}, {"bytes", "812"}});
+  std::string line = TraceEventJsonLine(log.Events()[0], "snippet-p1");
+  auto parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("type")->string_value, "span");
+  EXPECT_EQ(parsed->Find("component")->string_value, "snippet-p1");
+  EXPECT_EQ(parsed->Find("name")->string_value, "snippet.poll_rtt");
+  EXPECT_EQ(parsed->Find("prov")->string_value, "sim");
+  EXPECT_EQ(parsed->Find("sim_start_us")->number_value, 1000);
+  EXPECT_EQ(parsed->Find("duration_us")->number_value, 250);
+  EXPECT_EQ(parsed->Find("trace")->string_value, "p1-2");
+  EXPECT_EQ(parsed->Find("span")->number_value, static_cast<double>(id));
+  EXPECT_EQ(parsed->Find("parent")->number_value, 0);
+  const JsonValue* attrs = parsed->Find("attrs");
+  ASSERT_NE(attrs, nullptr);
+  EXPECT_EQ(attrs->Find("status")->string_value, "200");
+  EXPECT_EQ(attrs->Find("bytes")->string_value, "812");
+}
+
+TEST(TraceExportTest, FlatSpanLineOmitsCausalKeys) {
+  TraceLog log(8);
+  log.Append("agent.request", Provenance::kWall, 10, 3);
+  std::string line = TraceEventJsonLine(log.Events()[0], "agent");
+  auto parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("trace"), nullptr);
+  EXPECT_EQ(parsed->Find("span"), nullptr);
+  EXPECT_EQ(parsed->Find("attrs"), nullptr);
+}
+
+TEST(TraceExportTest, ChromeTraceIsValidJsonWithMetadata) {
+  TraceLog log(8);
+  TraceContext ctx{"p1-1", 0};
+  log.Append("snippet.apply", Provenance::kWall, 100, 7, ctx);
+  log.Append("flat.span", Provenance::kSim, 200, 3);
+  std::string doc = ExportChromeTrace({{"snippet-p1", log.Events()}});
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_array());
+  // process_name metadata, thread_name for the trace id, two X events.
+  ASSERT_EQ(parsed->items.size(), 4u);
+  EXPECT_EQ(parsed->items[0].Find("ph")->string_value, "M");
+  EXPECT_EQ(parsed->items[0].Find("name")->string_value, "process_name");
+  EXPECT_EQ(parsed->items[1].Find("name")->string_value, "thread_name");
+  EXPECT_EQ(parsed->items[2].Find("ph")->string_value, "X");
+  EXPECT_EQ(parsed->items[2].Find("name")->string_value, "snippet.apply");
+  // The context-free span shares tid 0.
+  EXPECT_EQ(parsed->items[3].Find("tid")->number_value, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, CountsWithoutDirAndNeverWrites) {
+  TraceLog log(8);
+  MetricsRegistry registry;
+  FlightRecorder recorder(&log, &registry, {});
+  EXPECT_FALSE(recorder.dumping_enabled());
+  recorder.Trigger("resync", 1000);
+  recorder.Trigger("resync", 2000);
+  recorder.Trigger("overload", 3000);
+  EXPECT_EQ(recorder.total_triggers(), 3u);
+  EXPECT_EQ(recorder.triggers("resync"), 2u);
+  EXPECT_EQ(recorder.triggers("overload"), 1u);
+  EXPECT_EQ(recorder.triggers("never"), 0u);
+  EXPECT_EQ(recorder.dumps_written(), 0u);
+  EXPECT_TRUE(recorder.last_dump_path().empty());
+}
+
+TEST(FlightRecorderTest, DumpsJsonlArtifactAndHonorsCap) {
+  TraceLog log(8);
+  TraceContext ctx{"p1-4", 0};
+  log.Append("snippet.poll_rtt", Provenance::kSim, 100, 40, ctx);
+  MetricsRegistry registry;
+  Counter* polls = registry.AddCounter("rcb_test_polls", "help",
+                                       Provenance::kSim);
+  polls->Add();
+  FlightRecorder::Options options;
+  options.dir = ::testing::TempDir();
+  options.component = "snippet-p1";
+  options.max_dumps = 1;
+  FlightRecorder recorder(&log, &registry, options);
+  recorder.Trigger("poll_timeout", 5000);
+  recorder.Trigger("poll_timeout", 6000);  // over the cap: counted, not dumped
+  EXPECT_EQ(recorder.total_triggers(), 2u);
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+  ASSERT_FALSE(recorder.last_dump_path().empty());
+  EXPECT_NE(recorder.last_dump_path().find("FLIGHT_snippet-p1_1_poll_timeout"),
+            std::string::npos);
+
+  std::FILE* file = std::fopen(recorder.last_dump_path().c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string body;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    body.append(buffer, got);
+  }
+  std::fclose(file);
+  // Every line is standalone JSON; header, one span, one metrics snapshot.
+  size_t start = 0;
+  std::vector<JsonValue> lines;
+  while (start < body.size()) {
+    size_t end = body.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    auto parsed = ParseJson(body.substr(start, end - start));
+    ASSERT_TRUE(parsed.ok()) << body.substr(start, end - start);
+    lines.push_back(*parsed);
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].Find("type")->string_value, "flight");
+  EXPECT_EQ(lines[0].Find("reason")->string_value, "poll_timeout");
+  EXPECT_EQ(lines[0].Find("sim_now_us")->number_value, 5000);
+  EXPECT_EQ(lines[1].Find("type")->string_value, "span");
+  EXPECT_EQ(lines[1].Find("trace")->string_value, "p1-4");
+  EXPECT_EQ(lines[2].Find("type")->string_value, "metrics");
+  EXPECT_NE(lines[2].Find("prometheus")->string_value.find("rcb_test_polls 1"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -286,5 +286,41 @@ TEST(PollRequestTest, RejectsMissingFields) {
   EXPECT_FALSE(DecodePollRequest("ts=1").ok());
 }
 
+TEST(PollRequestTest, TraceFieldRoundTrips) {
+  PollRequest request;
+  request.participant_id = "p2";
+  request.doc_time_ms = 7;
+  request.trace = "p2-19";
+  auto decoded = DecodePollRequest(EncodePollRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->trace, "p2-19");
+}
+
+TEST(PollRequestTest, EmptyTraceLeavesWireByteIdentical) {
+  // The capability-negotiation contract (mirrors patch=1): a snippet with
+  // tracing off must emit exactly the pre-trace wire bytes.
+  PollRequest request;
+  request.participant_id = "p1";
+  request.doc_time_ms = 3;
+  std::string untraced = EncodePollRequest(request);
+  EXPECT_EQ(untraced.find("trace"), std::string::npos);
+  request.trace = "p1-1";
+  std::string traced = EncodePollRequest(request);
+  EXPECT_NE(traced.find("trace=p1-1"), std::string::npos);
+  request.trace.clear();
+  EXPECT_EQ(EncodePollRequest(request), untraced);
+}
+
+TEST(PollRequestTest, UnknownTraceFieldIgnoredByOldDecoder) {
+  // A traced request still decodes when the receiver predates the field...
+  auto decoded = DecodePollRequest("pid=p1&ts=3&trace=p1-9");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->participant_id, "p1");
+  // ...and an untraced request decodes to an empty trace id.
+  auto untraced = DecodePollRequest("pid=p1&ts=3");
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_TRUE(untraced->trace.empty());
+}
+
 }  // namespace
 }  // namespace rcb

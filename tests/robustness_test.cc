@@ -7,6 +7,7 @@
 #include "src/core/session.h"
 #include "src/net/fault_injector.h"
 #include "src/net/profiles.h"
+#include "src/obs/trace_export.h"
 #include "src/util/escape.h"
 #include "src/sites/corpus.h"
 #include "src/sites/site_server.h"
@@ -653,6 +654,152 @@ TEST(OverloadChaosTest, DeterministicAcrossRuns) {
   // ...and the session still rode out the partition and re-converged.
   EXPECT_EQ(first.title, "B");
   EXPECT_GT(first.snippet_transport_failures, 0u);
+}
+
+// ----------------------------------- chaos + causal tracing determinism ----
+//
+// The WAN partition-recovery scenario once more, with causal tracing on:
+// trace ids must stay unique across the timeout -> reconnect -> resync
+// chain, the resync round trip must join across both components' rings, the
+// anomaly triggers must fire, and the sim-provenance span stream must be
+// bit-identical across two runs (DESIGN.md §11's determinism contract).
+
+struct TracedRecoveryResult {
+  std::string sim_jsonl;  // sim-provenance causal span lines, both rings
+  uint64_t agent_resync_triggers = 0;
+  uint64_t snippet_timeout_triggers = 0;
+  bool trace_ids_strictly_increase = true;
+  bool timeout_span_traced = false;
+  bool post_reconnect_traced = false;
+  bool resync_joined_across_components = false;
+  std::string title;
+
+  bool operator==(const TracedRecoveryResult&) const = default;
+};
+
+TracedRecoveryResult RunTracedWanPartitionRecovery() {
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("www.site.test", {});
+  SiteServer site(&loop, &network, "www.site.test");
+  site.ServeStatic("/", "text/html",
+                   "<html><head><title>A</title></head>"
+                   "<body><p id=\"p\">one</p></body></html>");
+  site.ServeStatic("/two", "text/html",
+                   "<html><head><title>B</title></head>"
+                   "<body><p id=\"p\">two</p></body></html>");
+
+  SessionOptions options;
+  options.profile = WanProfile();
+  options.enable_auth = true;
+  options.enable_trace = true;
+  options.poll_interval = Duration::Millis(250);
+  options.poll_timeout = Duration::Seconds(1.0);
+  options.reconnect_after = 2;
+  options.backoff_base = Duration::Millis(250);
+  options.backoff_max = Duration::Seconds(2.0);
+  options.backoff_jitter = Duration::Millis(100);
+  CoBrowsingSession session(&loop, &network, options);
+  EXPECT_TRUE(session.Start().ok());
+
+  bool loaded = false;
+  session.host_browser()->Navigate(
+      Url::Make("http", "www.site.test", 80, "/"),
+      [&](const Status& status, const PageLoadStats&) {
+        EXPECT_TRUE(status.ok()) << status;
+        loaded = true;
+      });
+  loop.RunUntilCondition([&] { return loaded; });
+  EXPECT_TRUE(session.WaitForSync().ok());
+
+  FaultInjector injector(&network, /*seed=*/1234);
+  injector.InjectPartition("participant-pc-1",
+                           loop.now() + Duration::Millis(100),
+                           Duration::Seconds(5.0), Duration::Millis(200));
+  loop.Schedule(Duration::Millis(500), [&] {
+    session.host_browser()->Navigate(
+        Url::Make("http", "www.site.test", 80, "/two"),
+        [](const Status&, const PageLoadStats&) {});
+  });
+  loop.RunFor(Duration::Seconds(20.0));
+
+  TracedRecoveryResult result;
+  result.title = session.participant_browser(0)->document()->Title();
+  result.agent_resync_triggers =
+      session.agent()->flight_recorder().triggers("resync");
+  result.snippet_timeout_triggers =
+      session.snippet(0)->flight_recorder().triggers("poll_timeout");
+
+  std::vector<obs::TraceEvent> agent_events =
+      session.agent()->trace_log().Events();
+  std::vector<obs::TraceEvent> snippet_events =
+      session.snippet(0)->trace_log().Events();
+
+  // Poll ids <pid>-<seq> never reset, so root spans (poll_rtt / timeout)
+  // must carry strictly increasing seqs straight through the reconnect.
+  int64_t last_poll_seq = 0;
+  bool saw_timeout_root = false;
+  std::string resync_trace_id;
+  for (const obs::TraceEvent& event : snippet_events) {
+    if (event.name == "snippet.poll_rtt" ||
+        event.name == "snippet.poll_timeout") {
+      size_t dash = event.trace_id.rfind('-');
+      int64_t poll_seq = std::stoll(event.trace_id.substr(dash + 1));
+      if (poll_seq <= last_poll_seq) {
+        result.trace_ids_strictly_increase = false;
+      }
+      last_poll_seq = poll_seq;
+      if (event.name == "snippet.poll_timeout") {
+        result.timeout_span_traced = true;
+        saw_timeout_root = true;
+      } else if (saw_timeout_root) {
+        result.post_reconnect_traced = true;
+      }
+    }
+    if (event.name == "snippet.resync_applied") {
+      resync_trace_id = event.trace_id;
+    }
+  }
+  // The full-snapshot resync after the reconnect is one round trip seen by
+  // both sides: the snippet's marker and the agent's response span share the
+  // trace id.
+  if (!resync_trace_id.empty()) {
+    for (const obs::TraceEvent& event : agent_events) {
+      if (event.trace_id == resync_trace_id &&
+          event.name == "agent.response.snapshot") {
+        result.resync_joined_across_components = true;
+      }
+    }
+  }
+
+  for (const obs::TraceEvent& event : agent_events) {
+    if (event.provenance == obs::Provenance::kSim && !event.trace_id.empty()) {
+      result.sim_jsonl += obs::TraceEventJsonLine(event, "agent") + "\n";
+    }
+  }
+  for (const obs::TraceEvent& event : snippet_events) {
+    if (event.provenance == obs::Provenance::kSim && !event.trace_id.empty()) {
+      result.sim_jsonl += obs::TraceEventJsonLine(event, "snippet-p1") + "\n";
+    }
+  }
+  return result;
+}
+
+TEST(TracedChaosTest, TraceIdsSurviveRecoveryAndRunsAreBitIdentical) {
+  TracedRecoveryResult first = RunTracedWanPartitionRecovery();
+  TracedRecoveryResult second = RunTracedWanPartitionRecovery();
+  EXPECT_TRUE(first == second) << "traced recovery diverged between runs";
+
+  EXPECT_EQ(first.title, "B");
+  EXPECT_FALSE(first.sim_jsonl.empty());
+  // The chain stays causally linked across timeout, reconnect, and resync.
+  EXPECT_TRUE(first.trace_ids_strictly_increase);
+  EXPECT_TRUE(first.timeout_span_traced);
+  EXPECT_TRUE(first.post_reconnect_traced);
+  EXPECT_TRUE(first.resync_joined_across_components);
+  // And the anomalies registered with both flight recorders.
+  EXPECT_EQ(first.agent_resync_triggers, 1u);
+  EXPECT_EQ(first.snippet_timeout_triggers, 1u);
 }
 
 }  // namespace

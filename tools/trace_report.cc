@@ -1,0 +1,520 @@
+// Reconstructs per-action critical paths from causal trace JSONL artifacts
+// (DESIGN.md §11): the span lines written by ExportTraceJsonl / the flight
+// recorder / the env-gated bench dumps. Joins agent- and snippet-side spans
+// on their shared trace id (trace=<pid>-<seq>) and reports
+//   * the queue / merge / generate / diff / wire / apply segment
+//     distributions of the poll round trip,
+//   * completeness: the fraction of content-carrying responses whose chain
+//     closes with a participant-side apply span,
+//   * per-session (participant) timelines, and
+//   * the top-N slowest round trips.
+//
+// Usage: trace_report [--json] [--sim-only] [--top N] [--chrome OUT] FILE...
+//   --json      machine-readable report (schema_version 1) instead of text
+//   --sim-only  suppress wall-clock durations so the output is bit-identical
+//               across runs of the same simulated schedule (span *presence*
+//               is deterministic either way; only wall durations vary)
+//   --chrome    additionally write a Chrome trace-event / Perfetto JSON file
+//               rebuilt from the ingested spans
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/obs/trace_export.h"
+#include "src/util/json.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace {
+
+using rcb::JsonValue;
+using rcb::StrFormat;
+
+struct Span {
+  std::string component;
+  std::string name;
+  bool wall = false;
+  int64_t sim_start_us = 0;
+  int64_t duration_us = 0;
+  uint64_t seq = 0;
+  std::string trace_id;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+// The six critical-path segments, in pipeline order. Wall segments carry CPU
+// durations and are suppressed (presence only) under --sim-only.
+struct SegmentDef {
+  const char* key;
+  const char* span_name;
+  bool wall;
+};
+constexpr SegmentDef kSegments[] = {
+    {"queue", "snippet.action_queue", false},
+    {"merge", "agent.merge.actions", true},
+    {"generate", "agent.generate", true},
+    {"diff", "agent.delta.diff", true},
+    {"wire", "snippet.poll_rtt", false},
+    {"apply", "snippet.apply", true},  // or snippet.apply_patch, see below
+};
+
+bool IsApplySpan(const std::string& name) {
+  return name == "snippet.apply" || name == "snippet.apply_patch";
+}
+
+bool IsContentResponse(const std::string& name) {
+  return name == "agent.response.patch" || name == "agent.response.snapshot";
+}
+
+// Session key for per-participant timelines: the pid prefix of
+// trace=<pid>-<seq>. Falls back to the whole id when no '-' is present.
+std::string SessionOf(const std::string& trace_id) {
+  size_t dash = trace_id.rfind('-');
+  return dash == std::string::npos ? trace_id : trace_id.substr(0, dash);
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+struct SegmentStats {
+  uint64_t count = 0;
+  bool suppressed = false;  // wall segment under --sim-only
+  std::vector<int64_t> durations;
+};
+
+struct SessionStats {
+  uint64_t traces = 0;
+  uint64_t content = 0;
+  uint64_t timeouts = 0;
+  uint64_t overloads = 0;
+  int64_t first_us = 0;
+  int64_t last_us = 0;
+  bool seen = false;
+};
+
+rcb::Status IngestFile(const std::string& path, std::vector<Span>* spans) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return rcb::UnavailableError("cannot open " + path);
+  }
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    auto doc_or = rcb::ParseJson(line);
+    if (!doc_or.ok()) {
+      return rcb::InvalidArgumentError(StrFormat(
+          "%s:%zu: %s", path.c_str(), line_no,
+          doc_or.status().ToString().c_str()));
+    }
+    const JsonValue& doc = *doc_or;
+    const JsonValue* type = doc.Find("type");
+    if (type == nullptr || !type->is_string() ||
+        type->string_value != "span") {
+      continue;  // flight headers, metrics snapshots, foreign lines
+    }
+    Span span;
+    auto str = [&doc](const char* key) -> std::string {
+      const JsonValue* v = doc.Find(key);
+      return v != nullptr && v->is_string() ? v->string_value : "";
+    };
+    auto num = [&doc](const char* key) -> int64_t {
+      const JsonValue* v = doc.Find(key);
+      return v != nullptr && v->is_number()
+                 ? static_cast<int64_t>(v->number_value)
+                 : 0;
+    };
+    span.component = str("component");
+    span.name = str("name");
+    span.wall = str("prov") == "wall";
+    span.sim_start_us = num("sim_start_us");
+    span.duration_us = num("duration_us");
+    span.seq = static_cast<uint64_t>(num("seq"));
+    span.trace_id = str("trace");
+    span.span_id = static_cast<uint64_t>(num("span"));
+    span.parent_span_id = static_cast<uint64_t>(num("parent"));
+    if (const JsonValue* attrs = doc.Find("attrs");
+        attrs != nullptr && attrs->is_object()) {
+      for (const auto& [key, value] : attrs->members) {
+        if (value.is_string()) {
+          span.attrs.emplace_back(key, value.string_value);
+        }
+      }
+    }
+    spans->push_back(std::move(span));
+  }
+  return rcb::Status::Ok();
+}
+
+std::string SegmentStatsJson(const SegmentDef& def, const SegmentStats& stats) {
+  std::string out = StrFormat(
+      "{\"name\":\"%s\",\"prov\":\"%s\",\"count\":%llu", def.key,
+      def.wall ? "wall" : "sim",
+      static_cast<unsigned long long>(stats.count));
+  if (stats.suppressed) {
+    out += ",\"durations_suppressed\":true";
+  } else {
+    std::vector<int64_t> sorted = stats.durations;
+    std::sort(sorted.begin(), sorted.end());
+    int64_t total = 0;
+    for (int64_t d : sorted) {
+      total += d;
+    }
+    out += StrFormat(
+        ",\"total_us\":%lld,\"min_us\":%lld,\"p50_us\":%lld,\"p95_us\":%lld,"
+        "\"p99_us\":%lld,\"max_us\":%lld",
+        static_cast<long long>(total),
+        static_cast<long long>(sorted.empty() ? 0 : sorted.front()),
+        static_cast<long long>(Percentile(sorted, 0.50)),
+        static_cast<long long>(Percentile(sorted, 0.95)),
+        static_cast<long long>(Percentile(sorted, 0.99)),
+        static_cast<long long>(sorted.empty() ? 0 : sorted.back()));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json_output = false;
+  bool sim_only = false;
+  size_t top_n = 5;
+  std::string chrome_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json_output = true;
+    } else if (arg == "--sim-only") {
+      sim_only = true;
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_n = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--chrome" && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--sim-only] [--top N] [--chrome OUT] "
+                   "FILE...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s [--json] [--sim-only] [--top N] "
+                         "[--chrome OUT] FILE...\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<Span> spans;
+  for (const std::string& file : files) {
+    rcb::Status status = IngestFile(file, &spans);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace_report: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Optional Chrome trace-event / Perfetto conversion, before --sim-only
+  // filtering: the visual timeline wants the wall durations.
+  if (!chrome_path.empty()) {
+    std::vector<std::pair<std::string, std::vector<rcb::obs::TraceEvent>>>
+        components;
+    std::map<std::string, size_t> index;
+    for (const Span& span : spans) {
+      auto [it, inserted] = index.emplace(span.component, components.size());
+      if (inserted) {
+        components.emplace_back(span.component,
+                                std::vector<rcb::obs::TraceEvent>{});
+      }
+      rcb::obs::TraceEvent event;
+      event.name = span.name;
+      event.provenance = span.wall ? rcb::obs::Provenance::kWall
+                                   : rcb::obs::Provenance::kSim;
+      event.sim_start_us = span.sim_start_us;
+      event.duration_us = span.duration_us;
+      event.seq = span.seq;
+      event.trace_id = span.trace_id;
+      event.span_id = span.span_id;
+      event.parent_span_id = span.parent_span_id;
+      event.attrs = span.attrs;
+      components[it->second].second.push_back(std::move(event));
+    }
+    rcb::Status status = rcb::obs::WriteFile(
+        chrome_path, rcb::obs::ExportChromeTrace(components));
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace_report: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Group causal spans by trace id; sorted map = deterministic iteration.
+  std::map<std::string, std::vector<const Span*>> traces;
+  size_t causal_spans = 0;
+  for (const Span& span : spans) {
+    if (span.trace_id.empty()) {
+      continue;
+    }
+    ++causal_spans;
+    traces[span.trace_id].push_back(&span);
+  }
+
+  SegmentStats segment_stats[6];
+  std::map<std::string, SessionStats> sessions;
+  uint64_t content_traces = 0, complete_content = 0;
+  uint64_t action_traces = 0, merged_actions = 0;
+  uint64_t complete_traces = 0;
+  struct SlowTrace {
+    int64_t wire_us = 0;
+    std::string id;
+    std::string segments;
+  };
+  std::vector<SlowTrace> slow;
+
+  for (const auto& [trace_id, trace_spans] : traces) {
+    bool has_content = false, has_apply = false, has_rtt = false;
+    bool has_agent = false, has_queue = false, has_merge = false;
+    bool has_timeout = false, has_overload = false;
+    int64_t wire_us = 0;
+    int64_t seg_us[6] = {};
+    bool seg_present[6] = {};
+    int64_t first_us = 0, last_us = 0;
+    bool seen_time = false;
+    for (const Span* span : trace_spans) {
+      if (IsContentResponse(span->name)) {
+        has_content = true;
+      }
+      if (IsApplySpan(span->name)) {
+        has_apply = true;
+      }
+      if (span->name == "snippet.poll_rtt") {
+        has_rtt = true;
+        wire_us = span->duration_us;
+      }
+      if (span->name == "snippet.poll_timeout") {
+        has_timeout = true;
+      }
+      if (span->name == "snippet.overload_deferral") {
+        has_overload = true;
+      }
+      if (span->component.rfind("agent", 0) == 0) {
+        has_agent = true;
+      }
+      if (span->name == "snippet.action_queue") {
+        has_queue = true;
+      }
+      if (span->name == "agent.merge.actions") {
+        has_merge = true;
+      }
+      for (size_t i = 0; i < 6; ++i) {
+        bool match = i == 5 ? IsApplySpan(span->name)
+                            : span->name == kSegments[i].span_name;
+        if (match) {
+          seg_present[i] = true;
+          seg_us[i] += span->duration_us;
+        }
+      }
+      if (!seen_time || span->sim_start_us < first_us) {
+        first_us = span->sim_start_us;
+      }
+      int64_t end = span->sim_start_us + (span->wall ? 0 : span->duration_us);
+      if (!seen_time || end > last_us) {
+        last_us = end;
+      }
+      seen_time = true;
+    }
+    for (size_t i = 0; i < 6; ++i) {
+      if (seg_present[i]) {
+        ++segment_stats[i].count;
+        segment_stats[i].durations.push_back(
+            sim_only && kSegments[i].wall ? 0 : seg_us[i]);
+      }
+    }
+    if (has_content) {
+      ++content_traces;
+      if (has_apply && has_rtt) {
+        ++complete_content;
+      }
+    }
+    if (has_queue) {
+      ++action_traces;
+      if (has_merge) {
+        ++merged_actions;
+      }
+    }
+    if (has_rtt && has_agent) {
+      ++complete_traces;
+    }
+    SessionStats& session = sessions[SessionOf(trace_id)];
+    ++session.traces;
+    session.content += has_content ? 1 : 0;
+    session.timeouts += has_timeout ? 1 : 0;
+    session.overloads += has_overload ? 1 : 0;
+    if (!session.seen || first_us < session.first_us) {
+      session.first_us = first_us;
+    }
+    if (!session.seen || last_us > session.last_us) {
+      session.last_us = last_us;
+    }
+    session.seen = true;
+
+    if (has_rtt) {
+      SlowTrace entry;
+      entry.wire_us = wire_us;
+      entry.id = trace_id;
+      for (size_t i = 0; i < 6; ++i) {
+        if (!seg_present[i]) {
+          continue;
+        }
+        if (!entry.segments.empty()) {
+          entry.segments += ",";
+        }
+        int64_t us = sim_only && kSegments[i].wall ? 0 : seg_us[i];
+        entry.segments += StrFormat("\"%s\":%lld", kSegments[i].key,
+                                    static_cast<long long>(us));
+      }
+      slow.push_back(std::move(entry));
+    }
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    segment_stats[i].suppressed = sim_only && kSegments[i].wall;
+  }
+  // Slowest by wire time; ties broken by trace id so the order (and the
+  // --sim-only output bytes) never depend on map internals.
+  std::stable_sort(slow.begin(), slow.end(),
+                   [](const SlowTrace& a, const SlowTrace& b) {
+                     if (a.wire_us != b.wire_us) {
+                       return a.wire_us > b.wire_us;
+                     }
+                     return a.id < b.id;
+                   });
+  if (slow.size() > top_n) {
+    slow.resize(top_n);
+  }
+  double completeness =
+      content_traces == 0
+          ? 1.0
+          : static_cast<double>(complete_content) /
+                static_cast<double>(content_traces);
+
+  if (json_output) {
+    std::string out = StrFormat(
+        "{\"schema_version\":1,\"sim_only\":%s,\"files\":%zu,"
+        "\"spans_total\":%zu,\"causal_spans\":%zu,\"traces\":%zu,"
+        "\"complete_traces\":%llu,\"content_traces\":%llu,"
+        "\"complete_content_traces\":%llu,\"content_completeness\":%.6f,"
+        "\"action_traces\":%llu,\"merged_action_traces\":%llu",
+        sim_only ? "true" : "false", files.size(), spans.size(), causal_spans,
+        traces.size(), static_cast<unsigned long long>(complete_traces),
+        static_cast<unsigned long long>(content_traces),
+        static_cast<unsigned long long>(complete_content), completeness,
+        static_cast<unsigned long long>(action_traces),
+        static_cast<unsigned long long>(merged_actions));
+    out += ",\"segments\":[";
+    for (size_t i = 0; i < 6; ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += SegmentStatsJson(kSegments[i], segment_stats[i]);
+    }
+    out += "],\"sessions\":[";
+    bool first = true;
+    for (const auto& [id, session] : sessions) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += StrFormat(
+          "{\"id\":\"%s\",\"traces\":%llu,\"content\":%llu,"
+          "\"timeouts\":%llu,\"overloads\":%llu,\"first_us\":%lld,"
+          "\"last_us\":%lld}",
+          rcb::JsonEscape(id).c_str(),
+          static_cast<unsigned long long>(session.traces),
+          static_cast<unsigned long long>(session.content),
+          static_cast<unsigned long long>(session.timeouts),
+          static_cast<unsigned long long>(session.overloads),
+          static_cast<long long>(session.first_us),
+          static_cast<long long>(session.last_us));
+    }
+    out += "],\"slowest\":[";
+    for (size_t i = 0; i < slow.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += StrFormat("{\"trace\":\"%s\",\"wire_us\":%lld,\"segments\":{%s}}",
+                       rcb::JsonEscape(slow[i].id).c_str(),
+                       static_cast<long long>(slow[i].wire_us),
+                       slow[i].segments.c_str());
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+
+  std::printf("trace_report: %zu spans (%zu causal) from %zu file(s)%s\n",
+              spans.size(), causal_spans, files.size(),
+              sim_only ? " [sim-only]" : "");
+  std::printf("traces: %zu total, %llu complete round trips\n", traces.size(),
+              static_cast<unsigned long long>(complete_traces));
+  std::printf("content chains: %llu/%llu closed with an apply (%.1f%%)\n",
+              static_cast<unsigned long long>(complete_content),
+              static_cast<unsigned long long>(content_traces),
+              completeness * 100.0);
+  std::printf("action chains: %llu queued, %llu merged by the agent\n",
+              static_cast<unsigned long long>(action_traces),
+              static_cast<unsigned long long>(merged_actions));
+  std::printf("%-9s %-5s %8s %10s %10s %10s %10s\n", "segment", "prov",
+              "count", "p50_us", "p95_us", "p99_us", "max_us");
+  for (size_t i = 0; i < 6; ++i) {
+    const SegmentStats& stats = segment_stats[i];
+    if (stats.suppressed) {
+      std::printf("%-9s %-5s %8llu %10s %10s %10s %10s\n", kSegments[i].key,
+                  "wall", static_cast<unsigned long long>(stats.count), "-",
+                  "-", "-", "-");
+      continue;
+    }
+    std::vector<int64_t> sorted = stats.durations;
+    std::sort(sorted.begin(), sorted.end());
+    std::printf("%-9s %-5s %8llu %10lld %10lld %10lld %10lld\n",
+                kSegments[i].key, kSegments[i].wall ? "wall" : "sim",
+                static_cast<unsigned long long>(stats.count),
+                static_cast<long long>(Percentile(sorted, 0.50)),
+                static_cast<long long>(Percentile(sorted, 0.95)),
+                static_cast<long long>(Percentile(sorted, 0.99)),
+                static_cast<long long>(sorted.empty() ? 0 : sorted.back()));
+  }
+  std::printf("sessions:\n");
+  for (const auto& [id, session] : sessions) {
+    std::printf("  %-16s %6llu traces, %llu content, %llu timeouts, "
+                "%llu overloads, sim %lld..%lld us\n",
+                id.c_str(), static_cast<unsigned long long>(session.traces),
+                static_cast<unsigned long long>(session.content),
+                static_cast<unsigned long long>(session.timeouts),
+                static_cast<unsigned long long>(session.overloads),
+                static_cast<long long>(session.first_us),
+                static_cast<long long>(session.last_us));
+  }
+  std::printf("slowest round trips:\n");
+  for (const SlowTrace& entry : slow) {
+    std::printf("  %-20s wire %lld us  {%s}\n", entry.id.c_str(),
+                static_cast<long long>(entry.wire_us),
+                entry.segments.c_str());
+  }
+  return 0;
+}

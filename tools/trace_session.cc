@@ -1,0 +1,144 @@
+// CI driver for the causal-tracing gate (scripts/ci.sh): runs one short,
+// fully deterministic co-browsing session with tracing and HMAC auth on,
+// drives a navigation, two host-side mutations, and a participant gesture so
+// every critical-path segment appears at least once, then forges an unsigned
+// poll to fire the agent's auth_failure flight trigger — with the dump
+// directory set, that writes a FLIGHT_agent_*.jsonl artifact. Finally the
+// agent and snippet trace rings are exported as TRACE_session.jsonl plus a
+// Chrome trace-event file for Perfetto.
+//
+// Usage: trace_session OUT_DIR
+// Exit 0 iff the session synced, the flight dump was written, and the trace
+// artifacts were exported.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/net/profiles.h"
+#include "src/obs/trace_export.h"
+#include "src/sites/corpus.h"
+
+using namespace rcb;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s OUT_DIR\n", argv[0]);
+    return 2;
+  }
+  std::string out_dir = argv[1];
+
+  EventLoop loop;
+  Network network(&loop);
+  SessionOptions options;
+  options.profile = LanProfile();
+  options.participant_count = 2;
+  options.enable_auth = true;
+  options.enable_delta = true;
+  options.enable_trace = true;
+  options.flight_dir = out_dir;
+  options.poll_interval = Duration::Millis(250);
+
+  const SiteSpec* spec = FindSite("google.com");
+  AddOriginServer(&network, options.profile, spec->host, spec->server_bps,
+                  spec->server_latency, options.host_machine,
+                  options.participant_machine_prefix + "-1");
+  network.SetLatency(options.participant_machine_prefix + "-2", spec->host,
+                     spec->server_latency + options.profile.access_latency);
+  auto server = InstallSite(&loop, &network, *spec);
+
+  CoBrowsingSession session(&loop, &network, options);
+  if (Status status = session.Start(); !status.ok()) {
+    std::fprintf(stderr, "trace_session: start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  auto stats = session.CoNavigate(Url::Make("http", spec->host, 80, "/"));
+  if (!stats.ok()) {
+    std::fprintf(stderr, "trace_session: navigation failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  // A participant gesture, so a snippet.action_queue -> agent.merge.actions
+  // chain rides the next poll.
+  session.snippet(0)->SendMouseMove(17, 23);
+  session.snippet(0)->PollNow();
+
+  // Two host-side mutations: the first full update after the gesture, then a
+  // small second edit the delta path ships as a newPatch (agent.delta.diff).
+  for (int round = 1; round <= 2; ++round) {
+    session.host_browser()->MutateDocument([round](Document* document) {
+      Element* status = document->ById("trace-session-status");
+      if (status == nullptr) {
+        auto fresh = MakeElement("p");
+        fresh->SetAttribute("id", "trace-session-status");
+        document->body()->AppendChild(std::move(fresh));
+        status = document->ById("trace-session-status");
+      }
+      status->RemoveAllChildren();
+      status->AppendChild(MakeText("round " + std::to_string(round)));
+    });
+    if (Status status = session.WaitForSync(); !status.ok()) {
+      std::fprintf(stderr, "trace_session: sync %d failed: %s\n", round,
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Forged unsigned poll from the participant machine: HMAC verification
+  // fails, the agent counts an auth_failure, and — because flight_dir is set
+  // — the flight recorder dumps its ring + sim metrics to JSONL.
+  bool forged_done = false;
+  session.participant_browser(0)->Fetch(
+      HttpMethod::kPost, session.agent()->AgentUrl(), "pid=evil&ts=-1",
+      "application/x-www-form-urlencoded",
+      [&forged_done](FetchResult result) {
+        forged_done = true;
+        if (result.status.ok() && result.response.status_code != 403) {
+          std::fprintf(stderr,
+                       "trace_session: forged poll got HTTP %d, wanted 403\n",
+                       result.response.status_code);
+        }
+      });
+  loop.RunUntilCondition([&] { return forged_done; });
+
+  if (session.agent()->flight_recorder().dumps_written() == 0) {
+    std::fprintf(stderr, "trace_session: no flight dump was written\n");
+    return 1;
+  }
+
+  // Export both rings: the interchange JSONL trace_report ingests, and the
+  // Chrome trace-event view for chrome://tracing / ui.perfetto.dev.
+  std::string jsonl =
+      obs::ExportTraceJsonl(session.agent()->trace_log(), "agent");
+  std::vector<std::pair<std::string, std::vector<obs::TraceEvent>>> components;
+  components.emplace_back("agent", session.agent()->trace_log().Events());
+  for (size_t i = 0; i < session.participant_count(); ++i) {
+    std::string component = "snippet-" + session.snippet(i)->participant_id();
+    jsonl += obs::ExportTraceJsonl(session.snippet(i)->trace_log(), component);
+    components.emplace_back(component, session.snippet(i)->trace_log().Events());
+  }
+  if (Status status =
+          obs::WriteFile(out_dir + "/TRACE_session.jsonl", jsonl);
+      !status.ok()) {
+    std::fprintf(stderr, "trace_session: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (Status status = obs::WriteFile(out_dir + "/TRACE_session_chrome.json",
+                                     obs::ExportChromeTrace(components));
+      !status.ok()) {
+    std::fprintf(stderr, "trace_session: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("trace_session: agent spans %zu (dropped %llu), flight dumps "
+              "%llu, last %s\n",
+              session.agent()->trace_log().size(),
+              static_cast<unsigned long long>(
+                  session.agent()->trace_log().dropped()),
+              static_cast<unsigned long long>(
+                  session.agent()->flight_recorder().dumps_written()),
+              session.agent()->flight_recorder().last_dump_path().c_str());
+  return 0;
+}
