@@ -28,6 +28,28 @@ check_bench_json() {
   fi
 }
 
+check_scale_json() {
+  local build_dir="$1"
+  local artifact_dir="${build_dir}/ci-scale-json"
+  echo "=== ${build_dir}: bench_scale JSON gate ==="
+  rm -rf "${artifact_dir}"
+  mkdir -p "${artifact_dir}"
+  # A reduced sweep keeps the sanitized run fast; the bench still fails on a
+  # generate-once shape violation at any point it runs.
+  RCB_BENCH_JSON_DIR="${artifact_dir}" RCB_SCALE_MAX_SESSIONS=64 \
+      "${build_dir}/bench/bench_scale" > /dev/null
+  local artifact="${artifact_dir}/BENCH_scale.json"
+  "${build_dir}/tools/validate_bench_json" "${artifact}"
+  if command -v jq >/dev/null; then
+    jq -e '.schema_version == 1 and .bench == "scale"
+           and (.config_fingerprint | test("^[0-9a-f]{64}$"))
+           and (.metrics | length > 0)
+           and ([.metrics[].name] | index("n64_p99_sync_us") != null)
+           and ([.metrics[].name] | index("n64_pipeline_runs") != null)' \
+        "${artifact}" > /dev/null
+  fi
+}
+
 check_trace() {
   local build_dir="$1"
   local trace_dir="${build_dir}/ci-trace"
@@ -80,7 +102,14 @@ run_suite() {
   echo "=== ${build_dir}: delta + patch-codec fuzz gate ==="
   "${build_dir}/tests/delta_test" --gtest_brief=1
   "${build_dir}/tests/fuzz_test" --gtest_filter='*Patch*' --gtest_brief=1
+  # Host + fan-out gate: multi-session registry/isolation, broadcast
+  # equivalence, and router fuzz must pass by name in this build.
+  echo "=== ${build_dir}: host + fan-out gate ==="
+  "${build_dir}/tests/host_test" --gtest_brief=1
+  "${build_dir}/tests/fanout_equivalence_test" --gtest_brief=1
+  "${build_dir}/tests/fuzz_test" --gtest_filter='*HostRouter*' --gtest_brief=1
   check_bench_json "${build_dir}"
+  check_scale_json "${build_dir}"
   check_trace "${build_dir}"
 }
 

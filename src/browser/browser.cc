@@ -218,7 +218,7 @@ void Browser::Fetch(HttpMethod method, const Url& url, std::string body,
 
 void Browser::FetchCached(const Url& url, FetchCallback callback) {
   if (cache_enabled_) {
-    const CacheEntry* entry = cache_.Lookup(url);
+    const CacheEntry* entry = cache().Lookup(url);
     if (entry != nullptr) {
       FetchResult result;
       result.status = Status::Ok();
@@ -241,7 +241,7 @@ void Browser::FetchCached(const Url& url, FetchCallback callback) {
             std::string content_type =
                 result.response.headers.Get("Content-Type").value_or(
                     "application/octet-stream");
-            cache_.Put(url, content_type, result.response.body);
+            cache().Put(url, content_type, result.response.body);
           }
           callback(std::move(result));
         });

@@ -122,7 +122,14 @@ class Browser {
 
   // -- State ---------------------------------------------------------------
   CookieJar& cookies() { return cookies_; }
-  ObjectCache& cache() { return cache_; }
+  ObjectCache& cache() {
+    return shared_cache_ != nullptr ? *shared_cache_ : cache_;
+  }
+  // Redirects every cache access to `shared` (not owned; must outlive this
+  // browser). RcbHost points all session browsers at one host-wide cache so
+  // supplementary objects fetched for one session serve every session.
+  // nullptr restores the built-in per-browser cache.
+  void UseSharedCache(ObjectCache* shared) { shared_cache_ = shared; }
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
   bool cache_enabled() const { return cache_enabled_; }
 
@@ -175,6 +182,7 @@ class Browser {
 
   CookieJar cookies_;
   ObjectCache cache_;
+  ObjectCache* shared_cache_ = nullptr;  // overrides cache_ when non-null
   bool cache_enabled_ = true;
 
   std::function<void()> change_listener_;

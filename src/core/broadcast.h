@@ -1,0 +1,146 @@
+// SnapshotBroadcast: the shareable generate-once half of the Fig. 3 pipeline.
+//
+// The paper's reuse argument (§4.1.2) — generate content once per document
+// version, serve the identical bytes to every participant — used to live
+// inline in RcbAgent. RcbHost runs many agents on one event loop, so the
+// state that makes reuse work (per-cache-mode snapshot slots, the delta base
+// history, the memoized patch cache) is factored out here as a standalone
+// component: one SnapshotBroadcast per session owns the encoded broadcast
+// buffer (`Slot::xml`) that fans out to all N pollers of that session.
+//
+// Fallback rules (DESIGN.md §12): the shared buffer is served verbatim only
+// when the poller's capabilities match what the buffer encodes. A poller
+// with pending per-participant actions, a patch-capable poller whose acked
+// base is in the history window, or a traced poller all take per-participant
+// paths — byte-identical to what a dedicated single-participant agent would
+// produce.
+#ifndef SRC_CORE_BROADCAST_H_
+#define SRC_CORE_BROADCAST_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/content_generator.h"
+#include "src/core/protocol.h"
+#include "src/delta/patch_codec.h"
+#include "src/net/event_loop.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace rcb {
+
+// The AgentConfig knobs the broadcast pipeline acts on (copied at agent
+// construction; the agent remains the single owner of its config).
+struct BroadcastOptions {
+  bool enable_delta = false;
+  double patch_size_cutoff = 0.6;
+  size_t delta_history = 8;
+  std::function<bool(const Url& url, const std::string& kind)>
+      cache_object_filter;
+};
+
+// Observability sinks threaded through by the owning agent. Every pointer
+// may be null (metrics-lite agents under a 10k-session host register no
+// per-session instruments); null sinks simply record nothing.
+struct BroadcastInstruments {
+  obs::TraceLog* trace = nullptr;
+  // Fig. 3 stage histograms in pipeline order:
+  // clone, absolutize, cache_rewrite, event_rewrite, extract, serialize.
+  obs::Histogram* stage_hist[6] = {};
+  obs::Histogram* generation_us = nullptr;   // whole pipeline, wall
+  obs::Histogram* snapshot_bytes = nullptr;  // serialized XML size, sim
+  obs::Histogram* patch_ops = nullptr;       // ops per served patch, sim
+};
+
+// What the pipeline did. The owning agent mirrors these into AgentMetrics
+// after every call, so the public metrics surface is unchanged.
+struct BroadcastCounters {
+  uint64_t generations = 0;       // Fig. 3 pipeline executions
+  uint64_t snapshot_reuses = 0;   // content served without regeneration
+  uint64_t patch_fallback_no_base = 0;
+  uint64_t patch_fallback_oversize = 0;
+  uint64_t snapshot_bytes_raw = 0;
+  uint64_t snapshot_bytes_escaped = 0;
+  Duration last_generation_time;  // real CPU time (M5)
+  Duration total_generation_time;
+  size_t last_snapshot_bytes = 0;
+};
+
+class SnapshotBroadcast {
+ public:
+  // One materialized canonical tree (src/delta) with its version and digest;
+  // the delta path diffs a history of these against the current one.
+  struct BaseVersion {
+    int64_t doc_time_ms = -1;
+    std::unique_ptr<Element> tree;
+    std::string digest;
+  };
+  // A memoized diff against one base version, shared by every participant
+  // that acked that version (the §4.1.2 reuse argument, applied to patches).
+  struct CachedPatch {
+    bool fallback = false;  // patch not profitable; serve the full snapshot
+    delta::PatchEnvelope envelope;  // actions-free
+    std::string xml;                // serialized envelope without actions
+  };
+  // Cache-mode flavour of the generated snapshot — the broadcast buffer. One
+  // entry per mode in use; both flavours share the document version and are
+  // invalidated together.
+  struct Slot {
+    bool valid = false;
+    Snapshot snapshot;
+    std::string xml;  // the encoded bytes fanned out to matching pollers
+    // --- Delta state (BroadcastOptions::enable_delta only) ---
+    BaseVersion current;                      // materialization of `snapshot`
+    std::deque<BaseVersion> history;          // previously served versions
+    std::map<int64_t, CachedPatch> patch_cache;  // keyed by base doc time
+  };
+
+  // `generator` and `loop` must outlive this object; `instruments` is copied.
+  SnapshotBroadcast(ContentGenerator* generator, EventLoop* loop,
+                    BroadcastOptions options, BroadcastInstruments instruments)
+      : generator_(generator),
+        loop_(loop),
+        options_(std::move(options)),
+        instruments_(instruments) {}
+  SnapshotBroadcast(const SnapshotBroadcast&) = delete;
+  SnapshotBroadcast& operator=(const SnapshotBroadcast&) = delete;
+
+  // The document changed: both slots are stale and must regenerate on the
+  // next Refresh (the history/patch cache rotate there, not here).
+  void Invalidate() { dirty_ = true; }
+
+  // Ensures the slot for `cache_mode` encodes document version `doc_time_ms`
+  // and returns it — running the Fig. 3 pipeline exactly once per version
+  // per mode no matter how many pollers ask. `trace_ctx` is the caller's
+  // causal chain (inactive outside traced polls).
+  Slot& Refresh(bool cache_mode, bool count_reuse, int64_t doc_time_ms,
+                const Url& agent_url, const obs::TraceContext& trace_ctx);
+
+  // Delta path: returns the serialized newPatch response for a participant
+  // acking `base_time`, or nullopt when the full snapshot must be served (no
+  // delta state, base outside the history window, or patch over the size
+  // cutoff). Consumes `outbox` only when a patch is returned.
+  std::optional<std::string> MaybeBuildPatchResponse(
+      Slot& slot, int64_t base_time, std::vector<UserAction>* outbox,
+      const obs::TraceContext& trace_ctx);
+
+  const BroadcastCounters& counters() const { return counters_; }
+
+ private:
+  ContentGenerator* generator_;
+  EventLoop* loop_;
+  BroadcastOptions options_;
+  BroadcastInstruments instruments_;
+  BroadcastCounters counters_;
+  bool dirty_ = true;
+  Slot slots_[2];  // [0] non-cache mode, [1] cache mode
+};
+
+}  // namespace rcb
+
+#endif  // SRC_CORE_BROADCAST_H_

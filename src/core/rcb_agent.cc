@@ -82,7 +82,37 @@ RcbAgent::RcbAgent(Browser* host_browser, AgentConfig config)
       config_(std::move(config)),
       generator_(host_browser),
       flight_(&trace_, &registry_, AgentFlightOptions(config_)) {
-  RegisterMetrics();
+  effective_registry_ = config_.shared_registry != nullptr
+                            ? config_.shared_registry
+                            : &registry_;
+  if (config_.register_metrics) {
+    RegisterMetrics();
+  }
+  BroadcastOptions broadcast_options;
+  broadcast_options.enable_delta = config_.enable_delta;
+  broadcast_options.patch_size_cutoff = config_.patch_size_cutoff;
+  broadcast_options.delta_history = config_.delta_history;
+  broadcast_options.cache_object_filter = config_.cache_object_filter;
+  BroadcastInstruments instruments;
+  instruments.trace = &trace_;
+  for (size_t i = 0; i < 6; ++i) {
+    instruments.stage_hist[i] = stage_hist_[i];
+  }
+  instruments.generation_us = generation_us_;
+  instruments.snapshot_bytes = snapshot_bytes_;
+  instruments.patch_ops = patch_ops_;
+  broadcast_.emplace(&generator_, browser_->loop(),
+                     std::move(broadcast_options), instruments);
+}
+
+std::string RcbAgent::ComposedLabels(std::string_view labels) const {
+  if (config_.metrics_label.empty()) {
+    return std::string(labels);
+  }
+  if (labels.empty()) {
+    return config_.metrics_label;
+  }
+  return config_.metrics_label + "," + std::string(labels);
 }
 
 void RcbAgent::TraceMarker(const char* name, obs::TraceAttrs attrs) {
@@ -94,13 +124,17 @@ void RcbAgent::TraceMarker(const char* name, obs::TraceAttrs attrs) {
 }
 
 void RcbAgent::RegisterMetrics() {
+  obs::MetricsRegistry* reg = effective_registry_;
+  // Under a shared registry every instrument carries the session label, so
+  // many agents coexist in one exposition without (name, labels) collisions.
+  const std::string base_labels = ComposedLabels("");
   // Counters: every AgentMetrics field, callback-backed so the struct stays
   // the single source of truth (the /status page keeps reading it directly).
   // All of them are sim-provenance: they count simulated protocol events.
-  auto field = [this](std::string_view name, std::string_view help,
-                      const uint64_t& source) {
-    registry_.AddCallbackCounter(name, help, obs::Provenance::kSim,
-                                 [&source] { return source; });
+  auto field = [reg, &base_labels](std::string_view name, std::string_view help,
+                                   const uint64_t& source) {
+    reg->AddCallbackCounter(name, help, obs::Provenance::kSim,
+                            [&source] { return source; }, base_labels);
   };
   field("rcb_agent_polls_received", "Ajax polling requests received",
         metrics_.polls_received);
@@ -116,6 +150,8 @@ void RcbAgent::RegisterMetrics() {
         metrics_.new_connections);
   field("rcb_agent_auth_failures", "Requests failing HMAC verification",
         metrics_.auth_failures);
+  field("rcb_agent_doc_updates", "Document versions observed by the agent",
+        metrics_.doc_updates);
   field("rcb_agent_generations", "Fig. 3 content-generation pipeline runs",
         metrics_.generations);
   field("rcb_agent_snapshot_reuses", "Snapshots served without regeneration",
@@ -174,93 +210,106 @@ void RcbAgent::RegisterMetrics() {
         "CDATA payload bytes after JsEscape, across all generations",
         metrics_.snapshot_bytes_escaped);
 
-  // ObjectCache counters/gauges (shared with the host browser).
-  ObjectCache* cache = &browser_->cache();
-  registry_.AddCallbackCounter("rcb_cache_hits", "Object cache lookup hits",
-                               obs::Provenance::kSim,
-                               [cache] { return cache->hits(); });
-  registry_.AddCallbackCounter("rcb_cache_misses", "Object cache lookup misses",
-                               obs::Provenance::kSim,
-                               [cache] { return cache->misses(); });
-  registry_.AddCallbackCounter("rcb_cache_evictions",
-                               "Objects evicted by the cache byte budget",
-                               obs::Provenance::kSim,
-                               [cache] { return cache->evictions(); });
-  registry_.AddCallbackCounter("rcb_cache_evicted_bytes",
-                               "Bytes evicted by the cache byte budget",
-                               obs::Provenance::kSim,
-                               [cache] { return cache->evicted_bytes(); });
-  registry_.AddCallbackGauge(
-      "rcb_cache_bytes", "Bytes currently held by the object cache",
-      obs::Provenance::kSim,
-      [cache] { return static_cast<double>(cache->total_bytes()); });
-  registry_.AddCallbackGauge(
-      "rcb_cache_objects", "Objects currently held by the object cache",
-      obs::Provenance::kSim,
-      [cache] { return static_cast<double>(cache->size()); });
+  // ObjectCache counters/gauges (shared with the host browser). A hosted
+  // agent skips them: the cache is host-wide and registered once up there.
+  if (config_.register_cache_metrics) {
+    ObjectCache* cache = &browser_->cache();
+    reg->AddCallbackCounter("rcb_cache_hits", "Object cache lookup hits",
+                            obs::Provenance::kSim,
+                            [cache] { return cache->hits(); }, base_labels);
+    reg->AddCallbackCounter("rcb_cache_misses", "Object cache lookup misses",
+                            obs::Provenance::kSim,
+                            [cache] { return cache->misses(); }, base_labels);
+    reg->AddCallbackCounter("rcb_cache_evictions",
+                            "Objects evicted by the cache byte budget",
+                            obs::Provenance::kSim,
+                            [cache] { return cache->evictions(); },
+                            base_labels);
+    reg->AddCallbackCounter("rcb_cache_evicted_bytes",
+                            "Bytes evicted by the cache byte budget",
+                            obs::Provenance::kSim,
+                            [cache] { return cache->evicted_bytes(); },
+                            base_labels);
+    reg->AddCallbackGauge(
+        "rcb_cache_bytes", "Bytes currently held by the object cache",
+        obs::Provenance::kSim,
+        [cache] { return static_cast<double>(cache->total_bytes()); },
+        base_labels);
+    reg->AddCallbackGauge(
+        "rcb_cache_objects", "Objects currently held by the object cache",
+        obs::Provenance::kSim,
+        [cache] { return static_cast<double>(cache->size()); }, base_labels);
+  }
 
   // Session shape gauges.
-  registry_.AddCallbackGauge(
+  reg->AddCallbackGauge(
       "rcb_agent_participants", "Participants on the roster",
       obs::Provenance::kSim,
-      [this] { return static_cast<double>(participants_.size()); });
-  registry_.AddCallbackGauge(
+      [this] { return static_cast<double>(participants_.size()); },
+      base_labels);
+  reg->AddCallbackGauge(
       "rcb_agent_streams", "Held push streams", obs::Provenance::kSim,
-      [this] { return static_cast<double>(streams_.size()); });
-  registry_.AddCallbackGauge(
+      [this] { return static_cast<double>(streams_.size()); }, base_labels);
+  reg->AddCallbackGauge(
       "rcb_agent_pending_actions", "Actions awaiting host confirmation",
       obs::Provenance::kSim,
-      [this] { return static_cast<double>(pending_actions_.size()); });
-  registry_.AddCallbackGauge(
+      [this] { return static_cast<double>(pending_actions_.size()); },
+      base_labels);
+  reg->AddCallbackGauge(
       "rcb_agent_last_snapshot_bytes", "Serialized size of the last snapshot",
       obs::Provenance::kSim,
-      [this] { return static_cast<double>(metrics_.last_snapshot_bytes); });
-  registry_.AddCallbackGauge(
+      [this] { return static_cast<double>(metrics_.last_snapshot_bytes); },
+      base_labels);
+  reg->AddCallbackGauge(
       "rcb_agent_last_generation_us",
       "CPU time of the last Fig. 3 pipeline run (M5)", obs::Provenance::kWall,
-      [this] { return static_cast<double>(metrics_.last_generation_time.micros()); });
-  registry_.AddCallbackGauge(
+      [this] { return static_cast<double>(metrics_.last_generation_time.micros()); },
+      base_labels);
+  reg->AddCallbackGauge(
       "rcb_agent_total_generation_us",
       "Cumulative CPU time of all Fig. 3 pipeline runs",
       obs::Provenance::kWall, [this] {
         return static_cast<double>(metrics_.total_generation_time.micros());
-      });
+      },
+      base_labels);
 
   // Trace-log health: span counts are a pure function of the simulated
   // schedule even though span durations are wall time.
-  registry_.AddCallbackCounter("rcb_agent_trace_spans",
-                               "Spans appended to the trace ring",
-                               obs::Provenance::kSim,
-                               [this] { return trace_.total_appended(); });
-  registry_.AddCallbackCounter("rcb_agent_trace_dropped",
-                               "Spans evicted from the trace ring",
-                               obs::Provenance::kSim,
-                               [this] { return trace_.dropped(); });
+  reg->AddCallbackCounter("rcb_agent_trace_spans",
+                          "Spans appended to the trace ring",
+                          obs::Provenance::kSim,
+                          [this] { return trace_.total_appended(); },
+                          base_labels);
+  reg->AddCallbackCounter("rcb_agent_trace_dropped",
+                          "Spans evicted from the trace ring",
+                          obs::Provenance::kSim,
+                          [this] { return trace_.dropped(); }, base_labels);
   // Canonical ring-health names shared with the snippet registry (the
   // rcb_agent_trace_* pair above predates them and is kept for dashboards).
-  registry_.AddCallbackCounter("rcb_trace_dropped_total",
-                               "Spans evicted from the trace ring",
-                               obs::Provenance::kSim,
-                               [this] { return trace_.dropped(); });
-  registry_.AddCallbackGauge(
+  reg->AddCallbackCounter("rcb_trace_dropped_total",
+                          "Spans evicted from the trace ring",
+                          obs::Provenance::kSim,
+                          [this] { return trace_.dropped(); }, base_labels);
+  reg->AddCallbackGauge(
       "rcb_trace_retained", "Spans currently retained by the trace ring",
       obs::Provenance::kSim,
-      [this] { return static_cast<double>(trace_.size()); });
+      [this] { return static_cast<double>(trace_.size()); }, base_labels);
   // Flight recorder (DESIGN.md §11): per-trigger counts plus artifacts
   // actually written (0 unless a dump directory is configured).
   static constexpr const char* kAgentTriggers[3] = {"resync", "auth_failure",
                                                     "overload"};
   for (const char* trigger : kAgentTriggers) {
-    registry_.AddCallbackCounter(
+    reg->AddCallbackCounter(
         "rcb_flight_triggers_total", "Flight-recorder trigger firings",
         obs::Provenance::kSim,
         [this, trigger] { return flight_.triggers(trigger); },
-        StrFormat("trigger=\"%s\"", trigger));
+        ComposedLabels(StrFormat("trigger=\"%s\"", trigger)));
   }
-  registry_.AddCallbackCounter("rcb_flight_dumps_written",
-                               "Flight-recorder JSONL artifacts written",
-                               obs::Provenance::kSim,
-                               [this] { return flight_.dumps_written(); });
+  reg->AddCallbackCounter("rcb_flight_dumps_written",
+                          "Flight-recorder JSONL artifacts written",
+                          obs::Provenance::kSim,
+                          [this] { return flight_.dumps_written(); },
+                          base_labels);
 
   // Histograms. Stage and request CPU times are wall provenance; the
   // serialized snapshot size is sim provenance (deterministic bytes).
@@ -269,36 +318,38 @@ void RcbAgent::RegisterMetrics() {
       "stage=\"cache_rewrite\"", "stage=\"event_rewrite\"",
       "stage=\"extract\"",       "stage=\"serialize\""};
   for (size_t i = 0; i < 6; ++i) {
-    stage_hist_[i] = registry_.AddHistogram(
+    stage_hist_[i] = reg->AddHistogram(
         "rcb_agent_gen_stage_us",
         "CPU microseconds per Fig. 3 snapshot-pipeline stage",
-        obs::Provenance::kWall, obs::LatencyBoundsUs(), kStageLabels[i]);
+        obs::Provenance::kWall, obs::LatencyBoundsUs(),
+        ComposedLabels(kStageLabels[i]));
   }
-  generation_us_ = registry_.AddHistogram(
+  generation_us_ = reg->AddHistogram(
       "rcb_agent_generation_us",
       "CPU microseconds per whole Fig. 3 pipeline run (M5)",
-      obs::Provenance::kWall, obs::LatencyBoundsUs());
-  snapshot_bytes_ = registry_.AddHistogram(
+      obs::Provenance::kWall, obs::LatencyBoundsUs(), base_labels);
+  snapshot_bytes_ = reg->AddHistogram(
       "rcb_agent_snapshot_bytes", "Serialized snapshot XML bytes (M2)",
-      obs::Provenance::kSim, obs::SizeBoundsBytes());
-  hmac_verify_us_ = registry_.AddHistogram(
+      obs::Provenance::kSim, obs::SizeBoundsBytes(), base_labels);
+  hmac_verify_us_ = reg->AddHistogram(
       "rcb_agent_hmac_verify_us",
       "CPU microseconds per HMAC request verification (§3.4)",
-      obs::Provenance::kWall, obs::LatencyBoundsUs());
-  patch_ops_ = registry_.AddHistogram(
+      obs::Provenance::kWall, obs::LatencyBoundsUs(), base_labels);
+  patch_ops_ = reg->AddHistogram(
       "rcb_agent_patch_ops", "Tree-diff ops per served patch",
-      obs::Provenance::kSim, obs::CountBounds());
-  patch_bytes_ = registry_.AddHistogram(
+      obs::Provenance::kSim, obs::CountBounds(), base_labels);
+  patch_bytes_ = reg->AddHistogram(
       "rcb_agent_patch_bytes", "Serialized bytes per served patch response",
-      obs::Provenance::kSim, obs::SizeBoundsBytes());
+      obs::Provenance::kSim, obs::SizeBoundsBytes(), base_labels);
   static constexpr const char* kRequestLabels[6] = {
       "type=\"poll\"",   "type=\"new_connection\"", "type=\"object\"",
       "type=\"status\"", "type=\"metrics\"",        "type=\"other\""};
   for (size_t i = 0; i < 6; ++i) {
-    request_hist_[i] = registry_.AddHistogram(
+    request_hist_[i] = reg->AddHistogram(
         "rcb_agent_request_us",
         "CPU microseconds handling one request, by Fig. 2 class",
-        obs::Provenance::kWall, obs::LatencyBoundsUs(), kRequestLabels[i]);
+        obs::Provenance::kWall, obs::LatencyBoundsUs(),
+        ComposedLabels(kRequestLabels[i]));
   }
 }
 
@@ -315,6 +366,7 @@ Status RcbAgent::Start() {
   if (config_.limits.cache_byte_budget > 0) {
     browser_->cache().set_byte_budget(config_.limits.cache_byte_budget);
   }
+  last_activity_ = browser_->loop()->now();
   running_ = true;
   if (browser_->has_page()) {
     OnDocumentChange();
@@ -442,8 +494,9 @@ void RcbAgent::OnDocumentChange() {
   int64_t now_ms = browser_->loop()->now().millis();
   current_doc_time_ms_ =
       now_ms > current_doc_time_ms_ ? now_ms : current_doc_time_ms_ + 1;
-  snapshot_dirty_ = true;
+  broadcast_->Invalidate();
   has_version_ = true;
+  ++metrics_.doc_updates;
   if (config_.sync_model == SyncModel::kPush && !streams_.empty()) {
     SchedulePushFlush();
   }
@@ -474,6 +527,7 @@ std::string RcbAgent::MultipartPart(const std::string& xml) {
 }
 
 void RcbAgent::HandleStreamRequest(AgentConn* conn, const HttpRequest& request) {
+  last_activity_ = browser_->loop()->now();
   if (config_.sync_model != SyncModel::kPush) {
     conn->endpoint->Send(
         HttpResponse::BadRequest("agent runs in poll mode").Serialize());
@@ -579,160 +633,24 @@ bool RcbAgent::CacheModeFor(const std::string& pid) const {
 }
 
 RcbAgent::SnapshotSlot& RcbAgent::RefreshSlot(bool cache_mode, bool count_reuse) {
-  if (snapshot_dirty_) {
-    slots_[0].valid = false;
-    slots_[1].valid = false;
-    snapshot_dirty_ = false;
-  }
-  SnapshotSlot& slot = slots_[cache_mode ? 1 : 0];
-  if (slot.valid) {
-    if (count_reuse) {
-      ++metrics_.snapshot_reuses;
-    }
-    return slot;
-  }
-  ContentGenOptions options;
-  options.cache_mode = cache_mode;
-  options.agent_url = AgentUrl();
-  options.cache_object_filter = config_.cache_object_filter;
-  int64_t sim_now_us = browser_->loop()->now().micros();
-  // When the generation happens inside a traced poll, the five Fig. 3 stage
-  // events (plus serialize) parent to one "agent.generate" span whose id is
-  // reserved up front so children can reference it before it is appended.
-  const bool traced_gen = trace_ctx_.active();
-  const uint64_t gen_span_id = traced_gen ? trace_.ReserveSpanId() : 0;
-  const obs::TraceContext stage_ctx{trace_ctx_.trace_id, gen_span_id};
-  GenerationResult result = generator_.Generate(current_doc_time_ms_, options);
-  slot.snapshot = std::move(result.snapshot);
-  SnapshotSerializeStats serialize_stats;
-  {
-    obs::WallSpan span(&trace_, "agent.generate.serialize", sim_now_us,
-                       stage_hist_[5], traced_gen ? &stage_ctx : nullptr);
-    slot.xml = SerializeSnapshotXml(slot.snapshot, &serialize_stats);
-  }
-  slot.valid = true;
-  if (config_.enable_delta) {
-    // Retire the previous materialized tree into the base history and
-    // materialize the new version the same way a participant's live document
-    // will look after applying it (so digests agree by construction).
-    BaseVersion previous = std::move(slot.current);
-    slot.current.doc_time_ms = current_doc_time_ms_;
-    slot.current.tree = MaterializeSnapshotTree(slot.snapshot);
-    slot.current.digest = delta::TreeDigest(*slot.current.tree);
-    slot.patch_cache.clear();
-    if (previous.tree != nullptr &&
-        previous.doc_time_ms != slot.current.doc_time_ms) {
-      slot.history.push_back(std::move(previous));
-      while (slot.history.size() > config_.delta_history) {
-        slot.history.pop_front();
-      }
-    }
-  }
-  ++metrics_.generations;
-  metrics_.last_generation_time = result.wall_time;
-  metrics_.total_generation_time += result.wall_time;
-  metrics_.last_snapshot_bytes = slot.xml.size();
-  metrics_.snapshot_bytes_raw += serialize_stats.payload_raw_bytes;
-  metrics_.snapshot_bytes_escaped += serialize_stats.payload_escaped_bytes;
-  // Feed the generator's per-stage breakdown into the stage histograms and
-  // the trace ring (the generator itself stays observability-free).
-  const std::pair<const char*, Duration> stages[5] = {
-      {"agent.generate.clone", result.stage_clone},
-      {"agent.generate.absolutize", result.stage_absolutize},
-      {"agent.generate.cache_rewrite", result.stage_cache_rewrite},
-      {"agent.generate.event_rewrite", result.stage_event_rewrite},
-      {"agent.generate.extract", result.stage_extract}};
-  for (size_t i = 0; i < 5; ++i) {
-    stage_hist_[i]->Record(stages[i].second.micros());
-    if (traced_gen) {
-      trace_.Append(stages[i].first, obs::Provenance::kWall, sim_now_us,
-                    stages[i].second.micros(), stage_ctx);
-    } else {
-      trace_.Append(stages[i].first, obs::Provenance::kWall, sim_now_us,
-                    stages[i].second.micros());
-    }
-  }
-  if (traced_gen) {
-    trace_.Append(
-        "agent.generate", obs::Provenance::kWall, sim_now_us,
-        result.wall_time.micros(), trace_ctx_,
-        {{"ts", StrFormat("%lld", static_cast<long long>(current_doc_time_ms_))},
-         {"cache_mode", cache_mode ? "1" : "0"},
-         {"bytes", StrFormat("%zu", slot.xml.size())}},
-        gen_span_id);
-  }
-  generation_us_->Record(result.wall_time.micros());
-  snapshot_bytes_->Record(static_cast<int64_t>(slot.xml.size()));
+  SnapshotSlot& slot = broadcast_->Refresh(cache_mode, count_reuse,
+                                           current_doc_time_ms_, AgentUrl(),
+                                           trace_ctx_);
+  SyncBroadcastCounters();
   return slot;
 }
 
-std::optional<std::string> RcbAgent::MaybeBuildPatchResponse(
-    SnapshotSlot& slot, int64_t base_time, std::vector<UserAction>* outbox) {
-  if (slot.current.tree == nullptr || base_time >= slot.current.doc_time_ms) {
-    return std::nullopt;  // nothing newer than what the participant acks
-  }
-  auto cached_it = slot.patch_cache.find(base_time);
-  if (cached_it == slot.patch_cache.end()) {
-    CachedPatch cached;
-    const BaseVersion* base = nullptr;
-    for (const BaseVersion& version : slot.history) {
-      if (version.doc_time_ms == base_time) {
-        base = &version;
-        break;
-      }
-    }
-    if (base == nullptr) {
-      // The acked version aged out of the history (or predates delta being
-      // enabled): only a full snapshot can resynchronize the participant.
-      ++metrics_.patch_fallback_no_base;
-      cached.fallback = true;
-    } else {
-      cached.envelope.patch.version = delta::kPatchFormatVersion;
-      cached.envelope.patch.base_doc_time_ms = base->doc_time_ms;
-      cached.envelope.patch.target_doc_time_ms = slot.current.doc_time_ms;
-      cached.envelope.patch.base_digest = base->digest;
-      cached.envelope.patch.target_digest = slot.current.digest;
-      auto diff_start = std::chrono::steady_clock::now();
-      cached.envelope.patch.ops =
-          delta::DiffTrees(*base->tree, *slot.current.tree);
-      cached.xml = delta::SerializePatchXml(cached.envelope);
-      if (trace_ctx_.active()) {
-        auto diff_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                           std::chrono::steady_clock::now() - diff_start)
-                           .count();
-        trace_.Append(
-            "agent.delta.diff", obs::Provenance::kWall,
-            browser_->loop()->now().micros(), diff_us, trace_ctx_,
-            {{"base_ts", StrFormat("%lld", static_cast<long long>(base_time))},
-             {"target_ts",
-              StrFormat("%lld",
-                        static_cast<long long>(slot.current.doc_time_ms))},
-             {"ops", delta::SummarizeOps(cached.envelope.patch.ops)},
-             {"bytes", StrFormat("%zu", cached.xml.size())}});
-      }
-      if (cached.xml.size() >
-          config_.patch_size_cutoff * static_cast<double>(slot.xml.size())) {
-        // A patch near snapshot size buys nothing but apply-time risk.
-        ++metrics_.patch_fallback_oversize;
-        cached.fallback = true;
-      }
-    }
-    cached_it = slot.patch_cache.emplace(base_time, std::move(cached)).first;
-  }
-  const CachedPatch& cached = cached_it->second;
-  if (cached.fallback) {
-    return std::nullopt;
-  }
-  patch_ops_->Record(static_cast<int64_t>(cached.envelope.patch.ops.size()));
-  if (outbox == nullptr || outbox->empty()) {
-    return cached.xml;
-  }
-  // Pending broadcast actions ride along in the patch envelope, exactly as
-  // they would in the full snapshot's userActions element.
-  delta::PatchEnvelope with_actions = cached.envelope;
-  with_actions.user_actions = std::move(*outbox);
-  outbox->clear();
-  return delta::SerializePatchXml(with_actions);
+void RcbAgent::SyncBroadcastCounters() {
+  const BroadcastCounters& c = broadcast_->counters();
+  metrics_.generations = c.generations;
+  metrics_.snapshot_reuses = c.snapshot_reuses;
+  metrics_.patch_fallback_no_base = c.patch_fallback_no_base;
+  metrics_.patch_fallback_oversize = c.patch_fallback_oversize;
+  metrics_.snapshot_bytes_raw = c.snapshot_bytes_raw;
+  metrics_.snapshot_bytes_escaped = c.snapshot_bytes_escaped;
+  metrics_.last_generation_time = c.last_generation_time;
+  metrics_.total_generation_time = c.total_generation_time;
+  metrics_.last_snapshot_bytes = c.last_snapshot_bytes;
 }
 
 void RcbAgent::RefreshSnapshotIfNeeded() { RefreshSnapshot(/*count_reuse=*/true); }
@@ -747,7 +665,8 @@ const Snapshot& RcbAgent::CurrentSnapshotForTest() {
 }
 
 HttpResponse RcbAgent::HandleRequest(const HttpRequest& request) {
-  int64_t sim_now_us = browser_->loop()->now().micros();
+  last_activity_ = browser_->loop()->now();
+  int64_t sim_now_us = last_activity_.micros();
   // Fig. 2: classify by method token and request-URI token. Each class gets
   // a wall span over its handler (request handling consumes zero simulated
   // time, so the sim timestamp only records *where* on the timeline it ran).
@@ -815,7 +734,7 @@ HttpResponse RcbAgent::HandleMetrics(const HttpRequest& request) {
     options.include_wall = false;  // deterministic subset only
   }
   return HttpResponse::Ok("text/plain; version=0.0.4; charset=utf-8",
-                          registry_.RenderPrometheus(options));
+                          effective_registry_->RenderPrometheus(options));
 }
 
 std::string RcbAgent::BuildInitialPage(const std::string& pid) const {
@@ -1223,13 +1142,17 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     // returns nullopt otherwise, falling through to the full snapshot).
     if (config_.enable_delta && poll.patch && !poll.resync &&
         poll.doc_time_ms >= 0) {
-      if (std::optional<std::string> patch_xml =
-              MaybeBuildPatchResponse(slot, poll.doc_time_ms, &outbox)) {
+      std::optional<std::string> patch_xml = broadcast_->MaybeBuildPatchResponse(
+          slot, poll.doc_time_ms, &outbox, trace_ctx_);
+      SyncBroadcastCounters();
+      if (patch_xml) {
         ++metrics_.patches_served;
         metrics_.patch_bytes_sent += patch_xml->size();
         metrics_.patch_snapshot_bytes += slot.xml.size();
         metrics_.content_bytes_sent += patch_xml->size();
-        patch_bytes_->Record(static_cast<int64_t>(patch_xml->size()));
+        if (patch_bytes_ != nullptr) {
+          patch_bytes_->Record(static_cast<int64_t>(patch_xml->size()));
+        }
         TraceMarker(
             "agent.response.patch",
             {{"bytes", StrFormat("%zu", patch_xml->size())},

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/browser/browser.h"
+#include "src/core/broadcast.h"
 #include "src/core/content_generator.h"
 #include "src/core/protocol.h"
 #include "src/delta/patch_codec.h"
@@ -125,6 +126,22 @@ struct AgentConfig {
   // Flight-recorder dump directory. Empty falls back to $RCB_FLIGHT_DIR;
   // with neither set, triggers are counted but no artifact is written.
   std::string flight_dir;
+  // --- Multi-session hosting (src/host). Defaults keep the standalone
+  // behavior: the agent owns its registry and registers everything. ---
+  // When set, instruments register on this registry (not owned; must outlive
+  // the agent) instead of the agent's own; metrics_registry() returns it.
+  obs::MetricsRegistry* shared_registry = nullptr;
+  // Label body prepended to every registered instrument, e.g. `session="s3"`.
+  // Required for shared registries (two label-less agents would collide on
+  // every family); composed before per-instrument labels like stage="clone".
+  std::string metrics_label;
+  // false skips instrument registration entirely (counters in AgentMetrics
+  // still accumulate). RcbHost uses this above its metrics_sessions cap so a
+  // 10k-session bench does not pay per-session registry weight.
+  bool register_metrics = true;
+  // false skips the rcb_cache_* families. RcbHost points every session at
+  // one shared ObjectCache and registers its counters once, host-side.
+  bool register_cache_metrics = true;
 };
 
 struct AgentMetrics {
@@ -135,6 +152,7 @@ struct AgentMetrics {
   uint64_t object_bytes_served = 0;
   uint64_t new_connections = 0;
   uint64_t auth_failures = 0;
+  uint64_t doc_updates = 0;            // document versions observed
   uint64_t generations = 0;            // Fig. 3 pipeline executions
   uint64_t snapshot_reuses = 0;        // content served without regeneration
   uint64_t actions_applied = 0;
@@ -200,12 +218,27 @@ class RcbAgent {
   const AgentConfig& config() const { return config_; }
   const AgentMetrics& metrics() const { return metrics_; }
 
+  // Simulated instant of the last request this agent handled (any class,
+  // including rejected ones). RcbHost's idle reaper reads it.
+  SimTime last_activity() const { return last_activity_; }
+
+  // In-process entry point for RcbHost's front-door router: handles one
+  // already-parsed request exactly as if it had arrived on the agent's own
+  // port (same classification, auth, metrics, and trace behavior).
+  HttpResponse HandleHostRequest(const HttpRequest& request) {
+    return HandleRequest(request);
+  }
+
   // Observability (DESIGN.md §9). The registry carries every AgentMetrics
   // counter (callback-backed, same names), the ObjectCache counters, and the
   // stage/request histograms; /metrics renders it in the Prometheus text
   // format. The trace log keeps the most recent spans (generation stages,
-  // request handling, HMAC checks).
-  const obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  // request handling, HMAC checks). Under a shared registry (src/host) this
+  // returns the host's registry, where this agent's families carry
+  // config.metrics_label.
+  const obs::MetricsRegistry& metrics_registry() const {
+    return *effective_registry_;
+  }
   const obs::TraceLog& trace_log() const { return trace_; }
   // Anomaly flight recorder (DESIGN.md §11): triggers on resync, HMAC
   // failure, and overload shedding; dumps the trace ring + a deterministic
@@ -313,54 +346,30 @@ class RcbAgent {
   // it) when the queue is at max_outbox_actions.
   void EnqueueOutbox(ParticipantState& state, const UserAction& action);
 
-  // One materialized canonical tree (src/delta) with its version and digest;
-  // the delta path diffs a history of these against the current one.
-  struct BaseVersion {
-    int64_t doc_time_ms = -1;
-    std::unique_ptr<Element> tree;
-    std::string digest;
-  };
-  // A memoized diff against one base version, shared by every participant
-  // that acked that version (the §4.1.2 reuse argument, applied to patches).
-  struct CachedPatch {
-    bool fallback = false;  // patch not profitable; serve the full snapshot
-    delta::PatchEnvelope envelope;  // actions-free
-    std::string xml;                // serialized envelope without actions
-  };
-
-  // Cache-mode flavour of the generated snapshot. One entry per mode in use;
-  // both flavours share the document version and are invalidated together.
-  struct SnapshotSlot {
-    bool valid = false;
-    Snapshot snapshot;
-    std::string xml;
-    // --- Delta state (config.enable_delta only) ---
-    BaseVersion current;                      // materialization of `snapshot`
-    std::deque<BaseVersion> history;          // previously served versions
-    std::map<int64_t, CachedPatch> patch_cache;  // keyed by base doc time
-  };
-
-  // Delta path of HandlePoll: returns the serialized newPatch response for a
-  // participant acking `base_time`, or nullopt when the full snapshot must be
-  // served (no delta state, base outside the history window, or patch over
-  // the size cutoff). Consumes `outbox` only when a patch is returned.
-  std::optional<std::string> MaybeBuildPatchResponse(
-      SnapshotSlot& slot, int64_t base_time, std::vector<UserAction>* outbox);
+  // The generate-once pipeline state lives in broadcast_ (src/core/
+  // broadcast.h); the agent-side aliases keep call sites readable.
+  using SnapshotSlot = SnapshotBroadcast::Slot;
 
   // True if participant `pid` co-browses in cache mode.
   bool CacheModeFor(const std::string& pid) const;
   // Ensures the slot for `cache_mode` matches the current document version
-  // and returns it.
+  // and returns it (delegates to broadcast_, then mirrors its counters into
+  // metrics_ so the public AgentMetrics surface is unchanged).
   SnapshotSlot& RefreshSlot(bool cache_mode, bool count_reuse);
+  // Copies BroadcastCounters into the matching AgentMetrics fields.
+  void SyncBroadcastCounters();
   // Back-compat helpers for the default mode.
   void RefreshSnapshotIfNeeded();
   void RefreshSnapshot(bool count_reuse);
 
   std::string BuildInitialPage(const std::string& pid) const;
 
-  // Registers every family on registry_ (constructor-time; callback counters
-  // read metrics_ and the browser cache at render time).
+  // Registers every family on the effective registry (constructor-time;
+  // callback counters read metrics_ and the browser cache at render time).
+  // Skipped entirely when config.register_metrics is false. Labels compose
+  // config.metrics_label with the per-instrument label.
   void RegisterMetrics();
+  std::string ComposedLabels(std::string_view labels) const;
 
   // Appends a zero-duration sim marker carrying `attrs` to the current
   // request's causal chain; no-op when the request carried no trace id.
@@ -373,8 +382,10 @@ class RcbAgent {
 
   int64_t current_doc_time_ms_ = 0;
   bool has_version_ = false;  // set once the first completed load is observed
-  bool snapshot_dirty_ = true;
-  SnapshotSlot slots_[2];  // [0] non-cache mode, [1] cache mode
+  SimTime last_activity_;
+  // Generate-once broadcast state; constructed after RegisterMetrics so its
+  // instrument pointers are final (std::optional defers construction only).
+  std::optional<SnapshotBroadcast> broadcast_;
 
   std::map<std::string, ParticipantState> participants_;
   std::map<std::string, NetEndpoint*> streams_;  // pid -> held push connection
@@ -385,7 +396,8 @@ class RcbAgent {
   bool push_flush_pending_ = false;
 
   // --- Observability state (see metrics_registry()/trace_log()). ---
-  obs::MetricsRegistry registry_;
+  obs::MetricsRegistry registry_;  // owned; bypassed under a shared registry
+  obs::MetricsRegistry* effective_registry_ = nullptr;
   obs::TraceLog trace_;
   // Fig. 3 stage histograms, one per gen_stage label, in pipeline order:
   // clone, absolutize, cache_rewrite, event_rewrite, extract, serialize.

@@ -1,0 +1,555 @@
+#include "src/host/rcb_host.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace {
+
+// 409/410 have no HttpResponse factory (nothing else in the repo sheds with
+// them); build them in place.
+HttpResponse Conflict(std::string_view detail) {
+  HttpResponse response;
+  response.status_code = 409;
+  response.reason = std::string(ReasonPhraseFor(409));
+  response.headers.Set("Content-Type", "text/plain");
+  response.body = std::string(detail);
+  return response;
+}
+
+HttpResponse Gone(std::string_view detail) {
+  HttpResponse response;
+  response.status_code = 410;
+  response.reason = std::string(ReasonPhraseFor(410));
+  response.headers.Set("Content-Type", "text/plain");
+  response.body = std::string(detail);
+  return response;
+}
+
+}  // namespace
+
+RcbHost::RcbHost(EventLoop* loop, Network* network, HostConfig config)
+    : loop_(loop), network_(network), config_(std::move(config)) {
+  RegisterHostMetrics();
+}
+
+RcbHost::~RcbHost() { Stop(); }
+
+bool RcbHost::IsValidSessionId(const std::string& id) {
+  if (id.empty() || id.size() > 64) {
+    return false;
+  }
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status RcbHost::Start() {
+  if (running_) {
+    return FailedPreconditionError("host already running");
+  }
+  RCB_RETURN_IF_ERROR(network_->Listen(
+      config_.machine, config_.base_port,
+      [this](NetEndpoint* endpoint) { OnAccept(endpoint); }));
+  if (config_.limits.shared_cache_byte_budget > 0) {
+    shared_cache_.set_byte_budget(config_.limits.shared_cache_byte_budget);
+  }
+  running_ = true;
+  return Status::Ok();
+}
+
+void RcbHost::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  network_->StopListening(config_.machine, config_.base_port);
+  for (auto& conn : connections_) {
+    if (conn->endpoint != nullptr) {
+      conn->endpoint->Close();
+    }
+  }
+  connections_.clear();
+  // Destroy sessions deterministically (map order) and fold their counters.
+  std::vector<std::string> ids = SessionIds();
+  for (const std::string& id : ids) {
+    DestroySession(id);
+  }
+}
+
+Url RcbHost::FrontDoorUrl() const {
+  return Url::Make("http", config_.machine, config_.base_port, "/");
+}
+
+uint16_t RcbHost::AllocatePort() {
+  if (!free_ports_.empty()) {
+    // Lowest free port first: allocation order is deterministic regardless
+    // of reap order.
+    auto it = std::min_element(free_ports_.begin(), free_ports_.end());
+    uint16_t port = *it;
+    free_ports_.erase(it);
+    return port;
+  }
+  return static_cast<uint16_t>(config_.base_port + next_port_offset_++);
+}
+
+StatusOr<HostSession*> RcbHost::CreateSession(const std::string& id) {
+  return CreateSession(id, config_.agent_defaults);
+}
+
+StatusOr<HostSession*> RcbHost::CreateSession(const std::string& id,
+                                              AgentConfig agent_config) {
+  if (!IsValidSessionId(id)) {
+    ++host_metrics_.invalid_session_ids;
+    return InvalidArgumentError("invalid session id");
+  }
+  if (sessions_.contains(id)) {
+    ++host_metrics_.session_id_collisions;
+    return AlreadyExistsError("session id already exists: " + id);
+  }
+  // Admission: try to free capacity before shedding.
+  if (config_.limits.max_sessions > 0 &&
+      sessions_.size() >= config_.limits.max_sessions) {
+    ReapIdleSessions();
+  }
+  if (config_.limits.max_sessions > 0 &&
+      sessions_.size() >= config_.limits.max_sessions) {
+    ++host_metrics_.sessions_rejected;
+    return UnavailableError("session limit reached");
+  }
+  // A re-created id is a fresh session, not an expired one.
+  if (reaped_ids_.erase(id) > 0) {
+    reaped_order_.erase(
+        std::find(reaped_order_.begin(), reaped_order_.end(), id));
+  }
+
+  auto session = std::make_unique<HostSession>();
+  session->id = id;
+  session->port = AllocatePort();
+  session->created_at = loop_->now();
+  session->browser = std::make_unique<Browser>(loop_, network_, config_.machine);
+  session->browser->UseSharedCache(&shared_cache_);
+
+  agent_config.port = session->port;
+  agent_config.shared_registry = &registry_;
+  agent_config.metrics_label = StrFormat("session=\"%s\"", id.c_str());
+  agent_config.register_cache_metrics = false;  // host registers the shared one
+  session->lite = metric_sessions_registered_ >= config_.limits.metrics_sessions;
+  agent_config.register_metrics = !session->lite;
+  // The shared cache budget is host-owned; a per-session budget would
+  // clobber it for everyone.
+  agent_config.limits.cache_byte_budget = 0;
+  session->agent =
+      std::make_unique<RcbAgent>(session->browser.get(), agent_config);
+  Status started = session->agent->Start();
+  if (!started.ok()) {
+    registry_.RemoveLabeled(StrFormat("session=\"%s\"", id.c_str()));
+    free_ports_.push_back(session->port);
+    return started;
+  }
+  if (!session->lite) {
+    ++metric_sessions_registered_;
+  }
+  ++host_metrics_.sessions_created;
+  HostSession* raw = session.get();
+  sessions_.emplace(id, std::move(session));
+  return raw;
+}
+
+HostSession* RcbHost::FindSession(const std::string& id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> RcbHost::SessionIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void RcbHost::RememberReaped(const std::string& id) {
+  if (config_.limits.reaped_id_memory == 0) {
+    return;
+  }
+  if (reaped_ids_.insert(id).second) {
+    reaped_order_.push_back(id);
+    while (reaped_order_.size() > config_.limits.reaped_id_memory) {
+      reaped_ids_.erase(reaped_order_.front());
+      reaped_order_.pop_front();
+    }
+  }
+}
+
+void RcbHost::DestroySession(const std::string& id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  HostSession* session = it->second.get();
+  const AgentMetrics& m = session->agent->metrics();
+  retired_.doc_updates += m.doc_updates;
+  retired_.generations += m.generations;
+  retired_.snapshot_reuses += m.snapshot_reuses;
+  retired_.polls_received += m.polls_received;
+  retired_.polls_with_content += m.polls_with_content;
+  retired_.content_bytes_sent += m.content_bytes_sent;
+  retired_.total_generation_time += m.total_generation_time;
+  session->agent->Stop();
+  // Shed the session's callback-backed families before their backing agent
+  // dies; lite sessions registered none, and RemoveLabeled is a no-op then.
+  registry_.RemoveLabeled(StrFormat("session=\"%s\"", id.c_str()));
+  if (!session->lite && metric_sessions_registered_ > 0) {
+    --metric_sessions_registered_;
+  }
+  free_ports_.push_back(session->port);
+  sessions_.erase(it);
+  RememberReaped(id);
+}
+
+Status RcbHost::CloseSession(const std::string& id) {
+  if (!sessions_.contains(id)) {
+    return NotFoundError("no such session: " + id);
+  }
+  DestroySession(id);
+  ++host_metrics_.sessions_closed;
+  return Status::Ok();
+}
+
+size_t RcbHost::ReapIdleSessions() {
+  if (config_.limits.session_idle_timeout <= Duration::Zero()) {
+    return 0;
+  }
+  SimTime now = loop_->now();
+  std::vector<std::string> idle;
+  for (const auto& [id, session] : sessions_) {
+    // A held push stream keeps the session alive regardless of request
+    // activity (streams receive without issuing further requests).
+    if (session->agent->stream_count() > 0) {
+      continue;
+    }
+    if (now - session->agent->last_activity() >
+        config_.limits.session_idle_timeout) {
+      idle.push_back(id);
+    }
+  }
+  for (const std::string& id : idle) {
+    DestroySession(id);
+    ++host_metrics_.sessions_reaped;
+  }
+  return idle.size();
+}
+
+void RcbHost::OnAccept(NetEndpoint* endpoint) {
+  auto conn = std::make_unique<HostConn>();
+  conn->endpoint = endpoint;
+  HostConn* raw = conn.get();
+  endpoint->SetDataHandler(
+      [this, raw](std::string_view data) { OnConnData(raw, data); });
+  endpoint->SetCloseHandler([this, raw] { RemoveConnection(raw); });
+  connections_.push_back(std::move(conn));
+}
+
+void RcbHost::RemoveConnection(HostConn* conn) {
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    if (it->get() == conn) {
+      connections_.erase(it);
+      return;
+    }
+  }
+}
+
+void RcbHost::OnConnData(HostConn* conn, std::string_view data) {
+  std::string_view remaining = data;
+  while (true) {
+    auto result = conn->parser.Feed(remaining);
+    remaining = {};
+    if (!result.ok()) {
+      RCB_LOG(kWarning) << "rcb-host: malformed request: " << result.status();
+      NetEndpoint* endpoint = conn->endpoint;
+      RemoveConnection(conn);  // `conn` is destroyed here
+      endpoint->Close();
+      return;
+    }
+    if (!result->has_value()) {
+      return;  // partial request buffered
+    }
+    HttpResponse response = Route(**result);
+    conn->endpoint->Send(response.Serialize());
+  }
+}
+
+HttpResponse RcbHost::Route(const HttpRequest& request) {
+  ++host_metrics_.front_door_requests;
+  ReapIdleSessions();
+  std::string path = request.Path();
+  if (path == "/host/status" && request.method == HttpMethod::kGet) {
+    return HandleHostStatus();
+  }
+  if (path == "/host/metrics" && request.method == HttpMethod::kGet) {
+    return HandleHostMetrics(request);
+  }
+  if (path == "/host/sessions") {
+    if (request.method != HttpMethod::kPost) {
+      return HttpResponse::BadRequest("session creation is POST");
+    }
+    return HandleCreateSession(request);
+  }
+  if (StartsWith(path, "/s/")) {
+    return HandleSessionRequest(request);
+  }
+  return HttpResponse::NotFound(path);
+}
+
+HttpResponse RcbHost::HandleCreateSession(const HttpRequest& request) {
+  auto params = request.QueryParams();
+  auto id_it = params.find("id");
+  std::string id = id_it == params.end() ? "" : id_it->second;
+  StatusOr<HostSession*> session = CreateSession(id);
+  if (!session.ok()) {
+    switch (session.status().code()) {
+      case StatusCode::kInvalidArgument:
+        return HttpResponse::BadRequest(session.status().message());
+      case StatusCode::kAlreadyExists:
+        return Conflict(session.status().message());
+      case StatusCode::kUnavailable:
+        return HttpResponse::ServiceUnavailable(config_.limits.retry_after,
+                                                session.status().message());
+      default:
+        return HttpResponse::InternalError(session.status().message());
+    }
+  }
+  return HttpResponse::Ok(
+      "text/plain",
+      StrFormat("id=%s&port=%u", (*session)->id.c_str(),
+                static_cast<unsigned>((*session)->port)));
+}
+
+HttpResponse RcbHost::HandleSessionRequest(const HttpRequest& request) {
+  // /s/<id><rest>: split the id, validate, forward <rest> to the session's
+  // agent with the query string intact.
+  std::string path = request.Path();
+  std::string after = path.substr(3);  // past "/s/"
+  size_t slash = after.find('/');
+  std::string id = slash == std::string::npos ? after : after.substr(0, slash);
+  std::string rest = slash == std::string::npos ? "/" : after.substr(slash);
+  if (!IsValidSessionId(id)) {
+    ++host_metrics_.invalid_session_ids;
+    return HttpResponse::BadRequest("invalid session id");
+  }
+  HostSession* session = FindSession(id);
+  if (session == nullptr) {
+    if (reaped_ids_.contains(id)) {
+      ++host_metrics_.expired_session_requests;
+      return Gone("session expired: " + id);
+    }
+    ++host_metrics_.unknown_session_requests;
+    return HttpResponse::NotFound("no such session: " + id);
+  }
+  if (rest == "/stream") {
+    // A held multipart stream cannot pass through the request/response front
+    // door; push participants connect to the session port directly.
+    return HttpResponse::BadRequest(
+        "push streams must connect to the session port");
+  }
+  HttpRequest forwarded = request;
+  forwarded.target = rest;
+  std::string query = request.QueryString();
+  if (!query.empty()) {
+    forwarded.target += "?" + query;
+  }
+  return session->agent->HandleHostRequest(forwarded);
+}
+
+HttpResponse RcbHost::HandleHostStatus() const {
+  std::string body = "<h1>RCB host</h1>";
+  body += StrFormat(
+      "<p id=\"summary\">sessions %zu/%zu | created %llu, closed %llu, "
+      "reaped %llu, rejected %llu | collisions %llu, invalid ids %llu | "
+      "routed: unknown %llu, expired %llu | requests %llu</p>",
+      sessions_.size(), config_.limits.max_sessions,
+      static_cast<unsigned long long>(host_metrics_.sessions_created),
+      static_cast<unsigned long long>(host_metrics_.sessions_closed),
+      static_cast<unsigned long long>(host_metrics_.sessions_reaped),
+      static_cast<unsigned long long>(host_metrics_.sessions_rejected),
+      static_cast<unsigned long long>(host_metrics_.session_id_collisions),
+      static_cast<unsigned long long>(host_metrics_.invalid_session_ids),
+      static_cast<unsigned long long>(host_metrics_.unknown_session_requests),
+      static_cast<unsigned long long>(host_metrics_.expired_session_requests),
+      static_cast<unsigned long long>(host_metrics_.front_door_requests));
+  body += "<table id=\"sessions\"><tr><th>session</th><th>port</th>"
+          "<th>participants</th><th>doc updates</th><th>generations</th>"
+          "<th>reuses</th></tr>";
+  for (const auto& [id, session] : sessions_) {
+    const AgentMetrics& m = session->agent->metrics();
+    body += StrFormat(
+        "<tr><td>%s</td><td>%u</td><td>%zu</td><td>%llu</td><td>%llu</td>"
+        "<td>%llu</td></tr>",
+        id.c_str(), static_cast<unsigned>(session->port),
+        session->agent->participant_count(),
+        static_cast<unsigned long long>(m.doc_updates),
+        static_cast<unsigned long long>(m.generations),
+        static_cast<unsigned long long>(m.snapshot_reuses));
+  }
+  body += "</table>";
+  body += StrFormat(
+      "<p id=\"cache\">shared cache: %zu objects, %llu bytes, "
+      "%llu hits, %llu misses, %llu evictions</p>",
+      shared_cache_.size(),
+      static_cast<unsigned long long>(shared_cache_.total_bytes()),
+      static_cast<unsigned long long>(shared_cache_.hits()),
+      static_cast<unsigned long long>(shared_cache_.misses()),
+      static_cast<unsigned long long>(shared_cache_.evictions()));
+  return HttpResponse::Ok(
+      "text/html", "<!DOCTYPE html><html><head><title>RCB host</title>"
+                   "</head><body>" +
+                       body + "</body></html>");
+}
+
+HttpResponse RcbHost::HandleHostMetrics(const HttpRequest& request) const {
+  obs::RenderOptions options;
+  auto params = request.QueryParams();
+  auto view = params.find("view");
+  if (view != params.end() && view->second == "sim") {
+    options.include_wall = false;
+  }
+  return HttpResponse::Ok("text/plain; version=0.0.4; charset=utf-8",
+                          registry_.RenderPrometheus(options));
+}
+
+uint64_t RcbHost::SumAgents(uint64_t AgentMetrics::*field,
+                            uint64_t retired) const {
+  uint64_t total = retired;
+  for (const auto& [id, session] : sessions_) {
+    total += session->agent->metrics().*field;
+  }
+  return total;
+}
+
+void RcbHost::RegisterHostMetrics() {
+  auto field = [this](std::string_view name, std::string_view help,
+                      const uint64_t& source) {
+    registry_.AddCallbackCounter(name, help, obs::Provenance::kSim,
+                                 [&source] { return source; });
+  };
+  field("rcb_host_sessions_created", "Sessions created",
+        host_metrics_.sessions_created);
+  field("rcb_host_sessions_closed", "Sessions closed explicitly",
+        host_metrics_.sessions_closed);
+  field("rcb_host_sessions_reaped", "Sessions reaped by the idle timeout",
+        host_metrics_.sessions_reaped);
+  field("rcb_host_sessions_rejected", "503s at the session cap",
+        host_metrics_.sessions_rejected);
+  field("rcb_host_session_id_collisions", "409s creating an existing id",
+        host_metrics_.session_id_collisions);
+  field("rcb_host_invalid_session_ids", "400s for malformed session ids",
+        host_metrics_.invalid_session_ids);
+  field("rcb_host_unknown_session_requests", "404s routing to absent ids",
+        host_metrics_.unknown_session_requests);
+  field("rcb_host_expired_session_requests", "410s routing to reaped ids",
+        host_metrics_.expired_session_requests);
+  field("rcb_host_front_door_requests", "Requests seen by the front door",
+        host_metrics_.front_door_requests);
+
+  registry_.AddCallbackGauge(
+      "rcb_host_sessions", "Live sessions", obs::Provenance::kSim,
+      [this] { return static_cast<double>(sessions_.size()); });
+  registry_.AddCallbackGauge(
+      "rcb_host_participants", "Participants across all live sessions",
+      obs::Provenance::kSim, [this] {
+        size_t total = 0;
+        for (const auto& [id, session] : sessions_) {
+          total += session->agent->participant_count();
+        }
+        return static_cast<double>(total);
+      });
+
+  // The generate-once proof (ISSUE 6): pipeline runs track document updates,
+  // fan-out sends track updates x participants. bench_scale and host_test
+  // assert runs ~= updates.
+  registry_.AddCallbackCounter(
+      "rcb_host_doc_updates_total", "Document versions across all sessions",
+      obs::Provenance::kSim, [this] {
+        return SumAgents(&AgentMetrics::doc_updates, retired_.doc_updates);
+      });
+  registry_.AddCallbackCounter(
+      "rcb_host_pipeline_runs_total",
+      "Fig. 3 generate+diff pipeline executions across all sessions",
+      obs::Provenance::kSim, [this] {
+        return SumAgents(&AgentMetrics::generations, retired_.generations);
+      });
+  registry_.AddCallbackCounter(
+      "rcb_host_snapshot_reuses_total",
+      "Broadcast-buffer reuses across all sessions", obs::Provenance::kSim,
+      [this] {
+        return SumAgents(&AgentMetrics::snapshot_reuses,
+                         retired_.snapshot_reuses);
+      });
+  registry_.AddCallbackCounter(
+      "rcb_host_polls_total", "Polls received across all sessions",
+      obs::Provenance::kSim, [this] {
+        return SumAgents(&AgentMetrics::polls_received,
+                         retired_.polls_received);
+      });
+  registry_.AddCallbackCounter(
+      "rcb_host_fanout_sends_total",
+      "Content-bearing responses fanned out across all sessions",
+      obs::Provenance::kSim, [this] {
+        return SumAgents(&AgentMetrics::polls_with_content,
+                         retired_.polls_with_content);
+      });
+  registry_.AddCallbackCounter(
+      "rcb_host_content_bytes_total",
+      "Content-bearing response bytes across all sessions",
+      obs::Provenance::kSim, [this] {
+        return SumAgents(&AgentMetrics::content_bytes_sent,
+                         retired_.content_bytes_sent);
+      });
+  registry_.AddCallbackGauge(
+      "rcb_host_generation_us_total",
+      "Cumulative Fig. 3 pipeline CPU time across all sessions",
+      obs::Provenance::kWall, [this] {
+        Duration total = retired_.total_generation_time;
+        for (const auto& [id, session] : sessions_) {
+          total += session->agent->metrics().total_generation_time;
+        }
+        return static_cast<double>(total.micros());
+      });
+
+  // Shared ObjectCache, registered once host-side (session agents skip it).
+  ObjectCache* cache = &shared_cache_;
+  registry_.AddCallbackCounter("rcb_cache_hits", "Object cache lookup hits",
+                               obs::Provenance::kSim,
+                               [cache] { return cache->hits(); });
+  registry_.AddCallbackCounter("rcb_cache_misses", "Object cache lookup misses",
+                               obs::Provenance::kSim,
+                               [cache] { return cache->misses(); });
+  registry_.AddCallbackCounter("rcb_cache_evictions",
+                               "Objects evicted by the cache byte budget",
+                               obs::Provenance::kSim,
+                               [cache] { return cache->evictions(); });
+  registry_.AddCallbackCounter("rcb_cache_evicted_bytes",
+                               "Bytes evicted by the cache byte budget",
+                               obs::Provenance::kSim,
+                               [cache] { return cache->evicted_bytes(); });
+  registry_.AddCallbackGauge(
+      "rcb_cache_bytes", "Bytes currently held by the object cache",
+      obs::Provenance::kSim,
+      [cache] { return static_cast<double>(cache->total_bytes()); });
+  registry_.AddCallbackGauge(
+      "rcb_cache_objects", "Objects currently held by the object cache",
+      obs::Provenance::kSim,
+      [cache] { return static_cast<double>(cache->size()); });
+}
+
+}  // namespace rcb

@@ -176,6 +176,10 @@ std::string_view ReasonPhraseFor(int status_code) {
       return "Forbidden";
     case 404:
       return "Not Found";
+    case 409:
+      return "Conflict";
+    case 410:
+      return "Gone";
     case 413:
       return "Payload Too Large";
     case 429:

@@ -231,6 +231,30 @@ const MetricsRegistry::Instrument* MetricsRegistry::FindInstrument(
   return nullptr;
 }
 
+size_t MetricsRegistry::RemoveLabeled(std::string_view label) {
+  if (label.empty()) {
+    return 0;
+  }
+  size_t removed = 0;
+  for (auto family_it = families_.begin(); family_it != families_.end();) {
+    auto& instruments = (*family_it)->instruments;
+    for (auto it = instruments.begin(); it != instruments.end();) {
+      if (it->labels.find(label) != std::string::npos) {
+        it = instruments.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    if (instruments.empty()) {
+      family_it = families_.erase(family_it);
+    } else {
+      ++family_it;
+    }
+  }
+  return removed;
+}
+
 const Counter* MetricsRegistry::FindCounter(std::string_view name,
                                             std::string_view labels) const {
   const Instrument* instrument = FindInstrument(name, Kind::kCounter, labels);

@@ -145,6 +145,13 @@ class MetricsRegistry {
 
   std::string RenderPrometheus(const RenderOptions& options = {}) const;
 
+  // Removes every instrument whose label body contains `label` as a complete
+  // `key="value"` token (e.g. `session="s3"`), dropping families left empty.
+  // This is how a shared registry sheds a reaped session's callback-backed
+  // instruments before their backing object is destroyed. Returns the number
+  // of instruments removed.
+  size_t RemoveLabeled(std::string_view label);
+
   // Lookup for tests/tools; nullptr when absent or of another kind.
   const Counter* FindCounter(std::string_view name,
                              std::string_view labels = "") const;

@@ -6,6 +6,7 @@
 #include "src/core/protocol.h"
 #include "src/delta/patch_applier.h"
 #include "src/delta/patch_codec.h"
+#include "src/host/rcb_host.h"
 #include "src/html/parser.h"
 #include "src/html/serializer.h"
 #include "src/http/http_parser.h"
@@ -441,6 +442,159 @@ TEST_P(FuzzTest, MutatedPatchOpsNeverCorruptATreeSilently) {
     root->SetInnerHtml("<head><title>t</title></head>"
                        "<body><p>one</p><p>two</p></body>");
     (void)delta::ApplyPatchOps(root.get(), *ops);
+  }
+}
+
+// ------------------------------------------------- host request router -----
+
+// Stamps a one-paragraph document titled `title` into a hosted session.
+void StampHostDoc(HostSession* session, const std::string& title) {
+  session->browser->ReplaceDocument(
+      ParseDocument("<html><head><title>" + title + "</title></head>"
+                    "<body><p>" + title + "</p></body></html>"),
+      Url::Make("http", "host-pc", session->port, "/doc"));
+}
+
+TEST_P(FuzzTest, HostRouterToleratesGarbageRequests) {
+  Rng rng(GetParam() * 0x9E3779B97F4A7C15ULL + 7);
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("host-pc", {});
+  HostConfig config;
+  config.limits.max_sessions = 4;
+  RcbHost host(&loop, &network, config);
+  ASSERT_TRUE(host.Start().ok());
+  auto session_a = host.CreateSession("a");
+  auto session_b = host.CreateSession("b");
+  ASSERT_TRUE(session_a.ok());
+  ASSERT_TRUE(session_b.ok());
+  StampHostDoc(*session_a, "DocA");
+  StampHostDoc(*session_b, "DocB");
+
+  const std::vector<std::string> valid_targets = {
+      "/",           "/s/a/",        "/s/b/status",        "/s/a/metrics",
+      "/host/status", "/host/metrics", "/host/sessions?id=c", "/s/a/obj/x",
+      "/s/b/",       "/s/a/stream",  "/s//",               "/s/a"};
+  for (int i = 0; i < 64; ++i) {
+    HttpRequest request;
+    request.method =
+        rng.NextBelow(2) == 0 ? HttpMethod::kGet : HttpMethod::kPost;
+    request.target =
+        rng.NextBelow(2) == 0
+            ? Mutate(&rng, valid_targets[rng.NextBelow(valid_targets.size())])
+            : RandomBytes(&rng, 48);
+    if (rng.NextBelow(2) == 0) {
+      PollRequest poll;
+      poll.participant_id = RandomBytes(&rng, 8);
+      poll.doc_time_ms = static_cast<int64_t>(rng.NextU64());
+      request.body = Mutate(&rng, EncodePollRequest(poll));
+    } else {
+      request.body = RandomBytes(&rng, 64);
+    }
+    HttpResponse response = host.Route(request);
+    EXPECT_TRUE(response.status_code == 200 ||
+                (response.status_code >= 400 && response.status_code <= 503))
+        << "unexpected status " << response.status_code << " for "
+        << request.target;
+  }
+
+  // The registry survived the abuse: the admission cap held, the seeded
+  // sessions are intact, and garbage traffic never mutated their documents.
+  EXPECT_LE(host.session_count(), 4u);
+  ASSERT_NE(host.FindSession("a"), nullptr);
+  ASSERT_NE(host.FindSession("b"), nullptr);
+  EXPECT_EQ((*session_a)->browser->document()->Title(), "DocA");
+  EXPECT_EQ((*session_b)->browser->document()->Title(), "DocB");
+  EXPECT_EQ((*session_a)->agent->metrics().doc_updates, 1u);
+  EXPECT_EQ((*session_b)->agent->metrics().doc_updates, 1u);
+}
+
+TEST_P(FuzzTest, HostRouterKeepsInterleavedSessionsIsolated) {
+  Rng rng(GetParam() * 0xD1B54A32D192ED03ULL + 3);
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("host-pc", {});
+  RcbHost host(&loop, &network, HostConfig{});
+  ASSERT_TRUE(host.Start().ok());
+  std::vector<HostSession*> sessions;
+  for (int s = 0; s < 3; ++s) {
+    auto session = host.CreateSession("iso" + std::to_string(s));
+    ASSERT_TRUE(session.ok());
+    StampHostDoc(*session, "Iso" + std::to_string(s));
+    sessions.push_back(*session);
+  }
+  // A reaped id that must keep answering 410, never a live session's data.
+  ASSERT_TRUE(host.CreateSession("dead").ok());
+  ASSERT_TRUE(host.CloseSession("dead").ok());
+
+  // Pid strings deliberately overlap across sessions: participant state must
+  // be keyed per agent, never by pid globally.
+  std::set<std::string> polled[3];
+  for (int i = 0; i < 96; ++i) {
+    int s = static_cast<int>(rng.NextBelow(3));
+    switch (rng.NextBelow(6)) {
+      case 0: {  // expired id
+        HttpRequest request;
+        request.method = HttpMethod::kGet;
+        request.target = "/s/dead/";
+        EXPECT_EQ(host.Route(request).status_code, 410);
+        break;
+      }
+      case 1: {  // unknown / malformed ids
+        HttpRequest request;
+        request.method = HttpMethod::kGet;
+        request.target = rng.NextBelow(2) == 0 ? "/s/nosuch/"
+                                               : "/s/" + RandomBytes(&rng, 12) + "/";
+        int status = host.Route(request).status_code;
+        EXPECT_TRUE(status == 400 || status == 404 || status == 410)
+            << request.target << " -> " << status;
+        break;
+      }
+      case 2: {  // id collision with a live session
+        HttpRequest request;
+        request.method = HttpMethod::kPost;
+        request.target = "/host/sessions?id=iso" + std::to_string(s);
+        EXPECT_EQ(host.Route(request).status_code, 409);
+        break;
+      }
+      default: {  // interleaved poll: content must come from session s only
+        PollRequest poll;
+        poll.participant_id = "pid" + std::to_string(rng.NextBelow(4));
+        poll.doc_time_ms = -1;  // always wants the current content
+        polled[s].insert(poll.participant_id);
+        HttpRequest request;
+        request.method = HttpMethod::kPost;
+        request.target = "/s/iso" + std::to_string(s) + "/";
+        request.body = EncodePollRequest(poll);
+        HttpResponse response = host.Route(request);
+        EXPECT_EQ(response.status_code, 200);
+        EXPECT_NE(response.body.find("Iso" + std::to_string(s)),
+                  std::string::npos);
+        for (int other = 0; other < 3; ++other) {
+          if (other != s) {
+            EXPECT_EQ(response.body.find("Iso" + std::to_string(other)),
+                      std::string::npos)
+                << "session iso" << s << " leaked iso" << other
+                << " content";
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // No session's roster holds a participant that never polled it, and no
+  // session's own document moved.
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(sessions[s]->browser->document()->Title(),
+              "Iso" + std::to_string(s));
+    EXPECT_EQ(sessions[s]->agent->metrics().doc_updates, 1u);
+    EXPECT_EQ(sessions[s]->agent->metrics().auth_failures, 0u);
+    for (const std::string& pid :
+         sessions[s]->agent->ConnectedParticipants()) {
+      EXPECT_TRUE(polled[s].contains(pid))
+          << "session iso" << s << " holds foreign participant " << pid;
+    }
   }
 }
 

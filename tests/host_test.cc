@@ -1,0 +1,465 @@
+// Tests for RcbHost (src/host): session registry lifecycle, cross-session
+// isolation, shared-cache accounting, host-level admission control, the
+// front-door router, and the generate-once broadcast proof metrics.
+#include <gtest/gtest.h>
+
+#include "src/core/ajax_snippet.h"
+#include "src/host/rcb_host.h"
+#include "src/html/parser.h"
+#include "src/sites/site_server.h"
+
+namespace rcb {
+namespace {
+
+constexpr uint16_t kBasePort = 3000;
+
+class HostTest : public ::testing::Test {
+ protected:
+  HostTest() : network_(&loop_) {
+    network_.AddHost("host-pc", {});
+    for (int i = 1; i <= 8; ++i) {
+      std::string machine = "p-pc-" + std::to_string(i);
+      network_.AddHost(machine, {});
+      network_.SetLatency("host-pc", machine, Duration::Millis(1));
+    }
+  }
+
+  std::unique_ptr<RcbHost> MakeHost(HostConfig config = {}) {
+    config.base_port = kBasePort;
+    // Fast polls keep the tests snappy in simulated time.
+    if (config.agent_defaults.poll_interval == Duration::Seconds(1.0)) {
+      config.agent_defaults.poll_interval = Duration::Millis(100);
+    }
+    auto host = std::make_unique<RcbHost>(&loop_, &network_, std::move(config));
+    EXPECT_TRUE(host->Start().ok());
+    return host;
+  }
+
+  // Stamps a new document version in a hosted session — no network involved,
+  // exactly like a host-side scripted mutation.
+  void SetSessionDoc(HostSession* session, const std::string& title,
+                     const std::string& body = "<p>content</p>") {
+    session->browser->ReplaceDocument(
+        ParseDocument("<html><head><title>" + title + "</title></head><body>" +
+                      body + "</body></html>"),
+        Url::Make("http", "host-pc", session->port, "/doc"));
+  }
+
+  struct Participant {
+    std::unique_ptr<Browser> browser;
+    std::unique_ptr<AjaxSnippet> snippet;
+  };
+
+  // Joins a fresh participant (on machine p-pc-<machine_index>) to `session`.
+  std::unique_ptr<Participant> JoinSession(HostSession* session,
+                                           int machine_index,
+                                           SnippetConfig config = {},
+                                           bool expect_ok = true) {
+    auto participant = std::make_unique<Participant>();
+    participant->browser = std::make_unique<Browser>(
+        &loop_, &network_, "p-pc-" + std::to_string(machine_index));
+    config.fetch_objects = false;
+    participant->snippet =
+        std::make_unique<AjaxSnippet>(participant->browser.get(), config);
+    Status join_status;
+    bool done = false;
+    participant->snippet->Join(session->agent->AgentUrl(), [&](Status status) {
+      join_status = status;
+      done = true;
+    });
+    loop_.RunUntilCondition([&] { return done; });
+    EXPECT_EQ(join_status.ok(), expect_ok) << join_status;
+    return participant;
+  }
+
+  void WaitForContent(Participant* participant, uint64_t min_updates = 1) {
+    ASSERT_TRUE(loop_.RunUntilCondition([&] {
+      return participant->snippet->metrics().content_updates >= min_updates;
+    }));
+  }
+
+  EventLoop loop_;
+  Network network_;
+};
+
+// ------------------------------------------------- registry lifecycle ------
+
+TEST_F(HostTest, SessionRegistryCreateLookupClose) {
+  auto host = MakeHost();
+
+  auto alpha = host->CreateSession("alpha");
+  ASSERT_TRUE(alpha.ok()) << alpha.status();
+  EXPECT_EQ((*alpha)->id, "alpha");
+  EXPECT_EQ((*alpha)->port, kBasePort + 1);
+  EXPECT_EQ(host->FindSession("alpha"), *alpha);
+  EXPECT_EQ(host->session_count(), 1u);
+
+  auto beta = host->CreateSession("beta");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ((*beta)->port, kBasePort + 2);
+  EXPECT_NE((*alpha)->port, (*beta)->port);
+
+  // Live-id collision: 409-class failure, existing session untouched.
+  auto collision = host->CreateSession("alpha");
+  EXPECT_FALSE(collision.ok());
+  EXPECT_EQ(collision.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(host->metrics().session_id_collisions, 1u);
+  EXPECT_EQ(host->session_count(), 2u);
+
+  // Malformed ids never enter the registry.
+  for (const char* bad : {"", "has space", "semi;colon", "sl/ash",
+                          "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"
+                          "xxxxxxxxxxxxxxxx"}) {
+    auto invalid = host->CreateSession(bad);
+    EXPECT_FALSE(invalid.ok()) << bad;
+    EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  EXPECT_FALSE(RcbHost::IsValidSessionId("no!"));
+  EXPECT_TRUE(RcbHost::IsValidSessionId("ok_id-7"));
+
+  EXPECT_TRUE(host->CloseSession("alpha").ok());
+  EXPECT_EQ(host->FindSession("alpha"), nullptr);
+  EXPECT_EQ(host->session_count(), 1u);
+  EXPECT_EQ(host->metrics().sessions_closed, 1u);
+  EXPECT_FALSE(host->CloseSession("alpha").ok());  // already gone
+
+  // A closed id answers 410 until re-created; re-creating reuses its port.
+  HttpRequest gone;
+  gone.method = HttpMethod::kGet;
+  gone.target = "/s/alpha/status";
+  EXPECT_EQ(host->Route(gone).status_code, 410);
+  EXPECT_EQ(host->metrics().expired_session_requests, 1u);
+  auto again = host->CreateSession("alpha");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->port, kBasePort + 1);
+  EXPECT_EQ(host->Route(gone).status_code, 200);
+}
+
+TEST_F(HostTest, IdleSessionsAreReapedAndActiveOnesKept) {
+  HostConfig config;
+  config.limits.session_idle_timeout = Duration::Seconds(5.0);
+  auto host = MakeHost(std::move(config));
+
+  auto active = host->CreateSession("active");
+  ASSERT_TRUE(active.ok());
+  auto idle = host->CreateSession("idle");
+  ASSERT_TRUE(idle.ok());
+  uint16_t idle_port = (*idle)->port;
+
+  // The joined participant keeps polling "active"; "idle" sees no requests.
+  SetSessionDoc(*active, "Active");
+  auto participant = JoinSession(*active, 1);
+  WaitForContent(participant.get());
+
+  loop_.RunFor(Duration::Seconds(6.0));
+  EXPECT_EQ(host->ReapIdleSessions(), 1u);
+  EXPECT_EQ(host->FindSession("idle"), nullptr);
+  EXPECT_NE(host->FindSession("active"), nullptr);
+  EXPECT_EQ(host->metrics().sessions_reaped, 1u);
+
+  // A reaped id answers 410 (routing also reaps lazily), and its port is the
+  // lowest free one, so the next session takes it over.
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  request.target = "/s/idle/status";
+  EXPECT_EQ(host->Route(request).status_code, 410);
+  auto next = host->CreateSession("next");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ((*next)->port, idle_port);
+
+  // Reaping is lazy — no recurring timer may keep the loop's queue busy
+  // forever (drain-based RunUntilCondition waits depend on this).
+  participant->snippet->Leave();
+  loop_.RunFor(Duration::Seconds(1.0));
+}
+
+// --------------------------------------------- cross-session isolation -----
+
+TEST_F(HostTest, SessionsNeverShareDocumentsActionsOrVersions) {
+  auto host = MakeHost();
+  AgentConfig config_a;
+  config_a.session_key = "key-alpha";
+  AgentConfig config_b;
+  config_b.session_key = "key-beta";
+  auto session_a = host->CreateSession("a", config_a);
+  auto session_b = host->CreateSession("b", config_b);
+  ASSERT_TRUE(session_a.ok());
+  ASSERT_TRUE(session_b.ok());
+
+  SetSessionDoc(*session_a, "DocA");
+  SetSessionDoc(*session_b, "DocB");
+  SnippetConfig snippet_a;
+  snippet_a.session_key = "key-alpha";
+  SnippetConfig snippet_b;
+  snippet_b.session_key = "key-beta";
+  auto participant_a = JoinSession(*session_a, 1, snippet_a);
+  auto participant_b = JoinSession(*session_b, 2, snippet_b);
+  WaitForContent(participant_a.get());
+  WaitForContent(participant_b.get());
+  EXPECT_EQ(participant_a->browser->document()->Title(), "DocA");
+  EXPECT_EQ(participant_b->browser->document()->Title(), "DocB");
+
+  // Mutating A's document must reach only A's participant.
+  int64_t b_doc_time = participant_b->snippet->doc_time_ms();
+  SetSessionDoc(*session_a, "DocA2");
+  WaitForContent(participant_a.get(), 2);
+  loop_.RunFor(Duration::Millis(500));
+  EXPECT_EQ(participant_a->browser->document()->Title(), "DocA2");
+  EXPECT_EQ(participant_b->browser->document()->Title(), "DocB");
+  EXPECT_EQ(participant_b->snippet->doc_time_ms(), b_doc_time);
+  EXPECT_EQ((*session_b)->agent->metrics().doc_updates, 1u);
+  EXPECT_EQ((*session_b)->agent->metrics().generations, 1u);
+
+  // Actions stay inside their session: A's pointer mirroring never shows up
+  // in B's broadcasts.
+  uint64_t b_broadcasts = participant_b->snippet->metrics().broadcasts_received;
+  participant_a->snippet->SendMouseMove(5, 7);
+  loop_.RunFor(Duration::Millis(500));
+  EXPECT_EQ(participant_b->snippet->metrics().broadcasts_received,
+            b_broadcasts);
+  EXPECT_EQ((*session_b)->agent->participant_count(), 1u);
+
+  // A's HMAC key is rejected by B's agent — per-session keys never leak.
+  // The initial GET is open by design (the key is entered on the join page);
+  // every poll signed with the wrong key gets 403 and no content.
+  SnippetConfig wrong_key;
+  wrong_key.session_key = "key-alpha";
+  auto intruder = JoinSession(*session_b, 3, wrong_key);
+  loop_.RunFor(Duration::Seconds(1.0));
+  EXPECT_GE((*session_b)->agent->metrics().auth_failures, 1u);
+  EXPECT_GE(intruder->snippet->metrics().auth_rejections, 1u);
+  EXPECT_EQ(intruder->snippet->metrics().content_updates, 0u);
+  EXPECT_NE(intruder->browser->document()->Title(), "DocB");
+  EXPECT_EQ((*session_a)->agent->metrics().auth_failures, 0u);
+}
+
+// ------------------------------------------------ shared-cache accounting --
+
+TEST_F(HostTest, SessionsShareOneObjectCache) {
+  network_.AddHost("www.origin.test", {});
+  network_.SetLatency("host-pc", "www.origin.test", Duration::Millis(5));
+  SiteServer origin(&loop_, &network_, "www.origin.test");
+  origin.ServeStatic("/a.png", "image/png", "PNGBYTES");
+
+  auto host = MakeHost();
+  auto session_a = host->CreateSession("a");
+  auto session_b = host->CreateSession("b");
+  ASSERT_TRUE(session_a.ok());
+  ASSERT_TRUE(session_b.ok());
+
+  Url object = Url::Make("http", "www.origin.test", 80, "/a.png");
+  bool first_done = false;
+  (*session_a)->browser->FetchCached(object, [&](FetchResult result) {
+    EXPECT_TRUE(result.status.ok());
+    EXPECT_FALSE(result.from_cache);
+    first_done = true;
+  });
+  ASSERT_TRUE(loop_.RunUntilCondition([&] { return first_done; }));
+  EXPECT_EQ(host->shared_cache().size(), 1u);
+  EXPECT_EQ(host->shared_cache().misses(), 1u);
+
+  // The second session's fetch is a pure cache hit: one stored copy, no new
+  // origin traffic.
+  uint64_t bytes_before = network_.total_bytes_transferred();
+  bool second_done = false;
+  (*session_b)->browser->FetchCached(object, [&](FetchResult result) {
+    EXPECT_TRUE(result.status.ok());
+    EXPECT_TRUE(result.from_cache);
+    second_done = true;
+  });
+  ASSERT_TRUE(loop_.RunUntilCondition([&] { return second_done; }));
+  EXPECT_EQ(host->shared_cache().size(), 1u);
+  EXPECT_EQ(host->shared_cache().hits(), 1u);
+  EXPECT_EQ(network_.total_bytes_transferred(), bytes_before);
+}
+
+TEST_F(HostTest, SharedCacheBudgetSurvivesSessionCreation) {
+  HostConfig config;
+  config.limits.shared_cache_byte_budget = 16;
+  // Per-agent budgets must not clobber the host-wide one on session start.
+  config.agent_defaults.limits.cache_byte_budget = 1 << 20;
+  auto host = MakeHost(std::move(config));
+  auto session = host->CreateSession("a");
+  ASSERT_TRUE(session.ok());
+
+  host->shared_cache().Put(Url::Make("http", "x.test", 80, "/1"), "image/png",
+                           std::string(12, 'a'));
+  host->shared_cache().Put(Url::Make("http", "x.test", 80, "/2"), "image/png",
+                           std::string(12, 'b'));
+  EXPECT_GT(host->shared_cache().evictions(), 0u)
+      << "host byte budget was not in effect after CreateSession";
+}
+
+// ---------------------------------------------------- admission limits -----
+
+TEST_F(HostTest, SessionCapShedsWith503AndRetryAfter) {
+  HostConfig config;
+  config.limits.max_sessions = 2;
+  config.limits.retry_after = Duration::Seconds(3.0);
+  auto host = MakeHost(std::move(config));
+
+  ASSERT_TRUE(host->CreateSession("s1").ok());
+  ASSERT_TRUE(host->CreateSession("s2").ok());
+  auto rejected = host->CreateSession("s3");
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(host->metrics().sessions_rejected, 1u);
+
+  HttpRequest create;
+  create.method = HttpMethod::kPost;
+  create.target = "/host/sessions?id=s3";
+  HttpResponse response = host->Route(create);
+  EXPECT_EQ(response.status_code, 503);
+  ASSERT_TRUE(response.RetryAfter().has_value());
+  EXPECT_EQ(*response.RetryAfter(), Duration::Seconds(3.0));
+  EXPECT_EQ(host->metrics().sessions_rejected, 2u);
+
+  // Freeing a slot reopens admission.
+  ASSERT_TRUE(host->CloseSession("s1").ok());
+  EXPECT_EQ(host->Route(create).status_code, 200);
+  EXPECT_NE(host->FindSession("s3"), nullptr);
+}
+
+TEST_F(HostTest, SessionCapReapsIdleSessionsBeforeShedding) {
+  HostConfig config;
+  config.limits.max_sessions = 1;
+  config.limits.session_idle_timeout = Duration::Seconds(2.0);
+  auto host = MakeHost(std::move(config));
+  ASSERT_TRUE(host->CreateSession("old").ok());
+  loop_.RunFor(Duration::Seconds(3.0));
+  // "old" is idle past the timeout: the cap check reaps it instead of
+  // rejecting the new session.
+  auto fresh = host->CreateSession("fresh");
+  EXPECT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_EQ(host->metrics().sessions_reaped, 1u);
+  EXPECT_EQ(host->metrics().sessions_rejected, 0u);
+}
+
+// ----------------------------------------------------- front-door router ---
+
+TEST_F(HostTest, FrontDoorRoutesAndRejects) {
+  auto host = MakeHost();
+  auto session = host->CreateSession("s1");
+  ASSERT_TRUE(session.ok());
+  SetSessionDoc(*session, "Doc");
+
+  auto get = [&](const std::string& target) {
+    HttpRequest request;
+    request.method = HttpMethod::kGet;
+    request.target = target;
+    return host->Route(request);
+  };
+
+  // Forwarded new-connection request reaches the session agent.
+  HttpResponse initial = get("/s/s1/");
+  EXPECT_EQ(initial.status_code, 200);
+  EXPECT_NE(initial.body.find("RCB"), std::string::npos);
+  EXPECT_EQ((*session)->agent->metrics().new_connections, 1u);
+
+  EXPECT_EQ(get("/host/status").status_code, 200);
+  EXPECT_NE(get("/host/status").body.find("s1"), std::string::npos);
+  HttpResponse metrics = get("/host/metrics");
+  EXPECT_EQ(metrics.status_code, 200);
+  EXPECT_NE(metrics.body.find("rcb_host_sessions"), std::string::npos);
+
+  EXPECT_EQ(get("/s/unknown/").status_code, 404);
+  EXPECT_EQ(get("/s/bad id/").status_code, 400);
+  EXPECT_EQ(get("/s/s1/stream").status_code, 400);  // held streams can't proxy
+  EXPECT_EQ(get("/nonsense").status_code, 404);
+  EXPECT_EQ(host->metrics().unknown_session_requests, 1u);
+  EXPECT_EQ(host->metrics().invalid_session_ids, 1u);
+  EXPECT_GE(host->metrics().front_door_requests, 7u);
+}
+
+// ----------------------------------------- generate-once broadcast proof ---
+
+TEST_F(HostTest, PipelineRunsOncePerUpdateNotPerParticipant) {
+  auto host = MakeHost();
+  auto session_a = host->CreateSession("a");
+  auto session_b = host->CreateSession("b");
+  ASSERT_TRUE(session_a.ok());
+  ASSERT_TRUE(session_b.ok());
+  SetSessionDoc(*session_a, "A1");
+  SetSessionDoc(*session_b, "B1");
+
+  std::vector<std::unique_ptr<Participant>> participants;
+  for (int i = 0; i < 3; ++i) {
+    participants.push_back(JoinSession(*session_a, 1 + i));
+    participants.push_back(JoinSession(*session_b, 4 + i));
+  }
+  auto all_have = [&](uint64_t min_updates) {
+    return loop_.RunUntilCondition([&] {
+      for (auto& participant : participants) {
+        if (participant->snippet->metrics().content_updates < min_updates) {
+          return false;
+        }
+      }
+      return true;
+    });
+  };
+  ASSERT_TRUE(all_have(1));
+  SetSessionDoc(*session_a, "A2");
+  SetSessionDoc(*session_b, "B2");
+  ASSERT_TRUE(all_have(2));
+
+  // Each session saw 2 document versions; each version was generated exactly
+  // once and fanned out to all 3 pollers.
+  for (HostSession* session : {*session_a, *session_b}) {
+    const AgentMetrics& metrics = session->agent->metrics();
+    EXPECT_EQ(metrics.doc_updates, 2u) << session->id;
+    EXPECT_EQ(metrics.generations, 2u) << session->id;
+    EXPECT_GE(metrics.polls_with_content, 6u) << session->id;
+    EXPECT_GE(metrics.snapshot_reuses, 4u) << session->id;
+  }
+
+  // The host aggregates tell the same story (sim subset is deterministic).
+  obs::RenderOptions options;
+  options.include_wall = false;
+  std::string rendered = host->metrics_registry().RenderPrometheus(options);
+  EXPECT_NE(rendered.find("rcb_host_doc_updates_total 4"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("rcb_host_pipeline_runs_total 4"), std::string::npos)
+      << rendered;
+
+  // ...and they stay monotone across a session teardown.
+  ASSERT_TRUE(host->CloseSession("a").ok());
+  rendered = host->metrics_registry().RenderPrometheus(options);
+  EXPECT_NE(rendered.find("rcb_host_pipeline_runs_total 4"), std::string::npos)
+      << rendered;
+}
+
+// -------------------------------------------------------- metrics modes ----
+
+TEST_F(HostTest, LiteSessionsSkipPerSessionFamiliesButCountInAggregates) {
+  HostConfig config;
+  config.limits.metrics_sessions = 1;
+  auto host = MakeHost(std::move(config));
+  auto full = host->CreateSession("full");
+  auto lite = host->CreateSession("lite");
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(lite.ok());
+  EXPECT_FALSE((*full)->lite);
+  EXPECT_TRUE((*lite)->lite);
+
+  SetSessionDoc(*full, "F");
+  SetSessionDoc(*lite, "L");
+  auto participant_full = JoinSession(*full, 1);
+  auto participant_lite = JoinSession(*lite, 2);
+  WaitForContent(participant_full.get());
+  WaitForContent(participant_lite.get());
+
+  std::string rendered = host->metrics_registry().RenderPrometheus();
+  EXPECT_NE(rendered.find("session=\"full\""), std::string::npos);
+  EXPECT_EQ(rendered.find("session=\"lite\""), std::string::npos);
+  // The lite session still counts in the host aggregates.
+  EXPECT_NE(rendered.find("rcb_host_doc_updates_total 2"), std::string::npos)
+      << rendered;
+
+  // Closing the labelled session removes its families from the registry.
+  ASSERT_TRUE(host->CloseSession("full").ok());
+  rendered = host->metrics_registry().RenderPrometheus();
+  EXPECT_EQ(rendered.find("session=\"full\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcb

@@ -3,8 +3,13 @@
 // count must produce a correct synchronized session on a corpus site.
 #include <gtest/gtest.h>
 
+#include "src/core/ajax_snippet.h"
 #include "src/core/session.h"
+#include "src/host/rcb_host.h"
+#include "src/html/parser.h"
+#include "src/net/fault_injector.h"
 #include "src/sites/corpus.h"
+#include "src/util/strings.h"
 
 namespace rcb {
 namespace {
@@ -108,6 +113,212 @@ std::vector<MatrixCase> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(AllEnvironments, EnvironmentMatrixTest,
                          ::testing::ValuesIn(AllCases()), CaseName);
+
+// ------------------------------------------------ multi-session chaos ------
+//
+// {LAN, WAN} x {loss, reset, partition} against an RcbHost running three
+// sessions of four participants each. The fault hits ONLY session 0's
+// participant links; sessions 1 and 2 must come through untouched (no
+// timeouts, no resyncs), session 0 must recover within the horizon, and two
+// identical runs must produce bit-identical deterministic counters.
+
+constexpr int kChaosSessions = 3;
+constexpr int kChaosParticipants = 4;
+
+struct HostChaosCase {
+  const char* profile_name;  // "Lan" | "Wan"
+  FaultEvent::Kind kind;
+};
+
+std::string HostChaosCaseName(
+    const ::testing::TestParamInfo<HostChaosCase>& info) {
+  std::string name = info.param.profile_name;
+  switch (info.param.kind) {
+    case FaultEvent::Kind::kLoss:
+      name += "Loss";
+      break;
+    case FaultEvent::Kind::kReset:
+      name += "Reset";
+      break;
+    default:
+      name += "Partition";
+      break;
+  }
+  return name;
+}
+
+std::string ChaosMachine(int session, int participant) {
+  return StrFormat("chaos-pc-%d-%d", session, participant);
+}
+
+// One complete run; returns the deterministic counter fingerprint and runs
+// the per-session independence assertions.
+std::string RunMultiSessionChaos(const HostChaosCase& chaos) {
+  NetworkProfile profile =
+      std::string(chaos.profile_name) == "Wan" ? WanProfile() : LanProfile();
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("host-pc", profile.host_interface);
+  for (int s = 0; s < kChaosSessions; ++s) {
+    for (int p = 0; p < kChaosParticipants; ++p) {
+      network.AddHost(ChaosMachine(s, p), profile.participant_interface);
+      network.SetLatency("host-pc", ChaosMachine(s, p),
+                         profile.host_participant_latency);
+    }
+  }
+
+  HostConfig host_config;
+  host_config.agent_defaults.poll_interval = Duration::Millis(250);
+  RcbHost host(&loop, &network, host_config);
+  EXPECT_TRUE(host.Start().ok());
+
+  struct ChaosParticipant {
+    std::unique_ptr<Browser> browser;
+    std::unique_ptr<AjaxSnippet> snippet;
+  };
+  std::vector<HostSession*> sessions;
+  std::vector<std::vector<ChaosParticipant>> participants(kChaosSessions);
+  size_t joined = 0;
+  for (int s = 0; s < kChaosSessions; ++s) {
+    AgentConfig agent_config;
+    agent_config.session_key = StrFormat("chaos-key-%d", s);
+    auto session = host.CreateSession(StrFormat("chaos-%d", s), agent_config);
+    EXPECT_TRUE(session.ok());
+    sessions.push_back(*session);
+    (*session)->browser->ReplaceDocument(
+        ParseDocument(StrFormat("<html><head><title>S%d</title></head>"
+                                "<body><p id=\"p\">base</p></body></html>",
+                                s)),
+        Url::Make("http", "host-pc", (*session)->port, "/doc"));
+    participants[s].resize(kChaosParticipants);
+    for (int p = 0; p < kChaosParticipants; ++p) {
+      ChaosParticipant& participant = participants[s][p];
+      participant.browser =
+          std::make_unique<Browser>(&loop, &network, ChaosMachine(s, p));
+      SnippetConfig config;
+      config.session_key = StrFormat("chaos-key-%d", s);
+      config.fetch_objects = false;
+      config.poll_timeout = Duration::Seconds(1.0);
+      config.reconnect_after = 2;
+      config.backoff_base = Duration::Millis(250);
+      config.backoff_max = Duration::Seconds(2.0);
+      config.backoff_jitter = Duration::Millis(100);
+      config.backoff_seed = 0x5EED + s * 16 + p;  // no retry stampedes
+      participant.snippet = std::make_unique<AjaxSnippet>(
+          participant.browser.get(), config);
+      participant.snippet->Join(sessions[s]->agent->AgentUrl(),
+                                [&](Status status) {
+                                  EXPECT_TRUE(status.ok()) << status;
+                                  ++joined;
+                                });
+    }
+  }
+  EXPECT_TRUE(loop.RunUntilCondition([&] {
+    return joined == kChaosSessions * kChaosParticipants;
+  }));
+  EXPECT_TRUE(loop.RunUntilCondition([&] {
+    for (auto& session_participants : participants) {
+      for (auto& participant : session_participants) {
+        if (participant.snippet->metrics().content_updates < 1) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }));
+
+  // The fault hits every participant link of session 0, nobody else's.
+  FaultInjector injector(&network, /*seed=*/2024);
+  for (int p = 0; p < kChaosParticipants; ++p) {
+    FaultEvent event = ChaosEvent(profile, chaos.kind,
+                                  loop.now() + Duration::Millis(100),
+                                  chaos.kind == FaultEvent::Kind::kPartition
+                                      ? Duration::Seconds(5.0)
+                                      : Duration::Seconds(15.0));
+    injector.Install(FaultPlan{"host-pc", ChaosMachine(0, p), {event}});
+  }
+
+  // Every session's document mutates mid-fault.
+  loop.Schedule(Duration::Millis(500), [&] {
+    for (HostSession* session : sessions) {
+      session->browser->MutateDocument([](Document* document) {
+        auto marker = MakeElement("div");
+        marker->SetAttribute("id", "chaos-marker");
+        document->body()->AppendChild(std::move(marker));
+      });
+    }
+  });
+
+  // Fixed simulated horizon so two runs execute the identical schedule.
+  loop.RunFor(Duration::Seconds(40.0));
+
+  std::string fingerprint;
+  for (int s = 0; s < kChaosSessions; ++s) {
+    const AgentMetrics& agent = sessions[s]->agent->metrics();
+    fingerprint += StrFormat(
+        "s%d agent polls=%llu content=%llu auth=%llu timeouts=%llu "
+        "reconnects=%llu resyncs=%llu updates=%llu gens=%llu\n", s,
+        static_cast<unsigned long long>(agent.polls_received),
+        static_cast<unsigned long long>(agent.polls_with_content),
+        static_cast<unsigned long long>(agent.auth_failures),
+        static_cast<unsigned long long>(agent.poll_timeouts),
+        static_cast<unsigned long long>(agent.reconnects),
+        static_cast<unsigned long long>(agent.resyncs),
+        static_cast<unsigned long long>(agent.doc_updates),
+        static_cast<unsigned long long>(agent.generations));
+    for (int p = 0; p < kChaosParticipants; ++p) {
+      const SnippetMetrics& snippet = participants[s][p].snippet->metrics();
+      bool converged = participants[s][p].browser->document()->ById(
+                           "chaos-marker") != nullptr;
+      fingerprint += StrFormat(
+          "s%d p%d polls=%llu timeouts=%llu failures=%llu reconnects=%llu "
+          "resyncs=%llu doc_time=%lld marker=%d\n", s, p,
+          static_cast<unsigned long long>(snippet.polls_sent),
+          static_cast<unsigned long long>(snippet.poll_timeouts),
+          static_cast<unsigned long long>(snippet.transport_failures),
+          static_cast<unsigned long long>(snippet.reconnects),
+          static_cast<unsigned long long>(snippet.resyncs),
+          static_cast<long long>(participants[s][p].snippet->doc_time_ms()),
+          converged ? 1 : 0);
+
+      // Convergence: everyone — including the faulted session — holds the
+      // mid-fault mutation by the end of the horizon.
+      EXPECT_TRUE(converged) << "session " << s << " participant " << p;
+      if (s != 0) {
+        // Independence: the fault never bled into the other sessions.
+        EXPECT_EQ(snippet.poll_timeouts, 0u) << "session " << s;
+        EXPECT_EQ(snippet.transport_failures, 0u) << "session " << s;
+        EXPECT_EQ(snippet.resyncs, 0u) << "session " << s;
+        EXPECT_EQ(snippet.reconnects, 0u) << "session " << s;
+      }
+    }
+    if (s != 0) {
+      EXPECT_EQ(agent.poll_timeouts, 0u) << "session " << s;
+      EXPECT_EQ(agent.resyncs, 0u) << "session " << s;
+      EXPECT_EQ(agent.auth_failures, 0u) << "session " << s;
+    }
+  }
+  return fingerprint;
+}
+
+class MultiSessionChaosTest : public ::testing::TestWithParam<HostChaosCase> {};
+
+TEST_P(MultiSessionChaosTest, FaultedSessionRecoversOthersUnaffected) {
+  std::string first = RunMultiSessionChaos(GetParam());
+  std::string second = RunMultiSessionChaos(GetParam());
+  // Bit-identical recovery: the whole counter fingerprint reproduces.
+  EXPECT_EQ(first, second) << "chaos recovery diverged between runs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HostChaos, MultiSessionChaosTest,
+    ::testing::Values(HostChaosCase{"Lan", FaultEvent::Kind::kLoss},
+                      HostChaosCase{"Lan", FaultEvent::Kind::kReset},
+                      HostChaosCase{"Lan", FaultEvent::Kind::kPartition},
+                      HostChaosCase{"Wan", FaultEvent::Kind::kLoss},
+                      HostChaosCase{"Wan", FaultEvent::Kind::kReset},
+                      HostChaosCase{"Wan", FaultEvent::Kind::kPartition}),
+    HostChaosCaseName);
 
 }  // namespace
 }  // namespace rcb
