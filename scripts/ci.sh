@@ -50,6 +50,91 @@ check_scale_json() {
   fi
 }
 
+check_recovery() {
+  local build_dir="$1"
+  local dir="${build_dir}/ci-recovery"
+  echo "=== ${build_dir}: durability + recovery gate ==="
+  rm -rf "${dir}"
+  mkdir -p "${dir}"
+  # Persist unit suite by name: codec round-trips, torn-tail decode, and the
+  # store-level crash matrix must pass in this build even if test
+  # registration regresses.
+  "${build_dir}/tests/persist_test" --gtest_brief=1
+  # Reduced crash-recovery sweep: kill the host mid WAL stream, restart,
+  # and require every session recovered with every poller back via signed
+  # resume (the bench exits 1 on any shape violation).
+  local artifact_dir="${dir}/bench-json"
+  mkdir -p "${artifact_dir}"
+  RCB_BENCH_JSON_DIR="${artifact_dir}" RCB_RECOVERY_MAX_SESSIONS=16 \
+      "${build_dir}/bench/bench_recovery" > /dev/null
+  local artifact="${artifact_dir}/BENCH_recovery.json"
+  "${build_dir}/tools/validate_bench_json" "${artifact}"
+  if command -v jq >/dev/null; then
+    jq -e '.schema_version == 1 and .bench == "recovery"
+           and (.config_fingerprint | test("^[0-9a-f]{64}$"))
+           and ([.metrics[].name] | index("n16_recovery_wall_ms") != null)
+           and ([.metrics[] | select(.name == "n16_sessions_recovered")
+                 | .value] == [16])
+           and ([.metrics[] | select(.name == "n16_fresh_joins_after_recovery")
+                 | .value] == [0])' "${artifact}" > /dev/null
+  fi
+  # Torn-write corpus: every truncated or bit-flipped checkpoint, and every
+  # WAL with a damaged header, must be rejected with a clean exit 1 — never
+  # accepted, never a crash (exit >= 126 means a signal killed the tool).
+  local inspect="${build_dir}/tools/checkpoint_inspect"
+  "${inspect}" make-sample "${dir}" > /dev/null
+  "${inspect}" verify "${dir}/sample.ckpt" "${dir}/sample.wal" > /dev/null
+  local corpus="${dir}/corpus"
+  mkdir -p "${corpus}"
+  local ckpt_size wal_size
+  ckpt_size=$(wc -c < "${dir}/sample.ckpt")
+  wal_size=$(wc -c < "${dir}/sample.wal")
+  head -c $((ckpt_size / 4)) "${dir}/sample.ckpt" > "${corpus}/ckpt_torn_header"
+  head -c $((ckpt_size / 2)) "${dir}/sample.ckpt" > "${corpus}/ckpt_torn_mid"
+  head -c $((ckpt_size - 3)) "${dir}/sample.ckpt" > "${corpus}/ckpt_torn_tail"
+  cp "${dir}/sample.ckpt" "${corpus}/ckpt_flip_payload"
+  printf 'XXXX' | dd of="${corpus}/ckpt_flip_payload" bs=1 \
+      seek=$((ckpt_size / 2)) conv=notrunc status=none
+  cp "${dir}/sample.ckpt" "${corpus}/ckpt_flip_magic"
+  printf 'Z' | dd of="${corpus}/ckpt_flip_magic" bs=1 seek=0 conv=notrunc \
+      status=none
+  head -c 6 "${dir}/sample.wal" > "${corpus}/wal_torn_header"
+  cp "${dir}/sample.wal" "${corpus}/wal_flip_magic"
+  printf 'Z' | dd of="${corpus}/wal_flip_magic" bs=1 seek=0 conv=notrunc \
+      status=none
+  local bad rc
+  for bad in "${corpus}"/*; do
+    rc=0
+    "${inspect}" verify "${bad}" > /dev/null 2>&1 || rc=$?
+    if [[ "${rc}" -eq 0 ]]; then
+      echo "corrupt artifact accepted: ${bad}" >&2
+      return 1
+    fi
+    if [[ "${rc}" -ge 126 ]]; then
+      echo "checkpoint_inspect crashed (rc=${rc}) on: ${bad}" >&2
+      return 1
+    fi
+  done
+  # A WAL cut mid-record is the one sanctioned tear: the tail is discarded,
+  # the prefix replays, and verify reports it valid rather than crashing.
+  head -c $((wal_size - 5)) "${dir}/sample.wal" > "${dir}/wal_torn_tail"
+  "${inspect}" verify "${dir}/wal_torn_tail" > /dev/null
+  if command -v jq >/dev/null; then
+    # The JSON report stays well-formed across the whole hostile corpus.
+    rc=0
+    "${inspect}" --json verify "${corpus}"/* "${dir}/wal_torn_tail" \
+        > "${dir}/corpus.json" 2>/dev/null || rc=$?
+    if [[ "${rc}" -ge 126 ]]; then
+      echo "checkpoint_inspect --json crashed (rc=${rc})" >&2
+      return 1
+    fi
+    jq -e '.schema_version == 1 and .tool == "checkpoint_inspect"
+           and ([.files[] | select(.valid | not)] | length == 7)
+           and ([.files[] | select(.valid)] | length == 1)' \
+        "${dir}/corpus.json" > /dev/null
+  fi
+}
+
 check_trace() {
   local build_dir="$1"
   local trace_dir="${build_dir}/ci-trace"
@@ -110,6 +195,7 @@ run_suite() {
   "${build_dir}/tests/fuzz_test" --gtest_filter='*HostRouter*' --gtest_brief=1
   check_bench_json "${build_dir}"
   check_scale_json "${build_dir}"
+  check_recovery "${build_dir}"
   check_trace "${build_dir}"
 }
 

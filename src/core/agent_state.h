@@ -1,0 +1,76 @@
+// Durable session state: what an RcbAgent exports for checkpointing and what
+// a recovered agent restores (DESIGN.md §13).
+//
+// The export is deliberately the *protocol* state, not the runtime state:
+// document content + version, the participant roster with its anti-replay
+// sequence high-water marks, and the host-confirmation queue. Transport
+// state (connections, held streams, token-bucket levels, metrics) is
+// reconstructed from live traffic after recovery — a restored participant is
+// forced through the full-snapshot resync path on its first poll, exactly as
+// if it had reconnected after a network gap (§3.2.3).
+#ifndef SRC_CORE_AGENT_STATE_H_
+#define SRC_CORE_AGENT_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/actions.h"
+
+namespace rcb {
+
+// One roster entry. last_seq is the anti-replay high-water mark (§3.4): a
+// recovered agent must keep rejecting pre-crash polls replayed at it.
+struct ParticipantExport {
+  std::string pid;
+  int64_t doc_time_ms = -1;
+  uint64_t last_seq = 0;
+  uint64_t timeouts_reported = 0;
+  uint64_t polls = 0;
+
+  bool operator==(const ParticipantExport&) const = default;
+};
+
+// An action held for host confirmation (ActionPolicy::kConfirm).
+struct PendingActionExport {
+  std::string pid;
+  UserAction action;
+
+  bool operator==(const PendingActionExport&) const = default;
+};
+
+struct AgentStateExport {
+  int64_t doc_time_ms = 0;
+  bool has_version = false;
+  uint64_t next_pid = 1;
+  // Serialized live document and its URL; empty when no page is loaded.
+  std::string document_html;
+  std::string document_url;
+  std::vector<ParticipantExport> participants;
+  std::vector<PendingActionExport> pending_actions;
+
+  bool operator==(const AgentStateExport&) const = default;
+};
+
+// Durability hook: the agent reports every persistent-state transition as it
+// commits, in event order. The persist layer (src/persist) appends each one
+// to the session's write-ahead log before the agent answers the request that
+// caused it, so a crash can lose at most the transition whose WAL write was
+// itself cut short — never one the agent already acknowledged.
+class AgentStateObserver {
+ public:
+  virtual ~AgentStateObserver() = default;
+  // The document advanced to `doc_time_ms`.
+  virtual void OnDocVersion(int64_t doc_time_ms) = 0;
+  // A signed poll advanced `pid`'s anti-replay high-water mark to `seq`.
+  virtual void OnSeqAdvance(const std::string& pid, uint64_t seq) = 0;
+  // A participant action was merged into the session (audit record).
+  virtual void OnActionMerged(const std::string& pid,
+                              const UserAction& action) = 0;
+  virtual void OnParticipantJoined(const std::string& pid) = 0;
+  virtual void OnParticipantLeft(const std::string& pid) = 0;
+};
+
+}  // namespace rcb
+
+#endif  // SRC_CORE_AGENT_STATE_H_

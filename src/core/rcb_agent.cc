@@ -5,9 +5,12 @@
 
 #include "src/crypto/hmac.h"
 #include "src/delta/tree_diff.h"
+#include "src/html/parser.h"
+#include "src/html/serializer.h"
 #include "src/http/form.h"
 #include "src/util/escape.h"
 #include "src/util/logging.h"
+#include "src/util/rand.h"
 #include "src/util/strings.h"
 
 namespace rcb {
@@ -187,6 +190,9 @@ void RcbAgent::RegisterMetrics() {
         metrics_.idle_read_timeouts);
   field("rcb_agent_oversized_rejected", "413s for head/body over the caps",
         metrics_.oversized_rejected);
+  field("rcb_agent_recovery_deferrals",
+        "503s staggering post-recovery resync admission",
+        metrics_.recovery_deferrals);
   field("rcb_agent_patches_served", "newPatch delta responses sent",
         metrics_.patches_served);
   field("rcb_agent_patch_fallback_no_base",
@@ -368,7 +374,9 @@ Status RcbAgent::Start() {
   }
   last_activity_ = browser_->loop()->now();
   running_ = true;
-  if (browser_->has_page()) {
+  // A restored agent (RestoreState set has_version_) keeps its checkpointed
+  // version instead of stamping a fresh one over it.
+  if (browser_->has_page() && !has_version_) {
     OnDocumentChange();
   }
   return Status::Ok();
@@ -400,6 +408,74 @@ Url RcbAgent::AgentUrl() const {
   return Url::Make("http", browser_->machine(), config_.port, "/");
 }
 
+Duration RcbAgent::JitteredRetryAfter(Duration base, std::string_view key) const {
+  int64_t window_ms = config_.limits.retry_after_jitter.millis();
+  if (window_ms <= 0) {
+    return base;
+  }
+  return base + Duration::Millis(static_cast<int64_t>(
+                    StableHash64(key) %
+                    static_cast<uint64_t>(window_ms + 1)));
+}
+
+AgentStateExport RcbAgent::ExportState() const {
+  AgentStateExport state;
+  state.doc_time_ms = current_doc_time_ms_;
+  state.has_version = has_version_;
+  state.next_pid = next_pid_;
+  if (browser_->has_page()) {
+    state.document_html = SerializeNode(*browser_->document());
+    state.document_url = browser_->current_url().ToString();
+  }
+  for (const auto& [pid, participant] : participants_) {
+    state.participants.push_back(ParticipantExport{
+        pid, participant.doc_time_ms, participant.last_seq,
+        participant.timeouts_reported, participant.polls});
+  }
+  for (const PendingAction& pending : pending_actions_) {
+    state.pending_actions.push_back(
+        PendingActionExport{pending.participant_id, pending.action});
+  }
+  return state;
+}
+
+Status RcbAgent::RestoreState(const AgentStateExport& state) {
+  if (running_) {
+    return FailedPreconditionError("restore requires a stopped agent");
+  }
+  restoring_ = true;
+  if (!state.document_html.empty()) {
+    auto url = Url::Parse(state.document_url);
+    if (!url.ok()) {
+      restoring_ = false;
+      return InvalidArgumentError("restore: bad document url");
+    }
+    browser_->ReplaceDocument(ParseDocument(state.document_html), *url);
+  }
+  current_doc_time_ms_ = state.doc_time_ms;
+  has_version_ = state.has_version;
+  next_pid_ = state.next_pid;
+  broadcast_->Invalidate();
+  participants_.clear();
+  for (const ParticipantExport& exported : state.participants) {
+    ParticipantState& participant = EnsureParticipant(exported.pid);
+    // The participant's DOM is untrusted after the gap: -1 forces the
+    // full-snapshot resync path on its first post-recovery poll. The
+    // anti-replay mark and counters come back exactly.
+    participant.doc_time_ms = -1;
+    participant.last_seq = exported.last_seq;
+    participant.timeouts_reported = exported.timeouts_reported;
+    participant.polls = exported.polls;
+    participant.last_poll = browser_->loop()->now();  // reap grace period
+  }
+  pending_actions_.clear();
+  for (const PendingActionExport& pending : state.pending_actions) {
+    pending_actions_.push_back(PendingAction{pending.pid, pending.action});
+  }
+  restoring_ = false;
+  return Status::Ok();
+}
+
 void RcbAgent::OnAccept(NetEndpoint* endpoint) {
   // Admission control: past the connection cap, answer a tiny 503 and close
   // instead of dedicating parser/timer state to the socket.
@@ -407,8 +483,12 @@ void RcbAgent::OnAccept(NetEndpoint* endpoint) {
       connections_.size() + streams_.size() >= config_.limits.max_connections) {
     ++metrics_.connections_rejected;
     endpoint->Send(
-        HttpResponse::ServiceUnavailable(config_.poll_interval,
-                                         "connection limit reached")
+        HttpResponse::ServiceUnavailable(
+            JitteredRetryAfter(
+                config_.poll_interval,
+                StrFormat("conn%llu", static_cast<unsigned long long>(
+                                          metrics_.connections_rejected))),
+            "connection limit reached")
             .Serialize());
     endpoint->Close();
     return;
@@ -491,12 +571,18 @@ void RcbAgent::OnConnData(AgentConn* conn, std::string_view data) {
 }
 
 void RcbAgent::OnDocumentChange() {
+  if (restoring_) {
+    return;  // RestoreState installs the checkpointed version itself
+  }
   int64_t now_ms = browser_->loop()->now().millis();
   current_doc_time_ms_ =
       now_ms > current_doc_time_ms_ ? now_ms : current_doc_time_ms_ + 1;
   broadcast_->Invalidate();
   has_version_ = true;
   ++metrics_.doc_updates;
+  if (config_.state_observer != nullptr) {
+    config_.state_observer->OnDocVersion(current_doc_time_ms_);
+  }
   if (config_.sync_model == SyncModel::kPush && !streams_.empty()) {
     SchedulePushFlush();
   }
@@ -549,8 +635,9 @@ void RcbAgent::HandleStreamRequest(AgentConn* conn, const HttpRequest& request) 
   if (!ParticipantAdmissible(pid)) {
     ++metrics_.participants_rejected;
     conn->endpoint->Send(
-        HttpResponse::ServiceUnavailable(config_.poll_interval,
-                                         "participant limit reached")
+        HttpResponse::ServiceUnavailable(
+            JitteredRetryAfter(config_.poll_interval, pid),
+            "participant limit reached")
             .Serialize());
     return;
   }
@@ -778,8 +865,9 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
     if (!known) {
       if (!ParticipantAdmissible(pid)) {
         ++metrics_.participants_rejected;
-        return HttpResponse::ServiceUnavailable(config_.poll_interval,
-                                                "participant limit reached");
+        return HttpResponse::ServiceUnavailable(
+            JitteredRetryAfter(config_.poll_interval, pid),
+            "participant limit reached");
       }
       // Reaped while away: treat as a (re)join and announce it.
       UserAction joined;
@@ -807,8 +895,12 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
   if (config_.limits.max_participants > 0 &&
       participants_.size() >= config_.limits.max_participants) {
     ++metrics_.participants_rejected;
-    return HttpResponse::ServiceUnavailable(config_.poll_interval,
-                                            "participant limit reached");
+    return HttpResponse::ServiceUnavailable(
+        JitteredRetryAfter(
+            config_.poll_interval,
+            StrFormat("join%llu", static_cast<unsigned long long>(
+                                      metrics_.participants_rejected))),
+        "participant limit reached");
   }
   std::string pid = StrFormat("p%llu", static_cast<unsigned long long>(next_pid_++));
   // Announce the newcomer to everyone already in the session (§5.2.3: users
@@ -837,6 +929,9 @@ void RcbAgent::RemoveParticipant(const std::string& pid) {
     return;
   }
   participants_.erase(it);
+  if (config_.state_observer != nullptr) {
+    config_.state_observer->OnParticipantLeft(pid);
+  }
   auto stream_it = streams_.find(pid);
   if (stream_it != streams_.end()) {
     NetEndpoint* endpoint = stream_it->second;
@@ -864,6 +959,10 @@ RcbAgent::ParticipantState& RcbAgent::EnsureParticipant(const std::string& pid) 
                                          config_.limits.poll_burst);
     it->second.action_bucket = TokenBucket(config_.limits.action_rate_per_sec,
                                            config_.limits.action_burst);
+    // Checkpoint rehydration is not a new transition — only live joins log.
+    if (config_.state_observer != nullptr && !restoring_) {
+      config_.state_observer->OnParticipantJoined(pid);
+    }
   }
   return it->second;
 }
@@ -1064,8 +1163,27 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     ++metrics_.participants_rejected;
     flight_.Trigger("overload", browser_->loop()->now().micros());
     TraceMarker("agent.response.rejected", {{"code", "503"}});
-    return HttpResponse::ServiceUnavailable(config_.poll_interval,
-                                            "participant limit reached");
+    return HttpResponse::ServiceUnavailable(
+        JitteredRetryAfter(config_.poll_interval, poll.participant_id),
+        "participant limit reached");
+  }
+
+  // Restart-storm admission (DESIGN.md §13): a just-recovered session
+  // staggers resync readmission through the overload layer. Known
+  // participants before their slot get a liveness-preserving 503 with a
+  // jittered Retry-After and the poll does no merge or content work; resume
+  // handshakes and first-contact joins are not deferred.
+  if (browser_->loop()->now() < resync_admission_at_ &&
+      participants_.contains(poll.participant_id)) {
+    participants_[poll.participant_id].last_poll = browser_->loop()->now();
+    ++metrics_.recovery_deferrals;
+    flight_.Trigger("overload", browser_->loop()->now().micros());
+    TraceMarker("agent.response.rejected",
+                {{"code", "503"}, {"reason", "recovery_defer"}});
+    return HttpResponse::ServiceUnavailable(
+        JitteredRetryAfter(resync_admission_at_ - browser_->loop()->now(),
+                           poll.participant_id),
+        "recovering: resync admission deferred");
   }
 
   // Presence housekeeping: drop participants that stopped polling, and
@@ -1088,12 +1206,19 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     flight_.Trigger("overload", browser_->loop()->now().micros());
     TraceMarker("agent.response.rejected", {{"code", "429"}});
     return HttpResponse::TooManyRequests(
-        participant.poll_bucket.TimeUntilAvailable(browser_->loop()->now()),
+        JitteredRetryAfter(
+            participant.poll_bucket.TimeUntilAvailable(browser_->loop()->now()),
+            poll.participant_id),
         "poll rate limit");
   }
   ++participant.polls;
   if (poll.seq != 0) {
     participant.last_seq = poll.seq;
+    if (config_.state_observer != nullptr) {
+      // WAL the anti-replay advance before any work this poll causes — a
+      // recovered agent must keep rejecting replays of polls it acked.
+      config_.state_observer->OnSeqAdvance(poll.participant_id, poll.seq);
+    }
   }
   // The snippet reports its cumulative timeout count; fold the delta into
   // the session-wide counter (idempotent across repeated reports).
@@ -1254,6 +1379,11 @@ void RcbAgent::ApplyAction(const std::string& pid, const UserAction& action) {
   }
   switch (policy) {
     case ActionPolicy::kAutoApply:
+      if (config_.state_observer != nullptr) {
+        // Audit record, written before the action mutates the document (and
+        // before any version it produces is logged).
+        config_.state_observer->OnActionMerged(pid, action);
+      }
       PerformAction(pid, action);
       ++metrics_.actions_applied;
       break;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/browser/browser.h"
+#include "src/core/agent_state.h"
 #include "src/core/broadcast.h"
 #include "src/core/content_generator.h"
 #include "src/core/protocol.h"
@@ -87,6 +88,11 @@ struct AgentLimits {
   // Byte budget applied to the host browser's ObjectCache on Start();
   // exceeding it evicts least-recently-used objects. 0 = unbounded.
   uint64_t cache_byte_budget = 0;
+  // Deterministic jitter added to every Retry-After this agent sends (503s
+  // and 429s): base + StableHash64(key) % (jitter + 1ms), keyed per rejected
+  // participant. Spreads retries so one overload burst does not come back as
+  // one synchronized retry burst. Zero() disables (exact base values).
+  Duration retry_after_jitter = Duration::Seconds(3.0);
 };
 
 struct AgentConfig {
@@ -142,6 +148,11 @@ struct AgentConfig {
   // false skips the rcb_cache_* families. RcbHost points every session at
   // one shared ObjectCache and registers its counters once, host-side.
   bool register_cache_metrics = true;
+  // --- Durability (src/persist, DESIGN.md §13). When set, the agent reports
+  // every persistent-state transition (document version, anti-replay seq
+  // advance, merged action, roster change) before acking the request that
+  // caused it. Not owned; must outlive the agent. nullptr = no reporting. ---
+  AgentStateObserver* state_observer = nullptr;
 };
 
 struct AgentMetrics {
@@ -172,6 +183,7 @@ struct AgentMetrics {
   uint64_t snapshots_shed = 0;         // push versions superseded before send
   uint64_t idle_read_timeouts = 0;     // slow-loris connections closed
   uint64_t oversized_rejected = 0;     // 413s for head/body over the caps
+  uint64_t recovery_deferrals = 0;     // 503s staggering post-recovery resync
   // --- Delta snapshots (src/delta) ---
   uint64_t patches_served = 0;         // newPatch responses sent
   uint64_t patch_fallback_no_base = 0; // base version outside the history
@@ -267,6 +279,21 @@ class RcbAgent {
   // Switches cache mode at runtime (the paper allows per-page / per-object
   // flexibility; we expose the session-level switch).
   void set_cache_mode(bool cache_mode) { config_.cache_mode = cache_mode; }
+
+  // --- Durability (src/persist, DESIGN.md §13) ---
+  // Snapshot of the protocol state a checkpoint captures: document content +
+  // version, roster with anti-replay marks, confirmation queue.
+  AgentStateExport ExportState() const;
+  // Rehydrates a stopped agent from a checkpoint (call before Start()).
+  // Participants come back with doc_time_ms = -1 so their first poll takes
+  // the full-snapshot resync path; their last_seq marks survive, so replayed
+  // pre-crash polls still bounce off anti-replay.
+  Status RestoreState(const AgentStateExport& state);
+  // Restart-storm protection: until `at`, polls from existing participants
+  // are answered 503 + jittered Retry-After instead of a full resync, so a
+  // recovering host readmits its flock staggered, not all at once. Resume
+  // handshakes are NOT deferred (identity re-establishment is cheap).
+  void DeferResyncAdmissionUntil(SimTime at) { resync_admission_at_ = at; }
 
   // Exposed for tests: the current snapshot the agent would serve.
   const Snapshot& CurrentSnapshotForTest();
@@ -364,6 +391,10 @@ class RcbAgent {
 
   std::string BuildInitialPage(const std::string& pid) const;
 
+  // AgentLimits::retry_after_jitter applied to one Retry-After value,
+  // deterministically keyed (same key -> same delay, different keys spread).
+  Duration JitteredRetryAfter(Duration base, std::string_view key) const;
+
   // Registers every family on the effective registry (constructor-time;
   // callback counters read metrics_ and the browser cache at render time).
   // Skipped entirely when config.register_metrics is false. Labels compose
@@ -383,6 +414,11 @@ class RcbAgent {
   int64_t current_doc_time_ms_ = 0;
   bool has_version_ = false;  // set once the first completed load is observed
   SimTime last_activity_;
+  // True while RestoreState replaces the document: the change listener (if
+  // any) must not stamp a fresh version over the checkpointed one.
+  bool restoring_ = false;
+  // Restart-storm admission gate; polls before this instant are deferred.
+  SimTime resync_admission_at_;
   // Generate-once broadcast state; constructed after RegisterMetrics so its
   // instrument pointers are final (std::optional defers construction only).
   std::optional<SnapshotBroadcast> broadcast_;

@@ -1,13 +1,28 @@
 #include "src/host/rcb_host.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <utility>
 
 #include "src/util/logging.h"
+#include "src/util/rand.h"
 #include "src/util/strings.h"
 
 namespace rcb {
 namespace {
+
+obs::FlightRecorder::Options HostFlightOptions(const HostConfig& config) {
+  obs::FlightRecorder::Options options;
+  options.component = "host";
+  options.dir = config.flight_dir;
+  if (options.dir.empty()) {
+    if (const char* env = std::getenv("RCB_FLIGHT_DIR"); env != nullptr) {
+      options.dir = env;
+    }
+  }
+  return options;
+}
 
 // 409/410 have no HttpResponse factory (nothing else in the repo sheds with
 // them); build them in place.
@@ -32,8 +47,84 @@ HttpResponse Gone(std::string_view detail) {
 }  // namespace
 
 RcbHost::RcbHost(EventLoop* loop, Network* network, HostConfig config)
-    : loop_(loop), network_(network), config_(std::move(config)) {
+    : loop_(loop),
+      network_(network),
+      config_(std::move(config)),
+      flight_(&trace_, &registry_, HostFlightOptions(config_)) {
   RegisterHostMetrics();
+}
+
+// --- SessionPersist: the agent-to-store durability binding ---
+
+SessionPersist::SessionPersist(RcbHost* host, std::string session_id,
+                               std::unique_ptr<persist::SessionStore> store)
+    : host_(host),
+      session_id_(std::move(session_id)),
+      store_(std::move(store)) {}
+
+SessionPersist::~SessionPersist() {
+  if (checkpoint_scheduled_) {
+    host_->loop()->Cancel(checkpoint_event_id_);
+  }
+}
+
+void SessionPersist::Append(persist::WalRecord record) {
+  Status appended = store_->Append(record);
+  if (!appended.ok()) {
+    RCB_LOG(kWarning) << "rcb-host: WAL append for " << session_id_
+                      << " failed: " << appended;
+  }
+  // Checkpoint lazily, one event later: the append happens mid-request, and
+  // the checkpoint must see the agent quiescent (and not stall the response).
+  if (store_->ShouldCheckpoint() && !checkpoint_scheduled_) {
+    checkpoint_scheduled_ = true;
+    checkpoint_event_id_ = host_->loop()->Schedule(Duration::Zero(), [this] {
+      checkpoint_scheduled_ = false;
+      Status written = host_->CheckpointSession(session_id_);
+      if (!written.ok()) {
+        RCB_LOG(kWarning) << "rcb-host: checkpoint for " << session_id_
+                          << " failed: " << written;
+      }
+    });
+  }
+}
+
+void SessionPersist::OnDocVersion(int64_t doc_time_ms) {
+  persist::WalRecord record;
+  record.type = persist::WalRecordType::kDocVersion;
+  record.doc_time_ms = doc_time_ms;
+  Append(std::move(record));
+}
+
+void SessionPersist::OnSeqAdvance(const std::string& pid, uint64_t seq) {
+  persist::WalRecord record;
+  record.type = persist::WalRecordType::kSeq;
+  record.pid = pid;
+  record.seq = seq;
+  Append(std::move(record));
+}
+
+void SessionPersist::OnActionMerged(const std::string& pid,
+                                    const UserAction& action) {
+  persist::WalRecord record;
+  record.type = persist::WalRecordType::kAction;
+  record.pid = pid;
+  record.action = action;
+  Append(std::move(record));
+}
+
+void SessionPersist::OnParticipantJoined(const std::string& pid) {
+  persist::WalRecord record;
+  record.type = persist::WalRecordType::kJoin;
+  record.pid = pid;
+  Append(std::move(record));
+}
+
+void SessionPersist::OnParticipantLeft(const std::string& pid) {
+  persist::WalRecord record;
+  record.type = persist::WalRecordType::kLeave;
+  record.pid = pid;
+  Append(std::move(record));
 }
 
 RcbHost::~RcbHost() { Stop(); }
@@ -63,6 +154,9 @@ Status RcbHost::Start() {
     shared_cache_.set_byte_budget(config_.limits.shared_cache_byte_budget);
   }
   running_ = true;
+  if (config_.persist.enabled()) {
+    RecoverSessions();
+  }
   return Status::Ok();
 }
 
@@ -78,10 +172,14 @@ void RcbHost::Stop() {
     }
   }
   connections_.clear();
+  // Checkpoint-on-close: a cleanly stopped host leaves every session
+  // recoverable (no-op with persistence off or after a simulated crash).
+  CheckpointAllSessions();
   // Destroy sessions deterministically (map order) and fold their counters.
+  // Persist files are kept — shutdown is not session end.
   std::vector<std::string> ids = SessionIds();
   for (const std::string& id : ids) {
-    DestroySession(id);
+    DestroySession(id, /*remove_persist=*/false);
   }
 }
 
@@ -135,6 +233,13 @@ StatusOr<HostSession*> RcbHost::CreateSession(const std::string& id,
   session->id = id;
   session->port = AllocatePort();
   session->created_at = loop_->now();
+  if (config_.persist.enabled()) {
+    auto store = std::make_unique<persist::SessionStore>(
+        id, config_.persist, &persist_counters_, config_.process_faults);
+    session->persist =
+        std::make_unique<SessionPersist>(this, id, std::move(store));
+    agent_config.state_observer = session->persist.get();
+  }
   session->browser = std::make_unique<Browser>(loop_, network_, config_.machine);
   session->browser->UseSharedCache(&shared_cache_);
 
@@ -161,6 +266,14 @@ StatusOr<HostSession*> RcbHost::CreateSession(const std::string& id,
   ++host_metrics_.sessions_created;
   HostSession* raw = session.get();
   sessions_.emplace(id, std::move(session));
+  // Baseline checkpoint: a session is recoverable from the moment it exists.
+  if (raw->persist != nullptr) {
+    Status baseline = raw->persist->store()->WriteCheckpoint(BuildCheckpoint(raw));
+    if (!baseline.ok()) {
+      RCB_LOG(kWarning) << "rcb-host: baseline checkpoint for " << id
+                        << " failed: " << baseline;
+    }
+  }
   return raw;
 }
 
@@ -191,12 +304,15 @@ void RcbHost::RememberReaped(const std::string& id) {
   }
 }
 
-void RcbHost::DestroySession(const std::string& id) {
+void RcbHost::DestroySession(const std::string& id, bool remove_persist) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return;
   }
   HostSession* session = it->second.get();
+  if (remove_persist && session->persist != nullptr) {
+    session->persist->store()->RemoveFiles();
+  }
   const AgentMetrics& m = session->agent->metrics();
   retired_.doc_updates += m.doc_updates;
   retired_.generations += m.generations;
@@ -221,7 +337,7 @@ Status RcbHost::CloseSession(const std::string& id) {
   if (!sessions_.contains(id)) {
     return NotFoundError("no such session: " + id);
   }
-  DestroySession(id);
+  DestroySession(id, /*remove_persist=*/true);
   ++host_metrics_.sessions_closed;
   return Status::Ok();
 }
@@ -244,10 +360,207 @@ size_t RcbHost::ReapIdleSessions() {
     }
   }
   for (const std::string& id : idle) {
-    DestroySession(id);
+    DestroySession(id, /*remove_persist=*/true);
     ++host_metrics_.sessions_reaped;
   }
   return idle.size();
+}
+
+Duration RcbHost::JitteredRetryAfter(Duration base, std::string_view key) const {
+  int64_t window_ms = config_.limits.retry_after_jitter.millis();
+  if (window_ms <= 0) {
+    return base;
+  }
+  return base + Duration::Millis(static_cast<int64_t>(
+                    StableHash64(key) % static_cast<uint64_t>(window_ms + 1)));
+}
+
+persist::SessionCheckpoint RcbHost::BuildCheckpoint(HostSession* session) const {
+  persist::SessionCheckpoint checkpoint;
+  checkpoint.session_id = session->id;
+  checkpoint.created_at_us = loop_->now().micros();
+  const AgentConfig& agent_config = session->agent->config();
+  checkpoint.config.session_key = agent_config.session_key;
+  checkpoint.config.poll_interval_ms = agent_config.poll_interval.millis();
+  checkpoint.config.cache_mode = agent_config.cache_mode;
+  checkpoint.config.enable_delta = agent_config.enable_delta;
+  checkpoint.config.enable_trace = agent_config.enable_trace;
+  checkpoint.config.sync_model = static_cast<int>(agent_config.sync_model);
+  checkpoint.config.port = session->port;
+  checkpoint.state = session->agent->ExportState();
+  return checkpoint;
+}
+
+Status RcbHost::CheckpointSession(const std::string& id) {
+  HostSession* session = FindSession(id);
+  if (session == nullptr || session->persist == nullptr) {
+    return Status::Ok();
+  }
+  return session->persist->store()->WriteCheckpoint(BuildCheckpoint(session));
+}
+
+void RcbHost::CheckpointAllSessions() {
+  for (const auto& [id, session] : sessions_) {
+    if (session->persist == nullptr) {
+      continue;
+    }
+    Status written =
+        session->persist->store()->WriteCheckpoint(BuildCheckpoint(session.get()));
+    if (!written.ok()) {
+      RCB_LOG(kWarning) << "rcb-host: shutdown checkpoint for " << id
+                        << " failed: " << written;
+    }
+  }
+}
+
+void RcbHost::RecoverSessions() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  // Stale staging files are dead on arrival (the rename never happened).
+  for (const auto& entry : fs::directory_iterator(config_.persist.dir, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+    }
+  }
+  std::vector<std::string> checkpoints;
+  for (const auto& entry : fs::directory_iterator(config_.persist.dir, ec)) {
+    if (entry.path().extension() == ".ckpt") {
+      checkpoints.push_back(entry.path().string());
+    }
+  }
+  // Deterministic recovery order regardless of directory iteration order.
+  std::sort(checkpoints.begin(), checkpoints.end());
+  for (const std::string& checkpoint_path : checkpoints) {
+    std::string wal_path =
+        checkpoint_path.substr(0, checkpoint_path.size() - 5) + ".wal";
+    int64_t start_us = loop_->now().micros();
+    Status recovered = RecoverOne(checkpoint_path, wal_path);
+    if (!recovered.ok()) {
+      // The ladder's last rung: quarantine this session's files and move on.
+      // A corrupt checkpoint degrades one session, never the host.
+      ++host_metrics_.sessions_unrecoverable;
+      std::error_code rename_ec;
+      fs::rename(checkpoint_path, checkpoint_path + ".corrupt", rename_ec);
+      fs::rename(wal_path, wal_path + ".corrupt", rename_ec);
+      RCB_LOG(kWarning) << "rcb-host: session quarantined during recovery: "
+                        << recovered;
+    }
+    trace_.Append(recovered.ok() ? "host.recovery.session"
+                                 : "host.recovery.quarantine",
+                  obs::Provenance::kSim, start_us,
+                  loop_->now().micros() - start_us);
+    // Every recovery, clean or degraded, freezes the moment (trace ring +
+    // metrics snapshot) for post-hoc forensics.
+    flight_.Trigger("host_recovery", loop_->now().micros());
+  }
+}
+
+Status RcbHost::RecoverOne(const std::string& checkpoint_path,
+                           const std::string& wal_path) {
+  auto loaded =
+      persist::LoadSession(checkpoint_path, wal_path, &persist_counters_);
+  RCB_RETURN_IF_ERROR(loaded.status());
+  const persist::SessionCheckpoint& checkpoint = loaded->checkpoint;
+  const std::string& id = checkpoint.session_id;
+  if (!IsValidSessionId(id)) {
+    return AbortedError("recovered checkpoint carries an invalid session id");
+  }
+  // The file must be the session it claims to be: a checkpoint copied over
+  // another session's slot passes its own digests but not this gate.
+  if (std::filesystem::path(checkpoint_path).stem().string() != id) {
+    return AbortedError("checkpoint file name does not match its session id");
+  }
+  if (sessions_.contains(id)) {
+    return AlreadyExistsError("recovered session id already live: " + id);
+  }
+  uint16_t port = checkpoint.config.port;
+  if (port <= config_.base_port) {
+    return AbortedError("checkpoint port outside the host's range");
+  }
+  // Snippets poll the session port directly, so recovery must reopen the
+  // same one; keep the allocator clear of it.
+  free_ports_.erase(std::remove(free_ports_.begin(), free_ports_.end(), port),
+                    free_ports_.end());
+  if (port >= config_.base_port + next_port_offset_) {
+    next_port_offset_ = static_cast<uint16_t>(port - config_.base_port + 1);
+  }
+
+  // The session must run under the configuration its participants negotiated
+  // against (key above all: their polls are signed with it).
+  AgentConfig agent_config = config_.agent_defaults;
+  agent_config.session_key = checkpoint.config.session_key;
+  agent_config.poll_interval =
+      Duration::Millis(checkpoint.config.poll_interval_ms);
+  agent_config.cache_mode = checkpoint.config.cache_mode;
+  agent_config.enable_delta = checkpoint.config.enable_delta;
+  agent_config.enable_trace = checkpoint.config.enable_trace;
+  agent_config.sync_model =
+      static_cast<SyncModel>(checkpoint.config.sync_model);
+
+  auto session = std::make_unique<HostSession>();
+  session->id = id;
+  session->port = port;
+  session->created_at = loop_->now();
+  session->recovered = true;
+  auto store = std::make_unique<persist::SessionStore>(
+      id, config_.persist, &persist_counters_, config_.process_faults);
+  store->AdoptEpoch(loaded->epoch);
+  session->persist =
+      std::make_unique<SessionPersist>(this, id, std::move(store));
+  agent_config.state_observer = session->persist.get();
+  session->browser = std::make_unique<Browser>(loop_, network_, config_.machine);
+  session->browser->UseSharedCache(&shared_cache_);
+  agent_config.port = port;
+  agent_config.shared_registry = &registry_;
+  agent_config.metrics_label = StrFormat("session=\"%s\"", id.c_str());
+  agent_config.register_cache_metrics = false;
+  session->lite = metric_sessions_registered_ >= config_.limits.metrics_sessions;
+  agent_config.register_metrics = !session->lite;
+  agent_config.limits.cache_byte_budget = 0;
+  session->agent =
+      std::make_unique<RcbAgent>(session->browser.get(), agent_config);
+
+  auto fail = [&](const Status& status) {
+    registry_.RemoveLabeled(StrFormat("session=\"%s\"", id.c_str()));
+    free_ports_.push_back(port);
+    return status;
+  };
+  Status restored = session->agent->RestoreState(checkpoint.state);
+  if (!restored.ok()) {
+    return fail(restored);
+  }
+  Status started = session->agent->Start();
+  if (!started.ok()) {
+    return fail(started);
+  }
+  if (loaded->wal_tail_discarded) {
+    ++host_metrics_.wal_tails_discarded;
+  }
+  host_metrics_.doc_versions_lost += loaded->doc_versions_lost;
+  // Restart-storm protection: spread resync readmission across the window,
+  // each session at a deterministic slot derived from its id.
+  if (config_.recovery_storm_window > Duration::Zero()) {
+    uint64_t slot_ms =
+        StableHash64(id) %
+        static_cast<uint64_t>(config_.recovery_storm_window.millis() + 1);
+    session->agent->DeferResyncAdmissionUntil(
+        loop_->now() + Duration::Millis(static_cast<int64_t>(slot_ms)));
+  }
+  if (!session->lite) {
+    ++metric_sessions_registered_;
+  }
+  HostSession* raw = session.get();
+  sessions_.emplace(id, std::move(session));
+  ++host_metrics_.sessions_recovered;
+  // Re-baseline: fold the replayed WAL into a fresh checkpoint so the
+  // superseded epoch's log cannot replay twice.
+  Status baseline = raw->persist->store()->WriteCheckpoint(BuildCheckpoint(raw));
+  if (!baseline.ok()) {
+    RCB_LOG(kWarning) << "rcb-host: recovery re-baseline for " << id
+                      << " failed: " << baseline;
+  }
+  return Status::Ok();
 }
 
 void RcbHost::OnAccept(NetEndpoint* endpoint) {
@@ -323,8 +636,10 @@ HttpResponse RcbHost::HandleCreateSession(const HttpRequest& request) {
       case StatusCode::kAlreadyExists:
         return Conflict(session.status().message());
       case StatusCode::kUnavailable:
-        return HttpResponse::ServiceUnavailable(config_.limits.retry_after,
-                                                session.status().message());
+        return HttpResponse::ServiceUnavailable(
+            JitteredRetryAfter(config_.limits.retry_after,
+                               id.empty() ? "create" : id),
+            session.status().message());
       default:
         return HttpResponse::InternalError(session.status().message());
     }
@@ -403,6 +718,26 @@ HttpResponse RcbHost::HandleHostStatus() const {
   }
   body += "</table>";
   body += StrFormat(
+      "<p id=\"persist\">persist: recovered %llu, unrecoverable %llu | "
+      "checkpoints %llu (%llu bytes), wal records %llu (%llu bytes), "
+      "truncations %llu | torn writes %llu, tails cut %llu, wals dropped "
+      "%llu, checkpoints rejected %llu | doc versions lost %llu | "
+      "recovery triggers %llu (dumps %llu)</p>",
+      static_cast<unsigned long long>(host_metrics_.sessions_recovered),
+      static_cast<unsigned long long>(host_metrics_.sessions_unrecoverable),
+      static_cast<unsigned long long>(persist_counters_.checkpoints_written),
+      static_cast<unsigned long long>(persist_counters_.checkpoint_bytes),
+      static_cast<unsigned long long>(persist_counters_.wal_records),
+      static_cast<unsigned long long>(persist_counters_.wal_bytes),
+      static_cast<unsigned long long>(persist_counters_.wal_truncations),
+      static_cast<unsigned long long>(persist_counters_.torn_writes),
+      static_cast<unsigned long long>(persist_counters_.wal_tail_discards),
+      static_cast<unsigned long long>(persist_counters_.wals_discarded),
+      static_cast<unsigned long long>(persist_counters_.checkpoints_rejected),
+      static_cast<unsigned long long>(host_metrics_.doc_versions_lost),
+      static_cast<unsigned long long>(flight_.triggers("host_recovery")),
+      static_cast<unsigned long long>(flight_.dumps_written()));
+  body += StrFormat(
       "<p id=\"cache\">shared cache: %zu objects, %llu bytes, "
       "%llu hits, %llu misses, %llu evictions</p>",
       shared_cache_.size(),
@@ -460,6 +795,61 @@ void RcbHost::RegisterHostMetrics() {
         host_metrics_.expired_session_requests);
   field("rcb_host_front_door_requests", "Requests seen by the front door",
         host_metrics_.front_door_requests);
+  field("rcb_host_recovered_sessions_total",
+        "Sessions restored from checkpoints on host start",
+        host_metrics_.sessions_recovered);
+  field("rcb_host_unrecoverable_sessions_total",
+        "Sessions quarantined by recovery integrity gates",
+        host_metrics_.sessions_unrecoverable);
+  field("rcb_host_wal_tails_discarded_total",
+        "Torn WAL tails cut during recovery",
+        host_metrics_.wal_tails_discarded);
+  field("rcb_host_doc_versions_lost_total",
+        "Post-checkpoint document versions not restorable after a crash",
+        host_metrics_.doc_versions_lost);
+
+  // Durability plumbing (src/persist), shared across all session stores.
+  field("rcb_persist_checkpoints_written_total", "Checkpoints written",
+        persist_counters_.checkpoints_written);
+  field("rcb_persist_checkpoint_bytes_total", "Checkpoint bytes written",
+        persist_counters_.checkpoint_bytes);
+  field("rcb_persist_wal_records_total", "WAL records appended",
+        persist_counters_.wal_records);
+  field("rcb_persist_wal_bytes_total", "WAL bytes appended",
+        persist_counters_.wal_bytes);
+  field("rcb_persist_wal_truncations_total",
+        "WAL truncations by checkpoint-and-truncate",
+        persist_counters_.wal_truncations);
+  field("rcb_persist_torn_writes_total",
+        "Crash-injected partial writes reaching disk",
+        persist_counters_.torn_writes);
+  field("rcb_persist_wal_tail_discards_total",
+        "Recovery scans that cut a torn WAL tail",
+        persist_counters_.wal_tail_discards);
+  field("rcb_persist_wals_discarded_total",
+        "Whole WALs dropped at recovery (header or epoch gate)",
+        persist_counters_.wals_discarded);
+  field("rcb_persist_checkpoints_rejected_total",
+        "Checkpoints rejected by recovery integrity gates",
+        persist_counters_.checkpoints_rejected);
+
+  // Host anomaly recorder: recovery is the trigger; the counters stay
+  // deterministic whether or not artifacts are written.
+  registry_.AddCallbackCounter(
+      "rcb_flight_triggers_total", "Flight-recorder trigger firings",
+      obs::Provenance::kSim,
+      [this] { return flight_.triggers("host_recovery"); },
+      "component=\"host\",trigger=\"host_recovery\"");
+  registry_.AddCallbackCounter(
+      "rcb_flight_dumps_written", "Flight-recorder JSONL artifacts written",
+      obs::Provenance::kSim, [this] { return flight_.dumps_written(); },
+      "component=\"host\"");
+  registry_.AddCallbackCounter(
+      "rcb_host_recovery_deferrals_total",
+      "503s staggering post-recovery resync admission, across all sessions",
+      obs::Provenance::kSim, [this] {
+        return SumAgents(&AgentMetrics::recovery_deferrals, 0);
+      });
 
   registry_.AddCallbackGauge(
       "rcb_host_sessions", "Live sessions", obs::Provenance::kSim,

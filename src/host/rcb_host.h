@@ -40,8 +40,42 @@
 #include <vector>
 
 #include "src/core/rcb_agent.h"
+#include "src/persist/session_store.h"
 
 namespace rcb {
+
+class RcbHost;
+
+// The durability binding for one hosted session (DESIGN.md §13): implements
+// the agent's AgentStateObserver by appending each reported transition to
+// the session's WAL, and schedules a host checkpoint (zero-delay, so it runs
+// between events with the agent quiescent) once the store crosses its dirty
+// thresholds. Owned by the HostSession; destroying it cancels any scheduled
+// checkpoint, so a torn-down session never leaves a dangling event.
+class SessionPersist : public AgentStateObserver {
+ public:
+  SessionPersist(RcbHost* host, std::string session_id,
+                 std::unique_ptr<persist::SessionStore> store);
+  ~SessionPersist() override;
+
+  persist::SessionStore* store() { return store_.get(); }
+
+  void OnDocVersion(int64_t doc_time_ms) override;
+  void OnSeqAdvance(const std::string& pid, uint64_t seq) override;
+  void OnActionMerged(const std::string& pid,
+                      const UserAction& action) override;
+  void OnParticipantJoined(const std::string& pid) override;
+  void OnParticipantLeft(const std::string& pid) override;
+
+ private:
+  void Append(persist::WalRecord record);
+
+  RcbHost* host_;
+  std::string session_id_;
+  std::unique_ptr<persist::SessionStore> store_;
+  bool checkpoint_scheduled_ = false;
+  uint64_t checkpoint_event_id_ = 0;
+};
 
 // Host-level admission limits, layered on the per-agent AgentLimits.
 struct HostLimits {
@@ -56,6 +90,10 @@ struct HostLimits {
   uint64_t shared_cache_byte_budget = 0;
   // Retry-After hint on 503s.
   Duration retry_after = Duration::Seconds(1.0);
+  // Deterministic jitter added to front-door Retry-After values (same scheme
+  // as AgentLimits::retry_after_jitter), keyed per rejected request, so shed
+  // creators do not retry in lockstep. Zero() disables.
+  Duration retry_after_jitter = Duration::Seconds(3.0);
   // Reaped/closed session ids remembered for 410 Gone answers (FIFO).
   size_t reaped_id_memory = 256;
   // Only the first this-many sessions register per-session instrument
@@ -77,6 +115,23 @@ struct HostConfig {
   // overrides port/registry wiring. Per-session keys, policies, and delta
   // knobs go through CreateSession(id, config).
   AgentConfig agent_defaults;
+  // --- Durability (src/persist, DESIGN.md §13). persist.dir empty keeps the
+  // host fully in-memory (the pre-PR-7 behavior, byte for byte). With a dir
+  // set, every session checkpoints + WALs its protocol state there, Start()
+  // recovers whatever a previous host left behind, and Stop() writes a final
+  // checkpoint per session so a clean shutdown is recoverable too. ---
+  persist::PersistOptions persist;
+  // Recovered sessions stagger resync readmission across this window: each
+  // gets a deterministic slot hash(session_id) % window, and polls before
+  // its slot get 503 + jittered Retry-After through the overload layer.
+  // Zero() admits everyone immediately.
+  Duration recovery_storm_window = Duration::Seconds(5.0);
+  // Host flight-recorder dump directory (anomaly: host_recovery). Empty
+  // falls back to $RCB_FLIGHT_DIR; with neither, triggers only count.
+  std::string flight_dir;
+  // Crash-point injector driving the process-fault chaos matrix (not owned;
+  // may be null). Sessions consult it on every persist write.
+  ProcessFaultInjector* process_faults = nullptr;
 };
 
 // Host-level counters (all sim-provenance), exported as rcb_host_*.
@@ -90,6 +145,11 @@ struct HostMetrics {
   uint64_t unknown_session_requests = 0;  // 404s routing to absent ids
   uint64_t expired_session_requests = 0;  // 410s routing to reaped ids
   uint64_t front_door_requests = 0;       // every request Route() saw
+  // --- Recovery (DESIGN.md §13) ---
+  uint64_t sessions_recovered = 0;      // restored from checkpoint on Start
+  uint64_t sessions_unrecoverable = 0;  // quarantined: failed integrity gates
+  uint64_t wal_tails_discarded = 0;     // torn log tails cut during recovery
+  uint64_t doc_versions_lost = 0;       // post-checkpoint versions not restored
 };
 
 // One hosted co-browsing session: an isolated Browser + RcbAgent pair on its
@@ -100,6 +160,10 @@ struct HostSession {
   uint16_t port = 0;
   SimTime created_at;
   bool lite = false;  // past metrics_sessions: no per-session families
+  bool recovered = false;  // restored from a checkpoint on host Start
+  // Declared before browser/agent so it is destroyed last: the agent holds a
+  // raw AgentStateObserver pointer into it. nullptr when persistence is off.
+  std::unique_ptr<SessionPersist> persist;
   std::unique_ptr<Browser> browser;
   std::unique_ptr<RcbAgent> agent;
 };
@@ -152,6 +216,20 @@ class RcbHost {
   // True iff `id` is nonempty, at most 64 chars, all [A-Za-z0-9_-].
   static bool IsValidSessionId(const std::string& id);
 
+  // --- Durability (DESIGN.md §13) ---
+  // Writes a checkpoint for one session (truncating its WAL). No-op when the
+  // session is absent or persistence is off. SessionPersist schedules this
+  // lazily on dirty thresholds; tests call it to force a baseline.
+  Status CheckpointSession(const std::string& id);
+  // Checkpoints every live session (Stop() does this before teardown).
+  void CheckpointAllSessions();
+  const persist::PersistCounters& persist_counters() const {
+    return persist_counters_;
+  }
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  const obs::TraceLog& trace_log() const { return trace_; }
+  EventLoop* loop() { return loop_; }
+
  private:
   struct HostConn {
     NetEndpoint* endpoint = nullptr;
@@ -178,10 +256,22 @@ class RcbHost {
   HttpResponse HandleHostStatus() const;
   HttpResponse HandleHostMetrics(const HttpRequest& request) const;
 
-  // Tears down one session and folds its counters into retired_.
-  void DestroySession(const std::string& id);
+  // Tears down one session and folds its counters into retired_. Persist
+  // files are removed when the session ends on purpose (close/reap) and kept
+  // when the host is merely shutting down (Stop checkpoints first).
+  void DestroySession(const std::string& id, bool remove_persist);
   void RememberReaped(const std::string& id);
   uint16_t AllocatePort();
+
+  // Recovery-on-start (DESIGN.md §13): scans persist.dir for checkpoints,
+  // runs the integrity ladder on each, resurrects the survivors, and
+  // quarantines the rest — degradation is always per-session.
+  void RecoverSessions();
+  Status RecoverOne(const std::string& checkpoint_path,
+                    const std::string& wal_path);
+  // Builds the checkpoint payload for a live session.
+  persist::SessionCheckpoint BuildCheckpoint(HostSession* session) const;
+  Duration JitteredRetryAfter(Duration base, std::string_view key) const;
 
   void RegisterHostMetrics();
   // Sums `field` over live sessions (plus the retired base).
@@ -206,6 +296,11 @@ class RcbHost {
   obs::MetricsRegistry registry_;
   HostMetrics host_metrics_;
   RetiredTotals retired_;
+  persist::PersistCounters persist_counters_;
+  // Host-level observability: recovery spans land in the trace ring, and
+  // every recovery (clean or degraded) fires the host_recovery anomaly.
+  obs::TraceLog trace_;
+  obs::FlightRecorder flight_;
 };
 
 }  // namespace rcb

@@ -170,4 +170,22 @@ Duration FaultInjector::TransferPenalty(const std::string& from,
   return penalty;
 }
 
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kAfterWalAppend:
+      return "after_wal_append";
+    case CrashPoint::kBeforeWalFlush:
+      return "before_wal_flush";
+    case CrashPoint::kTornWalFrame:
+      return "torn_wal_frame";
+    case CrashPoint::kPartialFlush:
+      return "partial_flush";
+    case CrashPoint::kTornCheckpointTmp:
+      return "torn_checkpoint_tmp";
+    case CrashPoint::kTornCheckpointSwap:
+      return "torn_checkpoint_swap";
+  }
+  return "unknown";
+}
+
 }  // namespace rcb

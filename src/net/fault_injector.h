@@ -10,10 +10,18 @@
 //
 // This is the adversarial half of the §5.1 testbed: the recovery machinery in
 // the Ajax-Snippet and the agent (§3.2.3) is exercised against it.
+//
+// ProcessFaultInjector extends the model to *process* death: a CrashPoint
+// names an instrumented instant inside the durability pipeline (src/persist),
+// and an armed CrashPlan kills the simulated host process there — leaving
+// exactly the file states a real kill -9 would (durable prefix, torn frame,
+// lost buffer). Crash selection is a pure function of the plan and the
+// deterministic event order, so crash-recovery runs replay bit-identically.
 #ifndef SRC_NET_FAULT_INJECTOR_H_
 #define SRC_NET_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -139,6 +147,116 @@ class FaultInjector {
   uint64_t seed_;
   std::vector<InstalledPlan> plans_;
   FaultInjectorMetrics metrics_;
+};
+
+// --- Process faults (crash-safe durability, DESIGN.md §13) -----------------
+
+// An instrumented instant inside the persistence pipeline where a process
+// death leaves a distinct on-disk state. The write that was in flight either
+// survives in full, survives torn, or never reaches the file — recovery has
+// to cope with all three.
+enum class CrashPoint : uint8_t {
+  // Dies right after a WAL record was durably appended, before any
+  // checkpoint could fold it in (the classic WAL-ahead-of-checkpoint gap).
+  kAfterWalAppend = 0,
+  // Dies with records accepted into the write buffer but never flushed:
+  // the tail of the log is simply missing.
+  kBeforeWalFlush,
+  // Dies mid-frame: the first half of one WAL record reaches the file.
+  // Recovery must detect the torn frame and discard the tail.
+  kTornWalFrame,
+  // Dies mid-fsync of a buffered batch: a prefix of the batch is durable,
+  // the rest is cut at an arbitrary byte boundary.
+  kPartialFlush,
+  // Dies while writing the checkpoint temp file. The atomic tmp+rename
+  // discipline means the previous checkpoint (and its WAL) stay intact.
+  kTornCheckpointTmp,
+  // Dies mid-swap on a filesystem without atomic rename: torn bytes land on
+  // the final checkpoint path. The corrupt checkpoint must be rejected and
+  // the session degraded — never the host.
+  kTornCheckpointSwap,
+};
+
+inline constexpr CrashPoint kAllCrashPoints[] = {
+    CrashPoint::kAfterWalAppend,    CrashPoint::kBeforeWalFlush,
+    CrashPoint::kTornWalFrame,      CrashPoint::kPartialFlush,
+    CrashPoint::kTornCheckpointTmp, CrashPoint::kTornCheckpointSwap,
+};
+
+const char* CrashPointName(CrashPoint point);
+
+// One armed process death: fire at the (after_events+1)-th hit of `point`
+// (optionally only counting hits from one session's persistence stream).
+struct CrashPlan {
+  CrashPoint point = CrashPoint::kAfterWalAppend;
+  uint64_t after_events = 0;
+  // Empty matches every session; otherwise only hits whose session id equals
+  // the filter advance the trigger counter.
+  std::string session_filter;
+};
+
+struct ProcessFaultMetrics {
+  uint64_t site_hits = 0;       // instrumented sites reached (armed or not)
+  uint64_t matching_hits = 0;   // hits that matched the armed plan
+  uint64_t crashes = 0;         // plans that fired (0 or 1 per process image)
+  bool operator==(const ProcessFaultMetrics&) const = default;
+};
+
+// Deterministic process-death switchboard. The persist layer calls
+// ShouldCrash() at every instrumented site; once a plan fires, crashed()
+// latches and every subsequent persistence write becomes a no-op — the
+// process-death model: nothing after the kill instant reaches disk. Tests
+// then tear the host down and restart it over the same persist dir.
+class ProcessFaultInjector {
+ public:
+  ProcessFaultInjector() = default;
+  ProcessFaultInjector(const ProcessFaultInjector&) = delete;
+  ProcessFaultInjector& operator=(const ProcessFaultInjector&) = delete;
+
+  void Arm(CrashPlan plan) {
+    plan_ = std::move(plan);
+    matching_hits_ = 0;
+  }
+  bool armed() const { return plan_.has_value(); }
+  bool crashed() const { return crashed_; }
+
+  // Simulates a fresh process image over the same on-disk state: the crash
+  // latch clears and no plan is armed (recovery itself is not re-killed
+  // unless a test arms a new plan).
+  void Reset() {
+    plan_.reset();
+    crashed_ = false;
+    matching_hits_ = 0;
+  }
+
+  // Called by the persist layer when execution reaches `site` for
+  // `session_id`'s stream. Returns true exactly when the armed plan fires;
+  // the caller then models the death (torn write, lost buffer, ...).
+  bool ShouldCrash(CrashPoint site, const std::string& session_id) {
+    ++metrics_.site_hits;
+    if (crashed_ || !plan_.has_value() || plan_->point != site) {
+      return false;
+    }
+    if (!plan_->session_filter.empty() &&
+        plan_->session_filter != session_id) {
+      return false;
+    }
+    ++metrics_.matching_hits;
+    if (matching_hits_++ < plan_->after_events) {
+      return false;
+    }
+    crashed_ = true;
+    ++metrics_.crashes;
+    return true;
+  }
+
+  const ProcessFaultMetrics& metrics() const { return metrics_; }
+
+ private:
+  std::optional<CrashPlan> plan_;
+  uint64_t matching_hits_ = 0;
+  bool crashed_ = false;
+  ProcessFaultMetrics metrics_;
 };
 
 }  // namespace rcb

@@ -1,0 +1,95 @@
+#include "src/persist/frame.h"
+
+#include <array>
+
+namespace rcb {
+namespace persist {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  out->push_back(static_cast<char>(value & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+uint32_t ReadU32(std::string_view data, size_t offset) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(data[offset])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[offset + 1]))
+             << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[offset + 2]))
+             << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(data[offset + 3]))
+             << 24;
+}
+
+void AppendFrame(std::string* out, uint8_t type, std::string_view payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+  std::string covered;
+  covered.reserve(payload.size() + 1);
+  covered.push_back(static_cast<char>(type));
+  covered.append(payload);
+  AppendU32(out, Crc32(covered));
+}
+
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 9);
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+StatusOr<Frame> ReadFrame(std::string_view data, size_t* offset) {
+  if (*offset == data.size()) {
+    return OutOfRangeError("end of stream");
+  }
+  if (data.size() - *offset < 4) {
+    return AbortedError("torn frame: truncated length prefix");
+  }
+  uint32_t len = ReadU32(data, *offset);
+  if (len > kMaxFramePayload) {
+    return AbortedError("corrupt frame: payload length out of bounds");
+  }
+  size_t total = 4 + 1 + static_cast<size_t>(len) + 4;
+  if (data.size() - *offset < total) {
+    return AbortedError("torn frame: truncated payload");
+  }
+  Frame frame;
+  frame.type = static_cast<uint8_t>(data[*offset + 4]);
+  frame.payload = std::string(data.substr(*offset + 5, len));
+  uint32_t stored = ReadU32(data, *offset + 5 + len);
+  uint32_t computed = Crc32(data.substr(*offset + 4, 1 + len));
+  if (stored != computed) {
+    return AbortedError("corrupt frame: CRC mismatch");
+  }
+  *offset += total;
+  return frame;
+}
+
+}  // namespace persist
+}  // namespace rcb

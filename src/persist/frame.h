@@ -1,0 +1,56 @@
+// Integrity-checked binary framing shared by the checkpoint and WAL codecs
+// (DESIGN.md §13).
+//
+// Every persistent record travels in one frame:
+//
+//   [u32 payload_len][u8 type][payload bytes][u32 crc32(type || payload)]
+//
+// all integers little-endian. The CRC covers the type byte and the payload,
+// so a bit flip anywhere inside the frame — or a torn write that truncates
+// it — is detected at read time. Readers distinguish "clean end of stream"
+// (offset exactly at the end) from "torn tail" (bytes remain but no whole
+// valid frame does); the recovery ladder discards torn tails, never whole
+// files, on that signal.
+#ifndef SRC_PERSIST_FRAME_H_
+#define SRC_PERSIST_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace rcb {
+namespace persist {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+uint32_t Crc32(std::string_view data);
+
+// Frames payloads larger than this are rejected at read time: a corrupt
+// length prefix must not drive a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFramePayload = 64u * 1024 * 1024;
+
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+// Appends one encoded frame to `out`.
+void AppendFrame(std::string* out, uint8_t type, std::string_view payload);
+std::string EncodeFrame(uint8_t type, std::string_view payload);
+
+// Reads the frame starting at `*offset`, advancing `*offset` past it on
+// success. Errors:
+//   kOutOfRange — *offset is exactly the end (clean end of stream),
+//   kAborted    — torn (truncated mid-frame) or corrupt (CRC or length-bound
+//                 violation); *offset is unchanged.
+StatusOr<Frame> ReadFrame(std::string_view data, size_t* offset);
+
+// Little-endian integer helpers used by both codecs.
+void AppendU32(std::string* out, uint32_t value);
+uint32_t ReadU32(std::string_view data, size_t offset);
+
+}  // namespace persist
+}  // namespace rcb
+
+#endif  // SRC_PERSIST_FRAME_H_

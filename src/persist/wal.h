@@ -1,0 +1,84 @@
+// Append-only session write-ahead log (DESIGN.md §13).
+//
+// File layout:
+//
+//   "RCBWAL01"                                  8-byte magic + version
+//   frame kHeader      session id, epoch, base document version
+//   frame k*           one per logged transition, in commit order
+//
+// The header's epoch must match the checkpoint the log extends; a WAL left
+// over from an older generation (its checkpoint already superseded it) is
+// discarded whole. Records after the header are replayed until the first
+// torn or corrupt frame — everything from that frame on is the discarded
+// tail. Tail discard loses only transitions that were never durably acked,
+// so recovery stays consistent with what participants observed.
+//
+// kAction records are an audit trail, not a redo log: actions are already
+// folded into the document the checkpoint captured, and replaying one that
+// navigates would fire async page loads during recovery. Replay uses
+// kDocVersion / kSeq / kJoin / kLeave to rebuild the roster's anti-replay
+// state; actions logged after the last checkpoint are surfaced as a loss
+// count instead.
+#ifndef SRC_PERSIST_WAL_H_
+#define SRC_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/actions.h"
+#include "src/util/status.h"
+
+namespace rcb {
+namespace persist {
+
+inline constexpr char kWalMagic[] = "RCBWAL01";  // 8 bytes, v1
+
+enum class WalRecordType : uint8_t {
+  kHeader = 1,
+  kDocVersion = 2,  // document advanced to doc_time_ms
+  kSeq = 3,         // pid's anti-replay high-water mark advanced to seq
+  kAction = 4,      // audit: pid's action was merged
+  kJoin = 5,        // pid entered the roster
+  kLeave = 6,       // pid left the roster (goodbye or reap)
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kDocVersion;
+  int64_t doc_time_ms = 0;  // kDocVersion
+  std::string pid;          // kSeq, kAction, kJoin, kLeave
+  uint64_t seq = 0;         // kSeq
+  UserAction action;        // kAction
+
+  bool operator==(const WalRecord&) const = default;
+};
+
+// The whole file prefix a fresh log starts with: magic + header frame.
+std::string EncodeWalFileHeader(const std::string& session_id, uint64_t epoch,
+                                int64_t base_doc_time_ms);
+
+// One encoded frame, ready to append to an open log.
+std::string EncodeWalRecord(const WalRecord& record);
+
+struct WalReplay {
+  std::string session_id;
+  uint64_t epoch = 0;
+  int64_t base_doc_time_ms = 0;
+  std::vector<WalRecord> records;
+  // True when a torn or corrupt frame cut the scan short; `records` holds
+  // everything before it and `bytes_replayed` is where the valid prefix ends.
+  bool tail_discarded = false;
+  size_t bytes_replayed = 0;
+};
+
+// Decodes a WAL file. kAborted means the file is unusable as a unit (bad
+// magic, bad or missing header) — per the recovery ladder the caller keeps
+// the checkpoint and drops the log. A torn tail is NOT an error: it comes
+// back as tail_discarded with the valid prefix intact.
+StatusOr<WalReplay> DecodeWal(std::string_view bytes);
+
+}  // namespace persist
+}  // namespace rcb
+
+#endif  // SRC_PERSIST_WAL_H_

@@ -73,6 +73,22 @@ std::string Rng::NextBytes(size_t n) {
   return out;
 }
 
+uint64_t StableHash64(std::string_view data, uint64_t seed) {
+  uint64_t hash = 0xcbf29ce484222325ULL ^ seed;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  // One final avalanche round (splitmix64 tail) so short keys that differ in
+  // one trailing character still land far apart.
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ULL;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebULL;
+  hash ^= hash >> 31;
+  return hash;
+}
+
 std::string Rng::NextToken(size_t n) {
   static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
   std::string out;

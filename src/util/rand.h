@@ -6,8 +6,15 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace rcb {
+
+// Stable 64-bit FNV-1a hash of `data`, folded with `seed`. Deterministic
+// across runs and platforms — used wherever a value must be *spread* but
+// reproducible (Retry-After jitter keyed by participant id, restart-storm
+// admission slots keyed by session id).
+uint64_t StableHash64(std::string_view data, uint64_t seed = 0);
 
 class Rng {
  public:

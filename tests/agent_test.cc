@@ -735,6 +735,8 @@ TEST_F(AgentTest, PollTokenBucketRefillsOverTime) {
   AgentConfig config;
   config.limits.poll_rate_per_sec = 1.0;
   config.limits.poll_burst = 1.0;
+  // This test pins the exact whole-second hint; jitter has its own coverage.
+  config.limits.retry_after_jitter = Duration::Zero();
   StartAgent(config);
   HostNavigate();
   PollRequest poll;

@@ -1,12 +1,23 @@
 // Tests for RcbHost (src/host): session registry lifecycle, cross-session
 // isolation, shared-cache accounting, host-level admission control, the
-// front-door router, and the generate-once broadcast proof metrics.
+// front-door router, the generate-once broadcast proof metrics, and the
+// crash-recovery machinery (DESIGN.md §13): checkpoint/WAL durability,
+// supervised recovery-on-start, signed-resume reconnection, per-session
+// degradation of corrupt files, and restart-storm admission staggering.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <set>
+
 #include "src/core/ajax_snippet.h"
+#include "src/crypto/hmac.h"
+#include "src/delta/tree_diff.h"
 #include "src/host/rcb_host.h"
 #include "src/html/parser.h"
+#include "src/net/fault_injector.h"
 #include "src/sites/site_server.h"
+#include "src/util/rand.h"
 
 namespace rcb {
 namespace {
@@ -296,6 +307,8 @@ TEST_F(HostTest, SessionCapShedsWith503AndRetryAfter) {
   HostConfig config;
   config.limits.max_sessions = 2;
   config.limits.retry_after = Duration::Seconds(3.0);
+  // This test pins the exact hint; the jitter spread has its own test below.
+  config.limits.retry_after_jitter = Duration::Zero();
   auto host = MakeHost(std::move(config));
 
   ASSERT_TRUE(host->CreateSession("s1").ok());
@@ -459,6 +472,446 @@ TEST_F(HostTest, LiteSessionsSkipPerSessionFamiliesButCountInAggregates) {
   ASSERT_TRUE(host->CloseSession("full").ok());
   rendered = host->metrics_registry().RenderPrometheus();
   EXPECT_EQ(rendered.find("session=\"full\""), std::string::npos);
+}
+
+// ------------------------------------------------ durability & recovery ----
+//
+// DESIGN.md §13: checkpoint/WAL persistence, crash-point chaos, supervised
+// recovery-on-start, signed-resume reconnection, per-session degradation of
+// corrupt files, and restart-storm admission staggering.
+
+namespace fs = std::filesystem;
+
+std::string MakeHostPersistDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("rcb_host_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string CanonicalDigest(const Document& document) {
+  return delta::TreeDigest(*delta::CanonicalizeDocument(document));
+}
+
+// Every shed creator gets a deterministic per-key jitter on its Retry-After
+// hint, so a thundering herd of rejected creates does not retry in lockstep.
+TEST_F(HostTest, RetryAfterJitterSpreadsShedCreators) {
+  HostConfig config;
+  config.limits.max_sessions = 1;
+  config.limits.retry_after = Duration::Seconds(1.0);
+  // retry_after_jitter keeps its 3s default: hints land in [1s, 4s].
+  auto host = MakeHost(std::move(config));
+  ASSERT_TRUE(host->CreateSession("only").ok());
+
+  auto shed_hint = [&](const std::string& id) {
+    HttpRequest request;
+    request.method = HttpMethod::kPost;
+    request.target = "/host/sessions?id=" + id;
+    HttpResponse response = host->Route(request);
+    EXPECT_EQ(response.status_code, 503) << id;
+    auto hint = response.RetryAfter();
+    EXPECT_TRUE(hint.has_value()) << id;
+    return hint.value_or(Duration::Zero());
+  };
+
+  std::set<int64_t> distinct;
+  for (int i = 0; i < 12; ++i) {
+    Duration hint = shed_hint("shed-" + std::to_string(i));
+    EXPECT_GE(hint, Duration::Seconds(1.0));
+    EXPECT_LE(hint, Duration::Seconds(4.0));
+    distinct.insert(hint.millis());
+  }
+  // The jitter actually spreads the herd...
+  EXPECT_GE(distinct.size(), 2u);
+  // ...and is a pure function of the key: the same creator always gets the
+  // same hint (determinism is the repo's core invariant).
+  EXPECT_EQ(shed_hint("shed-0").millis(), shed_hint("shed-0").millis());
+}
+
+// The flagship crash-recovery scenario: three live sessions with signed
+// participants, a process death injected mid WAL stream, a supervised restart
+// over the same directory, and every participant resuming over PR 1's signed
+// path — no full rejoin, anti-replay intact, documents bit-identical.
+TEST_F(HostTest, CrashedHostRecoversSessionsAndParticipantsResumeSigned) {
+  const std::string dir = MakeHostPersistDir("flagship");
+  ProcessFaultInjector faults;
+  const std::vector<std::string> ids = {"s1", "s2", "s3"};
+
+  auto make_config = [&] {
+    HostConfig config;
+    config.persist.dir = dir;
+    config.process_faults = &faults;
+    config.recovery_storm_window = Duration::Zero();
+    return config;
+  };
+
+  auto host = MakeHost(make_config());
+  std::map<std::string, std::unique_ptr<Participant>> participants;
+  std::map<std::string, uint16_t> ports;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const std::string& id = ids[i];
+    AgentConfig agent_config;
+    agent_config.session_key = "key-" + id;
+    auto session = host->CreateSession(id, agent_config);
+    ASSERT_TRUE(session.ok()) << session.status();
+    ports[id] = (*session)->port;
+    SetSessionDoc(*session, "Doc " + id, "<p id=\"status\">v1 " + id + "</p>");
+
+    SnippetConfig snippet_config;
+    snippet_config.session_key = "key-" + id;
+    snippet_config.poll_timeout = Duration::Millis(400);
+    snippet_config.backoff_base = Duration::Millis(100);
+    snippet_config.backoff_max = Duration::Millis(400);
+    snippet_config.reconnect_after = 2;
+    participants[id] =
+        JoinSession(*session, static_cast<int>(i) + 1, snippet_config);
+    WaitForContent(participants[id].get());
+  }
+
+  // Advance every session to a second document version, make it durable,
+  // and record the canonical digests recovery must reproduce exactly.
+  std::map<std::string, std::string> want_host_digest;
+  std::map<std::string, std::string> want_participant_digest;
+  for (const std::string& id : ids) {
+    SetSessionDoc(host->FindSession(id), "Doc " + id + " v2",
+                  "<p id=\"status\">v2 " + id + "</p>");
+  }
+  for (const std::string& id : ids) {
+    WaitForContent(participants[id].get(), 2);
+  }
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(host->CheckpointSession(id).ok());
+    want_host_digest[id] =
+        CanonicalDigest(*host->FindSession(id)->browser->document());
+    want_participant_digest[id] =
+        CanonicalDigest(*participants[id]->browser->document());
+  }
+
+  // Kill the process mid WAL stream: the next signed poll's anti-replay
+  // append is durable, the ack may not be — the classic WAL-ahead gap.
+  faults.Arm({CrashPoint::kAfterWalAppend, 0, ""});
+  ASSERT_TRUE(loop_.RunUntilCondition([&] { return faults.crashed(); }));
+  EXPECT_EQ(faults.metrics().crashes, 1u);
+  host.reset();  // the dead image: nothing after the kill reaches disk
+
+  // The participants poll into the dead ports, fail, back off, and attempt
+  // signed resumes that also fail — the storm a real restart faces.
+  loop_.RunFor(Duration::Seconds(2.0));
+  for (auto& [id, participant] : participants) {
+    EXPECT_GE(participant->snippet->metrics().transport_failures, 1u) << id;
+  }
+
+  // A fresh process image over the same directory recovers every session.
+  faults.Reset();
+  auto restarted = MakeHost(make_config());
+  EXPECT_EQ(restarted->metrics().sessions_recovered, 3u);
+  EXPECT_EQ(restarted->metrics().sessions_unrecoverable, 0u);
+  EXPECT_GE(restarted->flight_recorder().triggers("host_recovery"), 3u);
+  for (const std::string& id : ids) {
+    HostSession* session = restarted->FindSession(id);
+    ASSERT_NE(session, nullptr) << id;
+    EXPECT_TRUE(session->recovered) << id;
+    // Same port as before the crash, so the participants' resume URLs and
+    // the signed handshake stay valid.
+    EXPECT_EQ(session->port, ports[id]) << id;
+    EXPECT_EQ(CanonicalDigest(*session->browser->document()),
+              want_host_digest[id])
+        << id;
+  }
+
+  // Every participant resumes over the signed path and resyncs in full.
+  ASSERT_TRUE(loop_.RunUntilCondition([&] {
+    for (auto& [id, participant] : participants) {
+      const SnippetMetrics& m = participant->snippet->metrics();
+      if (m.reconnects < 1 || m.resyncs < 1) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  for (const std::string& id : ids) {
+    const AgentMetrics& agent = restarted->FindSession(id)->agent->metrics();
+    EXPECT_EQ(agent.new_connections, 0u) << id;  // nobody rejoined from scratch
+    EXPECT_GE(agent.reconnects, 1u) << id;
+    EXPECT_EQ(CanonicalDigest(*participants[id]->browser->document()),
+              want_participant_digest[id])
+        << id;
+  }
+
+  // Anti-replay survived the crash: a replayed signed poll with a long
+  // superseded seq is still rejected by the recovered agent.
+  {
+    const std::string& id = ids[0];
+    PollRequest replay;
+    replay.participant_id = participants[id]->snippet->participant_id();
+    replay.doc_time_ms = -1;
+    replay.seq = 1;
+    replay.resync = true;
+    std::string body = EncodePollRequest(replay);
+    std::string mac = HmacSha256Hex("key-" + id, "POST /\n" + body);
+    Browser prober(&loop_, &network_, "p-pc-8");
+    FetchResult result;
+    bool done = false;
+    prober.Fetch(HttpMethod::kPost,
+                 Url::Make("http", "host-pc", ports[id], "/", "hmac=" + mac),
+                 body, "application/x-www-form-urlencoded",
+                 [&](FetchResult fetched) {
+                   result = std::move(fetched);
+                   done = true;
+                 });
+    ASSERT_TRUE(loop_.RunUntilCondition([&] { return done; }));
+    ASSERT_TRUE(result.status.ok()) << result.status;
+    EXPECT_EQ(result.response.status_code, 403);
+  }
+
+  // Recovery is first-class on the operator surfaces.
+  HttpRequest status_request;
+  status_request.method = HttpMethod::kGet;
+  status_request.target = "/host/status";
+  HttpResponse status_response = restarted->Route(status_request);
+  EXPECT_EQ(status_response.status_code, 200);
+  EXPECT_NE(status_response.body.find("persist: recovered 3"),
+            std::string::npos)
+      << status_response.body;
+
+  obs::RenderOptions options;
+  options.include_wall = false;
+  std::string rendered =
+      restarted->metrics_registry().RenderPrometheus(options);
+  EXPECT_NE(rendered.find("rcb_host_recovered_sessions_total 3"),
+            std::string::npos)
+      << rendered;
+  for (const char* family :
+       {"rcb_persist_checkpoints_written_total", "rcb_persist_wal_records_total",
+        "rcb_persist_wal_truncations_total", "rcb_persist_torn_writes_total"}) {
+    EXPECT_NE(rendered.find(family), std::string::npos) << family;
+  }
+}
+
+// Crash-recovery equivalence: the same scripted mutation schedule, run once
+// uncrashed and once with a mid-run crash + recovery (re-driving the steps
+// the recovered data-k marker shows were lost), lands on bit-identical
+// canonical DOM digests — host document and participant document alike.
+TEST_F(HostTest, CrashRecoveryRunMatchesUncrashedDigests) {
+  constexpr int kSteps = 4;
+  auto apply_step = [](Browser* browser, int step) {
+    browser->MutateDocument([&](Document* document) {
+      Element* status = document->ById("status");
+      ASSERT_NE(status, nullptr);
+      status->RemoveAllChildren();
+      status->AppendChild(MakeText("step " + std::to_string(step)));
+      auto div = MakeElement("div");
+      div->SetAttribute("id", "m" + std::to_string(step));
+      div->AppendChild(MakeText("mutation " + std::to_string(step)));
+      document->body()->AppendChild(std::move(div));
+      // The marker names the last applied step, so a recovered document
+      // tells the driver exactly which steps to re-drive.
+      document->body()->SetAttribute("data-k", std::to_string(step));
+    });
+  };
+
+  // Control: the uncrashed run.
+  std::string control_host_digest;
+  std::string control_participant_digest;
+  {
+    auto host = MakeHost();
+    auto session = host->CreateSession("equiv");
+    ASSERT_TRUE(session.ok()) << session.status();
+    SetSessionDoc(*session, "Equiv", "<p id=\"status\">start</p>");
+    auto participant = JoinSession(*session, 1);
+    WaitForContent(participant.get());
+    for (int step = 1; step <= kSteps; ++step) {
+      apply_step((*session)->browser.get(), step);
+      WaitForContent(participant.get(), 1 + static_cast<uint64_t>(step));
+    }
+    control_host_digest = CanonicalDigest(*(*session)->browser->document());
+    control_participant_digest =
+        CanonicalDigest(*participant->browser->document());
+  }
+
+  // The crashed run: checkpoint after step 2, die with steps 3+ buffered but
+  // never flushed, recover, re-drive from the marker, converge.
+  const std::string dir = MakeHostPersistDir("equiv_crash");
+  ProcessFaultInjector faults;
+  auto make_config = [&] {
+    HostConfig config;
+    config.persist.dir = dir;
+    config.process_faults = &faults;
+    config.recovery_storm_window = Duration::Zero();
+    return config;
+  };
+  auto host = MakeHost(make_config());
+  auto session = host->CreateSession("equiv");
+  ASSERT_TRUE(session.ok()) << session.status();
+  SetSessionDoc(*session, "Equiv", "<p id=\"status\">start</p>");
+  SnippetConfig snippet_config;
+  snippet_config.poll_timeout = Duration::Millis(400);
+  snippet_config.backoff_base = Duration::Millis(100);
+  snippet_config.backoff_max = Duration::Millis(400);
+  snippet_config.reconnect_after = 2;
+  auto participant = JoinSession(*session, 1, snippet_config);
+  WaitForContent(participant.get());
+
+  apply_step((*session)->browser.get(), 1);
+  WaitForContent(participant.get(), 2);
+  apply_step((*session)->browser.get(), 2);
+  WaitForContent(participant.get(), 3);
+  ASSERT_TRUE(host->CheckpointSession("equiv").ok());
+
+  faults.Arm({CrashPoint::kBeforeWalFlush, 0, ""});
+  apply_step((*session)->browser.get(), 3);
+  ASSERT_TRUE(loop_.RunUntilCondition([&] { return faults.crashed(); }));
+  host.reset();
+  loop_.RunFor(Duration::Seconds(1.0));
+
+  faults.Reset();
+  host = MakeHost(make_config());
+  ASSERT_EQ(host->metrics().sessions_recovered, 1u);
+  HostSession* recovered = host->FindSession("equiv");
+  ASSERT_NE(recovered, nullptr);
+  // kBeforeWalFlush lost the buffered records outright, so recovery saw no
+  // post-checkpoint doc versions at all.
+  EXPECT_EQ(host->metrics().doc_versions_lost, 0u);
+
+  std::string marker =
+      recovered->browser->document()->body()->AttrOr("data-k");
+  EXPECT_EQ(marker, "2");  // the durable state is exactly the checkpoint
+  int last_applied = marker.empty() ? 0 : std::stoi(marker);
+  for (int step = last_applied + 1; step <= kSteps; ++step) {
+    apply_step(recovered->browser.get(), step);
+  }
+
+  ASSERT_TRUE(loop_.RunUntilCondition([&] {
+    return participant->browser->document()->body()->AttrOr("data-k") ==
+           std::to_string(kSteps);
+  }));
+  EXPECT_EQ(CanonicalDigest(*recovered->browser->document()),
+            control_host_digest);
+  EXPECT_EQ(CanonicalDigest(*participant->browser->document()),
+            control_participant_digest);
+  EXPECT_GE(participant->snippet->metrics().reconnects, 1u);
+}
+
+// The recovery ladder's last rung degrades exactly the damaged session:
+// corrupt files are quarantined, healthy siblings recover, and the host
+// itself keeps serving.
+TEST_F(HostTest, CorruptFilesDegradeTheSessionNeverTheHost) {
+  const std::string dir = MakeHostPersistDir("corrupt");
+  auto make_config = [&] {
+    HostConfig config;
+    config.persist.dir = dir;
+    config.recovery_storm_window = Duration::Zero();
+    return config;
+  };
+  auto host = MakeHost(make_config());
+  for (const char* id : {"keeper", "victim"}) {
+    auto session = host->CreateSession(id);
+    ASSERT_TRUE(session.ok()) << session.status();
+    SetSessionDoc(*session, std::string("Doc ") + id);
+  }
+  host.reset();  // clean Stop: final checkpoint per session, files kept
+
+  // Flip one byte in the middle of victim's checkpoint, and smear a torn
+  // half-frame onto the tail of keeper's (truncated) log.
+  const std::string victim_ckpt = dir + "/victim.ckpt";
+  {
+    std::ifstream in(victim_ckpt, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+    std::ofstream out(victim_ckpt, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    std::ofstream out(dir + "/keeper.wal", std::ios::binary | std::ios::app);
+    const char torn[] = {0x20, 0x00, 0x00, 0x00, 0x02, 'h', 'a'};
+    out.write(torn, sizeof(torn));
+  }
+
+  auto restarted = MakeHost(make_config());
+  EXPECT_EQ(restarted->metrics().sessions_recovered, 1u);
+  EXPECT_EQ(restarted->metrics().sessions_unrecoverable, 1u);
+  EXPECT_GE(restarted->metrics().wal_tails_discarded, 1u);
+  EXPECT_NE(restarted->FindSession("keeper"), nullptr);
+  EXPECT_EQ(restarted->FindSession("victim"), nullptr);
+  EXPECT_GE(restarted->persist_counters().checkpoints_rejected, 1u);
+  EXPECT_GE(restarted->persist_counters().wal_tail_discards, 1u);
+  // Quarantine moved the rejected files aside for post-mortem.
+  EXPECT_TRUE(fs::exists(victim_ckpt + ".corrupt"));
+  EXPECT_FALSE(fs::exists(victim_ckpt));
+
+  // The host itself is healthy: the front door answers and new sessions
+  // (including the quarantined id) are admitted.
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  request.target = "/host/status";
+  HttpResponse response = restarted->Route(request);
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_NE(response.body.find("unrecoverable 1"), std::string::npos)
+      << response.body;
+  EXPECT_TRUE(restarted->CreateSession("victim").ok());
+}
+
+// Recovered sessions stagger their pollers' readmission across the storm
+// window: before its slot a known participant sheds with 503 + jittered
+// Retry-After through the overload layer, after it everyone converges.
+TEST_F(HostTest, RecoveryStormStaggersResyncAdmission) {
+  const Duration window = Duration::Seconds(10.0);
+  // The slot is StableHash64(id) % (window_ms + 1); pick an id (statically,
+  // from a deterministic candidate list) whose slot is deep enough inside
+  // the window that deferrals are observable before it opens.
+  std::string id;
+  for (const char* candidate : {"storm-a", "storm-b", "storm-c", "storm-d"}) {
+    if (StableHash64(candidate) % 10001 > 2500) {
+      id = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(id.empty());
+
+  const std::string dir = MakeHostPersistDir("storm");
+  auto make_config = [&](Duration storm_window) {
+    HostConfig config;
+    config.persist.dir = dir;
+    config.recovery_storm_window = storm_window;
+    return config;
+  };
+  auto host = MakeHost(make_config(Duration::Zero()));
+  auto session = host->CreateSession(id);
+  ASSERT_TRUE(session.ok()) << session.status();
+  SetSessionDoc(*session, "Storm", "<p id=\"status\">v1</p>");
+  SnippetConfig snippet_config;
+  snippet_config.poll_timeout = Duration::Millis(400);
+  snippet_config.backoff_base = Duration::Millis(100);
+  snippet_config.backoff_max = Duration::Millis(400);
+  auto participant = JoinSession(*session, 1, snippet_config);
+  WaitForContent(participant.get());
+  host.reset();  // clean shutdown: roster and document checkpointed
+
+  host = MakeHost(make_config(window));
+  const SimTime recovered_at = loop_.now();
+  ASSERT_EQ(host->metrics().sessions_recovered, 1u);
+  HostSession* recovered = host->FindSession(id);
+  ASSERT_NE(recovered, nullptr);
+
+  // Until the slot opens, the restored participant's polls shed.
+  ASSERT_TRUE(loop_.RunUntilCondition([&] {
+    return recovered->agent->metrics().recovery_deferrals >= 1;
+  }));
+  // ...and the shed poll reaches the snippet as an overload deferral (one
+  // link RTT later), slowing its loop by the jittered hint.
+  ASSERT_TRUE(loop_.RunUntilCondition([&] {
+    return participant->snippet->metrics().overload_deferrals >= 1;
+  }));
+
+  // After the slot the participant is admitted and tracks new versions —
+  // and only after it: admission cannot precede the session's slot.
+  SetSessionDoc(recovered, "Storm v2", "<p id=\"status\">v2</p>");
+  ASSERT_TRUE(loop_.RunUntilCondition([&] {
+    return participant->browser->document()->Title() == "Storm v2";
+  }));
+  EXPECT_GE(loop_.now() - recovered_at, Duration::Millis(2500));
 }
 
 }  // namespace

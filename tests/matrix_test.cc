@@ -3,8 +3,12 @@
 // count must produce a correct synchronized session on a corpus site.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <filesystem>
+
 #include "src/core/ajax_snippet.h"
 #include "src/core/session.h"
+#include "src/delta/tree_diff.h"
 #include "src/host/rcb_host.h"
 #include "src/html/parser.h"
 #include "src/net/fault_injector.h"
@@ -319,6 +323,366 @@ INSTANTIATE_TEST_SUITE_P(
                       HostChaosCase{"Wan", FaultEvent::Kind::kReset},
                       HostChaosCase{"Wan", FaultEvent::Kind::kPartition}),
     HostChaosCaseName);
+
+// ------------------------------------------- crash-recovery chaos matrix ---
+//
+// {every CrashPoint} x {LAN, WAN}: an RcbHost with three persisted sessions
+// is crash-injected on session 0's persistence stream (DESIGN.md §13),
+// restarted over the same directory, and must recover per the ladder —
+// while a second, unfaulted host on its own machine sails through the whole
+// cycle with zero recovery events. Two identical runs must produce
+// bit-identical counter + digest fingerprints.
+
+constexpr int kCrashSessions = 3;
+constexpr int kCrashParticipants = 2;
+
+struct CrashChaosCase {
+  const char* profile_name;  // "Lan" | "Wan"
+  CrashPoint point;
+};
+
+std::string CrashChaosCaseName(
+    const ::testing::TestParamInfo<CrashChaosCase>& info) {
+  std::string name = info.param.profile_name;
+  bool upper = true;
+  for (char c : std::string(CrashPointName(info.param.point))) {
+    if (c == '_') {
+      upper = true;
+      continue;
+    }
+    name += upper ? static_cast<char>(std::toupper(c)) : c;
+    upper = false;
+  }
+  return name;
+}
+
+std::string CrashDigest(const Document& document) {
+  return delta::TreeDigest(*delta::CanonicalizeDocument(document));
+}
+
+// One complete crash/restart/recovery cycle; returns the deterministic
+// fingerprint and runs the per-case recovery + independence assertions.
+std::string RunCrashRecoveryChaos(const CrashChaosCase& chaos) {
+  namespace fs = std::filesystem;
+  NetworkProfile profile =
+      std::string(chaos.profile_name) == "Wan" ? WanProfile() : LanProfile();
+  const bool swap_torn = chaos.point == CrashPoint::kTornCheckpointSwap;
+  const bool checkpoint_point =
+      swap_torn || chaos.point == CrashPoint::kTornCheckpointTmp;
+  const bool torn_tail = chaos.point == CrashPoint::kTornWalFrame ||
+                         chaos.point == CrashPoint::kPartialFlush;
+
+  // Fresh directory per case, wiped so both fingerprint runs start equal.
+  fs::path dir = fs::path(::testing::TempDir()) /
+                 (std::string("rcb_crash_chaos_") + chaos.profile_name + "_" +
+                  CrashPointName(chaos.point));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("host-pc", profile.host_interface);
+  network.AddHost("calm-pc", profile.host_interface);
+  for (int s = 0; s < kCrashSessions; ++s) {
+    for (int p = 0; p < kCrashParticipants; ++p) {
+      network.AddHost(ChaosMachine(s, p), profile.participant_interface);
+      network.SetLatency("host-pc", ChaosMachine(s, p),
+                         profile.host_participant_latency);
+    }
+  }
+  for (int p = 0; p < kCrashParticipants; ++p) {
+    network.AddHost(StrFormat("calm-pc-p%d", p),
+                    profile.participant_interface);
+    network.SetLatency("calm-pc", StrFormat("calm-pc-p%d", p),
+                       profile.host_participant_latency);
+  }
+
+  ProcessFaultInjector faults;
+  auto make_config = [&] {
+    HostConfig config;
+    config.agent_defaults.poll_interval = Duration::Millis(250);
+    config.persist.dir = dir.string();
+    config.process_faults = &faults;
+    config.recovery_storm_window = Duration::Zero();
+    return config;
+  };
+  auto host = std::make_unique<RcbHost>(&loop, &network, make_config());
+  EXPECT_TRUE(host->Start().ok());
+
+  // The unfaulted control: its own host machine, no persistence, never
+  // restarted — the crash cycle next door must not register here at all.
+  HostConfig calm_config;
+  calm_config.machine = "calm-pc";
+  calm_config.agent_defaults.poll_interval = Duration::Millis(250);
+  RcbHost calm_host(&loop, &network, calm_config);
+  EXPECT_TRUE(calm_host.Start().ok());
+  auto calm_session = calm_host.CreateSession("calm");
+  EXPECT_TRUE(calm_session.ok());
+  (*calm_session)
+      ->browser->ReplaceDocument(
+          ParseDocument("<html><head><title>Calm</title></head>"
+                        "<body><p id=\"status\">calm</p></body></html>"),
+          Url::Make("http", "calm-pc", (*calm_session)->port, "/doc"));
+
+  struct ChaosParticipant {
+    std::unique_ptr<Browser> browser;
+    std::unique_ptr<AjaxSnippet> snippet;
+  };
+  auto make_snippet_config = [](const std::string& key, uint64_t seed) {
+    SnippetConfig config;
+    config.session_key = key;
+    config.fetch_objects = false;
+    config.poll_timeout = Duration::Seconds(1.0);
+    config.reconnect_after = 2;
+    config.backoff_base = Duration::Millis(250);
+    config.backoff_max = Duration::Seconds(2.0);
+    config.backoff_jitter = Duration::Millis(100);
+    config.backoff_seed = seed;  // no retry stampedes
+    return config;
+  };
+
+  std::vector<uint16_t> ports(kCrashSessions);
+  std::vector<std::vector<ChaosParticipant>> participants(kCrashSessions);
+  std::vector<ChaosParticipant> calm_participants(kCrashParticipants);
+  size_t joined = 0;
+  for (int s = 0; s < kCrashSessions; ++s) {
+    AgentConfig agent_config;
+    agent_config.session_key = StrFormat("crash-key-%d", s);
+    auto session = host->CreateSession(StrFormat("crash-%d", s), agent_config);
+    EXPECT_TRUE(session.ok());
+    ports[s] = (*session)->port;
+    (*session)->browser->ReplaceDocument(
+        ParseDocument(StrFormat("<html><head><title>S%d</title></head>"
+                                "<body><p id=\"status\">v1</p></body></html>",
+                                s)),
+        Url::Make("http", "host-pc", ports[s], "/doc"));
+    participants[s].resize(kCrashParticipants);
+    for (int p = 0; p < kCrashParticipants; ++p) {
+      ChaosParticipant& participant = participants[s][p];
+      participant.browser =
+          std::make_unique<Browser>(&loop, &network, ChaosMachine(s, p));
+      participant.snippet = std::make_unique<AjaxSnippet>(
+          participant.browser.get(),
+          make_snippet_config(StrFormat("crash-key-%d", s),
+                              0x5EED + s * 16 + p));
+      participant.snippet->Join((*session)->agent->AgentUrl(),
+                                [&](Status status) {
+                                  EXPECT_TRUE(status.ok()) << status;
+                                  ++joined;
+                                });
+    }
+  }
+  for (int p = 0; p < kCrashParticipants; ++p) {
+    ChaosParticipant& participant = calm_participants[p];
+    participant.browser = std::make_unique<Browser>(
+        &loop, &network, StrFormat("calm-pc-p%d", p));
+    participant.snippet = std::make_unique<AjaxSnippet>(
+        participant.browser.get(), make_snippet_config("", 0xCA1A + p));
+    participant.snippet->Join((*calm_session)->agent->AgentUrl(),
+                              [&](Status status) {
+                                EXPECT_TRUE(status.ok()) << status;
+                                ++joined;
+                              });
+  }
+  EXPECT_TRUE(loop.RunUntilCondition([&] {
+    return joined ==
+           static_cast<size_t>((kCrashSessions + 1) * kCrashParticipants);
+  }));
+
+  // Everyone converges on a second version, which is then made durable —
+  // the state recovery must restore bit-for-bit.
+  for (int s = 0; s < kCrashSessions; ++s) {
+    host->FindSession(StrFormat("crash-%d", s))
+        ->browser->MutateDocument([&](Document* document) {
+          document->body()->SetAttribute("data-v", "2");
+        });
+  }
+  EXPECT_TRUE(loop.RunUntilCondition([&] {
+    for (auto& session_participants : participants) {
+      for (auto& participant : session_participants) {
+        if (participant.browser->document()->body()->AttrOr("data-v") != "2") {
+          return false;
+        }
+      }
+    }
+    return true;
+  }));
+  std::vector<std::string> durable_digest(kCrashSessions);
+  for (int s = 0; s < kCrashSessions; ++s) {
+    std::string id = StrFormat("crash-%d", s);
+    EXPECT_TRUE(host->CheckpointSession(id).ok());
+    durable_digest[s] =
+        CrashDigest(*host->FindSession(id)->browser->document());
+  }
+
+  // Arm the case's crash point against session 0's persistence stream only,
+  // drive traffic into it, and let the process die.
+  faults.Arm({chaos.point, 0, "crash-0"});
+  host->FindSession("crash-0")->browser->MutateDocument(
+      [&](Document* document) {
+        document->body()->SetAttribute("data-v", "3");
+      });
+  if (checkpoint_point) {
+    (void)host->CheckpointSession("crash-0");
+  }
+  EXPECT_TRUE(loop.RunUntilCondition([&] { return faults.crashed(); }));
+  EXPECT_EQ(faults.metrics().crashes, 1u);
+  host.reset();
+  loop.RunFor(Duration::Seconds(2.0));
+
+  // Restart over the same directory: the ladder decides per session.
+  faults.Reset();
+  host = std::make_unique<RcbHost>(&loop, &network, make_config());
+  EXPECT_TRUE(host->Start().ok());
+  EXPECT_EQ(host->metrics().sessions_recovered, swap_torn ? 2u : 3u);
+  EXPECT_EQ(host->metrics().sessions_unrecoverable, swap_torn ? 1u : 0u);
+  if (torn_tail) {
+    EXPECT_GE(host->persist_counters().wal_tail_discards, 1u);
+  } else {
+    EXPECT_EQ(host->persist_counters().wal_tail_discards, 0u);
+  }
+  if (swap_torn) {
+    EXPECT_GE(host->persist_counters().checkpoints_rejected, 1u);
+    EXPECT_EQ(host->FindSession("crash-0"), nullptr);
+  }
+
+  // Recovered sessions restore the durable digests bit-identical, and their
+  // participants come back over the signed-resume path — no full rejoin.
+  EXPECT_TRUE(loop.RunUntilCondition([&] {
+    for (int s = swap_torn ? 1 : 0; s < kCrashSessions; ++s) {
+      for (auto& participant : participants[s]) {
+        const SnippetMetrics& m = participant.snippet->metrics();
+        if (m.reconnects < 1 || m.resyncs < 1) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }));
+  for (int s = swap_torn ? 1 : 0; s < kCrashSessions; ++s) {
+    HostSession* session = host->FindSession(StrFormat("crash-%d", s));
+    EXPECT_NE(session, nullptr) << s;
+    if (session == nullptr) {
+      continue;
+    }
+    EXPECT_TRUE(session->recovered) << s;
+    EXPECT_EQ(session->port, ports[s]) << s;
+    EXPECT_EQ(CrashDigest(*session->browser->document()), durable_digest[s])
+        << s;
+    EXPECT_EQ(session->agent->metrics().new_connections, 0u) << s;
+    EXPECT_GE(session->agent->metrics().reconnects, 1u) << s;
+    for (auto& participant : participants[s]) {
+      EXPECT_EQ(CrashDigest(*participant.browser->document()),
+                durable_digest[s])
+          << s;
+    }
+  }
+  if (swap_torn) {
+    // The quarantined session's participants never got back in — and never
+    // fell back to an unauthenticated fresh join either.
+    for (auto& participant : participants[0]) {
+      EXPECT_EQ(participant.snippet->metrics().reconnects, 0u);
+    }
+  }
+
+  // The unfaulted host saw nothing: zero recovery events end to end.
+  EXPECT_EQ(calm_host.metrics().sessions_recovered, 0u);
+  EXPECT_EQ(calm_host.metrics().sessions_unrecoverable, 0u);
+  const AgentMetrics& calm_agent = (*calm_session)->agent->metrics();
+  EXPECT_EQ(calm_agent.reconnects, 0u);
+  EXPECT_EQ(calm_agent.resyncs, 0u);
+  EXPECT_EQ(calm_agent.poll_timeouts, 0u);
+  for (auto& participant : calm_participants) {
+    const SnippetMetrics& m = participant.snippet->metrics();
+    EXPECT_EQ(m.transport_failures, 0u);
+    EXPECT_EQ(m.poll_timeouts, 0u);
+    EXPECT_EQ(m.reconnects, 0u);
+    EXPECT_EQ(m.resyncs, 0u);
+    EXPECT_EQ(m.overload_deferrals, 0u);
+  }
+  // ...and it is still live: a post-cycle mutation reaches its pollers.
+  (*calm_session)->browser->MutateDocument([](Document* document) {
+    document->body()->SetAttribute("data-after", "1");
+  });
+  EXPECT_TRUE(loop.RunUntilCondition([&] {
+    for (auto& participant : calm_participants) {
+      if (participant.browser->document()->body()->AttrOr("data-after") !=
+          "1") {
+        return false;
+      }
+    }
+    return true;
+  }));
+
+  // The deterministic fingerprint: counters + digests from both hosts.
+  std::string fingerprint = StrFormat(
+      "host recovered=%llu unrecoverable=%llu tails=%llu rejected=%llu "
+      "ckpts=%llu wal_records=%llu torn=%llu\n",
+      static_cast<unsigned long long>(host->metrics().sessions_recovered),
+      static_cast<unsigned long long>(host->metrics().sessions_unrecoverable),
+      static_cast<unsigned long long>(
+          host->persist_counters().wal_tail_discards),
+      static_cast<unsigned long long>(
+          host->persist_counters().checkpoints_rejected),
+      static_cast<unsigned long long>(
+          host->persist_counters().checkpoints_written),
+      static_cast<unsigned long long>(host->persist_counters().wal_records),
+      static_cast<unsigned long long>(host->persist_counters().torn_writes));
+  for (int s = 0; s < kCrashSessions; ++s) {
+    HostSession* session = host->FindSession(StrFormat("crash-%d", s));
+    if (session == nullptr) {
+      fingerprint += StrFormat("s%d quarantined\n", s);
+    } else {
+      const AgentMetrics& agent = session->agent->metrics();
+      fingerprint += StrFormat(
+          "s%d recovered=%d reconnects=%llu resyncs=%llu new=%llu "
+          "digest=%s\n",
+          s, session->recovered ? 1 : 0,
+          static_cast<unsigned long long>(agent.reconnects),
+          static_cast<unsigned long long>(agent.resyncs),
+          static_cast<unsigned long long>(agent.new_connections),
+          CrashDigest(*session->browser->document()).c_str());
+    }
+    for (int p = 0; p < kCrashParticipants; ++p) {
+      const SnippetMetrics& m = participants[s][p].snippet->metrics();
+      fingerprint += StrFormat(
+          "s%d p%d failures=%llu reconnects=%llu resyncs=%llu digest=%s\n", s,
+          p, static_cast<unsigned long long>(m.transport_failures),
+          static_cast<unsigned long long>(m.reconnects),
+          static_cast<unsigned long long>(m.resyncs),
+          CrashDigest(*participants[s][p].browser->document()).c_str());
+    }
+  }
+  fingerprint += StrFormat(
+      "calm polls=%llu updates=%llu\n",
+      static_cast<unsigned long long>(calm_agent.polls_received),
+      static_cast<unsigned long long>(calm_agent.doc_updates));
+  return fingerprint;
+}
+
+class CrashRecoveryChaosTest
+    : public ::testing::TestWithParam<CrashChaosCase> {};
+
+TEST_P(CrashRecoveryChaosTest, RecoveryLadderHoldsAndUnfaultedSeeNothing) {
+  std::string first = RunCrashRecoveryChaos(GetParam());
+  std::string second = RunCrashRecoveryChaos(GetParam());
+  // Bit-identical crash recovery: the full fingerprint reproduces.
+  EXPECT_EQ(first, second) << "crash recovery diverged between runs";
+}
+
+std::vector<CrashChaosCase> AllCrashCases() {
+  std::vector<CrashChaosCase> cases;
+  for (const char* profile : {"Lan", "Wan"}) {
+    for (CrashPoint point : kAllCrashPoints) {
+      cases.push_back(CrashChaosCase{profile, point});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashChaos, CrashRecoveryChaosTest,
+                         ::testing::ValuesIn(AllCrashCases()),
+                         CrashChaosCaseName);
 
 }  // namespace
 }  // namespace rcb
