@@ -62,6 +62,9 @@ void BM_InnerHtmlSet(benchmark::State& state) {
 BENCHMARK(BM_InnerHtmlSet)->Arg(1)->Arg(12);
 
 // Full Fig. 3 pipeline against a live browser holding a corpus page.
+// Incremental serialization is pinned OFF so the series keeps measuring the
+// full per-generation cost across commits; the incremental path has its own
+// benchmark below and a dedicated artifact (bench_hotpath).
 void BM_ContentGeneration(benchmark::State& state) {
   const SiteSpec& spec = SiteByRangeIndex(state.range(0));
   EventLoop loop;
@@ -75,7 +78,9 @@ void BM_ContentGeneration(benchmark::State& state) {
                    [&](const Status&, const PageLoadStats&) { done = true; });
   loop.RunUntilCondition([&] { return done; });
 
-  ContentGenerator generator(&browser);
+  GeneratorTuning tuning;
+  tuning.incremental_serialize = false;
+  ContentGenerator generator(&browser, tuning);
   ContentGenOptions options;
   options.cache_mode = true;
   options.agent_url = Url::Make("http", "host-pc", 3000, "/");
@@ -86,6 +91,47 @@ void BM_ContentGeneration(benchmark::State& state) {
   state.SetLabel(spec.name);
 }
 BENCHMARK(BM_ContentGeneration)->Arg(1)->Arg(7)->Arg(12);
+
+// Same pipeline with the serialization cache warm and one single-field
+// update per iteration — the change-proportional path (docs/PERF_MODEL.md).
+void BM_ContentGenerationIncremental(benchmark::State& state) {
+  const SiteSpec& spec = SiteByRangeIndex(state.range(0));
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost(spec.host, {});
+  network.AddHost("host-pc", {});
+  auto server = InstallSite(&loop, &network, spec);
+  Browser browser(&loop, &network, "host-pc");
+  bool done = false;
+  browser.Navigate(Url::Make("http", spec.host, 80, "/"),
+                   [&](const Status&, const PageLoadStats&) { done = true; });
+  loop.RunUntilCondition([&] { return done; });
+  browser.MutateDocument([](Document* document) {
+    auto status = MakeElement("div");
+    status->SetAttribute("id", "bench-status");
+    status->AppendChild(MakeText("tick"));
+    document->body()->AppendChild(std::move(status));
+  });
+
+  ContentGenerator generator(&browser);  // defaults: incremental on
+  ContentGenOptions options;
+  options.cache_mode = true;
+  options.agent_url = Url::Make("http", "host-pc", 3000, "/");
+  generator.Generate(0, options);  // warm the cache
+  int64_t doc_time = 0;
+  for (auto _ : state) {
+    ++doc_time;
+    browser.MutateDocument([&](Document* document) {
+      Element* status = document->ById("bench-status");
+      status->RemoveAllChildren();
+      status->AppendChild(MakeText("tick " + std::to_string(doc_time)));
+    });
+    GenerationResult result = generator.Generate(doc_time, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_ContentGenerationIncremental)->Arg(1)->Arg(7)->Arg(12);
 
 void BM_SnapshotSerializeParse(benchmark::State& state) {
   const SiteSpec& spec = SiteByRangeIndex(state.range(0));

@@ -22,6 +22,7 @@ void ObjectCache::EnforceBudget(const std::string& keep) {
     total_bytes_ -= it->second.entry.body.size();
     evicted_bytes_ += it->second.entry.body.size();
     ++evictions_;
+    ++change_epoch_;
     key_to_url_.erase(it->second.entry.cache_key);
     by_url_.erase(it);
     lru_.pop_back();
@@ -31,6 +32,7 @@ void ObjectCache::EnforceBudget(const std::string& keep) {
 std::string ObjectCache::Put(const Url& url, std::string_view content_type,
                              std::string_view body) {
   std::string canonical = url.ToString();
+  ++change_epoch_;
   auto it = by_url_.find(canonical);
   if (it != by_url_.end()) {
     total_bytes_ -= it->second.entry.body.size();
@@ -98,6 +100,7 @@ void ObjectCache::Clear() {
   key_to_url_.clear();
   lru_.clear();
   total_bytes_ = 0;
+  ++change_epoch_;
 }
 
 }  // namespace rcb

@@ -61,6 +61,13 @@ class ObjectCache {
   uint64_t evictions() const { return evictions_; }
   uint64_t evicted_bytes() const { return evicted_bytes_; }
 
+  // Bumped whenever cache *contents* change (Put, eviction, Clear) — not by
+  // lookups, which only reorder the LRU list. The serialization cache folds
+  // this into its config fingerprint: cached rewritten spans embed
+  // /obj/<key> URLs, so they are only reusable while the mapping table is
+  // unchanged.
+  uint64_t change_epoch() const { return change_epoch_; }
+
  private:
   struct Slot {
     CacheEntry entry;
@@ -82,6 +89,7 @@ class ObjectCache {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t evicted_bytes_ = 0;
+  uint64_t change_epoch_ = 0;
 };
 
 }  // namespace rcb

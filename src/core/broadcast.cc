@@ -37,12 +37,15 @@ SnapshotBroadcast::Slot& SnapshotBroadcast::Refresh(
   const obs::TraceContext stage_ctx{trace_ctx.trace_id, gen_span_id};
   GenerationResult result = generator_->Generate(doc_time_ms, options);
   slot.snapshot = std::move(result.snapshot);
+  slot.escaped = std::move(result.escaped);
   SnapshotSerializeStats serialize_stats;
   {
     obs::WallSpan span(trace, "agent.generate.serialize", sim_now_us,
                        instruments_.stage_hist[5],
                        traced_gen ? &stage_ctx : nullptr);
-    slot.xml = SerializeSnapshotXml(slot.snapshot, &serialize_stats);
+    slot.xml = SerializeSnapshotXml(
+        slot.snapshot, &serialize_stats,
+        slot.escaped.has_content ? &slot.escaped : nullptr, nullptr);
   }
   slot.valid = true;
   if (options_.enable_delta) {

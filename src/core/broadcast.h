@@ -93,6 +93,11 @@ class SnapshotBroadcast {
   struct Slot {
     bool valid = false;
     Snapshot snapshot;
+    // Pre-escaped payload CDATA for `snapshot` (incremental generate path).
+    // Per-participant serializations (actions appended) splice these spans
+    // instead of re-escaping the whole page — the fan-out half of the
+    // serialization-cache win (docs/PERF_MODEL.md).
+    SnapshotEscaped escaped;
     std::string xml;  // the encoded bytes fanned out to matching pollers
     // --- Delta state (BroadcastOptions::enable_delta only) ---
     BaseVersion current;                      // materialization of `snapshot`

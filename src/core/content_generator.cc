@@ -5,6 +5,8 @@
 #include "src/browser/resources.h"
 #include "src/delta/tree_diff.h"
 #include "src/html/serializer.h"
+#include "src/util/escape.h"
+#include "src/util/rand.h"
 #include "src/util/strings.h"
 
 namespace rcb {
@@ -48,7 +50,11 @@ size_t AbsolutizeUrls(Element* clone_root, const Url& base) {
     }
     auto resolved = base.Resolve(value);
     if (resolved.ok()) {
-      element->SetAttribute(attr, resolved->ToStringWithFragment());
+      // KeepRev: the clone's revs must keep matching its source's so the
+      // serialization cache can key on them; everything this pass writes is
+      // a pure function of (source state, base URL), which the cache's
+      // config fingerprint covers.
+      element->SetAttributeKeepRev(attr, resolved->ToStringWithFragment());
       ++rewritten;
     }
     return true;
@@ -90,7 +96,8 @@ size_t RewriteCachedUrls(Element* clone_root, ObjectCache* cache,
     }
     Url object_url = Url::Make(agent_url.scheme(), agent_url.host(),
                                agent_url.port(), "/obj/" + entry->cache_key);
-    element->SetAttribute(attr, object_url.ToString());
+    // KeepRev: covered by the fingerprint's ObjectCache change_epoch term.
+    element->SetAttributeKeepRev(attr, object_url.ToString());
     ++rewritten;
     return true;
   });
@@ -103,16 +110,18 @@ size_t RewriteEventAttributes(Element* clone_root) {
       ContentGenerator::InteractiveElements(clone_root);
   for (size_t i = 0; i < interactive.size(); ++i) {
     Element* element = interactive[i];
-    element->SetAttribute("data-rcb-id", StrFormat("%zu", i));
+    // KeepRev throughout: the assigned id depends only on pre-order
+    // position, which the cache revalidates per hit via its id_base check.
+    element->SetAttributeKeepRev("data-rcb-id", StrFormat("%zu", i));
     const std::string& tag = element->tag_name();
     if (tag == "form") {
-      element->SetAttribute("onsubmit", "return rcbSubmit(this)");
+      element->SetAttributeKeepRev("onsubmit", "return rcbSubmit(this)");
     } else if (tag == "a") {
-      element->SetAttribute("onclick", "return rcbClick(this)");
+      element->SetAttributeKeepRev("onclick", "return rcbClick(this)");
     } else if (tag == "button") {
-      element->SetAttribute("onclick", "return rcbClick(this)");
+      element->SetAttributeKeepRev("onclick", "return rcbClick(this)");
     } else {
-      element->SetAttribute("onchange", "rcbFill(this)");
+      element->SetAttributeKeepRev("onchange", "rcbFill(this)");
     }
   }
   return interactive.size();
@@ -126,10 +135,77 @@ ElementPayload ExtractPayload(const Element& element) {
   return payload;
 }
 
+// Incremental flavour: innerHTML through the serialization cache, raw and
+// escaped in lockstep. `counter` is the pre-order data-rcb-id counter; the
+// caller has already counted `element` itself. The encoded prefix (tag +
+// attributes, no innerHTML) is escaped straight into the output and the
+// cache splices the children's escaped spans after it — no intermediate copy
+// of the page-sized escaped image. `raw_hint`/`escaped_hint` (optional,
+// in/out) carry the previous update's sizes so both strings are reserved
+// once instead of grown through reallocation.
+ElementPayload ExtractPayloadCached(const Element& element,
+                                    SerializeCache* cache,
+                                    uint64_t fingerprint, size_t* counter,
+                                    EscapedPayload* escaped,
+                                    size_t* raw_hint = nullptr,
+                                    size_t* escaped_hint = nullptr) {
+  ElementPayload payload;
+  payload.tag = element.tag_name();
+  payload.attributes = element.attributes();
+  if (raw_hint != nullptr && *raw_hint != 0) {
+    payload.inner_html.reserve(*raw_hint + *raw_hint / 8);
+    escaped->escaped.reserve(*escaped_hint + *escaped_hint / 8);
+  }
+  const std::string prefix = EncodeElementPayloadPrefix(payload);
+  JsEscapeAppend(prefix, &escaped->escaped);
+  cache->AppendChildrenHtml(element, fingerprint, counter,
+                            &payload.inner_html, &escaped->escaped);
+  escaped->raw_bytes = prefix.size() + payload.inner_html.size();
+  if (raw_hint != nullptr) {
+    *raw_hint = payload.inner_html.size();
+    *escaped_hint = escaped->escaped.size();
+  }
+  return payload;
+}
+
+// Interactive elements in `element`'s subtree including itself — used to
+// advance the data-rcb-id counter past html children the snapshot format
+// does not carry.
+size_t CountInteractive(const Element& element) {
+  size_t count = ContentGenerator::IsInteractive(element) ? 1 : 0;
+  element.ForEachElement([&count](const Element* descendant) {
+    if (ContentGenerator::IsInteractive(*descendant)) {
+      ++count;
+    }
+    return true;
+  });
+  return count;
+}
+
+// Everything outside the DOM that the rewritten clone bytes depend on; part
+// of the serialization-cache key (see serialize_cache.h). The filter term is
+// presence-only: AgentConfig installs the filter once at construction, so
+// its behaviour is constant per generator.
+uint64_t ConfigFingerprint(Browser* browser, const ContentGenOptions& options) {
+  std::string basis = options.agent_url.ToString();
+  basis += '\x1f';
+  basis += browser->current_url().ToString();
+  basis += '\x1f';
+  basis += options.cache_mode ? '1' : '0';
+  basis += options.cache_object_filter ? 'F' : '-';
+  if (options.cache_mode) {
+    // Cached spans embed /obj/<key> URLs; any mapping-table change must
+    // re-key them. Non-cache-mode output never reads the object cache.
+    basis += StrFormat("%llu", static_cast<unsigned long long>(
+                                   browser->cache().change_epoch()));
+  }
+  return StableHash64(basis);
+}
+
 }  // namespace
 
 GenerationResult ContentGenerator::Generate(int64_t doc_time_ms,
-                                            const ContentGenOptions& options) const {
+                                            const ContentGenOptions& options) {
   auto start = std::chrono::steady_clock::now();
   auto stage_start = start;
   auto end_stage = [&stage_start]() {
@@ -150,7 +226,14 @@ GenerationResult ContentGenerator::Generate(int64_t doc_time_ms,
   }
 
   // Step 1: clone the documentElement; everything below mutates the clone.
-  std::unique_ptr<Node> clone_owned = document->document_element()->Clone();
+  // The clone's nodes come from the generator's arena (freed wholesale at the
+  // end of this call); only the Clone itself allocates nodes, so the scope
+  // covers just it.
+  std::unique_ptr<Node> clone_owned;
+  {
+    ArenaScope arena_scope(&arena_);
+    clone_owned = document->document_element()->Clone();
+  }
   Element* clone = clone_owned->AsElement();
   result.stage_clone = end_stage();
 
@@ -169,29 +252,96 @@ GenerationResult ContentGenerator::Generate(int64_t doc_time_ms,
   result.interactive_elements = RewriteEventAttributes(clone);
   result.stage_event_rewrite = end_stage();
 
-  // Step 5: extraction in DOM order.
+  // Step 5: extraction in DOM order. The incremental path threads one
+  // data-rcb-id counter through the whole clone in the same pre-order the
+  // event-rewrite pass numbered, so cached spans can assert their embedded
+  // ids are still current (serialize_cache.h).
   result.snapshot.has_content = true;
-  for (const auto& child : clone->children()) {
-    const Element* element = child->AsElement();
-    if (element == nullptr) {
-      continue;
-    }
-    if (element->tag_name() == "head") {
-      for (const auto& head_child : element->children()) {
-        if (const Element* head_element = head_child->AsElement()) {
-          result.snapshot.head_children.push_back(ExtractPayload(*head_element));
-        }
+  if (tuning_.incremental_serialize) {
+    result.escaped.has_content = true;
+    const uint64_t fingerprint = ConfigFingerprint(browser_, options);
+    size_t counter = 0;
+    for (const auto& child : clone->children()) {
+      const Element* element = child->AsElement();
+      if (element == nullptr) {
+        continue;
       }
-    } else if (element->tag_name() == "body") {
-      result.snapshot.body = ExtractPayload(*element);
-    } else if (element->tag_name() == "frameset") {
-      result.snapshot.frameset = ExtractPayload(*element);
-    } else if (element->tag_name() == "noframes") {
-      result.snapshot.noframes = ExtractPayload(*element);
+      const std::string& tag = element->tag_name();
+      if (tag == "head") {
+        for (const auto& head_child : element->children()) {
+          if (const Element* head_element = head_child->AsElement()) {
+            if (IsInteractive(*head_element)) {
+              ++counter;
+            }
+            EscapedPayload escaped;
+            result.snapshot.head_children.push_back(
+                ExtractPayloadCached(*head_element, &serialize_cache_,
+                                     fingerprint, &counter, &escaped));
+            result.escaped.head_children.push_back(std::move(escaped));
+          }
+        }
+      } else if (tag == "body") {
+        if (IsInteractive(*element)) {
+          ++counter;
+        }
+        EscapedPayload escaped;
+        result.snapshot.body = ExtractPayloadCached(
+            *element, &serialize_cache_, fingerprint, &counter, &escaped,
+            &main_payload_raw_hint_, &main_payload_escaped_hint_);
+        result.escaped.body = std::move(escaped);
+      } else if (tag == "frameset") {
+        if (IsInteractive(*element)) {
+          ++counter;
+        }
+        EscapedPayload escaped;
+        result.snapshot.frameset = ExtractPayloadCached(
+            *element, &serialize_cache_, fingerprint, &counter, &escaped,
+            &main_payload_raw_hint_, &main_payload_escaped_hint_);
+        result.escaped.frameset = std::move(escaped);
+      } else if (tag == "noframes") {
+        if (IsInteractive(*element)) {
+          ++counter;
+        }
+        EscapedPayload escaped;
+        result.snapshot.noframes = ExtractPayloadCached(
+            *element, &serialize_cache_, fingerprint, &counter, &escaped);
+        result.escaped.noframes = std::move(escaped);
+      } else {
+        // Not carried by the snapshot, but the rewrite pass numbered any
+        // interactive elements in here: keep the counter in step.
+        counter += CountInteractive(*element);
+      }
+    }
+  } else {
+    for (const auto& child : clone->children()) {
+      const Element* element = child->AsElement();
+      if (element == nullptr) {
+        continue;
+      }
+      if (element->tag_name() == "head") {
+        for (const auto& head_child : element->children()) {
+          if (const Element* head_element = head_child->AsElement()) {
+            result.snapshot.head_children.push_back(
+                ExtractPayload(*head_element));
+          }
+        }
+      } else if (element->tag_name() == "body") {
+        result.snapshot.body = ExtractPayload(*element);
+      } else if (element->tag_name() == "frameset") {
+        result.snapshot.frameset = ExtractPayload(*element);
+      } else if (element->tag_name() == "noframes") {
+        result.snapshot.noframes = ExtractPayload(*element);
+      }
     }
   }
 
   result.stage_extract = end_stage();
+
+  // The clone dies here; rewind its arena so the next generation reuses the
+  // same blocks (quarantined instead if anything escaped — see arena.h).
+  clone_owned.reset();
+  clone = nullptr;
+  arena_.Reset();
 
   auto end = std::chrono::steady_clock::now();
   result.wall_time = Duration::Micros(

@@ -18,9 +18,30 @@
 
 #include "src/browser/browser.h"
 #include "src/core/protocol.h"
+#include "src/html/intern.h"
+#include "src/core/serialize_cache.h"
+#include "src/util/arena.h"
 #include "src/util/sim_time.h"
 
 namespace rcb {
+
+// Hot-path knobs (README "hot-path knobs" table, docs/PERF_MODEL.md). All
+// change cost only, never output bytes: incremental off must be
+// byte-identical to incremental on.
+struct GeneratorTuning {
+  // Serialize only dirty subtrees through the SerializeCache; off falls back
+  // to full InnerHtml + JsEscape per generation.
+  bool incremental_serialize = true;
+  size_t serialize_cache_budget = 4 * 1024 * 1024;
+  size_t serialize_cache_min_span = 64;
+  // Arena block size for the transient clone tree (arena_block_bytes).
+  size_t arena_block_bytes = Arena::kDefaultBlockBytes;
+  // Cap on the process-global tag/attribute interning table. The table is
+  // shared by every document in the process (interned pointers must stay
+  // stable across generator lifetimes), so this knob is applied process-wide
+  // at generator construction; 0 leaves the current cap unchanged.
+  size_t intern_table_max = 0;
+};
 
 struct ContentGenOptions {
   bool cache_mode = true;
@@ -35,6 +56,11 @@ struct ContentGenOptions {
 
 struct GenerationResult {
   Snapshot snapshot;
+  // Pre-escaped payload CDATA text matching `snapshot` (filled on the
+  // incremental path; empty/has_content=false when incremental_serialize is
+  // off). SnapshotBroadcast stores it in the slot so per-participant
+  // serializations splice instead of re-escaping the page.
+  SnapshotEscaped escaped;
   size_t interactive_elements = 0;
   size_t urls_absolutized = 0;
   size_t urls_cache_rewritten = 0;
@@ -52,12 +78,23 @@ struct GenerationResult {
 
 class ContentGenerator {
  public:
-  explicit ContentGenerator(Browser* host_browser) : browser_(host_browser) {}
+  explicit ContentGenerator(Browser* host_browser, GeneratorTuning tuning = {})
+      : browser_(host_browser),
+        tuning_(tuning),
+        arena_(tuning.arena_block_bytes),
+        serialize_cache_(SerializeCache::Tuning{
+            tuning.serialize_cache_budget, tuning.serialize_cache_min_span}) {
+    if (tuning.intern_table_max != 0) {
+      SetTagInternCap(tuning.intern_table_max);
+    }
+  }
 
   // Runs the five-step pipeline against the host browser's current document.
   // `doc_time_ms` stamps the snapshot (§4.1.1 timestamp mechanism).
+  // Non-const: the clone arena and the serialization cache persist across
+  // calls — that reuse is where the incremental win comes from.
   GenerationResult Generate(int64_t doc_time_ms,
-                            const ContentGenOptions& options) const;
+                            const ContentGenOptions& options);
 
   // True for elements whose events RCB rewrites (anchors with href, forms,
   // form fields, buttons).
@@ -69,8 +106,21 @@ class ContentGenerator {
   // action targets.
   static std::vector<Element*> InteractiveElements(Node* root);
 
+  const GeneratorTuning& tuning() const { return tuning_; }
+  const SerializeCache::Stats& serialize_cache_stats() const {
+    return serialize_cache_.stats();
+  }
+  Arena::Stats arena_stats() const { return arena_.stats(); }
+
  private:
   Browser* browser_;
+  GeneratorTuning tuning_;
+  Arena arena_;              // holds each generation's transient clone tree
+  SerializeCache serialize_cache_;
+  // Previous update's main-payload (body/frameset) sizes, used to reserve
+  // the raw and escaped output strings instead of growing them per append.
+  size_t main_payload_raw_hint_ = 0;
+  size_t main_payload_escaped_hint_ = 0;
 };
 
 // Materializes a snapshot into the canonical tree (src/delta/tree_diff.h) a

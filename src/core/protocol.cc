@@ -14,11 +14,16 @@ constexpr char kUnitSep = '\x1f';
 }  // namespace
 
 std::string EncodeElementPayload(const ElementPayload& payload) {
+  std::string out = EncodeElementPayloadPrefix(payload);
+  out += payload.inner_html;
+  return out;
+}
+
+std::string EncodeElementPayloadPrefix(const ElementPayload& payload) {
   std::string out = payload.tag;
   out += kUnitSep;
   out += EncodeFormUrlEncoded(payload.attributes);
   out += kUnitSep;
-  out += payload.inner_html;
   return out;
 }
 
@@ -42,17 +47,35 @@ StatusOr<ElementPayload> DecodeElementPayload(std::string_view encoded) {
   return payload;
 }
 
+bool SnapshotEscaped::Matches(const Snapshot& snapshot) const {
+  return has_content == snapshot.has_content &&
+         head_children.size() == snapshot.head_children.size() &&
+         body.has_value() == snapshot.body.has_value() &&
+         frameset.has_value() == snapshot.frameset.has_value() &&
+         noframes.has_value() == snapshot.noframes.has_value();
+}
+
 std::string SerializeSnapshotXml(const Snapshot& snapshot) {
-  return SerializeSnapshotXml(snapshot, nullptr);
+  return SerializeSnapshotXml(snapshot, nullptr, nullptr, nullptr);
 }
 
 std::string SerializeSnapshotXml(const Snapshot& snapshot,
                                  SnapshotSerializeStats* stats) {
+  return SerializeSnapshotXml(snapshot, stats, nullptr, nullptr);
+}
+
+std::string SerializeSnapshotXml(
+    const Snapshot& snapshot, SnapshotSerializeStats* stats,
+    const SnapshotEscaped* prescaped,
+    const std::vector<UserAction>* override_actions) {
   XmlWriter writer;
   writer.WriteDeclaration();
   writer.StartElement("newContent");
   writer.WriteTextElement("docTime", StrFormat("%lld", static_cast<long long>(
                                                             snapshot.doc_time_ms)));
+  if (prescaped != nullptr && !prescaped->Matches(snapshot)) {
+    prescaped = nullptr;  // shape drifted from the snapshot: escape fresh
+  }
   auto escape_counted = [stats](std::string raw) {
     std::string escaped = JsEscape(raw);
     if (stats != nullptr) {
@@ -61,32 +84,65 @@ std::string SerializeSnapshotXml(const Snapshot& snapshot,
     }
     return escaped;
   };
+  // Pre-escaped CDATA text is spliced in verbatim; JsEscape output contains
+  // no ']' byte, so XmlWriter's "]]>" splitting never fires on either path
+  // and the bytes match a fresh escape exactly. Returned by reference: the
+  // page-sized escaped image goes straight into the writer, uncopied.
+  auto spliced = [stats](const EscapedPayload& pre) -> const std::string& {
+    if (stats != nullptr) {
+      stats->payload_raw_bytes += pre.raw_bytes;
+      stats->payload_escaped_bytes += pre.escaped.size();
+    }
+    return pre.escaped;
+  };
   if (snapshot.has_content) {
     writer.StartElement("docContent");
     writer.StartElement("docHead");
     int child_index = 1;
-    for (const ElementPayload& child : snapshot.head_children) {
-      writer.WriteCdataElement(StrFormat("hChild%d", child_index++),
-                               escape_counted(EncodeElementPayload(child)));
+    for (size_t i = 0; i < snapshot.head_children.size(); ++i) {
+      const std::string name = StrFormat("hChild%d", child_index++);
+      if (prescaped != nullptr) {
+        writer.WriteCdataElement(name, spliced(prescaped->head_children[i]));
+      } else {
+        writer.WriteCdataElement(
+            name,
+            escape_counted(EncodeElementPayload(snapshot.head_children[i])));
+      }
     }
     writer.EndElement();  // docHead
     if (snapshot.body.has_value()) {
-      writer.WriteCdataElement(
-          "docBody", escape_counted(EncodeElementPayload(*snapshot.body)));
+      if (prescaped != nullptr) {
+        writer.WriteCdataElement("docBody", spliced(*prescaped->body));
+      } else {
+        writer.WriteCdataElement(
+            "docBody", escape_counted(EncodeElementPayload(*snapshot.body)));
+      }
     }
     if (snapshot.frameset.has_value()) {
-      writer.WriteCdataElement(
-          "docFrameSet", escape_counted(EncodeElementPayload(*snapshot.frameset)));
+      if (prescaped != nullptr) {
+        writer.WriteCdataElement("docFrameSet", spliced(*prescaped->frameset));
+      } else {
+        writer.WriteCdataElement(
+            "docFrameSet",
+            escape_counted(EncodeElementPayload(*snapshot.frameset)));
+      }
     }
     if (snapshot.noframes.has_value()) {
-      writer.WriteCdataElement(
-          "docNoFrames", escape_counted(EncodeElementPayload(*snapshot.noframes)));
+      if (prescaped != nullptr) {
+        writer.WriteCdataElement("docNoFrames", spliced(*prescaped->noframes));
+      } else {
+        writer.WriteCdataElement(
+            "docNoFrames",
+            escape_counted(EncodeElementPayload(*snapshot.noframes)));
+      }
     }
     writer.EndElement();  // docContent
   }
-  if (!snapshot.user_actions.empty()) {
-    writer.WriteCdataElement(
-        "userActions", escape_counted(EncodeActions(snapshot.user_actions)));
+  const std::vector<UserAction>& actions =
+      override_actions != nullptr ? *override_actions : snapshot.user_actions;
+  if (!actions.empty()) {
+    writer.WriteCdataElement("userActions",
+                             escape_counted(EncodeActions(actions)));
   }
   writer.EndElement();  // newContent
   return writer.TakeString();

@@ -39,6 +39,11 @@ struct ElementPayload {
 // Flat encoding carried inside CDATA. Fields are separated by the ASCII unit
 // separator; attributes are form-urlencoded (binary-safe after JsEscape).
 std::string EncodeElementPayload(const ElementPayload& payload);
+// The encoding up to and including the inner_html separator (tag + attrs);
+// EncodeElementPayload(p) == EncodeElementPayloadPrefix(p) + p.inner_html.
+// The incremental serializer escapes this small prefix fresh each generation
+// and splices the cached escaped inner_html after it.
+std::string EncodeElementPayloadPrefix(const ElementPayload& payload);
 StatusOr<ElementPayload> DecodeElementPayload(std::string_view encoded);
 
 // User actions (ActionType/UserAction and their codec) live in
@@ -71,10 +76,43 @@ struct SnapshotSerializeStats {
   size_t payload_escaped_bytes = 0;
 };
 
+// Pre-escaped CDATA payloads for one Snapshot, produced by the incremental
+// generate path (src/core/serialize_cache): `escaped` is exactly
+// JsEscape(EncodeElementPayload(payload)) for the payload at the same
+// position in the Snapshot. SnapshotBroadcast keeps one of these per slot so
+// per-participant serializations (actions appended) splice the page bytes
+// instead of re-escaping them.
+struct EscapedPayload {
+  std::string escaped;
+  size_t raw_bytes = 0;  // pre-escape encoded size, for stats
+};
+
+struct SnapshotEscaped {
+  bool has_content = false;
+  std::vector<EscapedPayload> head_children;
+  std::optional<EscapedPayload> body;
+  std::optional<EscapedPayload> frameset;
+  std::optional<EscapedPayload> noframes;
+
+  // True when this mirrors `snapshot` payload-for-payload — the requirement
+  // for handing it to SerializeSnapshotXml alongside that snapshot.
+  bool Matches(const Snapshot& snapshot) const;
+};
+
 // Serializes per Fig. 4 (with the <?xml?> declaration).
 std::string SerializeSnapshotXml(const Snapshot& snapshot);
 std::string SerializeSnapshotXml(const Snapshot& snapshot,
                                  SnapshotSerializeStats* stats);
+// Full-control variant. `prescaped` (optional) supplies the payload CDATA
+// text pre-escaped; it must Match the snapshot and is ignored (with a fresh
+// escape) when it does not. `override_actions` (optional) is serialized as
+// the userActions element in place of snapshot.user_actions, so callers can
+// append a participant's outbox without copying the whole Snapshot. Output
+// bytes are identical to the plain overload for equal logical content.
+std::string SerializeSnapshotXml(const Snapshot& snapshot,
+                                 SnapshotSerializeStats* stats,
+                                 const SnapshotEscaped* prescaped,
+                                 const std::vector<UserAction>* override_actions);
 StatusOr<Snapshot> ParseSnapshotXml(std::string_view xml);
 
 // ---------------------------------------------------------------------------

@@ -83,7 +83,7 @@ obs::FlightRecorder::Options AgentFlightOptions(const AgentConfig& config) {
 RcbAgent::RcbAgent(Browser* host_browser, AgentConfig config)
     : browser_(host_browser),
       config_(std::move(config)),
-      generator_(host_browser),
+      generator_(host_browser, config_.generator_tuning),
       flight_(&trace_, &registry_, AgentFlightOptions(config_)) {
   effective_registry_ = config_.shared_registry != nullptr
                             ? config_.shared_registry
@@ -246,6 +246,88 @@ void RcbAgent::RegisterMetrics() {
         obs::Provenance::kSim,
         [cache] { return static_cast<double>(cache->size()); }, base_labels);
   }
+
+  // Serialization cache (docs/PERF_MODEL.md). Same budget-metric convention
+  // as rcb_cache_*: {hits,misses,evictions,evicted_bytes} counters plus a
+  // current-bytes gauge and a current-entry-count gauge (`spans` here,
+  // `objects` above). Per-agent, unlike the host-wide object cache.
+  const ContentGenerator* gen = &generator_;
+  reg->AddCallbackCounter(
+      "rcb_serialize_cache_hits", "Serialization cache subtree hits",
+      obs::Provenance::kSim,
+      [gen] { return gen->serialize_cache_stats().hits; }, base_labels);
+  reg->AddCallbackCounter(
+      "rcb_serialize_cache_misses", "Serialization cache subtree misses",
+      obs::Provenance::kSim,
+      [gen] { return gen->serialize_cache_stats().misses; }, base_labels);
+  reg->AddCallbackCounter(
+      "rcb_serialize_cache_evictions",
+      "Spans evicted by the serialization cache byte budget",
+      obs::Provenance::kSim,
+      [gen] { return gen->serialize_cache_stats().evictions; }, base_labels);
+  reg->AddCallbackCounter(
+      "rcb_serialize_cache_evicted_bytes",
+      "Bytes evicted by the serialization cache byte budget",
+      obs::Provenance::kSim,
+      [gen] { return gen->serialize_cache_stats().evicted_bytes; },
+      base_labels);
+  reg->AddCallbackCounter(
+      "rcb_serialize_cache_hit_bytes",
+      "Raw payload bytes served by splicing cached spans",
+      obs::Provenance::kSim,
+      [gen] { return gen->serialize_cache_stats().hit_bytes; }, base_labels);
+  reg->AddCallbackCounter(
+      "rcb_serialize_cache_miss_bytes",
+      "Raw payload bytes serialized without a cached span",
+      obs::Provenance::kSim,
+      [gen] { return gen->serialize_cache_stats().miss_bytes; }, base_labels);
+  reg->AddCallbackGauge(
+      "rcb_serialize_cache_bytes",
+      "Bytes currently held by the serialization cache (raw + escaped)",
+      obs::Provenance::kSim,
+      [gen] {
+        return static_cast<double>(gen->serialize_cache_stats().bytes);
+      },
+      base_labels);
+  reg->AddCallbackGauge(
+      "rcb_serialize_cache_spans",
+      "Spans currently held by the serialization cache",
+      obs::Provenance::kSim,
+      [gen] {
+        return static_cast<double>(gen->serialize_cache_stats().spans);
+      },
+      base_labels);
+
+  // Clone arena (src/util/arena.h): allocation traffic plus block footprint.
+  // Quarantines should stay 0 in a healthy agent — nonzero means a Reset ran
+  // while spans into the arena were still live.
+  reg->AddCallbackCounter(
+      "rcb_arena_allocations", "Node allocations served by the clone arena",
+      obs::Provenance::kSim,
+      [gen] { return gen->arena_stats().allocations; }, base_labels);
+  reg->AddCallbackCounter(
+      "rcb_arena_allocated_bytes", "Bytes allocated from the clone arena",
+      obs::Provenance::kSim,
+      [gen] { return gen->arena_stats().allocated_bytes; }, base_labels);
+  reg->AddCallbackCounter(
+      "rcb_arena_resets", "Arena resets (one per generation)",
+      obs::Provenance::kSim, [gen] { return gen->arena_stats().resets; },
+      base_labels);
+  reg->AddCallbackCounter(
+      "rcb_arena_quarantines",
+      "Blocks quarantined by a reset with live allocations",
+      obs::Provenance::kSim, [gen] { return gen->arena_stats().quarantines; },
+      base_labels);
+  reg->AddCallbackGauge(
+      "rcb_arena_block_bytes", "Bytes currently reserved in arena blocks",
+      obs::Provenance::kSim,
+      [gen] { return static_cast<double>(gen->arena_stats().block_bytes); },
+      base_labels);
+  reg->AddCallbackGauge(
+      "rcb_arena_live", "Arena allocations currently outstanding",
+      obs::Provenance::kSim,
+      [gen] { return static_cast<double>(gen->arena_stats().live); },
+      base_labels);
 
   // Session shape gauges.
   reg->AddCallbackGauge(
@@ -686,10 +768,14 @@ void RcbAgent::PushToStreams() {
       metrics_.content_bytes_sent += slot.xml.size();
       endpoint->Send(MultipartPart(slot.xml));
     } else {
-      Snapshot with_actions = slot.snapshot;
-      with_actions.user_actions = std::move(participant.outbox);
+      // Per-participant flavour: same shared snapshot, this poller's outbox
+      // appended. The prescaped slot spans make this a splice, not a page
+      // re-escape, and override_actions avoids copying the Snapshot.
+      std::vector<UserAction> actions = std::move(participant.outbox);
       participant.outbox.clear();
-      std::string xml = SerializeSnapshotXml(with_actions);
+      std::string xml = SerializeSnapshotXml(
+          slot.snapshot, nullptr,
+          slot.escaped.has_content ? &slot.escaped : nullptr, &actions);
       metrics_.content_bytes_sent += xml.size();
       endpoint->Send(MultipartPart(xml));
     }
@@ -1076,6 +1162,22 @@ HttpResponse RcbAgent::HandleStatusPage() const {
         static_cast<unsigned long long>(metrics_.patch_fallback_no_base),
         static_cast<unsigned long long>(metrics_.patch_fallback_oversize));
   }
+  {
+    const SerializeCache::Stats& sc = generator_.serialize_cache_stats();
+    const Arena::Stats arena = generator_.arena_stats();
+    body += StrFormat(
+        "<p id=\"hotpath\">serialize cache: %s | hits %llu, misses %llu, "
+        "evictions %llu | %zu spans, %zu bytes | spliced %llu raw bytes, "
+        "re-serialized %llu | arena: %zu bytes in %zu blocks, quarantines "
+        "%llu</p>",
+        generator_.tuning().incremental_serialize ? "on" : "off",
+        static_cast<unsigned long long>(sc.hits),
+        static_cast<unsigned long long>(sc.misses),
+        static_cast<unsigned long long>(sc.evictions), sc.spans, sc.bytes,
+        static_cast<unsigned long long>(sc.hit_bytes),
+        static_cast<unsigned long long>(sc.miss_bytes), arena.block_bytes,
+        arena.blocks, static_cast<unsigned long long>(arena.quarantines));
+  }
   body += StrFormat(
       "<p id=\"trace\">trace: %s | spans retained %zu, dropped %llu | "
       "flight triggers %llu (dumps %llu%s)</p>",
@@ -1298,9 +1400,12 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
                                                 current_doc_time_ms_))}});
       return HttpResponse::Ok("application/xml", slot.xml);
     }
-    Snapshot with_actions = slot.snapshot;
-    with_actions.user_actions = std::move(outbox);
-    std::string xml = SerializeSnapshotXml(with_actions);
+    // Per-participant flavour of the shared snapshot: prescaped slot spans
+    // are spliced and the outbox rides along via override_actions, so the
+    // page bytes are never re-escaped or copied per poller.
+    std::string xml = SerializeSnapshotXml(
+        slot.snapshot, nullptr,
+        slot.escaped.has_content ? &slot.escaped : nullptr, &outbox);
     metrics_.content_bytes_sent += xml.size();
     TraceMarker("agent.response.snapshot",
                 {{"bytes", StrFormat("%zu", xml.size())},

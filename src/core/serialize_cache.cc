@@ -1,0 +1,218 @@
+#include "src/core/serialize_cache.h"
+
+#include "src/core/content_generator.h"
+#include "src/html/parser.h"
+#include "src/html/tokenizer.h"
+#include "src/util/escape.h"
+
+namespace rcb {
+
+// The raw side of this walk must stay byte-for-byte the serializer's
+// (src/html/serializer.cc SerializeInto); serialize_cache_test pins the two
+// together over the corpus and random mutation schedules.
+
+void SerializeCache::AppendChildrenHtml(const Element& element,
+                                        uint64_t config_fingerprint,
+                                        size_t* interactive_counter,
+                                        std::string* raw,
+                                        std::string* escaped) {
+  const bool raw_text =
+      HtmlTokenizer::IsRawTextElement(element.tag_name());
+  for (const auto& child : element.children()) {
+    AppendNode(*child, raw_text, config_fingerprint, interactive_counter, raw,
+               escaped);
+  }
+}
+
+void SerializeCache::AppendNode(const Node& node, bool raw_text_parent,
+                                uint64_t fingerprint, size_t* counter,
+                                std::string* raw, std::string* escaped) {
+  switch (node.type()) {
+    case NodeType::kDocument:
+      for (const auto& child : node.children()) {
+        AppendNode(*child, /*raw_text_parent=*/false, fingerprint, counter,
+                   raw, escaped);
+      }
+      break;
+    case NodeType::kText: {
+      // Large text spans are cached too: a big text node (or the padding
+      // comment below) can sit directly under <body>, whose own span misses
+      // on every update — without this, its escape cost would be paid per
+      // update. Text carries no data-rcb-ids, so hits ignore the counter.
+      // Spans under the size floor skip the cache entirely (no lookup, no
+      // stats): they are cheaper to re-serialize than to hash.
+      const std::string& data = static_cast<const Text&>(node).data();
+      const bool cacheable = data.size() >= tuning_.min_span_bytes;
+      const Key key{node.rev(), fingerprint};
+      if (cacheable && TryAppendHit(key, counter, raw, escaped)) {
+        break;
+      }
+      const size_t raw_start = raw->size();
+      const size_t escaped_start = escaped->size();
+      if (raw_text_parent) {
+        raw->append(data);  // script/style content is emitted verbatim
+      } else {
+        HtmlEscapeAppend(data, raw);
+      }
+      JsEscapeAppend(std::string_view(*raw).substr(raw_start), escaped);
+      if (cacheable) {
+        RecordMissSpan(key, raw_start, escaped_start, *counter, counter, raw,
+                       escaped);
+      }
+      break;
+    }
+    case NodeType::kComment: {
+      const std::string& data = static_cast<const Comment&>(node).data();
+      const bool cacheable = data.size() >= tuning_.min_span_bytes;
+      const Key key{node.rev(), fingerprint};
+      if (cacheable && TryAppendHit(key, counter, raw, escaped)) {
+        break;
+      }
+      const size_t raw_start = raw->size();
+      const size_t escaped_start = escaped->size();
+      raw->append("<!--");
+      raw->append(data);
+      raw->append("-->");
+      JsEscapeAppend(std::string_view(*raw).substr(raw_start), escaped);
+      if (cacheable) {
+        RecordMissSpan(key, raw_start, escaped_start, *counter, counter, raw,
+                       escaped);
+      }
+      break;
+    }
+    case NodeType::kDoctype: {
+      size_t start = raw->size();
+      raw->append("<!");
+      raw->append(static_cast<const Doctype&>(node).data());
+      raw->append(">");
+      JsEscapeAppend(std::string_view(*raw).substr(start), escaped);
+      break;
+    }
+    case NodeType::kElement:
+      AppendElement(static_cast<const Element&>(node), fingerprint, counter,
+                    raw, escaped);
+      break;
+  }
+}
+
+void SerializeCache::AppendElement(const Element& element,
+                                   uint64_t fingerprint, size_t* counter,
+                                   std::string* raw, std::string* escaped) {
+  const Key key{element.rev(), fingerprint};
+  if (TryAppendHit(key, counter, raw, escaped)) {
+    return;
+  }
+  // Miss (or an id-shifted entry, which will be overwritten with the current
+  // numbering): serialize this subtree, then keep the produced spans.
+  const size_t raw_start = raw->size();
+  const size_t escaped_start = escaped->size();
+  const size_t id_base = *counter;
+  if (ContentGenerator::IsInteractive(element)) {
+    ++*counter;
+  }
+  {
+    size_t tag_start = raw->size();
+    raw->push_back('<');
+    raw->append(element.tag_name());
+    for (const auto& [name, value] : element.attributes()) {
+      raw->push_back(' ');
+      raw->append(name);
+      raw->append("=\"");
+      HtmlEscapeAppend(value, raw);
+      raw->push_back('"');
+    }
+    raw->push_back('>');
+    JsEscapeAppend(std::string_view(*raw).substr(tag_start), escaped);
+  }
+  if (!IsVoidElement(element.tag_name())) {
+    AppendChildrenHtml(element, fingerprint, counter, raw, escaped);
+    size_t close_start = raw->size();
+    raw->append("</");
+    raw->append(element.tag_name());
+    raw->push_back('>');
+    JsEscapeAppend(std::string_view(*raw).substr(close_start), escaped);
+  }
+  RecordMissSpan(key, raw_start, escaped_start, id_base, counter, raw,
+                 escaped);
+}
+
+bool SerializeCache::TryAppendHit(const Key& key, size_t* counter,
+                                  std::string* raw, std::string* escaped) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  Entry& entry = it->second;
+  // A span containing no interactive elements embeds no data-rcb-ids, so its
+  // bytes are independent of the counter; only id-bearing spans must match.
+  if (entry.interactive_count != 0 && entry.id_base != *counter) {
+    return false;
+  }
+  raw->append(entry.raw);
+  escaped->append(entry.escaped);
+  *counter += entry.interactive_count;
+  ++stats_.hits;
+  stats_.hit_bytes += entry.raw.size();
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+  return true;
+}
+
+void SerializeCache::RecordMissSpan(const Key& key, size_t raw_start,
+                                    size_t escaped_start, size_t id_base,
+                                    const size_t* counter,
+                                    const std::string* raw,
+                                    const std::string* escaped) {
+  ++stats_.misses;
+  const size_t span_bytes = raw->size() - raw_start;
+  stats_.miss_bytes += span_bytes;
+  if (span_bytes < tuning_.min_span_bytes ||
+      span_bytes > tuning_.budget_bytes) {
+    return;
+  }
+  Entry entry;
+  entry.raw = raw->substr(raw_start);
+  entry.escaped = escaped->substr(escaped_start);
+  entry.id_base = id_base;
+  entry.interactive_count = *counter - id_base;
+  Insert(key, std::move(entry));
+}
+
+void SerializeCache::Insert(Key key, Entry entry) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Same subtree state re-serialized under a shifted id_base: replace.
+    stats_.bytes -= it->second.raw.size() + it->second.escaped.size();
+    lru_.erase(it->second.lru);
+    --stats_.spans;
+    entries_.erase(it);
+  }
+  stats_.bytes += entry.raw.size() + entry.escaped.size();
+  ++stats_.spans;
+  lru_.push_front(key);
+  entry.lru = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  EvictToBudget();
+}
+
+void SerializeCache::EvictToBudget() {
+  while (stats_.bytes > tuning_.budget_bytes && !lru_.empty()) {
+    Key victim = lru_.back();
+    auto it = entries_.find(victim);
+    size_t victim_bytes = it->second.raw.size() + it->second.escaped.size();
+    stats_.bytes -= victim_bytes;
+    stats_.evicted_bytes += victim_bytes;
+    ++stats_.evictions;
+    --stats_.spans;
+    lru_.pop_back();
+    entries_.erase(it);
+  }
+}
+
+void SerializeCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+  stats_.spans = 0;
+}
+
+}  // namespace rcb

@@ -1,0 +1,148 @@
+// SerializeCache: dirty-subtree incremental serialization for the Fig. 3
+// extract step (docs/PERF_MODEL.md).
+//
+// Extraction is the page-proportional tail of the pipeline: innerHTML
+// serialization of the whole body plus a JsEscape of every byte, repeated on
+// every document version even when one text node changed. This cache makes
+// that cost proportional to the change.
+//
+// How it stays byte-identical to a cold serialization:
+//
+//   * Identity. Every Node carries a revision (src/html/dom.h): mutations
+//     restamp the node and its ancestors with fresh, globally unique values,
+//     and Clone preserves them. The Fig. 3 rewrite passes use
+//     SetAttributeKeepRev, so a clone subtree's rev still equals its source's
+//     — and because a rev uniquely identifies one (node, subtree state), a
+//     cache entry keyed by rev can never alias a different state. A miss is
+//     always safe; the bet is only on hit *rate*, never on correctness of a
+//     hit... except for the two inputs below, which the key must also cover.
+//
+//   * Generation config. The rewritten bytes also depend on the absolutize
+//     base URL, the cache mode, the agent URL, the ObjectCache contents
+//     (which URLs map to /obj/<key>), and the presence of a cache-object
+//     filter. The caller folds all of those into `config_fingerprint`; it is
+//     part of the key. The filter itself must be pure and stable for a given
+//     fingerprint (AgentConfig sets it once at construction).
+//
+//   * data-rcb-id numbering. Interactive elements are numbered by global
+//     pre-order position, so an *unchanged* subtree serializes differently if
+//     an interactive element was inserted before it. Each entry records the
+//     pre-order interactive counter at its start (`id_base`) plus how many
+//     interactive elements it contains; a hit requires the running counter to
+//     equal the recorded base. Within a subtree ids are contiguous in
+//     pre-order, so base equality implies every embedded id matches.
+//
+//   * Escape splicing. JsEscape and HtmlEscape are stateless per byte
+//     (src/util/escape.h), so each entry stores the raw span *and* its
+//     JsEscape image, built in lockstep; splicing cached escaped spans is
+//     byte-identical to escaping the full serialization.
+//
+// Entries are plain string copies (never pointers into a DOM or arena), LRU
+// evicted against a byte budget. Spans smaller than `min_span_bytes` are not
+// cached: they are cheaper to re-serialize than to track.
+#ifndef SRC_CORE_SERIALIZE_CACHE_H_
+#define SRC_CORE_SERIALIZE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "src/html/dom.h"
+
+namespace rcb {
+
+class SerializeCache {
+ public:
+  struct Tuning {
+    size_t budget_bytes = 4 * 1024 * 1024;  // serialize_cache_budget
+    size_t min_span_bytes = 64;             // spans below this are not cached
+  };
+
+  // Mirrors ObjectCache::Stats: the shared budget-metric convention
+  // (DESIGN.md §14) is {hits, misses, evictions, evicted_bytes} counters plus
+  // a current-bytes and a current-entry-count gauge per cache.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t evicted_bytes = 0;
+    uint64_t hit_bytes = 0;   // raw bytes served by splicing cached spans
+    uint64_t miss_bytes = 0;  // raw bytes serialized the slow way
+    size_t bytes = 0;         // current footprint (raw + escaped spans)
+    size_t spans = 0;         // current entry count
+  };
+
+  SerializeCache() = default;
+  explicit SerializeCache(Tuning tuning) : tuning_(tuning) {}
+  SerializeCache(const SerializeCache&) = delete;
+  SerializeCache& operator=(const SerializeCache&) = delete;
+
+  // Serializes `element`'s children (its innerHTML) through the cache,
+  // appending the raw bytes to `raw` and their JsEscape image to `escaped`.
+  // Byte-identical to SerializeChildren(element) + JsEscape of it — asserted
+  // by serialize_cache_test over random mutation schedules.
+  //
+  // `interactive_counter` is the running pre-order data-rcb-id counter; the
+  // caller threads one counter through the whole clone in DOM order (see
+  // ContentGenerator::Generate). It is read for hit validity and advanced
+  // past every element either way.
+  void AppendChildrenHtml(const Element& element, uint64_t config_fingerprint,
+                          size_t* interactive_counter, std::string* raw,
+                          std::string* escaped);
+
+  // Drops every entry (e.g. when the owning generator is re-targeted).
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+  const Tuning& tuning() const { return tuning_; }
+
+ private:
+  struct Key {
+    uint64_t rev;
+    uint64_t fingerprint;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // splitmix-style mix; revs are sequential so spread them.
+      uint64_t x = k.rev * 0x9E3779B97F4A7C15ull ^ k.fingerprint;
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ull;
+      x ^= x >> 27;
+      return static_cast<size_t>(x);
+    }
+  };
+  struct Entry {
+    std::string raw;
+    std::string escaped;
+    size_t id_base = 0;            // interactive counter at span start
+    size_t interactive_count = 0;  // interactive elements inside the span
+    std::list<Key>::iterator lru;
+  };
+
+  void AppendNode(const Node& node, bool raw_text_parent, uint64_t fingerprint,
+                  size_t* counter, std::string* raw, std::string* escaped);
+  void AppendElement(const Element& element, uint64_t fingerprint,
+                     size_t* counter, std::string* raw, std::string* escaped);
+  // Appends the cached span for `key` if present and id-valid; advances the
+  // counter past its interactive elements.
+  bool TryAppendHit(const Key& key, size_t* counter, std::string* raw,
+                    std::string* escaped);
+  // Accounts a freshly serialized span [raw_start, raw->size()) and caches it
+  // when it clears the size floor and fits the budget.
+  void RecordMissSpan(const Key& key, size_t raw_start, size_t escaped_start,
+                      size_t id_base, const size_t* counter,
+                      const std::string* raw, const std::string* escaped);
+  void Insert(Key key, Entry entry);
+  void EvictToBudget();
+
+  Tuning tuning_;
+  Stats stats_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recent
+};
+
+}  // namespace rcb
+
+#endif  // SRC_CORE_SERIALIZE_CACHE_H_

@@ -52,6 +52,10 @@ struct SessionOptions {
   // generous enough that a well-behaved session never hits them.
   AgentLimits agent_limits;
 
+  // Hot-path knobs forwarded to AgentConfig::generator_tuning
+  // (docs/PERF_MODEL.md). Cost-only: output bytes never depend on them.
+  GeneratorTuning generator_tuning;
+
   // Delta snapshots (src/delta) on both sides: the agent keeps per-version
   // base trees and answers capability-advertising polls with newPatch deltas;
   // every snippet advertises and applies them. Off keeps the seed wire

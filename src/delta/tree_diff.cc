@@ -352,7 +352,13 @@ std::string NodeKey(const Node& node) {
 }
 
 std::string TreeDigest(const Element& canonical_root) {
-  return Sha256::HexDigest(SerializeNode(canonical_root));
+  // One digest runs per document version per mode; the serialization is the
+  // page-sized allocation on that path, so the buffer keeps its capacity
+  // across calls instead of growing from empty every time.
+  static thread_local std::string scratch;
+  scratch.clear();
+  SerializeNodeInto(canonical_root, &scratch);
+  return Sha256::HexDigest(scratch);
 }
 
 std::vector<PatchOp> DiffTrees(const Element& base, const Element& target) {

@@ -112,8 +112,10 @@ struct HostConfig {
   uint16_t base_port = 3000;
   HostLimits limits;
   // Template for per-session agents: CreateSession(id) copies this and
-  // overrides port/registry wiring. Per-session keys, policies, and delta
-  // knobs go through CreateSession(id, config).
+  // overrides port/registry wiring. Per-session keys, policies, delta knobs,
+  // and hot-path generator tuning (AgentConfig::generator_tuning — arena
+  // block size, serialization-cache budget; docs/PERF_MODEL.md) go through
+  // CreateSession(id, config) or apply host-wide when set here.
   AgentConfig agent_defaults;
   // --- Durability (src/persist, DESIGN.md §13). persist.dir empty keeps the
   // host fully in-memory (the pre-PR-7 behavior, byte for byte). With a dir

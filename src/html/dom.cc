@@ -2,16 +2,62 @@
 
 #include <cassert>
 
+#include "src/html/intern.h"
 #include "src/util/strings.h"
 
 namespace rcb {
+
+namespace {
+
+// One process-wide revision counter (see Node::rev()). Not synchronized: all
+// DOM work is single-threaded per process, like the rest of src/html.
+uint64_t g_rev_counter = 0;
+
+bool IsAsciiLowerName(std::string_view s) {
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') return false;
+  }
+  return true;
+}
+
+// Canonical lowercase form of a tag/attribute name via the interner; falls
+// back to `owned` when the capped table is full. The common parser case
+// (already-lowercase name, already interned) allocates nothing.
+const std::string* CanonicalName(std::string_view name, std::string* owned) {
+  if (IsAsciiLowerName(name)) {
+    if (const std::string* interned = TagInterner().Intern(name)) {
+      return interned;
+    }
+    owned->assign(name);
+    return owned;
+  }
+  *owned = AsciiToLower(name);
+  if (const std::string* interned = TagInterner().Intern(*owned)) {
+    return interned;
+  }
+  return owned;
+}
+
+}  // namespace
+
+Node::Node(NodeType type) : type_(type), rev_(++g_rev_counter) {}
+
+void Node::Touch() {
+  // Distinct fresh value per ancestor: a rev then uniquely identifies one
+  // (node, state) pair, which the serialization cache depends on.
+  for (Node* n = this; n != nullptr; n = n->parent_) {
+    n->rev_ = ++g_rev_counter;
+  }
+}
 
 Node* Node::AppendChild(std::unique_ptr<Node> child) {
   assert(child != nullptr);
   assert(child->parent_ == nullptr && "child must be detached first");
   child->parent_ = this;
   children_.push_back(std::move(child));
-  return children_.back().get();
+  Node* raw = children_.back().get();
+  Touch();
+  return raw;
 }
 
 Node* Node::InsertBefore(std::unique_ptr<Node> child, Node* reference) {
@@ -26,6 +72,7 @@ Node* Node::InsertBefore(std::unique_ptr<Node> child, Node* reference) {
       Node* raw = child.get();
       children_.insert(children_.begin() + static_cast<ptrdiff_t>(i),
                        std::move(child));
+      Touch();
       return raw;
     }
   }
@@ -39,6 +86,7 @@ std::unique_ptr<Node> Node::RemoveChild(Node* child) {
       std::unique_ptr<Node> out = std::move(children_[i]);
       children_.erase(children_.begin() + static_cast<ptrdiff_t>(i));
       out->parent_ = nullptr;
+      Touch();
       return out;
     }
   }
@@ -50,6 +98,7 @@ void Node::RemoveAllChildren() {
     child->parent_ = nullptr;
   }
   children_.clear();
+  Touch();
 }
 
 std::unique_ptr<Node> Node::Detach() {
@@ -60,9 +109,17 @@ std::unique_ptr<Node> Node::Detach() {
 }
 
 std::unique_ptr<Node> Node::Clone() const {
+  // Links children directly instead of going through AppendChild: a clone
+  // must carry its source's revs (that shared identity is what lets the
+  // serialization cache match clone subtrees back to source state), and
+  // AppendChild would restamp them.
   std::unique_ptr<Node> copy = CloneSelf();
+  copy->rev_ = rev_;
+  copy->children_.reserve(children_.size());
   for (const auto& child : children_) {
-    copy->AppendChild(child->Clone());
+    std::unique_ptr<Node> child_copy = child->Clone();
+    child_copy->parent_ = copy.get();
+    copy->children_.push_back(std::move(child_copy));
   }
   return copy;
 }
@@ -133,8 +190,19 @@ void Node::ForEachElement(const std::function<bool(const Element*)>& visitor) co
   WalkElementsConst(this, visitor);
 }
 
-Element::Element(std::string tag_name)
-    : Node(NodeType::kElement), tag_name_(AsciiToLower(tag_name)) {}
+Element::Element(std::string tag_name) : Node(NodeType::kElement) {
+  tag_ = CanonicalName(tag_name, &tag_owned_);
+}
+
+Element::Element(const Element& src, CloneTag) : Node(NodeType::kElement) {
+  if (src.tag_ == &src.tag_owned_) {
+    tag_owned_ = src.tag_owned_;
+    tag_ = &tag_owned_;
+  } else {
+    tag_ = src.tag_;  // interned pointers are stable for the process
+  }
+  attributes_ = src.attributes_;
+}
 
 std::optional<std::string> Element::GetAttribute(std::string_view name) const {
   for (const auto& [key, value] : attributes_) {
@@ -151,20 +219,36 @@ std::string Element::AttrOr(std::string_view name, std::string_view fallback) co
 }
 
 void Element::SetAttribute(std::string_view name, std::string_view value) {
-  std::string lower = AsciiToLower(name);
+  SetAttributeImpl(name, value, /*touch=*/true);
+}
+
+void Element::SetAttributeKeepRev(std::string_view name,
+                                  std::string_view value) {
+  SetAttributeImpl(name, value, /*touch=*/false);
+}
+
+void Element::SetAttributeImpl(std::string_view name, std::string_view value,
+                               bool touch) {
+  std::string owned;
+  const std::string* canon = CanonicalName(name, &owned);
   for (auto& [key, existing] : attributes_) {
-    if (key == lower) {
-      existing = std::string(value);
+    if (key == *canon) {
+      if (existing != value) {
+        existing = std::string(value);
+        if (touch) Touch();
+      }
       return;
     }
   }
-  attributes_.emplace_back(std::move(lower), std::string(value));
+  attributes_.emplace_back(*canon, std::string(value));
+  if (touch) Touch();
 }
 
 void Element::RemoveAttribute(std::string_view name) {
-  std::erase_if(attributes_, [name](const auto& attr) {
+  size_t removed = std::erase_if(attributes_, [name](const auto& attr) {
     return EqualsIgnoreCase(attr.first, name);
   });
+  if (removed > 0) Touch();
 }
 
 bool Element::HasAttribute(std::string_view name) const {
@@ -172,9 +256,7 @@ bool Element::HasAttribute(std::string_view name) const {
 }
 
 std::unique_ptr<Node> Element::CloneSelf() const {
-  auto copy = std::make_unique<Element>(tag_name_);
-  copy->attributes_ = attributes_;
-  return copy;
+  return std::unique_ptr<Node>(new Element(*this, CloneTag{}));
 }
 
 Element* Element::FindFirst(std::string_view tag) {

@@ -8,12 +8,15 @@
 #ifndef SRC_HTML_DOM_H_
 #define SRC_HTML_DOM_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/arena.h"
 
 namespace rcb {
 
@@ -24,13 +27,31 @@ class Document;
 
 class Node {
  public:
-  explicit Node(NodeType type) : type_(type) {}
+  explicit Node(NodeType type);
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
+  // Arena-aware allocation (src/util/arena.h): nodes built while an
+  // ArenaScope is active come from that arena, all others from malloc. Each
+  // allocation carries a header naming its source, so delete is uniform.
+  static void* operator new(size_t n) { return ArenaAllocRaw(n); }
+  static void operator delete(void* p) noexcept { ArenaFreeRaw(p); }
+  static void operator delete(void* p, size_t) noexcept { ArenaFreeRaw(p); }
+
   NodeType type() const { return type_; }
   Node* parent() const { return parent_; }
+
+  // Revision stamp for the serialization cache (src/core/serialize_cache).
+  // Drawn from one process-wide monotonic counter: every mutation restamps
+  // the touched node and each of its ancestors with fresh, distinct values,
+  // so a rev uniquely identifies one (node, subtree state) and is never
+  // reused. Clone() preserves revs — a clone's rev equals its source's, which
+  // is exactly the identity the cache keys on.
+  uint64_t rev() const { return rev_; }
+  // Restamps this node and every ancestor (call after any mutation that
+  // changes this subtree's serialization).
+  void Touch();
 
   const std::vector<std::unique_ptr<Node>>& children() const { return children_; }
   size_t child_count() const { return children_.size(); }
@@ -74,6 +95,7 @@ class Node {
 
  private:
   NodeType type_;
+  uint64_t rev_;
   Node* parent_ = nullptr;
   std::vector<std::unique_ptr<Node>> children_;
 };
@@ -83,7 +105,10 @@ class Text : public Node {
   explicit Text(std::string data) : Node(NodeType::kText), data_(std::move(data)) {}
 
   const std::string& data() const { return data_; }
-  void set_data(std::string data) { data_ = std::move(data); }
+  void set_data(std::string data) {
+    data_ = std::move(data);
+    Touch();
+  }
 
  protected:
   std::unique_ptr<Node> CloneSelf() const override {
@@ -130,14 +155,22 @@ class Element : public Node {
  public:
   explicit Element(std::string tag_name);
 
-  // Lowercase tag name.
-  const std::string& tag_name() const { return tag_name_; }
+  // Lowercase tag name. Backed by the process-wide TagInterner (src/html/
+  // intern.h) so distinct names are stored once; an owned copy is the
+  // fallback when the capped table is full.
+  const std::string& tag_name() const { return *tag_; }
 
   // Attributes (ordered, case-normalized names).
   std::optional<std::string> GetAttribute(std::string_view name) const;
   // Missing attribute reads as "".
   std::string AttrOr(std::string_view name, std::string_view fallback = "") const;
   void SetAttribute(std::string_view name, std::string_view value);
+  // SetAttribute without restamping revs. Reserved for the Fig. 3 rewrite
+  // passes, which run on the generator's clone: the clone's output is a pure
+  // function of (source rev, generation config), so keeping clone revs equal
+  // to source revs is what lets the serialization cache key on them. Never
+  // use this on a live document.
+  void SetAttributeKeepRev(std::string_view name, std::string_view value);
   void RemoveAttribute(std::string_view name);
   bool HasAttribute(std::string_view name) const;
   const std::vector<std::pair<std::string, std::string>>& attributes() const {
@@ -169,7 +202,13 @@ class Element : public Node {
   std::unique_ptr<Node> CloneSelf() const override;
 
  private:
-  std::string tag_name_;
+  struct CloneTag {};
+  Element(const Element& src, CloneTag);
+  void SetAttributeImpl(std::string_view name, std::string_view value,
+                        bool touch);
+
+  const std::string* tag_;  // interned, or &tag_owned_ when the table is full
+  std::string tag_owned_;
   std::vector<std::pair<std::string, std::string>> attributes_;
 };
 

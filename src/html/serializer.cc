@@ -27,7 +27,7 @@ void SerializeInto(const Node& node, std::string* out) {
       SerializeChildrenInto(node, out, /*raw_text_parent=*/false);
       break;
     case NodeType::kText:
-      out->append(HtmlEscape(static_cast<const Text&>(node).data()));
+      HtmlEscapeAppend(static_cast<const Text&>(node).data(), out);
       break;
     case NodeType::kComment:
       out->append("<!--");
@@ -47,7 +47,7 @@ void SerializeInto(const Node& node, std::string* out) {
         out->push_back(' ');
         out->append(name);
         out->append("=\"");
-        out->append(HtmlEscape(value));
+        HtmlEscapeAppend(value, out);
         out->push_back('"');
       }
       out->push_back('>');
@@ -70,6 +70,10 @@ std::string SerializeNode(const Node& node) {
   std::string out;
   SerializeInto(node, &out);
   return out;
+}
+
+void SerializeNodeInto(const Node& node, std::string* out) {
+  SerializeInto(node, out);
 }
 
 std::string SerializeChildren(const Node& node) {

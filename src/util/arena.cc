@@ -1,0 +1,244 @@
+#include "src/util/arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define RCB_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RCB_ARENA_ASAN 1
+#endif
+#endif
+#ifndef RCB_ARENA_ASAN
+#define RCB_ARENA_ASAN 0
+#endif
+
+namespace rcb {
+
+namespace {
+
+constexpr size_t kAlign = 16;
+
+size_t AlignUp(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
+
+struct Block {
+  Block* next = nullptr;
+  size_t capacity = 0;
+  size_t used = 0;
+  // Payload follows the header, already 16-byte aligned because the header
+  // is padded to kAlign below.
+};
+
+constexpr size_t kBlockHeader = (sizeof(Block) + kAlign - 1) & ~(kAlign - 1);
+
+Block* NewBlock(size_t payload_bytes) {
+  void* raw = std::malloc(kBlockHeader + payload_bytes);
+  if (!raw) throw std::bad_alloc();
+  Block* b = new (raw) Block();
+  b->capacity = payload_bytes;
+  return b;
+}
+
+void FreeChain(Block* b) {
+  while (b) {
+    Block* next = b->next;
+    std::free(b);
+    b = next;
+  }
+}
+
+thread_local Arena* g_current_arena = nullptr;
+
+// Every ArenaAllocRaw/malloc allocation is prefixed with this header so
+// ArenaFreeRaw can tell the two apart and find the owning control record.
+struct AllocHeader {
+  void* ctrl;  // Arena::Control* for arena allocations, nullptr for malloc
+  size_t size;
+};
+static_assert(sizeof(AllocHeader) <= kAlign, "header must fit the alignment");
+
+}  // namespace
+
+// Shared owner of the arena's memory. The Arena holds one reference; each
+// outstanding allocation holds one logical reference via `live`. Whichever
+// of {Arena destructor, last deallocation} runs second frees the blocks —
+// that is what makes an allocation outliving its Arena survivable.
+struct Arena::Control {
+  Block* blocks = nullptr;       // active chain; head is the bump target
+  Block* quarantined = nullptr;  // chains parked by Reset() while live > 0
+  size_t live = 0;
+  bool arena_dead = false;
+#if RCB_ARENA_ASAN
+  // ASan mode: every allocation is its own malloc so dangling pointers into
+  // a reset arena trip a real heap-use-after-free. `pending` are the blocks
+  // a Reset couldn't free because they were still live at the time.
+  std::vector<void*> mallocs;
+  std::vector<void*> pending;
+#endif
+
+  void ReleaseIfUnreachable() {
+    if (arena_dead && live == 0) {
+      FreeChain(blocks);
+      FreeChain(quarantined);
+#if RCB_ARENA_ASAN
+      for (void* p : mallocs) std::free(p);
+      for (void* p : pending) std::free(p);
+#endif
+      delete this;
+    }
+  }
+};
+
+Arena::Arena(size_t block_bytes)
+    : ctrl_(new Control()),
+      block_bytes_(block_bytes < 1024 ? 1024 : block_bytes) {}
+
+Arena::~Arena() {
+  ctrl_->arena_dead = true;
+  ctrl_->ReleaseIfUnreachable();
+}
+
+void* Arena::Alloc(size_t n) {
+  ++allocations_;
+  allocated_bytes_ += n;
+  n = AlignUp(n);
+#if RCB_ARENA_ASAN
+  void* p = std::malloc(n);
+  if (!p) throw std::bad_alloc();
+  ctrl_->mallocs.push_back(p);
+  ++ctrl_->live;
+  return p;
+#else
+  Block* head = ctrl_->blocks;
+  if (!head || head->capacity - head->used < n) {
+    size_t payload = n > block_bytes_ ? n : block_bytes_;
+    Block* b = NewBlock(payload);
+    b->next = ctrl_->blocks;
+    ctrl_->blocks = b;
+    head = b;
+  }
+  char* base = reinterpret_cast<char*>(head) + kBlockHeader;
+  void* p = base + head->used;
+  head->used += n;
+  ++ctrl_->live;
+  return p;
+#endif
+}
+
+void Arena::Reset() {
+  ++resets_;
+  if (ctrl_->live > 0) {
+    // Escapees exist: park the current blocks where they stay valid until
+    // the last holder deletes, and start fresh. Never reuse under them.
+    ++quarantines_;
+#if RCB_ARENA_ASAN
+    quarantined_bytes_ += ctrl_->mallocs.size() * kAlign;
+    ctrl_->pending.insert(ctrl_->pending.end(), ctrl_->mallocs.begin(),
+                          ctrl_->mallocs.end());
+    ctrl_->mallocs.clear();
+#else
+    for (Block* b = ctrl_->blocks; b; b = b->next) {
+      quarantined_bytes_ += b->capacity;
+    }
+    Block* chain = ctrl_->blocks;
+    while (chain && chain->next) chain = chain->next;
+    if (chain) {
+      chain->next = ctrl_->quarantined;
+      ctrl_->quarantined = ctrl_->blocks;
+    }
+    ctrl_->blocks = nullptr;
+#endif
+    return;
+  }
+#if RCB_ARENA_ASAN
+  for (void* p : ctrl_->mallocs) std::free(p);
+  ctrl_->mallocs.clear();
+  for (void* p : ctrl_->pending) std::free(p);
+  ctrl_->pending.clear();
+#else
+  // Keep the largest block for reuse, free the rest: steady state is one
+  // block sized to the page, without hoarding after a transient spike.
+  Block* keep = nullptr;
+  Block* b = ctrl_->blocks;
+  while (b) {
+    Block* next = b->next;
+    if (!keep || b->capacity > keep->capacity) {
+      if (keep) std::free(keep);
+      keep = b;
+    } else {
+      std::free(b);
+    }
+    b = next;
+  }
+  if (keep) {
+    keep->next = nullptr;
+    keep->used = 0;
+  }
+  ctrl_->blocks = keep;
+  FreeChain(ctrl_->quarantined);
+  ctrl_->quarantined = nullptr;
+#endif
+}
+
+Arena::Stats Arena::stats() const {
+  Stats s;
+  s.allocations = allocations_;
+  s.allocated_bytes = allocated_bytes_;
+  s.resets = resets_;
+  s.quarantines = quarantines_;
+  s.quarantined_bytes = quarantined_bytes_;
+  s.live = ctrl_->live;
+#if RCB_ARENA_ASAN
+  s.blocks = ctrl_->mallocs.size();
+  s.block_bytes = 0;
+#else
+  for (Block* b = ctrl_->blocks; b; b = b->next) {
+    ++s.blocks;
+    s.block_bytes += b->capacity;
+  }
+#endif
+  return s;
+}
+
+ArenaScope::ArenaScope(Arena* arena) : previous_(g_current_arena) {
+  g_current_arena = arena;
+}
+
+ArenaScope::~ArenaScope() { g_current_arena = previous_; }
+
+Arena* ArenaScope::Current() { return g_current_arena; }
+
+void* ArenaAllocRaw(size_t n) {
+  Arena* arena = g_current_arena;
+  if (arena) {
+    char* p = static_cast<char*>(arena->Alloc(n + kAlign));
+    AllocHeader* h = reinterpret_cast<AllocHeader*>(p);
+    h->ctrl = arena->ctrl_;
+    h->size = n;
+    return p + kAlign;
+  }
+  char* p = static_cast<char*>(std::malloc(n + kAlign));
+  if (!p) throw std::bad_alloc();
+  AllocHeader* h = reinterpret_cast<AllocHeader*>(p);
+  h->ctrl = nullptr;
+  h->size = n;
+  return p + kAlign;
+}
+
+void ArenaFreeRaw(void* p) {
+  if (!p) return;
+  char* base = static_cast<char*>(p) - kAlign;
+  AllocHeader* h = reinterpret_cast<AllocHeader*>(base);
+  if (!h->ctrl) {
+    std::free(base);
+    return;
+  }
+  auto* ctrl = static_cast<Arena::Control*>(h->ctrl);
+  --ctrl->live;
+  ctrl->ReleaseIfUnreachable();
+}
+
+}  // namespace rcb

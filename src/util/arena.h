@@ -1,0 +1,104 @@
+// Bump allocator for transient DOM trees (docs/PERF_MODEL.md).
+//
+// The Fig. 3 pipeline clones the documentElement, rewrites the clone, and
+// throws it away — thousands of short-lived Node allocations per update.
+// An Arena turns that churn into pointer bumps: allocation advances a cursor
+// inside a block, deallocation is a counted no-op, and Reset() rewinds the
+// cursor so the next pipeline run reuses the same blocks.
+//
+// Lifetime rules (the part that must never be folklore):
+//   * An allocation may not outlive the Reset() that follows it. Escape is a
+//     bug, but a *survivable and observable* one: Reset() with live
+//     allocations quarantines every current block (memory stays valid, the
+//     escapee keeps working) and counts a quarantine in stats(). It never
+//     frees memory out from under a live object.
+//   * The Arena object itself may die before a quarantined escapee: block
+//     ownership lives in a control record that the last outstanding
+//     deallocation releases, so there is no use-after-free on either path.
+//   * Under AddressSanitizer every allocation is an individual malloc freed
+//     at Reset() (when nothing is live), so a dangling pointer into a reset
+//     arena is a hard ASan report instead of silent reuse — this is what the
+//     RCB_SANITIZE CI pass leans on (see serialize_cache_test).
+//
+// Allocation is routed class-side: rcb::Node overrides operator new/delete to
+// call ArenaAllocRaw/ArenaFreeRaw, which use the ArenaScope-installed
+// thread-local arena when one is active and plain malloc otherwise. Every
+// allocation carries a 16-byte header naming its owner, so delete works
+// identically for arena and heap nodes.
+#ifndef SRC_UTIL_ARENA_H_
+#define SRC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rcb {
+
+class Arena {
+ public:
+  struct Stats {
+    uint64_t allocations = 0;      // cumulative Alloc calls
+    uint64_t allocated_bytes = 0;  // cumulative requested bytes (pre-header)
+    uint64_t resets = 0;           // Reset() calls
+    uint64_t quarantines = 0;      // Reset()s that found live allocations
+    uint64_t quarantined_bytes = 0;  // block bytes parked by those resets
+    size_t blocks = 0;             // current reusable blocks
+    size_t block_bytes = 0;        // their total capacity
+    size_t live = 0;               // allocations not yet deleted
+  };
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // 16-byte aligned storage; the caller's header convention is its own
+  // business (ArenaAllocRaw prepends one naming this arena's control record).
+  void* Alloc(size_t n);
+
+  // Rewinds the cursor for reuse; quarantines the blocks instead when
+  // allocations are still live (see file comment).
+  void Reset();
+
+  Stats stats() const;
+  size_t block_bytes() const { return block_bytes_; }
+
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+ private:
+  friend void* ArenaAllocRaw(size_t n);
+  friend void ArenaFreeRaw(void* p);
+  struct Control;  // shared block owner; outlives the Arena while live > 0
+  Control* ctrl_;
+  size_t block_bytes_;
+  uint64_t allocations_ = 0;
+  uint64_t allocated_bytes_ = 0;
+  uint64_t resets_ = 0;
+  uint64_t quarantines_ = 0;
+  uint64_t quarantined_bytes_ = 0;
+};
+
+// Installs `arena` as the thread's active arena for Node allocation; restores
+// the previous one (usually none) on destruction. Scopes nest.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  static Arena* Current();
+
+ private:
+  Arena* previous_;
+};
+
+// Headered allocation: from the active ArenaScope arena when one is
+// installed, malloc otherwise. ArenaFreeRaw dispatches on the header, so the
+// pair is safe for objects that outlive the scope (they just should not
+// outlive the arena's Reset — see the quarantine rules above).
+void* ArenaAllocRaw(size_t n);
+void ArenaFreeRaw(void* p);
+
+}  // namespace rcb
+
+#endif  // SRC_UTIL_ARENA_H_

@@ -50,17 +50,21 @@ int HexValue(char c) {
 std::string JsEscape(std::string_view input) {
   std::string out;
   out.reserve(input.size());
+  JsEscapeAppend(input, &out);
+  return out;
+}
+
+void JsEscapeAppend(std::string_view input, std::string* out) {
   for (char ch : input) {
     unsigned char c = static_cast<unsigned char>(ch);
     if (IsJsSafe(c)) {
-      out.push_back(ch);
+      out->push_back(ch);
     } else {
-      out.push_back('%');
-      out.push_back(kHexDigits[c >> 4]);
-      out.push_back(kHexDigits[c & 0xF]);
+      out->push_back('%');
+      out->push_back(kHexDigits[c >> 4]);
+      out->push_back(kHexDigits[c & 0xF]);
     }
   }
-  return out;
 }
 
 std::string JsUnescape(std::string_view input) {
@@ -144,28 +148,32 @@ std::string PercentDecode(std::string_view input, bool plus_as_space) {
 std::string HtmlEscape(std::string_view input) {
   std::string out;
   out.reserve(input.size());
+  HtmlEscapeAppend(input, &out);
+  return out;
+}
+
+void HtmlEscapeAppend(std::string_view input, std::string* out) {
   for (char c : input) {
     switch (c) {
       case '&':
-        out.append("&amp;");
+        out->append("&amp;");
         break;
       case '<':
-        out.append("&lt;");
+        out->append("&lt;");
         break;
       case '>':
-        out.append("&gt;");
+        out->append("&gt;");
         break;
       case '"':
-        out.append("&quot;");
+        out->append("&quot;");
         break;
       case '\'':
-        out.append("&#39;");
+        out->append("&#39;");
         break;
       default:
-        out.push_back(c);
+        out->push_back(c);
     }
   }
-  return out;
 }
 
 namespace {

@@ -17,7 +17,12 @@ namespace rcb {
 // become %XX; code points above 0xFF become %uXXXX. Our transport is byte
 // oriented, so input is treated as Latin-1 bytes (matching how the original
 // snippet saw single-byte document encodings).
+//
+// Both escapes are stateless per byte, so escaping a concatenation equals
+// concatenating the escapes. The serialization cache (src/core) depends on
+// that to splice cached pre-escaped spans byte-identically.
 std::string JsEscape(std::string_view input);
+void JsEscapeAppend(std::string_view input, std::string* out);
 
 // Inverse of JsEscape. Malformed %-sequences are passed through verbatim,
 // matching browser behaviour.
@@ -31,6 +36,7 @@ std::string PercentDecode(std::string_view input, bool plus_as_space = false);
 
 // Escapes &<>"' for HTML text/attribute contexts.
 std::string HtmlEscape(std::string_view input);
+void HtmlEscapeAppend(std::string_view input, std::string* out);
 
 // Decodes the five named entities produced by HtmlEscape plus decimal/hex
 // numeric character references for the Latin-1 range.
