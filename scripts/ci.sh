@@ -258,6 +258,85 @@ check_trace() {
   fi
 }
 
+check_transport() {
+  local build_dir="$1"
+  local artifact_dir="${build_dir}/ci-transport-json"
+  echo "=== ${build_dir}: streamed transport gate ==="
+  rm -rf "${artifact_dir}"
+  mkdir -p "${artifact_dir}"
+  # Frame codec, grant negotiation, heartbeat/reconnect ladder, long-poll
+  # parking, adaptive backoff, and the byte-identical downgrade suite by
+  # name: a test-registration regression cannot silently drop them.
+  "${build_dir}/tests/transport_test" --gtest_brief=1
+  "${build_dir}/tests/agent_test" \
+      --gtest_filter='*StreamCapabilityDowngrade*' --gtest_brief=1
+  # The bench enforces the floors on exit: WAN framed streaming >= 2x median
+  # latency cut and >= 10x idle bytes/min cut vs 1 s polling, and the drop
+  # probe recovers via signed resume on every profile. Every reading is
+  # simulated time, so the floors hold under sanitizers too; the sanitized
+  # build just runs a smaller sweep to bound wall time.
+  local mutations=15 idle=60 fanout=8
+  if [[ "${build_dir}" == *asan* ]]; then
+    mutations=7
+    idle=30
+    fanout=4
+  fi
+  RCB_BENCH_JSON_DIR="${artifact_dir}" \
+      RCB_TRANSPORT_MUTATIONS="${mutations}" \
+      RCB_TRANSPORT_IDLE_SECONDS="${idle}" \
+      RCB_TRANSPORT_FANOUT_SESSIONS="${fanout}" \
+      "${build_dir}/bench/bench_transport" > /dev/null
+  local artifact="${artifact_dir}/BENCH_transport.json"
+  "${build_dir}/tools/validate_bench_json" "${artifact}"
+  if command -v jq >/dev/null; then
+    # Schema + in-artifact floors: the improvement ratios and the per-profile
+    # framed drop-recovery flags must hold in the artifact this build wrote.
+    jq -e '.schema_version == 1 and .bench == "transport"
+           and (.config_fingerprint | test("^[0-9a-f]{64}$"))
+           and ([.metrics[].name]
+                | index("wan_poll_median_latency_us") != null)
+           and ([.metrics[].name]
+                | index("wan_frames_median_latency_us") != null)
+           and ([.metrics[].name]
+                | index("fanout_frames_median_latency_us") != null)
+           and ([.metrics[] | select(.name == "wan_latency_improvement_x")
+                 | .value >= 2] == [true])
+           and ([.metrics[] | select(.name == "wan_idle_bytes_improvement_x")
+                 | .value >= 10] == [true])
+           and ([.metrics[]
+                 | select(.name | test("^(lan|wan|mobile)_frames_recovered_after_drop$"))
+                 | .value] | length == 3 and all(. == 1))' \
+        "${artifact}" > /dev/null
+    # Latency floor against the committed polling baseline: streamed sync
+    # must keep beating the poll numbers this repo ships. Sim time is
+    # deterministic, but the gate still re-runs once before tripping so a
+    # flaky environment cannot block a good change. The sanitized sweep is
+    # reduced, so only the plain build compares with the committed artifact.
+    if [[ "${build_dir}" != *asan* ]]; then
+      local committed="bench-artifacts/BENCH_transport.json"
+      if [[ -f "${committed}" ]]; then
+        local floor_jq='([.metrics[]
+             | select(.name == "wan_poll_median_latency_us") | .value][0])
+             as $poll
+             | ([$cur[0].metrics[]
+                 | select(.name == "wan_frames_median_latency_us")
+                 | .value][0]) as $frames
+             | $frames * 2 <= $poll'
+        if ! jq -e --slurpfile cur "${artifact}" "${floor_jq}" \
+            "${committed}" > /dev/null; then
+          echo "transport latency floor below bound; re-running once" >&2
+          RCB_BENCH_JSON_DIR="${artifact_dir}" \
+              "${build_dir}/bench/bench_transport" > /dev/null
+          jq -e --slurpfile cur "${artifact}" "${floor_jq}" \
+              "${committed}" > /dev/null ||
+            { echo "streamed transport no longer >= 2x faster than the" \
+                   "committed polling baseline (twice)" >&2; return 1; }
+        fi
+      fi
+    fi
+  fi
+}
+
 run_suite() {
   local build_dir="$1"
   shift
@@ -285,6 +364,7 @@ run_suite() {
   check_scale_json "${build_dir}"
   check_recovery "${build_dir}"
   check_trace "${build_dir}"
+  check_transport "${build_dir}"
 }
 
 run_suite build "$@"

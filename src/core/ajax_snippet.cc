@@ -62,6 +62,11 @@ void AjaxSnippet::NoteActionQueued() {
     action_queue_waiting_ = true;
     action_queue_since_ = browser_->loop()->now();
   }
+  if (adaptive_.has_value()) {
+    // Local input counts as activity: snap the poll interval back so the
+    // action (and whatever it triggers) round-trips promptly.
+    adaptive_->OnActivity();
+  }
 }
 
 void AjaxSnippet::RegisterMetrics() {
@@ -117,6 +122,48 @@ void AjaxSnippet::RegisterMetrics() {
         metrics_.overload_deferrals);
   field("rcb_snippet_object_fetch_failures", "Supplementary fetches that failed",
         metrics_.object_fetch_failures);
+
+  // Streamed transport (DESIGN.md §15). The wasted-poll pair quantifies the
+  // idle tax of classic polling that the transport exists to remove.
+  field("rcb_snippet_wasted_polls_total",
+        "Classic empty poll round trips (no transport grant held)",
+        metrics_.wasted_polls);
+  field("rcb_snippet_wasted_poll_bytes_total",
+        "Request+response bytes moved by classic empty polls",
+        metrics_.wasted_poll_bytes);
+  field("rcb_transport_frames_received_total",
+        "Hello and data frames received on framed streams",
+        metrics_.frames_received);
+  field("rcb_transport_heartbeats_received_total",
+        "Heartbeat frames received on framed streams",
+        metrics_.heartbeats_received);
+  field("rcb_transport_frame_errors_total",
+        "Framed-stream parse/MAC/seq failures (each tears the stream down)",
+        metrics_.frame_errors);
+  field("rcb_transport_heartbeat_timeouts_total",
+        "Framed streams declared dead after heartbeat silence",
+        metrics_.heartbeat_timeouts);
+  field("rcb_transport_streams_opened_total", "Framed streams opened",
+        metrics_.transport_streams_opened);
+  field("rcb_transport_stream_failures_total",
+        "Framed streams lost to drops, timeouts, or frame errors",
+        metrics_.transport_stream_failures);
+  field("rcb_transport_downgrades_total",
+        "Permanent downgrades to classic polling after repeated failures",
+        metrics_.transport_downgrades);
+  registry_.AddCallbackCounter(
+      "rcb_snippet_adaptive_snapbacks_total",
+      "Adaptive poll intervals snapped back to base on activity",
+      obs::Provenance::kSim,
+      [this] { return adaptive_.has_value() ? adaptive_->snapbacks() : 0; });
+  registry_.AddCallbackGauge(
+      "rcb_snippet_adaptive_interval_ms",
+      "Poll interval the adaptive policy will use next",
+      obs::Provenance::kSim, [this] {
+        return static_cast<double>(adaptive_.has_value()
+                                       ? adaptive_->Current().millis()
+                                       : interval_.millis());
+      });
 
   // Trace-ring health + flight recorder, under the same canonical names the
   // agent registry exposes (separate registries, so no collision).
@@ -200,6 +247,14 @@ void AjaxSnippet::Join(const Url& agent_url, std::function<void(Status)> joined)
                           : SyncModel::kPoll;
         joined_ = true;
         doc_time_ms_ = -1;
+        if (config_.adaptive_poll) {
+          transport::AdaptivePollConfig adaptive_config;
+          adaptive_config.base = interval_;
+          adaptive_config.max = config_.adaptive_max;
+          adaptive_config.growth = config_.adaptive_growth;
+          adaptive_config.idle_threshold = config_.adaptive_idle_threshold;
+          adaptive_.emplace(adaptive_config);
+        }
         // Per-participant dump filenames, so snippets sharing a flight dir
         // do not clobber each other's artifacts.
         flight_.set_component("snippet-" + pid_);
@@ -253,6 +308,13 @@ void AjaxSnippet::AbortWithoutGoodbye() {
   stream_buffer_.clear();
   stream_head_done_ = false;
   stream_was_open_ = false;
+  CloseFramedStream();
+  longpoll_active_ = false;
+  longpoll_hold_ms_ = 0;
+  frames_pending_ = false;
+  transport_downgraded_ = false;
+  stream_failure_streak_ = 0;
+  adaptive_.reset();  // re-seeded from the advertised interval on next Join
   peers_.clear();
   poll_in_flight_ = false;
   reconnect_in_flight_ = false;
@@ -281,7 +343,7 @@ void AjaxSnippet::PollNow() {
   if (!joined_) {
     return;
   }
-  if (sync_model_ == SyncModel::kPush) {
+  if (sync_model_ == SyncModel::kPush || frames_stream_ != nullptr) {
     ScheduleActionFlush();
     return;
   }
@@ -443,6 +505,7 @@ void AjaxSnippet::ScheduleActionFlush() {
 
 void AjaxSnippet::SendPoll(PollRequest poll, FetchCallback callback) {
   std::string body = EncodePollRequest(poll);
+  in_flight_poll_bytes_ = body.size();
   // §3.4: the HMAC over the request rides as a request-URI parameter.
   Url target = agent_url_;
   if (!config_.session_key.empty()) {
@@ -459,6 +522,9 @@ void AjaxSnippet::SendPoll(PollRequest poll, FetchCallback callback) {
 void AjaxSnippet::PollOnce() {
   if (!joined_ || poll_in_flight_ || reconnect_in_flight_) {
     return;
+  }
+  if (frames_stream_ != nullptr) {
+    return;  // the framed stream owns delivery; gestures flush via POSTs
   }
   poll_in_flight_ = true;
   uint64_t seq = ++poll_seq_;
@@ -479,6 +545,11 @@ void AjaxSnippet::PollOnce() {
   poll.resync = need_resync_;
   // A resyncing participant must get the full snapshot, not a delta.
   poll.patch = config_.enable_delta && !need_resync_;
+  // Streamed-transport capability (DESIGN.md §15): absent when the feature is
+  // off or permanently downgraded, so the wire stays byte-identical.
+  if (config_.stream_mode != transport::kStreamNone && !transport_downgraded_) {
+    poll.stream = config_.stream_mode;
+  }
   if (config_.enable_trace) {
     // poll_seq_ never resets, so trace ids stay unique across reconnects and
     // resumes. The root span id is reserved now but appended only when the
@@ -518,9 +589,15 @@ void AjaxSnippet::PollOnce() {
   // A refused connection fails the fetch synchronously, so the poll may
   // already be resolved here — only arm the timeout for one still in flight.
   if (recovery_enabled() && poll_in_flight_ && seq == poll_seq_) {
+    // A granted long-poll is legitimately held by the agent: the deadline
+    // budget covers the advertised hold on top of the normal timeout.
+    Duration budget = config_.poll_timeout;
+    if (longpoll_active_) {
+      budget += Duration::Millis(longpoll_hold_ms_);
+    }
     uint64_t timer_epoch = epoch_;
     timeout_timer_ =
-        browser_->loop()->Schedule(config_.poll_timeout, [this, timer_epoch, seq] {
+        browser_->loop()->Schedule(budget, [this, timer_epoch, seq] {
           if (timer_epoch != epoch_) {
             return;
           }
@@ -616,6 +693,9 @@ void AjaxSnippet::Reconnect() {
     stream_->Close();
     stream_ = nullptr;
   }
+  CloseFramedStream();
+  longpoll_active_ = false;
+  frames_pending_ = false;
   // Connections wedged on the dead link would swallow the re-handshake.
   browser_->AbortOriginConnections(agent_url_);
 
@@ -761,11 +841,37 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
     SchedulePoll(interval_);
     return;
   }
+  // Transport negotiation (DESIGN.md §15): each successful poll response
+  // refreshes the grant; a response without the header (agent opted out,
+  // capacity denial, front-door route) drops back to classic polling.
+  longpoll_active_ = false;
+  frames_pending_ = false;
+  if (config_.stream_mode != transport::kStreamNone && !transport_downgraded_) {
+    if (auto header = result.response.headers.Get("RCB-Transport")) {
+      if (auto grant = transport::ParseTransportGrant(*header)) {
+        if (grant->mode == transport::GrantMode::kFrames &&
+            config_.stream_mode >= transport::kStreamFrames) {
+          frames_pending_ = true;
+          frames_hb_ms_ = grant->heartbeat_ms;
+        } else if (grant->mode == transport::GrantMode::kLongPoll) {
+          longpoll_active_ = true;
+          longpoll_hold_ms_ = grant->hold_ms;
+        }
+      }
+    }
+  }
   if (result.response.body.empty()) {
     // "No new content": schedule the next poll after the interval.
     ++metrics_.empty_responses;
+    if (!longpoll_active_ && !frames_pending_) {
+      // The whole round trip moved no payload — the idle tax the streamed
+      // transport exists to remove (wasted-poll accounting, DESIGN.md §15).
+      ++metrics_.wasted_polls;
+      metrics_.wasted_poll_bytes +=
+          in_flight_poll_bytes_ + result.response.Serialize().size();
+    }
     TraceMarker("snippet.response.empty", {});
-    SchedulePoll(interval_);
+    ScheduleNextPoll(/*activity=*/false, sent_at);
     return;
   }
   if (config_.enable_delta && delta::LooksLikePatchXml(result.response.body)) {
@@ -778,7 +884,7 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
       return;
     }
     ProcessPatch(*envelope_or, browser_->loop()->now() - sent_at);
-    SchedulePoll(interval_);
+    ScheduleNextPoll(/*activity=*/true, sent_at);
     return;
   }
   auto snapshot_or = ParseSnapshotXml(result.response.body);
@@ -788,7 +894,254 @@ void AjaxSnippet::OnPollResponse(FetchResult result, SimTime sent_at) {
     return;
   }
   ProcessSnapshot(*snapshot_or, browser_->loop()->now() - sent_at);
+  ScheduleNextPoll(/*activity=*/true, sent_at);
+}
+
+void AjaxSnippet::ScheduleNextPoll(bool activity, SimTime sent_at) {
+  if (adaptive_.has_value()) {
+    if (activity) {
+      adaptive_->OnActivity();
+    } else {
+      adaptive_->OnEmpty();
+    }
+  }
+  if (frames_pending_) {
+    // The grant says a framed stream is waiting: open it instead of polling.
+    frames_pending_ = false;
+    OpenFramedStream();
+    if (frames_stream_ != nullptr) {
+      return;
+    }
+    // Open failed synchronously; OnFramedStreamFailure already re-entered
+    // the poll loop.
+    return;
+  }
+  if (longpoll_active_) {
+    // Keep one request parked at the agent at all times: the next poll goes
+    // out immediately and the agent holds it until there is something to
+    // say (or the hold deadline passes). No busy loop: each round trip is
+    // either held for long_poll_hold or carries payload.
+    SchedulePoll(Duration::Zero());
+    return;
+  }
+  if (adaptive_.has_value()) {
+    SchedulePoll(adaptive_->Current());
+    return;
+  }
   SchedulePoll(interval_);
+}
+
+void AjaxSnippet::OpenFramedStream() {
+  if (frames_stream_ != nullptr || !joined_) {
+    return;
+  }
+  std::string query = "pid=" + pid_;
+  if (!config_.session_key.empty()) {
+    std::string message = "GET /frames?" + query + "\n";
+    query += "&hmac=" + HmacSha256Hex(config_.session_key, message);
+  }
+  auto endpoint_or = browser_->network()->Connect(
+      browser_->machine(), agent_url_.host(), agent_url_.port());
+  if (!endpoint_or.ok()) {
+    RCB_LOG(kWarning) << "ajax-snippet: frames connect failed: "
+                      << endpoint_or.status();
+    OnFramedStreamFailure();
+    return;
+  }
+  frames_stream_ = *endpoint_or;
+  frames_buffer_.clear();
+  frames_head_done_ = false;
+  // A fresh stream means a fresh seq space: the parser's anti-replay floor
+  // resets with it (the MAC still binds every frame to the session key).
+  frame_parser_.emplace(config_.session_key);
+  last_frame_at_ = browser_->loop()->now();
+  frames_last_part_start_ = browser_->loop()->now();
+  ++metrics_.transport_streams_opened;
+  uint64_t epoch = epoch_;
+  frames_stream_->SetDataHandler([this, epoch](std::string_view data) {
+    if (epoch == epoch_) {
+      OnFramesData(data);
+    }
+  });
+  frames_stream_->SetCloseHandler([this, epoch] {
+    if (epoch != epoch_) {
+      return;
+    }
+    frames_stream_ = nullptr;
+    ++metrics_.stream_drops;
+    RCB_LOG(kWarning) << "ajax-snippet: framed stream closed by peer";
+    OnFramedStreamFailure();
+  });
+
+  HttpRequest request;
+  request.method = HttpMethod::kGet;
+  request.target = "/frames?" + query;
+  request.headers.Set("Host", agent_url_.Authority());
+  frames_stream_->Send(request.Serialize());
+}
+
+void AjaxSnippet::OnFramesData(std::string_view data) {
+  if (!frames_head_done_) {
+    frames_buffer_.append(data);
+    size_t head_end = frames_buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      return;
+    }
+    std::string_view head =
+        std::string_view(frames_buffer_).substr(0, head_end);
+    if (head.find(" 200 ") == std::string_view::npos) {
+      RCB_LOG(kWarning) << "ajax-snippet: frames request rejected";
+      ++metrics_.auth_rejections;
+      OnFramedStreamFailure();
+      return;
+    }
+    std::string rest = frames_buffer_.substr(head_end + 4);
+    frames_buffer_.clear();
+    frames_head_done_ = true;
+    if (!rest.empty()) {
+      frame_parser_->Append(rest);
+    }
+  } else {
+    frame_parser_->Append(data);
+  }
+  while (true) {
+    auto frame_or = frame_parser_->Next();
+    if (!frame_or.ok()) {
+      // Sticky by design: a bad MAC or regressing seq compromises the whole
+      // stream, so it is torn down and re-established via signed resume.
+      RCB_LOG(kWarning) << "ajax-snippet: frame error: " << frame_or.status();
+      ++metrics_.frame_errors;
+      OnFramedStreamFailure();
+      return;
+    }
+    if (!frame_or->has_value()) {
+      return;  // no complete frame buffered yet
+    }
+    transport::Frame frame = std::move(**frame_or);
+    last_frame_at_ = browser_->loop()->now();
+    switch (frame.type) {
+      case transport::FrameType::kHello: {
+        ++metrics_.frames_received;
+        if (StartsWith(frame.body, "hb=")) {
+          uint64_t hb_ms = 0;
+          if (ParseUint64(std::string_view(frame.body).substr(3), &hb_ms)) {
+            frames_hb_ms_ = static_cast<int64_t>(hb_ms);
+          }
+        }
+        ArmFramesWatchdog(EffectiveHeartbeatTimeout());
+        break;
+      }
+      case transport::FrameType::kHeartbeat:
+        ++metrics_.heartbeats_received;
+        break;
+      case transport::FrameType::kData: {
+        ++metrics_.frames_received;
+        stream_failure_streak_ = 0;  // the transport demonstrably works
+        SimTime received = browser_->loop()->now();
+        auto snapshot_or = ParseSnapshotXml(frame.body);
+        if (!snapshot_or.ok()) {
+          RCB_LOG(kWarning) << "ajax-snippet: bad framed snapshot: "
+                            << snapshot_or.status();
+          break;
+        }
+        ProcessSnapshot(*snapshot_or, received - frames_last_part_start_);
+        frames_last_part_start_ = browser_->loop()->now();
+        break;
+      }
+    }
+  }
+}
+
+Duration AjaxSnippet::EffectiveHeartbeatTimeout() const {
+  if (config_.heartbeat_timeout > Duration::Zero()) {
+    return config_.heartbeat_timeout;
+  }
+  int64_t hb_ms = frames_hb_ms_ > 0 ? frames_hb_ms_ : 5000;
+  return Duration::Millis(3 * hb_ms);
+}
+
+void AjaxSnippet::ArmFramesWatchdog(Duration delay) {
+  if (frames_watchdog_armed_ || frames_stream_ == nullptr) {
+    return;
+  }
+  frames_watchdog_armed_ = true;
+  uint64_t epoch = epoch_;
+  frames_watchdog_timer_ = browser_->loop()->Schedule(delay, [this, epoch] {
+    if (epoch != epoch_) {
+      return;
+    }
+    frames_watchdog_armed_ = false;
+    frames_watchdog_timer_ = 0;
+    OnFramesWatchdogTick();
+  });
+}
+
+void AjaxSnippet::OnFramesWatchdogTick() {
+  if (frames_stream_ == nullptr) {
+    return;
+  }
+  SimTime now = browser_->loop()->now();
+  Duration timeout = EffectiveHeartbeatTimeout();
+  if (now - last_frame_at_ >= timeout) {
+    ++metrics_.heartbeat_timeouts;
+    RCB_LOG(kWarning) << "ajax-snippet: framed stream heartbeat timeout after "
+                      << timeout;
+    OnFramedStreamFailure();
+    return;
+  }
+  // Quiet but alive: re-check when the budget from the last frame runs out.
+  ArmFramesWatchdog(last_frame_at_ + timeout - now);
+}
+
+void AjaxSnippet::CloseFramedStream() {
+  if (frames_watchdog_armed_) {
+    browser_->loop()->Cancel(frames_watchdog_timer_);
+    frames_watchdog_armed_ = false;
+    frames_watchdog_timer_ = 0;
+  }
+  if (frames_stream_ != nullptr) {
+    frames_stream_->SetDataHandler(nullptr);
+    frames_stream_->SetCloseHandler(nullptr);
+    frames_stream_->Close();
+    frames_stream_ = nullptr;
+  }
+  frames_buffer_.clear();
+  frames_head_done_ = false;
+  frame_parser_.reset();
+}
+
+void AjaxSnippet::OnFramedStreamFailure() {
+  if (!joined_) {
+    return;
+  }
+  CloseFramedStream();
+  ++metrics_.transport_stream_failures;
+  ++stream_failure_streak_;
+  frames_pending_ = false;
+  longpoll_active_ = false;
+  if (!transport_downgraded_ && config_.stream_downgrade_after > 0 &&
+      stream_failure_streak_ >= config_.stream_downgrade_after) {
+    // Downgrade ladder (DESIGN.md §15): repeated stream failures mean the
+    // path cannot sustain a held connection; stop advertising stream= and
+    // live on classic polling (plus the adaptive policy, if configured).
+    transport_downgraded_ = true;
+    ++metrics_.transport_downgrades;
+    RCB_LOG(kWarning) << "ajax-snippet: streamed transport downgraded to "
+                         "classic polling after "
+                      << stream_failure_streak_ << " consecutive failures";
+  }
+  TraceMarker("snippet.transport_failure",
+              {{"streak", StrFormat("%u", stream_failure_streak_)},
+               {"downgraded", transport_downgraded_ ? "1" : "0"}});
+  // Recovery ladder: re-handshake through the signed resume when configured
+  // (the stream may have died with updates in flight), else resume polling
+  // with a forced full-snapshot resync.
+  if (config_.reconnect_after > 0) {
+    Reconnect();
+    return;
+  }
+  need_resync_ = true;
+  PollNow();
 }
 
 void AjaxSnippet::HandleBroadcastActions(
@@ -1161,7 +1514,7 @@ Status AjaxSnippet::ClickElement(Element* element) {
   action.target = target;
   action_queue_.push_back(std::move(action));
   NoteActionQueued();
-  if (sync_model_ == SyncModel::kPush) {
+  if (sync_model_ == SyncModel::kPush || frames_stream_ != nullptr) {
     ScheduleActionFlush();
   }
   return Status::Ok();
@@ -1178,7 +1531,7 @@ Status AjaxSnippet::FillFormField(Element* form, std::string_view name,
   action.fields.emplace_back(std::string(name), std::string(value));
   action_queue_.push_back(std::move(action));
   NoteActionQueued();
-  if (sync_model_ == SyncModel::kPush) {
+  if (sync_model_ == SyncModel::kPush || frames_stream_ != nullptr) {
     ScheduleActionFlush();
   }
   return Status::Ok();
@@ -1192,7 +1545,7 @@ Status AjaxSnippet::SubmitForm(Element* form) {
   action.fields = FormFields(form);
   action_queue_.push_back(std::move(action));
   NoteActionQueued();
-  if (sync_model_ == SyncModel::kPush) {
+  if (sync_model_ == SyncModel::kPush || frames_stream_ != nullptr) {
     ScheduleActionFlush();
   }
   return Status::Ok();
@@ -1205,7 +1558,7 @@ void AjaxSnippet::SendMouseMove(int x, int y) {
   action.y = y;
   action_queue_.push_back(std::move(action));
   NoteActionQueued();
-  if (sync_model_ == SyncModel::kPush) {
+  if (sync_model_ == SyncModel::kPush || frames_stream_ != nullptr) {
     ScheduleActionFlush();
   }
 }
@@ -1216,7 +1569,7 @@ void AjaxSnippet::RequestNavigate(const std::string& url) {
   action.data = url;
   action_queue_.push_back(std::move(action));
   NoteActionQueued();
-  if (sync_model_ == SyncModel::kPush) {
+  if (sync_model_ == SyncModel::kPush || frames_stream_ != nullptr) {
     ScheduleActionFlush();
   }
 }

@@ -16,6 +16,7 @@
 #define SRC_CORE_AJAX_SNIPPET_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,9 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/transport/adaptive_poll.h"
+#include "src/transport/capabilities.h"
+#include "src/transport/frame.h"
 #include "src/util/rand.h"
 
 namespace rcb {
@@ -70,6 +74,27 @@ struct SnippetConfig {
   // Flight-recorder dump directory; empty falls back to $RCB_FLIGHT_DIR, and
   // when both are unset triggers are counted but nothing is written.
   std::string flight_dir;
+
+  // --- Streamed transport (DESIGN.md §15). stream_mode 0 keeps the classic
+  // polling wire byte-for-byte; the agent side must also opt in via
+  // AgentConfig::transport.enable_stream, same contract as patch=/trace=. ---
+  // Capability advertised on polls: 0 = classic polling, 1 = long-poll
+  // capable, 2 = framed-stream capable (transport::kStream*).
+  uint32_t stream_mode = 0;
+  // Declare a framed stream dead after this much silence; zero derives
+  // 3x the agent-advertised heartbeat interval.
+  Duration heartbeat_timeout = Duration::Zero();
+  // After this many consecutive framed-stream failures, stop advertising
+  // stream= and stay on classic polling for good. 0 never downgrades.
+  uint32_t stream_downgrade_after = 3;
+  // Adaptive polling for classic pollers: grow the interval while responses
+  // come back empty (bounded by adaptive_max), snap back to the base
+  // interval on any activity. Pure arithmetic — deterministic under sim
+  // time. Ignored when a long-poll or framed grant is in effect.
+  bool adaptive_poll = false;
+  Duration adaptive_max = Duration::Seconds(8.0);
+  double adaptive_growth = 2.0;
+  uint32_t adaptive_idle_threshold = 2;
 };
 
 struct SnippetMetrics {
@@ -110,6 +135,16 @@ struct SnippetMetrics {
   size_t last_object_count = 0;
   size_t last_objects_from_host = 0;  // served by RCB-Agent (cache mode)
   uint64_t object_fetch_failures = 0;
+  // --- Streamed transport (DESIGN.md §15) ---
+  uint64_t wasted_polls = 0;       // classic empty round trips (no grant held)
+  uint64_t wasted_poll_bytes = 0;  // request+response bytes of those
+  uint64_t frames_received = 0;    // hello + data frames
+  uint64_t heartbeats_received = 0;
+  uint64_t frame_errors = 0;       // parse/MAC/seq failures (sticky)
+  uint64_t heartbeat_timeouts = 0; // framed streams declared dead on silence
+  uint64_t transport_streams_opened = 0;
+  uint64_t transport_stream_failures = 0;
+  uint64_t transport_downgrades = 0;  // permanent fallbacks to polling
 };
 
 class AjaxSnippet {
@@ -147,6 +182,15 @@ class AjaxSnippet {
   // Synchronization model in effect (advertised by the agent's initial page).
   SyncModel sync_model() const { return sync_model_; }
   bool stream_open() const { return stream_ != nullptr; }
+  // Streamed transport state (DESIGN.md §15).
+  bool frames_open() const { return frames_stream_ != nullptr; }
+  bool long_poll_active() const { return longpoll_active_; }
+  bool transport_downgraded() const { return transport_downgraded_; }
+  // Interval the adaptive policy would use for the next poll (the configured
+  // interval when adaptive polling is off).
+  Duration current_poll_interval() const {
+    return adaptive_.has_value() ? adaptive_->Current() : interval_;
+  }
 
   // Fired after each applied content update (argument: new doc time).
   void SetUpdateListener(std::function<void(int64_t)> listener) {
@@ -218,6 +262,22 @@ class AjaxSnippet {
   void Reconnect();
   // Push model opt-in: retry OpenStream after a backoff delay.
   void ScheduleStreamReopen();
+  // --- Streamed transport (DESIGN.md §15) ---
+  // Chooses the next poll delay from the grant in effect and the adaptive
+  // policy; opens a granted framed stream instead of scheduling.
+  void ScheduleNextPoll(bool activity, SimTime sent_at);
+  // Opens GET /frames (signed like /stream) and consumes frames from it.
+  void OpenFramedStream();
+  void OnFramesData(std::string_view data);
+  void CloseFramedStream();
+  // Shared teardown for heartbeat timeouts, frame errors, and peer closes:
+  // counts the failure, walks the downgrade ladder, then recovers via the
+  // signed resume handshake (reconnect_after > 0) or a resync poll.
+  void OnFramedStreamFailure();
+  void ArmFramesWatchdog(Duration delay);
+  void OnFramesWatchdogTick();
+  // Configured override, else 3x the agent-advertised heartbeat interval.
+  Duration EffectiveHeartbeatTimeout() const;
   void ApplySnapshot(const Snapshot& snapshot);
   void FetchSupplementaryObjects();
   // Registers the snippet's metric families (constructor-time).
@@ -265,6 +325,24 @@ class AjaxSnippet {
   bool stream_head_done_ = false;
   bool action_flush_scheduled_ = false;
   SimTime last_part_start_;
+
+  // --- Streamed transport state (DESIGN.md §15) ---
+  bool transport_downgraded_ = false;  // stop advertising stream= for good
+  uint32_t stream_failure_streak_ = 0; // reset by any data frame
+  bool longpoll_active_ = false;       // last poll response granted longpoll
+  int64_t longpoll_hold_ms_ = 0;
+  bool frames_pending_ = false;        // last poll response granted frames
+  int64_t frames_hb_ms_ = 0;           // agent's advertised heartbeat cadence
+  NetEndpoint* frames_stream_ = nullptr;
+  std::string frames_buffer_;          // HTTP head bytes before frames start
+  bool frames_head_done_ = false;
+  std::optional<transport::FrameParser> frame_parser_;
+  uint64_t frames_watchdog_timer_ = 0;
+  bool frames_watchdog_armed_ = false;
+  SimTime last_frame_at_;
+  SimTime frames_last_part_start_;
+  std::optional<transport::AdaptivePollPolicy> adaptive_;
+  size_t in_flight_poll_bytes_ = 0;  // request body bytes of the last poll
 
   SnippetMetrics metrics_;
 

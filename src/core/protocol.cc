@@ -215,6 +215,9 @@ std::string EncodePollRequest(const PollRequest& request) {
   if (!request.trace.empty()) {
     fields.emplace_back("trace", request.trace);
   }
+  if (request.stream != 0) {
+    fields.emplace_back("stream", StrFormat("%u", request.stream));
+  }
   return EncodeFormUrlEncoded(fields);
 }
 
@@ -242,6 +245,9 @@ StatusOr<PollRequest> DecodePollRequest(std::string_view body) {
       request.patch = value == "1";
     } else if (name == "trace") {
       request.trace = value;
+    } else if (name == "stream") {
+      request.stream =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     }
   }
   if (!have_pid || !have_ts) {

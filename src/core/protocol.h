@@ -145,6 +145,12 @@ struct PollRequest {
   // it, so the downgrade is automatic in both directions. Never affects the
   // response bytes — it only correlates observability spans.
   std::string trace;
+  // Streamed-transport capability level (DESIGN.md §15):
+  // 0 = classic polling (field omitted on the wire, byte-identical to the
+  // pre-transport format), 1 = long-poll capable, 2 = framed-stream capable.
+  // An agent with the transport disabled ignores the field, so the downgrade
+  // is automatic in both directions — the same contract as patch=/trace=.
+  uint32_t stream = 0;
 };
 
 std::string EncodePollRequest(const PollRequest& request);

@@ -216,6 +216,37 @@ void RcbAgent::RegisterMetrics() {
         "CDATA payload bytes after JsEscape, across all generations",
         metrics_.snapshot_bytes_escaped);
 
+  // Streamed transport (DESIGN.md §15): frame/long-poll counters plus gauges
+  // for the currently-held sockets the overload cap reasons about.
+  field("rcb_transport_streams_opened", "Framed transport streams accepted",
+        metrics_.transport_streams_opened);
+  field("rcb_transport_frames_sent", "Hello/data frames sent on framed streams",
+        metrics_.transport_frames_sent);
+  field("rcb_transport_heartbeats_sent", "Heartbeat frames sent on framed streams",
+        metrics_.transport_heartbeats_sent);
+  field("rcb_transport_frame_bytes_sent", "Wire bytes sent as transport frames",
+        metrics_.transport_frame_bytes_sent);
+  field("rcb_transport_long_polls_parked", "Empty polls held as long-polls",
+        metrics_.transport_long_polls_parked);
+  field("rcb_transport_long_poll_flushes",
+        "Held long-polls released with content or actions",
+        metrics_.transport_long_poll_flushes);
+  field("rcb_transport_long_poll_expiries",
+        "Held long-polls released empty at the hold deadline",
+        metrics_.transport_long_poll_expiries);
+  field("rcb_transport_capacity_denials",
+        "Transport upgrades refused at the held-socket cap",
+        metrics_.transport_capacity_denials);
+  reg->AddCallbackGauge(
+      "rcb_transport_streams_held", "Framed transport streams currently held",
+      obs::Provenance::kSim,
+      [this] { return static_cast<double>(framed_streams_.size()); },
+      base_labels);
+  reg->AddCallbackGauge(
+      "rcb_transport_polls_parked", "Long-polls currently held open",
+      obs::Provenance::kSim,
+      [this] { return static_cast<double>(parked_.size()); }, base_labels);
+
   // ObjectCache counters/gauges (shared with the host browser). A hosted
   // agent skips them: the cache is host-wide and registered once up there.
   if (config_.register_cache_metrics) {
@@ -471,6 +502,12 @@ void RcbAgent::Stop() {
   running_ = false;
   browser_->network()->StopListening(browser_->machine(), config_.port);
   browser_->SetDocumentChangeListener(nullptr);
+  // Parked long-polls ride connections_ records; cancel their hold timers
+  // before the shared connection teardown below closes the sockets.
+  for (auto& [pid, parked] : parked_) {
+    browser_->loop()->Cancel(parked.deadline_id);
+  }
+  parked_.clear();
   for (auto& conn : connections_) {
     DisarmReadDeadline(conn.get());
     if (conn->endpoint != nullptr) {
@@ -484,6 +521,24 @@ void RcbAgent::Stop() {
     endpoint->Close();
   }
   streams_.clear();
+  for (auto& [pid, stream] : framed_streams_) {
+    stream.endpoint->Close();
+  }
+  framed_streams_.clear();
+  if (hb_timer_armed_) {
+    browser_->loop()->Cancel(hb_timer_id_);
+    hb_timer_armed_ = false;
+  }
+}
+
+HttpResponse RcbAgent::HandleHostRequest(const HttpRequest& request) {
+  // The front-door router is synchronous: it cannot hold this connection, so
+  // transport upgrades (grants and parking) are suppressed for its requests.
+  front_door_request_ = true;
+  HttpResponse response = HandleRequest(request);
+  front_door_request_ = false;
+  park_intent_.reset();  // defensive: parking is suppressed above
+  return response;
 }
 
 Url RcbAgent::AgentUrl() const {
@@ -562,7 +617,8 @@ void RcbAgent::OnAccept(NetEndpoint* endpoint) {
   // Admission control: past the connection cap, answer a tiny 503 and close
   // instead of dedicating parser/timer state to the socket.
   if (config_.limits.max_connections > 0 &&
-      connections_.size() + streams_.size() >= config_.limits.max_connections) {
+      connections_.size() + streams_.size() + framed_streams_.size() >=
+          config_.limits.max_connections) {
     ++metrics_.connections_rejected;
     endpoint->Send(
         HttpResponse::ServiceUnavailable(
@@ -647,7 +703,19 @@ void RcbAgent::OnConnData(AgentConn* conn, std::string_view data) {
       HandleStreamRequest(conn, request);
       return;  // connection is now a held stream (or closed), never reused
     }
+    if (request.method == HttpMethod::kGet && request.Path() == "/frames") {
+      HandleFramesRequest(conn, request);
+      return;  // connection is now a held framed stream (or closed)
+    }
     HttpResponse response = HandleRequest(request);
+    if (park_intent_.has_value()) {
+      // The poll found nothing to send and both sides hold the long-poll
+      // capability: hold the connection instead of answering (DESIGN.md §15).
+      ParkIntent intent = std::move(*park_intent_);
+      park_intent_.reset();
+      ParkPoll(conn, std::move(intent));
+      return;
+    }
     conn->endpoint->Send(response.Serialize());
   }
 }
@@ -667,6 +735,9 @@ void RcbAgent::OnDocumentChange() {
   }
   if (config_.sync_model == SyncModel::kPush && !streams_.empty()) {
     SchedulePushFlush();
+  }
+  if (!parked_.empty() || !framed_streams_.empty()) {
+    ScheduleTransportFlush();
   }
 }
 
@@ -798,6 +869,329 @@ void RcbAgent::PushOutbox(const std::string& pid) {
   stream_it->second->Send(MultipartPart(SerializeSnapshotXml(actions_only)));
 }
 
+// ---------------------------------------------------------------------------
+// Streamed transport (DESIGN.md §15): held long-polls and framed streams.
+// ---------------------------------------------------------------------------
+
+void RcbAgent::ParkPoll(AgentConn* conn, ParkIntent intent) {
+  const std::string pid = intent.pid;
+  ParkedPoll parked;
+  parked.conn = conn;
+  parked.grant = std::move(intent.grant);
+  parked.acked_doc_time_ms = intent.acked_doc_time_ms;
+  parked.patch = intent.patch;
+  parked.deadline_id = browser_->loop()->Schedule(
+      config_.transport.long_poll_hold,
+      [this, pid] { ReleaseParkedPoll(pid, /*expired=*/true); });
+  // The socket stays a tracked connection (cap + shutdown still apply); only
+  // the close handler changes so a client-side drop forgets the hold.
+  conn->endpoint->SetCloseHandler([this, conn, pid] {
+    auto it = parked_.find(pid);
+    if (it != parked_.end() && it->second.conn == conn) {
+      browser_->loop()->Cancel(it->second.deadline_id);
+      parked_.erase(it);
+    }
+    RemoveConnection(conn);
+  });
+  parked_[pid] = std::move(parked);
+}
+
+void RcbAgent::ReleaseParkedPoll(const std::string& pid, bool expired) {
+  auto it = parked_.find(pid);
+  if (it == parked_.end()) {
+    return;
+  }
+  ParkedPoll parked = std::move(it->second);
+  parked_.erase(it);
+  if (!expired) {
+    browser_->loop()->Cancel(parked.deadline_id);
+  }
+  std::string body;
+  auto participant_it = participants_.find(pid);
+  if (participant_it != participants_.end()) {
+    ParticipantState& participant = participant_it->second;
+    participant.last_poll = browser_->loop()->now();
+    std::vector<UserAction> outbox = std::move(participant.outbox);
+    participant.outbox.clear();
+    if (has_version_ && participant.doc_time_ms < current_doc_time_ms_) {
+      body = BuildContentBody(pid, parked.acked_doc_time_ms, parked.patch,
+                              std::move(outbox));
+      participant.doc_time_ms = current_doc_time_ms_;
+      ++metrics_.polls_with_content;
+      ++metrics_.transport_long_poll_flushes;
+    } else if (!outbox.empty()) {
+      Snapshot actions_only;
+      actions_only.doc_time_ms = participant.doc_time_ms;
+      actions_only.has_content = false;
+      actions_only.user_actions = std::move(outbox);
+      body = SerializeSnapshotXml(actions_only);
+      ++metrics_.polls_with_content;
+      ++metrics_.transport_long_poll_flushes;
+    } else {
+      ++metrics_.polls_empty;
+      ++metrics_.transport_long_poll_expiries;
+    }
+  } else {
+    ++metrics_.transport_long_poll_expiries;
+  }
+  HttpResponse response = HttpResponse::Ok("application/xml", body);
+  response.headers.Set("RCB-Transport", parked.grant);
+  AgentConn* conn = parked.conn;
+  conn->endpoint->SetCloseHandler([this, conn] { RemoveConnection(conn); });
+  conn->endpoint->Send(response.Serialize());
+}
+
+std::string RcbAgent::BuildContentBody(const std::string& pid, int64_t acked,
+                                       bool patch_capable,
+                                       std::vector<UserAction> outbox) {
+  // The transport-side twin of HandlePoll's content path: same delta guard,
+  // same shared-snapshot fast path, same spliced per-participant flavour —
+  // so a parked release or data frame carries the exact poll-reply bytes.
+  SnapshotSlot& slot = RefreshSlot(CacheModeFor(pid), /*count_reuse=*/true);
+  if (config_.enable_delta && patch_capable && acked >= 0) {
+    std::optional<std::string> patch_xml =
+        broadcast_->MaybeBuildPatchResponse(slot, acked, &outbox, trace_ctx_);
+    SyncBroadcastCounters();
+    if (patch_xml) {
+      ++metrics_.patches_served;
+      metrics_.patch_bytes_sent += patch_xml->size();
+      metrics_.patch_snapshot_bytes += slot.xml.size();
+      metrics_.content_bytes_sent += patch_xml->size();
+      if (patch_bytes_ != nullptr) {
+        patch_bytes_->Record(static_cast<int64_t>(patch_xml->size()));
+      }
+      return *patch_xml;
+    }
+  }
+  if (outbox.empty()) {
+    metrics_.content_bytes_sent += slot.xml.size();
+    return slot.xml;
+  }
+  std::string xml = SerializeSnapshotXml(
+      slot.snapshot, nullptr,
+      slot.escaped.has_content ? &slot.escaped : nullptr, &outbox);
+  metrics_.content_bytes_sent += xml.size();
+  return xml;
+}
+
+void RcbAgent::HandleFramesRequest(AgentConn* conn, const HttpRequest& request) {
+  last_activity_ = browser_->loop()->now();
+  if (!config_.transport.enable_stream ||
+      config_.sync_model != SyncModel::kPoll) {
+    conn->endpoint->Send(
+        HttpResponse::BadRequest("streamed transport disabled").Serialize());
+    return;
+  }
+  if (!VerifyRequestAuth(request)) {
+    ++metrics_.auth_failures;
+    flight_.Trigger("auth_failure", browser_->loop()->now().micros());
+    conn->endpoint->Send(
+        HttpResponse::Forbidden("request authentication failed").Serialize());
+    return;
+  }
+  auto params = request.QueryParams();
+  auto pid_it = params.find("pid");
+  if (pid_it == params.end() || pid_it->second.empty()) {
+    conn->endpoint->Send(HttpResponse::BadRequest("missing pid").Serialize());
+    return;
+  }
+  std::string pid = pid_it->second;
+  if (!ParticipantAdmissible(pid)) {
+    ++metrics_.participants_rejected;
+    conn->endpoint->Send(
+        HttpResponse::ServiceUnavailable(
+            JitteredRetryAfter(config_.poll_interval, pid),
+            "participant limit reached")
+            .Serialize());
+    return;
+  }
+  const bool replacing = framed_streams_.contains(pid);
+  if (!replacing &&
+      framed_streams_.size() + parked_.size() >= config_.transport.max_held) {
+    ++metrics_.transport_capacity_denials;
+    conn->endpoint->Send(
+        HttpResponse::ServiceUnavailable(
+            JitteredRetryAfter(config_.poll_interval, pid),
+            "held transport limit reached")
+            .Serialize());
+    return;
+  }
+  if (replacing) {
+    // A reconnect raced the close of the previous stream: drop the old one
+    // silently — closing our own side does not re-enter its close handler.
+    framed_streams_[pid].endpoint->Close();
+    framed_streams_.erase(pid);
+  }
+  ParticipantState& participant = EnsureParticipant(pid);
+  participant.last_poll = browser_->loop()->now();
+  NetEndpoint* endpoint = conn->endpoint;
+  // The socket stops being a request connection: detach its parser record so
+  // the connection cap and read deadline no longer apply to it.
+  endpoint->SetDataHandler(nullptr);
+  RemoveConnection(conn);
+  // A dropped stream is not a goodbye: the participant resumes by polling or
+  // via the signed /resume handshake; true silence is handled by reaping.
+  endpoint->SetCloseHandler([this, pid] { framed_streams_.erase(pid); });
+  endpoint->Send(
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: application/x-rcb-frames\r\n\r\n");
+  FramedStream& stream = framed_streams_[pid];
+  stream.endpoint = endpoint;
+  stream.next_seq = 1;
+  stream.last_frame = browser_->loop()->now();
+  ++metrics_.transport_streams_opened;
+  SendFrame(pid, stream, transport::FrameType::kHello,
+            StrFormat("hb=%lld",
+                      static_cast<long long>(
+                          config_.transport.heartbeat_interval.millis())));
+  // If content already exists, deliver it right away; likewise anything that
+  // was broadcast into this participant's outbox before the stream opened.
+  std::vector<UserAction> outbox = std::move(participant.outbox);
+  participant.outbox.clear();
+  if (has_version_ && participant.doc_time_ms < current_doc_time_ms_) {
+    std::string body =
+        BuildContentBody(pid, /*acked=*/-1, /*patch_capable=*/false,
+                         std::move(outbox));
+    participant.doc_time_ms = current_doc_time_ms_;
+    ++metrics_.polls_with_content;
+    SendFrame(pid, stream, transport::FrameType::kData, std::move(body));
+  } else if (!outbox.empty()) {
+    Snapshot actions_only;
+    actions_only.doc_time_ms = participant.doc_time_ms;
+    actions_only.has_content = false;
+    actions_only.user_actions = std::move(outbox);
+    ++metrics_.polls_with_content;
+    SendFrame(pid, stream, transport::FrameType::kData,
+              SerializeSnapshotXml(actions_only));
+  }
+  ArmHeartbeatTimer();
+}
+
+void RcbAgent::SendFrame(const std::string& pid, FramedStream& stream,
+                         transport::FrameType type, std::string body) {
+  transport::Frame frame;
+  frame.type = type;
+  frame.seq = stream.next_seq++;
+  frame.body = std::move(body);
+  std::string wire = transport::EncodeFrame(frame, config_.session_key);
+  stream.last_frame = browser_->loop()->now();
+  metrics_.transport_frame_bytes_sent += wire.size();
+  if (type == transport::FrameType::kHeartbeat) {
+    ++metrics_.transport_heartbeats_sent;
+  } else {
+    ++metrics_.transport_frames_sent;
+  }
+  if (config_.enable_trace) {
+    trace_.Append(
+        "transport.frame", obs::Provenance::kSim,
+        browser_->loop()->now().micros(), 0,
+        obs::TraceContext{StrFormat("transport-%s", pid.c_str()), 0},
+        {{"type", std::string(transport::FrameTypeName(type))},
+         {"seq", StrFormat("%llu", static_cast<unsigned long long>(frame.seq))},
+         {"bytes", StrFormat("%zu", wire.size())}});
+  }
+  stream.endpoint->Send(wire);
+}
+
+void RcbAgent::ScheduleTransportFlush() {
+  if (transport_flush_pending_) {
+    // Drop-oldest, exactly like the push path: the superseded version was
+    // never serialized for these receivers.
+    ++metrics_.snapshots_shed;
+    return;
+  }
+  transport_flush_pending_ = true;
+  browser_->loop()->Schedule(Duration::Zero(), [this] {
+    transport_flush_pending_ = false;
+    if (running_) {
+      FlushTransport();
+    }
+  });
+}
+
+void RcbAgent::FlushTransport() {
+  // Releasing a parked poll erases it from parked_: snapshot the keys first.
+  std::vector<std::string> held;
+  held.reserve(parked_.size());
+  for (const auto& [pid, parked] : parked_) {
+    held.push_back(pid);
+  }
+  for (const std::string& pid : held) {
+    ReleaseParkedPoll(pid, /*expired=*/false);
+  }
+  FlushFramedStreams();
+}
+
+void RcbAgent::FlushFramedStreams() {
+  for (auto& [pid, stream] : framed_streams_) {
+    auto participant_it = participants_.find(pid);
+    if (participant_it == participants_.end()) {
+      continue;
+    }
+    ParticipantState& participant = participant_it->second;
+    if (!has_version_ || participant.doc_time_ms >= current_doc_time_ms_) {
+      continue;
+    }
+    std::vector<UserAction> outbox = std::move(participant.outbox);
+    participant.outbox.clear();
+    std::string body = BuildContentBody(pid, /*acked=*/-1,
+                                        /*patch_capable=*/false,
+                                        std::move(outbox));
+    participant.doc_time_ms = current_doc_time_ms_;
+    participant.last_poll = browser_->loop()->now();
+    ++metrics_.polls_with_content;
+    SendFrame(pid, stream, transport::FrameType::kData, std::move(body));
+  }
+}
+
+void RcbAgent::KickTransport(const std::string& pid) {
+  auto participant_it = participants_.find(pid);
+  if (participant_it == participants_.end() ||
+      participant_it->second.outbox.empty()) {
+    return;
+  }
+  if (auto stream_it = framed_streams_.find(pid);
+      stream_it != framed_streams_.end()) {
+    Snapshot actions_only;
+    actions_only.doc_time_ms = participant_it->second.doc_time_ms;
+    actions_only.has_content = false;
+    actions_only.user_actions = std::move(participant_it->second.outbox);
+    participant_it->second.outbox.clear();
+    SendFrame(pid, stream_it->second, transport::FrameType::kData,
+              SerializeSnapshotXml(actions_only));
+    return;
+  }
+  if (parked_.contains(pid)) {
+    ReleaseParkedPoll(pid, /*expired=*/false);
+  }
+}
+
+void RcbAgent::ArmHeartbeatTimer() {
+  // Armed only while framed streams are held: a perpetual timer would keep
+  // the simulated event queue non-empty forever.
+  if (hb_timer_armed_ || framed_streams_.empty() || !running_ ||
+      config_.transport.heartbeat_interval <= Duration::Zero()) {
+    return;
+  }
+  hb_timer_armed_ = true;
+  hb_timer_id_ = browser_->loop()->Schedule(
+      config_.transport.heartbeat_interval, [this] { HeartbeatTick(); });
+}
+
+void RcbAgent::HeartbeatTick() {
+  hb_timer_armed_ = false;
+  if (!running_ || framed_streams_.empty()) {
+    return;  // the timer drains; re-armed when the next stream opens
+  }
+  SimTime now = browser_->loop()->now();
+  for (auto& [pid, stream] : framed_streams_) {
+    if (now - stream.last_frame >= config_.transport.heartbeat_interval) {
+      SendFrame(pid, stream, transport::FrameType::kHeartbeat, "");
+    }
+  }
+  ArmHeartbeatTimer();
+}
+
 bool RcbAgent::CacheModeFor(const std::string& pid) const {
   if (config_.participant_cache_mode) {
     return config_.participant_cache_mode(pid);
@@ -858,6 +1252,15 @@ HttpResponse RcbAgent::HandleRequest(const HttpRequest& request) {
     trace_ctx_ = obs::TraceContext{root_ctx.trace_id, span.span_id()};
     HttpResponse response = HandlePoll(request);
     trace_ctx_ = obs::TraceContext{};
+    if (!pending_grant_.empty()) {
+      // Capability answer (DESIGN.md §15): only successful poll responses
+      // carry the grant; error paths stay byte-identical to classic polling.
+      if (response.status_code == 200) {
+        response.headers.Set("RCB-Transport", pending_grant_);
+      }
+      pending_grant_.clear();
+    }
+    pending_grant_longpoll_ = false;
     return response;
   }
   if (request.method == HttpMethod::kGet) {
@@ -968,6 +1371,9 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
           PushOutbox(other_pid);
         }
       }
+      for (const auto& [other_pid, state] : participants_) {
+        KickTransport(other_pid);
+      }
     }
     ParticipantState& participant = EnsureParticipant(pid);
     participant.last_poll = browser_->loop()->now();
@@ -1003,6 +1409,9 @@ HttpResponse RcbAgent::HandleNewConnection(const HttpRequest& request) {
       PushOutbox(other_pid);
     }
   }
+  for (const auto& [other_pid, state] : participants_) {
+    KickTransport(other_pid);
+  }
   ParticipantState& participant = EnsureParticipant(pid);
   participant.last_poll = browser_->loop()->now();
   ++metrics_.new_connections;
@@ -1024,6 +1433,20 @@ void RcbAgent::RemoveParticipant(const std::string& pid) {
     streams_.erase(stream_it);
     endpoint->Close();
   }
+  if (auto framed_it = framed_streams_.find(pid);
+      framed_it != framed_streams_.end()) {
+    NetEndpoint* endpoint = framed_it->second.endpoint;
+    framed_streams_.erase(framed_it);
+    endpoint->Close();
+  }
+  if (auto parked_it = parked_.find(pid); parked_it != parked_.end()) {
+    AgentConn* conn = parked_it->second.conn;
+    browser_->loop()->Cancel(parked_it->second.deadline_id);
+    parked_.erase(parked_it);
+    NetEndpoint* endpoint = conn->endpoint;
+    RemoveConnection(conn);
+    endpoint->Close();
+  }
   UserAction left;
   left.type = ActionType::kPresence;
   left.data = "left";
@@ -1035,6 +1458,9 @@ void RcbAgent::RemoveParticipant(const std::string& pid) {
     for (const auto& [other_pid, state] : participants_) {
       PushOutbox(other_pid);
     }
+  }
+  for (const auto& [other_pid, state] : participants_) {
+    KickTransport(other_pid);
   }
 }
 
@@ -1076,8 +1502,10 @@ void RcbAgent::ReapStaleParticipants() {
   std::vector<std::string> stale;
   for (const auto& [pid, state] : participants_) {
     // A held push stream signals liveness by itself (its close handler does
-    // the removal when it drops).
-    if (!streams_.contains(pid) && state.polls > 0 &&
+    // the removal when it drops); so do a held framed stream and a parked
+    // long-poll, whose hold may legitimately outlast the liveness window.
+    if (!streams_.contains(pid) && !framed_streams_.contains(pid) &&
+        !parked_.contains(pid) && state.polls > 0 &&
         now - state.last_poll > liveness) {
       stale.push_back(pid);
     }
@@ -1177,6 +1605,22 @@ HttpResponse RcbAgent::HandleStatusPage() const {
         static_cast<unsigned long long>(sc.hit_bytes),
         static_cast<unsigned long long>(sc.miss_bytes), arena.block_bytes,
         arena.blocks, static_cast<unsigned long long>(arena.quarantines));
+  }
+  if (config_.transport.enable_stream) {
+    body += StrFormat(
+        "<p id=\"transport\">transport: streams held %zu, polls parked %zu | "
+        "streams opened %llu | frames %llu (hb %llu, %llu bytes) | "
+        "long-poll flushes %llu, expiries %llu, parked %llu | "
+        "capacity denials %llu</p>",
+        framed_streams_.size(), parked_.size(),
+        static_cast<unsigned long long>(metrics_.transport_streams_opened),
+        static_cast<unsigned long long>(metrics_.transport_frames_sent),
+        static_cast<unsigned long long>(metrics_.transport_heartbeats_sent),
+        static_cast<unsigned long long>(metrics_.transport_frame_bytes_sent),
+        static_cast<unsigned long long>(metrics_.transport_long_poll_flushes),
+        static_cast<unsigned long long>(metrics_.transport_long_poll_expiries),
+        static_cast<unsigned long long>(metrics_.transport_long_polls_parked),
+        static_cast<unsigned long long>(metrics_.transport_capacity_denials));
   }
   body += StrFormat(
       "<p id=\"trace\">trace: %s | spans retained %zu, dropped %llu | "
@@ -1329,6 +1773,50 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     participant.timeouts_reported = poll.timeouts;
   }
 
+  // A fresh poll while a long-poll is still held means the client abandoned
+  // that hold (timeout or reconnect): forget it without answering.
+  if (auto parked_it = parked_.find(poll.participant_id);
+      parked_it != parked_.end()) {
+    AgentConn* stale = parked_it->second.conn;
+    browser_->loop()->Cancel(parked_it->second.deadline_id);
+    parked_.erase(parked_it);
+    NetEndpoint* endpoint = stale->endpoint;
+    RemoveConnection(stale);
+    endpoint->Close();  // own-side close: handlers do not re-enter
+  }
+
+  // Transport negotiation (DESIGN.md §15): grant an upgrade only when both
+  // sides opted in, the agent runs the poll model, and the request arrived
+  // on a holdable connection — the synchronous front door cannot park, so
+  // its polls are answered classically and the snippet never upgrades.
+  const bool was_granted = participant.transport_granted;
+  participant.transport_granted = false;
+  if (config_.transport.enable_stream &&
+      poll.stream != transport::kStreamNone && !front_door_request_ &&
+      config_.sync_model == SyncModel::kPoll) {
+    const size_t held = framed_streams_.size() + parked_.size();
+    transport::TransportGrant grant;
+    bool granted = false;
+    if (poll.stream >= transport::kStreamFrames &&
+        (framed_streams_.contains(poll.participant_id) ||
+         held < config_.transport.max_held)) {
+      grant.mode = transport::GrantMode::kFrames;
+      grant.heartbeat_ms = config_.transport.heartbeat_interval.millis();
+      granted = true;
+    } else if (held < config_.transport.max_held) {
+      grant.mode = transport::GrantMode::kLongPoll;
+      grant.hold_ms = config_.transport.long_poll_hold.millis();
+      granted = true;
+    } else {
+      ++metrics_.transport_capacity_denials;  // graceful: classic poll reply
+    }
+    if (granted) {
+      pending_grant_ = transport::FormatTransportGrant(grant);
+      pending_grant_longpoll_ = grant.mode == transport::GrantMode::kLongPoll;
+      participant.transport_granted = true;
+    }
+  }
+
   // Step 1 (Fig. 2 poll path): data merging.
   {
     // The merge span exists only on traced polls that actually carried
@@ -1425,6 +1913,20 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     ++metrics_.polls_with_content;
     return HttpResponse::Ok("application/xml", SerializeSnapshotXml(actions_only));
   }
+  // Long-poll park (DESIGN.md §15): nothing to send and both sides already
+  // hold the capability (the client saw a grant on its previous poll, so its
+  // timeout budget covers the hold) — keep the request open instead of
+  // answering empty. OnConnData consumes the intent and parks the socket.
+  if (was_granted && pending_grant_longpoll_ && !pending_grant_.empty() &&
+      !front_door_request_) {
+    park_intent_ = ParkIntent{poll.participant_id, pending_grant_,
+                              poll.doc_time_ms,
+                              config_.enable_delta && poll.patch};
+    pending_grant_.clear();  // the grant header rides the parked release
+    ++metrics_.transport_long_polls_parked;
+    TraceMarker("agent.response.parked", {});
+    return HttpResponse::Ok("application/xml", "");
+  }
   // "No new content": an empty response avoids hanging the request.
   ++metrics_.polls_empty;
   TraceMarker("agent.response.empty", {});
@@ -1458,6 +1960,7 @@ void RcbAgent::ApplyAction(const std::string& pid, const UserAction& action) {
           if (config_.sync_model == SyncModel::kPush) {
             PushOutbox(other_pid);
           }
+          KickTransport(other_pid);
         }
       }
       ++metrics_.actions_applied;
@@ -1594,6 +2097,9 @@ void RcbAgent::BroadcastAction(UserAction action) {
       PushOutbox(pid);
     }
   }
+  for (const auto& [pid, state] : participants_) {
+    KickTransport(pid);
+  }
 }
 
 std::vector<std::string> RcbAgent::ConnectedParticipants() const {
@@ -1601,8 +2107,10 @@ std::vector<std::string> RcbAgent::ConnectedParticipants() const {
   SimTime now = browser_->loop()->now();
   Duration liveness = config_.poll_interval * 5;
   for (const auto& [pid, state] : participants_) {
-    // A held push stream counts as live regardless of poll counters.
-    if (streams_.contains(pid) ||
+    // A held push stream counts as live regardless of poll counters; so do
+    // a held framed stream and a parked long-poll.
+    if (streams_.contains(pid) || framed_streams_.contains(pid) ||
+        parked_.contains(pid) ||
         (state.polls > 0 && now - state.last_poll <= liveness)) {
       out.push_back(pid);
     }

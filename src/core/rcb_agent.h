@@ -36,6 +36,8 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/transport/capabilities.h"
+#include "src/transport/frame.h"
 #include "src/util/token_bucket.h"
 
 namespace rcb {
@@ -133,6 +135,13 @@ struct AgentConfig {
   // the optional trace= poll field and appends exactly the pre-causal flat
   // spans, so responses, counters, and the trace ring stay unchanged. ---
   bool enable_trace = false;
+  // --- Streamed transport (src/transport, DESIGN.md §15). Off by default:
+  // the agent ignores the optional stream= poll field, never adds the
+  // RCB-Transport response header, and rejects GET /frames — responses stay
+  // byte-identical to classic polling. Grants apply to poll-mode sessions on
+  // the agent's own port; front-door (RcbHost) requests are answered but
+  // never upgraded, since the synchronous router cannot hold a connection. ---
+  transport::TransportConfig transport;
   // Flight-recorder dump directory. Empty falls back to $RCB_FLIGHT_DIR;
   // with neither set, triggers are counted but no artifact is written.
   std::string flight_dir;
@@ -198,6 +207,15 @@ struct AgentMetrics {
   // snapshots and patches, poll and push) — the bytes-on-wire-per-update
   // numerator the delta benchmarks read.
   uint64_t content_bytes_sent = 0;
+  // --- Streamed transport (src/transport, DESIGN.md §15) ---
+  uint64_t transport_streams_opened = 0;   // framed streams upgraded
+  uint64_t transport_frames_sent = 0;      // hello + data frames
+  uint64_t transport_heartbeats_sent = 0;  // hb frames
+  uint64_t transport_frame_bytes_sent = 0; // wire bytes across all frames
+  uint64_t transport_long_polls_parked = 0;   // polls held awaiting content
+  uint64_t transport_long_poll_flushes = 0;   // parked polls answered w/ data
+  uint64_t transport_long_poll_expiries = 0;  // parked polls released empty
+  uint64_t transport_capacity_denials = 0;    // upgrades denied by max_held
   // --- escape() accounting (M2): cumulative CDATA payload bytes before and
   // after JsEscape across all generations. Their ratio is the inflation the
   // paper's transmission sizes absorb. ---
@@ -240,10 +258,11 @@ class RcbAgent {
 
   // In-process entry point for RcbHost's front-door router: handles one
   // already-parsed request exactly as if it had arrived on the agent's own
-  // port (same classification, auth, metrics, and trace behavior).
-  HttpResponse HandleHostRequest(const HttpRequest& request) {
-    return HandleRequest(request);
-  }
+  // port (same classification, auth, metrics, and trace behavior) — except
+  // that transport upgrades are suppressed: Route() is synchronous, so a
+  // front-door poll can never be parked or granted a held stream (DESIGN.md
+  // §15; held streams connect to the session's own port, like push streams).
+  HttpResponse HandleHostRequest(const HttpRequest& request);
 
   // Observability (DESIGN.md §9). The registry carries every AgentMetrics
   // counter (callback-backed, same names), the ObjectCache counters, and the
@@ -268,6 +287,9 @@ class RcbAgent {
   size_t participant_count() const { return participants_.size(); }
   // Held push streams (push sync model).
   size_t stream_count() const { return streams_.size(); }
+  // Held framed transport streams / parked long-polls (DESIGN.md §15).
+  size_t framed_stream_count() const { return framed_streams_.size(); }
+  size_t parked_poll_count() const { return parked_.size(); }
 
   // Host-originated action broadcast (e.g. host mouse mirroring).
   void BroadcastAction(UserAction action);
@@ -315,6 +337,10 @@ class RcbAgent {
     // Overload protection: per-participant admission buckets (AgentLimits).
     TokenBucket poll_bucket;
     TokenBucket action_bucket;
+    // Streamed transport (DESIGN.md §15): true when the previous poll
+    // response carried an RCB-Transport grant, so the client is known to
+    // have extended its poll timeout before the agent may park its poll.
+    bool transport_granted = false;
   };
   struct AgentConn {
     NetEndpoint* endpoint = nullptr;
@@ -354,6 +380,60 @@ class RcbAgent {
   void SchedulePushFlush();
   void PushOutbox(const std::string& pid);
   static std::string MultipartPart(const std::string& xml);
+
+  // --- Streamed transport (src/transport, DESIGN.md §15) ---
+  // A long-poll the agent is holding until content arrives or the hold
+  // deadline fires; the AgentConn stays in connections_ (the connection cap
+  // still applies) and the endpoint's close handler cancels the park.
+  struct ParkedPoll {
+    AgentConn* conn = nullptr;
+    std::string grant;            // RCB-Transport value echoed on release
+    int64_t acked_doc_time_ms = -1;
+    bool patch = false;           // poll advertised patch= capability
+    uint64_t deadline_id = 0;     // hold-expiry timer
+  };
+  // A held framed stream: sequence-stamped frames are pushed on every change
+  // and a heartbeat covers idle gaps so the client can detect silent drops.
+  struct FramedStream {
+    NetEndpoint* endpoint = nullptr;
+    uint64_t next_seq = 1;
+    SimTime last_frame;
+  };
+  // HandlePoll cannot reach the connection, so it records the intent to park
+  // here and OnConnData consumes it instead of sending the response.
+  struct ParkIntent {
+    std::string pid;
+    std::string grant;
+    int64_t acked_doc_time_ms = -1;
+    bool patch = false;
+  };
+
+  // GET /frames?pid=: upgrades the connection into a held framed stream.
+  void HandleFramesRequest(AgentConn* conn, const HttpRequest& request);
+  void ParkPoll(AgentConn* conn, ParkIntent intent);
+  // Answers a parked poll: newest content / pending actions when available,
+  // empty when released by the hold deadline (`expired`).
+  void ReleaseParkedPoll(const std::string& pid, bool expired);
+  // Same coalescing discipline as SchedulePushFlush, for parked long-polls
+  // and framed streams.
+  void ScheduleTransportFlush();
+  void FlushTransport();
+  void FlushFramedStreams();
+  // Immediate outbox delivery to a held framed stream / parked long-poll
+  // (the transport analogue of PushOutbox).
+  void KickTransport(const std::string& pid);
+  void SendFrame(const std::string& pid, FramedStream& stream,
+                 transport::FrameType type, std::string body);
+  // Heartbeat timer: armed only while framed streams exist, so an idle agent
+  // leaves the event queue drainable.
+  void ArmHeartbeatTimer();
+  void HeartbeatTick();
+  // Content response body for one participant at the current version: patch
+  // when the acked base and capability allow, else the shared snapshot (with
+  // the outbox folded in via override_actions when non-empty).
+  std::string BuildContentBody(const std::string& pid, int64_t acked,
+                               bool patch_capable,
+                               std::vector<UserAction> outbox);
 
   // §3.4: verifies the hmac request-URI parameter over the canonical request.
   // Non-const: records the verification's CPU time (rcb_agent_hmac_verify_us).
@@ -434,6 +514,21 @@ class RcbAgent {
   AgentMetrics metrics_;
   uint64_t next_pid_ = 1;
   bool push_flush_pending_ = false;
+
+  // --- Streamed transport state (DESIGN.md §15) ---
+  std::map<std::string, ParkedPoll> parked_;        // pid -> held long-poll
+  std::map<std::string, FramedStream> framed_streams_;  // pid -> held stream
+  bool transport_flush_pending_ = false;
+  bool hb_timer_armed_ = false;
+  uint64_t hb_timer_id_ = 0;
+  // True while HandleHostRequest runs: grants and parking are suppressed.
+  bool front_door_request_ = false;
+  // Grant computed by the in-flight HandlePoll; HandleRequest attaches it as
+  // the RCB-Transport header on 200 responses, then clears it.
+  std::string pending_grant_;
+  // Longpoll grants only: was the grant mode longpoll (parking allowed)?
+  bool pending_grant_longpoll_ = false;
+  std::optional<ParkIntent> park_intent_;
 
   // --- Observability state (see metrics_registry()/trace_log()). ---
   obs::MetricsRegistry registry_;  // owned; bypassed under a shared registry

@@ -36,6 +36,10 @@ CoBrowsingSession::CoBrowsingSession(EventLoop* loop, Network* network,
   agent_config.sync_model = options_.sync_model;
   agent_config.limits = options_.agent_limits;
   agent_config.enable_delta = options_.enable_delta;
+  agent_config.transport.enable_stream = options_.enable_transport;
+  agent_config.transport.heartbeat_interval = options_.transport_heartbeat;
+  agent_config.transport.long_poll_hold = options_.transport_hold;
+  agent_config.transport.max_held = options_.max_held_streams;
   agent_config.enable_trace = options_.enable_trace;
   agent_config.flight_dir = options_.flight_dir;
   agent_ = std::make_unique<RcbAgent>(host_browser_.get(), agent_config);
@@ -53,6 +57,13 @@ CoBrowsingSession::CoBrowsingSession(EventLoop* loop, Network* network,
     snippet_config.backoff_seed = options_.backoff_seed + participant_index++;
     snippet_config.stream_reconnect = options_.stream_reconnect;
     snippet_config.enable_delta = options_.enable_delta;
+    snippet_config.stream_mode = options_.snippet_stream_mode;
+    snippet_config.heartbeat_timeout = options_.heartbeat_timeout;
+    snippet_config.stream_downgrade_after = options_.stream_downgrade_after;
+    snippet_config.adaptive_poll = options_.adaptive_poll;
+    snippet_config.adaptive_max = options_.adaptive_max;
+    snippet_config.adaptive_growth = options_.adaptive_growth;
+    snippet_config.adaptive_idle_threshold = options_.adaptive_idle_threshold;
     snippet_config.enable_trace = options_.enable_trace;
     snippet_config.flight_dir = options_.flight_dir;
     participant->snippet = std::make_unique<AjaxSnippet>(

@@ -62,6 +62,29 @@ struct SessionOptions {
   // behavior byte-for-byte.
   bool enable_delta = false;
 
+  // --- Streamed transport (DESIGN.md §15). Off keeps the wire byte-for-byte
+  // with classic polling: no stream= field, no RCB-Transport header. ---
+  // Agent side: answer capability-advertising polls with a transport grant.
+  bool enable_transport = false;
+  // Snippet side: what each participant advertises (transport::kStreamNone /
+  // kStreamLongPoll / kStreamFrames).
+  uint32_t snippet_stream_mode = 0;
+  Duration transport_heartbeat = Duration::Seconds(5.0);
+  Duration transport_hold = Duration::Seconds(10.0);
+  size_t max_held_streams = 64;
+  // Snippet-side failure handling: missed-heartbeat budget (zero derives
+  // 3x the granted interval) and the consecutive-failure count after which
+  // the snippet stops advertising stream= entirely.
+  Duration heartbeat_timeout = Duration::Zero();
+  uint32_t stream_downgrade_after = 3;
+  // Adaptive polling for participants staying on the classic path: idle
+  // polls back off geometrically (bounded), local/remote activity snaps the
+  // interval back to poll_interval.
+  bool adaptive_poll = false;
+  Duration adaptive_max = Duration::Seconds(8.0);
+  double adaptive_growth = 2.0;
+  uint32_t adaptive_idle_threshold = 2;
+
   // Causal tracing (DESIGN.md §11) on both sides: snippets stamp each poll
   // with trace=<pid>-<seq> and the agent threads that id through merge,
   // generation, diff, and response spans. Off keeps the wire byte-for-byte.

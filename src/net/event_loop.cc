@@ -51,7 +51,18 @@ size_t EventLoop::Run() {
 size_t EventLoop::RunUntil(SimTime deadline) {
   size_t count = 0;
   while (!queue_.empty()) {
-    if (queue_.top().when > deadline) {
+    // Discard cancelled entries before the deadline check: a cancelled head
+    // with when <= deadline would otherwise let PopAndRunNext skip past it
+    // and run the next live event even when that event lies beyond the
+    // deadline, overshooting now_.
+    const Event& top = queue_.top();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) {
       break;
     }
     if (PopAndRunNext()) {

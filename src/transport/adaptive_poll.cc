@@ -1,0 +1,39 @@
+#include "src/transport/adaptive_poll.h"
+
+namespace rcb {
+namespace transport {
+
+AdaptivePollPolicy::AdaptivePollPolicy(AdaptivePollConfig config)
+    : config_(config), current_(config.base) {
+  if (config_.growth < 1.0) {
+    config_.growth = 1.0;
+  }
+  if (config_.max < config_.base) {
+    config_.max = config_.base;
+  }
+}
+
+void AdaptivePollPolicy::OnEmpty() {
+  ++idle_streak_;
+  if (idle_streak_ < config_.idle_threshold) {
+    return;
+  }
+  int64_t grown =
+      static_cast<int64_t>(static_cast<double>(current_.micros()) *
+                           config_.growth);
+  current_ = Duration::Micros(grown);
+  if (current_ > config_.max) {
+    current_ = config_.max;
+  }
+}
+
+void AdaptivePollPolicy::OnActivity() {
+  if (current_ != config_.base) {
+    ++snapbacks_;
+  }
+  idle_streak_ = 0;
+  current_ = config_.base;
+}
+
+}  // namespace transport
+}  // namespace rcb

@@ -1,0 +1,55 @@
+// Adaptive poll-interval policy (DESIGN.md §15).
+//
+// Clients that stay on classic polling can still shed most of the idle-poll
+// tax: after `idle_threshold` consecutive empty responses the interval grows
+// geometrically (×`growth`, capped at `max`), and any sign of activity — a
+// content or actions response, or a local user gesture — snaps it back to the
+// base interval so update-visible latency is unaffected while the session is
+// live. The policy is pure arithmetic over observed events (no randomness, no
+// wall clock), so schedules are bit-identical across runs under sim time.
+#ifndef SRC_TRANSPORT_ADAPTIVE_POLL_H_
+#define SRC_TRANSPORT_ADAPTIVE_POLL_H_
+
+#include <cstdint>
+
+#include "src/util/sim_time.h"
+
+namespace rcb {
+namespace transport {
+
+struct AdaptivePollConfig {
+  Duration base = Duration::Seconds(1.0);
+  Duration max = Duration::Seconds(8.0);
+  // Interval multiplier applied per idle step once the threshold is crossed.
+  double growth = 2.0;
+  // Consecutive empty responses tolerated at the base interval before the
+  // interval starts growing.
+  uint32_t idle_threshold = 2;
+};
+
+class AdaptivePollPolicy {
+ public:
+  explicit AdaptivePollPolicy(AdaptivePollConfig config);
+
+  // Interval to use for the next poll.
+  Duration Current() const { return current_; }
+
+  // An empty poll response arrived: one more idle observation.
+  void OnEmpty();
+  // Content, actions, or a local gesture: the session is live again.
+  void OnActivity();
+
+  uint64_t snapbacks() const { return snapbacks_; }
+  uint32_t idle_streak() const { return idle_streak_; }
+
+ private:
+  AdaptivePollConfig config_;
+  Duration current_;
+  uint32_t idle_streak_ = 0;
+  uint64_t snapbacks_ = 0;
+};
+
+}  // namespace transport
+}  // namespace rcb
+
+#endif  // SRC_TRANSPORT_ADAPTIVE_POLL_H_

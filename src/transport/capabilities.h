@@ -1,0 +1,71 @@
+// Transport capability negotiation (DESIGN.md §15).
+//
+// The negotiation rides the existing poll exchange, following the patch=/
+// trace= downgrade contract exactly:
+//
+//  - A streaming-capable snippet adds `stream=<mode>` to its poll body
+//    (1 = long-poll capable, 2 = framed-stream capable). A snippet with the
+//    capability off sends nothing — byte-identical to the pre-transport wire.
+//  - An agent with the transport enabled answers a capable poll with an
+//    `RCB-Transport:` response header naming the granted mode; with the
+//    transport off (or the client silent) the header is never added, so the
+//    response bytes are untouched.
+//
+// Grant wire format (parsed leniently, emitted canonically):
+//
+//   RCB-Transport: frames; hb=<heartbeat interval ms>
+//   RCB-Transport: longpoll; hold=<max hold ms>
+#ifndef SRC_TRANSPORT_CAPABILITIES_H_
+#define SRC_TRANSPORT_CAPABILITIES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/sim_time.h"
+
+namespace rcb {
+namespace transport {
+
+// Poll-body `stream=` capability levels, in increasing order.
+inline constexpr uint32_t kStreamNone = 0;
+inline constexpr uint32_t kStreamLongPoll = 1;
+inline constexpr uint32_t kStreamFrames = 2;
+
+enum class GrantMode { kLongPoll, kFrames };
+
+struct TransportGrant {
+  GrantMode mode = GrantMode::kLongPoll;
+  // frames: heartbeat cadence the agent commits to.
+  int64_t heartbeat_ms = 0;
+  // longpoll: longest time the agent may hold a parked poll.
+  int64_t hold_ms = 0;
+};
+
+std::string FormatTransportGrant(const TransportGrant& grant);
+
+// Parses an RCB-Transport header value; nullopt on anything malformed (the
+// client then stays on classic polling — downgrade, never an error).
+std::optional<TransportGrant> ParseTransportGrant(std::string_view value);
+
+// Agent-side transport knobs (AgentConfig::transport). Everything defaults
+// off/conservative so the seed wire behavior is untouched until a deployment
+// opts in on both sides.
+struct TransportConfig {
+  // Master switch: off never grants, never parks, rejects GET /frames.
+  bool enable_stream = false;
+  // Heartbeat cadence committed to framed streams.
+  Duration heartbeat_interval = Duration::Seconds(5.0);
+  // Longest a long-poll is parked before an empty response is released.
+  Duration long_poll_hold = Duration::Seconds(10.0);
+  // Cap on concurrently held framed streams + parked long-polls (overload
+  // discipline, DESIGN.md §8); over the cap new upgrades are denied and the
+  // client gracefully stays on classic polling.
+  size_t max_held = 64;
+};
+
+}  // namespace transport
+}  // namespace rcb
+
+#endif  // SRC_TRANSPORT_CAPABILITIES_H_

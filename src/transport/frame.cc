@@ -1,0 +1,134 @@
+#include "src/transport/frame.h"
+
+#include "src/crypto/hmac.h"
+#include "src/util/strings.h"
+
+namespace rcb {
+namespace transport {
+namespace {
+
+constexpr char kMagic[] = "RCBF1";
+
+// Canonical MAC input. The type and seq are folded in so a frame cannot be
+// replayed under a different identity, mirroring the poll path's
+// "METHOD path\nbody" canonicalization.
+std::string MacMessage(std::string_view type, uint64_t seq,
+                       std::string_view body) {
+  std::string message = "frame\n";
+  message += type;
+  message += '\n';
+  message += StrFormat("%llu", static_cast<unsigned long long>(seq));
+  message += '\n';
+  message += body;
+  return message;
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kData:
+      return "data";
+    case FrameType::kHeartbeat:
+      return "hb";
+  }
+  return "data";
+}
+
+std::string EncodeFrame(const Frame& frame, std::string_view key) {
+  std::string_view type = FrameTypeName(frame.type);
+  std::string head = kMagic;
+  head += ' ';
+  head += type;
+  head += StrFormat(" %llu %zu", static_cast<unsigned long long>(frame.seq),
+                    frame.body.size());
+  if (!key.empty()) {
+    head += ' ';
+    head += HmacSha256Hex(key, MacMessage(type, frame.seq, frame.body));
+  }
+  head += "\r\n";
+  head += frame.body;
+  head += "\r\n";
+  return head;
+}
+
+StatusOr<std::optional<Frame>> FrameParser::Next() {
+  if (!error_.ok()) {
+    return error_;
+  }
+  size_t eol = buffer_.find("\r\n");
+  if (eol == std::string::npos) {
+    // An unbounded header line is itself an attack; bound it by the longest
+    // legal header (magic + type + two u64s + hex MAC + spaces < 128 bytes).
+    if (buffer_.size() > 128) {
+      error_ = InvalidArgumentError("frame header overlong");
+      return error_;
+    }
+    return std::optional<Frame>();
+  }
+  std::vector<std::string> parts = StrSplit(buffer_.substr(0, eol), ' ');
+  if (parts.size() < 4 || parts.size() > 5 || parts[0] != kMagic) {
+    error_ = InvalidArgumentError("malformed frame header");
+    return error_;
+  }
+  Frame frame;
+  if (parts[1] == "hello") {
+    frame.type = FrameType::kHello;
+  } else if (parts[1] == "data") {
+    frame.type = FrameType::kData;
+  } else if (parts[1] == "hb") {
+    frame.type = FrameType::kHeartbeat;
+  } else {
+    error_ = InvalidArgumentError("unknown frame type");
+    return error_;
+  }
+  uint64_t seq = 0;
+  uint64_t len = 0;
+  if (!ParseUint64(parts[2], &seq) || !ParseUint64(parts[3], &len)) {
+    error_ = InvalidArgumentError("non-numeric frame seq/length");
+    return error_;
+  }
+  frame.seq = seq;
+  if (len > kMaxBodyBytes) {
+    error_ = InvalidArgumentError("frame body over the size cap");
+    return error_;
+  }
+  // Whole frame = header line + body + trailing CRLF.
+  size_t total = eol + 2 + len + 2;
+  if (buffer_.size() < total) {
+    return std::optional<Frame>();
+  }
+  frame.body = buffer_.substr(eol + 2, len);
+  if (buffer_.compare(eol + 2 + len, 2, "\r\n") != 0) {
+    error_ = InvalidArgumentError("frame missing body terminator");
+    return error_;
+  }
+  // MAC discipline is all-or-nothing, like hmac= on the poll path: a keyed
+  // parser rejects unsigned frames, an unkeyed parser rejects signed ones.
+  if (key_.empty() != (parts.size() == 4)) {
+    error_ = PermissionDeniedError("frame MAC presence mismatch");
+    return error_;
+  }
+  if (!key_.empty()) {
+    std::string expected =
+        HmacSha256Hex(key_, MacMessage(parts[1], frame.seq, frame.body));
+    if (!ConstantTimeEquals(expected, parts[4])) {
+      error_ = PermissionDeniedError("frame MAC verification failed");
+      return error_;
+    }
+  }
+  // Anti-replay: seq must be strictly monotone within the stream.
+  if (frame.seq <= last_seq_) {
+    error_ = PermissionDeniedError("replayed or regressing frame seq");
+    return error_;
+  }
+  last_seq_ = frame.seq;
+  ++frames_parsed_;
+  buffer_.erase(0, total);
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace transport
+}  // namespace rcb

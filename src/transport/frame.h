@@ -1,0 +1,81 @@
+// Streamed-sync frame codec (DESIGN.md §15).
+//
+// A framed stream replaces the poll loop with a single held TCP connection
+// over which the agent pushes sequence-stamped frames:
+//
+//   RCBF1 <type> <seq> <len>[ <mac>]\r\n<body>\r\n
+//
+// - `type` is one of `hello` (stream parameters), `data` (a newContent
+//   snapshot, full or actions-only), or `hb` (heartbeat, empty body).
+// - `seq` is a per-stream monotone counter starting at 1; the parser rejects
+//   any frame whose seq is not strictly greater than the last accepted one,
+//   reusing the anti-replay discipline of the poll path (§3.4).
+// - `mac` is HmacSha256Hex(session_key, "frame\n<type>\n<seq>\n<body>") and
+//   is present exactly when the session has a key — the same all-or-nothing
+//   contract as the hmac= request parameter. Verification is constant-time.
+//
+// The codec is deliberately line-oriented and self-delimiting so the client
+// can consume frames from arbitrary TCP fragmentation, and deterministic so
+// chaos tests can fingerprint byte streams across runs.
+#ifndef SRC_TRANSPORT_FRAME_H_
+#define SRC_TRANSPORT_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace rcb {
+namespace transport {
+
+enum class FrameType { kHello, kData, kHeartbeat };
+
+std::string_view FrameTypeName(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  uint64_t seq = 0;
+  std::string body;
+};
+
+// Serializes one frame; appends a MAC field iff `key` is non-empty.
+std::string EncodeFrame(const Frame& frame, std::string_view key);
+
+// Incremental frame parser for one stream direction. Feed it raw TCP bytes
+// with Append(); drain complete frames with Next(). A verification failure
+// (bad MAC, replayed/regressing seq, malformed or oversized header) is
+// sticky: the stream is compromised and must be torn down and re-established
+// through the signed resume handshake.
+class FrameParser {
+ public:
+  // `key` empty disables MAC verification (unauthenticated sessions).
+  explicit FrameParser(std::string key) : key_(std::move(key)) {}
+
+  void Append(std::string_view data) { buffer_.append(data); }
+
+  // Returns the next complete, verified frame; std::nullopt when the buffer
+  // holds no complete frame yet. Once an error status is returned every
+  // subsequent call returns the same error.
+  StatusOr<std::optional<Frame>> Next();
+
+  uint64_t last_seq() const { return last_seq_; }
+  uint64_t frames_parsed() const { return frames_parsed_; }
+
+  // Frames larger than this are rejected as malformed (DoS guard; a snapshot
+  // frame is page-sized, far below this).
+  static constexpr size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+ private:
+  std::string key_;
+  std::string buffer_;
+  uint64_t last_seq_ = 0;
+  uint64_t frames_parsed_ = 0;
+  Status error_ = Status::Ok();
+};
+
+}  // namespace transport
+}  // namespace rcb
+
+#endif  // SRC_TRANSPORT_FRAME_H_

@@ -1227,6 +1227,93 @@ TEST_F(AgentTest, TraceCapabilityDowngradeIsByteIdentical) {
   EXPECT_TRUE(both_causal);
 }
 
+// Same deterministic replay, toggling the streamed-transport capability
+// (DESIGN.md §15). Returns the two FULL serialized responses — headers
+// included — plus their bodies, so byte identity covers the RCB-Transport
+// header, not just the payload.
+std::pair<std::vector<std::string>, std::vector<std::string>>
+ReplayStreamScenario(bool agent_stream, uint32_t advertise_stream) {
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("host-pc", {});
+  network.AddHost("participant-pc", {});
+  network.AddHost("www.origin.test", {});
+  SiteServer origin(&loop, &network, "www.origin.test");
+  origin.ServeStatic("/", "text/html",
+                     "<html><head><title>Origin</title></head>"
+                     "<body><p id=\"p\">v1</p></body></html>");
+  Browser host(&loop, &network, "host-pc");
+  Browser participant(&loop, &network, "participant-pc");
+  AgentConfig config;
+  config.transport.enable_stream = agent_stream;
+  RcbAgent agent(&host, config);
+  EXPECT_TRUE(agent.Start().ok());
+
+  bool done = false;
+  host.Navigate(Url::Make("http", "www.origin.test", 80, "/"),
+                [&](const Status&, const PageLoadStats&) { done = true; });
+  loop.RunUntilCondition([&] { return done; });
+
+  auto poll_once = [&](int64_t doc_time) {
+    PollRequest poll;
+    poll.participant_id = "p1";
+    poll.doc_time_ms = doc_time;
+    poll.stream = advertise_stream;
+    FetchResult out;
+    bool fetched = false;
+    participant.Fetch(HttpMethod::kPost, agent.AgentUrl(),
+                      EncodePollRequest(poll),
+                      "application/x-www-form-urlencoded",
+                      [&](FetchResult result) {
+                        out = std::move(result);
+                        fetched = true;
+                      });
+    loop.RunUntilCondition([&] { return fetched; });
+    return out.response;
+  };
+
+  std::vector<std::string> serialized;
+  std::vector<std::string> bodies;
+  HttpResponse first = poll_once(-1);
+  serialized.push_back(first.Serialize());
+  bodies.push_back(first.body);
+  auto snapshot = ParseSnapshotXml(first.body);
+  EXPECT_TRUE(snapshot.ok());
+  host.MutateDocument([](Document* document) {
+    Element* p = document->ById("p");
+    p->RemoveAllChildren();
+    p->AppendChild(MakeText("v2"));
+  });
+  HttpResponse second = poll_once(snapshot.ok() ? snapshot->doc_time_ms : -1);
+  serialized.push_back(second.Serialize());
+  bodies.push_back(second.body);
+  return {serialized, bodies};
+}
+
+TEST_F(AgentTest, StreamCapabilityDowngradeIsByteIdentical) {
+  // Baseline: transport off on both sides. The comparison is over FULL
+  // serialized responses, so a stray header would fail it.
+  auto [baseline, baseline_bodies] = ReplayStreamScenario(false, 0);
+  // Agent upgraded, snippet silent — a pre-transport client sees the exact
+  // pre-transport bytes.
+  EXPECT_EQ(ReplayStreamScenario(true, 0).first, baseline);
+  // Snippet advertises against a transport-less agent: the capability field
+  // is read and ignored, response bytes untouched.
+  EXPECT_EQ(ReplayStreamScenario(false, 2).first, baseline);
+  EXPECT_EQ(ReplayStreamScenario(false, 1).first, baseline);
+  // Only when both sides opt in does the grant header appear — and the
+  // bodies still match the baseline byte for byte.
+  auto [framed, framed_bodies] = ReplayStreamScenario(true, 2);
+  EXPECT_NE(framed, baseline);
+  EXPECT_EQ(framed_bodies, baseline_bodies);
+  ASSERT_EQ(framed.size(), 2u);
+  EXPECT_NE(framed[0].find("RCB-Transport: frames; hb="), std::string::npos);
+  auto [longpoll, longpoll_bodies] = ReplayStreamScenario(true, 1);
+  EXPECT_EQ(longpoll_bodies, baseline_bodies);
+  EXPECT_NE(longpoll[0].find("RCB-Transport: longpoll; hold="),
+            std::string::npos);
+}
+
 TEST_F(AgentTest, ResyncPollGetsFullSnapshotDespitePatchCapability) {
   AgentConfig config;
   config.enable_delta = true;

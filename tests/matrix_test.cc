@@ -13,6 +13,7 @@
 #include "src/html/parser.h"
 #include "src/net/fault_injector.h"
 #include "src/sites/corpus.h"
+#include "src/sites/site_server.h"
 #include "src/util/strings.h"
 
 namespace rcb {
@@ -323,6 +324,190 @@ INSTANTIATE_TEST_SUITE_P(
                       HostChaosCase{"Wan", FaultEvent::Kind::kReset},
                       HostChaosCase{"Wan", FaultEvent::Kind::kPartition}),
     HostChaosCaseName);
+
+// ---------------------------------------------- transport chaos matrix ----
+//
+// {LAN, WAN} x {loss, reset, partition} x {frames, long-poll, adaptive-poll}:
+// a transport-upgraded session takes the fault on its participant link
+// mid-update, must reconverge through the recovery ladder (heartbeat timeout
+// -> signed resume -> downgrade only if the ladder says so), and two
+// identical runs must produce bit-identical counter fingerprints.
+
+enum class TransportMode { kFrames, kLongPoll, kAdaptive };
+
+struct TransportChaosCase {
+  const char* profile_name;  // "Lan" | "Wan"
+  FaultEvent::Kind kind;
+  TransportMode mode;
+};
+
+std::string TransportChaosCaseName(
+    const ::testing::TestParamInfo<TransportChaosCase>& info) {
+  std::string name = info.param.profile_name;
+  switch (info.param.kind) {
+    case FaultEvent::Kind::kLoss:
+      name += "Loss";
+      break;
+    case FaultEvent::Kind::kReset:
+      name += "Reset";
+      break;
+    default:
+      name += "Partition";
+      break;
+  }
+  switch (info.param.mode) {
+    case TransportMode::kFrames:
+      name += "Frames";
+      break;
+    case TransportMode::kLongPoll:
+      name += "LongPoll";
+      break;
+    case TransportMode::kAdaptive:
+      name += "AdaptivePoll";
+      break;
+  }
+  return name;
+}
+
+std::string RunTransportChaos(const TransportChaosCase& chaos) {
+  NetworkProfile profile =
+      std::string(chaos.profile_name) == "Wan" ? WanProfile() : LanProfile();
+  EventLoop loop;
+  Network network(&loop);
+  network.AddHost("www.site.test", {});
+  SiteServer site(&loop, &network, "www.site.test");
+  site.ServeStatic("/", "text/html",
+                   "<html><head><title>T</title></head>"
+                   "<body><p id=\"p\">v1</p></body></html>");
+
+  SessionOptions options;
+  options.profile = profile;
+  options.enable_auth = true;
+  options.poll_interval = Duration::Millis(250);
+  options.poll_timeout = Duration::Seconds(1.0);
+  options.reconnect_after = 2;
+  options.backoff_base = Duration::Millis(250);
+  options.backoff_max = Duration::Seconds(2.0);
+  options.backoff_jitter = Duration::Millis(100);
+  switch (chaos.mode) {
+    case TransportMode::kFrames:
+      options.enable_transport = true;
+      options.snippet_stream_mode = 2;
+      options.transport_heartbeat = Duration::Millis(500);
+      break;
+    case TransportMode::kLongPoll:
+      options.enable_transport = true;
+      options.snippet_stream_mode = 1;
+      options.transport_hold = Duration::Seconds(2.0);
+      break;
+    case TransportMode::kAdaptive:
+      options.adaptive_poll = true;
+      options.adaptive_max = Duration::Seconds(2.0);
+      break;
+  }
+  CoBrowsingSession session(&loop, &network, options);
+  EXPECT_TRUE(session.Start().ok());
+
+  bool loaded = false;
+  session.host_browser()->Navigate(
+      Url::Make("http", "www.site.test", 80, "/"),
+      [&](const Status& status, const PageLoadStats&) {
+        EXPECT_TRUE(status.ok()) << status;
+        loaded = true;
+      });
+  EXPECT_TRUE(loop.RunUntilCondition([&] { return loaded; }));
+  EXPECT_TRUE(session.WaitForSync().ok());
+
+  FaultInjector injector(&network, /*seed=*/2024);
+  FaultEvent event = ChaosEvent(profile, chaos.kind,
+                                loop.now() + Duration::Millis(100),
+                                chaos.kind == FaultEvent::Kind::kPartition
+                                    ? Duration::Seconds(5.0)
+                                    : Duration::Seconds(15.0));
+  injector.Install(FaultPlan{"host-pc", "participant-pc-1", {event}});
+  loop.Schedule(Duration::Millis(500), [&] {
+    session.host_browser()->MutateDocument([](Document* document) {
+      auto marker = MakeElement("div");
+      marker->SetAttribute("id", "transport-chaos-marker");
+      document->body()->AppendChild(std::move(marker));
+    });
+  });
+
+  // Fixed simulated horizon so two runs execute the identical schedule.
+  loop.RunFor(Duration::Seconds(40.0));
+
+  // Convergence through the fault, whatever rung of the ladder was used.
+  EXPECT_NE(session.participant_browser(0)->document()->ById(
+                "transport-chaos-marker"),
+            nullptr)
+      << TransportChaosCaseName({chaos, 0});
+
+  const AgentMetrics& agent = session.agent()->metrics();
+  const SnippetMetrics& snippet = session.snippet(0)->metrics();
+  return StrFormat(
+      "agent polls=%llu content=%llu timeouts=%llu reconnects=%llu "
+      "resyncs=%llu streams=%llu frames=%llu hbs=%llu bytes=%llu "
+      "parked=%llu flushes=%llu expiries=%llu denials=%llu\n"
+      "snippet polls=%llu wasted=%llu wasted_bytes=%llu frames=%llu "
+      "hbs=%llu frame_errors=%llu hb_timeouts=%llu opened=%llu "
+      "failures=%llu downgrades=%llu reconnects=%llu resyncs=%llu "
+      "doc_time=%lld\n",
+      static_cast<unsigned long long>(agent.polls_received),
+      static_cast<unsigned long long>(agent.polls_with_content),
+      static_cast<unsigned long long>(agent.poll_timeouts),
+      static_cast<unsigned long long>(agent.reconnects),
+      static_cast<unsigned long long>(agent.resyncs),
+      static_cast<unsigned long long>(agent.transport_streams_opened),
+      static_cast<unsigned long long>(agent.transport_frames_sent),
+      static_cast<unsigned long long>(agent.transport_heartbeats_sent),
+      static_cast<unsigned long long>(agent.transport_frame_bytes_sent),
+      static_cast<unsigned long long>(agent.transport_long_polls_parked),
+      static_cast<unsigned long long>(agent.transport_long_poll_flushes),
+      static_cast<unsigned long long>(agent.transport_long_poll_expiries),
+      static_cast<unsigned long long>(agent.transport_capacity_denials),
+      static_cast<unsigned long long>(snippet.polls_sent),
+      static_cast<unsigned long long>(snippet.wasted_polls),
+      static_cast<unsigned long long>(snippet.wasted_poll_bytes),
+      static_cast<unsigned long long>(snippet.frames_received),
+      static_cast<unsigned long long>(snippet.heartbeats_received),
+      static_cast<unsigned long long>(snippet.frame_errors),
+      static_cast<unsigned long long>(snippet.heartbeat_timeouts),
+      static_cast<unsigned long long>(snippet.transport_streams_opened),
+      static_cast<unsigned long long>(snippet.transport_stream_failures),
+      static_cast<unsigned long long>(snippet.transport_downgrades),
+      static_cast<unsigned long long>(snippet.reconnects),
+      static_cast<unsigned long long>(snippet.resyncs),
+      static_cast<long long>(session.snippet(0)->doc_time_ms()));
+}
+
+class TransportChaosTest
+    : public ::testing::TestWithParam<TransportChaosCase> {};
+
+TEST_P(TransportChaosTest, RecoversAndReplaysBitIdentically) {
+  std::string first = RunTransportChaos(GetParam());
+  std::string second = RunTransportChaos(GetParam());
+  EXPECT_EQ(first, second) << "transport chaos recovery diverged between runs";
+}
+
+std::vector<TransportChaosCase> AllTransportChaosCases() {
+  std::vector<TransportChaosCase> cases;
+  for (const char* profile : {"Lan", "Wan"}) {
+    for (FaultEvent::Kind kind :
+         {FaultEvent::Kind::kLoss, FaultEvent::Kind::kReset,
+          FaultEvent::Kind::kPartition}) {
+      for (TransportMode mode : {TransportMode::kFrames,
+                                 TransportMode::kLongPoll,
+                                 TransportMode::kAdaptive}) {
+        cases.push_back(TransportChaosCase{profile, kind, mode});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(TransportChaos, TransportChaosTest,
+                         ::testing::ValuesIn(AllTransportChaosCases()),
+                         TransportChaosCaseName);
 
 // ------------------------------------------- crash-recovery chaos matrix ---
 //

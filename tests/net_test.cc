@@ -64,6 +64,21 @@ TEST(EventLoopTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(EventLoopTest, RunUntilIgnoresCancelledHeadBeforeDeadlineCheck) {
+  EventLoop loop;
+  int count = 0;
+  // A cancelled entry ahead of the deadline must not let RunUntil slide past
+  // the deadline check and execute a live event scheduled beyond it.
+  uint64_t id = loop.Schedule(Duration::Millis(5), [&] { ++count; });
+  loop.Schedule(Duration::Millis(30), [&] { ++count; });
+  loop.Cancel(id);
+  loop.RunUntil(SimTime::FromMicros(20'000));
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(loop.now().millis(), 20);
+  loop.Run();
+  EXPECT_EQ(count, 1);
+}
+
 TEST(EventLoopTest, RunForAdvancesEvenWithoutEvents) {
   EventLoop loop;
   loop.RunFor(Duration::Seconds(2.0));

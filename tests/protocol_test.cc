@@ -311,6 +311,40 @@ TEST(PollRequestTest, EmptyTraceLeavesWireByteIdentical) {
   EXPECT_EQ(EncodePollRequest(request), untraced);
 }
 
+TEST(PollRequestTest, StreamFieldRoundTrips) {
+  PollRequest request;
+  request.participant_id = "p3";
+  request.doc_time_ms = 11;
+  request.stream = 2;
+  auto decoded = DecodePollRequest(EncodePollRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stream, 2u);
+}
+
+TEST(PollRequestTest, ZeroStreamLeavesWireByteIdentical) {
+  // Same capability-negotiation contract as patch=/trace=: a snippet with
+  // the streamed transport off emits exactly the pre-transport wire bytes.
+  PollRequest request;
+  request.participant_id = "p1";
+  request.doc_time_ms = 3;
+  std::string classic = EncodePollRequest(request);
+  EXPECT_EQ(classic.find("stream"), std::string::npos);
+  request.stream = 2;
+  std::string streaming = EncodePollRequest(request);
+  EXPECT_NE(streaming.find("stream=2"), std::string::npos);
+  request.stream = 0;
+  EXPECT_EQ(EncodePollRequest(request), classic);
+}
+
+TEST(PollRequestTest, UnknownStreamFieldIgnoredByOldDecoder) {
+  auto decoded = DecodePollRequest("pid=p1&ts=3&stream=2");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->participant_id, "p1");
+  auto classic = DecodePollRequest("pid=p1&ts=3");
+  ASSERT_TRUE(classic.ok());
+  EXPECT_EQ(classic->stream, 0u);
+}
+
 TEST(PollRequestTest, UnknownTraceFieldIgnoredByOldDecoder) {
   // A traced request still decodes when the receiver predates the field...
   auto decoded = DecodePollRequest("pid=p1&ts=3&trace=p1-9");

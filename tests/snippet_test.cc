@@ -156,6 +156,38 @@ TEST_F(SnippetTest, RepeatedPollsNoChangeAreEmpty) {
   EXPECT_GT(snippet_->metrics().empty_responses, 2u);
 }
 
+TEST_F(SnippetTest, IdlePollsAreCountedAsWastedWithByteTotals) {
+  StartAgent();
+  ASSERT_TRUE(Join().ok());
+  HostNavigate();
+  WaitForUpdate();
+  // Classic polling with no streamed transport in play: every empty round
+  // trip is pure idle tax and must be accounted (DESIGN.md §15).
+  uint64_t wasted_before = snippet_->metrics().wasted_polls;
+  uint64_t bytes_before = snippet_->metrics().wasted_poll_bytes;
+  loop_.RunFor(Duration::Seconds(5.0));
+  uint64_t wasted = snippet_->metrics().wasted_polls - wasted_before;
+  EXPECT_GT(wasted, 2u);
+  EXPECT_EQ(snippet_->metrics().wasted_polls, snippet_->metrics().empty_responses);
+  // Each wasted poll carries at least its request line + form body + the
+  // empty 200 response — well over 50 bytes of pure overhead.
+  EXPECT_GT(snippet_->metrics().wasted_poll_bytes - bytes_before, wasted * 50);
+
+  // A content-bearing poll is NOT wasted: mutate and re-check.
+  uint64_t wasted_total = snippet_->metrics().wasted_polls;
+  host_browser_->MutateDocument([](Document* document) {
+    document->body()->SetAttribute("data-live", "1");
+  });
+  loop_.RunUntilCondition([&] {
+    return participant_browser_->document()->body()->AttrOr("data-live") == "1";
+  });
+  // The poll that delivered the mutation did not bump the wasted counter
+  // (intervening empty polls may have).
+  EXPECT_LE(snippet_->metrics().wasted_polls - wasted_total, 2u);
+  EXPECT_LT(snippet_->metrics().wasted_polls,
+            snippet_->metrics().polls_sent);
+}
+
 TEST_F(SnippetTest, SecondNavigationReplacesContent) {
   StartAgent();
   ASSERT_TRUE(Join().ok());
