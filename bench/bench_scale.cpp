@@ -44,6 +44,7 @@ struct ScalePoint {
   uint64_t fanout_sends = 0;
   uint64_t content_bytes = 0;
   double wall_seconds = 0;
+  std::string health_json;  // /host/health snapshot at the end of the run
 };
 
 size_t EnvSize(const char* name, size_t fallback) {
@@ -78,6 +79,10 @@ StatusOr<ScalePoint> RunPoint(size_t sessions, size_t participants) {
   config.limits.metrics_sessions = 0;
   config.limits.max_sessions = 0;  // the sweep is the cap
   config.agent_defaults.poll_interval = Duration::Millis(500);
+  // Traced runs feed the health plane's exemplar trace ids; ci.sh
+  // check_health resolves each one against the dumped spans.
+  const bool traced = TraceEnvEnabled();
+  config.agent_defaults.enable_trace = traced;
   RcbHost host(&loop, &network, config);
   RCB_RETURN_IF_ERROR(host.Start());
 
@@ -113,6 +118,7 @@ StatusOr<ScalePoint> RunPoint(size_t sessions, size_t participants) {
           &loop, &network, "poller-pc-" + std::to_string(p + 1));
       SnippetConfig snippet_config;
       snippet_config.fetch_objects = false;
+      snippet_config.enable_trace = traced;
       poller.snippet = std::make_unique<AjaxSnippet>(poller.browser.get(),
                                                      snippet_config);
       AjaxSnippet* snippet = poller.snippet.get();
@@ -192,6 +198,27 @@ StatusOr<ScalePoint> RunPoint(size_t sessions, size_t participants) {
   point.generation_cpu_us_per_update =
       static_cast<double>(generation_cpu.micros()) /
       static_cast<double>(point.doc_updates);
+
+  // Health plane (DESIGN.md §16): the artifact ships the end-of-run
+  // /host/health snapshot, and traced runs dump every agent's + snippet's
+  // spans so the exemplar trace ids in it resolve.
+  HttpRequest health_request;
+  health_request.method = HttpMethod::kGet;
+  health_request.target = "/host/health";
+  point.health_json = host.Route(health_request).body;
+  if (traced) {
+    std::vector<std::pair<std::string, const obs::TraceLog*>> logs;
+    logs.reserve(hosted.size() + pollers.size());
+    for (HostSession* session : hosted) {
+      logs.emplace_back("agent-" + session->id, &session->agent->trace_log());
+    }
+    for (const Poller& poller : pollers) {
+      logs.emplace_back("snippet-" + poller.snippet->participant_id(),
+                        &poller.snippet->trace_log());
+    }
+    DumpTraceLogs(logs);
+  }
+
   point.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -202,6 +229,7 @@ StatusOr<ScalePoint> RunPoint(size_t sessions, size_t participants) {
 }  // namespace
 
 int main() {
+  SetTraceBenchName("scale");
   const size_t max_sessions = EnvSize("RCB_SCALE_MAX_SESSIONS", 1024);
   const size_t participants = EnvSize("RCB_SCALE_PARTICIPANTS", 8);
   PrintBenchHeader(
@@ -268,6 +296,8 @@ int main() {
                     point->generation_cpu_us_per_update);
     report.AddValue(prefix + "wall_seconds", "s", obs::Provenance::kWall,
                     point->wall_seconds);
+    // The largest completed point's snapshot represents the artifact.
+    report.SetHealthJson(point->health_json);
   }
   WriteReport(report);
   PrintRule();

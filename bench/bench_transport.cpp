@@ -214,6 +214,7 @@ ModeResult RunMode(const NetworkProfile& profile, Mode mode, int mutations,
 struct FanoutResult {
   double median_latency_us = 0;
   double idle_bytes_per_minute_per_participant = 0;
+  std::string health_json;  // /host/health snapshot at the end of the run
 };
 
 FanoutResult RunFanout(bool frames, size_t sessions, size_t participants) {
@@ -325,6 +326,13 @@ FanoutResult RunFanout(bool frames, size_t sessions, size_t participants) {
   result.idle_bytes_per_minute_per_participant =
       static_cast<double>(network.total_bytes_transferred() - bytes_before) *
       2.0 / static_cast<double>(sessions * participants);
+
+  // Health plane (DESIGN.md §16): the artifact ships this fleet's end-of-run
+  // /host/health snapshot.
+  HttpRequest health_request;
+  health_request.method = HttpMethod::kGet;
+  health_request.target = "/host/health";
+  result.health_json = host.Route(health_request).body;
   return result;
 }
 
@@ -450,6 +458,7 @@ int main() {
   report.AddValue("fanout_frames_idle_bytes_per_minute_per_participant",
                   "bytes", obs::Provenance::kSim,
                   fan_frames.idle_bytes_per_minute_per_participant);
+  report.SetHealthJson(fan_frames.health_json);
 
   double latency_x =
       wan_frames.median_latency.micros() > 0

@@ -68,6 +68,26 @@ void DumpSessionTraces(CoBrowsingSession* session) {
   }
 }
 
+void DumpTraceLogs(
+    const std::vector<std::pair<std::string, const obs::TraceLog*>>& logs) {
+  const char* dir = TraceDir();
+  if (dir == nullptr) {
+    return;
+  }
+  std::string jsonl;
+  for (const auto& [component, log] : logs) {
+    for (const obs::TraceEvent& event : log->Events()) {
+      jsonl += obs::TraceEventJsonLine(event, component);
+      jsonl.push_back('\n');
+    }
+  }
+  std::string path =
+      std::string(dir) + "/TRACE_" + TraceBenchName() + ".jsonl";
+  if (Status status = obs::AppendToFile(path, jsonl); !status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+}
+
 StatusOr<SiteMeasurement> MeasureSite(const SiteSpec& spec,
                                       const NetworkProfile& profile,
                                       bool cache_mode, int repetitions,

@@ -9,7 +9,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/obs/trace.h"
 
 #include "src/core/session.h"
 #include "src/obs/bench_report.h"
@@ -113,6 +116,15 @@ void ApplyTraceEnv(SessionOptions* options);
 // Appends the agent's and every snippet's retained spans to the trace file.
 // No-op when the env var is unset or tracing was off for the session.
 void DumpSessionTraces(CoBrowsingSession* session);
+
+// Appends arbitrary (component, trace log) pairs to the trace file with the
+// trace ids left raw — unlike DumpSessionTraces there is no per-session
+// ordinal prefix, so ids recorded elsewhere from the same logs (the health
+// plane's exemplar trace ids, DESIGN.md §16) resolve against the dump via
+// `trace_report --trace-id`. Host-based benches use this; ids are unique
+// within one session only. No-op when the env var is unset.
+void DumpTraceLogs(
+    const std::vector<std::pair<std::string, const obs::TraceLog*>>& logs);
 
 }  // namespace benchutil
 }  // namespace rcb

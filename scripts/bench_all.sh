@@ -64,6 +64,29 @@ if command -v jq >/dev/null; then
   echo "jq cross-check: ${#artifacts[@]} artifacts"
 fi
 
+if command -v jq >/dev/null; then
+  echo
+  echo "=== checking committed root copies against fresh artifacts ==="
+  # Before refreshing, the committed root copy of each artifact must agree
+  # with the fresh one on schema version and on the set of config keys — a
+  # mismatch means a bench changed its recipe without the canonical numbers
+  # (and EXPERIMENTS.md) being regenerated alongside it.
+  for artifact in "${artifacts[@]}"; do
+    committed="./$(basename "${artifact}")"
+    [[ -f "${committed}" ]] || continue
+    jq -e --slurpfile fresh "${artifact}" \
+          '.schema_version == $fresh[0].schema_version' \
+        "${committed}" >/dev/null ||
+      { echo "schema_version drift vs committed: ${committed}" >&2
+        failures=$((failures + 1)); }
+    jq -e --slurpfile fresh "${artifact}" \
+          '(.config | keys) == ($fresh[0].config | keys)' \
+        "${committed}" >/dev/null ||
+      { echo "config key drift vs committed: ${committed}" >&2
+        failures=$((failures + 1)); }
+  done
+fi
+
 echo
 echo "=== refreshing canonical BENCH_*.json copies at the repo root ==="
 # The repo root holds the committed, canonical copy of each artifact (the

@@ -235,14 +235,15 @@ check_trace() {
   local flights=("${trace_dir}"/FLIGHT_*.jsonl)
   [[ -s "${flights[0]}" ]] || { echo "no flight dump written" >&2; return 1; }
   local report="${trace_dir}/report.json"
-  "${build_dir}/tools/trace_report" --json --sim-only \
+  # --fail-on-incomplete makes the tool itself the completeness gate: exit 3
+  # when any content response cannot be chased down to a participant-side
+  # apply, so the check holds even where jq is absent.
+  "${build_dir}/tools/trace_report" --json --sim-only --fail-on-incomplete \
       "${trace_dir}/TRACE_session.jsonl" > "${report}"
   if command -v jq >/dev/null; then
-    # Report schema: every traced round trip must close, and every content
-    # response must be chased down to a participant-side apply.
+    # Report schema: every traced round trip must close.
     jq -e '.schema_version == 1 and .traces >= 1
            and .content_traces >= 1
-           and .content_completeness == 1
            and (.segments | length > 0)
            and (.sessions | length >= 1)' "${report}" > /dev/null
     # Every flight-dump line is standalone JSON with a typed header.
@@ -337,6 +338,94 @@ check_transport() {
   fi
 }
 
+check_health() {
+  local build_dir="$1"
+  local dir="${build_dir}/ci-health"
+  echo "=== ${build_dir}: health plane gate ==="
+  rm -rf "${dir}"
+  mkdir -p "${dir}"
+  # Window engine, SLO burn evaluator, and endpoint suite by name: a
+  # test-registration regression cannot silently drop the determinism pins.
+  "${build_dir}/tests/health_test" --gtest_brief=1
+  local chaos="${build_dir}/tools/health_chaos"
+  # Determinism: two identical calm runs must produce byte-identical
+  # /host/health snapshots (windowing is sim-clock pure).
+  "${chaos}" --scenario calm --out "${dir}/calm.json"
+  "${chaos}" --scenario calm --out "${dir}/calm_again.json"
+  cmp -s "${dir}/calm.json" "${dir}/calm_again.json" ||
+    { echo "calm health snapshot differs between identical runs" >&2
+      return 1; }
+  local scenario
+  for scenario in delay auth waste; do
+    "${chaos}" --scenario "${scenario}" --out "${dir}/${scenario}.json"
+  done
+  if command -v jq >/dev/null; then
+    # Calm long-poll traffic stays green everywhere with no active alerts.
+    jq -e '.sessions_total == 4 and .summary.green == 4
+           and (.alerts | length == 0)' "${dir}/calm.json" > /dev/null ||
+      { echo "calm scenario not all-green" >&2; return 1; }
+    # Each fault scenario must trip exactly its own SLO on every session.
+    local objective
+    for scenario in delay:sync_p99 auth:auth_failure_rate \
+        waste:wasted_poll_ratio; do
+      objective="${scenario#*:}"
+      scenario="${scenario%%:*}"
+      jq -e --arg obj "${objective}" \
+            '.summary.unhealthy == .sessions_total
+             and (.alerts | length) == .sessions_total
+             and (.alerts | all(endswith(":" + $obj)))' \
+          "${dir}/${scenario}.json" > /dev/null ||
+        { echo "${scenario} scenario did not trip ${objective} everywhere" \
+               >&2; return 1; }
+    done
+  fi
+  # Exemplar resolution: a reduced traced bench_scale embeds a health section
+  # in its artifact; every exemplar trace id there must resolve against the
+  # dumped span file via trace_report --trace-id.
+  local bench_dir="${dir}/bench-json"
+  mkdir -p "${bench_dir}"
+  RCB_BENCH_JSON_DIR="${bench_dir}" RCB_TRACE_DIR="${dir}" \
+      RCB_SCALE_MAX_SESSIONS=16 "${build_dir}/bench/bench_scale" > /dev/null
+  local artifact="${bench_dir}/BENCH_scale.json"
+  "${build_dir}/tools/validate_bench_json" "${artifact}"
+  if command -v jq >/dev/null; then
+    jq -e '.health.sessions | length > 0
+           and all(.[]; .score == "green")' "${artifact}" > /dev/null ||
+      { echo "traced bench_scale health section missing or not green" >&2
+        return 1; }
+    local ids id
+    ids=$(jq -r '[.health.sessions[].exemplars[]?.trace_id
+                  | select(. != "")] | unique | .[]' "${artifact}")
+    [[ -n "${ids}" ]] ||
+      { echo "no exemplar trace ids in the bench_scale health section" >&2
+        return 1; }
+    while read -r id; do
+      "${build_dir}/tools/trace_report" --trace-id "${id}" \
+          "${dir}/TRACE_scale.jsonl" > /dev/null ||
+        { echo "health exemplar trace ${id} unresolvable in trace dump" >&2
+          return 1; }
+    done <<< "${ids}"
+  fi
+}
+
+check_metrics_doc() {
+  echo "=== metrics reference drift gate ==="
+  local doc="docs/METRICS.md"
+  [[ -f "${doc}" ]] || { echo "missing ${doc}" >&2; return 1; }
+  # Both directions: every rcb_* family named in the sources must be
+  # documented, and every documented family must still exist in the sources.
+  local drift=0 name
+  while read -r name; do
+    grep -q "\`${name}\`" "${doc}" ||
+      { echo "metric not documented in ${doc}: ${name}" >&2; drift=1; }
+  done < <(grep -rhoE '"rcb_[a-z0-9_]+"' src | tr -d '"' | sort -u)
+  while read -r name; do
+    grep -rqF "\"${name}\"" src ||
+      { echo "documented metric gone from src: ${name}" >&2; drift=1; }
+  done < <(grep -hoE '`rcb_[a-z0-9_]+`' "${doc}" | tr -d '\`' | sort -u)
+  [[ "${drift}" -eq 0 ]]
+}
+
 run_suite() {
   local build_dir="$1"
   shift
@@ -365,8 +454,10 @@ run_suite() {
   check_recovery "${build_dir}"
   check_trace "${build_dir}"
   check_transport "${build_dir}"
+  check_health "${build_dir}"
 }
 
+check_metrics_doc
 run_suite build "$@"
 run_suite build-asan -DRCB_SANITIZE=ON "$@"
 

@@ -84,7 +84,8 @@ RcbAgent::RcbAgent(Browser* host_browser, AgentConfig config)
     : browser_(host_browser),
       config_(std::move(config)),
       generator_(host_browser, config_.generator_tuning),
-      flight_(&trace_, &registry_, AgentFlightOptions(config_)) {
+      flight_(&trace_, &registry_, AgentFlightOptions(config_)),
+      health_(config_.health_slo, &flight_) {
   effective_registry_ = config_.shared_registry != nullptr
                             ? config_.shared_registry
                             : &registry_;
@@ -460,6 +461,10 @@ void RcbAgent::RegisterMetrics() {
   patch_bytes_ = reg->AddHistogram(
       "rcb_agent_patch_bytes", "Serialized bytes per served patch response",
       obs::Provenance::kSim, obs::SizeBoundsBytes(), base_labels);
+  sync_latency_us_ = reg->AddHistogram(
+      "rcb_agent_sync_latency_us",
+      "Simulated microseconds from document version stamp to content served",
+      obs::Provenance::kSim, obs::LatencyBoundsUs(), base_labels);
   static constexpr const char* kRequestLabels[6] = {
       "type=\"poll\"",   "type=\"new_connection\"", "type=\"object\"",
       "type=\"status\"", "type=\"metrics\"",        "type=\"other\""};
@@ -835,6 +840,7 @@ void RcbAgent::PushToStreams() {
     SnapshotSlot& slot = RefreshSlot(CacheModeFor(pid), /*count_reuse=*/true);
     participant.doc_time_ms = current_doc_time_ms_;
     participant.last_poll = browser_->loop()->now();
+    RecordContentServed("");
     if (participant.outbox.empty()) {
       metrics_.content_bytes_sent += slot.xml.size();
       endpoint->Send(MultipartPart(slot.xml));
@@ -928,7 +934,9 @@ void RcbAgent::ReleaseParkedPoll(const std::string& pid, bool expired) {
       ++metrics_.polls_with_content;
       ++metrics_.transport_long_poll_flushes;
     } else {
-      ++metrics_.polls_empty;
+      // Counted as a transport expiry only — disjoint from polls_empty
+      // (classic empty replies), so transport::WastedPolls sums each wasted
+      // round trip exactly once.
       ++metrics_.transport_long_poll_expiries;
     }
   } else {
@@ -941,6 +949,22 @@ void RcbAgent::ReleaseParkedPoll(const std::string& pid, bool expired) {
   conn->endpoint->Send(response.Serialize());
 }
 
+void RcbAgent::RecordContentServed(std::string_view trace_id) {
+  // Health-plane sync latency: document version stamp -> content on the
+  // wire, in sim time. Fed to the always-on windowed tracker and (when
+  // registered) the exemplar-carrying registry histogram, so a p99 spike
+  // names the trace that caused it.
+  int64_t now_us = browser_->loop()->now().micros();
+  int64_t latency_us = now_us - current_doc_time_ms_ * 1000;
+  if (latency_us < 0) {
+    latency_us = 0;
+  }
+  health_.RecordSyncLatency(latency_us, now_us, trace_id);
+  if (sync_latency_us_ != nullptr) {
+    sync_latency_us_->RecordExemplar(latency_us, trace_id, now_us);
+  }
+}
+
 std::string RcbAgent::BuildContentBody(const std::string& pid, int64_t acked,
                                        bool patch_capable,
                                        std::vector<UserAction> outbox) {
@@ -948,6 +972,14 @@ std::string RcbAgent::BuildContentBody(const std::string& pid, int64_t acked,
   // same shared-snapshot fast path, same spliced per-participant flavour —
   // so a parked release or data frame carries the exact poll-reply bytes.
   SnapshotSlot& slot = RefreshSlot(CacheModeFor(pid), /*count_reuse=*/true);
+  // Exemplar trace for transport-pushed content: the frame spans' synthetic
+  // transport-<pid> chain (SendFrame), unless a traced poll is in flight.
+  std::string transport_trace;
+  if (!trace_ctx_.active() && config_.enable_trace) {
+    transport_trace = "transport-" + pid;
+  }
+  RecordContentServed(trace_ctx_.active() ? std::string_view(trace_ctx_.trace_id)
+                                          : std::string_view(transport_trace));
   if (config_.enable_delta && patch_capable && acked >= 0) {
     std::optional<std::string> patch_xml =
         broadcast_->MaybeBuildPatchResponse(slot, acked, &outbox, trace_ctx_);
@@ -1232,6 +1264,23 @@ const Snapshot& RcbAgent::CurrentSnapshotForTest() {
 }
 
 HttpResponse RcbAgent::HandleRequest(const HttpRequest& request) {
+  ++requests_handled_;
+  HttpResponse response = DispatchRequest(request);
+  // End-of-request health sampling: every counter delta this request caused
+  // lands in the current window bucket, and alert edges fire here — a
+  // deterministic event site, so windowed state double-runs bit-identically.
+  obs::HealthSample sample;
+  sample.requests = requests_handled_;
+  sample.polls_received = metrics_.polls_received;
+  sample.wasted_polls = transport::WastedPolls(
+      {metrics_.polls_empty, metrics_.transport_long_poll_expiries});
+  sample.resyncs = metrics_.resyncs;
+  sample.auth_failures = metrics_.auth_failures;
+  health_.Sample(sample, browser_->loop()->now().micros());
+  return response;
+}
+
+HttpResponse RcbAgent::DispatchRequest(const HttpRequest& request) {
   last_activity_ = browser_->loop()->now();
   int64_t sim_now_us = last_activity_.micros();
   // Fig. 2: classify by method token and request-URI token. Each class gets
@@ -1285,6 +1334,11 @@ HttpResponse RcbAgent::HandleRequest(const HttpRequest& request) {
                          request_hist_[4]);
       return HandleMetrics(request);
     }
+    if (path == "/health") {
+      obs::WallSpan span(&trace_, "agent.request.health", sim_now_us,
+                         request_hist_[4]);
+      return HandleHealth(request);
+    }
     obs::WallSpan span(&trace_, "agent.request.other", sim_now_us,
                        request_hist_[5]);
     return HttpResponse::NotFound(path);
@@ -1311,6 +1365,18 @@ HttpResponse RcbAgent::HandleMetrics(const HttpRequest& request) {
   }
   return HttpResponse::Ok("text/plain; version=0.0.4; charset=utf-8",
                           effective_registry_->RenderPrometheus(options));
+}
+
+HttpResponse RcbAgent::HandleHealth(const HttpRequest& request) {
+  // Same trust boundary as /metrics: the body names SLO state and trace ids.
+  if (!VerifyRequestAuth(request)) {
+    ++metrics_.auth_failures;
+    flight_.Trigger("auth_failure", browser_->loop()->now().micros());
+    return HttpResponse::Forbidden("request authentication failed");
+  }
+  return HttpResponse::Ok(
+      "application/json",
+      health_.ToJson(browser_->loop()->now().micros()) + "\n");
 }
 
 std::string RcbAgent::BuildInitialPage(const std::string& pid) const {
@@ -1630,6 +1696,24 @@ HttpResponse RcbAgent::HandleStatusPage() const {
       static_cast<unsigned long long>(flight_.total_triggers()),
       static_cast<unsigned long long>(flight_.dumps_written()),
       flight_.dumping_enabled() ? "" : "; dump dir unset");
+  {
+    obs::HealthStatus health =
+        health_.Evaluate(browser_->loop()->now().micros());
+    std::string alerts;
+    for (std::string_view alert : health.ActiveAlerts()) {
+      if (!alerts.empty()) {
+        alerts += ",";
+      }
+      alerts += alert;
+    }
+    body += StrFormat(
+        "<p id=\"health\">health: %s | sync window n=%llu p50 %.0f us "
+        "p99 %.0f us | alerts: %s</p>",
+        std::string(HealthScoreName(health.score)).c_str(),
+        static_cast<unsigned long long>(health.sync_count),
+        health.sync_p50_us, health.sync_p99_us,
+        alerts.empty() ? "none" : alerts.c_str());
+  }
   return HttpResponse::Ok(
       "text/html", "<!DOCTYPE html><html><head><title>RCB status</title>"
                    "</head><body>" +
@@ -1846,6 +1930,8 @@ HttpResponse RcbAgent::HandlePoll(const HttpRequest& request) {
     SnapshotSlot& slot =
         RefreshSlot(CacheModeFor(poll.participant_id), /*count_reuse=*/true);
     ++metrics_.polls_with_content;
+    RecordContentServed(trace_ctx_.active() ? trace_ctx_.trace_id
+                                            : std::string());
     if (poll.resync) {
       ++metrics_.resyncs;  // full snapshot served to a recovering participant
       flight_.Trigger("resync", browser_->loop()->now().micros());

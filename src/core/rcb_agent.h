@@ -35,6 +35,7 @@
 #include "src/net/network.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/transport/capabilities.h"
 #include "src/transport/frame.h"
@@ -145,6 +146,10 @@ struct AgentConfig {
   // Flight-recorder dump directory. Empty falls back to $RCB_FLIGHT_DIR;
   // with neither set, triggers are counted but no artifact is written.
   std::string flight_dir;
+  // --- Health plane (src/obs/slo.h, DESIGN.md §16). SLO targets and window
+  // geometry for the always-on per-session health tracker behind GET /health
+  // and /host/health; fixed-size, so it survives the host's lite mode. ---
+  obs::SloConfig health_slo;
   // --- Multi-session hosting (src/host). Defaults keep the standalone
   // behavior: the agent owns its registry and registers everything. ---
   // When set, instruments register on this registry (not owned; must outlive
@@ -279,6 +284,10 @@ class RcbAgent {
   // failure, and overload shedding; dumps the trace ring + a deterministic
   // metrics snapshot when a dump directory is configured.
   const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  // Health plane (DESIGN.md §16): windowed SLO state behind GET /health.
+  // Always on — fixed-size even when register_metrics is false (lite mode).
+  // Non-const: window reads advance the rings to the query instant.
+  obs::SessionHealth& session_health() { return health_; }
 
   // Connected participants (have completed a poll recently enough to be
   // considered live); the agent "knows exactly which participants are
@@ -358,7 +367,10 @@ class RcbAgent {
   void RemoveConnection(AgentConn* conn);
   void DisarmReadDeadline(AgentConn* conn);
 
+  // HandleRequest wraps DispatchRequest with end-of-request health sampling
+  // (the deterministic event site where counter deltas enter the windows).
   HttpResponse HandleRequest(const HttpRequest& request);
+  HttpResponse DispatchRequest(const HttpRequest& request);
   HttpResponse HandleNewConnection(const HttpRequest& request);
   HttpResponse HandleObjectRequest(const HttpRequest& request);
   HttpResponse HandlePoll(const HttpRequest& request);
@@ -369,6 +381,10 @@ class RcbAgent {
   // like polls; ?view=sim renders only the deterministic (sim-provenance)
   // families, which are byte-identical across identical simulated runs.
   HttpResponse HandleMetrics(const HttpRequest& request);
+  // GET /health: windowed SLO health JSON (score, burn rates, sync window
+  // percentiles, trace exemplars). Authenticated like /metrics; every value
+  // is sim-provenance, so the body is deterministic.
+  HttpResponse HandleHealth(const HttpRequest& request);
 
   // Push model: a GET /stream request upgrades the connection into a held
   // multipart/x-mixed-replace stream; parts are written on every change.
@@ -434,6 +450,11 @@ class RcbAgent {
   std::string BuildContentBody(const std::string& pid, int64_t acked,
                                bool patch_capable,
                                std::vector<UserAction> outbox);
+
+  // Health plane: records one content-sync latency observation (document
+  // version stamp -> content serve, sim time) into the windowed tracker and
+  // the exemplar histogram. Called at every content-serve site.
+  void RecordContentServed(std::string_view trace_id);
 
   // §3.4: verifies the hmac request-URI parameter over the canonical request.
   // Non-const: records the verification's CPU time (rcb_agent_hmac_verify_us).
@@ -550,6 +571,15 @@ class RcbAgent {
   // Inactive outside HandlePoll or when tracing is off on either side.
   obs::TraceContext trace_ctx_;
   obs::FlightRecorder flight_;
+  // Sync-latency registry histogram with trace exemplars (document update ->
+  // content served); nullptr when register_metrics is false. The always-on
+  // windowed view of the same observations lives in health_.
+  obs::Histogram* sync_latency_us_ = nullptr;
+  // Declared after flight_: alert edges fire it. Every request the agent
+  // handles samples the cumulative counters into the windows. Mutable:
+  // window reads advance the rings, and the const status page reads it.
+  mutable obs::SessionHealth health_;
+  uint64_t requests_handled_ = 0;  // HealthSample.requests denominator
 };
 
 }  // namespace rcb

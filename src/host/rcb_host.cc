@@ -5,6 +5,9 @@
 #include <filesystem>
 #include <utility>
 
+#include "src/crypto/hmac.h"
+#include "src/http/form.h"
+#include "src/util/json.h"
 #include "src/util/logging.h"
 #include "src/util/rand.h"
 #include "src/util/strings.h"
@@ -612,6 +615,9 @@ HttpResponse RcbHost::Route(const HttpRequest& request) {
   if (path == "/host/metrics" && request.method == HttpMethod::kGet) {
     return HandleHostMetrics(request);
   }
+  if (path == "/host/health" && request.method == HttpMethod::kGet) {
+    return HandleHostHealth(request);
+  }
   if (path == "/host/sessions") {
     if (request.method != HttpMethod::kPost) {
       return HttpResponse::BadRequest("session creation is POST");
@@ -760,6 +766,92 @@ HttpResponse RcbHost::HandleHostMetrics(const HttpRequest& request) const {
   }
   return HttpResponse::Ok("text/plain; version=0.0.4; charset=utf-8",
                           registry_.RenderPrometheus(options));
+}
+
+bool RcbHost::VerifyHostAuth(const HttpRequest& request) const {
+  const std::string& key = config_.agent_defaults.session_key;
+  if (key.empty()) {
+    return true;
+  }
+  // Same canonical message as RcbAgent::VerifyRequestAuth: the hmac query
+  // parameter is lifted out, the MAC covers method + remaining target + body.
+  auto params = ParseFormUrlEncodedOrdered(request.QueryString());
+  std::string provided;
+  std::vector<std::pair<std::string, std::string>> rest;
+  for (auto& [name, value] : params) {
+    if (name == "hmac") {
+      provided = value;
+    } else {
+      rest.emplace_back(name, value);
+    }
+  }
+  if (provided.empty()) {
+    return false;
+  }
+  std::string canonical_target = request.Path();
+  std::string rest_query = EncodeFormUrlEncoded(rest);
+  if (!rest_query.empty()) {
+    canonical_target += "?" + rest_query;
+  }
+  std::string message = std::string(HttpMethodName(request.method)) + " " +
+                        canonical_target + "\n" + request.body;
+  return ConstantTimeEquals(HmacSha256Hex(key, message), provided);
+}
+
+HttpResponse RcbHost::HandleHostHealth(const HttpRequest& request) {
+  if (!VerifyHostAuth(request)) {
+    flight_.Trigger("auth_failure", loop_->now().micros());
+    return HttpResponse::Forbidden("request authentication failed");
+  }
+  int64_t now_us = loop_->now().micros();
+  struct Row {
+    const std::string* id;
+    int severity;  // HealthScore rank: unhealthy=2 sorts first
+    double slow_burn;
+    std::string json;
+  };
+  size_t counts[3] = {0, 0, 0};
+  std::vector<Row> rows;
+  rows.reserve(sessions_.size());
+  std::vector<std::string> alerts;  // "<session>:<objective>", id order
+  for (auto& [id, session] : sessions_) {
+    obs::SessionHealth& health = session->agent->session_health();
+    obs::HealthStatus status = health.Evaluate(now_us);
+    int severity = static_cast<int>(status.score);
+    ++counts[severity];
+    for (std::string_view alert : status.ActiveAlerts()) {
+      alerts.push_back(id + ":" + std::string(alert));
+    }
+    // Splice the session id into the per-session health object:
+    // {"id":"<id>",<health fields>}.
+    rows.push_back(Row{&id, severity, status.MaxSlowBurn(),
+                       "{\"id\":\"" + JsonEscape(id) + "\"," +
+                           health.ToJson(now_us).substr(1)});
+  }
+  // Worst first: score severity, then the hottest slow burn, id as the
+  // deterministic tiebreak (rcb_top renders the array as-is).
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.severity != b.severity) return a.severity > b.severity;
+    if (a.slow_burn != b.slow_burn) return a.slow_burn > b.slow_burn;
+    return *a.id < *b.id;
+  });
+  std::string body = StrFormat(
+      "{\"sim_time_us\":%lld,\"sessions_total\":%zu,"
+      "\"summary\":{\"green\":%zu,\"degraded\":%zu,\"unhealthy\":%zu}",
+      static_cast<long long>(now_us), rows.size(), counts[0], counts[1],
+      counts[2]);
+  body += ",\"alerts\":[";
+  for (size_t i = 0; i < alerts.size(); ++i) {
+    if (i > 0) body += ",";
+    body += "\"" + JsonEscape(alerts[i]) + "\"";
+  }
+  body += "],\"sessions\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) body += ",";
+    body += rows[i].json;
+  }
+  body += "]}";
+  return HttpResponse::Ok("application/json", body + "\n");
 }
 
 uint64_t RcbHost::SumAgents(uint64_t AgentMetrics::*field,

@@ -49,6 +49,15 @@ void BenchReport::SetConfig(const std::string& key, const std::string& value) {
   config_.emplace_back(key, value);
 }
 
+void BenchReport::SetHealthJson(std::string health_json) {
+  health_json_ = std::move(health_json);
+  // The endpoint body ends with a newline; embedded JSON must not.
+  while (!health_json_.empty() &&
+         (health_json_.back() == '\n' || health_json_.back() == '\r')) {
+    health_json_.pop_back();
+  }
+}
+
 void BenchReport::AddValue(const std::string& name, const std::string& unit,
                            Provenance provenance, double value) {
   Metric metric;
@@ -111,6 +120,9 @@ std::string BenchReport::ToJson() const {
   }
   out += config_.empty() ? "},\n" : "\n  },\n";
   out += "  \"config_fingerprint\": \"" + ConfigFingerprint() + "\",\n";
+  if (!health_json_.empty()) {
+    out += "  \"health\": " + health_json_ + ",\n";
+  }
   out += "  \"metrics\": [";
   for (size_t i = 0; i < metrics_.size(); ++i) {
     const Metric& metric = metrics_[i];
@@ -205,6 +217,47 @@ Status ValidateBenchReportJson(const JsonValue& document) {
       fingerprint->string_value.find_first_not_of("0123456789abcdef") !=
           std::string::npos) {
     return Violation("\"config_fingerprint\" must be 64 lowercase hex chars");
+  }
+  if (const JsonValue* health = document.Find("health"); health != nullptr) {
+    if (!health->is_object()) {
+      return Violation("\"health\" must be an object");
+    }
+    const JsonValue* sessions = health->Find("sessions");
+    if (sessions == nullptr || !sessions->is_array()) {
+      return Violation("\"health\" must carry a \"sessions\" array");
+    }
+    for (const JsonValue& session : sessions->items) {
+      if (!session.is_object()) {
+        return Violation("health session entries must be objects");
+      }
+      const JsonValue* id = session.Find("id");
+      if (id == nullptr || !id->is_string() || id->string_value.empty()) {
+        return Violation("health session \"id\" must be a non-empty string");
+      }
+      const JsonValue* score = session.Find("score");
+      if (score == nullptr || !score->is_string() ||
+          (score->string_value != "green" &&
+           score->string_value != "degraded" &&
+           score->string_value != "unhealthy")) {
+        return Violation("health session \"" + id->string_value +
+                         "\" score must be green, degraded, or unhealthy");
+      }
+      if (const JsonValue* exemplars = session.Find("exemplars");
+          exemplars != nullptr) {
+        if (!exemplars->is_array()) {
+          return Violation("health session \"" + id->string_value +
+                           "\" exemplars must be an array");
+        }
+        for (const JsonValue& exemplar : exemplars->items) {
+          const JsonValue* trace_id =
+              exemplar.is_object() ? exemplar.Find("trace_id") : nullptr;
+          if (trace_id == nullptr || !trace_id->is_string()) {
+            return Violation("health session \"" + id->string_value +
+                             "\" exemplars must carry string trace_ids");
+          }
+        }
+      }
+    }
   }
   const JsonValue* metrics = document.Find("metrics");
   if (metrics == nullptr || !metrics->is_array()) {

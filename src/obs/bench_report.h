@@ -36,6 +36,12 @@ class BenchReport {
 
   void SetConfig(const std::string& key, const std::string& value);
 
+  // Embeds a /host/health snapshot (the exact endpoint JSON) as the
+  // artifact's "health" member, so scale-class benches ship the health plane
+  // alongside their metrics — exemplar trace ids in it must resolve against
+  // the bench's trace dump (ci.sh check_health). Empty = no health section.
+  void SetHealthJson(std::string health_json);
+
   void AddValue(const std::string& name, const std::string& unit,
                 Provenance provenance, double value);
   // Exact sample statistics; `samples` need not be sorted. Empty sample sets
@@ -72,6 +78,7 @@ class BenchReport {
   std::string name_;
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<Metric> metrics_;
+  std::string health_json_;
 };
 
 // Checks a parsed BENCH_*.json document against the schema documented in

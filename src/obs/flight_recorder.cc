@@ -26,6 +26,17 @@ void FlightRecorder::Trigger(std::string_view reason, int64_t sim_now_us) {
   if (options_.dir.empty() || dumps_written_ >= options_.max_dumps) {
     return;
   }
+  if (options_.dedup_window_us > 0) {
+    for (auto& [name, dumped_us] : last_dump_us_) {
+      if (name == reason) {
+        if (sim_now_us - dumped_us < options_.dedup_window_us) {
+          ++dumps_suppressed_;
+          return;
+        }
+        break;
+      }
+    }
+  }
 
   std::string path = StrFormat(
       "%s/FLIGHT_%s_%llu_%s.jsonl", options_.dir.c_str(),
@@ -67,6 +78,13 @@ void FlightRecorder::Trigger(std::string_view reason, int64_t sim_now_us) {
   }
   ++dumps_written_;
   last_dump_path_ = path;
+  for (auto& [name, dumped_us] : last_dump_us_) {
+    if (name == reason) {
+      dumped_us = sim_now_us;
+      return;
+    }
+  }
+  last_dump_us_.emplace_back(std::string(reason), sim_now_us);
 }
 
 uint64_t FlightRecorder::triggers(std::string_view reason) const {

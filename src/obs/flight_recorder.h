@@ -41,6 +41,11 @@ class FlightRecorder {
     // Hard cap on artifacts per recorder, so a trigger storm (an overloaded
     // agent shedding every poll) cannot fill the disk.
     size_t max_dumps = 16;
+    // When > 0, a repeat of a reason within this sim window after its last
+    // dump is counted but not dumped (dumps_suppressed()): one anomaly burst
+    // collapses to one artifact. 0 preserves the historical dump-per-trigger
+    // behavior up to max_dumps.
+    int64_t dedup_window_us = 0;
   };
 
   FlightRecorder(const TraceLog* trace, const MetricsRegistry* registry,
@@ -63,6 +68,10 @@ class FlightRecorder {
 
   uint64_t total_triggers() const { return total_triggers_; }
   uint64_t dumps_written() const { return dumps_written_; }
+  // Dumps skipped by the dedup window (counted only while dumping is
+  // enabled and the cap not yet reached, so the number means "bursts
+  // collapsed", not "dumping was off").
+  uint64_t dumps_suppressed() const { return dumps_suppressed_; }
   uint64_t triggers(std::string_view reason) const;
   // (reason, count), in first-trigger order.
   const std::vector<std::pair<std::string, uint64_t>>& trigger_counts() const {
@@ -76,7 +85,10 @@ class FlightRecorder {
   Options options_;
   uint64_t total_triggers_ = 0;
   uint64_t dumps_written_ = 0;
+  uint64_t dumps_suppressed_ = 0;
   std::vector<std::pair<std::string, uint64_t>> trigger_counts_;
+  // (reason, sim time of its last written dump), for dedup_window_us.
+  std::vector<std::pair<std::string, int64_t>> last_dump_us_;
   std::string last_dump_path_;
 };
 

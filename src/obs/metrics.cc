@@ -26,10 +26,40 @@ void Histogram::Record(int64_t value) {
   }
   ++count_;
   sum_ += value;
+  ++counts_[BucketOf(value)];
+}
+
+size_t Histogram::BucketOf(int64_t value) const {
   // First bucket whose inclusive upper bound admits the value.
-  size_t bucket = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
-                  bounds_.begin();
-  ++counts_[bucket];
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::RecordExemplar(int64_t value, std::string_view trace_id,
+                               int64_t sim_now_us) {
+  Record(value);
+  if (trace_id.empty()) {
+    return;
+  }
+  if (exemplars_.empty()) {
+    exemplars_.resize(counts_.size());
+  }
+  TraceExemplar& slot = exemplars_[BucketOf(value)];
+  bool stale = !slot.trace_id.empty() &&
+               sim_now_us - slot.sim_time_us >= exemplar_ttl_us_;
+  if (slot.trace_id.empty() || stale || value >= slot.value) {
+    slot.value = value;
+    slot.sim_time_us = sim_now_us;
+    slot.trace_id.assign(trace_id.data(), trace_id.size());
+  }
+}
+
+const TraceExemplar* Histogram::BucketExemplar(size_t i) const {
+  if (i >= exemplars_.size() || exemplars_[i].trace_id.empty()) {
+    return nullptr;
+  }
+  return &exemplars_[i];
 }
 
 double Histogram::Percentile(double p) const {

@@ -65,6 +65,21 @@ struct TransportConfig {
   size_t max_held = 64;
 };
 
+// --- Wasted-poll accounting (health plane, DESIGN.md §16) ---
+// The transport layer owns the definition of a *wasted* poll — a round trip
+// that moved no content: an empty classic poll reply, or a parked long-poll
+// released empty by its hold deadline. A parked poll that flushes with data
+// is NOT wasted (that is the point of parking), so the transport's win shows
+// up directly in the wasted_poll_ratio SLO (src/obs/slo.h).
+struct WastedPollInputs {
+  uint64_t polls_empty = 0;         // classic empty replies
+  uint64_t long_poll_expiries = 0;  // parked polls released empty
+};
+
+inline uint64_t WastedPolls(const WastedPollInputs& inputs) {
+  return inputs.polls_empty + inputs.long_poll_expiries;
+}
+
 }  // namespace transport
 }  // namespace rcb
 

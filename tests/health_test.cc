@@ -1,0 +1,495 @@
+// Tests for the live health plane (DESIGN.md §16): the sliding sim-time
+// window engine (src/obs/window) against a naive per-event reference, the
+// SLO burn-rate evaluator and its multi-window alert edges (src/obs/slo),
+// trace exemplars, and the HTTP surfaces — the agent's /health endpoint and
+// the host's aggregated /host/health with worst-first ordering and HMAC
+// auth. The windowing determinism contract (bit-identical state across two
+// identical simulated runs) is pinned here; scripts/ci.sh check_health pins
+// the same property end-to-end over the chaos harness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/core/ajax_snippet.h"
+#include "src/crypto/hmac.h"
+#include "src/host/rcb_host.h"
+#include "src/html/parser.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/slo.h"
+#include "src/obs/window.h"
+#include "src/util/json.h"
+
+namespace rcb {
+namespace {
+
+using obs::CompactWindowConfig;
+using obs::FlightRecorder;
+using obs::HealthSample;
+using obs::HealthScore;
+using obs::SessionHealth;
+using obs::SlidingWindow;
+using obs::SloConfig;
+using obs::WindowConfig;
+using obs::WindowedCounter;
+using obs::WindowedHistogram;
+
+// ---------------------------------------------------------------------------
+// SlidingWindow vs a naive reference
+// ---------------------------------------------------------------------------
+
+// Keeps every event and answers window queries from first principles using
+// the documented granularity contract: the fast window is the in-progress
+// fine bucket plus the previous fine_buckets-1; an evicted event stays in
+// the slow window while its coarse period is at most coarse_buckets behind
+// the current one.
+class NaiveWindow {
+ public:
+  explicit NaiveWindow(const WindowConfig& config) : config_(config) {}
+
+  void Add(size_t lane, uint64_t delta, int64_t sim_now_us) {
+    events_.push_back({lane, sim_now_us / config_.fine_bucket_us, delta});
+  }
+
+  uint64_t FastSum(size_t lane, int64_t sim_now_us) const {
+    int64_t current = sim_now_us / config_.fine_bucket_us;
+    int64_t fine_buckets = static_cast<int64_t>(config_.fine_buckets);
+    uint64_t sum = 0;
+    for (const Event& event : events_) {
+      if (event.lane == lane && event.fine_index > current - fine_buckets) {
+        sum += event.delta;
+      }
+    }
+    return sum;
+  }
+
+  uint64_t SlowSum(size_t lane, int64_t sim_now_us) const {
+    int64_t current = sim_now_us / config_.fine_bucket_us;
+    int64_t fine_buckets = static_cast<int64_t>(config_.fine_buckets);
+    int64_t current_coarse = current / fine_buckets;
+    uint64_t sum = 0;
+    for (const Event& event : events_) {
+      if (event.lane != lane) {
+        continue;
+      }
+      bool in_fast = event.fine_index > current - fine_buckets;
+      bool coarse_live =
+          current_coarse - event.fine_index / fine_buckets <=
+          static_cast<int64_t>(config_.coarse_buckets);
+      if (in_fast || coarse_live) {
+        sum += event.delta;
+      }
+    }
+    return sum;
+  }
+
+ private:
+  struct Event {
+    size_t lane;
+    int64_t fine_index;
+    uint64_t delta;
+  };
+  WindowConfig config_;
+  std::vector<Event> events_;
+};
+
+// Deterministic 64-bit LCG; no wall randomness anywhere near the windows.
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint32_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(state_ >> 33);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Runs a pseudo-random add/query schedule and returns every query result.
+std::vector<uint64_t> RunWindowSchedule(const WindowConfig& config,
+                                        uint64_t seed, int steps,
+                                        NaiveWindow* reference) {
+  constexpr size_t kLanes = 3;
+  SlidingWindow window(kLanes, config);
+  Lcg lcg(seed);
+  std::vector<uint64_t> outputs;
+  int64_t now_us = 0;
+  for (int step = 0; step < steps; ++step) {
+    // Irregular gaps: usually 0–7 s (same bucket, next bucket, or a short
+    // skip), occasionally a jump past the whole slow window (the clear-all
+    // path).
+    now_us += lcg.Next() % 7'000'000;
+    if (step % 97 == 53) {
+      now_us += 400'000'000;  // > slow span: everything held must age out
+    }
+    size_t lane = lcg.Next() % kLanes;
+    uint64_t delta = lcg.Next() % 5;
+    window.Add(lane, delta, now_us);
+    if (reference != nullptr) {
+      reference->Add(lane, delta, now_us);
+    }
+    if (step % 3 == 0) {
+      for (size_t query_lane = 0; query_lane < kLanes; ++query_lane) {
+        outputs.push_back(window.FastSum(query_lane, now_us));
+        outputs.push_back(window.SlowSum(query_lane, now_us));
+        if (reference != nullptr) {
+          EXPECT_EQ(outputs[outputs.size() - 2],
+                    reference->FastSum(query_lane, now_us))
+              << "fast lane " << query_lane << " at t=" << now_us;
+          EXPECT_EQ(outputs.back(), reference->SlowSum(query_lane, now_us))
+              << "slow lane " << query_lane << " at t=" << now_us;
+        }
+      }
+    }
+  }
+  return outputs;
+}
+
+TEST(SlidingWindowTest, MatchesNaiveReferenceOnPseudoRandomSchedule) {
+  NaiveWindow reference(CompactWindowConfig());
+  std::vector<uint64_t> outputs =
+      RunWindowSchedule(CompactWindowConfig(), 0x5eed, 600, &reference);
+  EXPECT_FALSE(outputs.empty());
+}
+
+TEST(SlidingWindowTest, DefaultGeometryMatchesNaiveReference) {
+  WindowConfig config;  // 60 × 1 s fine, 4 coarse
+  NaiveWindow reference(config);
+  RunWindowSchedule(config, 0xfeedbeef, 600, &reference);
+}
+
+TEST(SlidingWindowTest, IdenticalSchedulesProduceBitIdenticalResults) {
+  std::vector<uint64_t> first =
+      RunWindowSchedule(CompactWindowConfig(), 0xabcdef, 400, nullptr);
+  std::vector<uint64_t> second =
+      RunWindowSchedule(CompactWindowConfig(), 0xabcdef, 400, nullptr);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SlidingWindowTest, JumpBeyondSlowWindowDropsEverything) {
+  SlidingWindow window(1, CompactWindowConfig());
+  window.Add(0, 7, 0);
+  EXPECT_EQ(window.FastSum(0, 0), 7u);
+  int64_t far = CompactWindowConfig().slow_window_us() + 10'000'000;
+  EXPECT_EQ(window.FastSum(0, far), 0u);
+  EXPECT_EQ(window.SlowSum(0, far), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedCounter
+// ---------------------------------------------------------------------------
+
+TEST(WindowedCounterTest, SampleCumulativeRecordsDeltasAndRebasesOnReset) {
+  WindowedCounter counter(CompactWindowConfig());
+  counter.SampleCumulative(10, 1'000'000);  // first sample: delta from 0
+  EXPECT_EQ(counter.FastSum(1'000'000), 10u);
+  counter.SampleCumulative(25, 2'000'000);
+  EXPECT_EQ(counter.FastSum(2'000'000), 25u);
+  // A cumulative drop (the source counter reset) contributes no delta and
+  // re-bases, so the next increase counts from the new baseline.
+  counter.SampleCumulative(5, 3'000'000);
+  EXPECT_EQ(counter.FastSum(3'000'000), 25u);
+  counter.SampleCumulative(8, 4'000'000);
+  EXPECT_EQ(counter.FastSum(4'000'000), 28u);
+}
+
+TEST(WindowedCounterTest, CountsAgeFromFastIntoSlowWindowThenOut) {
+  WindowedCounter counter(CompactWindowConfig());  // 60 s fast / 5 min slow
+  counter.Add(3, 0);
+  EXPECT_EQ(counter.FastSum(0), 3u);
+  EXPECT_EQ(counter.SlowSum(0), 3u);
+  EXPECT_EQ(counter.FastSum(65'000'000), 0u);  // aged out of the fast ring
+  EXPECT_EQ(counter.SlowSum(65'000'000), 3u);  // folded into its coarse slot
+  EXPECT_EQ(counter.SlowSum(290'000'000), 3u);
+  EXPECT_EQ(counter.SlowSum(400'000'000), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedHistogram
+// ---------------------------------------------------------------------------
+
+TEST(WindowedHistogramTest, FastCountOverIsExactAtTheSloBound) {
+  // 20 ms is deliberately an exact bound of the compact bound set so the
+  // sync_p99 SLO's bad-event count is not bucket-rounded.
+  WindowedHistogram histogram(WindowedHistogram::CompactLatencyBoundsUs(),
+                              CompactWindowConfig());
+  histogram.Record(19'999, 1'000);
+  histogram.Record(20'000, 1'000);  // at the target: not a bad event
+  histogram.Record(20'001, 1'000);
+  histogram.Record(31'623, 1'000);
+  histogram.Record(5'000'000, 1'000);
+  EXPECT_EQ(histogram.FastCount(1'000), 5u);
+  EXPECT_EQ(histogram.FastCountOver(20'000, 1'000), 3u);
+  EXPECT_EQ(histogram.SlowCountOver(20'000, 1'000), 3u);
+}
+
+TEST(WindowedHistogramTest, PercentilesInterpolateWithinTheRankBucket) {
+  WindowedHistogram histogram({10, 100}, CompactWindowConfig());
+  EXPECT_EQ(histogram.FastPercentile(99.0, 0), 0.0);  // empty window
+  for (int64_t value : {20, 30, 40, 50}) {
+    histogram.Record(value, 1'000);
+  }
+  // All four observations sit in the (10, 100] bucket; ranks interpolate
+  // linearly across it: rank k of 4 reports 10 + 90 * k/4.
+  EXPECT_DOUBLE_EQ(histogram.FastPercentile(25.0, 1'000), 32.5);
+  EXPECT_DOUBLE_EQ(histogram.FastPercentile(50.0, 1'000), 55.0);
+  EXPECT_DOUBLE_EQ(histogram.FastPercentile(100.0, 1'000), 100.0);
+  // Overflow-bucket ranks clamp to the last bound rather than inventing a
+  // value beyond the instrument's range.
+  histogram.Record(100'000, 1'000);
+  EXPECT_DOUBLE_EQ(histogram.FastPercentile(100.0, 1'000), 100.0);
+}
+
+TEST(WindowedHistogramTest, ExemplarsKeepTheRecentWorstPerBucket) {
+  WindowedHistogram histogram({10, 100}, CompactWindowConfig());
+  histogram.Record(50, 0, "t-first");
+  histogram.Record(40, 1'000'000, "t-smaller");  // not worse: incumbent stays
+  ASSERT_EQ(histogram.Exemplars().size(), 1u);
+  EXPECT_EQ(histogram.Exemplars()[0].exemplar.trace_id, "t-first");
+  EXPECT_EQ(histogram.Exemplars()[0].exemplar.value, 50);
+  EXPECT_EQ(histogram.Exemplars()[0].bound, 100);
+
+  histogram.Record(60, 2'000'000, "t-worse");  // worse: replaces
+  EXPECT_EQ(histogram.Exemplars()[0].exemplar.trace_id, "t-worse");
+
+  // After the TTL the incumbent is stale; a smaller fresh observation takes
+  // over so exemplars keep pointing at traces the bounded ring still holds.
+  histogram.Record(20, 2'000'000 + 30'000'000, "t-fresh");
+  EXPECT_EQ(histogram.Exemplars()[0].exemplar.trace_id, "t-fresh");
+  EXPECT_EQ(histogram.Exemplars()[0].exemplar.value, 20);
+}
+
+TEST(WindowedHistogramTest, ExemplarsPerBucketIncludingOverflow) {
+  WindowedHistogram histogram({10, 100}, CompactWindowConfig());
+  histogram.Record(5, 1'000, "t-low");
+  histogram.Record(50, 1'000);  // no trace id: records but offers no exemplar
+  histogram.Record(5'000, 1'000, "t-overflow");
+  auto exemplars = histogram.Exemplars();
+  ASSERT_EQ(exemplars.size(), 2u);
+  EXPECT_EQ(exemplars[0].bound, 10);
+  EXPECT_EQ(exemplars[0].exemplar.trace_id, "t-low");
+  EXPECT_EQ(exemplars[1].bound, std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(exemplars[1].exemplar.trace_id, "t-overflow");
+}
+
+// ---------------------------------------------------------------------------
+// SessionHealth: burn rates, scores, alert edges
+// ---------------------------------------------------------------------------
+
+TEST(SessionHealthTest, BurnBelowMinEventsIsZero) {
+  SessionHealth health;
+  health.Sample({.requests = 4, .auth_failures = 4}, 1'000'000);
+  auto status = health.Evaluate(1'000'000);
+  EXPECT_EQ(status.score, HealthScore::kGreen);
+  EXPECT_EQ(status.objectives[2].name, "auth_failure_rate");
+  EXPECT_EQ(status.objectives[2].fast_burn, 0.0);
+}
+
+TEST(SessionHealthTest, SustainedBadRatioTripsTheMultiWindowAlert) {
+  SessionHealth health;
+  health.Sample({.requests = 10, .auth_failures = 10}, 1'000'000);
+  auto status = health.Evaluate(1'000'000);
+  // 100% failures against a 1% budget: burn 100 in both windows.
+  EXPECT_DOUBLE_EQ(status.objectives[2].fast_burn, 100.0);
+  EXPECT_DOUBLE_EQ(status.objectives[2].slow_burn, 100.0);
+  EXPECT_TRUE(status.objectives[2].alerting);
+  EXPECT_EQ(status.score, HealthScore::kUnhealthy);
+  ASSERT_EQ(status.ActiveAlerts().size(), 1u);
+  EXPECT_EQ(status.ActiveAlerts()[0], "auth_failure_rate");
+  EXPECT_DOUBLE_EQ(status.MaxSlowBurn(), 100.0);
+}
+
+TEST(SessionHealthTest, BurningButNotAlertingScoresDegraded) {
+  SessionHealth health;
+  // Every poll wasted against a 0.90 budget burns ~1.11 — over budget but
+  // far below the fast alert threshold (6.0): degraded, not unhealthy.
+  health.Sample(
+      {.requests = 20, .polls_received = 20, .wasted_polls = 20},
+      1'000'000);
+  auto status = health.Evaluate(1'000'000);
+  EXPECT_EQ(status.score, HealthScore::kDegraded);
+  EXPECT_NEAR(status.objectives[3].fast_burn, 1.111, 0.001);
+  EXPECT_FALSE(status.objectives[3].alerting);
+  EXPECT_TRUE(status.ActiveAlerts().empty());
+}
+
+TEST(SessionHealthTest, AlertEdgesFireTheFlightRecorderOncePerEpisode) {
+  FlightRecorder flight(nullptr, nullptr, {});
+  SessionHealth health(SloConfig(), &flight);
+
+  // Rising edge fires one flight trigger; the sustained condition does not.
+  health.Sample({.requests = 10, .auth_failures = 10}, 1'000'000);
+  EXPECT_EQ(flight.triggers("slo_burn_auth_failure_rate"), 1u);
+  health.Sample({.requests = 20, .auth_failures = 20}, 2'000'000);
+  EXPECT_EQ(flight.triggers("slo_burn_auth_failure_rate"), 1u);
+
+  // 350 s later the bad minute is outside even the slow window; a healthy
+  // sample clears the alert without firing anything.
+  health.Sample({.requests = 100, .auth_failures = 20}, 350'000'000);
+  EXPECT_FALSE(health.Evaluate(350'000'000).objectives[2].alerting);
+  EXPECT_EQ(flight.triggers("slo_burn_auth_failure_rate"), 1u);
+
+  // A second episode is a fresh rising edge: exactly one more dump trigger.
+  health.Sample({.requests = 200, .auth_failures = 120}, 420'000'000);
+  EXPECT_TRUE(health.Evaluate(420'000'000).objectives[2].alerting);
+  EXPECT_EQ(flight.triggers("slo_burn_auth_failure_rate"), 2u);
+}
+
+TEST(SessionHealthTest, SyncLatencyObjectiveFeedsFromTheHistogram) {
+  SessionHealth health;
+  for (int i = 0; i < 20; ++i) {
+    health.RecordSyncLatency(250'000, 1'000'000, "p1-" + std::to_string(i));
+  }
+  health.Sample({}, 1'000'000);  // evaluation happens at sample sites
+  auto status = health.Evaluate(1'000'000);
+  EXPECT_EQ(status.objectives[0].name, "sync_p99");
+  EXPECT_TRUE(status.objectives[0].alerting);
+  EXPECT_EQ(status.score, HealthScore::kUnhealthy);
+  EXPECT_EQ(status.sync_count, 20u);
+  EXPECT_GT(status.sync_p99_us, 20'000.0);
+  ASSERT_FALSE(status.exemplars.empty());
+  // Equal-worst observations refresh the exemplar, so the latest one holds.
+  EXPECT_EQ(status.exemplars[0].exemplar.trace_id, "p1-19");
+}
+
+TEST(SessionHealthTest, ToJsonIsWellFormedAndBitIdenticalAcrossRuns) {
+  auto run = [] {
+    SessionHealth health;
+    for (int i = 0; i < 12; ++i) {
+      health.RecordSyncLatency(1'000 + i * 7'000, 500'000 * (i + 1),
+                               "p2-" + std::to_string(i));
+    }
+    health.Sample({.requests = 30,
+                   .polls_received = 24,
+                   .wasted_polls = 6,
+                   .resyncs = 1},
+                  7'000'000);
+    return health.ToJson(8'000'000);
+  };
+  std::string first = run();
+  EXPECT_EQ(first, run());
+
+  auto parsed = ParseJson(first);
+  ASSERT_TRUE(parsed.ok()) << first;
+  EXPECT_TRUE(parsed->Find("score")->is_string());
+  EXPECT_EQ(parsed->Find("window")->Find("fast_us")->number_value, 60'000'000);
+  EXPECT_EQ(parsed->Find("window")->Find("slow_us")->number_value,
+            300'000'000);
+  EXPECT_EQ(parsed->Find("sync")->Find("count")->number_value, 12);
+  EXPECT_EQ(parsed->Find("fast_polls")->number_value, 24);
+  const JsonValue* objectives = parsed->Find("objectives");
+  ASSERT_TRUE(objectives != nullptr && objectives->is_array());
+  ASSERT_EQ(objectives->items.size(), 4u);
+  EXPECT_EQ(objectives->items[0].Find("name")->string_value, "sync_p99");
+  const JsonValue* exemplars = parsed->Find("exemplars");
+  ASSERT_TRUE(exemplars != nullptr && exemplars->is_array());
+  ASSERT_FALSE(exemplars->items.empty());
+  EXPECT_FALSE(exemplars->items[0].Find("trace_id")->string_value.empty());
+}
+
+// ---------------------------------------------------------------------------
+// HTTP surfaces: agent /health and host /host/health
+// ---------------------------------------------------------------------------
+
+constexpr uint16_t kBasePort = 3400;
+
+class HealthEndpointTest : public ::testing::Test {
+ protected:
+  HealthEndpointTest() : network_(&loop_) {
+    network_.AddHost("host-pc", {});
+    network_.AddHost("p-pc-1", {});
+    network_.SetLatency("host-pc", "p-pc-1", Duration::Millis(1));
+  }
+
+  std::unique_ptr<RcbHost> MakeHost(HostConfig config = {}) {
+    config.base_port = kBasePort;
+    config.agent_defaults.poll_interval = Duration::Millis(100);
+    auto host = std::make_unique<RcbHost>(&loop_, &network_, std::move(config));
+    EXPECT_TRUE(host->Start().ok());
+    return host;
+  }
+
+  HttpResponse Get(RcbHost* host, const std::string& target) {
+    HttpRequest request;
+    request.method = HttpMethod::kGet;
+    request.target = target;
+    return host->Route(request);
+  }
+
+  EventLoop loop_;
+  Network network_;
+};
+
+TEST_F(HealthEndpointTest, AgentHealthEndpointServesSessionHealthJson) {
+  auto host = MakeHost();
+  ASSERT_TRUE(host->CreateSession("s1").ok());
+  HttpResponse response = Get(host.get(), "/s/s1/health");
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.headers.Get("Content-Type").value_or(""),
+            "application/json");
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok()) << response.body;
+  EXPECT_EQ(parsed->Find("score")->string_value, "green");
+  ASSERT_TRUE(parsed->Find("objectives")->is_array());
+  EXPECT_EQ(parsed->Find("objectives")->items.size(), 4u);
+}
+
+TEST_F(HealthEndpointTest, HostHealthAggregatesSessionsWorstFirst) {
+  HostConfig config;
+  config.agent_defaults.session_key = "health-key";
+  auto host = MakeHost(std::move(config));
+  ASSERT_TRUE(host->CreateSession("s1").ok());
+  ASSERT_TRUE(host->CreateSession("s2").ok());
+
+  // Hammer s2 with badly signed polls: counted requests, counted auth
+  // failures, enough of both to trip the auth_failure_rate alert.
+  for (int i = 0; i < 10; ++i) {
+    HttpRequest bad;
+    bad.method = HttpMethod::kPost;
+    bad.target = "/s/s2/poll?hmac=" + std::string(64, '0');
+    bad.body = "pid=intruder&docTime=0";
+    EXPECT_EQ(host->Route(bad).status_code, 403);
+  }
+
+  // The aggregate endpoint sits behind the same session key.
+  EXPECT_EQ(Get(host.get(), "/host/health").status_code, 403);
+  std::string mac = HmacSha256Hex("health-key", "GET /host/health\n");
+  HttpResponse response = Get(host.get(), "/host/health?hmac=" + mac);
+  ASSERT_EQ(response.status_code, 200);
+
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok()) << response.body;
+  EXPECT_EQ(parsed->Find("sessions_total")->number_value, 2);
+  const JsonValue* summary = parsed->Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->Find("green")->number_value, 1);
+  EXPECT_EQ(summary->Find("unhealthy")->number_value, 1);
+  const JsonValue* alerts = parsed->Find("alerts");
+  ASSERT_TRUE(alerts != nullptr && alerts->is_array());
+  ASSERT_EQ(alerts->items.size(), 1u);
+  EXPECT_EQ(alerts->items[0].string_value, "s2:auth_failure_rate");
+  const JsonValue* sessions = parsed->Find("sessions");
+  ASSERT_TRUE(sessions != nullptr && sessions->is_array());
+  ASSERT_EQ(sessions->items.size(), 2u);
+  // Worst first: the alerting session leads regardless of id order.
+  EXPECT_EQ(sessions->items[0].Find("id")->string_value, "s2");
+  EXPECT_EQ(sessions->items[0].Find("score")->string_value, "unhealthy");
+  EXPECT_EQ(sessions->items[1].Find("id")->string_value, "s1");
+  EXPECT_EQ(sessions->items[1].Find("score")->string_value, "green");
+}
+
+TEST_F(HealthEndpointTest, OpenHostServesHealthWithoutSignature) {
+  auto host = MakeHost();
+  ASSERT_TRUE(host->CreateSession("s1").ok());
+  HttpResponse response = Get(host.get(), "/host/health");
+  EXPECT_EQ(response.status_code, 200);
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok()) << response.body;
+  EXPECT_EQ(parsed->Find("sessions_total")->number_value, 1);
+}
+
+}  // namespace
+}  // namespace rcb

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 
 #include "src/core/session.h"
 #include "src/net/profiles.h"
@@ -175,6 +177,117 @@ TEST(MetricsRegistryTest, PrometheusRenderFormat) {
             std::string::npos);
   EXPECT_NE(body.find("latency_us_sum{op=\"x\"} 555\n"), std::string::npos);
   EXPECT_NE(body.find("latency_us_count{op=\"x\"} 3\n"), std::string::npos);
+}
+
+// Structural conformance over the whole exposition, not just pinned lines:
+// for every histogram family, bucket counts must be cumulative
+// non-decreasing in bound order, end with le="+Inf", and the +Inf bucket
+// must equal the family's _count; every family must also carry _sum.
+TEST(MetricsRegistryTest, PrometheusHistogramConformance) {
+  MetricsRegistry registry;
+  Histogram* plain = registry.AddHistogram("plain_us", "Plain.",
+                                           Provenance::kSim, {10, 100, 1000});
+  for (int64_t value : {5, 10, 11, 150, 99999}) {
+    plain->Record(value);
+  }
+  Histogram* labeled = registry.AddHistogram(
+      "labeled_us", "Labeled.", Provenance::kSim, {50, 500}, "op=\"poll\"");
+  for (int64_t value : {1, 499, 501, 502}) {
+    labeled->Record(value);
+  }
+  registry.AddCounter("noise_total", "Not a histogram.", Provenance::kSim)
+      ->Add(3);
+
+  struct Family {
+    std::vector<std::pair<std::string, double>> buckets;  // (le, count)
+    double count = -1;
+    double sum = -1;
+  };
+  std::map<std::string, Family> families;  // keyed by name + non-le labels
+  std::string body = registry.RenderPrometheus();
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = body.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    double value = std::strtod(line.c_str() + space + 1, nullptr);
+    std::string name = series;
+    std::string labels;
+    if (size_t brace = series.find('{'); brace != std::string::npos) {
+      name = series.substr(0, brace);
+      ASSERT_EQ(series.back(), '}') << line;
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+    }
+    auto strip_suffix = [&name](const char* suffix) {
+      std::string_view view(suffix);
+      if (name.size() > view.size() &&
+          name.compare(name.size() - view.size(), view.size(), view) == 0) {
+        name.resize(name.size() - view.size());
+        return true;
+      }
+      return false;
+    };
+    // Splits the label block, pulling le out and normalizing the rest (the
+    // family key), so bucket and _count/_sum lines key identically.
+    std::string le;
+    std::string rest;
+    size_t pos = 0;
+    while (pos < labels.size()) {
+      size_t eq = labels.find('=', pos);
+      ASSERT_NE(eq, std::string::npos) << line;
+      size_t open = labels.find('"', eq);
+      size_t close = labels.find('"', open + 1);
+      ASSERT_NE(close, std::string::npos) << line;
+      std::string key = labels.substr(pos, eq - pos);
+      std::string val = labels.substr(open + 1, close - open - 1);
+      if (key == "le") {
+        le = val;
+      } else {
+        if (!rest.empty()) {
+          rest += ",";
+        }
+        rest += key + "=" + val;
+      }
+      pos = close + 1;
+      if (pos < labels.size() && labels[pos] == ',') {
+        ++pos;
+      }
+    }
+    if (strip_suffix("_bucket")) {
+      ASSERT_FALSE(le.empty()) << "bucket line without le label: " << line;
+      families[name + "{" + rest + "}"].buckets.emplace_back(le, value);
+    } else if (strip_suffix("_count")) {
+      families[name + "{" + rest + "}"].count = value;
+    } else if (strip_suffix("_sum")) {
+      families[name + "{" + rest + "}"].sum = value;
+    }
+  }
+
+  ASSERT_EQ(families.size(), 2u) << "expected exactly the two histograms";
+  for (const auto& [key, family] : families) {
+    ASSERT_GE(family.buckets.size(), 2u) << key;
+    // Render order is bound-ascending; counts must be cumulative.
+    for (size_t i = 1; i < family.buckets.size(); ++i) {
+      EXPECT_GE(family.buckets[i].second, family.buckets[i - 1].second)
+          << key << " le=" << family.buckets[i].first;
+    }
+    EXPECT_EQ(family.buckets.back().first, "+Inf") << key;
+    EXPECT_GE(family.count, 0) << key << " missing _count";
+    EXPECT_GE(family.sum, 0) << key << " missing _sum";
+    EXPECT_EQ(family.buckets.back().second, family.count)
+        << key << " +Inf bucket must equal _count";
+  }
+  EXPECT_EQ(families.count("plain_us{}"), 1u);
+  EXPECT_EQ(families.count("labeled_us{op=poll}"), 1u);
+  EXPECT_EQ(families["plain_us{}"].count, 5);
+  EXPECT_EQ(families["labeled_us{op=poll}"].sum, 1 + 499 + 501 + 502);
 }
 
 TEST(MetricsRegistryTest, SimViewOmitsWallFamilies) {
@@ -460,6 +573,49 @@ TEST(FlightRecorderTest, DumpsJsonlArtifactAndHonorsCap) {
   EXPECT_EQ(lines[2].Find("type")->string_value, "metrics");
   EXPECT_NE(lines[2].Find("prometheus")->string_value.find("rcb_test_polls 1"),
             std::string::npos);
+}
+
+TEST(FlightRecorderTest, DedupWindowCollapsesRepeatTriggers) {
+  TraceLog log(8);
+  MetricsRegistry registry;
+  FlightRecorder::Options options;
+  options.dir = ::testing::TempDir();
+  options.component = "dedup-agent";
+  options.dedup_window_us = 10'000;
+  FlightRecorder recorder(&log, &registry, options);
+
+  recorder.Trigger("resync", 1'000);  // first sighting: dumped
+  recorder.Trigger("resync", 5'000);  // 4 ms after the dump: suppressed
+  recorder.Trigger("resync", 9'000);  // still inside the window: suppressed
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+  EXPECT_EQ(recorder.dumps_suppressed(), 2u);
+  EXPECT_EQ(recorder.triggers("resync"), 3u);  // counting is never deduped
+
+  // A different reason inside the same window is its own anomaly.
+  recorder.Trigger("overload", 6'000);
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  EXPECT_EQ(recorder.dumps_suppressed(), 2u);
+
+  // The window is measured from the last *written* dump, so once it passes
+  // the same reason dumps again (a second episode gets its own artifact).
+  recorder.Trigger("resync", 11'000);
+  EXPECT_EQ(recorder.dumps_written(), 3u);
+  EXPECT_NE(recorder.last_dump_path().find("FLIGHT_dedup-agent_3_resync"),
+            std::string::npos);
+  EXPECT_EQ(recorder.total_triggers(), 5u);
+}
+
+TEST(FlightRecorderTest, ZeroDedupWindowDumpsEveryTrigger) {
+  TraceLog log(8);
+  MetricsRegistry registry;
+  FlightRecorder::Options options;
+  options.dir = ::testing::TempDir();
+  options.component = "nodedup-agent";
+  FlightRecorder recorder(&log, &registry, options);
+  recorder.Trigger("resync", 1'000);
+  recorder.Trigger("resync", 1'001);
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  EXPECT_EQ(recorder.dumps_suppressed(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,233 @@
+// rcb_top: a top(1)-style terminal view over /host/health snapshots
+// (DESIGN.md §16). The host emits sessions worst-first; this renders the
+// header summary plus the top-N rows — score, fast-window sync latency,
+// hottest burn, active alerts, and the worst exemplar trace id (feed that id
+// to `trace_report --trace-id` to pull the offending round trip).
+//
+// Usage: rcb_top [--top N] [--watch SECONDS] FILE
+//   FILE            a /host/health JSON snapshot ("-" reads stdin once)
+//   --top N         rows to show (default 10)
+//   --watch SECONDS re-read FILE every SECONDS and repaint (wall clock; this
+//                   is an operator tool, the only wall-time consumer outside
+//                   the harness)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace {
+
+using rcb::JsonValue;
+using rcb::StrFormat;
+
+double NumberOr(const JsonValue* value, double fallback) {
+  return value != nullptr && value->is_number() ? value->number_value
+                                                : fallback;
+}
+
+std::string StringOr(const JsonValue* value, const std::string& fallback) {
+  return value != nullptr && value->is_string() ? value->string_value
+                                                : fallback;
+}
+
+// Worst exemplar with a resolvable trace id (the host already keeps at most
+// one per bucket; "worst" = largest observed value).
+std::string WorstExemplarTrace(const JsonValue& session) {
+  const JsonValue* exemplars = session.Find("exemplars");
+  if (exemplars == nullptr || !exemplars->is_array()) {
+    return "";
+  }
+  std::string best;
+  double best_value = -1.0;
+  for (const JsonValue& entry : exemplars->items) {
+    std::string trace_id = StringOr(entry.Find("trace_id"), "");
+    if (trace_id.empty()) {
+      continue;
+    }
+    double value = NumberOr(entry.Find("value_us"), 0.0);
+    if (value > best_value) {
+      best_value = value;
+      best = trace_id;
+    }
+  }
+  return best;
+}
+
+struct BurnPeak {
+  std::string objective;
+  double fast = 0.0;
+  double slow = 0.0;
+};
+
+BurnPeak HottestObjective(const JsonValue& session) {
+  BurnPeak peak;
+  const JsonValue* objectives = session.Find("objectives");
+  if (objectives == nullptr || !objectives->is_array()) {
+    return peak;
+  }
+  for (const JsonValue& objective : objectives->items) {
+    double slow = NumberOr(objective.Find("slow_burn"), 0.0);
+    if (peak.objective.empty() || slow > peak.slow) {
+      peak.objective = StringOr(objective.Find("name"), "?");
+      peak.slow = slow;
+      peak.fast = NumberOr(objective.Find("fast_burn"), 0.0);
+    }
+  }
+  return peak;
+}
+
+std::string JoinAlerts(const JsonValue& session) {
+  const JsonValue* alerts = session.Find("alerts");
+  if (alerts == nullptr || !alerts->is_array() || alerts->items.empty()) {
+    return "-";
+  }
+  std::string joined;
+  for (const JsonValue& alert : alerts->items) {
+    if (!joined.empty()) {
+      joined += ",";
+    }
+    joined += StringOr(&alert, "?");
+  }
+  return joined;
+}
+
+int Render(const std::string& text, size_t top_n, const std::string& source) {
+  auto doc_or = rcb::ParseJson(text);
+  if (!doc_or.ok()) {
+    std::fprintf(stderr, "rcb_top: %s: %s\n", source.c_str(),
+                 doc_or.status().ToString().c_str());
+    return 1;
+  }
+  const JsonValue& doc = *doc_or;
+  double sim_us = NumberOr(doc.Find("sim_time_us"), 0.0);
+  double total = NumberOr(doc.Find("sessions_total"), 0.0);
+  const JsonValue* summary = doc.Find("summary");
+  std::printf(
+      "rcb_top — sim t=%.3fs — %.0f session(s): %.0f green, %.0f degraded, "
+      "%.0f unhealthy\n",
+      sim_us / 1e6, total,
+      summary != nullptr ? NumberOr(summary->Find("green"), 0.0) : 0.0,
+      summary != nullptr ? NumberOr(summary->Find("degraded"), 0.0) : 0.0,
+      summary != nullptr ? NumberOr(summary->Find("unhealthy"), 0.0) : 0.0);
+  if (const JsonValue* alerts = doc.Find("alerts");
+      alerts != nullptr && alerts->is_array() && !alerts->items.empty()) {
+    std::string joined;
+    for (const JsonValue& alert : alerts->items) {
+      if (!joined.empty()) {
+        joined += " ";
+      }
+      joined += StringOr(&alert, "?");
+    }
+    std::printf("ALERTS: %s\n", joined.c_str());
+  }
+  std::printf("%-20s %-10s %7s %9s %9s %-18s %11s %-22s %s\n", "session",
+              "score", "sync_n", "p50_us", "p99_us", "hottest", "burn f/s",
+              "alerts", "exemplar");
+  const JsonValue* sessions = doc.Find("sessions");
+  if (sessions == nullptr || !sessions->is_array()) {
+    std::fprintf(stderr, "rcb_top: %s: no sessions array\n", source.c_str());
+    return 1;
+  }
+  size_t shown = 0;
+  for (const JsonValue& session : sessions->items) {
+    if (shown >= top_n) {
+      break;
+    }
+    ++shown;
+    const JsonValue* sync = session.Find("sync");
+    BurnPeak peak = HottestObjective(session);
+    std::string exemplar = WorstExemplarTrace(session);
+    std::printf(
+        "%-20s %-10s %7.0f %9.0f %9.0f %-18s %5.1f/%5.1f %-22s %s\n",
+        StringOr(session.Find("id"), "?").c_str(),
+        StringOr(session.Find("score"), "?").c_str(),
+        sync != nullptr ? NumberOr(sync->Find("count"), 0.0) : 0.0,
+        sync != nullptr ? NumberOr(sync->Find("p50_us"), 0.0) : 0.0,
+        sync != nullptr ? NumberOr(sync->Find("p99_us"), 0.0) : 0.0,
+        peak.objective.empty() ? "-" : peak.objective.c_str(), peak.fast,
+        peak.slow, JoinAlerts(session).c_str(),
+        exemplar.empty() ? "-" : exemplar.c_str());
+  }
+  if (sessions->items.size() > shown) {
+    std::printf("... %zu more session(s)\n", sessions->items.size() - shown);
+  }
+  return 0;
+}
+
+rcb::StatusOr<std::string> ReadSource(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return rcb::UnavailableError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t top_n = 10;
+  double watch_seconds = 0.0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top_n = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--watch" && i + 1 < argc) {
+      watch_seconds = std::atof(argv[++i]);
+    } else if (arg != "-" && !arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: %s [--top N] [--watch SECONDS] FILE\n",
+                   argv[0]);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s [--top N] [--watch SECONDS] FILE\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s [--top N] [--watch SECONDS] FILE\n",
+                 argv[0]);
+    return 2;
+  }
+  if (watch_seconds <= 0.0 || path == "-") {
+    auto text_or = ReadSource(path);
+    if (!text_or.ok()) {
+      std::fprintf(stderr, "rcb_top: %s\n",
+                   text_or.status().ToString().c_str());
+      return 1;
+    }
+    return Render(*text_or, top_n, path);
+  }
+  // Watch mode: repaint from the file on a wall-clock cadence until killed.
+  for (;;) {
+    auto text_or = ReadSource(path);
+    std::printf("\x1b[H\x1b[2J");
+    if (!text_or.ok()) {
+      std::printf("rcb_top: %s (retrying)\n",
+                  text_or.status().ToString().c_str());
+    } else {
+      Render(*text_or, top_n, path);
+    }
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int64_t>(watch_seconds * 1000.0)));
+  }
+}

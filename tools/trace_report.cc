@@ -9,13 +9,20 @@
 //   * per-session (participant) timelines, and
 //   * the top-N slowest round trips.
 //
-// Usage: trace_report [--json] [--sim-only] [--top N] [--chrome OUT] FILE...
+// Usage: trace_report [--json] [--sim-only] [--top N] [--chrome OUT]
+//                     [--trace-id ID] [--fail-on-incomplete] FILE...
 //   --json      machine-readable report (schema_version 1) instead of text
 //   --sim-only  suppress wall-clock durations so the output is bit-identical
 //               across runs of the same simulated schedule (span *presence*
 //               is deterministic either way; only wall durations vary)
 //   --chrome    additionally write a Chrome trace-event / Perfetto JSON file
 //               rebuilt from the ingested spans
+//   --trace-id  print the span listing of one trace and exit 0; exit 4 when
+//               the id resolves to no ingested span (the ci.sh check_health
+//               gate resolves bench exemplar ids this way)
+//   --fail-on-incomplete
+//               exit 3 when content-chain completeness < 100% — the CI trace
+//               gate consumes the exit code instead of grepping the report
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -193,8 +200,10 @@ std::string SegmentStatsJson(const SegmentDef& def, const SegmentStats& stats) {
 int main(int argc, char** argv) {
   bool json_output = false;
   bool sim_only = false;
+  bool fail_on_incomplete = false;
   size_t top_n = 5;
   std::string chrome_path;
+  std::string trace_id_query;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -202,14 +211,18 @@ int main(int argc, char** argv) {
       json_output = true;
     } else if (arg == "--sim-only") {
       sim_only = true;
+    } else if (arg == "--fail-on-incomplete") {
+      fail_on_incomplete = true;
     } else if (arg == "--top" && i + 1 < argc) {
       top_n = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--chrome" && i + 1 < argc) {
       chrome_path = argv[++i];
+    } else if (arg == "--trace-id" && i + 1 < argc) {
+      trace_id_query = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--json] [--sim-only] [--top N] [--chrome OUT] "
-                   "FILE...\n",
+                   "[--trace-id ID] [--fail-on-incomplete] FILE...\n",
                    argv[0]);
       return 2;
     } else {
@@ -217,8 +230,10 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: %s [--json] [--sim-only] [--top N] "
-                         "[--chrome OUT] FILE...\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--sim-only] [--top N] [--chrome OUT] "
+                 "[--trace-id ID] [--fail-on-incomplete] FILE...\n",
+                 argv[0]);
     return 2;
   }
 
@@ -273,6 +288,38 @@ int main(int argc, char** argv) {
     }
     ++causal_spans;
     traces[span.trace_id].push_back(&span);
+  }
+
+  // Single-trace lookup: print the span listing (exit 0) or report the miss
+  // (exit 4 — distinct from usage/ingest errors so callers can tell "bad id"
+  // from "bad invocation").
+  if (!trace_id_query.empty()) {
+    auto it = traces.find(trace_id_query);
+    if (it == traces.end()) {
+      std::fprintf(stderr, "trace_report: no spans for trace %s\n",
+                   trace_id_query.c_str());
+      return 4;
+    }
+    std::vector<const Span*> listing = it->second;
+    std::stable_sort(listing.begin(), listing.end(),
+                     [](const Span* a, const Span* b) {
+                       if (a->sim_start_us != b->sim_start_us) {
+                         return a->sim_start_us < b->sim_start_us;
+                       }
+                       return a->seq < b->seq;
+                     });
+    std::printf("trace %s: %zu span(s)\n", trace_id_query.c_str(),
+                listing.size());
+    for (const Span* span : listing) {
+      std::printf("  %10lld us %-8s %-28s %s%lld us\n",
+                  static_cast<long long>(span->sim_start_us),
+                  span->component.c_str(), span->name.c_str(),
+                  span->wall ? "wall " : "sim ",
+                  static_cast<long long>(sim_only && span->wall
+                                             ? 0
+                                             : span->duration_us));
+    }
+    return 0;
   }
 
   SegmentStats segment_stats[6];
@@ -464,7 +511,7 @@ int main(int argc, char** argv) {
     }
     out += "]}";
     std::printf("%s\n", out.c_str());
-    return 0;
+    return fail_on_incomplete && completeness < 1.0 ? 3 : 0;
   }
 
   std::printf("trace_report: %zu spans (%zu causal) from %zu file(s)%s\n",
@@ -515,6 +562,12 @@ int main(int argc, char** argv) {
     std::printf("  %-20s wire %lld us  {%s}\n", entry.id.c_str(),
                 static_cast<long long>(entry.wire_us),
                 entry.segments.c_str());
+  }
+  if (fail_on_incomplete && completeness < 1.0) {
+    std::fprintf(stderr,
+                 "trace_report: content completeness %.1f%% < 100%%\n",
+                 completeness * 100.0);
+    return 3;
   }
   return 0;
 }
